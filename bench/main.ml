@@ -1,0 +1,169 @@
+(** Benchmark harness.
+
+    With no arguments it regenerates the paper's full evaluation:
+    Figures 7(a)/(b), 8(a)/(b) and Table I (experiments E1-E5 of
+    DESIGN.md).  Individual artifacts can be selected by name; [ablation]
+    adds the E6 study and [micro] runs the Bechamel component
+    micro-benchmarks (E7).
+
+    {v
+      dune exec bench/main.exe                 # E1-E5
+      dune exec bench/main.exe -- fig7a table1
+      dune exec bench/main.exe -- ablation micro
+    v} *)
+
+let line () = print_endline (String.make 78 '-')
+
+(* ------------------------------------------------------------------ *)
+(* E7: Bechamel micro-benchmarks                                       *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let fir = Option.get (Benchsuite.Suite.find "fir_256") in
+  let prog = Benchsuite.Suite.compile fir in
+  let profile = (Interp.Eval.run prog).Interp.Eval.profile in
+  let htg = Htg.Build.build prog profile in
+  let pf = Platform.Presets.platform_a_accel in
+  (* a small LP for the simplex benchmark *)
+  let lp_model () =
+    let m = Ilp.Model.create () in
+    let xs = List.init 12 (fun i -> Ilp.Model.cont_var m (Printf.sprintf "x%d" i)) in
+    List.iteri
+      (fun i x ->
+        Ilp.Model.le m
+          (Ilp.Lin_expr.sum
+             [ Ilp.Lin_expr.term x;
+               Ilp.Lin_expr.term (List.nth xs ((i + 1) mod 12)) ])
+          (Ilp.Lin_expr.constant (4. +. float_of_int i)))
+      xs;
+    Ilp.Model.set_objective m Ilp.Model.Maximize
+      (Ilp.Lin_expr.sum (List.map Ilp.Lin_expr.term xs));
+    m
+  in
+  let milp_model () =
+    let m = Ilp.Model.create () in
+    let xs = List.init 10 (fun i -> Ilp.Model.bool_var m (Printf.sprintf "b%d" i)) in
+    Ilp.Model.le m
+      (Ilp.Lin_expr.sum
+         (List.mapi
+            (fun i x -> Ilp.Lin_expr.term ~coef:(float_of_int (2 + (i mod 4))) x)
+            xs))
+      (Ilp.Lin_expr.constant 11.);
+    Ilp.Model.set_objective m Ilp.Model.Maximize
+      (Ilp.Lin_expr.sum
+         (List.mapi
+            (fun i x -> Ilp.Lin_expr.term ~coef:(float_of_int (3 + (i mod 5))) x)
+            xs));
+    m
+  in
+  let quick_src =
+    "float a[64];\nint main() { int i; for (i = 0; i < 64; i = i + 1) { a[i] = i * 0.5; } return 0; }"
+  in
+  let quick_prog = Minic.Frontend.compile quick_src in
+  let sim_prog =
+    let out =
+      Parcore.Parallelize.run_program ~cfg:Parcore.Config.fast ~profile
+        ~approach:Parcore.Parallelize.Heterogeneous ~platform:pf prog
+    in
+    out.Parcore.Parallelize.program
+  in
+  Test.make_grouped ~name:"mpsoc-par"
+    [
+      Test.make ~name:"frontend/compile"
+        (Staged.stage (fun () -> ignore (Minic.Frontend.compile quick_src)));
+      Test.make ~name:"interp/profile-64"
+        (Staged.stage (fun () -> ignore (Interp.Eval.run quick_prog)));
+      Test.make ~name:"htg/build-fir"
+        (Staged.stage (fun () -> ignore (Htg.Build.build prog profile)));
+      Test.make ~name:"ilp/simplex-12x12"
+        (Staged.stage (fun () -> ignore (Ilp.Simplex.solve (lp_model ()))));
+      Test.make ~name:"ilp/branch-bound-knapsack"
+        (Staged.stage (fun () -> ignore (Ilp.Branch_bound.solve (milp_model ()))));
+      Test.make ~name:"sim/run-fir-parallel"
+        (Staged.stage (fun () -> ignore (Sim.Engine.run pf sim_prog)));
+      Test.make ~name:"htg+split/loop-candidates"
+        (Staged.stage (fun () ->
+             let loop =
+               Array.to_list htg.Htg.Node.children
+               |> List.find (fun (c : Htg.Node.t) -> Htg.Node.is_doall c)
+             in
+             ignore
+               (Parcore.Loop_split.solve
+                  {
+                    Parcore.Loop_split.node = loop;
+                    pf;
+                    seq_class = 0;
+                    budget = 4;
+                    cfg = Parcore.Config.fast;
+                  })));
+    ]
+
+let run_micro () =
+  let open Bechamel in
+  print_endline "E7: component micro-benchmarks (Bechamel, monotonic clock)";
+  line ();
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun _measure tbl ->
+      let rows = ref [] in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> rows := (name, est) :: !rows
+          | _ -> ())
+        tbl;
+      List.iter
+        (fun (name, ns) ->
+          if ns >= 1e6 then Printf.printf "  %-34s %10.3f ms/run\n" name (ns /. 1e6)
+          else if ns >= 1e3 then
+            Printf.printf "  %-34s %10.3f us/run\n" name (ns /. 1e3)
+          else Printf.printf "  %-34s %10.1f ns/run\n" name ns)
+        (List.sort compare !rows))
+    results;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let which = if args = [] then [ "fig7a"; "fig7b"; "fig8a"; "fig8b"; "table1" ] else args in
+  let ctx = Report.Experiments.create () in
+  List.iter
+    (fun id ->
+      (match id with
+      | "fig7a" -> print_string (Report.Experiments.(render_figure (fig7a ctx)))
+      | "fig7b" -> print_string (Report.Experiments.(render_figure (fig7b ctx)))
+      | "fig8a" -> print_string (Report.Experiments.(render_figure (fig8a ctx)))
+      | "fig8b" -> print_string (Report.Experiments.(render_figure (fig8b ctx)))
+      | "table1" -> print_string (Report.Experiments.(render_table1 (table1 ctx)))
+      | "ablation" ->
+          print_string
+            (Report.Experiments.(
+               render_ablation (ablation ctx Platform.Presets.platform_a_accel)))
+      | "energy" ->
+          print_string
+            (Report.Experiments.(
+               render_energy (energy_table ctx Platform.Presets.platform_a_accel)))
+      | "micro" -> run_micro ()
+      | other ->
+          Printf.eprintf
+            "unknown experiment %S (expected fig7a fig7b fig8a fig8b table1 \
+             ablation energy micro)\n"
+            other;
+          exit 1);
+      line ())
+    which

@@ -1,0 +1,284 @@
+(** [mpsoc-par] — command-line driver for the parallelization tool flow.
+
+    Subcommands:
+    - [parallelize FILE]: run the full flow on a Mini-C source file and
+      print the parallel specification, pre-mapping and simulated speedup;
+    - [analyze FILE]: print the profiled AHTG;
+    - [bench NAME]: run one suite benchmark through both approaches;
+    - [experiments]: regenerate the paper's figures and Table I;
+    - [list]: list suite benchmarks and platform presets. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let platform_conv =
+  let parse s =
+    match Platform.Presets.find s with
+    | Some p -> Ok p
+    | None ->
+        if Sys.file_exists s then
+          match Platform.Parse.of_file s with
+          | p -> Ok p
+          | exception Platform.Parse.Error m ->
+              Error (`Msg (Printf.sprintf "bad platform file %s: %s" s m))
+        else
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "unknown platform %S (preset names: %s; or a description file)"
+                 s
+                 (String.concat ", " (List.map fst Platform.Presets.all))))
+  in
+  let print ppf (p : Platform.Desc.t) =
+    Format.fprintf ppf "%s" p.Platform.Desc.name
+  in
+  Arg.conv (parse, print)
+
+let platform_arg =
+  Arg.(
+    value
+    & opt platform_conv Platform.Presets.platform_a_accel
+    & info [ "p"; "platform" ] ~docv:"PLATFORM"
+        ~doc:
+          "Target platform: a preset name (see $(b,list)) or a platform \
+           description file.")
+
+let approach_arg =
+  Arg.(
+    value
+    & opt (enum [ ("hetero", Parcore.Parallelize.Heterogeneous);
+                  ("homo", Parcore.Parallelize.Homogeneous) ])
+        Parcore.Parallelize.Heterogeneous
+    & info [ "a"; "approach" ] ~docv:"APPROACH"
+        ~doc:"Parallelization approach: $(b,hetero) (the paper's) or \
+              $(b,homo) (the baseline [6]).")
+
+let time_limit_arg =
+  Arg.(
+    value
+    & opt float Parcore.Config.default.Parcore.Config.ilp_time_limit_s
+    & info [ "ilp-time-limit" ] ~docv:"SECONDS"
+        ~doc:"Time budget per generated ILP.")
+
+let cfg_of time_limit =
+  { Parcore.Config.default with Parcore.Config.ilp_time_limit_s = time_limit }
+
+let exit_err fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
+
+(** Run [f], mapping the library's runtime failures (diverging or faulting
+    input programs) to clean CLI errors. *)
+let guard_runtime file f =
+  match f () with
+  | v -> v
+  | exception Interp.Eval.Step_limit_exceeded n ->
+      exit_err
+        "%s: the program did not terminate within %d interpreted statements          (the profiling run must terminate)"
+        file n
+  | exception Interp.Eval.Runtime_error m ->
+      exit_err "%s: runtime error during profiling: %s" file m
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE"
+        ~doc:"Write the hierarchical task graph in Graphviz format to $(docv).")
+
+let gantt_arg =
+  Arg.(
+    value & flag
+    & info [ "gantt" ]
+        ~doc:"Print an ASCII Gantt chart of the simulated parallel schedule.")
+
+(* ---------------- parallelize ---------------- *)
+
+let parallelize_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run file platform approach time_limit dot gantt =
+    let src = read_file file in
+    match
+      guard_runtime file (fun () ->
+          Parcore.Parallelize.run ~cfg:(cfg_of time_limit) ~approach ~platform
+            src)
+    with
+    | exception Minic.Frontend.Error e ->
+        exit_err "%s: %s" file (Minic.Frontend.error_to_string e)
+    | out ->
+        let algo = out.Parcore.Parallelize.algo in
+        Fmt.pr "platform: %a@." Platform.Desc.pp_summary platform;
+        Fmt.pr "approach: %s@.@."
+          (Parcore.Parallelize.approach_name approach);
+        print_string
+          (Parcore.Annotate.specification platform out.Parcore.Parallelize.htg
+             algo.Parcore.Algorithm.root);
+        Fmt.pr "@.pre-mapping specification:@.";
+        List.iter
+          (fun (task, cls) -> Fmt.pr "  %s -> %s@." task cls)
+          (Parcore.Annotate.pre_mapping platform out.Parcore.Parallelize.htg
+             algo.Parcore.Algorithm.root);
+        let m = Parcore.Parallelize.metrics out in
+        Fmt.pr "@.parallelization: %.2f s, %d ILPs, %d variables, %d constraints@."
+          algo.Parcore.Algorithm.wall_time_s
+          algo.Parcore.Algorithm.stats.Ilp.Stats.ilps
+          algo.Parcore.Algorithm.stats.Ilp.Stats.vars
+          algo.Parcore.Algorithm.stats.Ilp.Stats.constrs;
+        Fmt.pr "simulated makespan: %.1f us (sequential %.1f us)@."
+          m.Sim.Engine.makespan_us
+          (Sim.Engine.run platform out.Parcore.Parallelize.seq_program);
+        Fmt.pr "speedup over sequential on the main core: %.2fx (theoretical max %.2fx)@."
+          (Parcore.Parallelize.speedup out)
+          (Platform.Desc.theoretical_speedup platform);
+        (match dot with
+        | Some path ->
+            Htg.Dot.to_file path out.Parcore.Parallelize.htg;
+            Fmt.pr "task graph written to %s@." path
+        | None -> ());
+        if gantt then begin
+          Fmt.pr "@.simulated schedule (first entry of each region):@.";
+          print_string
+            (Sim.Engine.gantt platform
+               (Sim.Engine.trace platform out.Parcore.Parallelize.program))
+        end
+  in
+  Cmd.v
+    (Cmd.info "parallelize" ~doc:"Parallelize a Mini-C source file")
+    Term.(
+      const run $ file $ platform_arg $ approach_arg $ time_limit_arg $ dot_arg
+      $ gantt_arg)
+
+(* ---------------- analyze ---------------- *)
+
+let analyze_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run file dot =
+    let src = read_file file in
+    match Minic.Frontend.compile src with
+    | exception Minic.Frontend.Error e ->
+        exit_err "%s: %s" file (Minic.Frontend.error_to_string e)
+    | prog ->
+        let r = guard_runtime file (fun () -> Interp.Eval.run prog) in
+        (match r.Interp.Eval.ret with
+        | Some v -> Fmt.pr "program result: %a@." Interp.Value.pp v
+        | None -> ());
+        Fmt.pr "interpreted %d statements, %.0f abstract cycles@.@."
+          r.Interp.Eval.steps r.Interp.Eval.profile.Interp.Profile.total_work;
+        let htg = Htg.Build.build prog r.Interp.Eval.profile in
+        Fmt.pr "%a" (Htg.Node.pp ~indent:0) htg;
+        match dot with
+        | Some path ->
+            Htg.Dot.to_file path htg;
+            Fmt.pr "task graph written to %s@." path
+        | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Print the profiled hierarchical task graph")
+    Term.(const run $ file $ dot_arg)
+
+(* ---------------- bench ---------------- *)
+
+let bench_cmd =
+  let bench_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+  in
+  let run name platform time_limit =
+    match Benchsuite.Suite.find name with
+    | None ->
+        exit_err "unknown benchmark %S (try: %s)" name
+          (String.concat ", " Benchsuite.Suite.names)
+    | Some b ->
+        let ctx =
+          Report.Experiments.create ~cfg:(cfg_of time_limit) ()
+        in
+        let homo =
+          Report.Experiments.run ctx b platform Parcore.Parallelize.Homogeneous
+        in
+        let het =
+          Report.Experiments.run ctx b platform Parcore.Parallelize.Heterogeneous
+        in
+        Fmt.pr "%s on %s: homogeneous %.2fx, heterogeneous %.2fx (max %.2fx)@."
+          name platform.Platform.Desc.name homo.Report.Experiments.speedup
+          het.Report.Experiments.speedup
+          (Platform.Desc.theoretical_speedup platform)
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Run one suite benchmark through both approaches")
+    Term.(const run $ bench_name $ platform_arg $ time_limit_arg)
+
+(* ---------------- experiments ---------------- *)
+
+let experiments_cmd =
+  let which =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"Subset to run: fig7a fig7b fig8a fig8b table1 ablation \
+                energy micro-free subset (default: all).")
+  in
+  let run which time_limit =
+    let ctx = Report.Experiments.create ~cfg:(cfg_of time_limit) () in
+    let all = [ "fig7a"; "fig7b"; "fig8a"; "fig8b"; "table1" ] in
+    let which = if which = [] then all else which in
+    List.iter
+      (fun id ->
+        match id with
+        | "fig7a" -> print_string (Report.Experiments.(render_figure (fig7a ctx)))
+        | "fig7b" -> print_string (Report.Experiments.(render_figure (fig7b ctx)))
+        | "fig8a" -> print_string (Report.Experiments.(render_figure (fig8a ctx)))
+        | "fig8b" -> print_string (Report.Experiments.(render_figure (fig8b ctx)))
+        | "table1" ->
+            print_string
+              (Report.Experiments.(render_table1 (table1 ctx)))
+        | "ablation" ->
+            print_string
+              (Report.Experiments.(
+                 render_ablation (ablation ctx Platform.Presets.platform_a_accel)))
+        | "energy" ->
+            print_string
+              (Report.Experiments.(
+                 render_energy (energy_table ctx Platform.Presets.platform_a_accel)))
+        | other -> exit_err "unknown experiment %S" other)
+      which
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's figures and tables")
+    Term.(const run $ which $ time_limit_arg)
+
+(* ---------------- list ---------------- *)
+
+let list_cmd =
+  let run () =
+    Fmt.pr "benchmarks:@.";
+    List.iter
+      (fun (b : Benchsuite.Suite.t) ->
+        Fmt.pr "  %-16s %s@." b.Benchsuite.Suite.name
+          b.Benchsuite.Suite.description)
+      Benchsuite.Suite.all;
+    Fmt.pr "@.platform presets:@.";
+    List.iter
+      (fun (name, p) -> Fmt.pr "  %-18s %a@." name Platform.Desc.pp_summary p)
+      Platform.Presets.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List benchmarks and platform presets")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "mpsoc-par" ~version:"1.0.0"
+       ~doc:
+         "ILP-based extraction of task-level parallelism for heterogeneous \
+          MPSoCs (reproduction of Cordes et al., ICPP 2013)")
+    [ parallelize_cmd; analyze_cmd; bench_cmd; experiments_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

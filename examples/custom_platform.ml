@@ -1,0 +1,44 @@
+(* Defining a platform from the textual description format and watching
+   the parallelizer offload a sequential computation chain to a faster
+   accelerator class — the "task offloading" pattern of e.g. TI OMAP4
+   (fast A9s next to slower M3s), which class-oblivious tools cannot
+   exploit.
+
+   Run with:  dune exec examples/custom_platform.exe *)
+
+let description =
+  {|
+platform omap-like
+# the sequential application runs on the slow controller core
+class m3  freq 150 count 2 main
+# two fast cores are available as accelerators
+class a9  freq 600 cpi 0.9 count 2
+bus startup 1.5 per_byte 0.004
+tco 3.0
+|}
+
+(* latnrm's lattice recurrence cannot be split into tasks, but it CAN be
+   moved to a faster class wholesale. *)
+let () =
+  let platform = Platform.Parse.of_string description in
+  Fmt.pr "parsed platform: %a@.@." Platform.Desc.pp_summary platform;
+  let bench = Option.get (Benchsuite.Suite.find "latnrm_32") in
+  let out =
+    Parcore.Parallelize.run ~approach:Parcore.Parallelize.Heterogeneous
+      ~platform bench.Benchsuite.Suite.source
+  in
+  print_endline
+    (Parcore.Annotate.specification platform out.Parcore.Parallelize.htg
+       out.Parcore.Parallelize.algo.Parcore.Algorithm.root);
+  Fmt.pr "@.pre-mapping:@.";
+  List.iter
+    (fun (task, cls) -> Fmt.pr "  %s -> %s@." task cls)
+    (Parcore.Annotate.pre_mapping platform out.Parcore.Parallelize.htg
+       out.Parcore.Parallelize.algo.Parcore.Algorithm.root);
+  Fmt.pr "@.speedup: %.2fx (theoretical max %.2fx)@."
+    (Parcore.Parallelize.speedup out)
+    (Platform.Desc.theoretical_speedup platform);
+  Fmt.pr
+    "the sequential lattice chain lands on the fast a9 class even though \
+     no task parallelism exists in it — that is the mapping dimension the \
+     heterogeneous ILP adds.@."

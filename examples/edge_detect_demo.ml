@@ -1,0 +1,41 @@
+(* Domain example: the UTDSP edge_detect benchmark end to end on both of
+   the paper's evaluation scenarios of platform A.
+
+   Scenario I ("accelerator"): the sequential application lives on the
+   slow 100 MHz core, the faster cores act as accelerators.  Scenario II
+   ("slower cores"): the application lives on a fast 500 MHz core and the
+   slow cores were added for power/thermal reasons.  The same source gets
+   a different partitioning, balancing and mapping in each.
+
+   Run with:  dune exec examples/edge_detect_demo.exe *)
+
+let () =
+  let bench = Option.get (Benchsuite.Suite.find "edge_detect") in
+  let prog = Benchsuite.Suite.compile bench in
+  let profile = (Interp.Eval.run prog).Interp.Eval.profile in
+  Fmt.pr "benchmark: %s — %s@.@." bench.Benchsuite.Suite.name
+    bench.Benchsuite.Suite.description;
+
+  List.iter
+    (fun (label, platform) ->
+      Fmt.pr "=== %s ===@." label;
+      Fmt.pr "platform: %a@." Platform.Desc.pp_summary platform;
+      let het =
+        Parcore.Parallelize.run_program ~profile
+          ~approach:Parcore.Parallelize.Heterogeneous ~platform prog
+      in
+      let homo =
+        Parcore.Parallelize.run_program ~profile
+          ~approach:Parcore.Parallelize.Homogeneous ~platform prog
+      in
+      print_endline
+        (Parcore.Annotate.specification platform het.Parcore.Parallelize.htg
+           het.Parcore.Parallelize.algo.Parcore.Algorithm.root);
+      Fmt.pr "speedups: heterogeneous %.2fx | homogeneous [6] %.2fx | max %.2fx@.@."
+        (Parcore.Parallelize.speedup het)
+        (Parcore.Parallelize.speedup homo)
+        (Platform.Desc.theoretical_speedup platform))
+    [
+      ("scenario I: accelerator", Platform.Presets.platform_a_accel);
+      ("scenario II: slower cores", Platform.Presets.platform_a_slow);
+    ]

@@ -1,0 +1,86 @@
+(** UTDSP [adpcm_enc]: adaptive differential PCM encoder.  Four
+    independent channels; within a channel the predictor state makes the
+    sample loop strictly sequential, so task-level parallelism comes from
+    the coarse channel loop (DOALL with only 4 iterations — a stress test
+    for coarse-grained balancing on heterogeneous classes). *)
+
+let name = "adpcm_enc"
+let description = "ADPCM encoder, 4 channels x 4096 samples"
+
+let source =
+  {|
+/* adpcm_enc: 4-channel ADPCM encoder */
+float x[4][4096];
+int code[4][4096];
+
+int main() {
+  int ch;
+  int i;
+  int chk;
+
+  for (ch = 0; ch < 4; ch = ch + 1) {
+    for (i = 0; i < 4096; i = i + 1) {
+      x[ch][i] = sin(i * (0.01 + ch * 0.003)) * 0.8
+               + ((i * 13 + ch * 7) % 32) * 0.01;
+    }
+  }
+
+  for (ch = 0; ch < 4; ch = ch + 1) {
+    float pred;
+    float step;
+    int n;
+    pred = 0.0;
+    step = 0.02;
+    for (n = 0; n < 4096; n = n + 1) {
+      float diff;
+      float dq;
+      int q;
+      diff = x[ch][n] - pred;
+      q = 0;
+      if (diff < 0.0) {
+        q = 8;
+        diff = 0.0 - diff;
+      }
+      if (diff >= step) {
+        q = q + 4;
+        diff = diff - step;
+      }
+      if (diff >= step * 0.5) {
+        q = q + 2;
+        diff = diff - step * 0.5;
+      }
+      if (diff >= step * 0.25) {
+        q = q + 1;
+      }
+      code[ch][n] = q;
+      /* inverse quantize and update the predictor */
+      dq = step * ((q & 7) * 0.25 + 0.125);
+      if (q >= 8) {
+        pred = pred - dq;
+      } else {
+        pred = pred + dq;
+      }
+      /* step adaptation with clamping */
+      if ((q & 7) >= 4) {
+        step = step * 1.1;
+      } else {
+        step = step * 0.98;
+      }
+      if (step < 0.001) {
+        step = 0.001;
+      }
+      if (step > 1.0) {
+        step = 1.0;
+      }
+    }
+  }
+
+  chk = 0;
+  for (ch = 0; ch < 4; ch = ch + 1) {
+    for (i = 0; i < 4096; i = i + 32) {
+      chk = chk + code[ch][i];
+    }
+  }
+  return chk;
+}
+|}

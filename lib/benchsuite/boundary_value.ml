@@ -1,0 +1,45 @@
+(** The boundary value problem from the paper's evaluation: iterative
+    Jacobi relaxation of a 1-D two-point boundary value problem.  The
+    outer time loop carries a dependence; both inner sweeps are DOALL with
+    a fresh fork per sweep — the kernel the paper reports 11-12x on. *)
+
+let name = "boundary_value"
+let description = "1-D boundary value problem, Jacobi relaxation (50 sweeps)"
+
+let source =
+  {|
+/* boundary value problem: u'' = f with Dirichlet boundaries */
+float u[4098];
+float unew[4098];
+float f[4098];
+
+int main() {
+  int i;
+  int t;
+  int chk;
+
+  for (i = 0; i < 4098; i = i + 1) {
+    u[i] = 0.0;
+    f[i] = 0.001 * ((i % 37) - 18);
+  }
+  u[0] = 1.0;
+  u[4097] = -1.0;
+  unew[0] = 1.0;
+  unew[4097] = -1.0;
+
+  for (t = 0; t < 50; t = t + 1) {
+    for (i = 1; i < 4097; i = i + 1) {
+      unew[i] = 0.5 * (u[i - 1] + u[i + 1]) - f[i];
+    }
+    for (i = 1; i < 4097; i = i + 1) {
+      u[i] = unew[i];
+    }
+  }
+
+  chk = 0;
+  for (i = 0; i < 4098; i = i + 16) {
+    chk = chk + (int) (u[i] * 1000.0);
+  }
+  return chk;
+}
+|}

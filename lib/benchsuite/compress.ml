@@ -1,0 +1,99 @@
+(** UTDSP [compress]: DCT-based image compression.  A 128x128 image stored
+    block-major (256 blocks of 8x8) is transformed by a separable 2-D DCT
+    and quantized; the per-block loop is DOALL.  Exercises user-defined
+    functions in the hot loop (the inliner's by-name propagation keeps the
+    block index visible to the loop analyses). *)
+
+let name = "compress"
+let description = "DCT image compression, 256 blocks of 8x8"
+
+let source =
+  {|
+/* compress: block DCT + quantization */
+float img[256][8][8];
+float tmp[256][8][8];
+float coef[256][8][8];
+float cosm[8][8];
+int qout[256][8][8];
+
+/* one DCT pass over the rows of block blk: b[blk] = cm * a[blk] */
+void dct_rows(float a[256][8][8], float b[256][8][8], float cm[8][8], int blk) {
+  int u;
+  int yy;
+  for (u = 0; u < 8; u = u + 1) {
+    for (yy = 0; yy < 8; yy = yy + 1) {
+      float s;
+      int xx;
+      s = 0.0;
+      for (xx = 0; xx < 8; xx = xx + 1) {
+        s = s + cm[u][xx] * a[blk][xx][yy];
+      }
+      b[blk][u][yy] = s;
+    }
+  }
+}
+
+/* second pass over columns: c[blk] = b[blk] * cm^T */
+void dct_cols(float b[256][8][8], float c[256][8][8], float cm[8][8], int blk) {
+  int u;
+  int v;
+  for (u = 0; u < 8; u = u + 1) {
+    for (v = 0; v < 8; v = v + 1) {
+      float s;
+      int xx;
+      s = 0.0;
+      for (xx = 0; xx < 8; xx = xx + 1) {
+        s = s + b[blk][u][xx] * cm[v][xx];
+      }
+      c[blk][u][v] = s;
+    }
+  }
+}
+
+int main() {
+  int blk;
+  int i;
+  int j;
+  int chk;
+
+  /* DCT basis */
+  for (i = 0; i < 8; i = i + 1) {
+    for (j = 0; j < 8; j = j + 1) {
+      cosm[i][j] = cos((2 * j + 1) * i * 0.19634954) * 0.5;
+    }
+  }
+  /* synthetic image, index-derived */
+  for (blk = 0; blk < 256; blk = blk + 1) {
+    for (i = 0; i < 8; i = i + 1) {
+      for (j = 0; j < 8; j = j + 1) {
+        img[blk][i][j] = ((blk * 7 + i * 13 + j * 29) % 256) - 128.0;
+      }
+    }
+  }
+
+  /* per-block 2-D DCT and quantization */
+  for (blk = 0; blk < 256; blk = blk + 1) {
+    int u;
+    int v;
+    dct_rows(img, tmp, cosm, blk);
+    dct_cols(tmp, coef, cosm, blk);
+    for (u = 0; u < 8; u = u + 1) {
+      for (v = 0; v < 8; v = v + 1) {
+        float q;
+        q = 1.0 + (u + v) * 2.0;
+        qout[blk][u][v] = (int) (coef[blk][u][v] / q);
+      }
+    }
+  }
+
+  chk = 0;
+  for (blk = 0; blk < 256; blk = blk + 8) {
+    for (i = 0; i < 8; i = i + 1) {
+      for (j = 0; j < 8; j = j + 1) {
+        chk = chk + qout[blk][i][j] % 16;
+      }
+    }
+  }
+  return chk;
+}
+|}

@@ -1,0 +1,50 @@
+(** UTDSP [edge_detect]: Sobel gradient magnitude with thresholding over a
+    256x256 image (258x258 with a halo).  The row loop is DOALL. *)
+
+let name = "edge_detect"
+let description = "Sobel edge detection, 256x256 image"
+
+let source =
+  {|
+/* edge_detect: Sobel operator + threshold */
+float img[258][258];
+float mag[258][258];
+
+int main() {
+  int i;
+  int j;
+  int chk;
+
+  for (i = 0; i < 258; i = i + 1) {
+    for (j = 0; j < 258; j = j + 1) {
+      img[i][j] = ((i * 17 + j * 31) % 64) * 0.03 + ((i * j) % 7) * 0.1;
+    }
+  }
+
+  for (i = 1; i < 257; i = i + 1) {
+    for (j = 1; j < 257; j = j + 1) {
+      float gx;
+      float gy;
+      float g;
+      gx = img[i - 1][j + 1] + 2.0 * img[i][j + 1] + img[i + 1][j + 1]
+         - img[i - 1][j - 1] - 2.0 * img[i][j - 1] - img[i + 1][j - 1];
+      gy = img[i + 1][j - 1] + 2.0 * img[i + 1][j] + img[i + 1][j + 1]
+         - img[i - 1][j - 1] - 2.0 * img[i - 1][j] - img[i - 1][j + 1];
+      g = fabs(gx) + fabs(gy);
+      if (g > 2.0) {
+        mag[i][j] = 1.0;
+      } else {
+        mag[i][j] = g * 0.5;
+      }
+    }
+  }
+
+  chk = 0;
+  for (i = 1; i < 257; i = i + 8) {
+    for (j = 1; j < 257; j = j + 8) {
+      chk = chk + (int) (mag[i][j] * 4.0);
+    }
+  }
+  return chk;
+}
+|}

@@ -1,0 +1,61 @@
+(** UTDSP [filterbank]: an 8-channel analysis filterbank (64-tap FIR per
+    channel) followed by a recombination stage.  The channel loop is
+    DOALL with heavy per-channel work — the largest kernel of the suite. *)
+
+let name = "filterbank"
+let description = "8-channel 64-tap filterbank over 2048 samples"
+
+let source =
+  {|
+/* filterbank: 8 channels x 64-tap FIR + recombination */
+float x[2112];
+float h[8][64];
+float sub[8][2048];
+float out[2048];
+
+int main() {
+  int ch;
+  int n;
+  int chk;
+
+  for (n = 0; n < 2112; n = n + 1) {
+    x[n] = sin(n * 0.021) * 0.6 + ((n * 7) % 41) * 0.01;
+  }
+  for (ch = 0; ch < 8; ch = ch + 1) {
+    for (n = 0; n < 64; n = n + 1) {
+      h[ch][n] = cos(n * (0.02 + ch * 0.015)) * 0.015;
+    }
+  }
+
+  /* analysis: DOALL over channels */
+  for (ch = 0; ch < 8; ch = ch + 1) {
+    int m;
+    for (m = 0; m < 2048; m = m + 1) {
+      float acc;
+      int k;
+      acc = 0.0;
+      for (k = 0; k < 64; k = k + 1) {
+        acc = acc + h[ch][k] * x[m + k];
+      }
+      sub[ch][m] = acc;
+    }
+  }
+
+  /* recombination: DOALL over samples */
+  for (n = 0; n < 2048; n = n + 1) {
+    float s;
+    int c2;
+    s = 0.0;
+    for (c2 = 0; c2 < 8; c2 = c2 + 1) {
+      s = s + sub[c2][n];
+    }
+    out[n] = s * 0.125;
+  }
+
+  chk = 0;
+  for (n = 0; n < 2048; n = n + 16) {
+    chk = chk + (int) (out[n] * 1000.0);
+  }
+  return chk;
+}
+|}

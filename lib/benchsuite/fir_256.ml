@@ -1,0 +1,50 @@
+(** UTDSP [fir_256]: 256-tap finite impulse response filter over a 2048
+    sample signal.  The output loop is DOALL (the accumulator is a
+    per-iteration private), so the parallelizer can split its iteration
+    range across processor classes. *)
+
+let name = "fir_256"
+let description = "256-tap FIR filter, 2048 output samples"
+
+let source =
+  {|
+/* fir_256: 256-tap FIR filter */
+float x[2304];
+float c[256];
+float y[2048];
+
+int main() {
+  int i;
+  int n;
+  int seed;
+  int chk;
+
+  /* deterministic input signal (LCG) - inherently sequential init */
+  seed = 7;
+  for (i = 0; i < 2304; i = i + 1) {
+    seed = (seed * 1103 + 12345) % 65536;
+    x[i] = (seed - 32768) * 0.0001;
+  }
+  /* coefficients from a closed form - parallelizable init */
+  for (i = 0; i < 256; i = i + 1) {
+    c[i] = sin(0.01 * i) * 0.01 + 0.002;
+  }
+
+  /* the filter itself: y[n] = sum_k c[k] * x[n+k] */
+  for (n = 0; n < 2048; n = n + 1) {
+    float acc;
+    int k;
+    acc = 0.0;
+    for (k = 0; k < 256; k = k + 1) {
+      acc = acc + c[k] * x[n + k];
+    }
+    y[n] = acc;
+  }
+
+  chk = 0;
+  for (n = 0; n < 2048; n = n + 16) {
+    chk = chk + (int) (y[n] * 100.0);
+  }
+  return chk;
+}
+|}

@@ -1,0 +1,69 @@
+(** UTDSP [iir_4]: cascade of four direct-form-II biquad sections applied
+    to eight independent channels.  The per-sample recurrence serializes a
+    channel; the channel loop is DOALL (8 iterations). *)
+
+let name = "iir_4"
+let description = "4-section IIR biquad cascade, 8 channels x 4096 samples"
+
+let source =
+  {|
+/* iir_4: 4-section biquad cascade */
+float x[8][4096];
+float y[8][4096];
+float cb0[4];
+float cb1[4];
+float cb2[4];
+float ca1[4];
+float ca2[4];
+
+int main() {
+  int ch;
+  int i;
+  int s;
+  int chk;
+
+  for (s = 0; s < 4; s = s + 1) {
+    cb0[s] = 0.2 + s * 0.01;
+    cb1[s] = 0.3 - s * 0.02;
+    cb2[s] = 0.1 + s * 0.005;
+    ca1[s] = 0.4 - s * 0.03;
+    ca2[s] = 0.1 + s * 0.01;
+  }
+  for (ch = 0; ch < 8; ch = ch + 1) {
+    for (i = 0; i < 4096; i = i + 1) {
+      x[ch][i] = ((i * 29 + ch * 101) % 128) * 0.01 - 0.64;
+    }
+  }
+
+  for (ch = 0; ch < 8; ch = ch + 1) {
+    float z0[4];
+    float z1[4];
+    int n;
+    int sec;
+    for (sec = 0; sec < 4; sec = sec + 1) {
+      z0[sec] = 0.0;
+      z1[sec] = 0.0;
+    }
+    for (n = 0; n < 4096; n = n + 1) {
+      float v;
+      v = x[ch][n];
+      for (sec = 0; sec < 4; sec = sec + 1) {
+        float w;
+        w = v - ca1[sec] * z0[sec] - ca2[sec] * z1[sec];
+        v = cb0[sec] * w + cb1[sec] * z0[sec] + cb2[sec] * z1[sec];
+        z1[sec] = z0[sec];
+        z0[sec] = w;
+      }
+      y[ch][n] = v;
+    }
+  }
+
+  chk = 0;
+  for (ch = 0; ch < 8; ch = ch + 1) {
+    for (i = 0; i < 4096; i = i + 32) {
+      chk = chk + (int) (y[ch][i] * 50.0);
+    }
+  }
+  return chk;
+}
+|}

@@ -1,0 +1,81 @@
+(** UTDSP [latnrm_32]: 32nd-order normalized lattice filter.  The lattice
+    recurrence is strictly sequential in both the sample and the stage
+    dimension, so the only options for the parallelizer are offloading the
+    chain to a faster class (scenario I) and splitting the windowing /
+    normalization stages — with sizeable arrays moving between stages,
+    this is one of the paper's communication-bound weak cases. *)
+
+let name = "latnrm_32"
+let description = "32nd-order normalized lattice filter, 4096 samples"
+
+let source =
+  {|
+/* latnrm_32: normalized lattice filter */
+float x[4096];
+float w[4096];
+float y[4096];
+float out[4096];
+float ck[32];
+float cv[32];
+
+int main() {
+  int i;
+  int n;
+  int chk;
+  float energy;
+
+  for (i = 0; i < 32; i = i + 1) {
+    ck[i] = 0.05 + 0.01 * (i % 7);
+    cv[i] = 0.9 - 0.02 * (i % 5);
+  }
+  for (i = 0; i < 4096; i = i + 1) {
+    x[i] = sin(i * 0.013) * 0.7 + ((i * 11) % 19) * 0.02;
+  }
+
+  /* windowing: DOALL */
+  for (n = 0; n < 4096; n = n + 1) {
+    w[n] = x[n] * (0.54 - 0.46 * cos(n * 0.0015339808));
+  }
+
+  /* normalized lattice: sequential recurrence over samples and stages */
+  {
+    float st[32];
+    int k;
+    for (k = 0; k < 32; k = k + 1) {
+      st[k] = 0.0;
+    }
+    for (n = 0; n < 4096; n = n + 1) {
+      float f;
+      float b;
+      f = w[n];
+      b = w[n];
+      for (k = 0; k < 32; k = k + 1) {
+        float fnext;
+        fnext = f - ck[k] * st[k];
+        b = st[k] + ck[k] * fnext;
+        st[k] = b * cv[k];
+        f = fnext;
+      }
+      y[n] = f;
+    }
+  }
+
+  /* energy: sequential reduction */
+  energy = 0.0;
+  for (n = 0; n < 4096; n = n + 1) {
+    energy = energy + y[n] * y[n];
+  }
+  energy = sqrt(energy / 4096.0) + 0.001;
+
+  /* normalization: DOALL */
+  for (n = 0; n < 4096; n = n + 1) {
+    out[n] = y[n] / energy;
+  }
+
+  chk = 0;
+  for (n = 0; n < 4096; n = n + 16) {
+    chk = chk + (int) (out[n] * 100.0);
+  }
+  return chk;
+}
+|}

@@ -1,0 +1,56 @@
+(** UTDSP [mult_10]: 10x10 matrix multiplication, run over a batch of 200
+    matrix pairs (the realistic embedded use: a stream of small blocks).
+    The batch loop is DOALL — one of the paper's best-scaling kernels. *)
+
+let name = "mult_10"
+let description = "batched 10x10 matrix multiplication (200 pairs)"
+
+let source =
+  {|
+/* mult_10: batched 10x10 matrix multiply */
+float ma[200][10][10];
+float mb[200][10][10];
+float mc[200][10][10];
+
+int main() {
+  int bi;
+  int i;
+  int j;
+  int chk;
+
+  /* index-derived init: fully parallel */
+  for (bi = 0; bi < 200; bi = bi + 1) {
+    for (i = 0; i < 10; i = i + 1) {
+      for (j = 0; j < 10; j = j + 1) {
+        ma[bi][i][j] = ((bi * 31 + i * 7 + j * 3) % 17) * 0.25 - 2.0;
+        mb[bi][i][j] = ((bi * 13 + i * 5 + j * 11) % 23) * 0.125 - 1.5;
+      }
+    }
+  }
+
+  /* mc = ma * mb per batch element */
+  for (bi = 0; bi < 200; bi = bi + 1) {
+    int r;
+    int cc;
+    for (r = 0; r < 10; r = r + 1) {
+      for (cc = 0; cc < 10; cc = cc + 1) {
+        float acc;
+        int k;
+        acc = 0.0;
+        for (k = 0; k < 10; k = k + 1) {
+          acc = acc + ma[bi][r][k] * mb[bi][k][cc];
+        }
+        mc[bi][r][cc] = acc;
+      }
+    }
+  }
+
+  chk = 0;
+  for (bi = 0; bi < 200; bi = bi + 1) {
+    for (i = 0; i < 10; i = i + 1) {
+      chk = chk + (int) (mc[bi][i][i] * 10.0);
+    }
+  }
+  return chk;
+}
+|}

@@ -1,0 +1,77 @@
+(** UTDSP [spectral]: spectral estimation via autocorrelation and a direct
+    DFT periodogram.  A pipeline of stages with data flowing between them:
+    window -> autocorrelation (DOALL over lags) -> DFT (DOALL over
+    frequency bins) -> sequential peak search. *)
+
+let name = "spectral"
+let description = "spectral estimation: autocorrelation + 128-bin periodogram"
+
+let source =
+  {|
+/* spectral: autocorrelation + periodogram */
+float x[2048];
+float w[2048];
+float r[128];
+float psd[128];
+
+int main() {
+  int n;
+  int lag;
+  int k;
+  int chk;
+  float peak;
+  int peak_idx;
+
+  for (n = 0; n < 2048; n = n + 1) {
+    x[n] = sin(n * 0.05) + 0.5 * sin(n * 0.11) + ((n * 17) % 23) * 0.01;
+  }
+
+  /* windowing: DOALL */
+  for (n = 0; n < 2048; n = n + 1) {
+    w[n] = x[n] * (0.5 - 0.5 * cos(n * 0.0030679616));
+  }
+
+  /* autocorrelation: DOALL over lags */
+  for (lag = 0; lag < 128; lag = lag + 1) {
+    float acc;
+    int m;
+    acc = 0.0;
+    for (m = 0; m < 1920; m = m + 1) {
+      acc = acc + w[m] * w[m + lag];
+    }
+    r[lag] = acc / 1920.0;
+  }
+
+  /* periodogram via direct DFT of the autocorrelation: DOALL over bins */
+  for (k = 0; k < 128; k = k + 1) {
+    float re;
+    float im;
+    int m;
+    re = 0.0;
+    im = 0.0;
+    for (m = 0; m < 128; m = m + 1) {
+      float ang;
+      ang = 0.049087385 * k * m;
+      re = re + r[m] * cos(ang);
+      im = im - r[m] * sin(ang);
+    }
+    psd[k] = re * re + im * im;
+  }
+
+  /* peak search: sequential reduction */
+  peak = 0.0;
+  peak_idx = 0;
+  for (k = 0; k < 128; k = k + 1) {
+    if (psd[k] > peak) {
+      peak = psd[k];
+      peak_idx = k;
+    }
+  }
+
+  chk = peak_idx * 1000;
+  for (k = 0; k < 128; k = k + 1) {
+    chk = chk + (int) (psd[k] * 10.0);
+  }
+  return chk;
+}
+|}

@@ -1,0 +1,26 @@
+(** The benchmark suite of the paper's evaluation (Section VI): the UTDSP
+    kernels plus the boundary value problem, rewritten in Mini-C with the
+    dependence structure of the originals (DOALL-dominated vs.
+    recurrence-dominated vs. communication-bound). *)
+
+type t = { name : string; description : string; source : string }
+
+let all : t list =
+  [
+    { name = Adpcm_enc.name; description = Adpcm_enc.description; source = Adpcm_enc.source };
+    { name = Boundary_value.name; description = Boundary_value.description; source = Boundary_value.source };
+    { name = Compress.name; description = Compress.description; source = Compress.source };
+    { name = Edge_detect.name; description = Edge_detect.description; source = Edge_detect.source };
+    { name = Filterbank.name; description = Filterbank.description; source = Filterbank.source };
+    { name = Fir_256.name; description = Fir_256.description; source = Fir_256.source };
+    { name = Iir_4.name; description = Iir_4.description; source = Iir_4.source };
+    { name = Latnrm_32.name; description = Latnrm_32.description; source = Latnrm_32.source };
+    { name = Mult_10.name; description = Mult_10.description; source = Mult_10.source };
+    { name = Spectral.name; description = Spectral.description; source = Spectral.source };
+  ]
+
+let names = List.map (fun b -> b.name) all
+let find name = List.find_opt (fun b -> String.equal b.name name) all
+
+(** Compile a benchmark through the full frontend (parse, check, inline). *)
+let compile (b : t) : Minic.Ast.program = Minic.Frontend.compile b.source

@@ -1,0 +1,12 @@
+(** The benchmark suite of the paper's evaluation: the UTDSP kernels plus
+    the boundary value problem, rewritten in Mini-C with the dependence
+    structure of the originals. *)
+
+type t = { name : string; description : string; source : string }
+
+val all : t list
+val names : string list
+val find : string -> t option
+
+(** Compile a benchmark through the full frontend. *)
+val compile : t -> Minic.Ast.program

@@ -1,0 +1,142 @@
+(** The global parallelization algorithm (paper Algorithm 1).
+
+    Bottom-up over the AHTG: children are parallelized first; then, for the
+    node itself, the ILP ([Formulation.solve]) is run once per processor
+    class (as the main task's class) and per decreasing processor budget,
+    collecting tagged parallel solution candidates.  DOALL loops
+    additionally receive iteration-splitting candidates from
+    {!Loop_split}.  Candidate sets are Pareto-pruned per class; a per-class
+    sequential candidate is always retained, which guarantees feasibility
+    of every parent ILP (Section IV-K note in the paper). *)
+
+type result = {
+  root_set : Solution.set;
+  root : Solution.t;  (** best candidate whose main class is the platform's *)
+  sets : (int, Solution.set) Hashtbl.t;  (** per AHTG node id *)
+  stats : Ilp.Stats.t;
+  wall_time_s : float;
+}
+
+(** Sequential candidate of [node] on class [cls]: children (if any) use
+    their own sequential candidates of the same class. *)
+let rec seq_candidate (sets : (int, Solution.set) Hashtbl.t)
+    (pf : Platform.Desc.t) (node : Htg.Node.t) cls : Solution.t =
+  let child_seq =
+    Array.map
+      (fun (c : Htg.Node.t) ->
+        match Hashtbl.find_opt sets c.Htg.Node.id with
+        | Some set -> Solution.seq_of set cls
+        | None -> seq_candidate sets pf c cls)
+      node.Htg.Node.children
+  in
+  {
+    Solution.node_id = node.Htg.Node.id;
+    main_class = cls;
+    time_us = Htg.Node.seq_time_us pf ~cls node;
+    extra_units = Array.make (Platform.Desc.num_classes pf) 0;
+    kind = Solution.Seq child_seq;
+  }
+
+let parallelize ?(cfg = Config.default) ?stats (pf : Platform.Desc.t)
+    (root_node : Htg.Node.t) : result =
+  let t0 = Sys.time () in
+  let stats = match stats with Some s -> s | None -> Ilp.Stats.create () in
+  let sets : (int, Solution.set) Hashtbl.t = Hashtbl.create 64 in
+  let nclasses = Platform.Desc.num_classes pf in
+  let total_units = Platform.Desc.total_units pf in
+  let rec go (node : Htg.Node.t) : Solution.set =
+    match Hashtbl.find_opt sets node.Htg.Node.id with
+    | Some set -> set
+    | None ->
+        (* bottom-up: children first *)
+        let child_sets = Array.map go node.Htg.Node.children in
+        let res : Solution.t list array =
+          Array.init nclasses (fun c -> [ seq_candidate sets pf node c ])
+        in
+        if Htg.Node.is_hierarchical node then begin
+          for seq_class = 0 to nclasses - 1 do
+            let seq_time = Htg.Node.seq_time_us pf ~cls:seq_class node in
+            let consider (r : Solution.t) =
+              if r.Solution.time_us *. cfg.Config.min_parallel_gain < seq_time
+              then res.(seq_class) <- r :: res.(seq_class)
+            in
+            (* ILPPAR sweep over decreasing budgets (Algorithm 1 l.14-20) *)
+            let i = ref total_units in
+            while !i > 1 do
+              match
+                Formulation.solve ~stats
+                  {
+                    Formulation.node;
+                    child_sets;
+                    pf;
+                    seq_class;
+                    budget = !i;
+                    cfg;
+                  }
+              with
+              | Some r ->
+                  consider r;
+                  i := Solution.total_units r - 1
+              | None -> i := 0
+            done;
+            (* DOALL loops: iteration-splitting candidates *)
+            if Htg.Node.is_doall node && cfg.Config.enable_loop_split then begin
+              let i = ref total_units in
+              while !i > 1 do
+                match
+                  Loop_split.solve ~stats
+                    { Loop_split.node; pf; seq_class; budget = !i; cfg }
+                with
+                | Some r ->
+                    consider r;
+                    i := Solution.total_units r - 1
+                | None -> i := 0
+              done
+            end;
+            (* sequential loops: pipeline-stage candidates (extension) *)
+            if cfg.Config.enable_pipeline then begin
+              let i = ref total_units in
+              while !i > 1 do
+                match
+                  Pipeline.solve ~stats
+                    { Pipeline.node; pf; seq_class; budget = !i; cfg }
+                with
+                | Some r ->
+                    consider r;
+                    i := Solution.total_units r - 1
+                | None -> i := 0
+              done
+            end
+          done
+        end;
+        let set =
+          Array.map
+            (fun cands ->
+              Solution.prune ~max_keep:(cfg.Config.max_candidates_per_class + 1)
+                cands)
+            res
+        in
+        (* re-insert the sequential candidate if pruning dropped it *)
+        let set =
+          Array.mapi
+            (fun c cands ->
+              if List.exists Solution.is_sequential cands then cands
+              else seq_candidate sets pf node c :: cands)
+            set
+        in
+        Hashtbl.replace sets node.Htg.Node.id set;
+        set
+  in
+  let root_set = go root_node in
+  (* the application's sequential context runs on the platform's main
+     class; implement the best candidate tagged with it (Algorithm 1 l.4) *)
+  let main_cls = pf.Platform.Desc.main_class in
+  let root =
+    match root_set.(main_cls) with
+    | [] -> seq_candidate sets pf root_node main_cls
+    | x :: rest ->
+        List.fold_left
+          (fun acc s -> if s.Solution.time_us < acc.Solution.time_us then s else acc)
+          x rest
+  in
+  { root_set; root; sets; stats; wall_time_s = Sys.time () -. t0 }

@@ -1,0 +1,29 @@
+(** The global parallelization algorithm (paper Algorithm 1): bottom-up
+    over the AHTG, running the partitioning-and-mapping ILP once per
+    processor class and per decreasing processor budget, collecting tagged
+    parallel solution candidates per node; DOALL loops additionally
+    receive iteration-splitting candidates.  Sets are Pareto-pruned per
+    class with the per-class sequential candidate always retained (which
+    guarantees feasibility of every parent ILP). *)
+
+type result = {
+  root_set : Solution.set;
+  root : Solution.t;
+      (** best candidate whose main class is the platform's main class —
+          the one Algorithm 1 line 4 implements *)
+  sets : (int, Solution.set) Hashtbl.t;  (** per AHTG node id *)
+  stats : Ilp.Stats.t;
+  wall_time_s : float;
+}
+
+(** Sequential candidate of a node on a class (children, if any, use their
+    sequential candidates of the same class). *)
+val seq_candidate :
+  (int, Solution.set) Hashtbl.t ->
+  Platform.Desc.t ->
+  Htg.Node.t ->
+  int ->
+  Solution.t
+
+val parallelize :
+  ?cfg:Config.t -> ?stats:Ilp.Stats.t -> Platform.Desc.t -> Htg.Node.t -> result

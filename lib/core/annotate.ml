@@ -1,0 +1,125 @@
+(** Human-readable annotation output: the parallel specification and the
+    task-to-processor-class pre-mapping the paper's tool emits for the
+    ATOMIUM/MPA tools (or as an OpenMP extension).  We render both as one
+    pragma-style report keyed to AHTG node labels. *)
+
+let class_name (pf : Platform.Desc.t) c =
+  if c >= 0 && c < Platform.Desc.num_classes pf then
+    (Platform.Desc.proc_class pf c).Platform.Proc_class.name
+  else "?"
+
+let rec emit buf pf ~indent (node : Htg.Node.t) (sol : Solution.t) =
+  let pad = String.make (2 * indent) ' ' in
+  match sol.Solution.kind with
+  | Solution.Seq _ ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s// %s: sequential on %s (%.1f us)\n" pad
+           node.Htg.Node.label
+           (class_name pf sol.Solution.main_class)
+           sol.Solution.time_us)
+  | Solution.Split sp ->
+      let total = Array.fold_left ( +. ) 0. sp.Solution.chunk_iters in
+      Buffer.add_string buf
+        (Printf.sprintf "%s#pragma par split %s  // %.1f us\n" pad
+           node.Htg.Node.label sol.Solution.time_us);
+      Array.iteri
+        (fun t iters ->
+          if iters > 0. then
+            Buffer.add_string buf
+              (Printf.sprintf "%s  task %d on %s: %.0f/%.0f iterations\n" pad t
+                 (class_name pf sp.Solution.split_class.(t))
+                 iters total))
+        sp.Solution.chunk_iters
+  | Solution.Pipeline p ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%s#pragma par pipeline %s  // %.1f us, bottleneck %.2f us/iter\n"
+           pad node.Htg.Node.label sol.Solution.time_us
+           p.Solution.bottleneck_us);
+      Array.iteri
+        (fun t cls ->
+          if cls >= 0 then begin
+            Buffer.add_string buf
+              (Printf.sprintf "%s  stage %d on %s: statements" pad t
+                 (class_name pf cls));
+            Array.iteri
+              (fun n st -> if st = t then Buffer.add_string buf (Printf.sprintf " %d" n))
+              p.Solution.stage_of;
+            Buffer.add_string buf "\n"
+          end)
+        p.Solution.stage_class
+  | Solution.Par p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s#pragma par region %s  // %.1f us\n" pad
+           node.Htg.Node.label sol.Solution.time_us);
+      let ntasks = Array.length p.Solution.task_class in
+      for t = 0 to ntasks - 1 do
+        if p.Solution.task_class.(t) >= 0 then begin
+          Buffer.add_string buf
+            (Printf.sprintf "%s  task %d on %s:\n" pad t
+               (class_name pf p.Solution.task_class.(t)));
+          Array.iteri
+            (fun n tt ->
+              if tt = t then
+                emit buf pf ~indent:(indent + 2)
+                  node.Htg.Node.children.(n)
+                  p.Solution.child_choice.(n))
+            p.Solution.assignment
+        end
+      done
+
+(** Render the chosen solution as an annotated parallel specification. *)
+let specification (pf : Platform.Desc.t) (htg : Htg.Node.t) (sol : Solution.t) :
+    string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "// parallel specification for platform: %s\n"
+       (Fmt.str "%a" Platform.Desc.pp_summary pf));
+  emit buf pf ~indent:0 htg sol;
+  Buffer.contents buf
+
+(** The pre-mapping specification: a flat list of (task path, class). *)
+let pre_mapping (pf : Platform.Desc.t) (htg : Htg.Node.t) (sol : Solution.t) :
+    (string * string) list =
+  let out = ref [] in
+  let rec go path (node : Htg.Node.t) (s : Solution.t) =
+    match s.Solution.kind with
+    | Solution.Seq _ -> ()
+    | Solution.Split sp ->
+        Array.iteri
+          (fun t iters ->
+            if iters > 0. then
+              out :=
+                ( Printf.sprintf "%s/%s.chunk%d" path node.Htg.Node.label t,
+                  class_name pf sp.Solution.split_class.(t) )
+                :: !out)
+          sp.Solution.chunk_iters
+    | Solution.Pipeline p ->
+        Array.iteri
+          (fun t cls ->
+            if cls >= 0 then
+              out :=
+                ( Printf.sprintf "%s/%s.stage%d" path node.Htg.Node.label t,
+                  class_name pf cls )
+                :: !out)
+          p.Solution.stage_class
+    | Solution.Par p ->
+        Array.iteri
+          (fun t cls ->
+            if cls >= 0 then
+              out :=
+                ( Printf.sprintf "%s/%s.task%d" path node.Htg.Node.label t,
+                  class_name pf cls )
+                :: !out)
+          p.Solution.task_class;
+        Array.iteri
+          (fun n tt ->
+            ignore tt;
+            go
+              (Printf.sprintf "%s/%s" path node.Htg.Node.label)
+              node.Htg.Node.children.(n)
+              p.Solution.child_choice.(n))
+          p.Solution.assignment
+  in
+  go "" htg sol;
+  List.rev !out

@@ -1,0 +1,10 @@
+(** Human-readable annotation output: the parallel specification and the
+    task-to-processor-class pre-mapping the paper's tool emits for the
+    ATOMIUM/MPA tools (or as an OpenMP extension). *)
+
+(** Render the chosen solution as a pragma-style parallel specification. *)
+val specification : Platform.Desc.t -> Htg.Node.t -> Solution.t -> string
+
+(** The pre-mapping specification: (task path, class name) pairs. *)
+val pre_mapping :
+  Platform.Desc.t -> Htg.Node.t -> Solution.t -> (string * string) list

@@ -1,0 +1,48 @@
+(** Tuning knobs of the parallelization algorithm. *)
+
+type t = {
+  max_candidates_per_class : int;
+      (** cap on parallel solution candidates kept per (node, class) after
+          Pareto pruning; the per-class sequential candidate is always kept *)
+  ilp_time_limit_s : float;  (** wall budget per generated ILP *)
+  ilp_node_limit : int;  (** branch & bound node budget per ILP *)
+  max_children : int;  (** AHTG coalescing bound, see {!Htg.Build} *)
+  min_parallel_gain : float;
+      (** a parallel candidate must beat the same-class sequential time by
+          this factor to be kept (filters noise-level "improvements") *)
+  max_split_tasks : int;  (** cap on tasks for DOALL iteration splitting *)
+  enable_loop_split : bool;
+      (** expose the "loop iterations" granularity level (DOALL splitting);
+          disabling it is the E6 ablation *)
+  enable_pipeline : bool;
+      (** extract pipeline-parallel candidates from sequential loops — the
+          paper's future-work extension; off by default so the
+          reproduction of the paper's figures is unaffected *)
+  ilp_gap_rel : float;
+      (** relative optimality gap accepted by branch & bound; the paper's
+          solvers run to proven optimality, but a sub-percent gap changes
+          no mapping decision and keeps solve times in check *)
+}
+
+let default =
+  {
+    max_candidates_per_class = 3;
+    ilp_time_limit_s = 2.;
+    ilp_node_limit = 3_000;
+    max_children = 8;
+    min_parallel_gain = 1.02;
+    max_split_tasks = 8;
+    enable_loop_split = true;
+    enable_pipeline = false;
+    ilp_gap_rel = 0.005;
+  }
+
+(** Faster, slightly less exhaustive settings for unit tests. *)
+let fast =
+  {
+    default with
+    ilp_time_limit_s = 0.5;
+    ilp_node_limit = 800;
+    max_candidates_per_class = 2;
+    ilp_gap_rel = 0.01;
+  }

@@ -1,0 +1,27 @@
+(** Tuning knobs of the parallelization algorithm. *)
+
+type t = {
+  max_candidates_per_class : int;
+      (** cap on parallel candidates kept per (node, class) after Pareto
+          pruning; the per-class sequential candidate is always kept *)
+  ilp_time_limit_s : float;  (** wall budget per generated ILP *)
+  ilp_node_limit : int;  (** branch & bound node budget per ILP *)
+  max_children : int;  (** AHTG coalescing bound *)
+  min_parallel_gain : float;
+      (** a parallel candidate must beat the same-class sequential time by
+          this factor to be kept *)
+  max_split_tasks : int;  (** cap on tasks for DOALL iteration splitting *)
+  enable_loop_split : bool;
+      (** expose the "loop iterations" granularity level; disabling it is
+          the E6 ablation *)
+  enable_pipeline : bool;
+      (** extract pipeline-parallel candidates from sequential loops — the
+          paper's future-work extension, off by default *)
+  ilp_gap_rel : float;
+      (** relative optimality gap accepted by branch & bound *)
+}
+
+val default : t
+
+(** Faster, slightly less exhaustive settings for unit tests. *)
+val fast : t

@@ -1,0 +1,23 @@
+(** The heterogeneous partitioning-and-mapping ILP (paper Section IV,
+    Equations 1-18) for one hierarchical AHTG node: maps child nodes to
+    tasks, picks one previously computed candidate per child, tracks
+    predecessor relations, accumulates critical-path costs with creation
+    and communication overhead, and couples everything with a
+    task-to-processor-class mapping under per-class unit budgets.  See
+    the implementation header for the (behaviour-preserving) deviations
+    from the paper's notation. *)
+
+type input = {
+  node : Htg.Node.t;
+  child_sets : Solution.set array;
+  pf : Platform.Desc.t;
+  seq_class : int;  (** class of the main task for this sweep iteration *)
+  budget : int;  (** upper bound on allocatable processing units *)
+  cfg : Config.t;
+}
+
+(** Build and solve one ILPPAR instance.  [None] when the node has fewer
+    than two children or the budget admits no parallelism; otherwise the
+    extracted candidate (tagged [seq_class]), even if only the warm-start
+    incumbent survived the solver limits. *)
+val solve : ?stats:Ilp.Stats.t -> input -> Solution.t option

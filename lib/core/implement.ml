@@ -1,0 +1,372 @@
+(** Implementation stage: turn the chosen solution candidate into an
+    executable parallel program for the MPSoC simulator (the role the
+    ATOMIUM/MPA transformation plays in the paper's tool flow, Fig. 6).
+
+    Two realization modes:
+    - [realize]: classes chosen by the heterogeneous ILP are used as-is
+      (the pre-mapping specification of the paper);
+    - [realize_oblivious]: ignores the solution's class tags — as the
+      output of a class-oblivious (homogeneous) tool would be placed by a
+      mapping stage, tasks greedily take the fastest remaining physical
+      units, the main task staying on the platform's main core.  On a
+      heterogeneous machine some tasks inevitably land on slow cores,
+      which is exactly the effect the paper's Figures 7(b)/8(b) show. *)
+
+type mode =
+  | Pre_mapped  (** trust the solution's task-to-class mapping *)
+  | Oblivious  (** ignore it; allocate fastest-first from the real pool *)
+
+(* multiset of free units per class, mutated during a traversal *)
+type pool = int array
+
+let make_pool (pf : Platform.Desc.t) ~exclude_main : pool =
+  let units = Array.copy (Platform.Desc.units_per_class pf) in
+  if exclude_main then
+    units.(pf.Platform.Desc.main_class) <-
+      units.(pf.Platform.Desc.main_class) - 1;
+  units
+
+(** Fastest class (by effective speed) with a free unit; falls back to the
+    main class if the pool is exhausted (over-subscription guard). *)
+let take_fastest (pf : Platform.Desc.t) (pool : pool) : int =
+  let best = ref (-1) in
+  let best_speed = ref neg_infinity in
+  Array.iteri
+    (fun c n ->
+      if n > 0 then begin
+        let s = Platform.Proc_class.speed pf.Platform.Desc.classes.(c) in
+        if s > !best_speed then begin
+          best_speed := s;
+          best := c
+        end
+      end)
+    pool;
+  if !best >= 0 then begin
+    pool.(!best) <- pool.(!best) - 1;
+    !best
+  end
+  else pf.Platform.Desc.main_class
+
+let release (pool : pool) c = if c >= 0 then pool.(c) <- pool.(c) + 1
+
+(* ------------------------------------------------------------------ *)
+(* Dependence edges -> simulator deps                                  *)
+(* ------------------------------------------------------------------ *)
+
+let deps_of_edges (node : Htg.Node.t) (assignment : int array) : Sim.Prog.dep list
+    =
+  let tbl : (int * int * bool, float * float) Hashtbl.t = Hashtbl.create 16 in
+  let add ?(at_start = false) src dst bytes transfers =
+    if src <> dst then begin
+      let key = (src, dst, at_start) in
+      let b, tr =
+        match Hashtbl.find_opt tbl key with Some v -> v | None -> (0., 0.)
+      in
+      Hashtbl.replace tbl key (b +. bytes, tr +. transfers)
+    end
+  in
+  let children = node.Htg.Node.children in
+  List.iter
+    (fun (e : Htg.Node.edge) ->
+      let bytes = float_of_int e.Htg.Node.bytes in
+      match (e.Htg.Node.src, e.Htg.Node.dst) with
+      | Htg.Node.EChild i, Htg.Node.EChild j ->
+          let transfers =
+            Float.min children.(i).Htg.Node.exec_count
+              children.(j).Htg.Node.exec_count
+          in
+          let b, tr =
+            match e.Htg.Node.kind with
+            | Htg.Node.Flow -> (bytes, transfers)
+            | Htg.Node.Order -> (0., 0.)
+          in
+          add assignment.(i) assignment.(j) b tr
+      | Htg.Node.EIn, Htg.Node.EChild j ->
+          (* live-in data exists when the region starts *)
+          if e.Htg.Node.kind = Htg.Node.Flow then
+            add ~at_start:true 0 assignment.(j) bytes node.Htg.Node.exec_count
+      | Htg.Node.EChild i, Htg.Node.EOut ->
+          if e.Htg.Node.kind = Htg.Node.Flow then
+            add assignment.(i) 0 bytes node.Htg.Node.exec_count
+      | _ -> ())
+    node.Htg.Node.edges;
+  Hashtbl.fold
+    (fun (src, dst, at_start) (bytes, transfers) acc ->
+      (* forward or join-to-main only; anything else would be a cycle and
+         cannot be produced by the Eq-10-constrained ILP *)
+      if dst > src || dst = 0 then
+        { Sim.Prog.dsrc = src; ddst = dst; bytes; transfers; at_start } :: acc
+      else
+        (* would be a dependence cycle; Eq 10 makes it unreachable *)
+        invalid_arg
+          (Printf.sprintf
+             "Implement.deps_of_edges: backward dependence %d -> %d violates               the topological task ordering"
+             src dst))
+    tbl []
+  |> List.sort (fun a b ->
+         compare (a.Sim.Prog.dsrc, a.Sim.Prog.ddst) (b.Sim.Prog.dsrc, b.Sim.Prog.ddst))
+
+(* ------------------------------------------------------------------ *)
+(* Realization                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec realize_node ~mode (pf : Platform.Desc.t) (pool : pool)
+    (node : Htg.Node.t) (sol : Solution.t) ~cur_cls : Sim.Prog.node =
+  match sol.Solution.kind with
+  | Solution.Seq _ ->
+      Sim.Prog.work ~label:node.Htg.Node.label node.Htg.Node.total_cycles
+  | Solution.Split sp -> realize_split ~mode pf pool node sp ~cur_cls
+  | Solution.Par p -> realize_par ~mode pf pool node p ~cur_cls
+  | Solution.Pipeline p -> realize_pipeline ~mode pf pool node p ~cur_cls
+
+and task_class ~mode pf pool ~cur_cls ~is_main declared =
+  if is_main then cur_cls
+  else
+    match mode with
+    | Pre_mapped -> declared
+    | Oblivious -> take_fastest pf pool
+
+and realize_split ~mode pf pool (node : Htg.Node.t) (sp : Solution.split)
+    ~cur_cls : Sim.Prog.node =
+  let total_iters = Array.fold_left ( +. ) 0. sp.Solution.chunk_iters in
+  if total_iters <= 0. then
+    Sim.Prog.work ~label:node.Htg.Node.label node.Htg.Node.total_cycles
+  else begin
+    (* task 0 is always materialized: it spawns the chunks and hosts the
+       join, even when the ILP gave the (slow) main core zero iterations *)
+    let used =
+      0
+      :: List.filter
+           (fun t -> t > 0 && sp.Solution.chunk_iters.(t) > 0.)
+           (List.init (Array.length sp.Solution.chunk_iters) (fun t -> t))
+    in
+    let taken = ref [] in
+    let tasks =
+      Array.of_list
+        (List.mapi
+           (fun idx t ->
+             let cls =
+               task_class ~mode pf pool ~cur_cls ~is_main:(idx = 0)
+                 sp.Solution.split_class.(t)
+             in
+             if idx > 0 then taken := cls :: !taken;
+             let share = sp.Solution.chunk_iters.(t) /. total_iters in
+             {
+               Sim.Prog.tclass = cls;
+               body =
+                 Sim.Prog.work
+                   ~label:(Printf.sprintf "%s.chunk%d" node.Htg.Node.label t)
+                   (share *. node.Htg.Node.total_cycles);
+             })
+           used)
+    in
+    let deps =
+      List.concat
+        (List.mapi
+           (fun idx t ->
+             if idx = 0 then []
+             else begin
+               let share = sp.Solution.chunk_iters.(t) /. total_iters in
+               let inb = share *. float_of_int node.Htg.Node.live_in_bytes in
+               let outb = share *. float_of_int node.Htg.Node.live_out_bytes in
+               [
+                 {
+                   Sim.Prog.dsrc = 0;
+                   ddst = idx;
+                   bytes = inb;
+                   transfers = node.Htg.Node.exec_count;
+                   at_start = true;
+                 };
+                 {
+                   Sim.Prog.dsrc = idx;
+                   ddst = 0;
+                   bytes = outb;
+                   transfers = node.Htg.Node.exec_count;
+                   at_start = false;
+                 };
+               ]
+             end)
+           used)
+    in
+    let fork =
+      Sim.Prog.Fork
+        {
+          Sim.Prog.flabel = node.Htg.Node.label ^ ".split";
+          entries = node.Htg.Node.exec_count;
+          tasks;
+          deps;
+        }
+    in
+    List.iter (release pool) !taken;
+    fork
+  end
+
+and realize_par ~mode pf pool (node : Htg.Node.t) (p : Solution.par) ~cur_cls :
+    Sim.Prog.node =
+  let k = Array.length node.Htg.Node.children in
+  (* compress task indices to the used ones, keeping order (task 0 first) *)
+  let used_tasks =
+    List.filter
+      (fun t ->
+        t = 0
+        || Array.exists (fun a -> a = t) p.Solution.assignment)
+      (List.init (Array.length p.Solution.task_class) (fun t -> t))
+  in
+  let index_of = Hashtbl.create 8 in
+  List.iteri (fun idx t -> Hashtbl.replace index_of t idx) used_tasks;
+  let compressed_assignment =
+    Array.map (fun t -> Hashtbl.find index_of t) p.Solution.assignment
+  in
+  let header_cycles =
+    Float.max 0.
+      (node.Htg.Node.total_cycles
+      -. Array.fold_left
+           (fun acc c -> acc +. c.Htg.Node.total_cycles)
+           0. node.Htg.Node.children)
+  in
+  let taken = ref [] in
+  let tasks =
+    Array.of_list
+      (List.mapi
+         (fun idx t ->
+           let cls =
+             task_class ~mode pf pool ~cur_cls ~is_main:(idx = 0)
+               (if p.Solution.task_class.(t) >= 0 then p.Solution.task_class.(t)
+                else cur_cls)
+           in
+           if idx > 0 then taken := cls :: !taken;
+           let body_children =
+             List.filter_map
+               (fun n ->
+                 if compressed_assignment.(n) = idx then
+                   Some
+                     (realize_node ~mode pf pool node.Htg.Node.children.(n)
+                        p.Solution.child_choice.(n) ~cur_cls:cls)
+                 else None)
+               (List.init k (fun n -> n))
+           in
+           let body_children =
+             if idx = 0 && header_cycles > 0. then
+               Sim.Prog.work ~label:(node.Htg.Node.label ^ ".ctrl") header_cycles
+               :: body_children
+             else body_children
+           in
+           { Sim.Prog.tclass = cls; body = Sim.Prog.Seq body_children })
+         used_tasks)
+  in
+  let deps = deps_of_edges node compressed_assignment in
+  let fork =
+    Sim.Prog.Fork
+      {
+        Sim.Prog.flabel = node.Htg.Node.label;
+        entries = node.Htg.Node.exec_count;
+        tasks;
+        deps;
+      }
+  in
+  List.iter (release pool) !taken;
+  fork
+
+and realize_pipeline ~mode pf pool (node : Htg.Node.t) (p : Solution.pipeline)
+    ~cur_cls : Sim.Prog.node =
+  (* stages overlap across iterations: tasks carry their whole stage work
+     and run concurrently.  The pipeline fill ((stages-1) iterations of
+     the bottleneck) is neglected — a relative error below
+     stages/iterations, and the candidate's modelled time (which upper
+     levels see) does include it. *)
+  (* stage 0 is always materialized as the main/coordinator task, even
+     when the ILP left it empty (all work on faster classes) *)
+  let stages =
+    0
+    :: List.filter
+         (fun t -> t > 0 && p.Solution.stage_class.(t) >= 0)
+         (List.init (Array.length p.Solution.stage_class) (fun t -> t))
+  in
+  let k = Array.length node.Htg.Node.children in
+  let stage_cycles t =
+    let sum = ref 0. in
+    for n = 0 to k - 1 do
+      if p.Solution.stage_of.(n) = t then
+        sum := !sum +. node.Htg.Node.children.(n).Htg.Node.total_cycles
+    done;
+    !sum
+  in
+  let header_cycles =
+    Float.max 0.
+      (node.Htg.Node.total_cycles
+      -. Array.fold_left
+           (fun acc c -> acc +. c.Htg.Node.total_cycles)
+           0. node.Htg.Node.children)
+  in
+  let taken = ref [] in
+  let tasks =
+    Array.of_list
+      (List.mapi
+         (fun idx t ->
+           let cls =
+             task_class ~mode pf pool ~cur_cls ~is_main:(idx = 0)
+               p.Solution.stage_class.(t)
+           in
+           if idx > 0 then taken := cls :: !taken;
+           let cycles = stage_cycles t in
+           let cycles = if idx = 0 then cycles +. header_cycles else cycles in
+           {
+             Sim.Prog.tclass = cls;
+             body =
+               Sim.Prog.work
+                 ~label:(Printf.sprintf "%s.stage%d" node.Htg.Node.label t)
+                 cycles;
+           })
+         stages)
+  in
+  (* per-stage handoff: total bytes of edges crossing stage boundaries *)
+  let index_of = Hashtbl.create 8 in
+  List.iteri (fun idx t -> Hashtbl.replace index_of t idx) stages;
+  let deps = ref [] in
+  List.iter
+    (fun (e : Htg.Node.edge) ->
+      match (e.Htg.Node.src, e.Htg.Node.dst, e.Htg.Node.kind) with
+      | Htg.Node.EChild i, Htg.Node.EChild j, Htg.Node.Flow ->
+          let si = p.Solution.stage_of.(i) and sj = p.Solution.stage_of.(j) in
+          if si <> sj then begin
+            let ii = Hashtbl.find index_of si and jj = Hashtbl.find index_of sj in
+            (* handoffs stream with the iterations: at_start so stages
+               overlap; the byte volume still occupies the bus *)
+            let raw_transfers =
+              Float.min node.Htg.Node.children.(i).Htg.Node.exec_count
+                node.Htg.Node.children.(j).Htg.Node.exec_count
+            in
+            deps :=
+              {
+                Sim.Prog.dsrc = min ii jj;
+                ddst = max ii jj;
+                bytes = float_of_int e.Htg.Node.bytes;
+                (* handoffs are batched into FIFO blocks *)
+                transfers = Float.max 1. (raw_transfers /. 32.);
+                at_start = true;
+              }
+              :: !deps
+          end
+      | _ -> ())
+    node.Htg.Node.edges;
+  let fork =
+    Sim.Prog.Fork
+      {
+        Sim.Prog.flabel = node.Htg.Node.label ^ ".pipeline";
+        entries = node.Htg.Node.exec_count;
+        tasks;
+        deps = List.rev !deps;
+      }
+  in
+  List.iter (release pool) !taken;
+  fork
+
+(** Realize [sol] (a candidate of [node]) for execution on [pf]. *)
+let realize ?(mode = Pre_mapped) (pf : Platform.Desc.t) (node : Htg.Node.t)
+    (sol : Solution.t) : Sim.Prog.node =
+  let pool = make_pool pf ~exclude_main:true in
+  realize_node ~mode pf pool node sol ~cur_cls:pf.Platform.Desc.main_class
+
+(** Purely sequential realization (the measurement baseline). *)
+let realize_sequential (node : Htg.Node.t) : Sim.Prog.node =
+  Sim.Prog.work ~label:"sequential" node.Htg.Node.total_cycles

@@ -1,0 +1,18 @@
+(** Implementation stage: turn the chosen solution candidate into an
+    executable parallel program for the MPSoC simulator (the ATOMIUM/MPA
+    role in the paper's tool flow). *)
+
+type mode =
+  | Pre_mapped  (** trust the solution's task-to-class mapping *)
+  | Oblivious
+      (** ignore it: tasks greedily take the fastest remaining physical
+          units — how a class-oblivious (homogeneous) tool's output gets
+          placed, and why it collapses on heterogeneous machines *)
+
+(** Realize a candidate of the given AHTG node for execution on the
+    platform (default [Pre_mapped]). *)
+val realize :
+  ?mode:mode -> Platform.Desc.t -> Htg.Node.t -> Solution.t -> Sim.Prog.node
+
+(** Purely sequential realization (the measurement baseline). *)
+val realize_sequential : Htg.Node.t -> Sim.Prog.node

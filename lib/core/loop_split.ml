@@ -1,0 +1,194 @@
+(** Iteration-range splitting for DOALL loops — the paper's "loop
+    iterations" granularity level, phrased as a (small) ILP so that the
+    same solver machinery balances chunk sizes across processor classes.
+
+    Given a DOALL loop with [n] iterations per entry and per-iteration
+    body cost [w] cycles, the ILP chooses how many iterations each task
+    executes and which class each task runs on, minimizing the slowest
+    task's time plus its share of communication and the spawn overhead:
+
+    minimize  T
+    s.t.      sum_t iters(t) = n
+              iters(t) <= n * used(t)
+              sum_c map(t,c) = used(t)          (map(0,seqPC) = 1)
+              sum_t map(t,c) <= NUMPROCS_c
+              T >= iters(t)*W_c - M(1-map(t,c)) + comm_share(t) + spawn(t)
+
+    The chunks are contiguous ranges in task order, so the transformation
+    is a plain loop-bound rewrite at implementation time. *)
+
+open Ilp
+
+type input = {
+  node : Htg.Node.t;  (** must satisfy [Htg.Node.is_doall] *)
+  pf : Platform.Desc.t;
+  seq_class : int;
+  budget : int;
+  cfg : Config.t;
+}
+
+(** Per-iteration body cost in abstract cycles (loop control amortized). *)
+let iter_cycles (node : Htg.Node.t) =
+  match node.Htg.Node.kind with
+  | Htg.Node.Loop { iters_per_entry; _ } when iters_per_entry > 0. ->
+      Htg.Node.cycles_per_entry node /. iters_per_entry
+  | _ -> 0.
+
+let solve ?stats (inp : input) : Solution.t option =
+  let node = inp.node in
+  match node.Htg.Node.kind with
+  | Htg.Node.Loop { doall = true; iters_per_entry; _ }
+    when iters_per_entry >= 2. ->
+      let pf = inp.pf in
+      let nclasses = Platform.Desc.num_classes pf in
+      let units = Platform.Desc.units_per_class pf in
+      let total_units = Platform.Desc.total_units pf in
+      let ntasks =
+        min inp.cfg.Config.max_split_tasks
+          (min inp.budget
+             (min total_units (int_of_float iters_per_entry)))
+      in
+      if ntasks < 2 then None
+      else begin
+        let n_iters = iters_per_entry in
+        let w_cycles = iter_cycles node in
+        let w_us c = Platform.Desc.time_us pf ~cls:c w_cycles in
+        let ec = node.Htg.Node.exec_count in
+        (* per-entry communication bytes proportional to the chunk share *)
+        let bytes_per_iter =
+          float_of_int (node.Htg.Node.live_in_bytes + node.Htg.Node.live_out_bytes)
+          /. Float.max 1. (ec *. n_iters)
+        in
+        let comm = pf.Platform.Desc.comm in
+        let comm_per_iter_us =
+          bytes_per_iter *. comm.Platform.Comm.per_byte_us
+        in
+        let startup_us = comm.Platform.Comm.startup_us in
+        let tco_us = pf.Platform.Desc.tco_us in
+        let m = Model.create ~name:(Printf.sprintf "split-node-%d" node.Htg.Node.id) () in
+        let open Lin_expr in
+        let iters =
+          Array.init ntasks (fun t ->
+              Model.int_var ~ub:n_iters ~priority:10 m (Printf.sprintf "iters_%d" t))
+        in
+        let map_tc =
+          Array.init ntasks (fun t ->
+              Array.init nclasses (fun c ->
+                  Model.bool_var ~priority:20 m (Printf.sprintf "map_%d_%d" t c)))
+        in
+        let used =
+          Array.init ntasks (fun t -> Model.bool_var ~priority:20 m (Printf.sprintf "used_%d" t))
+        in
+        let makespan = Model.cont_var m "makespan" in
+        (* partition the iteration space *)
+        Model.eq ~name:"part" m
+          (sum (List.init ntasks (fun t -> term iters.(t))))
+          (constant n_iters);
+        for t = 0 to ntasks - 1 do
+          Model.le
+            ~name:(Printf.sprintf "gate_%d" t)
+            m (term iters.(t))
+            (term ~coef:n_iters used.(t));
+          Model.eq
+            ~name:(Printf.sprintf "map1_%d" t)
+            m
+            (sum (List.init nclasses (fun c -> term map_tc.(t).(c))))
+            (term used.(t))
+        done;
+        Model.eq ~name:"main_used" m (term used.(0)) (constant 1.);
+        Model.eq ~name:"pin_main" m (term map_tc.(0).(inp.seq_class)) (constant 1.);
+        for c = 0 to nclasses - 1 do
+          Model.le
+            ~name:(Printf.sprintf "units_%d" c)
+            m
+            (sum (List.init ntasks (fun t -> term map_tc.(t).(c))))
+            (constant (float_of_int units.(c)))
+        done;
+        Model.le ~name:"budget" m
+          (sum (List.init ntasks (fun t -> term used.(t))))
+          (constant (float_of_int inp.budget));
+        (* makespan: per-class gated work + comm + spawn overhead *)
+        let slow_w = Array.fold_left (fun acc c -> Float.max acc (Platform.Proc_class.time_us c w_cycles)) 0. pf.Platform.Desc.classes in
+        let big_m = (n_iters *. (slow_w +. comm_per_iter_us)) +. startup_us +. tco_us +. 1. in
+        for t = 0 to ntasks - 1 do
+          for c = 0 to nclasses - 1 do
+            let spawn = if t = 0 then 0. else tco_us +. startup_us in
+            Model.ge
+              ~name:(Printf.sprintf "mk_%d_%d" t c)
+              m (term makespan)
+              (add_const (spawn -. big_m)
+                 (sum
+                    [
+                      term ~coef:(w_us c +. comm_per_iter_us) iters.(t);
+                      term ~coef:big_m map_tc.(t).(c);
+                    ]))
+          done
+        done;
+        (* shared-bus serialization: every non-main chunk's input and
+           output traffic (proportional to its iterations) plus two
+           startups per used remote task must fit under the makespan *)
+        Model.ge ~name:"bus_bound" m (term makespan)
+          (sum
+             (List.concat
+                (List.init ntasks (fun t ->
+                     if t = 0 then []
+                     else
+                       [
+                         term ~coef:comm_per_iter_us iters.(t);
+                         term ~coef:(2. *. startup_us) used.(t);
+                       ]))));
+        Model.set_objective m Model.Minimize (term makespan);
+        (* warm start: everything on the main task *)
+        let warm = Array.make (Model.num_vars m) 0. in
+        warm.(iters.(0)) <- n_iters;
+        warm.(used.(0)) <- 1.;
+        warm.(map_tc.(0).(inp.seq_class)) <- 1.;
+        warm.(makespan) <- n_iters *. (w_us inp.seq_class +. comm_per_iter_us);
+        let options =
+          {
+            Branch_bound.default_options with
+            Branch_bound.time_limit_s = inp.cfg.Config.ilp_time_limit_s;
+            node_limit = inp.cfg.Config.ilp_node_limit;
+            gap_rel = inp.cfg.Config.ilp_gap_rel;
+          }
+        in
+        let out = Solver.solve ~options ~warm_start:warm ?stats m in
+        match (out.Solver.status, out.Solver.x) with
+        | (Branch_bound.Optimal | Branch_bound.Feasible), Some sol ->
+            let chunk_iters = Array.init ntasks (fun t -> Float.round sol.(iters.(t))) in
+            let split_class =
+              Array.init ntasks (fun t ->
+                  if sol.(used.(t)) > 0.5 then begin
+                    let cls = ref inp.seq_class in
+                    for c = 0 to nclasses - 1 do
+                      if sol.(map_tc.(t).(c)) > 0.5 then cls := c
+                    done;
+                    !cls
+                  end
+                  else -1)
+            in
+            let extra = Array.make nclasses 0 in
+            for t = 1 to ntasks - 1 do
+              if split_class.(t) >= 0 then
+                extra.(split_class.(t)) <- extra.(split_class.(t)) + 1
+            done;
+            (* total node time = header + EC * per-entry makespan *)
+            let header_us =
+              Platform.Desc.time_us pf ~cls:inp.seq_class
+                (Float.max 0.
+                   (node.Htg.Node.total_cycles
+                   -. (Htg.Node.cycles_per_entry node *. ec)))
+            in
+            ignore header_us;
+            let time_us = ec *. out.Solver.obj in
+            Some
+              {
+                Solution.node_id = node.Htg.Node.id;
+                main_class = inp.seq_class;
+                time_us;
+                extra_units = extra;
+                kind = Solution.Split { Solution.chunk_iters; split_class };
+              }
+        | _ -> None
+      end
+  | _ -> None

@@ -1,0 +1,19 @@
+(** Iteration-range splitting for DOALL loops — the paper's "loop
+    iterations" granularity level, phrased as a small ILP so the same
+    solver balances chunk sizes across processor classes (minimize the
+    slowest chunk's time plus its communication share and spawn
+    overhead). *)
+
+type input = {
+  node : Htg.Node.t;  (** must satisfy [Htg.Node.is_doall] *)
+  pf : Platform.Desc.t;
+  seq_class : int;
+  budget : int;
+  cfg : Config.t;
+}
+
+(** Per-iteration body cost in abstract cycles (loop control amortized). *)
+val iter_cycles : Htg.Node.t -> float
+
+(** [None] for non-DOALL nodes or budgets without parallelism. *)
+val solve : ?stats:Ilp.Stats.t -> input -> Solution.t option

@@ -1,0 +1,60 @@
+(** End-to-end parallelization pipeline (paper Fig. 6):
+    source → frontend → profiling ("target simulation") → AHTG →
+    ILP parallelization → implementation for the MPSoC simulator.
+
+    [Heterogeneous] is the paper's contribution; [Homogeneous] reproduces
+    the baseline [Cordes et al., CODES+ISSS 2010]: the same machinery run
+    against the class-blind view of the platform, with the resulting tasks
+    placed on physical cores by a class-oblivious mapping stage. *)
+
+type approach = Heterogeneous | Homogeneous
+
+let approach_name = function
+  | Heterogeneous -> "heterogeneous"
+  | Homogeneous -> "homogeneous"
+
+type outcome = {
+  approach : approach;
+  platform : Platform.Desc.t;
+  htg : Htg.Node.t;
+  algo : Algorithm.result;
+  program : Sim.Prog.node;  (** parallel program realized on the platform *)
+  seq_program : Sim.Prog.node;  (** sequential baseline on the main core *)
+  profile : Interp.Profile.t;
+}
+
+(** Parallelize an already-compiled (inlined) program.  [profile] lets
+    callers reuse one profiling run across platforms and approaches. *)
+let run_program ?(cfg = Config.default) ?profile ~approach
+    ~(platform : Platform.Desc.t) (prog : Minic.Ast.program) : outcome =
+  let profile =
+    match profile with
+    | Some p -> p
+    | None -> (Interp.Eval.run prog).Interp.Eval.profile
+  in
+  let htg = Htg.Build.build ~max_children:cfg.Config.max_children prog profile in
+  let view =
+    match approach with
+    | Heterogeneous -> platform
+    | Homogeneous -> Platform.Desc.homogeneous_view platform
+  in
+  let algo = Algorithm.parallelize ~cfg view htg in
+  let mode =
+    match approach with
+    | Heterogeneous -> Implement.Pre_mapped
+    | Homogeneous -> Implement.Oblivious
+  in
+  let program = Implement.realize ~mode platform htg algo.Algorithm.root in
+  let seq_program = Implement.realize_sequential htg in
+  { approach; platform; htg; algo; program; seq_program; profile }
+
+(** Parallelize from source text. *)
+let run ?cfg ~approach ~platform (src : string) : outcome =
+  run_program ?cfg ~approach ~platform (Minic.Frontend.compile src)
+
+(** Simulated speedup of the outcome over sequential execution on the
+    platform's main core. *)
+let speedup (o : outcome) : float =
+  Sim.Engine.speedup o.platform ~sequential:o.seq_program ~parallel:o.program
+
+let metrics (o : outcome) = Sim.Engine.run_metrics o.platform o.program

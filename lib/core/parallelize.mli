@@ -1,0 +1,45 @@
+(** End-to-end parallelization pipeline (paper Fig. 6): source → frontend
+    → profiling → AHTG → ILP parallelization → implementation for the
+    MPSoC simulator. *)
+
+type approach =
+  | Heterogeneous  (** the paper's contribution *)
+  | Homogeneous
+      (** the baseline [Cordes et al., CODES+ISSS 2010]: identical
+          machinery on the class-blind platform view, tasks placed by a
+          class-oblivious mapping stage *)
+
+val approach_name : approach -> string
+
+type outcome = {
+  approach : approach;
+  platform : Platform.Desc.t;
+  htg : Htg.Node.t;
+  algo : Algorithm.result;
+  program : Sim.Prog.node;  (** parallel program realized on the platform *)
+  seq_program : Sim.Prog.node;  (** sequential baseline on the main core *)
+  profile : Interp.Profile.t;
+}
+
+(** Parallelize an already-compiled (inlined) program; [profile] lets
+    callers reuse one profiling run across platforms and approaches. *)
+val run_program :
+  ?cfg:Config.t ->
+  ?profile:Interp.Profile.t ->
+  approach:approach ->
+  platform:Platform.Desc.t ->
+  Minic.Ast.program ->
+  outcome
+
+(** Parallelize from source text. *)
+val run :
+  ?cfg:Config.t ->
+  approach:approach ->
+  platform:Platform.Desc.t ->
+  string ->
+  outcome
+
+(** Simulated speedup over sequential execution on the main core. *)
+val speedup : outcome -> float
+
+val metrics : outcome -> Sim.Engine.metrics

@@ -1,0 +1,301 @@
+(** Software pipelining of sequential loops — the parallelism type the
+    paper defers to future work ("we intend to extend our heterogeneous
+    parallelization framework to be able to extract other types of
+    parallelism as well, like, e.g., pipeline parallelism").  Implemented
+    here as an opt-in extension ({!Config.t}[.enable_pipeline], default
+    off so the reproduction of the paper's figures is unaffected).
+
+    A sequential loop whose body statements form a chain can still run in
+    parallel if the statements are partitioned into {e contiguous stages}
+    that overlap across iterations: iteration [i] of stage [s] runs
+    concurrently with iteration [i+1] of stage [s-1].  Loop-carried
+    variables are fine as long as every statement touching one stays in a
+    single stage (our conflict pairs).  Throughput is set by the slowest
+    stage, so the stage partitioning and the stage-to-class mapping is —
+    once again — a small ILP:
+
+    minimize  B   (bottleneck: per-iteration time of the slowest stage)
+    s.t.      each child in exactly one stage (contiguous in body order)
+              conflict pairs co-located
+              each used stage mapped to one class; per-class unit budget
+              B >= stage_work(t, c) + handoff(t) - M (1 - map(t, c))
+
+    The candidate's modelled time is
+    [entries * ((iters + stages - 1) * B + spawn)], i.e. fill + steady
+    state. *)
+
+open Ilp
+
+type input = {
+  node : Htg.Node.t;  (** a sequential (non-DOALL) loop node *)
+  pf : Platform.Desc.t;
+  seq_class : int;
+  budget : int;
+  cfg : Config.t;
+}
+
+(** Stage handoffs are batched into FIFO blocks of this many iterations
+    (as MPA-style pipeline implementations do), amortizing the per-transfer
+    synchronization cost; the pipeline fill grows accordingly. *)
+let handoff_batch = 32.
+
+let solve ?stats (inp : input) : Solution.t option =
+  let node = inp.node in
+  match node.Htg.Node.kind with
+  | Htg.Node.Loop { doall = false; iters_per_entry; _ }
+    when iters_per_entry >= 4. && Array.length node.Htg.Node.children >= 2 ->
+      let pf = inp.pf in
+      let cfg = inp.cfg in
+      let k = Array.length node.Htg.Node.children in
+      let nclasses = Platform.Desc.num_classes pf in
+      let units = Platform.Desc.units_per_class pf in
+      let nstages =
+        min cfg.Config.max_split_tasks
+          (min inp.budget (min k (Platform.Desc.total_units pf)))
+      in
+      if nstages < 2 then None
+      else begin
+        let ec = node.Htg.Node.exec_count in
+        let iters = iters_per_entry in
+        (* per-iteration cycles of child n *)
+        let periter_cycles n =
+          let c = node.Htg.Node.children.(n) in
+          if c.Htg.Node.exec_count <= 0. then 0.
+          else c.Htg.Node.total_cycles /. (ec *. iters)
+        in
+        let periter_us n cls =
+          Platform.Desc.time_us pf ~cls (periter_cycles n)
+        in
+        (* per-iteration handoff cost if edge (i,j) crosses stages *)
+        let comm = pf.Platform.Desc.comm in
+        let edge_periter_us =
+          List.filter_map
+            (fun (e : Htg.Node.edge) ->
+              match (e.Htg.Node.src, e.Htg.Node.dst, e.Htg.Node.kind) with
+              | Htg.Node.EChild i, Htg.Node.EChild j, Htg.Node.Flow ->
+                  let transfers =
+                    Float.min node.Htg.Node.children.(i).Htg.Node.exec_count
+                      node.Htg.Node.children.(j).Htg.Node.exec_count
+                  in
+                  let total_us =
+                    (comm.Platform.Comm.startup_us *. transfers /. handoff_batch)
+                    +. (float_of_int e.Htg.Node.bytes
+                       *. comm.Platform.Comm.per_byte_us)
+                  in
+                  Some ((i, j), total_us /. (ec *. iters))
+              | _ -> None)
+            node.Htg.Node.edges
+        in
+        let m = Model.create ~name:(Printf.sprintf "pipe-node-%d" node.Htg.Node.id) () in
+        let open Lin_expr in
+        let y =
+          Array.init k (fun n ->
+              Array.init nstages (fun t ->
+                  Model.bool_var ~priority:30 m (Printf.sprintf "y_%d_%d" n t)))
+        in
+        let map_tc =
+          Array.init nstages (fun t ->
+              Array.init nclasses (fun c ->
+                  Model.bool_var ~priority:20 m (Printf.sprintf "map_%d_%d" t c)))
+        in
+        let used =
+          Array.init nstages (fun t ->
+              Model.bool_var ~priority:20 m (Printf.sprintf "used_%d" t))
+        in
+        let cut =
+          List.map
+            (fun ((i, j), cus) ->
+              ((i, j), cus, Array.init nstages (fun t ->
+                   Model.bool_var m (Printf.sprintf "cut_%d_%d_%d" i j t))))
+            edge_periter_us
+        in
+        let bottleneck = Model.cont_var m "bottleneck" in
+        (* each child in exactly one stage *)
+        for n = 0 to k - 1 do
+          Model.eq ~name:(Printf.sprintf "one_%d" n) m
+            (sum (List.init nstages (fun t -> term y.(n).(t))))
+            (constant 1.)
+        done;
+        (* contiguity / no backward flow: stage ids monotone in body order *)
+        let stageid n =
+          sum (List.init nstages (fun t -> term ~coef:(float_of_int t) y.(n).(t)))
+        in
+        for n = 0 to k - 2 do
+          Model.ge ~name:(Printf.sprintf "mono_%d" n) m (stageid (n + 1)) (stageid n)
+        done;
+        (* conflicts: carried variables stay within one stage *)
+        List.iter
+          (fun (a, b) ->
+            for t = 0 to nstages - 1 do
+              Model.eq
+                ~name:(Printf.sprintf "confl_%d_%d_%d" a b t)
+                m (term y.(a).(t)) (term y.(b).(t))
+            done)
+          node.Htg.Node.conflicts;
+        (* stage usage and class mapping *)
+        for t = 0 to nstages - 1 do
+          for n = 0 to k - 1 do
+            Model.ge ~name:(Printf.sprintf "use_%d_%d" t n) m (term used.(t))
+              (term y.(n).(t))
+          done;
+          Model.eq
+            ~name:(Printf.sprintf "map1_%d" t)
+            m
+            (sum (List.init nclasses (fun c -> term map_tc.(t).(c))))
+            (term used.(t))
+        done;
+        Model.eq ~name:"main_used" m (term used.(0)) (constant 1.);
+        Model.eq ~name:"pin_main" m (term map_tc.(0).(inp.seq_class)) (constant 1.);
+        for c = 0 to nclasses - 1 do
+          Model.le
+            ~name:(Printf.sprintf "units_%d" c)
+            m
+            (sum (List.init nstages (fun t -> term map_tc.(t).(c))))
+            (constant (float_of_int units.(c)))
+        done;
+        Model.le ~name:"budget" m
+          (sum (List.init nstages (fun t -> term used.(t))))
+          (constant (float_of_int inp.budget));
+        (* cut indicators *)
+        List.iter
+          (fun ((i, j), _, cvars) ->
+            for t = 0 to nstages - 1 do
+              Model.ge
+                ~name:(Printf.sprintf "cut_%d_%d_%d" i j t)
+                m (term cvars.(t))
+                (sub (term y.(i).(t)) (term y.(j).(t)))
+            done)
+          cut;
+        (* bottleneck per stage and class *)
+        let slowest_cls =
+          let w = ref 0. in
+          for c = 0 to nclasses - 1 do
+            let total = ref 0. in
+            for n = 0 to k - 1 do
+              total := !total +. periter_us n c
+            done;
+            w := Float.max !w !total
+          done;
+          !w
+        in
+        let total_comm =
+          List.fold_left (fun acc ((_, _), cus, _) -> acc +. cus) 0. cut
+        in
+        let big_m = slowest_cls +. total_comm +. 1. in
+        for t = 0 to nstages - 1 do
+          for c = 0 to nclasses - 1 do
+            let work_terms =
+              List.init k (fun n -> term ~coef:(periter_us n c) y.(n).(t))
+            in
+            let comm_terms =
+              List.map (fun ((_, _), cus, cvars) -> term ~coef:cus cvars.(t)) cut
+            in
+            Model.ge
+              ~name:(Printf.sprintf "bneck_%d_%d" t c)
+              m (term bottleneck)
+              (add_const (-.big_m)
+                 (sum (term ~coef:big_m map_tc.(t).(c) :: work_terms @ comm_terms)))
+          done
+        done;
+        (* shared-bus serialization: all stage handoffs of one iteration
+           share the bus *)
+        Model.ge ~name:"bus_bound" m (term bottleneck)
+          (sum
+             (List.concat_map
+                (fun ((_, _), cus, cvars) ->
+                  List.init nstages (fun t -> term ~coef:cus cvars.(t)))
+                cut));
+        Model.set_objective m Model.Minimize (term bottleneck);
+        (* warm start: everything in stage 0 on the main class *)
+        let warm = Array.make (Model.num_vars m) 0. in
+        for n = 0 to k - 1 do
+          warm.(y.(n).(0)) <- 1.
+        done;
+        warm.(used.(0)) <- 1.;
+        warm.(map_tc.(0).(inp.seq_class)) <- 1.;
+        warm.(bottleneck) <-
+          List.fold_left ( +. ) 0.
+            (List.init k (fun n -> periter_us n inp.seq_class));
+        let options =
+          {
+            Branch_bound.default_options with
+            Branch_bound.time_limit_s = cfg.Config.ilp_time_limit_s;
+            node_limit = cfg.Config.ilp_node_limit;
+            gap_rel = cfg.Config.ilp_gap_rel;
+          }
+        in
+        let out = Solver.solve ~options ~warm_start:warm ?stats m in
+        match (out.Solver.status, out.Solver.x) with
+        | (Branch_bound.Optimal | Branch_bound.Feasible), Some sol ->
+            let stage_of =
+              Array.init k (fun n ->
+                  let st = ref 0 in
+                  for t = 0 to nstages - 1 do
+                    if sol.(y.(n).(t)) > 0.5 then st := t
+                  done;
+                  !st)
+            in
+            let stage_class =
+              Array.init nstages (fun t ->
+                  if sol.(used.(t)) > 0.5
+                     && Array.exists (fun so -> so = t) stage_of
+                  then begin
+                    let cls = ref inp.seq_class in
+                    for c = 0 to nclasses - 1 do
+                      if sol.(map_tc.(t).(c)) > 0.5 then cls := c
+                    done;
+                    !cls
+                  end
+                  else -1)
+            in
+            let n_used =
+              Array.fold_left (fun a c -> if c >= 0 then a + 1 else a) 0
+                stage_class
+            in
+            if n_used < 2 then None
+            else begin
+              (* recompute the exact bottleneck from the extracted partition *)
+              let stage_time t =
+                let w = ref 0. in
+                Array.iteri
+                  (fun n st ->
+                    if st = t then w := !w +. periter_us n stage_class.(t))
+                  stage_of;
+                List.iter
+                  (fun ((i, j), cus, _) ->
+                    if stage_of.(i) = t && stage_of.(j) <> t then w := !w +. cus)
+                  cut;
+                !w
+              in
+              let b =
+                let mx = ref 0. in
+                Array.iteri
+                  (fun t c -> if c >= 0 then mx := Float.max !mx (stage_time t))
+                  stage_class;
+                !mx
+              in
+              let spawn_us =
+                float_of_int (n_used - 1) *. pf.Platform.Desc.tco_us
+              in
+              let fill_iters = float_of_int (n_used - 1) *. handoff_batch in
+              let time_us =
+                ec *. (((iters +. fill_iters) *. b) +. spawn_us)
+              in
+              let extra = Array.make nclasses 0 in
+              Array.iteri
+                (fun t c -> if t > 0 && c >= 0 then extra.(c) <- extra.(c) + 1)
+                stage_class;
+              Some
+                {
+                  Solution.node_id = node.Htg.Node.id;
+                  main_class = inp.seq_class;
+                  time_us;
+                  extra_units = extra;
+                  kind =
+                    Solution.Pipeline
+                      { Solution.stage_of; stage_class; bottleneck_us = b };
+                }
+            end
+        | _ -> None
+      end
+  | _ -> None

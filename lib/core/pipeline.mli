@@ -1,0 +1,21 @@
+(** Software pipelining of sequential loops — the parallelism type the
+    paper names as future work, implemented as an opt-in extension
+    ([Config.enable_pipeline]).  Body statements are partitioned into
+    contiguous stages that overlap across iterations; the stage
+    partitioning and stage-to-class mapping is a small ILP minimizing the
+    bottleneck stage's per-iteration time.  Handoffs are batched into
+    FIFO blocks of {!handoff_batch} iterations. *)
+
+type input = {
+  node : Htg.Node.t;  (** a sequential (non-DOALL) loop node *)
+  pf : Platform.Desc.t;
+  seq_class : int;
+  budget : int;
+  cfg : Config.t;
+}
+
+val handoff_batch : float
+
+(** [None] when the node is not a pipelineable loop, the budget admits no
+    parallelism, or no multi-stage partition beats one stage. *)
+val solve : ?stats:Ilp.Stats.t -> input -> Solution.t option

@@ -1,0 +1,69 @@
+(** Parallel solution candidates (paper Section III-B): every AHTG node
+    accumulates a set of candidates, each tagged with the processor class
+    of its main task and annotated with modelled execution time and the
+    extra processing units it allocates per class (the paper's
+    [USEDPROCS]). *)
+
+type t = {
+  node_id : int;  (** AHTG node this candidate belongs to *)
+  main_class : int;  (** the paper's candidate tag *)
+  time_us : float;  (** modelled total execution time of the node *)
+  extra_units : int array;  (** per class, beyond the main task's unit *)
+  kind : kind;
+}
+
+and kind =
+  | Seq of t array
+      (** sequential on [main_class]; for hierarchical nodes the array
+          holds the (sequential, same-class) choice per child *)
+  | Par of par
+  | Split of split
+  | Pipeline of pipeline
+
+and par = {
+  assignment : int array;  (** child index -> task index *)
+  task_class : int array;  (** task index -> processor class (-1 unused) *)
+  child_choice : t array;  (** chosen candidate per child *)
+  par_time_breakdown : breakdown;
+}
+
+and split = {
+  chunk_iters : float array;  (** iterations per entry assigned to task t *)
+  split_class : int array;  (** task index -> processor class *)
+}
+
+and pipeline = {
+  stage_of : int array;  (** child index -> stage index *)
+  stage_class : int array;  (** stage index -> class (-1 unused) *)
+  bottleneck_us : float;  (** per-iteration time of the slowest stage *)
+}
+
+and breakdown = { exec_us : float; comm_us : float; spawn_us : float }
+
+val no_breakdown : breakdown
+
+(** Total processing units consumed: the main unit plus all extras. *)
+val total_units : t -> int
+
+(** Number of tasks (1 for sequential candidates). *)
+val num_tasks : t -> int
+
+val is_sequential : t -> bool
+val kind_str : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Candidates of one node grouped by main class: [set.(c)] lists class
+    [c]'s candidates; the sequential candidate is always present. *)
+type set = t list array
+
+(** Pareto-prune on (total units, time), keeping at most [max_keep]
+    survivors including the extremes. *)
+val prune : max_keep:int -> t list -> t list
+
+(** The sequential candidate of class [c] (raises if absent). *)
+val seq_of : set -> int -> t
+
+val all : set -> t list
+
+(** Best candidate overall by modelled time. *)
+val best : set -> t

@@ -1,0 +1,539 @@
+(** AST + profile → Augmented Hierarchical Task Graph (paper Fig. 1).
+
+    The builder mirrors the source hierarchy, annotates every node with its
+    profiled work and execution count, computes data-flow/ordering edges
+    between the direct children of each hierarchical node (including the
+    Communication-In/Out endpoints), detects DOALL loops, records
+    loop-carried conflicts, and coalesces long runs of cheap simple
+    statements so each per-node ILP stays tractable — the "granularity
+    control" the paper's cost model provides. *)
+
+open Minic
+module SS = Defuse.SS
+
+type var_size = { bytes : int; first_dim : int (* 1 for scalars *) }
+
+type ctx = {
+  profile : Interp.Profile.t;
+  sizes : (string, var_size) Hashtbl.t;
+  mutable next_id : int;
+  max_children : int;
+}
+
+let scalar_bytes = 4
+
+let size_of_ty = function
+  | Ast.TScalar _ -> { bytes = scalar_bytes; first_dim = 1 }
+  | Ast.TArray (_, dims) ->
+      {
+        bytes = scalar_bytes * List.fold_left ( * ) 1 dims;
+        first_dim = (match dims with d :: _ -> d | [] -> 1);
+      }
+  | Ast.TVoid -> { bytes = 0; first_dim = 1 }
+
+let collect_sizes (prog : Ast.program) =
+  let sizes = Hashtbl.create 64 in
+  List.iter
+    (fun (d : Ast.decl) -> Hashtbl.replace sizes d.dname (size_of_ty d.dty))
+    prog.globals;
+  List.iter
+    (fun (f : Ast.func) ->
+      List.iter
+        (fun (p : Ast.param) -> Hashtbl.replace sizes p.pname (size_of_ty p.pty))
+        f.fparams;
+      ignore
+        (Ast.fold_stmts
+           (fun () (s : Ast.stmt) ->
+             match s.sdesc with
+             | Ast.Decl d -> Hashtbl.replace sizes d.dname (size_of_ty d.dty)
+             | _ -> ())
+           () f.fbody))
+    prog.funcs;
+  sizes
+
+let var_size ctx v =
+  match Hashtbl.find_opt ctx.sizes v with
+  | Some s -> s
+  | None -> { bytes = scalar_bytes; first_dim = 1 }
+
+let fresh ctx =
+  let n = ctx.next_id in
+  ctx.next_id <- n + 1;
+  n
+
+let countf ctx sid = float_of_int (Interp.Profile.count ctx.profile sid)
+let workf ctx sid = Interp.Profile.work ctx.profile sid
+
+(* ------------------------------------------------------------------ *)
+(* Edge computation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Information about the hierarchical node whose children we connect. *)
+type edge_env = {
+  entries : float;  (** executions of the enclosing node *)
+  elementwise : SS.t;  (** arrays accessed row-wise by the loop induction *)
+  locals : SS.t;  (** names declared by direct Decl children: no Out edge *)
+}
+
+let transfers_between (a : Node.t) (b : Node.t) =
+  Float.min a.Node.exec_count b.Node.exec_count
+
+(** Total bytes moved for variable [v] on a child-to-child edge. *)
+let edge_bytes ctx env ~src ~dst v =
+  let s = var_size ctx v in
+  if s.first_dim = 1 && s.bytes = scalar_bytes then
+    (* scalar: one word per transfer, transferred each co-execution *)
+    int_of_float (float_of_int scalar_bytes *. transfers_between src dst)
+  else if SS.mem v env.elementwise then
+    (* row slice per iteration *)
+    let row = s.bytes / max 1 s.first_dim in
+    int_of_float (float_of_int row *. transfers_between src dst)
+  else
+    (* whole array, once per entry of the enclosing node *)
+    int_of_float (float_of_int s.bytes *. env.entries)
+
+let boundary_bytes ctx env v =
+  let s = var_size ctx v in
+  int_of_float (float_of_int s.bytes *. env.entries)
+
+(** Dependence edges among ordered children, plus Comm-In/Out edges.
+    Last-writer-kills semantics for flow edges; anti and output
+    dependences become 0-byte Order edges. *)
+let compute_edges ctx env (children : Node.t array) : Node.edge list =
+  let k = Array.length children in
+  let edges = ref [] in
+  let add e = edges := e :: !edges in
+  (* flow + anti + output between pairs *)
+  for j = 0 to k - 1 do
+    let cj = children.(j) in
+    (* for each use of cj, find the last earlier def *)
+    SS.iter
+      (fun v ->
+        let found = ref false in
+        let i = ref (j - 1) in
+        while (not !found) && !i >= 0 do
+          if SS.mem v children.(!i).Node.defs then begin
+            found := true;
+            add
+              {
+                Node.src = Node.EChild !i;
+                dst = Node.EChild j;
+                kind = Node.Flow;
+                var = v;
+                bytes = edge_bytes ctx env ~src:children.(!i) ~dst:cj v;
+              }
+          end;
+          decr i
+        done;
+        if not !found then
+          (* live-in: arrives through the Communication-In node *)
+          add
+            {
+              Node.src = Node.EIn;
+              dst = Node.EChild j;
+              kind = Node.Flow;
+              var = v;
+              bytes = boundary_bytes ctx env v;
+            })
+      cj.Node.uses;
+    (* anti-dependence: cj defines v, an earlier child uses v with no def
+       in between *)
+    SS.iter
+      (fun v ->
+        let blocked = ref false in
+        for i = j - 1 downto 0 do
+          if not !blocked then begin
+            if SS.mem v children.(i).Node.defs then blocked := true
+            else if SS.mem v children.(i).Node.uses then begin
+              add
+                {
+                  Node.src = Node.EChild i;
+                  dst = Node.EChild j;
+                  kind = Node.Order;
+                  var = v;
+                  bytes = 0;
+                }
+            end
+          end
+        done;
+        (* output dependence on the nearest earlier def *)
+        let found = ref false in
+        let i = ref (j - 1) in
+        while (not !found) && !i >= 0 do
+          if SS.mem v children.(!i).Node.defs then begin
+            found := true;
+            add
+              {
+                Node.src = Node.EChild !i;
+                dst = Node.EChild j;
+                kind = Node.Order;
+                var = v;
+                bytes = 0;
+              }
+          end;
+          decr i
+        done)
+      cj.Node.defs
+  done;
+  (* live-out: last def of each externally visible variable *)
+  let emitted = ref SS.empty in
+  for i = k - 1 downto 0 do
+    SS.iter
+      (fun v ->
+        if (not (SS.mem v !emitted)) && not (SS.mem v env.locals) then begin
+          emitted := SS.add v !emitted;
+          add
+            {
+              Node.src = Node.EChild i;
+              dst = Node.EOut;
+              kind = Node.Flow;
+              var = v;
+              bytes = boundary_bytes ctx env v;
+            }
+        end)
+      children.(i).Node.defs
+  done;
+  List.rev !edges
+
+(* ------------------------------------------------------------------ *)
+(* Coalescing                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let merge_simple ctx (a : Node.t) (b : Node.t) : Node.t =
+  let sids_a = match a.Node.kind with Node.Simple l -> l | _ -> assert false in
+  let sids_b = match b.Node.kind with Node.Simple l -> l | _ -> assert false in
+  {
+    Node.id = fresh ctx;
+    kind = Node.Simple (sids_a @ sids_b);
+    label = a.Node.label;
+    exec_count = Float.max a.Node.exec_count b.Node.exec_count;
+    total_cycles = a.Node.total_cycles +. b.Node.total_cycles;
+    children = [||];
+    edges = [];
+    conflicts = [];
+    defs = SS.union a.Node.defs b.Node.defs;
+    uses = SS.union a.Node.uses b.Node.uses;
+    live_in_bytes = 0;
+    live_out_bytes = 0;
+  }
+
+(** Reduce the child list below [ctx.max_children] by repeatedly merging
+    the cheapest adjacent pair of Simple nodes (sequential composition is
+    always semantics-preserving). *)
+let coalesce ctx (children : Node.t list) : Node.t list =
+  let arr = ref (Array.of_list children) in
+  let progress = ref true in
+  while Array.length !arr > ctx.max_children && !progress do
+    let a = !arr in
+    let best = ref (-1) in
+    let best_cost = ref infinity in
+    for i = 0 to Array.length a - 2 do
+      match (a.(i).Node.kind, a.(i + 1).Node.kind) with
+      | Node.Simple _, Node.Simple _ ->
+          let c = a.(i).Node.total_cycles +. a.(i + 1).Node.total_cycles in
+          if c < !best_cost then begin
+            best_cost := c;
+            best := i
+          end
+      | _ -> ()
+    done;
+    if !best < 0 then progress := false
+    else begin
+      let i = !best in
+      let merged = merge_simple ctx a.(i) a.(i + 1) in
+      arr :=
+        Array.init
+          (Array.length a - 1)
+          (fun k -> if k < i then a.(k) else if k = i then merged else a.(k + 1))
+    end
+  done;
+  Array.to_list !arr
+
+(* ------------------------------------------------------------------ *)
+(* Conversion                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mk_simple ctx (s : Ast.stmt) label : Node.t =
+  let du = Defuse.stmt_external s in
+  {
+    Node.id = fresh ctx;
+    kind = Node.Simple [ s.sid ];
+    label;
+    exec_count = countf ctx s.sid;
+    total_cycles = workf ctx s.sid;
+    children = [||];
+    edges = [];
+    conflicts = [];
+    defs = du.Defuse.defs;
+    uses = du.Defuse.uses;
+    live_in_bytes = 0;
+    live_out_bytes = 0;
+  }
+
+let sum_in_out edges =
+  List.fold_left
+    (fun (i, o) (e : Node.edge) ->
+      match (e.Node.src, e.Node.dst) with
+      | Node.EIn, _ -> (i + e.Node.bytes, o)
+      | _, Node.EOut -> (i, o + e.Node.bytes)
+      | _ -> (i, o))
+    (0, 0) edges
+
+let region_label = function
+  | [] -> "region"
+  | (s : Ast.stmt) :: _ -> Printf.sprintf "region@%d" s.sloc.Loc.line
+
+(** Child pair conflicts induced by loop-carried variables. *)
+let conflicts_of_carried (children : Node.t array) (carried : SS.t) :
+    (int * int) list =
+  if SS.is_empty carried then []
+  else begin
+    let touches i v =
+      SS.mem v children.(i).Node.defs || SS.mem v children.(i).Node.uses
+    in
+    let pairs = ref [] in
+    SS.iter
+      (fun v ->
+        let idxs =
+          List.filter (fun i -> touches i v)
+            (List.init (Array.length children) (fun i -> i))
+        in
+        let rec all_pairs = function
+          | [] | [ _ ] -> ()
+          | a :: (b :: _ as rest) ->
+              if not (List.mem (a, b) !pairs) then pairs := (a, b) :: !pairs;
+              all_pairs rest
+        in
+        all_pairs idxs)
+      carried;
+    List.rev !pairs
+  end
+
+let rec conv_stmt ctx (s : Ast.stmt) : Node.t option =
+  match s.sdesc with
+  | Ast.Assign _ | Ast.Return _ | Ast.ExprStmt _ | Ast.Decl _ ->
+      Some (mk_simple ctx s (Printf.sprintf "stmt@%d" s.sloc.Loc.line))
+  | Ast.Block b -> (
+      match conv_region ctx ~label:(region_label b) ~entries:(countf ctx s.sid) b with
+      | Some n -> Some n
+      | None -> None)
+  | Ast.If (_, b1, b2) -> conv_branch ctx s b1 b2
+  | Ast.For f -> Some (conv_loop ctx s (Loops.canonical_induction f) f.fbody)
+  | Ast.While (_, body) -> Some (conv_loop ctx s None body)
+
+(** A region (block, branch arm): coalesced children + edges.  Returns
+    [None] for empty regions and collapses singleton regions. *)
+and conv_region ctx ~label ~entries (b : Ast.block) : Node.t option =
+  let children = List.filter_map (conv_stmt ctx) b in
+  match children with
+  | [] -> None
+  | [ only ] -> Some only
+  | _ ->
+      let children = Array.of_list (coalesce ctx children) in
+      let env =
+        {
+          entries = Float.max entries 1.;
+          elementwise = SS.empty;
+          locals = Defuse.block_locals b;
+        }
+      in
+      let env = { env with locals = direct_decl_names b } in
+      let edges = compute_edges ctx env children in
+      let live_in, live_out = sum_in_out edges in
+      let du_all =
+        Array.fold_left
+          (fun acc c ->
+            Defuse.union acc { Defuse.defs = c.Node.defs; uses = c.Node.uses })
+          Defuse.empty children
+      in
+      let locals = Defuse.block_locals b in
+      Some
+        {
+          Node.id = fresh ctx;
+          kind = Node.Region;
+          label;
+          exec_count = Float.max entries 1.;
+          total_cycles =
+            Array.fold_left (fun acc c -> acc +. c.Node.total_cycles) 0. children;
+          children;
+          edges;
+          conflicts = [];
+          defs = SS.diff du_all.Defuse.defs locals;
+          uses = SS.diff du_all.Defuse.uses locals;
+          live_in_bytes = live_in;
+          live_out_bytes = live_out;
+        }
+
+(** Names declared by direct [Decl] children of the block (these never
+    escape, so they get no Comm-Out edge). *)
+and direct_decl_names (b : Ast.block) : SS.t =
+  List.fold_left
+    (fun acc (s : Ast.stmt) ->
+      match s.sdesc with Ast.Decl d -> SS.add d.Ast.dname acc | _ -> acc)
+    SS.empty b
+
+and conv_branch ctx (s : Ast.stmt) b1 b2 : Node.t option =
+  let cond = mk_simple ctx s (Printf.sprintf "if@%d" s.sloc.Loc.line) in
+  let arm label blk =
+    conv_region ctx ~label ~entries:(countf ctx s.sid) blk
+  in
+  let arms =
+    List.filter_map Fun.id
+      [ arm (Printf.sprintf "then@%d" s.sloc.Loc.line) b1;
+        arm (Printf.sprintf "else@%d" s.sloc.Loc.line) b2 ]
+  in
+  match arms with
+  | [] -> Some cond  (* if with two empty arms: just the condition cost *)
+  | _ ->
+      let children = Array.of_list (cond :: arms) in
+      let locals = SS.union (Defuse.block_locals b1) (Defuse.block_locals b2) in
+      let env =
+        {
+          entries = Float.max (countf ctx s.sid) 1.;
+          elementwise = SS.empty;
+          locals;
+        }
+      in
+      let edges = compute_edges ctx env children in
+      (* branch arms never overlap at runtime: serialize cond -> arms *)
+      let order_edges =
+        List.concat
+          (List.mapi
+             (fun i _ ->
+               let this = i + 1 in
+               let prev = i in
+               [
+                 {
+                   Node.src = Node.EChild prev;
+                   dst = Node.EChild this;
+                   kind = Node.Order;
+                   var = "<control>";
+                   bytes = 0;
+                 };
+               ])
+             arms)
+      in
+      let edges = edges @ order_edges in
+      let live_in, live_out = sum_in_out edges in
+      let du_all =
+        Array.fold_left
+          (fun acc c ->
+            Defuse.union acc { Defuse.defs = c.Node.defs; uses = c.Node.uses })
+          Defuse.empty children
+      in
+      Some
+        {
+          Node.id = fresh ctx;
+          kind = Node.Branch s.sid;
+          label = Printf.sprintf "if@%d" s.sloc.Loc.line;
+          exec_count = Float.max (countf ctx s.sid) 1.;
+          total_cycles =
+            Array.fold_left (fun acc c -> acc +. c.Node.total_cycles) 0. children;
+          children;
+          edges;
+          conflicts = [];
+          defs = SS.diff du_all.Defuse.defs locals;
+          uses = SS.diff du_all.Defuse.uses locals;
+          live_in_bytes = live_in;
+          live_out_bytes = live_out;
+        }
+
+and conv_loop ctx (s : Ast.stmt) (ind : string option) (body : Ast.block) :
+    Node.t =
+  let entries = Float.max (countf ctx s.sid) 1. in
+  let children = List.filter_map (conv_stmt ctx) body in
+  let children = Array.of_list (coalesce ctx children) in
+  let iters_total =
+    Array.fold_left (fun acc c -> Float.max acc c.Node.exec_count) 0. children
+  in
+  let iters_per_entry = if entries > 0. then iters_total /. entries else 0. in
+  let doall =
+    match s.sdesc with
+    | Ast.For f -> (
+        match Loops.classify f with Loops.Doall -> iters_per_entry >= 2. | _ -> false)
+    | _ -> false
+  in
+  let elementwise = Loops.elementwise_arrays ~ind body in
+  let carried = Loops.carried_vars ~ind body in
+  let env =
+    {
+      entries;
+      elementwise;
+      locals = SS.union (direct_decl_names body) (Defuse.block_locals body);
+    }
+  in
+  (* the loop header's own reads (condition/bounds) also arrive via In *)
+  let edges = compute_edges ctx env children in
+  let conflicts = conflicts_of_carried children carried in
+  let live_in, live_out = sum_in_out edges in
+  let du_all =
+    Array.fold_left
+      (fun acc c ->
+        Defuse.union acc { Defuse.defs = c.Node.defs; uses = c.Node.uses })
+      (Defuse.stmt_own s) children
+  in
+  let locals = Defuse.block_locals body in
+  let header_work = workf ctx s.sid in
+  {
+    Node.id = fresh ctx;
+    kind = Node.Loop { sid = s.sid; doall; iters_per_entry };
+    label =
+      Printf.sprintf "%s@%d"
+        (match s.sdesc with Ast.While _ -> "while" | _ -> "for")
+        s.sloc.Loc.line;
+    exec_count = entries;
+    total_cycles =
+      header_work
+      +. Array.fold_left (fun acc c -> acc +. c.Node.total_cycles) 0. children;
+    children;
+    edges;
+    conflicts;
+    defs = SS.diff du_all.Defuse.defs locals;
+    uses = SS.diff du_all.Defuse.uses locals;
+    live_in_bytes = live_in;
+    live_out_bytes = live_out;
+  }
+
+(** Build the AHTG of an inlined program from its profile.  The root is the
+    region node of [main]'s body. *)
+let build ?(max_children = 8) (prog : Ast.program) (profile : Interp.Profile.t)
+    : Node.t =
+  let main =
+    match Ast.find_func prog "main" with
+    | Some m -> m
+    | None -> invalid_arg "Build.build: no main"
+  in
+  let ctx = { profile; sizes = collect_sizes prog; next_id = 0; max_children } in
+  match conv_region ctx ~label:"main" ~entries:1. main.fbody with
+  | Some root when Node.is_hierarchical root -> root
+  | Some only ->
+      (* main with a single statement: wrap so the root is hierarchical *)
+      {
+        Node.id = fresh ctx;
+        kind = Node.Region;
+        label = "main";
+        exec_count = 1.;
+        total_cycles = only.Node.total_cycles;
+        children = [| only |];
+        edges = [];
+        conflicts = [];
+        defs = only.Node.defs;
+        uses = only.Node.uses;
+        live_in_bytes = only.Node.live_in_bytes;
+        live_out_bytes = only.Node.live_out_bytes;
+      }
+  | None ->
+      {
+        Node.id = fresh ctx;
+        kind = Node.Region;
+        label = "main";
+        exec_count = 1.;
+        total_cycles = 0.;
+        children = [||];
+        edges = [];
+        conflicts = [];
+        defs = SS.empty;
+        uses = SS.empty;
+        live_in_bytes = 0;
+        live_out_bytes = 0;
+      }

@@ -1,0 +1,12 @@
+(** AST + profile → Augmented Hierarchical Task Graph (paper Fig. 1).
+
+    Mirrors the source hierarchy; annotates nodes with profiled work and
+    execution counts; computes dependence and Comm-In/Out edges between
+    direct children; detects DOALL loops; records loop-carried conflicts;
+    and coalesces runs of cheap simple statements so each per-node ILP
+    stays tractable. *)
+
+(** Build the AHTG of an inlined program from its profile.  The root is
+    the region node of [main]'s body; [max_children] bounds the child
+    count of hierarchical nodes via coalescing (default 8). *)
+val build : ?max_children:int -> Minic.Ast.program -> Interp.Profile.t -> Node.t

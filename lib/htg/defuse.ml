@@ -1,0 +1,92 @@
+(** Def/use analysis for Mini-C statements.
+
+    Arrays are treated as single objects (a store to [a\[i\]] defines [a],
+    a read of [a\[j\]] uses [a]) — the standard conservative choice for
+    task-level dependence analysis; element-wise refinement for DOALL loop
+    classification lives in {!Loops}. *)
+
+open Minic
+module SS = Set.Make (String)
+
+type t = { defs : SS.t; uses : SS.t }
+
+let empty = { defs = SS.empty; uses = SS.empty }
+let union a b = { defs = SS.union a.defs b.defs; uses = SS.union a.uses b.uses }
+
+let rec expr_uses (e : Ast.expr) : SS.t =
+  match e with
+  | Ast.IntLit _ | Ast.FloatLit _ -> SS.empty
+  | Ast.Var n -> SS.singleton n
+  | Ast.ArrRef (n, idxs) ->
+      List.fold_left
+        (fun acc i -> SS.union acc (expr_uses i))
+        (SS.singleton n) idxs
+  | Ast.Unop (_, e1) -> expr_uses e1
+  | Ast.Binop (_, e1, e2) -> SS.union (expr_uses e1) (expr_uses e2)
+  | Ast.Call (_, args) ->
+      List.fold_left (fun acc a -> SS.union acc (expr_uses a)) SS.empty args
+
+let lhs_def = function
+  | Ast.LVar n -> (SS.singleton n, SS.empty)
+  | Ast.LArr (n, idxs) ->
+      (* indices are read; the array is (partially) written, hence both a
+         def and — conservatively for partial writes — a use *)
+      ( SS.singleton n,
+        List.fold_left (fun acc i -> SS.union acc (expr_uses i)) SS.empty idxs )
+
+(** Def/use of the statement's own expressions only (no nested bodies). *)
+let stmt_own (s : Ast.stmt) : t =
+  match s.sdesc with
+  | Ast.Assign (lhs, e) ->
+      let defs, idx_uses = lhs_def lhs in
+      { defs; uses = SS.union idx_uses (expr_uses e) }
+  | Ast.If (c, _, _) | Ast.While (c, _) -> { defs = SS.empty; uses = expr_uses c }
+  | Ast.For { finit; fcond; fstep; _ } ->
+      let of_opt = function
+        | None -> empty
+        | Some (lhs, e) ->
+            let defs, idx_uses = lhs_def lhs in
+            { defs; uses = SS.union idx_uses (expr_uses e) }
+      in
+      union (of_opt finit)
+        (union { defs = SS.empty; uses = expr_uses fcond } (of_opt fstep))
+  | Ast.Return (Some e) -> { defs = SS.empty; uses = expr_uses e }
+  | Ast.Return None -> empty
+  | Ast.ExprStmt e -> { defs = SS.empty; uses = expr_uses e }
+  | Ast.Decl d -> (
+      match d.dinit with
+      | Some e -> { defs = SS.singleton d.dname; uses = expr_uses e }
+      | None -> { defs = SS.singleton d.dname; uses = SS.empty })
+  | Ast.Block _ -> empty
+
+(** Def/use of a whole statement subtree. *)
+let rec stmt_all (s : Ast.stmt) : t =
+  let own = stmt_own s in
+  match s.sdesc with
+  | Ast.If (_, b1, b2) -> union own (union (block_all b1) (block_all b2))
+  | Ast.While (_, b) | Ast.Block b -> union own (block_all b)
+  | Ast.For { fbody; _ } -> union own (block_all fbody)
+  | Ast.Assign _ | Ast.Return _ | Ast.ExprStmt _ | Ast.Decl _ -> own
+
+and block_all (b : Ast.block) : t =
+  List.fold_left (fun acc s -> union acc (stmt_all s)) empty b
+
+(** Variables declared inside the subtree (local to it, hence invisible to
+    siblings). *)
+let rec stmt_locals (s : Ast.stmt) : SS.t =
+  match s.sdesc with
+  | Ast.Decl d -> SS.singleton d.dname
+  | Ast.If (_, b1, b2) -> SS.union (block_locals b1) (block_locals b2)
+  | Ast.While (_, b) | Ast.Block b -> block_locals b
+  | Ast.For { fbody; _ } -> block_locals fbody
+  | Ast.Assign _ | Ast.Return _ | Ast.ExprStmt _ -> SS.empty
+
+and block_locals (b : Ast.block) : SS.t =
+  List.fold_left (fun acc s -> SS.union acc (stmt_locals s)) SS.empty b
+
+(** [stmt_external s] is [stmt_all] minus names declared within [s]:
+    the def/use footprint visible to sibling statements. *)
+let stmt_external (s : Ast.stmt) : t =
+  let all = stmt_all s in
+  let locals = stmt_locals s in
+  { defs = SS.diff all.defs locals; uses = SS.diff all.uses locals }

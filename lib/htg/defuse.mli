@@ -1,0 +1,28 @@
+(** Def/use analysis for Mini-C statements.  Arrays are treated as single
+    objects (a store to [a[i]] defines [a]; reading [a[j]] uses [a]). *)
+
+open Minic
+module SS : Set.S with type elt = string
+
+type t = { defs : SS.t; uses : SS.t }
+
+val empty : t
+val union : t -> t -> t
+val expr_uses : Ast.expr -> SS.t
+
+(** Def/use of the statement's own expressions only (no nested bodies). *)
+val stmt_own : Ast.stmt -> t
+
+(** Def/use of a whole statement subtree. *)
+val stmt_all : Ast.stmt -> t
+
+val block_all : Ast.block -> t
+
+(** Names declared inside the subtree (invisible to siblings). *)
+val stmt_locals : Ast.stmt -> SS.t
+
+val block_locals : Ast.block -> SS.t
+
+(** [stmt_all] minus names declared within the statement: the footprint
+    visible to sibling statements. *)
+val stmt_external : Ast.stmt -> t

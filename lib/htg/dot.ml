@@ -1,0 +1,112 @@
+(** Graphviz export of the Augmented Hierarchical Task Graph: hierarchical
+    nodes become clusters, simple nodes become boxes, and the dependence
+    edges (with communicated variable and volume) become arrows — the
+    picture of the paper's Figure 1, generated from real programs. *)
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | '\n' -> "\\n"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let human_bytes n =
+  if n >= 1 lsl 20 then Printf.sprintf "%.1fMB" (float_of_int n /. 1048576.)
+  else if n >= 1024 then Printf.sprintf "%.1fKB" (float_of_int n /. 1024.)
+  else Printf.sprintf "%dB" n
+
+let node_color (n : Node.t) =
+  match n.Node.kind with
+  | Node.Simple _ -> "lightyellow"
+  | Node.Loop { doall = true; _ } -> "palegreen"
+  | Node.Loop _ -> "lightsalmon"
+  | Node.Branch _ -> "lightblue"
+  | Node.Region -> "whitesmoke"
+
+(** Render the subtree rooted at [root] as a DOT digraph. *)
+let to_string (root : Node.t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph ahtg {\n";
+  Buffer.add_string buf "  rankdir=TB;\n  node [shape=box, style=filled];\n";
+  let anchor (n : Node.t) =
+    (* representative plain node id for edges into a hierarchical node *)
+    Printf.sprintf "n%d" n.Node.id
+  in
+  let rec emit (n : Node.t) =
+    if Node.is_hierarchical n then begin
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  subgraph cluster_%d {\n    label=\"%s\\n%s ec=%.0f cyc=%.0f\";\n\
+           \    style=filled; fillcolor=\"%s\";\n"
+           n.Node.id (escape n.Node.label)
+           (escape (Node.kind_str n))
+           n.Node.exec_count n.Node.total_cycles (node_color n));
+      (* communication in/out pseudo nodes *)
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    in_%d [label=\"comm-in\\n%s\", shape=ellipse, fillcolor=white];\n"
+           n.Node.id
+           (human_bytes n.Node.live_in_bytes));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    out_%d [label=\"comm-out\\n%s\", shape=ellipse, fillcolor=white];\n"
+           n.Node.id
+           (human_bytes n.Node.live_out_bytes));
+      Array.iter emit n.Node.children;
+      Buffer.add_string buf "  }\n";
+      (* edges among the children *)
+      List.iter
+        (fun (e : Node.edge) ->
+          let endpoint = function
+            | Node.EIn -> Printf.sprintf "in_%d" n.Node.id
+            | Node.EOut -> Printf.sprintf "out_%d" n.Node.id
+            | Node.EChild i -> anchor n.Node.children.(i)
+          in
+          let style =
+            match e.Node.kind with
+            | Node.Flow -> "solid"
+            | Node.Order -> "dashed"
+          in
+          let label =
+            match e.Node.kind with
+            | Node.Flow ->
+                Printf.sprintf "%s\\n%s" (escape e.Node.var)
+                  (human_bytes e.Node.bytes)
+            | Node.Order -> escape e.Node.var
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  %s -> %s [label=\"%s\", style=%s];\n"
+               (endpoint e.Node.src) (endpoint e.Node.dst) label style))
+        n.Node.edges;
+      (* loop-carried conflicts as red double arrows *)
+      List.iter
+        (fun (a, b) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  %s -> %s [color=red, dir=both, style=bold, label=\"carried\"];\n"
+               (anchor n.Node.children.(a))
+               (anchor n.Node.children.(b))))
+        n.Node.conflicts;
+      (* invisible anchor so parent edges can point at the cluster *)
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  n%d [label=\"\", shape=point, style=invis];\n" n.Node.id)
+    end
+    else
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\\nec=%.0f cyc=%.0f\", fillcolor=\"%s\"];\n"
+           n.Node.id (escape n.Node.label) n.Node.exec_count n.Node.total_cycles
+           (node_color n))
+  in
+  emit root;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file path root =
+  let oc = open_out path in
+  output_string oc (to_string root);
+  close_out oc

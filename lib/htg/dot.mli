@@ -1,0 +1,7 @@
+(** Graphviz export of the AHTG: hierarchical nodes as clusters, simple
+    nodes as boxes, dependence edges (variable + volume) as arrows,
+    loop-carried conflicts in red — the picture of the paper's Figure 1,
+    generated from real programs. *)
+
+val to_string : Node.t -> string
+val to_file : string -> Node.t -> unit

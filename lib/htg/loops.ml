@@ -1,0 +1,237 @@
+(** Loop classification: canonical induction variables and DOALL detection.
+
+    A DOALL loop (no loop-carried dependence) exposes the paper's
+    "loop iterations" granularity level: its iteration space can be split
+    into blocks that the ILP maps to tasks on different processor classes.
+    Detection is conservative — any doubtful access pattern keeps the loop
+    sequential. *)
+
+open Minic
+module SS = Defuse.SS
+
+(** The canonical induction variable of a [for] loop of the shape
+    [for (i = lo; i < hi; i = i + c)] with [c > 0] (also accepts [<=]). *)
+let canonical_induction (f : Ast.for_loop) : string option =
+  match (f.finit, f.fcond, f.fstep) with
+  | ( Some (Ast.LVar i1, _),
+      Ast.Binop ((Ast.Lt | Ast.Le), Ast.Var i2, _),
+      Some (Ast.LVar i3, Ast.Binop (Ast.Add, Ast.Var i4, Ast.IntLit c)) )
+    when String.equal i1 i2 && String.equal i1 i3 && String.equal i1 i4
+         && c > 0 ->
+      Some i1
+  | _ -> None
+
+type verdict = Doall | Sequential of string
+
+(* ordered-access scan state *)
+type scan = {
+  mutable scalar_first : (string * [ `Def | `Use ]) list;  (** reversed *)
+  arr_writes : (string, Ast.expr list) Hashtbl.t;  (** first-dim index exprs *)
+  arr_reads : (string, Ast.expr list) Hashtbl.t;
+  mutable has_return : bool;
+  locals : SS.t;  (** names private to the body (fresh per iteration) *)
+  ind : string;  (** the loop's induction variable *)
+}
+
+let record_scalar st guarded name acc_kind =
+  if (not (String.equal name st.ind)) && not (SS.mem name st.locals) then
+    if not (List.mem_assoc name st.scalar_first) then
+      (* a def under a conditional may not execute every iteration: treat it
+         as a use (pessimistic) *)
+      let k = if guarded && acc_kind = `Def then `Use else acc_kind in
+      st.scalar_first <- (name, k) :: st.scalar_first
+
+let record_arr tbl name first_idx =
+  let cur = match Hashtbl.find_opt tbl name with Some l -> l | None -> [] in
+  Hashtbl.replace tbl name (first_idx :: cur)
+
+let rec scan_expr_reads st guarded (e : Ast.expr) =
+  match e with
+  | Ast.IntLit _ | Ast.FloatLit _ -> ()
+  | Ast.Var n -> record_scalar st guarded n `Use
+  | Ast.ArrRef (n, idxs) ->
+      List.iter (scan_expr_reads st guarded) idxs;
+      (match idxs with
+      | first :: _ -> record_arr st.arr_reads n first
+      | [] -> ());
+      (* reading the array object *)
+      ()
+  | Ast.Unop (_, e1) -> scan_expr_reads st guarded e1
+  | Ast.Binop (_, e1, e2) ->
+      scan_expr_reads st guarded e1;
+      scan_expr_reads st guarded e2
+  | Ast.Call (_, args) -> List.iter (scan_expr_reads st guarded) args
+
+let scan_assign st guarded lhs rhs =
+  scan_expr_reads st guarded rhs;
+  match lhs with
+  | Ast.LVar n -> record_scalar st guarded n `Def
+  | Ast.LArr (n, idxs) ->
+      List.iter (scan_expr_reads st guarded) idxs;
+      (match idxs with
+      | first :: _ -> record_arr st.arr_writes n first
+      | [] -> ())
+
+let rec scan_stmt st guarded (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Assign (lhs, rhs) -> scan_assign st guarded lhs rhs
+  | Ast.Decl d -> (
+      (* declarations inside the body are per-iteration private and are in
+         [st.locals]; still scan the initializer's reads *)
+      match d.dinit with
+      | Some e -> scan_expr_reads st guarded e
+      | None -> ())
+  | Ast.If (c, b1, b2) ->
+      scan_expr_reads st guarded c;
+      List.iter (scan_stmt st true) b1;
+      List.iter (scan_stmt st true) b2
+  | Ast.While (c, b) ->
+      scan_expr_reads st guarded c;
+      (* iteration count unknown: body effects are effectively guarded *)
+      List.iter (scan_stmt st true) b
+  | Ast.For { finit; fcond; fstep; fbody } ->
+      Option.iter (fun (lhs, e) -> scan_assign st guarded lhs e) finit;
+      scan_expr_reads st guarded fcond;
+      List.iter (scan_stmt st guarded) fbody;
+      Option.iter (fun (lhs, e) -> scan_assign st guarded lhs e) fstep
+  | Ast.Return _ -> st.has_return <- true
+  | Ast.ExprStmt e -> scan_expr_reads st guarded e
+  | Ast.Block b -> List.iter (scan_stmt st guarded) b
+
+let is_ind_var ind (e : Ast.expr) =
+  match e with Ast.Var n -> String.equal n ind | _ -> false
+
+(** Classify a canonical [for] loop body with induction variable [ind]. *)
+let classify_body ~ind (body : Ast.block) : verdict =
+  let st =
+    {
+      scalar_first = [];
+      arr_writes = Hashtbl.create 8;
+      arr_reads = Hashtbl.create 8;
+      has_return = false;
+      locals = Defuse.block_locals body;
+      ind;
+    }
+  in
+  List.iter (scan_stmt st false) body;
+  if st.has_return then Sequential "early exit (return in body)"
+  else begin
+    (* scalars: the first access per iteration must be an unconditional
+       definition (making the scalar privatizable) *)
+    let scalar_bad =
+      List.find_opt (fun (_, k) -> k = `Use) (List.rev st.scalar_first)
+    in
+    match scalar_bad with
+    | Some (name, _) ->
+        Sequential
+          (Printf.sprintf "scalar %s is live across iterations" name)
+    | None ->
+        (* arrays: every write's leading index must be the induction
+           variable; arrays both read and written additionally need all
+           reads at the induction variable *)
+        let bad = ref None in
+        Hashtbl.iter
+          (fun name widxs ->
+            (* arrays declared inside the body are per-iteration private *)
+            if Option.is_none !bad && not (SS.mem name st.locals) then
+              if not (List.for_all (is_ind_var ind) widxs) then
+                bad :=
+                  Some
+                    (Printf.sprintf
+                       "array %s is written at a non-induction index" name)
+              else
+                match Hashtbl.find_opt st.arr_reads name with
+                | None -> ()
+                | Some ridxs ->
+                    if not (List.for_all (is_ind_var ind) ridxs) then
+                      bad :=
+                        Some
+                          (Printf.sprintf
+                             "array %s is read at an index other than the \
+                              written one"
+                             name))
+          st.arr_writes;
+        (match !bad with Some r -> Sequential r | None -> Doall)
+  end
+
+(** Classify a [for] loop.  Besides the body rules, the loop bound must be
+    loop-invariant: a body that writes a variable read by the condition
+    changes the trip count mid-flight, which iteration splitting cannot
+    honour. *)
+let classify (f : Ast.for_loop) : verdict =
+  match canonical_induction f with
+  | None -> Sequential "non-canonical loop header"
+  | Some ind -> (
+      let cond_uses = SS.remove ind (Defuse.expr_uses f.fcond) in
+      let body_defs = (Defuse.block_all f.fbody).Defuse.defs in
+      match SS.choose_opt (SS.inter cond_uses body_defs) with
+      | Some v ->
+          Sequential (Printf.sprintf "loop bound %s is modified in the body" v)
+      | None -> classify_body ~ind f.fbody)
+
+let scan_of_body ~ind (body : Ast.block) =
+  let st =
+    {
+      scalar_first = [];
+      arr_writes = Hashtbl.create 8;
+      arr_reads = Hashtbl.create 8;
+      has_return = false;
+      locals = Defuse.block_locals body;
+      ind = (match ind with Some i -> i | None -> "");
+      (* "" never matches a real identifier *)
+    }
+  in
+  List.iter (scan_stmt st false) body;
+  st
+
+(** Arrays whose every access (read and write) in the body leads with the
+    induction variable — distinct iterations touch distinct rows, so only
+    a row-sized slice communicates per iteration. *)
+let elementwise_arrays ~ind (body : Ast.block) : SS.t =
+  match ind with
+  | None -> SS.empty
+  | Some _ ->
+      let st = scan_of_body ~ind body in
+      let ok tbl name =
+        match Hashtbl.find_opt tbl name with
+        | None -> true
+        | Some idxs -> List.for_all (is_ind_var st.ind) idxs
+      in
+      let all = Hashtbl.create 8 in
+      Hashtbl.iter (fun n _ -> Hashtbl.replace all n ()) st.arr_writes;
+      Hashtbl.iter (fun n _ -> Hashtbl.replace all n ()) st.arr_reads;
+      Hashtbl.fold
+        (fun n () acc ->
+          if ok st.arr_writes n && ok st.arr_reads n then SS.add n acc else acc)
+        all SS.empty
+
+(** Variables carrying a dependence from one iteration to the next; the
+    statements touching them must stay in one task when the loop body is
+    partitioned.  [ind = None] means a non-canonical loop: every variable
+    both written and read is assumed carried. *)
+let carried_vars ~ind (body : Ast.block) : SS.t =
+  let st = scan_of_body ~ind body in
+  let du = Defuse.block_all body in
+  let external_rw =
+    SS.diff (SS.inter du.Defuse.defs du.Defuse.uses) st.locals
+  in
+  let external_rw =
+    match ind with Some i -> SS.remove i external_rw | None -> external_rw
+  in
+  match ind with
+  | None -> external_rw
+  | Some _ ->
+      let carried_scalar name =
+        match List.assoc_opt name (List.rev st.scalar_first) with
+        | Some `Use -> true  (* read before (unconditional) write *)
+        | Some `Def -> false  (* privatizable *)
+        | None -> false
+      in
+      let elementwise = elementwise_arrays ~ind body in
+      SS.filter
+        (fun v ->
+          let is_array =
+            Hashtbl.mem st.arr_writes v || Hashtbl.mem st.arr_reads v
+          in
+          if is_array then not (SS.mem v elementwise) else carried_scalar v)
+        external_rw

@@ -1,0 +1,32 @@
+(** Loop classification: canonical induction variables and DOALL
+    detection.  Conservative — any doubtful access pattern keeps the loop
+    sequential. *)
+
+open Minic
+module SS = Defuse.SS
+
+(** The induction variable of a loop shaped
+    [for (i = lo; i < hi; i = i + c)] with [c > 0] (also accepts [<=]). *)
+val canonical_induction : Ast.for_loop -> string option
+
+type verdict = Doall | Sequential of string  (** reason *)
+
+(** Classify a canonical loop body: DOALL iff every scalar is privatizable
+    (first access per iteration is an unconditional definition), every
+    written array leads with the induction variable, and arrays both read
+    and written are accessed only at the induction index. *)
+val classify_body : ind:string -> Ast.block -> verdict
+
+(** Classify a [for] loop (non-canonical headers are sequential). *)
+val classify : Ast.for_loop -> verdict
+
+(** Arrays whose every access in the body leads with the induction
+    variable: distinct iterations touch distinct rows, so only a row-sized
+    slice communicates per iteration. *)
+val elementwise_arrays : ind:string option -> Ast.block -> SS.t
+
+(** Variables carrying a dependence between iterations; statements
+    touching them must share a task when the body is partitioned.
+    [ind = None] (non-canonical loop): every variable both written and
+    read is assumed carried. *)
+val carried_vars : ind:string option -> Ast.block -> SS.t

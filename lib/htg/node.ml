@@ -1,0 +1,104 @@
+(** Augmented Hierarchical Task Graph nodes (paper Section III-A).
+
+    The hierarchy mirrors the program structure: {e Simple Nodes} carry one
+    or more coalesced statements; {e Hierarchical Nodes} (loops, branches,
+    regions) contain children plus implicit Communication-In/Out endpoints.
+    Every node is annotated with total execution work (abstract cycles at
+    CPI 1 — per-class times are derived via the platform), execution
+    counts, and its external def/use footprint; edges between the children
+    of a hierarchical node carry the communicated variable and byte
+    volume. *)
+
+module SS = Defuse.SS
+
+type endpoint = EIn | EChild of int | EOut
+
+type edge_kind =
+  | Flow  (** true data flow: bytes move if endpoints are in different tasks *)
+  | Order  (** anti/output dependence: ordering only, no payload *)
+
+type edge = {
+  src : endpoint;
+  dst : endpoint;
+  kind : edge_kind;
+  var : string;
+  bytes : int;
+      (** payload bytes over the whole program run, i.e. per-transfer volume
+          times the number of transfers, if the endpoints land in
+          different tasks *)
+}
+
+type kind =
+  | Simple of int list  (** statement ids (coalesced run of statements) *)
+  | Loop of { sid : int; doall : bool; iters_per_entry : float }
+  | Branch of int  (** if statement id; children = [then; else] regions *)
+  | Region  (** block / inlined function body / branch arm *)
+
+type t = {
+  id : int;
+  kind : kind;
+  label : string;
+  exec_count : float;  (** entries over the whole program run *)
+  total_cycles : float;  (** subtree work, abstract cycles, whole program *)
+  children : t array;  (** in program order; empty for Simple *)
+  edges : edge list;  (** dependences among [children] and In/Out *)
+  conflicts : (int * int) list;
+      (** child pairs that must share a task (loop-carried recurrences) *)
+  defs : SS.t;  (** external defs of the subtree *)
+  uses : SS.t;  (** external uses of the subtree *)
+  live_in_bytes : int;  (** total Comm-In volume over the program run *)
+  live_out_bytes : int;  (** total Comm-Out volume over the program run *)
+}
+
+let is_hierarchical n = Array.length n.children > 0
+
+let is_doall n = match n.kind with Loop l -> l.doall | _ -> false
+
+(** Work in abstract cycles per single entry of the node. *)
+let cycles_per_entry n =
+  if n.exec_count <= 0. then 0. else n.total_cycles /. n.exec_count
+
+(** Total sequential time (microseconds, whole program) on class [cls] of
+    platform [pf]. *)
+let seq_time_us pf ~cls n = Platform.Desc.time_us pf ~cls n.total_cycles
+
+let kind_str n =
+  match n.kind with
+  | Simple sids -> Printf.sprintf "simple[%s]" (String.concat "," (List.map string_of_int sids))
+  | Loop { doall; iters_per_entry; _ } ->
+      Printf.sprintf "loop(%s, %.1f iters)" (if doall then "doall" else "seq")
+        iters_per_entry
+  | Branch _ -> "branch"
+  | Region -> "region"
+
+let endpoint_str = function
+  | EIn -> "in"
+  | EOut -> "out"
+  | EChild i -> string_of_int i
+
+(** Count of nodes in the subtree. *)
+let rec size n = Array.fold_left (fun acc c -> acc + size c) 1 n.children
+
+(** All hierarchical nodes of the subtree, bottom-up (children first). *)
+let rec hierarchical_bottom_up n : t list =
+  let inner =
+    Array.fold_left (fun acc c -> acc @ hierarchical_bottom_up c) [] n.children
+  in
+  if is_hierarchical n then inner @ [ n ] else inner
+
+let rec pp ?(indent = 0) ppf n =
+  let pad = String.make (2 * indent) ' ' in
+  Fmt.pf ppf "%s#%d %s %s ec=%.0f cyc=%.0f in=%dB out=%dB@." pad n.id
+    (kind_str n) n.label n.exec_count n.total_cycles n.live_in_bytes
+    n.live_out_bytes;
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "%s  edge %s->%s %s %s %dB@." pad (endpoint_str e.src)
+        (endpoint_str e.dst)
+        (match e.kind with Flow -> "flow" | Order -> "order")
+        e.var e.bytes)
+    n.edges;
+  List.iter
+    (fun (a, b) -> Fmt.pf ppf "%s  conflict %d<->%d@." pad a b)
+    n.conflicts;
+  Array.iter (pp ~indent:(indent + 1) ppf) n.children

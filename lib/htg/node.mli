@@ -1,0 +1,66 @@
+(** Augmented Hierarchical Task Graph nodes (paper Section III-A): the
+    hierarchy mirrors the program structure; every node carries profiled
+    work, execution counts and its external def/use footprint; edges
+    between the children of a hierarchical node carry the communicated
+    variable and byte volume; Communication-In/Out are implicit endpoints
+    of each hierarchical node. *)
+
+module SS = Defuse.SS
+
+type endpoint = EIn | EChild of int | EOut
+
+type edge_kind =
+  | Flow  (** true data flow: bytes move if endpoints land in different tasks *)
+  | Order  (** anti/output dependence: ordering only, no payload *)
+
+type edge = {
+  src : endpoint;
+  dst : endpoint;
+  kind : edge_kind;
+  var : string;
+  bytes : int;
+      (** payload bytes over the whole program run, if the endpoints land
+          in different tasks *)
+}
+
+type kind =
+  | Simple of int list  (** statement ids (coalesced run of statements) *)
+  | Loop of { sid : int; doall : bool; iters_per_entry : float }
+  | Branch of int  (** if statement id; children = [cond; then; else] *)
+  | Region  (** block / inlined function body / branch arm *)
+
+type t = {
+  id : int;
+  kind : kind;
+  label : string;
+  exec_count : float;  (** entries over the whole program run *)
+  total_cycles : float;  (** subtree work, abstract cycles, whole program *)
+  children : t array;  (** in program order; empty for Simple *)
+  edges : edge list;  (** dependences among [children] and In/Out *)
+  conflicts : (int * int) list;
+      (** child pairs that must share a task (loop-carried recurrences) *)
+  defs : SS.t;
+  uses : SS.t;
+  live_in_bytes : int;  (** total Comm-In volume over the program run *)
+  live_out_bytes : int;  (** total Comm-Out volume over the program run *)
+}
+
+val is_hierarchical : t -> bool
+val is_doall : t -> bool
+
+(** Work in abstract cycles per single entry of the node. *)
+val cycles_per_entry : t -> float
+
+(** Total sequential time (us, whole program) on class [cls]. *)
+val seq_time_us : Platform.Desc.t -> cls:int -> t -> float
+
+val kind_str : t -> string
+val endpoint_str : endpoint -> string
+
+(** Nodes in the subtree. *)
+val size : t -> int
+
+(** All hierarchical nodes, bottom-up (children before parents). *)
+val hierarchical_bottom_up : t -> t list
+
+val pp : ?indent:int -> Format.formatter -> t -> unit

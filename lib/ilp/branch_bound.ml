@@ -1,0 +1,260 @@
+(** Branch & bound MILP solver over {!Simplex} LP relaxations.
+
+    Best-first search on the relaxation bound, branching on the most
+    fractional integer variable; a round-to-nearest primal heuristic and an
+    optional caller-supplied warm start seed the incumbent so that node
+    and time limits still return a feasible solution ([Feasible] status)
+    instead of failing. *)
+
+type status =
+  | Optimal  (** proved optimal within tolerance *)
+  | Feasible  (** limit hit; best incumbent returned *)
+  | Infeasible
+  | Unbounded
+
+type solution = {
+  status : status;
+  x : float array option;
+  obj : float;  (** objective of [x] in the model's own sense *)
+  nodes : int;  (** branch & bound nodes processed *)
+}
+
+type options = {
+  time_limit_s : float;
+  node_limit : int;
+  gap_abs : float;
+  gap_rel : float;
+  int_tol : float;
+}
+
+let default_options =
+  {
+    time_limit_s = 30.;
+    node_limit = 200_000;
+    gap_abs = 1e-6;
+    gap_rel = 1e-9;
+    int_tol = 1e-6;
+  }
+
+type node = { nlb : float array; nub : float array; parent_bound : float }
+
+(* simple pairing-heap-free priority queue: sorted insertion would be
+   O(n); use a binary heap on arrays *)
+module Heap = struct
+  type 'a t = { mutable data : (float * 'a) array; mutable size : int }
+
+  let create () = { data = Array.make 64 (0., Obj.magic 0); size = 0 }
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let push h key v =
+    if h.size = Array.length h.data then begin
+      let d = Array.make (2 * h.size) h.data.(0) in
+      Array.blit h.data 0 d 0 h.size;
+      h.data <- d
+    end;
+    h.data.(h.size) <- (key, v);
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then
+          smallest := l;
+        if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then
+          smallest := r;
+        if !smallest <> !i then begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+let is_int_kind = function Model.Bool | Model.Int -> true | Model.Cont -> false
+
+(** Fractional integer variable to branch on: highest branch priority
+    first, most fractional within a priority level. *)
+let fractional_var model opts (x : float array) =
+  let best = ref (-1) in
+  let best_prio = ref min_int in
+  let best_frac = ref 0. in
+  for v = 0 to Model.num_vars model - 1 do
+    let info = Model.var_info model v in
+    if is_int_kind info.Model.kind then begin
+      let f = Float.abs (x.(v) -. Float.round x.(v)) in
+      if f > opts.int_tol then begin
+        let prio = info.Model.priority in
+        if
+          prio > !best_prio || (prio = !best_prio && f > !best_frac)
+        then begin
+          best := v;
+          best_prio := prio;
+          best_frac := f
+        end
+      end
+    end
+  done;
+  if !best >= 0 then Some !best else None
+
+(** Round integer variables to nearest and re-check feasibility — a cheap
+    primal heuristic run on every LP solution. *)
+let rounded_candidate model opts (x : float array) =
+  let n = Model.num_vars model in
+  let y = Array.copy x in
+  for v = 0 to n - 1 do
+    if is_int_kind (Model.var_info model v).Model.kind then
+      y.(v) <- Float.round y.(v)
+  done;
+  ignore opts;
+  if Model.feasible model (fun v -> y.(v)) then Some y else None
+
+(** Fix-and-solve: freeze the integers at their rounded values and
+    re-optimize the continuous rest with one LP.  More expensive than
+    {!rounded_candidate} but finds feasible completions the plain rounding
+    misses (e.g. when big-M continuous variables must move). *)
+let fix_and_solve model (node_lb : float array) (node_ub : float array)
+    (x : float array) =
+  let n = Model.num_vars model in
+  let lb = Array.copy node_lb and ub = Array.copy node_ub in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if is_int_kind (Model.var_info model v).Model.kind then begin
+      let r = Float.round x.(v) in
+      if r < node_lb.(v) -. 1e-9 || r > node_ub.(v) +. 1e-9 then ok := false
+      else begin
+        lb.(v) <- r;
+        ub.(v) <- r
+      end
+    end
+  done;
+  if not !ok then None
+  else
+    match Simplex.solve ~lb ~ub model with
+    | Simplex.Optimal { x = y; _ } ->
+        let y = Array.copy y in
+        for v = 0 to n - 1 do
+          if is_int_kind (Model.var_info model v).Model.kind then
+            y.(v) <- Float.round y.(v)
+        done;
+        if Model.feasible model (fun v -> y.(v)) then Some y else None
+    | Simplex.Infeasible | Simplex.Unbounded -> None
+
+let solve ?(options = default_options) ?warm_start (model : Model.t) : solution
+    =
+  let n = Model.num_vars model in
+  let sense = model.Model.obj_sense in
+  (* internal objective: always minimize *)
+  let key_of_obj o = match sense with Model.Minimize -> o | Model.Maximize -> -.o in
+  let start = Sys.time () in
+  let incumbent = ref None in
+  let incumbent_key = ref infinity in
+  let consider_incumbent y =
+    let o = Model.objective_value model (fun v -> y.(v)) in
+    let k = key_of_obj o in
+    if k < !incumbent_key -. 1e-12 then begin
+      incumbent_key := k;
+      incumbent := Some (y, o)
+    end
+  in
+  (match warm_start with
+  | Some y when Array.length y = n && Model.feasible model (fun v -> y.(v)) ->
+      consider_incumbent (Array.copy y)
+  | _ -> ());
+  let root_lb = Array.init n (fun v -> (Model.var_info model v).Model.lb) in
+  let root_ub = Array.init n (fun v -> (Model.var_info model v).Model.ub) in
+  let heap = Heap.create () in
+  Heap.push heap neg_infinity
+    { nlb = root_lb; nub = root_ub; parent_bound = neg_infinity };
+  let nodes = ref 0 in
+  let hit_limit = ref false in
+  let saw_unbounded = ref false in
+  let fathom_key () =
+    !incumbent_key
+    -. max options.gap_abs (options.gap_rel *. Float.abs !incumbent_key)
+  in
+  let continue = ref true in
+  while !continue do
+    if Sys.time () -. start > options.time_limit_s || !nodes >= options.node_limit
+    then begin
+      hit_limit := true;
+      continue := false
+    end
+    else
+      match Heap.pop heap with
+      | None -> continue := false
+      | Some (key, nd) ->
+          if key >= fathom_key () then continue := false
+            (* best-first: all remaining nodes are worse *)
+          else begin
+            incr nodes;
+            match Simplex.solve ~lb:nd.nlb ~ub:nd.nub model with
+            | Simplex.Infeasible -> ()
+            | Simplex.Unbounded -> saw_unbounded := true
+            | Simplex.Optimal { x; obj } -> (
+                let bound_key = key_of_obj obj in
+                if bound_key >= fathom_key () then ()
+                else begin
+                  (match rounded_candidate model options x with
+                  | Some y -> consider_incumbent y
+                  | None ->
+                      (* periodically try the LP-based completion *)
+                      if !nodes land 7 = 1 then
+                        match fix_and_solve model nd.nlb nd.nub x with
+                        | Some y -> consider_incumbent y
+                        | None -> ());
+                  match fractional_var model options x with
+                  | None ->
+                      (* integral LP solution *)
+                      let y = Array.copy x in
+                      for v = 0 to n - 1 do
+                        if is_int_kind (Model.var_info model v).Model.kind then
+                          y.(v) <- Float.round y.(v)
+                      done;
+                      if Model.feasible model (fun v -> y.(v)) then
+                        consider_incumbent y
+                  | Some v ->
+                      let xv = x.(v) in
+                      let down_ub = Array.copy nd.nub in
+                      down_ub.(v) <- Float.floor xv;
+                      let up_lb = Array.copy nd.nlb in
+                      up_lb.(v) <- Float.ceil xv;
+                      Heap.push heap bound_key
+                        { nlb = nd.nlb; nub = down_ub; parent_bound = bound_key };
+                      Heap.push heap bound_key
+                        { nlb = up_lb; nub = nd.nub; parent_bound = bound_key }
+                end)
+          end
+  done;
+  match !incumbent with
+  | Some (y, o) ->
+      {
+        status = (if !hit_limit then Feasible else Optimal);
+        x = Some y;
+        obj = o;
+        nodes = !nodes;
+      }
+  | None ->
+      if !saw_unbounded then
+        { status = Unbounded; x = None; obj = nan; nodes = !nodes }
+      else if !hit_limit then
+        { status = Infeasible; x = None; obj = nan; nodes = !nodes }
+      else { status = Infeasible; x = None; obj = nan; nodes = !nodes }

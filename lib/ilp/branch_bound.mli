@@ -1,0 +1,34 @@
+(** Branch & bound MILP solver over {!Simplex} LP relaxations.
+
+    Best-first search on the relaxation bound, branching on the highest
+    priority / most fractional integer variable; a rounding heuristic, a
+    periodic fix-and-solve completion, and an optional caller-supplied
+    warm start seed the incumbent so that node and time limits still
+    return a feasible solution. *)
+
+type status =
+  | Optimal  (** proved optimal within tolerance *)
+  | Feasible  (** limit hit; best incumbent returned *)
+  | Infeasible
+  | Unbounded
+
+type solution = {
+  status : status;
+  x : float array option;
+  obj : float;  (** objective of [x] in the model's own sense *)
+  nodes : int;  (** branch & bound nodes processed *)
+}
+
+type options = {
+  time_limit_s : float;
+  node_limit : int;
+  gap_abs : float;  (** absolute optimality gap for fathoming *)
+  gap_rel : float;  (** relative optimality gap for fathoming *)
+  int_tol : float;  (** integrality tolerance *)
+}
+
+val default_options : options
+
+(** Solve the MILP.  [warm_start], when feasible, becomes the initial
+    incumbent. *)
+val solve : ?options:options -> ?warm_start:float array -> Model.t -> solution

@@ -1,0 +1,83 @@
+(** Brute-force reference MILP solver for the test suite.
+
+    Enumerates every assignment of the integer variables within their
+    (finite) bounds; for each assignment the integer variables are fixed
+    and the remaining LP is solved with {!Simplex}.  Exponential — only
+    usable on tiny models, which is exactly what the qcheck cross-check
+    against {!Branch_bound} needs. *)
+
+type solution = { x : float array option; obj : float; enumerated : int }
+
+exception Too_large
+
+(** [solve ~limit model] raises {!Too_large} if more than [limit]
+    assignments would have to be enumerated. *)
+let solve ?(limit = 2_000_00) (model : Model.t) : solution =
+  let n = Model.num_vars model in
+  let int_vars =
+    List.filter
+      (fun v ->
+        match (Model.var_info model v).Model.kind with
+        | Model.Bool | Model.Int -> true
+        | Model.Cont -> false)
+      (List.init n (fun i -> i))
+  in
+  let domains =
+    List.map
+      (fun v ->
+        let info = Model.var_info model v in
+        let lo = int_of_float (Float.ceil (info.Model.lb -. 1e-9)) in
+        let hi = int_of_float (Float.floor (info.Model.ub +. 1e-9)) in
+        if float_of_int (hi - lo + 1) > 1e7 then raise Too_large;
+        (v, lo, hi))
+      int_vars
+  in
+  let total =
+    List.fold_left
+      (fun acc (_, lo, hi) ->
+        let d = max 0 (hi - lo + 1) in
+        if acc > limit then acc else acc * d)
+      1 domains
+  in
+  if total > limit then raise Too_large;
+  let base_lb = Array.init n (fun v -> (Model.var_info model v).Model.lb) in
+  let base_ub = Array.init n (fun v -> (Model.var_info model v).Model.ub) in
+  let sense = model.Model.obj_sense in
+  let better a b =
+    match sense with Model.Minimize -> a < b -. 1e-12 | Model.Maximize -> a > b +. 1e-12
+  in
+  let best = ref None in
+  let count = ref 0 in
+  let rec go assigned = function
+    | [] ->
+        incr count;
+        let lb = Array.copy base_lb and ub = Array.copy base_ub in
+        List.iter
+          (fun (v, value) ->
+            lb.(v) <- float_of_int value;
+            ub.(v) <- float_of_int value)
+          assigned;
+        (match Simplex.solve ~lb ~ub model with
+        | Simplex.Optimal { x; obj } -> (
+            match !best with
+            | None -> best := Some (x, obj)
+            | Some (_, o) -> if better obj o then best := Some (x, obj))
+        | Simplex.Infeasible -> ()
+        | Simplex.Unbounded ->
+            (* an unbounded fiber makes the whole MILP unbounded; represent
+               with an infinite objective *)
+            let inf_obj =
+              match sense with
+              | Model.Minimize -> neg_infinity
+              | Model.Maximize -> infinity
+            in
+            best := Some (Array.make n nan, inf_obj))
+    | (v, lo, hi) :: rest ->
+        for value = lo to hi do
+          go ((v, value) :: assigned) rest
+        done
+  in
+  go [] domains;
+  match !best with
+  | None -> { x = None; obj = nan; enumerated = !count }
+  | Some (x, obj) -> { x = Some x; obj; enumerated = !count }

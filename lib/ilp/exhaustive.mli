@@ -1,0 +1,15 @@
+(** Brute-force reference MILP solver for the test suite: enumerates every
+    assignment of the integer variables and solves the remaining LP with
+    {!Simplex}.  Exponential — for tiny models only. *)
+
+type solution = {
+  x : float array option;
+  obj : float;
+  enumerated : int;  (** integer assignments visited *)
+}
+
+exception Too_large
+
+(** [solve ~limit model] raises {!Too_large} when more than [limit]
+    assignments would need enumeration (default 200,000). *)
+val solve : ?limit:int -> Model.t -> solution

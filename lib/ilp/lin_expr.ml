@@ -1,0 +1,72 @@
+(** Linear expressions over integer-indexed variables:
+    [sum_i coef_i * x_i + const]. *)
+
+type t = { terms : (int * float) list; const : float }
+
+let zero = { terms = []; const = 0. }
+let constant c = { terms = []; const = c }
+let term ?(coef = 1.0) v = { terms = [ (v, coef) ]; const = 0. }
+let of_terms ?(const = 0.) terms = { terms; const }
+
+let add a b = { terms = a.terms @ b.terms; const = a.const +. b.const }
+let sub a b =
+  {
+    terms = a.terms @ List.map (fun (v, c) -> (v, -.c)) b.terms;
+    const = a.const -. b.const;
+  }
+
+let neg a = sub zero a
+let scale k a =
+  { terms = List.map (fun (v, c) -> (v, k *. c)) a.terms; const = k *. a.const }
+
+let add_const c a = { a with const = a.const +. c }
+let sum xs = List.fold_left add zero xs
+
+(** Combine duplicate variables and drop zero coefficients.  Returns terms
+    sorted by variable index. *)
+let normalize a =
+  let tbl = Hashtbl.create (List.length a.terms) in
+  List.iter
+    (fun (v, c) ->
+      let cur = match Hashtbl.find_opt tbl v with Some x -> x | None -> 0. in
+      Hashtbl.replace tbl v (cur +. c))
+    a.terms;
+  let terms =
+    Hashtbl.fold (fun v c acc -> if c = 0. then acc else (v, c) :: acc) tbl []
+    |> List.sort (fun (v1, _) (v2, _) -> compare v1 v2)
+  in
+  { terms; const = a.const }
+
+(** Evaluate under an assignment [value : var -> float]. *)
+let eval value a =
+  List.fold_left (fun acc (v, c) -> acc +. (c *. value v)) a.const a.terms
+
+let pp ?(var_name = fun v -> Printf.sprintf "x%d" v) ppf a =
+  let a = normalize a in
+  let first = ref true in
+  List.iter
+    (fun (v, c) ->
+      if !first then begin
+        first := false;
+        if c = 1. then Fmt.pf ppf "%s" (var_name v)
+        else if c = -1. then Fmt.pf ppf "-%s" (var_name v)
+        else Fmt.pf ppf "%g %s" c (var_name v)
+      end
+      else if c >= 0. then
+        if c = 1. then Fmt.pf ppf " + %s" (var_name v)
+        else Fmt.pf ppf " + %g %s" c (var_name v)
+      else if c = -1. then Fmt.pf ppf " - %s" (var_name v)
+      else Fmt.pf ppf " - %g %s" (-.c) (var_name v))
+    a.terms;
+  if !first then Fmt.pf ppf "%g" a.const
+  else if a.const > 0. then Fmt.pf ppf " + %g" a.const
+  else if a.const < 0. then Fmt.pf ppf " - %g" (-.a.const)
+
+(* Infix builders, locally opened as [Lin_expr.Infix] at model-building
+   sites to keep the ILP formulation readable. *)
+module Infix = struct
+  let ( ++ ) = add
+  let ( -- ) = sub
+  let ( ** ) k v = term ~coef:k v
+  let ( +! ) e c = add_const c e
+end

@@ -1,0 +1,34 @@
+(** Linear expressions over integer-indexed variables:
+    [sum_i coef_i * x_i + const].  Expressions are persistent values;
+    {!normalize} combines duplicate variables. *)
+
+type t = { terms : (int * float) list; const : float }
+
+val zero : t
+val constant : float -> t
+
+(** [term ?coef v] is [coef * x_v] (default coefficient 1). *)
+val term : ?coef:float -> int -> t
+
+val of_terms : ?const:float -> (int * float) list -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+val add_const : float -> t -> t
+val sum : t list -> t
+
+(** Combine duplicate variables, drop zero coefficients, sort by index. *)
+val normalize : t -> t
+
+(** Evaluate under an assignment. *)
+val eval : (int -> float) -> t -> float
+
+val pp : ?var_name:(int -> string) -> Format.formatter -> t -> unit
+
+module Infix : sig
+  val ( ++ ) : t -> t -> t
+  val ( -- ) : t -> t -> t
+  val ( ** ) : float -> int -> t
+  val ( +! ) : t -> float -> t
+end

@@ -1,0 +1,108 @@
+(** Export a {!Model.t} in the CPLEX LP text format, so generated ILPs can
+    be inspected or cross-checked with external solvers (lp_solve, CPLEX,
+    glpsol, HiGHS all read it).  The paper's tool emitted its models to
+    exactly such solvers. *)
+
+let sanitize name =
+  (* LP format identifiers: letters, digits, and a few symbols; must not
+     start with a digit or 'e'/'E' (to avoid number confusion) *)
+  let buf = Buffer.create (String.length name + 1) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '#' ->
+          Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  let s = Buffer.contents buf in
+  if s = "" then "v"
+  else
+    match s.[0] with
+    | '0' .. '9' | 'e' | 'E' | '.' -> "v" ^ s
+    | _ -> s
+
+let pp_term buf first coef var_name =
+  if coef >= 0. then begin
+    if not first then Buffer.add_string buf " + "
+  end
+  else Buffer.add_string buf (if first then "-" else " - ");
+  let a = Float.abs coef in
+  if a <> 1. then Buffer.add_string buf (Printf.sprintf "%.12g " a);
+  Buffer.add_string buf var_name
+
+let pp_expr buf (model : Model.t) (e : Lin_expr.t) =
+  let e = Lin_expr.normalize e in
+  match e.Lin_expr.terms with
+  | [] -> Buffer.add_string buf "0 dummy_zero"
+  | terms ->
+      List.iteri
+        (fun i (v, c) ->
+          pp_term buf (i = 0) c (sanitize (Model.var_name model v)))
+        terms
+
+(** Render the model as an LP-format string. *)
+let to_string (model : Model.t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "\\ %s\n" (Model.name model));
+  Buffer.add_string buf
+    (match model.Model.obj_sense with
+    | Model.Minimize -> "Minimize\n obj: "
+    | Model.Maximize -> "Maximize\n obj: ");
+  pp_expr buf model model.Model.objective;
+  Buffer.add_string buf "\nSubject To\n";
+  let ci = ref 0 in
+  Model.iter_constrs
+    (fun c ->
+      incr ci;
+      let name =
+        if c.Model.cname = "" then Printf.sprintf "c%d" !ci
+        else sanitize c.Model.cname
+      in
+      Buffer.add_string buf (Printf.sprintf " %s: " name);
+      pp_expr buf model c.Model.expr;
+      let op =
+        match c.Model.op with Model.Le -> "<=" | Model.Ge -> ">=" | Model.Eq -> "="
+      in
+      Buffer.add_string buf (Printf.sprintf " %s %.12g\n" op c.Model.bound))
+    model;
+  Buffer.add_string buf "Bounds\n";
+  let generals = ref [] in
+  let binaries = ref [] in
+  for v = 0 to Model.num_vars model - 1 do
+    let info = Model.var_info model v in
+    let name = sanitize info.Model.vname in
+    (match info.Model.kind with
+    | Model.Bool -> binaries := name :: !binaries
+    | Model.Int -> generals := name :: !generals
+    | Model.Cont -> ());
+    if info.Model.kind <> Model.Bool then begin
+      let lb_str =
+        if info.Model.lb <= -.Model.infinity_bound then "-inf"
+        else Printf.sprintf "%.12g" info.Model.lb
+      in
+      if info.Model.ub >= Model.infinity_bound then
+        Buffer.add_string buf (Printf.sprintf " %s <= %s\n" lb_str name)
+      else
+        Buffer.add_string buf
+          (Printf.sprintf " %s <= %s <= %.12g\n" lb_str name info.Model.ub)
+    end
+  done;
+  if !generals <> [] then begin
+    Buffer.add_string buf "Generals\n";
+    List.iter
+      (fun n -> Buffer.add_string buf (Printf.sprintf " %s\n" n))
+      (List.rev !generals)
+  end;
+  if !binaries <> [] then begin
+    Buffer.add_string buf "Binaries\n";
+    List.iter
+      (fun n -> Buffer.add_string buf (Printf.sprintf " %s\n" n))
+      (List.rev !binaries)
+  end;
+  Buffer.add_string buf "End\n";
+  Buffer.contents buf
+
+let to_file path model =
+  let oc = open_out path in
+  output_string oc (to_string model);
+  close_out oc

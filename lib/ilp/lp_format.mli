@@ -1,0 +1,9 @@
+(** Export a {!Model.t} in the CPLEX LP text format, readable by lp_solve,
+    CPLEX, glpsol, and HiGHS — the solvers the paper's tool emitted its
+    models to. *)
+
+(** Make a name safe for the LP format (alphanumerics and [_ . #]). *)
+val sanitize : string -> string
+
+val to_string : Model.t -> string
+val to_file : string -> Model.t -> unit

@@ -1,0 +1,176 @@
+(** Mixed integer linear program builder.
+
+    A model owns variables (continuous, integer or boolean, each with
+    bounds), linear constraints and one linear objective.  It corresponds
+    to one generated ILP of the paper; {!num_vars}/{!num_constraints} feed
+    the Table I statistics. *)
+
+type var = int
+
+type kind = Cont | Int | Bool
+
+type var_info = {
+  vname : string;
+  kind : kind;
+  mutable lb : float;
+  mutable ub : float;
+  priority : int;  (** branch & bound picks fractional vars of highest
+                       priority first; default 0 *)
+}
+
+type relop = Le | Ge | Eq
+
+type constr = { cname : string; expr : Lin_expr.t; op : relop; bound : float }
+
+type sense = Minimize | Maximize
+
+type t = {
+  mutable mname : string;
+  mutable vars : var_info array;
+  mutable nvars : int;
+  mutable constrs : constr array;
+  mutable nconstrs : int;
+  mutable objective : Lin_expr.t;
+  mutable obj_sense : sense;
+}
+
+let infinity_bound = 1e30
+
+let create ?(name = "ilp") () =
+  {
+    mname = name;
+    vars = Array.make 16 { vname = ""; kind = Cont; lb = 0.; ub = 0.; priority = 0 };
+    nvars = 0;
+    constrs = Array.make 16 { cname = ""; expr = Lin_expr.zero; op = Le; bound = 0. };
+    nconstrs = 0;
+    objective = Lin_expr.zero;
+    obj_sense = Minimize;
+  }
+
+let name t = t.mname
+
+let grow arr n dummy =
+  if n < Array.length arr then arr
+  else begin
+    let arr' = Array.make (2 * Array.length arr) dummy in
+    Array.blit arr 0 arr' 0 n;
+    arr'
+  end
+
+(** Create a variable.  Default bounds: [Bool] gets [0,1]; [Int]/[Cont]
+    get [0, +inf) unless overridden. *)
+let add_var ?(lb = 0.) ?ub ?(priority = 0) ~kind t vname : var =
+  let ub =
+    match (ub, kind) with
+    | Some u, _ -> u
+    | None, Bool -> 1.
+    | None, (Int | Cont) -> infinity_bound
+  in
+  if lb > ub then invalid_arg (Printf.sprintf "Model.add_var %s: lb > ub" vname);
+  let lb, ub = match kind with Bool -> (max 0. lb, min 1. ub) | _ -> (lb, ub) in
+  let info = { vname; kind; lb; ub; priority } in
+  t.vars <- grow t.vars t.nvars info;
+  t.vars.(t.nvars) <- info;
+  t.nvars <- t.nvars + 1;
+  t.nvars - 1
+
+let bool_var ?priority t vname = add_var ?priority ~kind:Bool t vname
+let int_var ?lb ?ub ?priority t vname = add_var ?lb ?ub ?priority ~kind:Int t vname
+let cont_var ?lb ?ub t vname = add_var ?lb ?ub ~kind:Cont t vname
+
+let var_info t v = t.vars.(v)
+let var_name t v = t.vars.(v).vname
+let num_vars t = t.nvars
+let num_constraints t = t.nconstrs
+
+let num_integer_vars t =
+  let n = ref 0 in
+  for i = 0 to t.nvars - 1 do
+    match t.vars.(i).kind with Bool | Int -> incr n | Cont -> ()
+  done;
+  !n
+
+(** Add constraint [expr op bound]; the expression is normalized and its
+    constant folded into the bound. *)
+let add_constr ?(name = "") t expr op bound =
+  let e = Lin_expr.normalize expr in
+  let bound = bound -. e.Lin_expr.const in
+  let expr = { e with Lin_expr.const = 0. } in
+  let c = { cname = name; expr; op; bound } in
+  t.constrs <- grow t.constrs t.nconstrs c;
+  t.constrs.(t.nconstrs) <- c;
+  t.nconstrs <- t.nconstrs + 1
+
+(** [le t e1 e2] adds [e1 <= e2] (and similarly {!ge}, {!eq}). *)
+let le ?name t e1 e2 =
+  add_constr ?name t (Lin_expr.sub e1 e2) Le 0.
+
+let ge ?name t e1 e2 = add_constr ?name t (Lin_expr.sub e1 e2) Ge 0.
+let eq ?name t e1 e2 = add_constr ?name t (Lin_expr.sub e1 e2) Eq 0.
+
+let set_objective t sense expr =
+  t.obj_sense <- sense;
+  t.objective <- Lin_expr.normalize expr
+
+(** Boolean AND linearization (paper Eq. 7): returns a fresh [z] with
+    [z >= x + y - 1], [z <= x], [z <= y]. *)
+let and_var ?(name = "and") t x y =
+  let z = bool_var t name in
+  let open Lin_expr in
+  ge t (term z) (add_const (-1.) (add (term x) (term y)));
+  le t (term z) (term x);
+  le t (term z) (term y);
+  z
+
+let constr t i = t.constrs.(i)
+
+let iter_constrs f t =
+  for i = 0 to t.nconstrs - 1 do
+    f t.constrs.(i)
+  done
+
+(** Check whether [value] satisfies every constraint and all bounds
+    within tolerance [eps]. *)
+let feasible ?(eps = 1e-6) t (value : var -> float) =
+  let ok = ref true in
+  for v = 0 to t.nvars - 1 do
+    let info = t.vars.(v) in
+    let x = value v in
+    if x < info.lb -. eps || x > info.ub +. eps then ok := false;
+    (match info.kind with
+    | Bool | Int ->
+        if Float.abs (x -. Float.round x) > eps then ok := false
+    | Cont -> ())
+  done;
+  iter_constrs
+    (fun c ->
+      let lhs = Lin_expr.eval value c.expr in
+      match c.op with
+      | Le -> if lhs > c.bound +. eps then ok := false
+      | Ge -> if lhs < c.bound -. eps then ok := false
+      | Eq -> if Float.abs (lhs -. c.bound) > eps then ok := false)
+    t;
+  !ok
+
+let objective_value t (value : var -> float) = Lin_expr.eval value t.objective
+
+let relop_str = function Le -> "<=" | Ge -> ">=" | Eq -> "="
+
+(** Dump in an LP-like textual format for debugging. *)
+let pp ppf t =
+  let var_name v = t.vars.(v).vname in
+  Fmt.pf ppf "%s %s@."
+    (match t.obj_sense with Minimize -> "minimize" | Maximize -> "maximize")
+    (Fmt.str "%a" (Lin_expr.pp ~var_name) t.objective);
+  Fmt.pf ppf "subject to@.";
+  iter_constrs
+    (fun c ->
+      Fmt.pf ppf "  %s: %a %s %g@." c.cname (Lin_expr.pp ~var_name) c.expr
+        (relop_str c.op) c.bound)
+    t;
+  Fmt.pf ppf "bounds@.";
+  for v = 0 to t.nvars - 1 do
+    let i = t.vars.(v) in
+    Fmt.pf ppf "  %g <= %s <= %g (%s)@." i.lb i.vname i.ub
+      (match i.kind with Bool -> "bool" | Int -> "int" | Cont -> "cont")
+  done

@@ -1,0 +1,81 @@
+(** Mixed integer linear program builder.
+
+    A model owns variables (continuous, integer or boolean, each with
+    bounds and an optional branch priority), linear constraints, and one
+    linear objective.  One model corresponds to one generated ILP of the
+    paper; {!num_vars}/{!num_constraints} feed the Table I statistics. *)
+
+type var = int
+type kind = Cont | Int | Bool
+
+type var_info = {
+  vname : string;
+  kind : kind;
+  mutable lb : float;
+  mutable ub : float;
+  priority : int;
+      (** branch & bound picks fractional variables of highest priority
+          first; default 0 *)
+}
+
+type relop = Le | Ge | Eq
+type constr = { cname : string; expr : Lin_expr.t; op : relop; bound : float }
+type sense = Minimize | Maximize
+
+type t = {
+  mutable mname : string;
+  mutable vars : var_info array;
+  mutable nvars : int;
+  mutable constrs : constr array;
+  mutable nconstrs : int;
+  mutable objective : Lin_expr.t;
+  mutable obj_sense : sense;
+}
+
+(** Bounds at or beyond this magnitude are treated as infinite. *)
+val infinity_bound : float
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+
+(** Create a variable.  Default bounds: [Bool] gets [0,1]; [Int]/[Cont]
+    get [0, +inf) unless overridden. *)
+val add_var :
+  ?lb:float -> ?ub:float -> ?priority:int -> kind:kind -> t -> string -> var
+
+val bool_var : ?priority:int -> t -> string -> var
+val int_var : ?lb:float -> ?ub:float -> ?priority:int -> t -> string -> var
+val cont_var : ?lb:float -> ?ub:float -> t -> string -> var
+val var_info : t -> var -> var_info
+val var_name : t -> var -> string
+val num_vars : t -> int
+val num_constraints : t -> int
+val num_integer_vars : t -> int
+
+(** Add constraint [expr op bound]; the expression is normalized and its
+    constant folded into the bound. *)
+val add_constr : ?name:string -> t -> Lin_expr.t -> relop -> float -> unit
+
+(** [le t e1 e2] adds [e1 <= e2] (similarly {!ge}, {!eq}). *)
+val le : ?name:string -> t -> Lin_expr.t -> Lin_expr.t -> unit
+
+val ge : ?name:string -> t -> Lin_expr.t -> Lin_expr.t -> unit
+val eq : ?name:string -> t -> Lin_expr.t -> Lin_expr.t -> unit
+val set_objective : t -> sense -> Lin_expr.t -> unit
+
+(** Boolean AND linearization (paper Eq. 7): a fresh [z] with
+    [z >= x + y - 1], [z <= x], [z <= y]. *)
+val and_var : ?name:string -> t -> var -> var -> var
+
+val constr : t -> int -> constr
+val iter_constrs : (constr -> unit) -> t -> unit
+
+(** Check whether an assignment satisfies all constraints, bounds, and
+    integrality requirements within tolerance [eps]. *)
+val feasible : ?eps:float -> t -> (var -> float) -> bool
+
+val objective_value : t -> (var -> float) -> float
+val relop_str : relop -> string
+
+(** Dump in an LP-like textual format for debugging. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,400 @@
+(** Dense two-phase primal simplex with bounded variables.
+
+    Solves the LP relaxation of a {!Model.t}:
+    minimize/maximize [c.x] s.t. linear constraints and box bounds.
+    Nonbasic variables rest at either bound ("bounded-variable simplex"),
+    so finite upper bounds cost nothing in tableau size.  Equality and
+    negative-rhs rows receive phase-1 artificials.  Dantzig pricing with a
+    Bland's-rule fallback guards against cycling.
+
+    This plays the role of lp_solve / CPLEX's LP core in the paper's tool
+    flow; {!Branch_bound} adds integrality on top. *)
+
+type result =
+  | Optimal of { x : float array; obj : float }
+  | Infeasible
+  | Unbounded
+
+(* diagnostics: total pivots/phases across all solves (reset at will) *)
+let total_iterations = ref 0
+let solve_count = ref 0
+
+let eps = 1e-7
+let ratio_eps = 1e-9
+let inf_bound = 1e29
+
+type tab = {
+  m : int;  (** rows *)
+  ncols : int;  (** structural + slack + artificial columns *)
+  a : float array array;  (** m x ncols tableau, mutated by pivots *)
+  rhs : float array;  (** basic-variable values *)
+  basis : int array;  (** column basic in each row *)
+  upper : float array;  (** upper bound per column (shifted space) *)
+  at_ub : bool array;  (** nonbasic-at-upper-bound flag per column *)
+  is_basic : bool array;
+  n_struct : int;
+  n_artificial_start : int;  (** first artificial column *)
+}
+
+(* Gauss-Jordan pivot on the tableau matrix only.  Basic-variable values
+   [t.rhs] are maintained incrementally by the caller (they are expressed
+   in the *bounded* space, not as B^-1 b), so the pivot must not touch
+   them. *)
+let pivot t r j =
+  let arow = t.a.(r) in
+  let piv = arow.(j) in
+  let inv = 1. /. piv in
+  for k = 0 to t.ncols - 1 do
+    Array.unsafe_set arow k (Array.unsafe_get arow k *. inv)
+  done;
+  for i = 0 to t.m - 1 do
+    if i <> r then begin
+      let ai = Array.unsafe_get t.a i in
+      let f = Array.unsafe_get ai j in
+      if f <> 0. then
+        for k = 0 to t.ncols - 1 do
+          Array.unsafe_set ai k
+            (Array.unsafe_get ai k -. (f *. Array.unsafe_get arow k))
+        done
+    end
+  done
+
+(** One simplex phase: minimize [cost . x] from the current basis.
+    Returns [`Optimal] or [`Unbounded].  [locked.(j)] excludes a column
+    from entering (used to freeze artificials in phase 2). *)
+let run_phase t (cost : float array) (locked : bool array) =
+  let max_iters = 300 + (4 * (t.m + t.ncols)) in
+  let iter = ref 0 in
+  let stall = ref 0 in
+  let result = ref None in
+  (* scratch buffers reused across iterations *)
+  let yrow = Array.make t.ncols 0. in
+  let colj = Array.make t.m 0. in
+  while Option.is_none !result do
+    incr iter;
+    incr total_iterations;
+    if !iter > max_iters then
+      (* Iteration cap: with the Bland fallback this only triggers on
+         heavily degenerate instances.  We return the current vertex as
+         "optimal-so-far"; its objective can overestimate the true LP
+         minimum, so a branch & bound caller may fathom slightly
+         aggressively (bounded loss of solution quality, never
+         infeasibility — incumbents are feasibility-checked). *)
+      result := Some `Optimal
+    else begin
+      (* reduced costs d = c - c_B^T T, computed row-major for cache
+         friendliness: y = sum_i cb_i * row_i *)
+      Array.fill yrow 0 t.ncols 0.;
+      for i = 0 to t.m - 1 do
+        let cbi = Array.unsafe_get cost t.basis.(i) in
+        if cbi <> 0. then begin
+          let row = Array.unsafe_get t.a i in
+          for j = 0 to t.ncols - 1 do
+            Array.unsafe_set yrow j
+              (Array.unsafe_get yrow j +. (cbi *. Array.unsafe_get row j))
+          done
+        end
+      done;
+      let bland = !stall > t.m + 20 in
+      let best_j = ref (-1) in
+      let best_score = ref eps in
+      let best_dir = ref 1. in
+      (try
+         for j = 0 to t.ncols - 1 do
+           (* columns fixed at a single value (ub = lb, e.g. by branch &
+              bound) can never move: entering them would only toggle the
+              bound flag in zero-length steps *)
+           if
+             (not (Array.unsafe_get t.is_basic j))
+             && (not locked.(j))
+             && t.upper.(j) > ratio_eps
+           then begin
+             let d = Array.unsafe_get cost j -. Array.unsafe_get yrow j in
+             (* entering from lb wants d < 0; from ub wants d > 0 *)
+             let score, dir = if t.at_ub.(j) then (d, -1.) else (-.d, 1.) in
+             if score > !best_score then begin
+               best_j := j;
+               best_score := score;
+               best_dir := dir;
+               if bland then raise Exit
+             end
+           end
+         done
+       with Exit -> ());
+      if !best_j < 0 then result := Some `Optimal
+      else begin
+        let j = !best_j in
+        let dir = !best_dir in
+        (* gather column j once *)
+        for i = 0 to t.m - 1 do
+          Array.unsafe_set colj i (Array.unsafe_get (Array.unsafe_get t.a i) j)
+        done;
+        (* ratio test: entering moves by step >= 0 in direction dir *)
+        let limit = ref (if t.upper.(j) >= inf_bound then infinity else t.upper.(j)) in
+        let leave_row = ref (-1) in
+        let leave_to_ub = ref false in
+        for i = 0 to t.m - 1 do
+          let coeff = Array.unsafe_get colj i *. dir in
+          let bi = t.basis.(i) in
+          if coeff > ratio_eps then begin
+            (* basic value decreases toward 0 *)
+            let ratio = t.rhs.(i) /. coeff in
+            if ratio < !limit -. ratio_eps then begin
+              limit := max 0. ratio;
+              leave_row := i;
+              leave_to_ub := false
+            end
+            else if bland && ratio <= !limit +. ratio_eps && !leave_row >= 0
+                    && bi < t.basis.(!leave_row) then begin
+              leave_row := i;
+              leave_to_ub := false
+            end
+          end
+          else if coeff < -.ratio_eps && t.upper.(bi) < inf_bound then begin
+            (* basic value increases toward its upper bound *)
+            let ratio = (t.upper.(bi) -. t.rhs.(i)) /. -.coeff in
+            if ratio < !limit -. ratio_eps then begin
+              limit := max 0. ratio;
+              leave_row := i;
+              leave_to_ub := true
+            end
+          end
+        done;
+        if !limit = infinity then result := Some `Unbounded
+        else begin
+          let step = !limit in
+          if step <= ratio_eps then incr stall else stall := 0;
+          if !leave_row < 0 then begin
+            (* bound flip: entering runs to its other bound *)
+            for i = 0 to t.m - 1 do
+              t.rhs.(i) <- t.rhs.(i) -. (Array.unsafe_get colj i *. dir *. step)
+            done;
+            t.at_ub.(j) <- not t.at_ub.(j)
+          end
+          else begin
+            let r = !leave_row in
+            let old_basic = t.basis.(r) in
+            (* update basic values for the entering step *)
+            for i = 0 to t.m - 1 do
+              if i <> r then
+                t.rhs.(i) <- t.rhs.(i) -. (Array.unsafe_get colj i *. dir *. step)
+            done;
+            (* entering variable's value in shifted space *)
+            let enter_val = if dir > 0. then step else t.upper.(j) -. step in
+            (* leaving variable settles at lb (0) or its ub *)
+            t.at_ub.(old_basic) <- !leave_to_ub;
+            t.is_basic.(old_basic) <- false;
+            t.rhs.(r) <- enter_val;
+            t.basis.(r) <- j;
+            t.is_basic.(j) <- true;
+            t.at_ub.(j) <- false;
+            pivot t r j
+          end
+        end
+      end
+    end
+  done;
+  match !result with Some r -> r | None -> assert false
+
+(** Build the tableau from a model plus overriding bounds (shifted so every
+    structural variable has lb 0). *)
+let build (model : Model.t) (lb : float array) (ub : float array) =
+  let n = Model.num_vars model in
+  let m = Model.num_constraints model in
+  (* row data: coefficients (dense over struct vars), op, rhs *)
+  let rows = Array.make m (Array.make 0 0., Model.Le, 0.) in
+  for i = 0 to m - 1 do
+    let c = Model.constr model i in
+    let coefs = Array.make n 0. in
+    List.iter
+      (fun (v, k) -> coefs.(v) <- coefs.(v) +. k)
+      (Lin_expr.normalize c.Model.expr).Lin_expr.terms;
+    (* shift by lb: rhs' = rhs - sum coef*lb *)
+    let shift = ref 0. in
+    for v = 0 to n - 1 do
+      if coefs.(v) <> 0. then shift := !shift +. (coefs.(v) *. lb.(v))
+    done;
+    rows.(i) <- (coefs, c.Model.op, c.Model.bound -. !shift)
+  done;
+  (* normalize: Ge -> Le by negation; then ensure rhs >= 0 by negation,
+     tracking the effective op *)
+  let nslack = ref 0 in
+  let prepared =
+    Array.map
+      (fun (coefs, op, rhs) ->
+        let coefs, op, rhs =
+          match op with
+          | Model.Ge -> (Array.map (fun x -> -.x) coefs, Model.Le, -.rhs)
+          | Model.Le | Model.Eq -> (coefs, op, rhs)
+        in
+        let coefs, slack_sign, rhs =
+          if rhs < 0. then (Array.map (fun x -> -.x) coefs,
+                            (match op with Model.Le -> -1. | _ -> 0.), -.rhs)
+          else (coefs, (match op with Model.Le -> 1. | _ -> 0.), rhs)
+        in
+        if slack_sign <> 0. then incr nslack;
+        (coefs, slack_sign, rhs))
+      rows
+  in
+  (* artificials: rows with slack_sign <= 0 need one *)
+  let nartif = ref 0 in
+  Array.iter
+    (fun (_, s, _) -> if s <= 0. then incr nartif)
+    prepared;
+  let ncols = n + !nslack + !nartif in
+  let a = Array.init m (fun _ -> Array.make ncols 0.) in
+  let rhs = Array.make m 0. in
+  let basis = Array.make m (-1) in
+  let upper = Array.make ncols inf_bound in
+  for v = 0 to n - 1 do
+    upper.(v) <- (if ub.(v) >= inf_bound then inf_bound else ub.(v) -. lb.(v))
+  done;
+  let slack_col = ref n in
+  let artif_col = ref (n + !nslack) in
+  let artif_start = n + !nslack in
+  Array.iteri
+    (fun i (coefs, slack_sign, r) ->
+      Array.blit coefs 0 a.(i) 0 n;
+      rhs.(i) <- r;
+      if slack_sign <> 0. then begin
+        a.(i).(!slack_col) <- slack_sign;
+        if slack_sign > 0. then basis.(i) <- !slack_col;
+        incr slack_col
+      end;
+      if basis.(i) < 0 then begin
+        a.(i).(!artif_col) <- 1.;
+        basis.(i) <- !artif_col;
+        incr artif_col
+      end)
+    prepared;
+  let is_basic = Array.make ncols false in
+  Array.iter (fun b -> is_basic.(b) <- true) basis;
+  {
+    m;
+    ncols;
+    a;
+    rhs;
+    basis;
+    upper;
+    at_ub = Array.make ncols false;
+    is_basic;
+    n_struct = n;
+    n_artificial_start = artif_start;
+  }
+
+(** Extract structural-variable values (unshifted). *)
+let extract t (lb : float array) =
+  let x = Array.make t.n_struct 0. in
+  for v = 0 to t.n_struct - 1 do
+    let shifted =
+      if t.is_basic.(v) then begin
+        (* find its row *)
+        let value = ref 0. in
+        for i = 0 to t.m - 1 do
+          if t.basis.(i) = v then value := t.rhs.(i)
+        done;
+        !value
+      end
+      else if t.at_ub.(v) then t.upper.(v)
+      else 0.
+    in
+    x.(v) <- shifted +. lb.(v)
+  done;
+  x
+
+(** Solve the LP relaxation of [model].  [lb]/[ub] optionally override the
+    model's variable bounds (same length as [Model.num_vars]). *)
+let solve ?lb ?ub (model : Model.t) : result =
+  incr solve_count;
+  let n = Model.num_vars model in
+  let lb =
+    match lb with
+    | Some l -> l
+    | None -> Array.init n (fun v -> (Model.var_info model v).Model.lb)
+  in
+  let ub =
+    match ub with
+    | Some u -> u
+    | None -> Array.init n (fun v -> (Model.var_info model v).Model.ub)
+  in
+  (* quick bound sanity *)
+  let bad = ref false in
+  for v = 0 to n - 1 do
+    if lb.(v) > ub.(v) +. eps then bad := true
+  done;
+  if !bad then Infeasible
+  else begin
+    let t = build model lb ub in
+    (* Phase 1: minimize sum of artificials *)
+    let locked = Array.make t.ncols false in
+    if t.n_artificial_start < t.ncols then begin
+      let cost1 = Array.make t.ncols 0. in
+      for j = t.n_artificial_start to t.ncols - 1 do
+        cost1.(j) <- 1.
+      done;
+      match run_phase t cost1 locked with
+      | `Unbounded | `Optimal ->
+          (* phase 1 is bounded below by 0; `Unbounded can only arise from
+             numerical noise and is caught by the artificial-sum check *)
+          ()
+    end;
+    (* infeasible if any artificial still positive *)
+    let artif_sum = ref 0. in
+    for i = 0 to t.m - 1 do
+      if t.basis.(i) >= t.n_artificial_start then
+        artif_sum := !artif_sum +. t.rhs.(i)
+    done;
+    for j = t.n_artificial_start to t.ncols - 1 do
+      if (not t.is_basic.(j)) && t.at_ub.(j) then
+        artif_sum := !artif_sum +. t.upper.(j)
+    done;
+    if !artif_sum > 1e-6 then Infeasible
+    else begin
+      (* pivot remaining zero-level artificials out of the basis *)
+      for i = 0 to t.m - 1 do
+        if t.basis.(i) >= t.n_artificial_start then begin
+          let j = ref (-1) in
+          let k = ref 0 in
+          while !j < 0 && !k < t.n_artificial_start do
+            (* the replacement enters at value 0, so it must currently sit
+               at its lower bound *)
+            if
+              (not t.is_basic.(!k))
+              && (not t.at_ub.(!k))
+              && Float.abs t.a.(i).(!k) > 1e-6
+            then j := !k;
+            incr k
+          done;
+          if !j >= 0 then begin
+            let old = t.basis.(i) in
+            t.is_basic.(old) <- false;
+            t.basis.(i) <- !j;
+            t.is_basic.(!j) <- true;
+            t.at_ub.(!j) <- false;
+            (* the departing artificial sits at 0, so values are unchanged *)
+            pivot t i !j
+          end
+          (* else: redundant row; artificial stays basic at 0 and is locked *)
+        end
+      done;
+      (* lock artificials out of phase 2 *)
+      for j = t.n_artificial_start to t.ncols - 1 do
+        locked.(j) <- true;
+        t.upper.(j) <- 0.
+      done;
+      (* Phase 2 *)
+      let sense = model.Model.obj_sense in
+      let cost2 = Array.make t.ncols 0. in
+      let obj = Lin_expr.normalize model.Model.objective in
+      List.iter
+        (fun (v, c) ->
+          cost2.(v) <- (match sense with Model.Minimize -> c | Model.Maximize -> -.c))
+        obj.Lin_expr.terms;
+      match run_phase t cost2 locked with
+      | `Unbounded -> Unbounded
+      | `Optimal ->
+          let x = extract t lb in
+          let obj_val = Model.objective_value model (fun v -> x.(v)) in
+          Optimal { x; obj = obj_val }
+    end
+  end

@@ -1,0 +1,22 @@
+(** Dense two-phase primal simplex with bounded variables — the LP core
+    under {!Branch_bound} (lp_solve/CPLEX's role in the paper's flow).
+
+    Nonbasic variables rest at either bound, so finite upper bounds cost
+    nothing in tableau size; equality and negative-rhs rows receive
+    phase-1 artificials; Dantzig pricing with a Bland's-rule fallback
+    guards against cycling. *)
+
+type result =
+  | Optimal of { x : float array; obj : float }
+  | Infeasible
+  | Unbounded
+
+(** Diagnostics: pivots and solves across the process lifetime. *)
+val total_iterations : int ref
+
+val solve_count : int ref
+
+(** Solve the LP relaxation of [model] (integrality is ignored).
+    [lb]/[ub] optionally override the model's variable bounds; both must
+    have length [Model.num_vars model]. *)
+val solve : ?lb:float array -> ?ub:float array -> Model.t -> result

@@ -1,0 +1,51 @@
+(** Facade over {!Branch_bound} adding timing and {!Stats} recording; this
+    is the entry point the parallelizer uses, mirroring the "state-of-the-
+    art ILP solver" box of the paper's tool flow (Fig. 6). *)
+
+type outcome = {
+  status : Branch_bound.status;
+  x : float array option;
+  obj : float;
+  nodes : int;
+  time_s : float;
+}
+
+(** Solve [model]; if [stats] is given, the ILP's size, solve time and
+    node count are accumulated into it. *)
+let debug_slow =
+  match Sys.getenv_opt "MPSOC_ILP_DEBUG" with
+  | Some ("" | "0") | None -> None
+  | Some s -> float_of_string_opt s
+
+let solve ?options ?warm_start ?stats (model : Model.t) : outcome =
+  let t0 = Sys.time () in
+  let sol = Branch_bound.solve ?options ?warm_start model in
+  let time_s = Sys.time () -. t0 in
+  (match debug_slow with
+  | Some threshold when time_s >= threshold ->
+      Printf.eprintf "[ilp] %s: %d vars %d constrs %d nodes %.2fs status=%s\n%!"
+        (Model.name model) (Model.num_vars model) (Model.num_constraints model)
+        sol.Branch_bound.nodes time_s
+        (match sol.Branch_bound.status with
+        | Branch_bound.Optimal -> "optimal"
+        | Branch_bound.Feasible -> "feasible"
+        | Branch_bound.Infeasible -> "infeasible"
+        | Branch_bound.Unbounded -> "unbounded")
+  | _ -> ());
+  (match stats with
+  | Some s -> Stats.record s model ~nodes:sol.Branch_bound.nodes ~time_s
+  | None -> ());
+  {
+    status = sol.Branch_bound.status;
+    x = sol.Branch_bound.x;
+    obj = sol.Branch_bound.obj;
+    nodes = sol.Branch_bound.nodes;
+    time_s;
+  }
+
+(** Convenience: value of variable [v] in an outcome (0 if none). *)
+let value outcome v =
+  match outcome.x with Some x -> x.(v) | None -> 0.
+
+(** Convenience: boolean value of a 0/1 variable. *)
+let bool_value outcome v = value outcome v > 0.5

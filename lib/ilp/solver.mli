@@ -1,0 +1,27 @@
+(** Facade over {!Branch_bound} adding timing and {!Stats} recording; the
+    entry point the parallelizer uses. *)
+
+type outcome = {
+  status : Branch_bound.status;
+  x : float array option;
+  obj : float;
+  nodes : int;
+  time_s : float;
+}
+
+(** Solve [model]; when [stats] is given, the ILP's size, solve time and
+    node count are accumulated into it.  Setting the [MPSOC_ILP_DEBUG]
+    environment variable to a float prints every solve that takes at
+    least that many seconds. *)
+val solve :
+  ?options:Branch_bound.options ->
+  ?warm_start:float array ->
+  ?stats:Stats.t ->
+  Model.t ->
+  outcome
+
+(** Value of variable [v] in an outcome (0 if no solution). *)
+val value : outcome -> Model.var -> float
+
+(** Boolean value of a 0/1 variable. *)
+val bool_value : outcome -> Model.var -> bool

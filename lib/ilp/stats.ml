@@ -1,0 +1,40 @@
+(** Statistics collector for generated ILPs — the data behind the paper's
+    Table I (#ILPs, #variables, #constraints, solve time). *)
+
+type t = {
+  mutable ilps : int;
+  mutable vars : int;
+  mutable constrs : int;
+  mutable solve_time_s : float;
+  mutable bb_nodes : int;
+}
+
+let create () =
+  { ilps = 0; vars = 0; constrs = 0; solve_time_s = 0.; bb_nodes = 0 }
+
+let reset t =
+  t.ilps <- 0;
+  t.vars <- 0;
+  t.constrs <- 0;
+  t.solve_time_s <- 0.;
+  t.bb_nodes <- 0
+
+let record t (model : Model.t) ~nodes ~time_s =
+  t.ilps <- t.ilps + 1;
+  t.vars <- t.vars + Model.num_vars model;
+  t.constrs <- t.constrs + Model.num_constraints model;
+  t.solve_time_s <- t.solve_time_s +. time_s;
+  t.bb_nodes <- t.bb_nodes + nodes
+
+let merge ~into:a b =
+  a.ilps <- a.ilps + b.ilps;
+  a.vars <- a.vars + b.vars;
+  a.constrs <- a.constrs + b.constrs;
+  a.solve_time_s <- a.solve_time_s +. b.solve_time_s;
+  a.bb_nodes <- a.bb_nodes + b.bb_nodes
+
+let copy t = { t with ilps = t.ilps }
+
+let pp ppf t =
+  Fmt.pf ppf "#ILPs %d, #Var %d, #Constr %d, time %.2fs, B&B nodes %d" t.ilps
+    t.vars t.constrs t.solve_time_s t.bb_nodes

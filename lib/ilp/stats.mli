@@ -1,0 +1,20 @@
+(** Statistics collector for generated ILPs — the data behind the paper's
+    Table I (#ILPs, #variables, #constraints, solve time). *)
+
+type t = {
+  mutable ilps : int;
+  mutable vars : int;
+  mutable constrs : int;
+  mutable solve_time_s : float;
+  mutable bb_nodes : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+(** Record one solved ILP. *)
+val record : t -> Model.t -> nodes:int -> time_s:float -> unit
+
+val merge : into:t -> t -> unit
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

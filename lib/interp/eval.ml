@@ -1,0 +1,289 @@
+(** Profiling interpreter for inlined Mini-C programs.
+
+    Executes [main] on concrete (in-source, deterministic) data and records
+    per-statement execution counts and abstract work into a {!Profile.t}.
+    Expression evaluation returns both the value and its cycle cost so
+    cost attribution is exact. *)
+
+open Minic
+
+exception Runtime_error = Value.Runtime_error
+
+type result = {
+  ret : Value.t option;  (** value of [return] in main, if any *)
+  profile : Profile.t;
+  steps : int;  (** statements executed *)
+}
+
+exception Step_limit_exceeded of int
+
+type env = {
+  vars : (string, Value.t ref) Hashtbl.t;
+  profile : Profile.t;
+  mutable steps : int;
+  max_steps : int;
+}
+
+exception Return_exn of Value.t option
+
+let tick env =
+  env.steps <- env.steps + 1;
+  if env.steps > env.max_steps then raise (Step_limit_exceeded env.steps)
+
+let lookup env name =
+  match Hashtbl.find_opt env.vars name with
+  | Some r -> r
+  | None -> Value.error "unbound variable %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: evaluate to (value, cycles)                            *)
+(* ------------------------------------------------------------------ *)
+
+let eval_int_binop op a b =
+  match op with
+  | Ast.Add -> a + b
+  | Ast.Sub -> a - b
+  | Ast.Mul -> a * b
+  | Ast.Div -> if b = 0 then Value.error "integer division by zero" else a / b
+  | Ast.Mod -> if b = 0 then Value.error "integer modulo by zero" else a mod b
+  | Ast.Lt -> if a < b then 1 else 0
+  | Ast.Le -> if a <= b then 1 else 0
+  | Ast.Gt -> if a > b then 1 else 0
+  | Ast.Ge -> if a >= b then 1 else 0
+  | Ast.Eq -> if a = b then 1 else 0
+  | Ast.Ne -> if a <> b then 1 else 0
+  | Ast.LAnd -> if a <> 0 && b <> 0 then 1 else 0
+  | Ast.LOr -> if a <> 0 || b <> 0 then 1 else 0
+  | Ast.Shl -> a lsl b
+  | Ast.Shr -> a asr b
+  | Ast.BAnd -> a land b
+  | Ast.BOr -> a lor b
+  | Ast.BXor -> a lxor b
+
+let eval_float_binop op a b =
+  match op with
+  | Ast.Add -> Value.VFloat (a +. b)
+  | Ast.Sub -> Value.VFloat (a -. b)
+  | Ast.Mul -> Value.VFloat (a *. b)
+  | Ast.Div -> Value.VFloat (a /. b)
+  | Ast.Lt -> Value.VInt (if a < b then 1 else 0)
+  | Ast.Le -> Value.VInt (if a <= b then 1 else 0)
+  | Ast.Gt -> Value.VInt (if a > b then 1 else 0)
+  | Ast.Ge -> Value.VInt (if a >= b then 1 else 0)
+  | Ast.Eq -> Value.VInt (if a = b then 1 else 0)
+  | Ast.Ne -> Value.VInt (if a <> b then 1 else 0)
+  | Ast.Mod | Ast.LAnd | Ast.LOr | Ast.Shl | Ast.Shr | Ast.BAnd | Ast.BOr
+  | Ast.BXor ->
+      Value.error "integer operator applied to float operands"
+
+let rec eval env (e : Ast.expr) : Value.t * float =
+  match e with
+  | Ast.IntLit n -> (Value.VInt n, Costmodel.literal)
+  | Ast.FloatLit f -> (Value.VFloat f, Costmodel.literal)
+  | Ast.Var name -> (!(lookup env name), Costmodel.var_read)
+  | Ast.ArrRef (name, idxs) -> (
+      let idx_vals, idx_cost = eval_list env idxs in
+      let idxs' = List.map Value.to_int idx_vals in
+      match !(lookup env name) with
+      | Value.VArrI { data; dims } ->
+          let k = Value.flat_index ~dims ~idxs:idxs' in
+          (Value.VInt data.(k), idx_cost +. Costmodel.array_access)
+      | Value.VArrF { data; dims } ->
+          let k = Value.flat_index ~dims ~idxs:idxs' in
+          (Value.VFloat data.(k), idx_cost +. Costmodel.array_access)
+      | Value.VInt _ | Value.VFloat _ ->
+          Value.error "%s is not an array" name)
+  | Ast.Unop (op, e1) -> (
+      let v, c = eval env e1 in
+      let c = c +. Costmodel.unop op in
+      match (op, v) with
+      | Ast.Neg, Value.VInt n -> (Value.VInt (-n), c)
+      | Ast.Neg, Value.VFloat f -> (Value.VFloat (-.f), c)
+      | Ast.Not, v -> (Value.VInt (if Value.to_int v = 0 then 1 else 0), c)
+      | Ast.BitNot, v -> (Value.VInt (lnot (Value.to_int v)), c)
+      | _, (Value.VArrI _ | Value.VArrF _) ->
+          Value.error "array used as a scalar")
+  | Ast.Binop (op, e1, e2) ->
+      let v1, c1 = eval env e1 in
+      let v2, c2 = eval env e2 in
+      let float_op = Value.is_float v1 || Value.is_float v2 in
+      let c = c1 +. c2 +. Costmodel.binop ~float_op op in
+      if float_op then
+        (eval_float_binop op (Value.to_float v1) (Value.to_float v2), c)
+      else (Value.VInt (eval_int_binop op (Value.to_int v1) (Value.to_int v2)), c)
+  | Ast.Call (name, args) -> (
+      match Builtins.find name with
+      | None ->
+          Value.error "call to %s: interpreter requires an inlined program"
+            name
+      | Some b ->
+          let vals, cost = eval_list env args in
+          let cost = cost +. b.Builtins.cycles in
+          if b.Builtins.float_args then
+            ( Value.VFloat (Builtins.eval_float name (List.map Value.to_float vals)),
+              cost )
+          else
+            ( Value.VInt (Builtins.eval_int name (List.map Value.to_int vals)),
+              cost ))
+
+and eval_list env es =
+  List.fold_left
+    (fun (vs, c) e ->
+      let v, c' = eval env e in
+      (vs @ [ v ], c +. c'))
+    ([], 0.) es
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let assign env lhs value : float =
+  match lhs with
+  | Ast.LVar name ->
+      let r = lookup env name in
+      (* preserve the declared scalar type *)
+      (match !r with
+      | Value.VInt _ -> r := Value.VInt (Value.to_int value)
+      | Value.VFloat _ -> r := Value.VFloat (Value.to_float value)
+      | Value.VArrI _ | Value.VArrF _ ->
+          Value.error "cannot assign a scalar to array %s" name);
+      Costmodel.store_scalar
+  | Ast.LArr (name, idxs) ->
+      let idx_vals, idx_cost =
+        List.fold_left
+          (fun (vs, c) e ->
+            let v, c' = eval env e in
+            (vs @ [ Value.to_int v ], c +. c'))
+          ([], 0.) idxs
+      in
+      (match !(lookup env name) with
+      | Value.VArrI { data; dims } ->
+          data.(Value.flat_index ~dims ~idxs:idx_vals) <- Value.to_int value
+      | Value.VArrF { data; dims } ->
+          data.(Value.flat_index ~dims ~idxs:idx_vals) <- Value.to_float value
+      | Value.VInt _ | Value.VFloat _ -> Value.error "%s is not an array" name);
+      idx_cost +. Costmodel.store_array
+
+let truthy v = Value.to_int v <> 0
+
+let rec exec_stmt env (s : Ast.stmt) : unit =
+  tick env;
+  match s.sdesc with
+  | Ast.Decl d ->
+      let init_cost, value =
+        match d.dinit with
+        | Some e ->
+            let v, c = eval env e in
+            let v =
+              match d.dty with
+              | Ast.TScalar Ast.SInt -> Value.VInt (Value.to_int v)
+              | Ast.TScalar Ast.SFloat -> Value.VFloat (Value.to_float v)
+              | _ -> v
+            in
+            (c +. Costmodel.store_scalar, v)
+        | None -> (Costmodel.store_scalar, Value.zero_of_ty d.dty)
+      in
+      Hashtbl.replace env.vars d.dname (ref value);
+      Profile.record env.profile s.sid init_cost
+  | Ast.Assign (lhs, e) ->
+      let v, c = eval env e in
+      let c' = assign env lhs v in
+      Profile.record env.profile s.sid (c +. c')
+  | Ast.If (cond, b1, b2) ->
+      let v, c = eval env cond in
+      Profile.record env.profile s.sid (c +. Costmodel.branch);
+      if truthy v then exec_block env b1 else exec_block env b2
+  | Ast.While (cond, body) ->
+      Profile.record env.profile s.sid 0.;
+      let rec loop () =
+        let v, c = eval env cond in
+        Profile.add_work env.profile s.sid (c +. Costmodel.branch);
+        if truthy v then begin
+          exec_block env body;
+          loop ()
+        end
+      in
+      loop ()
+  | Ast.For { finit; fcond; fstep; fbody } ->
+      Profile.record env.profile s.sid 0.;
+      (match finit with
+      | Some (lhs, e) ->
+          let v, c = eval env e in
+          let c' = assign env lhs v in
+          Profile.add_work env.profile s.sid (c +. c')
+      | None -> ());
+      let rec loop () =
+        let v, c = eval env fcond in
+        Profile.add_work env.profile s.sid (c +. Costmodel.branch);
+        if truthy v then begin
+          exec_block env fbody;
+          (match fstep with
+          | Some (lhs, e) ->
+              let v, c = eval env e in
+              let c' = assign env lhs v in
+              Profile.add_work env.profile s.sid (c +. c')
+          | None -> ());
+          loop ()
+        end
+      in
+      loop ()
+  | Ast.Return e_opt ->
+      let v, c =
+        match e_opt with
+        | Some e ->
+            let v, c = eval env e in
+            (Some v, c)
+        | None -> (None, 0.)
+      in
+      Profile.record env.profile s.sid c;
+      raise (Return_exn v)
+  | Ast.ExprStmt e ->
+      let _, c = eval env e in
+      Profile.record env.profile s.sid c
+  | Ast.Block body ->
+      Profile.record env.profile s.sid 0.;
+      exec_block env body
+
+and exec_block env (b : Ast.block) = List.iter (exec_stmt env) b
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Run the inlined program's [main].  [max_steps] bounds interpreted
+    statements (default 50 million). *)
+let run ?(max_steps = 50_000_000) (prog : Ast.program) : result =
+  let main =
+    match Ast.find_func prog "main" with
+    | Some m -> m
+    | None -> Value.error "program has no main function"
+  in
+  if List.length main.fparams > 0 then
+    Value.error "main must take no parameters";
+  let nstmts = Ast.stmt_count prog in
+  (* statement ids must be dense; renumbering guarantees this *)
+  let max_sid =
+    List.fold_left
+      (fun acc (f : Ast.func) ->
+        Ast.fold_stmts (fun m (s : Ast.stmt) -> max m s.sid) acc f.fbody)
+      0 prog.funcs
+  in
+  let env =
+    {
+      vars = Hashtbl.create 64;
+      profile = Profile.create (max (max_sid + 1) nstmts);
+      steps = 0;
+      max_steps;
+    }
+  in
+  List.iter
+    (fun (d : Ast.decl) ->
+      let value =
+        match d.dinit with
+        | Some e -> fst (eval env e)
+        | None -> Value.zero_of_ty d.dty
+      in
+      Hashtbl.replace env.vars d.dname (ref value))
+    prog.globals;
+  let ret = try exec_block env main.fbody; None with Return_exn v -> v in
+  { ret; profile = env.profile; steps = env.steps }

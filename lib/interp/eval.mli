@@ -1,0 +1,20 @@
+(** Profiling interpreter for inlined Mini-C programs.  Executes [main] on
+    the program's own (deterministic, in-source) data and records, per
+    statement, execution counts and abstract work — the role of the
+    paper's target-platform simulation for cost extraction. *)
+
+open Minic
+
+exception Runtime_error of string
+
+type result = {
+  ret : Value.t option;  (** value of [return] in main, if any *)
+  profile : Profile.t;
+  steps : int;  (** statements executed *)
+}
+
+exception Step_limit_exceeded of int
+
+(** Run the inlined program's [main].  [max_steps] bounds interpreted
+    statements (default 50 million). *)
+val run : ?max_steps:int -> Ast.program -> result

@@ -1,0 +1,36 @@
+(** Per-statement dynamic profile: execution counts and abstract work
+    (cycles at CPI 1), keyed by statement id.  This plays the role of the
+    cost annotation the paper obtains from target-platform simulation. *)
+
+type t = {
+  counts : int array;  (** times each statement was executed *)
+  work : float array;  (** total abstract cycles attributed to it *)
+  mutable total_work : float;  (** whole-program cycles *)
+}
+
+let create n = { counts = Array.make n 0; work = Array.make n 0.; total_work = 0. }
+
+let record t sid cycles =
+  t.counts.(sid) <- t.counts.(sid) + 1;
+  t.work.(sid) <- t.work.(sid) +. cycles;
+  t.total_work <- t.total_work +. cycles
+
+(** Add extra cycles to a statement without bumping its count (used for
+    per-iteration loop-control overhead attributed to the loop head). *)
+let add_work t sid cycles =
+  t.work.(sid) <- t.work.(sid) +. cycles;
+  t.total_work <- t.total_work +. cycles
+
+let count t sid = t.counts.(sid)
+let work t sid = t.work.(sid)
+
+(** Average cycles per execution (0 if never executed). *)
+let work_per_exec t sid =
+  if t.counts.(sid) = 0 then 0. else t.work.(sid) /. float_of_int t.counts.(sid)
+
+let pp ppf t =
+  Array.iteri
+    (fun sid c ->
+      if c > 0 then
+        Fmt.pf ppf "sid %3d: count %8d  work %12.1f@." sid c t.work.(sid))
+    t.counts

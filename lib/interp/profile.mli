@@ -1,0 +1,25 @@
+(** Per-statement dynamic profile: execution counts and abstract work
+    (cycles at CPI 1), keyed by statement id. *)
+
+type t = {
+  counts : int array;  (** times each statement was executed *)
+  work : float array;  (** total abstract cycles attributed to it *)
+  mutable total_work : float;  (** whole-program cycles *)
+}
+
+val create : int -> t
+
+(** Record one execution of statement [sid] costing [cycles]. *)
+val record : t -> int -> float -> unit
+
+(** Add cycles without bumping the count (per-iteration loop-control
+    overhead attributed to the loop head). *)
+val add_work : t -> int -> float -> unit
+
+val count : t -> int -> int
+val work : t -> int -> float
+
+(** Average cycles per execution (0 if never executed). *)
+val work_per_exec : t -> int -> float
+
+val pp : Format.formatter -> t -> unit

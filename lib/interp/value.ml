@@ -1,0 +1,72 @@
+(** Runtime values of the Mini-C interpreter.  Arrays are stored flattened
+    with their dimension vector for index computation. *)
+
+open Minic
+
+type t =
+  | VInt of int
+  | VFloat of float
+  | VArrI of { data : int array; dims : int list }
+  | VArrF of { data : float array; dims : int list }
+
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+let zero_of_ty = function
+  | Ast.TScalar Ast.SInt -> VInt 0
+  | Ast.TScalar Ast.SFloat -> VFloat 0.
+  | Ast.TArray (Ast.SInt, dims) ->
+      VArrI { data = Array.make (List.fold_left ( * ) 1 dims) 0; dims }
+  | Ast.TArray (Ast.SFloat, dims) ->
+      VArrF { data = Array.make (List.fold_left ( * ) 1 dims) 0.; dims }
+  | Ast.TVoid -> error "cannot create a void value"
+
+let to_int = function
+  | VInt n -> n
+  | VFloat f -> int_of_float f
+  | VArrI _ | VArrF _ -> error "array used as a scalar"
+
+let to_float = function
+  | VInt n -> float_of_int n
+  | VFloat f -> f
+  | VArrI _ | VArrF _ -> error "array used as a scalar"
+
+let is_float = function VFloat _ -> true | _ -> false
+
+(** Flattened offset for [idxs] in an array of shape [dims]; bounds are
+    checked per dimension. *)
+let flat_index ~dims ~idxs =
+  let rec go dims idxs acc =
+    match (dims, idxs) with
+    | [], [] -> acc
+    | d :: dims', i :: idxs' ->
+        if i < 0 || i >= d then
+          error "array index %d out of bounds for dimension of size %d" i d
+        else go dims' idxs' ((acc * d) + i)
+    | _ -> error "wrong number of array indices"
+  in
+  go dims idxs 0
+
+let size_bytes = function
+  | VInt _ | VFloat _ -> 4
+  | VArrI { data; _ } -> 4 * Array.length data
+  | VArrF { data; _ } -> 4 * Array.length data
+
+let pp ppf = function
+  | VInt n -> Fmt.int ppf n
+  | VFloat f -> Fmt.float ppf f
+  | VArrI { data; dims } ->
+      Fmt.pf ppf "int[%a]{%a%s}"
+        Fmt.(list ~sep:(any "][") int)
+        dims
+        Fmt.(array ~sep:comma int)
+        (Array.sub data 0 (min 8 (Array.length data)))
+        (if Array.length data > 8 then ", ..." else "")
+  | VArrF { data; dims } ->
+      Fmt.pf ppf "float[%a]{%a%s}"
+        Fmt.(list ~sep:(any "][") int)
+        dims
+        Fmt.(array ~sep:comma float)
+        (Array.sub data 0 (min 8 (Array.length data)))
+        (if Array.length data > 8 then ", ..." else "")

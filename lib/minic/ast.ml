@@ -1,0 +1,130 @@
+(** Abstract syntax of Mini-C, the ANSI-C subset consumed by the
+    parallelizer.  The subset covers what the UTDSP-style benchmarks need:
+    [int]/[float] scalars, multi-dimensional fixed-size arrays, arithmetic
+    and logic expressions, [if]/[for]/[while], functions and calls.
+
+    Every statement carries a unique id ([sid]) assigned by the parser and
+    re-assigned by {!Rename.renumber} after inlining; the profiler and the
+    task-graph builder key their annotations on these ids. *)
+
+type scalar = SInt | SFloat [@@deriving show, eq]
+
+type ty =
+  | TScalar of scalar
+  | TArray of scalar * int list  (** element type, dimension sizes *)
+  | TVoid
+[@@deriving show, eq]
+
+type unop = Neg | Not | BitNot [@@deriving show, eq]
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | LAnd | LOr
+  | Shl | Shr | BAnd | BOr | BXor
+[@@deriving show, eq]
+
+type expr =
+  | IntLit of int
+  | FloatLit of float
+  | Var of string
+  | ArrRef of string * expr list
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+[@@deriving show, eq]
+
+type lhs = LVar of string | LArr of string * expr list [@@deriving show, eq]
+
+type decl = { dname : string; dty : ty; dinit : expr option }
+[@@deriving show, eq]
+
+type stmt = { sid : int; sloc : Loc.t; sdesc : stmt_desc }
+
+and stmt_desc =
+  | Assign of lhs * expr
+  | If of expr * block * block
+  | For of for_loop
+  | While of expr * block
+  | Return of expr option
+  | ExprStmt of expr
+  | Decl of decl
+  | Block of block  (** explicit scope; also produced by the inliner *)
+
+and for_loop = {
+  finit : (lhs * expr) option;
+  fcond : expr;
+  fstep : (lhs * expr) option;
+  fbody : block;
+}
+
+and block = stmt list [@@deriving show, eq]
+
+type param = { pname : string; pty : ty } [@@deriving show, eq]
+
+type func = {
+  fname : string;
+  fret : ty;
+  fparams : param list;
+  fbody : block;
+  floc : Loc.t;
+}
+[@@deriving show, eq]
+
+type program = { globals : decl list; funcs : func list } [@@deriving show, eq]
+
+(** [find_func prog name] returns the function named [name]. *)
+let find_func prog name =
+  List.find_opt (fun f -> String.equal f.fname name) prog.funcs
+
+let lhs_name = function LVar n -> n | LArr (n, _) -> n
+
+(** Fold over every statement of a block, recursing into nested blocks. *)
+let rec fold_stmts f acc (b : block) =
+  List.fold_left
+    (fun acc s ->
+      let acc = f acc s in
+      match s.sdesc with
+      | If (_, b1, b2) -> fold_stmts f (fold_stmts f acc b1) b2
+      | For { fbody; _ } -> fold_stmts f acc fbody
+      | While (_, body) -> fold_stmts f acc body
+      | Block body -> fold_stmts f acc body
+      | Assign _ | Return _ | ExprStmt _ | Decl _ -> acc)
+    acc b
+
+(** Number of statements in a program (all functions, nested included). *)
+let stmt_count prog =
+  List.fold_left (fun acc f -> fold_stmts (fun n _ -> n + 1) acc f.fbody) 0
+    prog.funcs
+
+(** Iterate over all sub-expressions of [e], outermost first. *)
+let rec iter_expr f e =
+  f e;
+  match e with
+  | IntLit _ | FloatLit _ | Var _ -> ()
+  | ArrRef (_, idxs) -> List.iter (iter_expr f) idxs
+  | Unop (_, e1) -> iter_expr f e1
+  | Binop (_, e1, e2) -> iter_expr f e1; iter_expr f e2
+  | Call (_, args) -> List.iter (iter_expr f) args
+
+(** All expressions appearing directly in a statement (not in nested
+    statements). *)
+let stmt_exprs s =
+  match s.sdesc with
+  | Assign (LVar _, e) -> [ e ]
+  | Assign (LArr (_, idxs), e) -> e :: idxs
+  | If (c, _, _) -> [ c ]
+  | For { finit; fcond; fstep; _ } ->
+      let of_opt = function
+        | Some (LArr (_, idxs), e) -> e :: idxs
+        | Some (LVar _, e) -> [ e ]
+        | None -> []
+      in
+      (fcond :: of_opt finit) @ of_opt fstep
+  | While (c, _) -> [ c ]
+  | Return (Some e) -> [ e ]
+  | Return None -> []
+  | ExprStmt e -> [ e ]
+  | Decl { dinit = Some e; _ } -> [ e ]
+  | Decl { dinit = None; _ } -> []
+  | Block _ -> []

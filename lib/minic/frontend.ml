@@ -1,0 +1,47 @@
+(** One-call frontend: source text to an analyzed, inlined program. *)
+
+type error =
+  | Lex_error of string * Loc.t
+  | Parse_error of string * Loc.t
+  | Type_error of string * Loc.t
+  | Inline_error of string * Loc.t
+
+let pp_error ppf = function
+  | Lex_error (m, l) -> Fmt.pf ppf "lexical error at %a: %s" Loc.pp_short l m
+  | Parse_error (m, l) -> Fmt.pf ppf "parse error at %a: %s" Loc.pp_short l m
+  | Type_error (m, l) -> Fmt.pf ppf "type error at %a: %s" Loc.pp_short l m
+  | Inline_error (m, l) -> Fmt.pf ppf "inline error at %a: %s" Loc.pp_short l m
+
+let error_to_string e = Fmt.str "%a" pp_error e
+
+exception Error of error
+
+(** Parse and type-check only (no inlining). *)
+let parse_and_check src =
+  try
+    let prog = Parser.program_of_string src in
+    Typecheck.check prog;
+    prog
+  with
+  | Lexer.Error (m, l) -> raise (Error (Lex_error (m, l)))
+  | Parser.Error (m, l) -> raise (Error (Parse_error (m, l)))
+  | Typecheck.Error (m, l) -> raise (Error (Type_error (m, l)))
+
+(** Full pipeline: parse, type-check, inline user calls into [main],
+    type-check again (defence in depth), renumber statement ids. *)
+let compile src =
+  let prog = parse_and_check src in
+  try
+    let flat = Inline.program prog in
+    Typecheck.check flat;
+    flat
+  with
+  | Inline.Error (m, l) -> raise (Error (Inline_error (m, l)))
+  | Typecheck.Error (m, l) -> raise (Error (Type_error (m, l)))
+
+(** [compile_result] is [compile] with a result type instead of an
+    exception. *)
+let compile_result src =
+  match compile src with
+  | prog -> Ok prog
+  | exception Error e -> Error e

@@ -1,0 +1,22 @@
+(** One-call frontend: source text to an analyzed, inlined program. *)
+
+type error =
+  | Lex_error of string * Loc.t
+  | Parse_error of string * Loc.t
+  | Type_error of string * Loc.t
+  | Inline_error of string * Loc.t
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+exception Error of error
+
+(** Parse and type-check only (no inlining). *)
+val parse_and_check : string -> Ast.program
+
+(** Full pipeline: parse, type-check, inline user calls into [main],
+    re-check, renumber statement ids. *)
+val compile : string -> Ast.program
+
+(** {!compile} with a result type instead of an exception. *)
+val compile_result : string -> (Ast.program, error) result

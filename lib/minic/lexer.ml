@@ -1,0 +1,167 @@
+(** Hand-written lexer for Mini-C.  Produces a list of located tokens. *)
+
+exception Error of string * Loc.t
+
+type located = { tok : Token.t; loc : Loc.t }
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make src = { src; pos = 0; line = 1; col = 1 }
+let eof st = st.pos >= String.length st.src
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st =
+  (if not (eof st) then
+     let c = st.src.[st.pos] in
+     st.pos <- st.pos + 1;
+     if Char.equal c '\n' then begin
+       st.line <- st.line + 1;
+       st.col <- 1
+     end
+     else st.col <- st.col + 1);
+  ()
+
+let here st = Loc.make ~line:st.line ~col:st.col
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_digit c || is_alpha c
+
+let rec skip_ws_and_comments st =
+  match peek st with
+  | ' ' | '\t' | '\r' | '\n' ->
+      advance st;
+      skip_ws_and_comments st
+  | '/' when Char.equal (peek2 st) '/' ->
+      while (not (eof st)) && not (Char.equal (peek st) '\n') do
+        advance st
+      done;
+      skip_ws_and_comments st
+  | '/' when Char.equal (peek2 st) '*' ->
+      let start = here st in
+      advance st;
+      advance st;
+      let rec loop () =
+        if eof st then raise (Error ("unterminated comment", start))
+        else if Char.equal (peek st) '*' && Char.equal (peek2 st) '/' then begin
+          advance st;
+          advance st
+        end
+        else begin
+          advance st;
+          loop ()
+        end
+      in
+      loop ();
+      skip_ws_and_comments st
+  | '#' ->
+      (* Preprocessor-style lines are ignored so benchmark sources may keep
+         a cosmetic [#include] or [#define]-free header. *)
+      while (not (eof st)) && not (Char.equal (peek st) '\n') do
+        advance st
+      done;
+      skip_ws_and_comments st
+  | _ -> ()
+
+let lex_number st loc =
+  let buf = Buffer.create 16 in
+  let consume_digits () =
+    while is_digit (peek st) do
+      Buffer.add_char buf (peek st);
+      advance st
+    done
+  in
+  consume_digits ();
+  let is_float = ref false in
+  if Char.equal (peek st) '.' && is_digit (peek2 st) then begin
+    is_float := true;
+    Buffer.add_char buf '.';
+    advance st;
+    consume_digits ()
+  end;
+  (match peek st with
+  | 'e' | 'E' ->
+      is_float := true;
+      Buffer.add_char buf 'e';
+      advance st;
+      (match peek st with
+      | '+' | '-' ->
+          Buffer.add_char buf (peek st);
+          advance st
+      | _ -> ());
+      consume_digits ()
+  | _ -> ());
+  let s = Buffer.contents buf in
+  if !is_float then Token.FLOAT_LIT (float_of_string s)
+  else
+    match int_of_string_opt s with
+    | Some n -> Token.INT_LIT n
+    | None -> raise (Error (Printf.sprintf "bad integer literal %S" s, loc))
+
+let lex_ident st =
+  let buf = Buffer.create 16 in
+  while is_alnum (peek st) do
+    Buffer.add_char buf (peek st);
+    advance st
+  done;
+  let s = Buffer.contents buf in
+  match Token.keyword_of_string s with Some kw -> kw | None -> Token.IDENT s
+
+let next_token st : located =
+  skip_ws_and_comments st;
+  let loc = here st in
+  let open Token in
+  let simple tok = advance st; { tok; loc } in
+  let two tok = advance st; advance st; { tok; loc } in
+  if eof st then { tok = EOF; loc }
+  else
+    match peek st with
+    | c when is_digit c -> { tok = lex_number st loc; loc }
+    | c when is_alpha c -> { tok = lex_ident st; loc }
+    | '(' -> simple LPAREN
+    | ')' -> simple RPAREN
+    | '{' -> simple LBRACE
+    | '}' -> simple RBRACE
+    | '[' -> simple LBRACKET
+    | ']' -> simple RBRACKET
+    | ';' -> simple SEMI
+    | ',' -> simple COMMA
+    | '+' -> simple PLUS
+    | '-' -> simple MINUS
+    | '*' -> simple STAR
+    | '/' -> simple SLASH
+    | '%' -> simple PERCENT
+    | '~' -> simple TILDE
+    | '^' -> simple CARET
+    | '=' -> if Char.equal (peek2 st) '=' then two EQ else simple ASSIGN
+    | '!' -> if Char.equal (peek2 st) '=' then two NE else simple BANG
+    | '<' ->
+        if Char.equal (peek2 st) '=' then two LE
+        else if Char.equal (peek2 st) '<' then two SHL
+        else simple LT
+    | '>' ->
+        if Char.equal (peek2 st) '=' then two GE
+        else if Char.equal (peek2 st) '>' then two SHR
+        else simple GT
+    | '&' -> if Char.equal (peek2 st) '&' then two AMPAMP else simple AMP
+    | '|' -> if Char.equal (peek2 st) '|' then two BARBAR else simple BAR
+    | c -> raise (Error (Printf.sprintf "unexpected character %C" c, loc))
+
+(** Tokenize a whole source string. *)
+let tokenize src =
+  let st = make src in
+  let rec loop acc =
+    let t = next_token st in
+    match t.tok with
+    | Token.EOF -> List.rev (t :: acc)
+    | _ -> loop (t :: acc)
+  in
+  loop []

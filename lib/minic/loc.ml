@@ -1,0 +1,7 @@
+(** Source locations for error reporting. *)
+
+type t = { line : int; col : int } [@@deriving show, eq]
+
+let dummy = { line = 0; col = 0 }
+let make ~line ~col = { line; col }
+let pp_short ppf { line; col } = Fmt.pf ppf "%d:%d" line col

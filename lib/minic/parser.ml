@@ -1,0 +1,428 @@
+(** Recursive-descent parser for Mini-C.
+
+    Grammar (simplified):
+    {v
+      program   ::= (global_decl | func)*
+      func      ::= type IDENT '(' params ')' block
+      block     ::= '{' stmt* '}'
+      stmt      ::= decl ';' | assign ';' | 'if' ... | 'for' ... | 'while' ...
+                  | 'return' expr? ';' | call ';' | block
+      expr      ::= precedence-climbing over || && | ^ & == != < <= > >=
+                    << >> + - * / % with unary - ! ~
+    v} *)
+
+exception Error of string * Loc.t
+
+type state = {
+  toks : Lexer.located array;
+  mutable cur : int;
+  mutable next_sid : int;
+}
+
+let make toks = { toks = Array.of_list toks; cur = 0; next_sid = 0 }
+let peek st = st.toks.(st.cur).tok
+let peek_loc st = st.toks.(st.cur).loc
+
+let peek2 st =
+  if st.cur + 1 < Array.length st.toks then st.toks.(st.cur + 1).tok
+  else Token.EOF
+
+let advance st = if st.cur < Array.length st.toks - 1 then st.cur <- st.cur + 1
+
+let fail st msg =
+  raise (Error (Printf.sprintf "%s (got %s)" msg (Token.show (peek st)), peek_loc st))
+
+let expect st tok msg =
+  if Token.equal (peek st) tok then advance st else fail st msg
+
+let fresh_sid st =
+  let n = st.next_sid in
+  st.next_sid <- n + 1;
+  n
+
+let mk_stmt st loc sdesc = { Ast.sid = fresh_sid st; sloc = loc; sdesc }
+
+let ident st =
+  match peek st with
+  | Token.IDENT s -> advance st; s
+  | _ -> fail st "expected identifier"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let binop_of_token : Token.t -> (Ast.binop * int) option = function
+  (* token -> operator, precedence (higher binds tighter) *)
+  | Token.BARBAR -> Some (Ast.LOr, 1)
+  | Token.AMPAMP -> Some (Ast.LAnd, 2)
+  | Token.BAR -> Some (Ast.BOr, 3)
+  | Token.CARET -> Some (Ast.BXor, 4)
+  | Token.AMP -> Some (Ast.BAnd, 5)
+  | Token.EQ -> Some (Ast.Eq, 6)
+  | Token.NE -> Some (Ast.Ne, 6)
+  | Token.LT -> Some (Ast.Lt, 7)
+  | Token.LE -> Some (Ast.Le, 7)
+  | Token.GT -> Some (Ast.Gt, 7)
+  | Token.GE -> Some (Ast.Ge, 7)
+  | Token.SHL -> Some (Ast.Shl, 8)
+  | Token.SHR -> Some (Ast.Shr, 8)
+  | Token.PLUS -> Some (Ast.Add, 9)
+  | Token.MINUS -> Some (Ast.Sub, 9)
+  | Token.STAR -> Some (Ast.Mul, 10)
+  | Token.SLASH -> Some (Ast.Div, 10)
+  | Token.PERCENT -> Some (Ast.Mod, 10)
+  | _ -> None
+
+let rec parse_expr st = parse_binop st 0
+
+and parse_binop st min_prec =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match binop_of_token (peek st) with
+    | Some (op, prec) when prec >= min_prec ->
+        advance st;
+        let rhs = parse_binop st (prec + 1) in
+        loop (Ast.Binop (op, lhs, rhs))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  match peek st with
+  | Token.MINUS ->
+      advance st;
+      Ast.Unop (Ast.Neg, parse_unary st)
+  | Token.BANG ->
+      advance st;
+      Ast.Unop (Ast.Not, parse_unary st)
+  | Token.TILDE ->
+      advance st;
+      Ast.Unop (Ast.BitNot, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Token.INT_LIT n -> advance st; Ast.IntLit n
+  | Token.FLOAT_LIT f -> advance st; Ast.FloatLit f
+  | Token.LPAREN ->
+      advance st;
+      (* Cast syntax [(int) e] / [(float) e] is accepted and erased: Mini-C
+         converts implicitly, so a cast only documents intent. *)
+      (match peek st with
+      | Token.KW_INT | Token.KW_FLOAT ->
+          advance st;
+          expect st Token.RPAREN "expected ')' after cast type";
+          parse_unary st
+      | _ ->
+          let e = parse_expr st in
+          expect st Token.RPAREN "expected ')'";
+          e)
+  | Token.IDENT name ->
+      advance st;
+      (match peek st with
+      | Token.LPAREN ->
+          advance st;
+          let args = parse_args st in
+          Ast.Call (name, args)
+      | Token.LBRACKET -> Ast.ArrRef (name, parse_indices st)
+      | _ -> Ast.Var name)
+  | _ -> fail st "expected expression"
+
+and parse_args st =
+  if Token.equal (peek st) Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else
+    let rec loop acc =
+      let e = parse_expr st in
+      match peek st with
+      | Token.COMMA ->
+          advance st;
+          loop (e :: acc)
+      | Token.RPAREN ->
+          advance st;
+          List.rev (e :: acc)
+      | _ -> fail st "expected ',' or ')' in argument list"
+    in
+    loop []
+
+and parse_indices st =
+  let rec loop acc =
+    if Token.equal (peek st) Token.LBRACKET then begin
+      advance st;
+      let e = parse_expr st in
+      expect st Token.RBRACKET "expected ']'";
+      loop (e :: acc)
+    end
+    else List.rev acc
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Types and declarations                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse_base_type st =
+  match peek st with
+  | Token.KW_INT -> advance st; Some Ast.SInt
+  | Token.KW_FLOAT -> advance st; Some Ast.SFloat
+  | _ -> None
+
+let parse_array_dims st =
+  let rec loop acc =
+    if Token.equal (peek st) Token.LBRACKET then begin
+      advance st;
+      (match peek st with
+      | Token.INT_LIT n when n > 0 ->
+          advance st;
+          expect st Token.RBRACKET "expected ']'";
+          loop (n :: acc)
+      | _ -> fail st "array dimension must be a positive integer literal")
+    end
+    else List.rev acc
+  in
+  loop []
+
+(** [int x = e;] or [float a[4][4];] after the base type was consumed. *)
+let parse_decl_rest st scalar : Ast.decl =
+  let name = ident st in
+  let dims = parse_array_dims st in
+  let dty =
+    match dims with
+    | [] -> Ast.TScalar scalar
+    | _ -> Ast.TArray (scalar, dims)
+  in
+  let dinit =
+    if Token.equal (peek st) Token.ASSIGN then begin
+      advance st;
+      if not (List.is_empty dims) then
+        fail st "array initializers are not supported";
+      Some (parse_expr st)
+    end
+    else None
+  in
+  expect st Token.SEMI "expected ';' after declaration";
+  { Ast.dname = name; dty; dinit }
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_lhs_from_expr st = function
+  | Ast.Var n -> Ast.LVar n
+  | Ast.ArrRef (n, idxs) -> Ast.LArr (n, idxs)
+  | _ -> fail st "invalid assignment target"
+
+(** Parse [lhs = expr] without the trailing ';' (used by for-headers). *)
+let parse_assign_no_semi st =
+  let e = parse_expr st in
+  match peek st with
+  | Token.ASSIGN ->
+      advance st;
+      let lhs = parse_lhs_from_expr st e in
+      let rhs = parse_expr st in
+      (lhs, rhs)
+  | _ -> fail st "expected '=' in assignment"
+
+let rec parse_stmt st : Ast.stmt =
+  let loc = peek_loc st in
+  match peek st with
+  | Token.KW_INT | Token.KW_FLOAT ->
+      let scalar =
+        match parse_base_type st with Some s -> s | None -> assert false
+      in
+      let d = parse_decl_rest st scalar in
+      mk_stmt st loc (Ast.Decl d)
+  | Token.KW_IF ->
+      advance st;
+      expect st Token.LPAREN "expected '(' after if";
+      let cond = parse_expr st in
+      expect st Token.RPAREN "expected ')' after if condition";
+      let then_b = parse_stmt_as_block st in
+      let else_b =
+        if Token.equal (peek st) Token.KW_ELSE then begin
+          advance st;
+          parse_stmt_as_block st
+        end
+        else []
+      in
+      mk_stmt st loc (Ast.If (cond, then_b, else_b))
+  | Token.KW_WHILE ->
+      advance st;
+      expect st Token.LPAREN "expected '(' after while";
+      let cond = parse_expr st in
+      expect st Token.RPAREN "expected ')' after while condition";
+      let body = parse_stmt_as_block st in
+      mk_stmt st loc (Ast.While (cond, body))
+  | Token.KW_FOR ->
+      advance st;
+      expect st Token.LPAREN "expected '(' after for";
+      let finit =
+        if Token.equal (peek st) Token.SEMI then None
+        else Some (parse_assign_no_semi st)
+      in
+      expect st Token.SEMI "expected ';' in for header";
+      let fcond =
+        if Token.equal (peek st) Token.SEMI then Ast.IntLit 1
+        else parse_expr st
+      in
+      expect st Token.SEMI "expected ';' in for header";
+      let fstep =
+        if Token.equal (peek st) Token.RPAREN then None
+        else Some (parse_assign_no_semi st)
+      in
+      expect st Token.RPAREN "expected ')' after for header";
+      let fbody = parse_stmt_as_block st in
+      mk_stmt st loc (Ast.For { finit; fcond; fstep; fbody })
+  | Token.KW_RETURN ->
+      advance st;
+      let e =
+        if Token.equal (peek st) Token.SEMI then None else Some (parse_expr st)
+      in
+      expect st Token.SEMI "expected ';' after return";
+      mk_stmt st loc (Ast.Return e)
+  | Token.LBRACE -> mk_stmt st loc (Ast.Block (parse_block st))
+  | _ ->
+      (* assignment or expression (call) statement *)
+      let e = parse_expr st in
+      let desc =
+        match peek st with
+        | Token.ASSIGN ->
+            advance st;
+            let lhs = parse_lhs_from_expr st e in
+            let rhs = parse_expr st in
+            Ast.Assign (lhs, rhs)
+        | _ -> Ast.ExprStmt e
+      in
+      expect st Token.SEMI "expected ';' after statement";
+      mk_stmt st loc desc
+
+and parse_stmt_as_block st : Ast.block =
+  if Token.equal (peek st) Token.LBRACE then parse_block st
+  else [ parse_stmt st ]
+
+and parse_block st : Ast.block =
+  expect st Token.LBRACE "expected '{'";
+  let rec loop acc =
+    if Token.equal (peek st) Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_params st : Ast.param list =
+  expect st Token.LPAREN "expected '(' in function header";
+  if Token.equal (peek st) Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else if Token.equal (peek st) Token.KW_VOID && Token.equal (peek2 st) Token.RPAREN
+  then begin
+    advance st;
+    advance st;
+    []
+  end
+  else
+    let parse_one () =
+      let scalar =
+        match parse_base_type st with
+        | Some s -> s
+        | None -> fail st "expected parameter type"
+      in
+      let name = ident st in
+      let dims = parse_array_dims st in
+      let pty =
+        match dims with
+        | [] -> Ast.TScalar scalar
+        | _ -> Ast.TArray (scalar, dims)
+      in
+      { Ast.pname = name; pty }
+    in
+    let rec loop acc =
+      let p = parse_one () in
+      match peek st with
+      | Token.COMMA ->
+          advance st;
+          loop (p :: acc)
+      | Token.RPAREN ->
+          advance st;
+          List.rev (p :: acc)
+      | _ -> fail st "expected ',' or ')' in parameter list"
+    in
+    loop []
+
+let parse_program st : Ast.program =
+  let globals = ref [] in
+  let funcs = ref [] in
+  let rec loop () =
+    match peek st with
+    | Token.EOF -> ()
+    | Token.KW_INT | Token.KW_FLOAT | Token.KW_VOID ->
+        let loc = peek_loc st in
+        let ret_scalar =
+          match peek st with
+          | Token.KW_VOID ->
+              advance st;
+              None
+          | _ -> parse_base_type st
+        in
+        let name = ident st in
+        if Token.equal (peek st) Token.LPAREN then begin
+          let params = parse_params st in
+          let body = parse_block st in
+          let fret =
+            match ret_scalar with
+            | None -> Ast.TVoid
+            | Some s -> Ast.TScalar s
+          in
+          funcs :=
+            { Ast.fname = name; fret; fparams = params; fbody = body; floc = loc }
+            :: !funcs
+        end
+        else begin
+          (* global declaration; reuse the local-declaration tail parser *)
+          match ret_scalar with
+          | None -> fail st "void is not a valid variable type"
+          | Some scalar ->
+              let dims = parse_array_dims st in
+              let dty =
+                match dims with
+                | [] -> Ast.TScalar scalar
+                | _ -> Ast.TArray (scalar, dims)
+              in
+              let dinit =
+                if Token.equal (peek st) Token.ASSIGN then begin
+                  advance st;
+                  Some (parse_expr st)
+                end
+                else None
+              in
+              expect st Token.SEMI "expected ';' after global declaration";
+              globals := { Ast.dname = name; dty; dinit } :: !globals
+        end;
+        loop ()
+    | _ -> fail st "expected declaration or function"
+  in
+  loop ();
+  { Ast.globals = List.rev !globals; funcs = List.rev !funcs }
+
+(** Parse a full Mini-C source string into a program. *)
+let program_of_string src =
+  let toks = Lexer.tokenize src in
+  let st = make toks in
+  parse_program st
+
+(** Parse a single expression (used by tests). *)
+let expr_of_string src =
+  let toks = Lexer.tokenize src in
+  let st = make toks in
+  let e = parse_expr st in
+  if not (Token.equal (peek st) Token.EOF) then fail st "trailing tokens";
+  e

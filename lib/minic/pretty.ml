@@ -1,0 +1,123 @@
+(** Pretty-printer: renders an AST back to compilable Mini-C source.
+    [Parser.program_of_string (to_string p)] is structurally equal to [p]
+    modulo statement ids — a property the test suite checks. *)
+
+open Format
+
+let scalar_str = function Ast.SInt -> "int" | Ast.SFloat -> "float"
+
+let pp_dims ppf dims = List.iter (fun d -> fprintf ppf "[%d]" d) dims
+
+let pp_ty_prefix ppf = function
+  | Ast.TScalar s -> pp_print_string ppf (scalar_str s)
+  | Ast.TArray (s, _) -> pp_print_string ppf (scalar_str s)
+  | Ast.TVoid -> pp_print_string ppf "void"
+
+let ty_dims = function Ast.TArray (_, dims) -> dims | _ -> []
+
+let unop_str = function Ast.Neg -> "-" | Ast.Not -> "!" | Ast.BitNot -> "~"
+
+let binop_str = function
+  | Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "/"
+  | Ast.Mod -> "%" | Ast.Lt -> "<" | Ast.Le -> "<=" | Ast.Gt -> ">"
+  | Ast.Ge -> ">=" | Ast.Eq -> "==" | Ast.Ne -> "!=" | Ast.LAnd -> "&&"
+  | Ast.LOr -> "||" | Ast.Shl -> "<<" | Ast.Shr -> ">>" | Ast.BAnd -> "&"
+  | Ast.BOr -> "|" | Ast.BXor -> "^"
+
+let prec_of_binop = function
+  | Ast.LOr -> 1 | Ast.LAnd -> 2 | Ast.BOr -> 3 | Ast.BXor -> 4 | Ast.BAnd -> 5
+  | Ast.Eq | Ast.Ne -> 6
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 7
+  | Ast.Shl | Ast.Shr -> 8
+  | Ast.Add | Ast.Sub -> 9
+  | Ast.Mul | Ast.Div | Ast.Mod -> 10
+
+let rec pp_expr ?(prec = 0) ppf (e : Ast.expr) =
+  match e with
+  | Ast.IntLit n ->
+      if n < 0 then fprintf ppf "(%d)" n else pp_print_int ppf n
+  | Ast.FloatLit f ->
+      let s = sprintf "%.17g" f in
+      (* guarantee re-lexing as a float literal *)
+      if String.contains s '.' || String.contains s 'e' then
+        pp_print_string ppf s
+      else fprintf ppf "%s.0" s
+  | Ast.Var name -> pp_print_string ppf name
+  | Ast.ArrRef (name, idxs) ->
+      pp_print_string ppf name;
+      List.iter (fun i -> fprintf ppf "[%a]" (pp_expr ~prec:0) i) idxs
+  | Ast.Unop (op, e1) -> fprintf ppf "%s%a" (unop_str op) (pp_expr ~prec:11) e1
+  | Ast.Binop (op, e1, e2) ->
+      let p = prec_of_binop op in
+      let body ppf () =
+        fprintf ppf "%a %s %a" (pp_expr ~prec:p) e1 (binop_str op)
+          (pp_expr ~prec:(p + 1)) e2
+      in
+      if p < prec then fprintf ppf "(%a)" body () else body ppf ()
+  | Ast.Call (name, args) ->
+      fprintf ppf "%s(%a)" name
+        (pp_print_list
+           ~pp_sep:(fun ppf () -> pp_print_string ppf ", ")
+           (pp_expr ~prec:0))
+        args
+
+let pp_lhs ppf = function
+  | Ast.LVar name -> pp_print_string ppf name
+  | Ast.LArr (name, idxs) ->
+      pp_print_string ppf name;
+      List.iter (fun i -> fprintf ppf "[%a]" (pp_expr ~prec:0) i) idxs
+
+let pp_decl ppf (d : Ast.decl) =
+  fprintf ppf "%a %s%a" pp_ty_prefix d.dty d.dname pp_dims (ty_dims d.dty);
+  match d.dinit with
+  | Some e -> fprintf ppf " = %a;" (pp_expr ~prec:0) e
+  | None -> fprintf ppf ";"
+
+let rec pp_stmt ind ppf (s : Ast.stmt) =
+  let pad = String.make (2 * ind) ' ' in
+  match s.sdesc with
+  | Ast.Decl d -> fprintf ppf "%s%a\n" pad pp_decl d
+  | Ast.Assign (lhs, e) ->
+      fprintf ppf "%s%a = %a;\n" pad pp_lhs lhs (pp_expr ~prec:0) e
+  | Ast.If (c, b1, b2) ->
+      fprintf ppf "%sif (%a) {\n%a%s}" pad (pp_expr ~prec:0) c
+        (pp_block (ind + 1)) b1 pad;
+      if List.length b2 > 0 then
+        fprintf ppf " else {\n%a%s}\n" (pp_block (ind + 1)) b2 pad
+      else fprintf ppf "\n"
+  | Ast.While (c, body) ->
+      fprintf ppf "%swhile (%a) {\n%a%s}\n" pad (pp_expr ~prec:0) c
+        (pp_block (ind + 1)) body pad
+  | Ast.For { finit; fcond; fstep; fbody } ->
+      let pp_opt_assign ppf = function
+        | Some (lhs, e) -> fprintf ppf "%a = %a" pp_lhs lhs (pp_expr ~prec:0) e
+        | None -> ()
+      in
+      fprintf ppf "%sfor (%a; %a; %a) {\n%a%s}\n" pad pp_opt_assign finit
+        (pp_expr ~prec:0) fcond pp_opt_assign fstep
+        (pp_block (ind + 1)) fbody pad
+  | Ast.Return None -> fprintf ppf "%sreturn;\n" pad
+  | Ast.Return (Some e) -> fprintf ppf "%sreturn %a;\n" pad (pp_expr ~prec:0) e
+  | Ast.ExprStmt e -> fprintf ppf "%s%a;\n" pad (pp_expr ~prec:0) e
+  | Ast.Block body -> fprintf ppf "%s{\n%a%s}\n" pad (pp_block (ind + 1)) body pad
+
+and pp_block ind ppf (b : Ast.block) = List.iter (pp_stmt ind ppf) b
+
+let pp_func ppf (f : Ast.func) =
+  let pp_param ppf (p : Ast.param) =
+    fprintf ppf "%a %s%a" pp_ty_prefix p.pty p.pname pp_dims (ty_dims p.pty)
+  in
+  fprintf ppf "%a %s(%a) {\n%a}\n" pp_ty_prefix f.fret f.fname
+    (pp_print_list ~pp_sep:(fun ppf () -> pp_print_string ppf ", ") pp_param)
+    f.fparams (pp_block 1) f.fbody
+
+let pp_program ppf (p : Ast.program) =
+  List.iter (fun d -> fprintf ppf "%a\n" pp_decl d) p.globals;
+  if List.length p.globals > 0 then fprintf ppf "\n";
+  pp_print_list
+    ~pp_sep:(fun ppf () -> pp_print_string ppf "\n")
+    pp_func ppf p.funcs
+
+let expr_to_string e = asprintf "%a" (pp_expr ~prec:0) e
+let stmt_to_string s = asprintf "%a" (pp_stmt 0) s
+let to_string p = asprintf "%a" pp_program p

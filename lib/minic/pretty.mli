@@ -1,0 +1,14 @@
+(** Pretty-printer: renders an AST back to compilable Mini-C source.
+    Parsing the output yields a program structurally equal to the input
+    modulo statement ids. *)
+
+val pp_expr : ?prec:int -> Format.formatter -> Ast.expr -> unit
+val pp_lhs : Format.formatter -> Ast.lhs -> unit
+val pp_decl : Format.formatter -> Ast.decl -> unit
+val pp_stmt : int -> Format.formatter -> Ast.stmt -> unit
+val pp_block : int -> Format.formatter -> Ast.block -> unit
+val pp_func : Format.formatter -> Ast.func -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : Ast.stmt -> string
+val to_string : Ast.program -> string

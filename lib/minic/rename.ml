@@ -1,0 +1,52 @@
+(** Statement-id renumbering and structural comparison helpers. *)
+
+(** Assign fresh consecutive ids (document order) to every statement of the
+    program.  Run after transformations that duplicate statements (e.g.
+    inlining) so that profile annotations are unambiguous. *)
+let renumber (prog : Ast.program) : Ast.program =
+  let next = ref 0 in
+  let fresh () =
+    let n = !next in
+    incr next;
+    n
+  in
+  let rec stmt (s : Ast.stmt) : Ast.stmt =
+    let sid = fresh () in
+    let sdesc =
+      match s.sdesc with
+      | Ast.If (c, b1, b2) -> Ast.If (c, block b1, block b2)
+      | Ast.For f -> Ast.For { f with fbody = block f.fbody }
+      | Ast.While (c, b) -> Ast.While (c, block b)
+      | Ast.Block b -> Ast.Block (block b)
+      | (Ast.Assign _ | Ast.Return _ | Ast.ExprStmt _ | Ast.Decl _) as d -> d
+    in
+    { s with sid; sdesc }
+  and block b = List.map stmt b in
+  {
+    prog with
+    funcs = List.map (fun f -> { f with Ast.fbody = block f.Ast.fbody }) prog.funcs;
+  }
+
+(** Structural equality of programs ignoring statement ids and locations. *)
+let equal_modulo_ids (a : Ast.program) (b : Ast.program) =
+  let rec strip_stmt (s : Ast.stmt) : Ast.stmt =
+    let sdesc =
+      match s.sdesc with
+      | Ast.If (c, b1, b2) -> Ast.If (c, strip_block b1, strip_block b2)
+      | Ast.For f -> Ast.For { f with fbody = strip_block f.fbody }
+      | Ast.While (c, blk) -> Ast.While (c, strip_block blk)
+      | Ast.Block blk -> Ast.Block (strip_block blk)
+      | (Ast.Assign _ | Ast.Return _ | Ast.ExprStmt _ | Ast.Decl _) as d -> d
+    in
+    { sid = 0; sloc = Loc.dummy; sdesc }
+  and strip_block blk = List.map strip_stmt blk in
+  let strip (p : Ast.program) =
+    {
+      p with
+      funcs =
+        List.map
+          (fun f -> { f with Ast.fbody = strip_block f.Ast.fbody; floc = Loc.dummy })
+          p.funcs;
+    }
+  in
+  Ast.equal_program (strip a) (strip b)

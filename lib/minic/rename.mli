@@ -1,0 +1,7 @@
+(** Statement-id renumbering and structural comparison helpers. *)
+
+(** Assign fresh consecutive ids (document order) to every statement. *)
+val renumber : Ast.program -> Ast.program
+
+(** Structural equality ignoring statement ids and source locations. *)
+val equal_modulo_ids : Ast.program -> Ast.program -> bool

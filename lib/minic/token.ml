@@ -1,0 +1,31 @@
+(** Lexical tokens of Mini-C. *)
+
+type t =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW_INT | KW_FLOAT | KW_VOID
+  | KW_IF | KW_ELSE | KW_FOR | KW_WHILE | KW_RETURN
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQ | NE
+  | AMPAMP | BARBAR | BANG
+  | SHL | SHR | AMP | BAR | CARET | TILDE
+  | EOF
+[@@deriving show, eq]
+
+let keyword_of_string = function
+  | "int" -> Some KW_INT
+  | "float" -> Some KW_FLOAT
+  | "double" -> Some KW_FLOAT (* doubles are treated as floats *)
+  | "void" -> Some KW_VOID
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "for" -> Some KW_FOR
+  | "while" -> Some KW_WHILE
+  | "return" -> Some KW_RETURN
+  | _ -> None
+
+let to_string t = show t

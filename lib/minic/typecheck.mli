@@ -1,0 +1,8 @@
+(** Static semantic analysis for Mini-C: name resolution, arity and
+    dimensionality checks, scalar result typing with implicit int/float
+    conversion. *)
+
+exception Error of string * Loc.t
+
+(** Check a whole program.  Raises {!Error} on the first violation. *)
+val check : Ast.program -> unit

@@ -1,0 +1,27 @@
+(** Shared-interconnect communication model: a high-performance bus with a
+    level-2 cache shared by all cores (the configuration the paper
+    evaluates).  A transfer of [b] bytes between two tasks on different
+    processing units costs [startup + b * per_byte] microseconds; the bus
+    is a serial resource, so concurrent transfers queue (modelled by the
+    simulator's bus process). *)
+
+type t = {
+  startup_us : float;  (** per-transfer synchronization/arbitration cost *)
+  per_byte_us : float;  (** inverse bandwidth *)
+}
+[@@deriving show, eq]
+
+let make ~startup_us ~per_byte_us =
+  if startup_us < 0. || per_byte_us < 0. then
+    invalid_arg "Comm.make: negative cost";
+  { startup_us; per_byte_us }
+
+(** Cost in microseconds of transferring [bytes] bytes. *)
+let transfer_us t bytes = t.startup_us +. (float_of_int bytes *. t.per_byte_us)
+
+(** Default bus, matching the paper's evaluation setup ("all cores are
+    connected with a level 2 cache on a high performance bus to enable
+    fast memory accesses for shared data"): 0.5 us per-transfer
+    synchronization and 800 MB/s effective shared-L2 bandwidth
+    (0.00125 us/byte). *)
+let default = { startup_us = 0.5; per_byte_us = 0.00125 }

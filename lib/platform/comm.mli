@@ -1,0 +1,17 @@
+(** Shared-interconnect communication model: a transfer of [b] bytes costs
+    [startup + b * per_byte] microseconds; the bus is serial, so
+    concurrent transfers queue in the simulator. *)
+
+type t = { startup_us : float; per_byte_us : float }
+
+val show : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val make : startup_us:float -> per_byte_us:float -> t
+
+(** Cost in microseconds of transferring [bytes] bytes. *)
+val transfer_us : t -> int -> float
+
+(** The paper's evaluation setup: 0.5 us per-transfer synchronization and
+    800 MB/s effective shared-L2 bandwidth. *)
+val default : t

@@ -1,0 +1,96 @@
+(** Target platform description, the substitute for the MACCv2-style
+    description of [Pyka et al., LCTES 2010] the paper consumes.
+
+    A platform is a set of processor classes, a communication model, a task
+    creation overhead, and the designation of the *main* processor class —
+    the class executing the sequential parts of the application and the
+    baseline for all speedup measurements (Section VI of the paper). *)
+
+type t = {
+  name : string;
+  classes : Proc_class.t array;
+  main_class : int;  (** index into [classes] *)
+  comm : Comm.t;
+  tco_us : float;  (** task creation overhead, microseconds per task *)
+}
+[@@deriving show, eq]
+
+let make ?(comm = Comm.default) ?(tco_us = 2.0) ~name ~classes ~main_class () =
+  let classes = Array.of_list classes in
+  if Array.length classes = 0 then invalid_arg "Platform.make: no classes";
+  if main_class < 0 || main_class >= Array.length classes then
+    invalid_arg "Platform.make: main_class out of range";
+  if tco_us < 0. then invalid_arg "Platform.make: negative tco_us";
+  let names = Array.to_list (Array.map (fun c -> c.Proc_class.name) classes) in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Platform.make: duplicate class names";
+  { name; classes; main_class; comm; tco_us }
+
+let num_classes t = Array.length t.classes
+let proc_class t c = t.classes.(c)
+let main t = t.classes.(t.main_class)
+
+(** Total number of processing units. *)
+let total_units t =
+  Array.fold_left (fun acc c -> acc + c.Proc_class.count) 0 t.classes
+
+(** Units per class as an array indexed like [classes]. *)
+let units_per_class t = Array.map (fun c -> c.Proc_class.count) t.classes
+
+(** Index of the class named [name]. *)
+let class_index t name =
+  let rec go i =
+    if i >= Array.length t.classes then None
+    else if String.equal t.classes.(i).Proc_class.name name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(** Theoretical maximum speedup over sequential execution on the main
+    class, [sum_i count_i * speed_i / speed_main] — the dashed line of the
+    paper's Figures 7 and 8. *)
+let theoretical_speedup t =
+  let total =
+    Array.fold_left
+      (fun acc c -> acc +. (float_of_int c.Proc_class.count *. Proc_class.speed c))
+      0. t.classes
+  in
+  total /. Proc_class.speed (main t)
+
+(** Time in microseconds for [cycles] abstract cycles on class [c]. *)
+let time_us t ~cls cycles = Proc_class.time_us t.classes.(cls) cycles
+
+(** A copy of the platform where every unit belongs to a single class that
+    behaves like the main class — the view a *homogeneous* parallelizer
+    (the paper's baseline [6]) has of the machine. *)
+let homogeneous_view t =
+  let main_c = main t in
+  let merged =
+    {
+      main_c with
+      Proc_class.name = main_c.Proc_class.name ^ "_homog";
+      count = total_units t;
+    }
+  in
+  { t with
+    name = t.name ^ " (homogeneous view)";
+    classes = [| merged |];
+    main_class = 0;
+  }
+
+(** Switch which class is the main one (used for scenario I vs II). *)
+let with_main_class t ~main_class =
+  if main_class < 0 || main_class >= Array.length t.classes then
+    invalid_arg "Platform.with_main_class: out of range";
+  { t with main_class }
+
+let pp_summary ppf t =
+  Fmt.pf ppf "%s: " t.name;
+  Array.iteri
+    (fun i c ->
+      Fmt.pf ppf "%s%dx%s@%.0fMHz%s" (if i > 0 then ", " else "")
+        c.Proc_class.count c.Proc_class.name c.Proc_class.freq_mhz
+        (if i = t.main_class then " (main)" else ""))
+    t.classes;
+  Fmt.pf ppf "; tco=%.1fus, bus=%.1fus+%.4fus/B" t.tco_us t.comm.Comm.startup_us
+    t.comm.Comm.per_byte_us

@@ -1,0 +1,49 @@
+(** Target platform description (the MACCv2-style description of the
+    paper's tool flow): processor classes, a communication model, the task
+    creation overhead, and the designation of the {e main} class — the
+    class executing the sequential parts of the application and the
+    baseline for speedup measurements. *)
+
+type t = {
+  name : string;
+  classes : Proc_class.t array;
+  main_class : int;  (** index into [classes] *)
+  comm : Comm.t;
+  tco_us : float;  (** task creation overhead, microseconds per task *)
+}
+
+val show : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val make :
+  ?comm:Comm.t ->
+  ?tco_us:float ->
+  name:string ->
+  classes:Proc_class.t list ->
+  main_class:int ->
+  unit ->
+  t
+
+val num_classes : t -> int
+val proc_class : t -> int -> Proc_class.t
+val main : t -> Proc_class.t
+val total_units : t -> int
+val units_per_class : t -> int array
+val class_index : t -> string -> int option
+
+(** [sum_i count_i * speed_i / speed_main] — the dashed line of the
+    paper's Figures 7 and 8. *)
+val theoretical_speedup : t -> float
+
+(** Time in microseconds for [cycles] abstract cycles on class [cls]. *)
+val time_us : t -> cls:int -> float -> float
+
+(** The class-blind view a homogeneous parallelizer has of the machine:
+    one class, all units, main-class speed. *)
+val homogeneous_view : t -> t
+
+(** Switch the main class (scenario I vs. II). *)
+val with_main_class : t -> main_class:int -> t
+
+val pp_summary : Format.formatter -> t -> unit

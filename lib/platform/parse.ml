@@ -1,0 +1,129 @@
+(** Parser for a small textual platform description format, the stand-in
+    for the MACCv2 XML descriptions used by the paper's tool flow.
+
+    Format (one directive per line, '#' comments):
+    {v
+      platform my-soc
+      class little freq 1000 cpi 1.6 count 4
+      class big    freq 1800 count 4 main
+      bus startup 2.0 per_byte 0.005
+      tco 2.0
+    v}
+    Exactly one class must carry the [main] marker. *)
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type accum = {
+  mutable name : string;
+  mutable classes : (Proc_class.t * bool) list;  (** class, is_main *)
+  mutable comm : Comm.t;
+  mutable tco : float;
+}
+
+let parse_class_line words lineno =
+  let rec fields = function
+    | [] -> []
+    | [ "main" ] -> [ ("main", "true") ]
+    | "main" :: rest -> ("main", "true") :: fields rest
+    | k :: v :: rest -> (k, v) :: fields rest
+    | [ k ] -> err "line %d: missing value for %s" lineno k
+  in
+  match words with
+  | name :: rest ->
+      let kvs = fields rest in
+      let get_float k default =
+        match List.assoc_opt k kvs with
+        | None -> default
+        | Some v -> (
+            match float_of_string_opt v with
+            | Some f -> f
+            | None -> err "line %d: bad number %s for %s" lineno v k)
+      in
+      let freq = get_float "freq" 0. in
+      if freq <= 0. then err "line %d: class %s needs freq > 0" lineno name;
+      let cpi = get_float "cpi" 1.0 in
+      let count = int_of_float (get_float "count" 1.) in
+      let power = get_float "power" 0. in
+      let is_main = List.mem_assoc "main" kvs in
+      let pc =
+        if power > 0. then
+          Proc_class.make ~name ~freq_mhz:freq ~cpi ~count ~power_mw:power ()
+        else Proc_class.make ~name ~freq_mhz:freq ~cpi ~count ()
+      in
+      (pc, is_main)
+  | [] -> err "line %d: class needs a name" lineno
+
+(** Parse a platform description from a string. *)
+let of_string src : Desc.t =
+  let acc =
+    { name = "unnamed"; classes = []; comm = Comm.default; tco = 2.0 }
+  in
+  let lines = String.split_on_char '\n' src in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some k -> String.sub line 0 k
+        | None -> line
+      in
+      let words =
+        String.split_on_char ' ' line
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun w -> String.length w > 0)
+      in
+      match words with
+      | [] -> ()
+      | "platform" :: rest -> acc.name <- String.concat " " rest
+      | "class" :: rest ->
+          acc.classes <- acc.classes @ [ parse_class_line rest lineno ]
+      | [ "bus"; "startup"; s; "per_byte"; p ] -> (
+          match (float_of_string_opt s, float_of_string_opt p) with
+          | Some s, Some p -> acc.comm <- Comm.make ~startup_us:s ~per_byte_us:p
+          | _ -> err "line %d: bad bus parameters" lineno)
+      | [ "tco"; v ] -> (
+          match float_of_string_opt v with
+          | Some f -> acc.tco <- f
+          | None -> err "line %d: bad tco value" lineno)
+      | w :: _ -> err "line %d: unknown directive %s" lineno w)
+    lines;
+  if List.length acc.classes = 0 then err "no processor classes declared";
+  let mains =
+    List.mapi (fun i (_, m) -> (i, m)) acc.classes
+    |> List.filter snd |> List.map fst
+  in
+  let main_class =
+    match mains with
+    | [ i ] -> i
+    | [] -> err "no class is marked main"
+    | _ -> err "multiple classes are marked main"
+  in
+  Desc.make ~name:acc.name
+    ~classes:(List.map fst acc.classes)
+    ~main_class ~comm:acc.comm ~tco_us:acc.tco ()
+
+let of_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s
+
+(** Render a platform back into the textual format ([of_string] inverse). *)
+let to_string (p : Desc.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "platform %s\n" p.Desc.name);
+  Array.iteri
+    (fun i (c : Proc_class.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "class %s freq %g cpi %g count %d power %g%s\n" c.name
+           c.freq_mhz c.cpi c.count c.power_mw
+           (if i = p.Desc.main_class then " main" else "")))
+    p.Desc.classes;
+  Buffer.add_string buf
+    (Printf.sprintf "bus startup %g per_byte %g\n" p.Desc.comm.Comm.startup_us
+       p.Desc.comm.Comm.per_byte_us);
+  Buffer.add_string buf (Printf.sprintf "tco %g\n" p.Desc.tco_us);
+  Buffer.contents buf

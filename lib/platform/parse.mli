@@ -1,0 +1,21 @@
+(** Parser for the textual platform description format (the stand-in for
+    the MACCv2 descriptions of the paper's tool flow):
+
+    {v
+      platform my-soc
+      class little freq 1000 cpi 1.6 count 4 power 150
+      class big   freq 1800 count 4 main
+      bus startup 0.5 per_byte 0.00125
+      tco 2.0
+    v}
+
+    Exactly one class must carry the [main] marker; [cpi], [count] and
+    [power] are optional per class. *)
+
+exception Error of string
+
+val of_string : string -> Desc.t
+val of_file : string -> Desc.t
+
+(** Render a platform back into the textual format. *)
+val to_string : Desc.t -> string

@@ -1,0 +1,78 @@
+(** The two evaluation platforms of the paper (Section VI) plus a
+    big.LITTLE-style preset for the examples.
+
+    Platform (A): four ARM cores at 100 MHz (1x), 250 MHz (1x) and
+    500 MHz (2x) — "large performance variances".
+    Platform (B): two 200 MHz and two 500 MHz cores — approximately the
+    2.5x discrepancy of ARM big.LITTLE.
+
+    Scenario I ("accelerator"): the main processor is a *slow* core and the
+    faster units are accelerators.  Scenario II ("slower cores"): the main
+    processor is a *fast* core and the slower units were added e.g. for
+    power or thermal reasons. *)
+
+let mk_class = Proc_class.make
+
+(** Platform (A), scenario I: main = the 100 MHz core.
+    Theoretical speedup limit (1*100 + 1*250 + 2*500)/100 = 13.5x. *)
+let platform_a_accel =
+  Desc.make ~name:"A/accelerator"
+    ~classes:
+      [
+        mk_class ~name:"arm100" ~freq_mhz:100. ~count:1 ();
+        mk_class ~name:"arm250" ~freq_mhz:250. ~count:1 ();
+        mk_class ~name:"arm500" ~freq_mhz:500. ~count:2 ();
+      ]
+    ~main_class:0 ()
+
+(** Platform (A), scenario II: main = a 500 MHz core.
+    Theoretical limit (1*100 + 1*250 + 2*500)/500 = 2.7x. *)
+let platform_a_slow =
+  { (Desc.with_main_class platform_a_accel ~main_class:2) with
+    Desc.name = "A/slower-cores" }
+
+(** Platform (B), scenario I: main = a 200 MHz core.
+    Theoretical limit (2*200 + 2*500)/200 = 7x. *)
+let platform_b_accel =
+  Desc.make ~name:"B/accelerator"
+    ~classes:
+      [
+        mk_class ~name:"arm200" ~freq_mhz:200. ~count:2 ();
+        mk_class ~name:"arm500" ~freq_mhz:500. ~count:2 ();
+      ]
+    ~main_class:0 ()
+
+(** Platform (B), scenario II: main = a 500 MHz core.
+    Theoretical limit (2*200 + 2*500)/500 = 2.8x. *)
+let platform_b_slow =
+  { (Desc.with_main_class platform_b_accel ~main_class:1) with
+    Desc.name = "B/slower-cores" }
+
+(** ARM big.LITTLE-style preset for examples: 4 LITTLE (A7-like, slower and
+    higher CPI) + 4 big (A15-like). *)
+let biglittle =
+  Desc.make ~name:"big.LITTLE"
+    ~classes:
+      [
+        mk_class ~name:"little" ~freq_mhz:1000. ~cpi:1.6 ~count:4 ();
+        mk_class ~name:"big" ~freq_mhz:1800. ~cpi:1.0 ~count:4 ();
+      ]
+    ~main_class:1 ()
+
+(** A homogeneous quad-core, for sanity baselines in tests. *)
+let quad_homog =
+  Desc.make ~name:"quad-homogeneous"
+    ~classes:[ mk_class ~name:"core" ~freq_mhz:400. ~count:4 () ]
+    ~main_class:0 ()
+
+let all =
+  [
+    ("platform-a-accel", platform_a_accel);
+    ("platform-a-slow", platform_a_slow);
+    ("platform-b-accel", platform_b_accel);
+    ("platform-b-slow", platform_b_slow);
+    ("biglittle", biglittle);
+    ("quad-homog", quad_homog);
+  ]
+
+let find name = List.assoc_opt name all

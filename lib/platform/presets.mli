@@ -1,0 +1,23 @@
+(** The evaluation platforms of the paper (Section VI) plus extra presets.
+
+    Platform (A): ARM cores at 100 (1x), 250 (1x) and 500 MHz (2x).
+    Platform (B): two 200 MHz + two 500 MHz cores (≈ big.LITTLE's 2.5x).
+    Scenario I ("accelerator"): the main processor is a slow core.
+    Scenario II ("slower cores"): the main processor is a fast core. *)
+
+val platform_a_accel : Desc.t  (** limit 13.5x *)
+
+val platform_a_slow : Desc.t  (** limit 2.7x *)
+
+val platform_b_accel : Desc.t  (** limit 7x *)
+
+val platform_b_slow : Desc.t  (** limit 2.8x *)
+
+(** 4 LITTLE + 4 big cores, for the examples. *)
+val biglittle : Desc.t
+
+(** A homogeneous quad-core, for sanity baselines in tests. *)
+val quad_homog : Desc.t
+
+val all : (string * Desc.t) list
+val find : string -> Desc.t option

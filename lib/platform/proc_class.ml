@@ -1,0 +1,44 @@
+(** A processor class: a set of identical processing units of the target
+    heterogeneous MPSoC (e.g. "the two Cortex-A15 at 500 MHz").  The
+    parallelizer maps tasks to classes, not to individual units — exactly
+    the granularity the paper's ILP model uses. *)
+
+type t = {
+  name : string;
+  freq_mhz : float;  (** clock frequency *)
+  cpi : float;  (** cycles-per-abstract-instruction multiplier; 1.0 for the
+                    reference pipeline.  Allows modelling same-ISA cores
+                    with different micro-architectures, cf. big.LITTLE *)
+  count : int;  (** number of identical units of this class *)
+  power_mw : float;
+      (** active power of one unit.  Defaults to a DVFS-style curve
+          [P = 20 mW * (f/100MHz)^1.5], under which fast cores burn more
+          energy per cycle — the big.LITTLE tradeoff.  Used by the
+          simulator's energy accounting (the "energy consumption"
+          objective the paper names as future work). *)
+}
+[@@deriving show, eq]
+
+let default_power_mw ~freq_mhz = 20. *. Float.pow (freq_mhz /. 100.) 1.5
+
+let make ?(cpi = 1.0) ?power_mw ~name ~freq_mhz ~count () =
+  if freq_mhz <= 0. then invalid_arg "Proc_class.make: freq_mhz must be > 0";
+  if cpi <= 0. then invalid_arg "Proc_class.make: cpi must be > 0";
+  if count < 1 then invalid_arg "Proc_class.make: count must be >= 1";
+  let power_mw =
+    match power_mw with
+    | Some p when p <= 0. -> invalid_arg "Proc_class.make: power_mw must be > 0"
+    | Some p -> p
+    | None -> default_power_mw ~freq_mhz
+  in
+  { name; freq_mhz; cpi; count; power_mw }
+
+(** Effective speed in abstract cycles per microsecond. *)
+let speed t = t.freq_mhz /. t.cpi
+
+(** Time in microseconds to execute [cycles] abstract cycles on one unit of
+    this class. *)
+let time_us t cycles = cycles *. t.cpi /. t.freq_mhz
+
+(** Energy in microjoules to keep one unit busy for [us] microseconds. *)
+let energy_uj t us = t.power_mw *. us /. 1000.

@@ -1,0 +1,38 @@
+(** A processor class: a set of identical processing units of the target
+    heterogeneous MPSoC (e.g. "the two Cortex-A15 at 500 MHz").  The
+    parallelizer maps tasks to classes, not to individual units. *)
+
+type t = {
+  name : string;
+  freq_mhz : float;
+  cpi : float;
+      (** cycles-per-abstract-instruction multiplier; 1.0 for the
+          reference pipeline *)
+  count : int;  (** number of identical units of this class *)
+  power_mw : float;  (** active power of one unit *)
+}
+
+val show : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+(** Default DVFS-style power curve [P = 20 mW * (f/100MHz)^1.5]. *)
+val default_power_mw : freq_mhz:float -> float
+
+val make :
+  ?cpi:float ->
+  ?power_mw:float ->
+  name:string ->
+  freq_mhz:float ->
+  count:int ->
+  unit ->
+  t
+
+(** Effective speed in abstract cycles per microsecond. *)
+val speed : t -> float
+
+(** Time in microseconds for [cycles] abstract cycles on one unit. *)
+val time_us : t -> float -> float
+
+(** Energy in microjoules for [us] microseconds of busy time. *)
+val energy_uj : t -> float -> float

@@ -1,0 +1,52 @@
+(** ASCII horizontal bar charts — the textual rendering of the paper's
+    Figures 7 and 8 (two bars per benchmark: homogeneous [6] vs. the new
+    heterogeneous approach, plus the theoretical-limit marker). *)
+
+type series = { label : string; values : (string * float) list }
+
+(** Render grouped bars: for every key, one bar per series.  [limit] draws
+    a reference line value (the theoretical maximum speedup). *)
+let render ?(width = 44) ?limit (series : series list) : string =
+  let keys =
+    match series with [] -> [] | s :: _ -> List.map fst s.values
+  in
+  let max_value =
+    List.fold_left
+      (fun acc s ->
+        List.fold_left (fun acc (_, v) -> Float.max acc v) acc s.values)
+      (match limit with Some l -> l | None -> 0.)
+      series
+  in
+  let max_value = Float.max max_value 1e-9 in
+  let label_width =
+    List.fold_left (fun acc s -> max acc (String.length s.label)) 0 series
+  in
+  let key_width = List.fold_left (fun acc k -> max acc (String.length k)) 0 keys in
+  let buf = Buffer.create 2048 in
+  let bar v =
+    let n = int_of_float (Float.round (v /. max_value *. float_of_int width)) in
+    String.make (max 0 (min width n)) '#'
+  in
+  List.iter
+    (fun key ->
+      List.iteri
+        (fun i s ->
+          let v = try List.assoc key s.values with Not_found -> nan in
+          Buffer.add_string buf
+            (Printf.sprintf "%-*s %-*s |%-*s| %5.2fx\n" key_width
+               (if i = 0 then key else "")
+               label_width s.label width (bar v) v))
+        series;
+      Buffer.add_char buf '\n')
+    keys;
+  (match limit with
+  | Some l ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s %-*s  %s^ theoretical limit %.2fx\n" key_width ""
+           label_width ""
+           (String.make
+              (max 0 (int_of_float (Float.round (l /. max_value *. float_of_int width))))
+              ' ')
+           l)
+  | None -> ());
+  Buffer.contents buf

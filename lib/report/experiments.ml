@@ -1,0 +1,377 @@
+(** Experiment drivers regenerating the paper's evaluation artifacts:
+    Figures 7(a)/(b) and 8(a)/(b) (speedup per benchmark, homogeneous [6]
+    vs. heterogeneous, on platforms A and B in the accelerator and
+    slower-cores scenarios) and Table I (ILP statistics).  Results are
+    memoized per (benchmark, platform, approach) so the four figures and
+    the table share parallelization runs. *)
+
+module P = Parcore.Parallelize
+
+type run = {
+  bench : Benchsuite.Suite.t;
+  platform : Platform.Desc.t;
+  approach : P.approach;
+  outcome : P.outcome;
+  speedup : float;
+}
+
+type ctx = {
+  cfg : Parcore.Config.t;
+  verbose : bool;
+  compiled : (string, Minic.Ast.program * Interp.Profile.t) Hashtbl.t;
+  runs : (string * string * string, run) Hashtbl.t;
+}
+
+let create ?(cfg = Parcore.Config.default) ?(verbose = true) () =
+  { cfg; verbose; compiled = Hashtbl.create 16; runs = Hashtbl.create 64 }
+
+let compiled ctx (b : Benchsuite.Suite.t) =
+  match Hashtbl.find_opt ctx.compiled b.Benchsuite.Suite.name with
+  | Some v -> v
+  | None ->
+      let prog = Benchsuite.Suite.compile b in
+      let profile = (Interp.Eval.run prog).Interp.Eval.profile in
+      let v = (prog, profile) in
+      Hashtbl.replace ctx.compiled b.Benchsuite.Suite.name v;
+      v
+
+let approach_key = function
+  | P.Heterogeneous -> "hetero"
+  | P.Homogeneous -> "homo"
+
+(** Parallelize [bench] for [platform] with [approach] (memoized). *)
+let run ctx (b : Benchsuite.Suite.t) (platform : Platform.Desc.t)
+    (approach : P.approach) : run =
+  let key =
+    (b.Benchsuite.Suite.name, platform.Platform.Desc.name, approach_key approach)
+  in
+  match Hashtbl.find_opt ctx.runs key with
+  | Some r -> r
+  | None ->
+      let prog, profile = compiled ctx b in
+      if ctx.verbose then
+        Printf.eprintf "  [%s] %s on %s ...%!" (approach_key approach)
+          b.Benchsuite.Suite.name platform.Platform.Desc.name;
+      let outcome =
+        P.run_program ~cfg:ctx.cfg ~profile ~approach ~platform prog
+      in
+      let speedup = P.speedup outcome in
+      if ctx.verbose then
+        Printf.eprintf " speedup %.2fx (%.1fs, %d ILPs)\n%!" speedup
+          outcome.P.algo.Parcore.Algorithm.wall_time_s
+          outcome.P.algo.Parcore.Algorithm.stats.Ilp.Stats.ilps;
+      let r = { bench = b; platform; approach; outcome; speedup } in
+      Hashtbl.replace ctx.runs key r;
+      r
+
+(* ------------------------------------------------------------------ *)
+(* Figures 7 and 8                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type figure_row = { fbench : string; homo : float; hetero : float }
+
+type figure = {
+  fig_id : string;
+  fig_title : string;
+  fig_platform : Platform.Desc.t;
+  theoretical : float;
+  frows : figure_row list;
+}
+
+let figure ctx ~id ~title (platform : Platform.Desc.t) : figure =
+  let frows =
+    List.map
+      (fun b ->
+        let homo = (run ctx b platform P.Homogeneous).speedup in
+        let hetero = (run ctx b platform P.Heterogeneous).speedup in
+        { fbench = b.Benchsuite.Suite.name; homo; hetero })
+      Benchsuite.Suite.all
+  in
+  {
+    fig_id = id;
+    fig_title = title;
+    fig_platform = platform;
+    theoretical = Platform.Desc.theoretical_speedup platform;
+    frows;
+  }
+
+let fig7a ctx =
+  figure ctx ~id:"fig7a"
+    ~title:"Figure 7(a): Platform A (100/250/500/500 MHz), accelerator scenario"
+    Platform.Presets.platform_a_accel
+
+let fig7b ctx =
+  figure ctx ~id:"fig7b"
+    ~title:"Figure 7(b): Platform A (100/250/500/500 MHz), slower-cores scenario"
+    Platform.Presets.platform_a_slow
+
+let fig8a ctx =
+  figure ctx ~id:"fig8a"
+    ~title:"Figure 8(a): Platform B (200/200/500/500 MHz), accelerator scenario"
+    Platform.Presets.platform_b_accel
+
+let fig8b ctx =
+  figure ctx ~id:"fig8b"
+    ~title:"Figure 8(b): Platform B (200/200/500/500 MHz), slower-cores scenario"
+    Platform.Presets.platform_b_slow
+
+let average f rows =
+  List.fold_left (fun acc r -> acc +. f r) 0. rows
+  /. float_of_int (max 1 (List.length rows))
+
+let render_figure (f : figure) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "%s\n%s\n\n" f.fig_title
+    (String.make (String.length f.fig_title) '='));
+  let series =
+    [
+      {
+        Barchart.label = "homogeneous [6]";
+        values = List.map (fun r -> (r.fbench, r.homo)) f.frows;
+      };
+      {
+        Barchart.label = "heterogeneous";
+        values = List.map (fun r -> (r.fbench, r.hetero)) f.frows;
+      };
+    ]
+  in
+  Buffer.add_string buf (Barchart.render ~limit:f.theoretical series);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\naverage: homogeneous %.2fx, heterogeneous %.2fx (theoretical max %.2fx)\n"
+       (average (fun r -> r.homo) f.frows)
+       (average (fun r -> r.hetero) f.frows)
+       f.theoretical);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Table I                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type table1_row = {
+  tbench : string;
+  homo_time_s : float;
+  homo_ilps : int;
+  homo_vars : int;
+  homo_constrs : int;
+  het_time_s : float;
+  het_ilps : int;
+  het_vars : int;
+  het_constrs : int;
+}
+
+(** Table I statistics are collected from the parallelization runs on
+    platform A in the accelerator scenario (shared with Figure 7a). *)
+let table1 ctx : table1_row list =
+  List.map
+    (fun b ->
+      let platform = Platform.Presets.platform_a_accel in
+      let h = run ctx b platform P.Homogeneous in
+      let t = run ctx b platform P.Heterogeneous in
+      let hs = h.outcome.P.algo.Parcore.Algorithm.stats in
+      let ts = t.outcome.P.algo.Parcore.Algorithm.stats in
+      {
+        tbench = b.Benchsuite.Suite.name;
+        homo_time_s = h.outcome.P.algo.Parcore.Algorithm.wall_time_s;
+        homo_ilps = hs.Ilp.Stats.ilps;
+        homo_vars = hs.Ilp.Stats.vars;
+        homo_constrs = hs.Ilp.Stats.constrs;
+        het_time_s = t.outcome.P.algo.Parcore.Algorithm.wall_time_s;
+        het_ilps = ts.Ilp.Stats.ilps;
+        het_vars = ts.Ilp.Stats.vars;
+        het_constrs = ts.Ilp.Stats.constrs;
+      })
+    Benchsuite.Suite.all
+
+let render_table1 (rows : table1_row list) : string =
+  let ratio a b = if a = 0 then nan else float_of_int b /. float_of_int a in
+  let avg f =
+    List.fold_left (fun acc r -> acc +. f r) 0. rows
+    /. float_of_int (max 1 (List.length rows))
+  in
+  let data_rows =
+    List.map
+      (fun r ->
+        [
+          r.tbench;
+          Table.fmt_time_mmss r.homo_time_s;
+          Table.fmt_int r.homo_ilps;
+          Table.fmt_int r.homo_vars;
+          Table.fmt_int r.homo_constrs;
+          Table.fmt_time_mmss r.het_time_s;
+          Table.fmt_int r.het_ilps;
+          Table.fmt_int r.het_vars;
+          Table.fmt_int r.het_constrs;
+          Table.fmt_factor (r.het_time_s /. Float.max 0.01 r.homo_time_s);
+          Table.fmt_factor (ratio r.homo_ilps r.het_ilps);
+          Table.fmt_factor (ratio r.homo_vars r.het_vars);
+          Table.fmt_factor (ratio r.homo_constrs r.het_constrs);
+        ])
+      rows
+  in
+  let avg_row =
+    [
+      "average";
+      Table.fmt_time_mmss (avg (fun r -> r.homo_time_s));
+      Table.fmt_int (int_of_float (avg (fun r -> float_of_int r.homo_ilps)));
+      Table.fmt_int (int_of_float (avg (fun r -> float_of_int r.homo_vars)));
+      Table.fmt_int (int_of_float (avg (fun r -> float_of_int r.homo_constrs)));
+      Table.fmt_time_mmss (avg (fun r -> r.het_time_s));
+      Table.fmt_int (int_of_float (avg (fun r -> float_of_int r.het_ilps)));
+      Table.fmt_int (int_of_float (avg (fun r -> float_of_int r.het_vars)));
+      Table.fmt_int (int_of_float (avg (fun r -> float_of_int r.het_constrs)));
+      Table.fmt_factor
+        (avg (fun r -> r.het_time_s /. Float.max 0.01 r.homo_time_s));
+      Table.fmt_factor (avg (fun r -> ratio r.homo_ilps r.het_ilps));
+      Table.fmt_factor (avg (fun r -> ratio r.homo_vars r.het_vars));
+      Table.fmt_factor (avg (fun r -> ratio r.homo_constrs r.het_constrs));
+    ]
+  in
+  let header = "Table I: statistics of the ILP-based parallelization algorithms" in
+  Printf.sprintf "%s\n%s\n\n%s" header
+    (String.make (String.length header) '=')
+    (Table.render
+       [
+         Table.col ~align:Table.Left "Benchmark";
+         Table.col "hom Time";
+         Table.col "hom #ILPs";
+         Table.col "hom #Var";
+         Table.col "hom #Constr";
+         Table.col "het Time";
+         Table.col "het #ILPs";
+         Table.col "het #Var";
+         Table.col "het #Constr";
+         Table.col "fT";
+         Table.col "fILPs";
+         Table.col "fVar";
+         Table.col "fConstr";
+       ]
+       (data_rows @ [ avg_row ]))
+
+(* ------------------------------------------------------------------ *)
+(* E6 ablation: what the mapping and the loop splitting contribute     *)
+(* ------------------------------------------------------------------ *)
+
+type ablation_row = {
+  abench : string;
+  full : float;  (** full heterogeneous approach *)
+  no_split : float;  (** loop-iteration granularity disabled *)
+  no_premap : float;  (** class tags dropped at implementation time *)
+}
+
+let ablation ctx (platform : Platform.Desc.t) : ablation_row list =
+  List.map
+    (fun b ->
+      let prog, profile = compiled ctx b in
+      let full = (run ctx b platform P.Heterogeneous).speedup in
+      let no_split_cfg =
+        { ctx.cfg with Parcore.Config.enable_loop_split = false }
+      in
+      let o2 =
+        P.run_program ~cfg:no_split_cfg ~profile ~approach:P.Heterogeneous
+          ~platform prog
+      in
+      let no_split = P.speedup o2 in
+      (* same solution as full, but implemented ignoring the class tags *)
+      let o3 = run ctx b platform P.Heterogeneous in
+      let program_oblivious =
+        Parcore.Implement.realize ~mode:Parcore.Implement.Oblivious platform
+          o3.outcome.P.htg o3.outcome.P.algo.Parcore.Algorithm.root
+      in
+      let no_premap =
+        Sim.Engine.run platform o3.outcome.P.seq_program
+        /. Sim.Engine.run platform program_oblivious
+      in
+      { abench = b.Benchsuite.Suite.name; full; no_split; no_premap })
+    Benchsuite.Suite.all
+
+let render_ablation (rows : ablation_row list) : string =
+  let header =
+    "E6 ablation (platform A, accelerator): heterogeneous speedup decomposition"
+  in
+  Printf.sprintf "%s\n%s\n\n%s" header
+    (String.make (String.length header) '=')
+    (Table.render
+       [
+         Table.col ~align:Table.Left "Benchmark";
+         Table.col "full";
+         Table.col "no loop split";
+         Table.col "no pre-mapping";
+       ]
+       (List.map
+          (fun r ->
+            [
+              r.abench;
+              Table.fmt_float r.full ^ "x";
+              Table.fmt_float r.no_split ^ "x";
+              Table.fmt_float r.no_premap ^ "x";
+            ])
+          rows))
+
+(* ------------------------------------------------------------------ *)
+(* E8: energy accounting (the paper's future-work objective)           *)
+(* ------------------------------------------------------------------ *)
+
+type energy_row = {
+  ebench : string;
+  seq_uj : float;
+  homo_uj : float;
+  het_uj : float;
+  seq_edp : float;  (** energy-delay product, uJ * ms *)
+  homo_edp : float;
+  het_edp : float;
+}
+
+let energy_table ctx (platform : Platform.Desc.t) : energy_row list =
+  List.map
+    (fun b ->
+      let h = run ctx b platform P.Homogeneous in
+      let t = run ctx b platform P.Heterogeneous in
+      let seq_m =
+        Sim.Engine.run_metrics platform t.outcome.P.seq_program
+      in
+      let homo_m = Sim.Engine.run_metrics platform h.outcome.P.program in
+      let het_m = Sim.Engine.run_metrics platform t.outcome.P.program in
+      let edp (m : Sim.Engine.metrics) =
+        m.Sim.Engine.energy_uj *. m.Sim.Engine.makespan_us /. 1000.
+      in
+      {
+        ebench = b.Benchsuite.Suite.name;
+        seq_uj = seq_m.Sim.Engine.energy_uj;
+        homo_uj = homo_m.Sim.Engine.energy_uj;
+        het_uj = het_m.Sim.Engine.energy_uj;
+        seq_edp = edp seq_m;
+        homo_edp = edp homo_m;
+        het_edp = edp het_m;
+      })
+    Benchsuite.Suite.all
+
+let render_energy (rows : energy_row list) : string =
+  let header =
+    "E8 energy (platform A, accelerator): active energy and energy-delay \
+     product"
+  in
+  Printf.sprintf "%s\n%s\n\n%s" header
+    (String.make (String.length header) '=')
+    (Table.render
+       [
+         Table.col ~align:Table.Left "Benchmark";
+         Table.col "seq uJ";
+         Table.col "homo uJ";
+         Table.col "het uJ";
+         Table.col "seq EDP";
+         Table.col "homo EDP";
+         Table.col "het EDP";
+       ]
+       (List.map
+          (fun r ->
+            [
+              r.ebench;
+              Table.fmt_float ~decimals:0 r.seq_uj;
+              Table.fmt_float ~decimals:0 r.homo_uj;
+              Table.fmt_float ~decimals:0 r.het_uj;
+              Table.fmt_float ~decimals:0 r.seq_edp;
+              Table.fmt_float ~decimals:0 r.homo_edp;
+              Table.fmt_float ~decimals:0 r.het_edp;
+            ])
+          rows))

@@ -1,0 +1,80 @@
+(** Minimal ASCII table renderer for the experiment reports. *)
+
+type align = Left | Right
+
+type column = { header : string; align : align }
+
+let col ?(align = Right) header = { header; align }
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+(** Render [columns] and [rows] into a boxed ASCII table. *)
+let render (columns : column list) (rows : string list list) : string =
+  let cols = Array.of_list columns in
+  let widths =
+    Array.map (fun c -> String.length c.header) cols
+  in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < Array.length widths then
+            widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let buf = Buffer.create 1024 in
+  let sep () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit_row cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        if i < Array.length widths then begin
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (pad cols.(i).align widths.(i) cell);
+          Buffer.add_string buf " |"
+        end)
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  sep ();
+  emit_row (List.map (fun c -> c.header) (Array.to_list cols));
+  sep ();
+  List.iter emit_row rows;
+  sep ();
+  Buffer.contents buf
+
+let fmt_float ?(decimals = 2) f =
+  if Float.is_nan f then "-" else Printf.sprintf "%.*f" decimals f
+
+let fmt_factor f =
+  if Float.is_nan f then "-" else Printf.sprintf "%.1fx" f
+
+let fmt_int n =
+  (* thousands separators, as in the paper's Table I *)
+  let s = string_of_int n in
+  let len = String.length s in
+  let buf = Buffer.create (len + 4) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 && c <> '-' then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt_time_mmss seconds =
+  let total = int_of_float (Float.round seconds) in
+  Printf.sprintf "%02d:%02d" (total / 60) (total mod 60)

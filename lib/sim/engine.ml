@@ -1,0 +1,263 @@
+(** Discrete-event evaluation of a parallel program on an MPSoC platform
+    (the stand-in for the paper's cycle-accurate CoMET runs).
+
+    Per fork entry the engine schedules tasks event-style: the main task
+    spawns each sibling (paying the task-creation overhead sequentially),
+    tasks start once their incoming transfers arrive, the shared bus is a
+    serial resource arbitrated in task order, and join edges bring results
+    back to the main task.  Identical entries of the same fork are
+    simulated once and multiplied — entries are back-to-back repetitions
+    of the same schedule, so the makespan is linear in them. *)
+
+type metrics = {
+  makespan_us : float;
+  busy_us : float array;  (** per processor class, summed over its units *)
+  energy_uj : float;  (** active energy of all cores (busy time x power) *)
+  bus_busy_us : float;
+  spawned_tasks : float;  (** total task creations over the program *)
+  transfers : float;  (** total bus transactions *)
+  bytes : float;  (** total bytes moved *)
+}
+
+let zero_metrics pf =
+  {
+    makespan_us = 0.;
+    busy_us = Array.make (Platform.Desc.num_classes pf) 0.;
+    energy_uj = 0.;
+    bus_busy_us = 0.;
+    spawned_tasks = 0.;
+    transfers = 0.;
+    bytes = 0.;
+  }
+
+type span = {
+  sp_label : string;
+  sp_class : int;  (** processor class (-1 for the bus) *)
+  sp_start : float;  (** absolute us *)
+  sp_finish : float;
+}
+
+type acc = {
+  pf : Platform.Desc.t;
+  mutable m_busy : float array;
+  mutable m_bus : float;
+  mutable m_spawns : float;
+  mutable m_transfers : float;
+  mutable m_bytes : float;
+  mutable spans : span list;  (** recorded when [record] is set *)
+  record : bool ref;  (** shared cell so it can be toggled mid-traversal *)
+}
+
+(** Time of [node] executed on class [cls] (total us), starting at
+    absolute time [t0] (used only for span recording).  Accumulates busy
+    time and bus statistics into [acc]. *)
+let rec node_time acc ~cls ~t0 (n : Prog.node) : float =
+  match n with
+  | Prog.Work w ->
+      let t = Platform.Desc.time_us acc.pf ~cls w.Prog.cycles in
+      acc.m_busy.(cls) <- acc.m_busy.(cls) +. t;
+      if !(acc.record) && t > 0. then
+        acc.spans <-
+          { sp_label = w.Prog.wlabel; sp_class = cls; sp_start = t0;
+            sp_finish = t0 +. t }
+          :: acc.spans;
+      t
+  | Prog.Seq l ->
+      List.fold_left
+        (fun s x -> s +. node_time acc ~cls ~t0:(t0 +. s) x)
+        0. l
+  | Prog.Fork f -> fork_time acc ~cls ~t0 f
+
+and fork_time acc ~cls ~t0 (f : Prog.fork) : float =
+  let entries = Float.max f.Prog.entries 1. in
+  let k = Array.length f.Prog.tasks in
+  if k = 0 then 0.
+  else begin
+    let comm = acc.pf.Platform.Desc.comm in
+    let tco = acc.pf.Platform.Desc.tco_us in
+    (* per-entry execution time of each task's body *)
+    (* body spans are recorded later with proper offsets; measure silently *)
+    let saved_record = !(acc.record) in
+    acc.record := false;
+    let exec =
+      Array.map
+        (fun (t : Prog.task) ->
+          let cls_t = if t.Prog.tclass >= 0 then t.Prog.tclass else cls in
+          node_time acc ~cls:cls_t ~t0:0. t.Prog.body /. entries)
+        f.Prog.tasks
+    in
+    acc.record := saved_record;
+    (* spawn: the main task creates siblings sequentially at entry start *)
+    let n_spawned = ref 0 in
+    let spawn_ready = Array.make k 0. in
+    for t = 1 to k - 1 do
+      incr n_spawned;
+      spawn_ready.(t) <- float_of_int !n_spawned *. tco
+    done;
+    acc.m_spawns <- acc.m_spawns +. (entries *. float_of_int !n_spawned);
+    let main_start = float_of_int !n_spawned *. tco in
+    (* forward scheduling in task order; shared bus is a serial resource *)
+    let start = Array.make k 0. in
+    let finish = Array.make k 0. in
+    let bus_free = ref 0. in
+    let transfer_arrival = Array.make k 0. in
+    (* join arrivals into task 0 processed after all tasks finish *)
+    let deps_fwd, deps_join =
+      (* self-deps are meaningless: drop them rather than charging the bus *)
+      List.filter (fun (d : Prog.dep) -> d.Prog.ddst <> d.Prog.dsrc) f.Prog.deps
+      |> List.partition (fun (d : Prog.dep) -> d.Prog.ddst > d.Prog.dsrc)
+    in
+    let do_transfer (d : Prog.dep) ready =
+      let per_entry_bytes = d.Prog.bytes /. entries in
+      let per_entry_transfers = d.Prog.transfers /. entries in
+      let dur =
+        (comm.Platform.Comm.startup_us *. per_entry_transfers)
+        +. (per_entry_bytes *. comm.Platform.Comm.per_byte_us)
+      in
+      let s = Float.max ready !bus_free in
+      bus_free := s +. dur;
+      acc.m_bus <- acc.m_bus +. (entries *. dur);
+      acc.m_transfers <- acc.m_transfers +. d.Prog.transfers;
+      acc.m_bytes <- acc.m_bytes +. d.Prog.bytes;
+      s +. dur
+    in
+    for t = 0 to k - 1 do
+      let ready = if t = 0 then main_start else spawn_ready.(t) in
+      start.(t) <- Float.max ready transfer_arrival.(t);
+      finish.(t) <- start.(t) +. exec.(t);
+      (* emit this task's outgoing forward transfers *)
+      List.iter
+        (fun (d : Prog.dep) ->
+          if d.Prog.dsrc = t then begin
+            let ready = if d.Prog.at_start then 0. else finish.(t) in
+            let arr = do_transfer d ready in
+            transfer_arrival.(d.Prog.ddst) <-
+              Float.max transfer_arrival.(d.Prog.ddst) arr
+          end)
+        deps_fwd
+    done;
+    (* join: results return to the main task over the bus *)
+    let join_done =
+      List.fold_left
+        (fun acc_t (d : Prog.dep) ->
+          let arr = do_transfer d finish.(d.Prog.dsrc) in
+          Float.max acc_t arr)
+        0. deps_join
+    in
+    let makespan_entry =
+      Array.fold_left Float.max join_done finish
+    in
+    if !(acc.record) then
+      (* record the first entry's schedule as spans *)
+      Array.iteri
+        (fun t (tk : Prog.task) ->
+          let cls_t = if tk.Prog.tclass >= 0 then tk.Prog.tclass else cls in
+          if exec.(t) > 0. then
+            acc.spans <-
+              {
+                sp_label = Printf.sprintf "%s.t%d" f.Prog.flabel t;
+                sp_class = cls_t;
+                sp_start = t0 +. start.(t);
+                sp_finish = t0 +. finish.(t);
+              }
+              :: acc.spans)
+        f.Prog.tasks;
+    entries *. makespan_entry
+  end
+
+(** Simulate the program; the top level runs on the platform's main
+    class. *)
+let run_metrics (pf : Platform.Desc.t) (p : Prog.node) : metrics =
+  let acc =
+    {
+      pf;
+      m_busy = Array.make (Platform.Desc.num_classes pf) 0.;
+      m_bus = 0.;
+      m_spawns = 0.;
+      m_transfers = 0.;
+      m_bytes = 0.;
+      spans = [];
+      record = ref false;
+    }
+  in
+  let makespan = node_time acc ~cls:pf.Platform.Desc.main_class ~t0:0. p in
+  let energy = ref 0. in
+  Array.iteri
+    (fun c busy ->
+      energy :=
+        !energy +. Platform.Proc_class.energy_uj pf.Platform.Desc.classes.(c) busy)
+    acc.m_busy;
+  {
+    makespan_us = makespan;
+    busy_us = acc.m_busy;
+    energy_uj = !energy;
+    bus_busy_us = acc.m_bus;
+    spawned_tasks = acc.m_spawns;
+    transfers = acc.m_transfers;
+    bytes = acc.m_bytes;
+  }
+
+(** Makespan only. *)
+let run pf p = (run_metrics pf p).makespan_us
+
+(** Speedup of [parallel] over [sequential] on [pf]. *)
+let speedup pf ~sequential ~parallel = run pf sequential /. run pf parallel
+
+(** Record the top-level schedule (first entry of every fork reached
+    without crossing another fork) as labelled spans, for Gantt-style
+    rendering. *)
+let trace (pf : Platform.Desc.t) (p : Prog.node) : span list =
+  let acc =
+    {
+      pf;
+      m_busy = Array.make (Platform.Desc.num_classes pf) 0.;
+      m_bus = 0.;
+      m_spawns = 0.;
+      m_transfers = 0.;
+      m_bytes = 0.;
+      spans = [];
+      record = ref true;
+    }
+  in
+  ignore (node_time acc ~cls:pf.Platform.Desc.main_class ~t0:0. p);
+  List.rev acc.spans
+
+(** Render a trace as an ASCII Gantt chart ([width] columns). *)
+let gantt ?(width = 60) (pf : Platform.Desc.t) (spans : span list) : string =
+  match spans with
+  | [] -> "(empty trace)\n"
+  | _ ->
+      let horizon =
+        List.fold_left (fun m s -> Float.max m s.sp_finish) 0. spans
+      in
+      let horizon = Float.max horizon 1e-9 in
+      let buf = Buffer.create 1024 in
+      let label_w =
+        List.fold_left (fun m s -> max m (String.length s.sp_label)) 10 spans
+      in
+      List.iter
+        (fun s ->
+          let c0 =
+            int_of_float (s.sp_start /. horizon *. float_of_int width)
+          in
+          let c1 =
+            max (c0 + 1)
+              (int_of_float (s.sp_finish /. horizon *. float_of_int width))
+          in
+          let cls_name =
+            if s.sp_class >= 0 && s.sp_class < Platform.Desc.num_classes pf
+            then (Platform.Desc.proc_class pf s.sp_class).Platform.Proc_class.name
+            else "bus"
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%-*s %-8s |%s%s%s| %.1f-%.1fus\n" label_w
+               s.sp_label cls_name
+               (String.make (min c0 width) ' ')
+               (String.make (max 0 (min c1 width - min c0 width)) '#')
+               (String.make (max 0 (width - min c1 width)) ' ')
+               s.sp_start s.sp_finish))
+        spans;
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s %-8s  total horizon %.1f us\n" label_w "" ""
+           horizon);
+      Buffer.contents buf

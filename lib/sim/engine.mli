@@ -1,0 +1,45 @@
+(** Discrete-event evaluation of a parallel program on an MPSoC platform —
+    the stand-in for the paper's cycle-accurate CoMET runs.
+
+    Per fork entry: the main task spawns each sibling sequentially (paying
+    the task-creation overhead), tasks start once their incoming transfers
+    arrive, the shared bus is a serial resource arbitrated in task order,
+    and join edges bring results back to the main task.  Identical entries
+    of a fork are simulated once and multiplied. *)
+
+type metrics = {
+  makespan_us : float;
+  busy_us : float array;  (** per processor class, summed over its units *)
+  energy_uj : float;  (** active energy of all cores (busy time x power) *)
+  bus_busy_us : float;
+  spawned_tasks : float;  (** total task creations over the program *)
+  transfers : float;  (** total bus transactions *)
+  bytes : float;  (** total bytes moved *)
+}
+
+val zero_metrics : Platform.Desc.t -> metrics
+
+(** Simulate the program (top level runs on the platform's main class)
+    and return the full metrics. *)
+val run_metrics : Platform.Desc.t -> Prog.node -> metrics
+
+(** Makespan only, in microseconds. *)
+val run : Platform.Desc.t -> Prog.node -> float
+
+(** Speedup of [parallel] over [sequential] on the platform. *)
+val speedup : Platform.Desc.t -> sequential:Prog.node -> parallel:Prog.node -> float
+
+(** A scheduled interval of core activity, for Gantt-style rendering. *)
+type span = {
+  sp_label : string;
+  sp_class : int;  (** processor class *)
+  sp_start : float;  (** absolute us *)
+  sp_finish : float;
+}
+
+(** Record the top-level schedule (first entry of every fork reached
+    without crossing another fork) as labelled spans. *)
+val trace : Platform.Desc.t -> Prog.node -> span list
+
+(** Render a trace as an ASCII Gantt chart ([width] columns). *)
+val gantt : ?width:int -> Platform.Desc.t -> span list -> string

@@ -1,0 +1,81 @@
+(** Executable parallel-program representation — what the parallelizer's
+    "implement" stage produces and the MPSoC simulator runs.
+
+    The tree mirrors the chosen solution hierarchy.  [Work] leaves carry
+    total abstract cycles (whole program run); the executing core's class
+    turns cycles into time.  [Fork] nodes are fork-join regions executed
+    [entries] times back-to-back: per entry, task 0 (the main task)
+    continues on the caller's core while the other tasks run on their own
+    cores, exchanging data over the shared bus according to [deps]. *)
+
+type node =
+  | Work of work
+  | Seq of node list
+  | Fork of fork
+
+and work = { wlabel : string; cycles : float (* total, whole program *) }
+
+and fork = {
+  flabel : string;
+  entries : float;  (** times the region executes over the program *)
+  tasks : task array;  (** index 0 = the main task *)
+  deps : dep list;
+}
+
+and task = {
+  tclass : int;  (** processor class executing this task *)
+  body : node;  (** total-cycle accounting like everywhere else *)
+}
+
+and dep = {
+  dsrc : int;
+  ddst : int;  (** task indices; [ddst = 0] with [dsrc > 0] is a join edge *)
+  bytes : float;  (** total payload over the program run *)
+  transfers : float;  (** number of bus transactions over the program run *)
+  at_start : bool;
+      (** data is ready when the fork is entered (live-in distribution)
+          rather than when the source task finishes *)
+}
+
+let work ?(label = "work") cycles = Work { wlabel = label; cycles }
+
+let rec total_cycles = function
+  | Work w -> w.cycles
+  | Seq l -> List.fold_left (fun acc n -> acc +. total_cycles n) 0. l
+  | Fork f ->
+      Array.fold_left (fun acc t -> acc +. total_cycles t.body) 0. f.tasks
+
+(** Number of Fork regions in the tree. *)
+let rec fork_count = function
+  | Work _ -> 0
+  | Seq l -> List.fold_left (fun acc n -> acc + fork_count n) 0 l
+  | Fork f ->
+      1 + Array.fold_left (fun acc t -> acc + fork_count t.body) 0 f.tasks
+
+(** Maximum number of simultaneously live tasks (nesting-aware). *)
+let rec max_width = function
+  | Work _ -> 1
+  | Seq l -> List.fold_left (fun acc n -> max acc (max_width n)) 1 l
+  | Fork f ->
+      Array.fold_left (fun acc t -> acc + max_width t.body) 0 f.tasks
+
+let rec pp ?(indent = 0) ppf n =
+  let pad = String.make (2 * indent) ' ' in
+  match n with
+  | Work w -> Fmt.pf ppf "%swork %s (%.0f cycles)@." pad w.wlabel w.cycles
+  | Seq l ->
+      Fmt.pf ppf "%sseq@." pad;
+      List.iter (pp ~indent:(indent + 1) ppf) l
+  | Fork f ->
+      Fmt.pf ppf "%sfork %s x%.0f (%d tasks)@." pad f.flabel f.entries
+        (Array.length f.tasks);
+      Array.iteri
+        (fun i t ->
+          Fmt.pf ppf "%s  task %d on class %d:@." pad i t.tclass;
+          pp ~indent:(indent + 2) ppf t.body)
+        f.tasks;
+      List.iter
+        (fun d ->
+          Fmt.pf ppf "%s  dep %d->%d %.0fB x%.0f@." pad d.dsrc d.ddst d.bytes
+            d.transfers)
+        f.deps

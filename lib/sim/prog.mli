@@ -1,0 +1,40 @@
+(** Executable parallel-program representation — what the parallelizer's
+    implement stage produces and the MPSoC simulator runs.  [Work] leaves
+    carry total abstract cycles; [Fork] nodes are fork-join regions
+    executed [entries] times, task 0 being the main task on the caller's
+    core. *)
+
+type node = Work of work | Seq of node list | Fork of fork
+
+and work = { wlabel : string; cycles : float (* total, whole program *) }
+
+and fork = {
+  flabel : string;
+  entries : float;  (** times the region executes over the program *)
+  tasks : task array;  (** index 0 = the main task *)
+  deps : dep list;
+}
+
+and task = {
+  tclass : int;  (** processor class executing this task *)
+  body : node;
+}
+
+and dep = {
+  dsrc : int;
+  ddst : int;  (** task indices; [ddst = 0] with [dsrc > 0] is a join edge *)
+  bytes : float;  (** total payload over the program run *)
+  transfers : float;  (** number of bus transactions over the program run *)
+  at_start : bool;
+      (** data is ready when the fork is entered (live-in distribution)
+          rather than when the source task finishes *)
+}
+
+val work : ?label:string -> float -> node
+val total_cycles : node -> float
+val fork_count : node -> int
+
+(** Maximum number of simultaneously live tasks (nesting-aware). *)
+val max_width : node -> int
+
+val pp : ?indent:int -> Format.formatter -> node -> unit

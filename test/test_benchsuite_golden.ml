@@ -1,0 +1,18 @@
+(* Golden checksums of the benchmark programs, as computed by the
+   profiling interpreter.  Regenerate with
+   [dune exec bin/mpsoc_par.exe -- analyze <file>] if a benchmark source
+   is intentionally changed. *)
+
+let checksums =
+  [
+    ("adpcm_enc", 3476);
+    ("boundary_value", -51);
+    ("compress", 164);
+    ("edge_detect", 3023);
+    ("filterbank", 3009);
+    ("fir_256", -433);
+    ("iir_4", 0);
+    ("latnrm_32", 5537);
+    ("mult_10", 779);
+    ("spectral", 130770);
+  ]

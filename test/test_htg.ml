@@ -1,0 +1,415 @@
+(* Tests for the AHTG library: def/use analysis, DOALL classification,
+   graph construction invariants, coalescing, and cost annotation. *)
+
+open Minic
+open Htg
+module SS = Defuse.SS
+
+let compile_and_profile src =
+  let prog = Frontend.compile src in
+  let r = Interp.Eval.run prog in
+  (prog, r.Interp.Eval.profile)
+
+let build ?max_children src =
+  let prog, profile = compile_and_profile src in
+  Build.build ?max_children prog profile
+
+(* ------------------------------------------------------------------ *)
+(* Def/use                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_defuse_assign () =
+  let prog =
+    Frontend.compile
+      "float a[4];\nint main() { int i; i = 2; a[i] = a[i - 1] + 1.0; return 0; }"
+  in
+  let main = List.hd prog.Ast.funcs in
+  let stmt =
+    List.find
+      (fun (s : Ast.stmt) ->
+        match s.Ast.sdesc with
+        | Ast.Assign (Ast.LArr ("a", _), _) -> true
+        | _ -> false)
+      main.Ast.fbody
+  in
+  let du = Defuse.stmt_own stmt in
+  Alcotest.(check bool) "defines a" true (SS.mem "a" du.Defuse.defs);
+  Alcotest.(check bool) "uses a (read + partial write)" true
+    (SS.mem "a" du.Defuse.uses);
+  Alcotest.(check bool) "uses i" true (SS.mem "i" du.Defuse.uses)
+
+let test_defuse_locals_hidden () =
+  let prog =
+    Frontend.compile
+      "int g;\nint main() { if (1) { int t; t = 5; g = t; } return g; }"
+  in
+  let main = List.hd prog.Ast.funcs in
+  let if_stmt =
+    List.find
+      (fun (s : Ast.stmt) ->
+        match s.Ast.sdesc with Ast.If _ -> true | _ -> false)
+      main.Ast.fbody
+  in
+  let du = Defuse.stmt_external if_stmt in
+  Alcotest.(check bool) "local t hidden" false (SS.mem "t" du.Defuse.defs);
+  Alcotest.(check bool) "global g visible" true (SS.mem "g" du.Defuse.defs)
+
+(* ------------------------------------------------------------------ *)
+(* DOALL classification                                                *)
+(* ------------------------------------------------------------------ *)
+
+let classify_first_loop src =
+  let prog = Frontend.compile src in
+  let main = List.hd prog.Ast.funcs in
+  let found = ref None in
+  ignore
+    (Ast.fold_stmts
+       (fun () (s : Ast.stmt) ->
+         match (s.Ast.sdesc, !found) with
+         | Ast.For f, None -> found := Some (Loops.classify f)
+         | _ -> ())
+       () main.Ast.fbody);
+  Option.get !found
+
+let is_doall = function Loops.Doall -> true | Loops.Sequential _ -> false
+
+let test_doall_elementwise () =
+  let v =
+    classify_first_loop
+      "float a[64]; float b[64];\nint main() { int i; for (i = 0; i < 64; i = i + 1) { b[i] = a[i] * 2.0; } return 0; }"
+  in
+  Alcotest.(check bool) "elementwise is doall" true (is_doall v)
+
+let test_doall_private_scalar () =
+  let v =
+    classify_first_loop
+      {|float a[64]; float b[64];
+int main() { int i; for (i = 0; i < 64; i = i + 1) { float t; t = a[i] * 2.0; b[i] = t + 1.0; } return 0; }|}
+  in
+  Alcotest.(check bool) "private temp is doall" true (is_doall v)
+
+let test_seq_accumulator () =
+  let v =
+    classify_first_loop
+      "float a[64];\nint main() { int i; float s; s = 0.0; for (i = 0; i < 64; i = i + 1) { s = s + a[i]; } return (int) s; }"
+  in
+  Alcotest.(check bool) "reduction is sequential" false (is_doall v)
+
+let test_seq_inplace_stencil () =
+  let v =
+    classify_first_loop
+      "float a[64];\nint main() { int i; for (i = 1; i < 63; i = i + 1) { a[i] = a[i - 1] + a[i + 1]; } return 0; }"
+  in
+  Alcotest.(check bool) "in-place stencil is sequential" false (is_doall v)
+
+let test_doall_readonly_stencil () =
+  let v =
+    classify_first_loop
+      "float a[64]; float b[64];\nint main() { int i; for (i = 1; i < 63; i = i + 1) { b[i] = a[i - 1] + a[i + 1]; } return 0; }"
+  in
+  Alcotest.(check bool) "out-of-place stencil is doall" true (is_doall v)
+
+let test_seq_guarded_def () =
+  let v =
+    classify_first_loop
+      {|float a[64];
+int main() { int i; float t; t = 0.0;
+  for (i = 0; i < 64; i = i + 1) { if (a[i] > 0.0) { t = a[i]; } a[i] = t; } return 0; }|}
+  in
+  Alcotest.(check bool) "conditionally-defined scalar is carried" false
+    (is_doall v)
+
+let test_seq_noncanonical () =
+  let v =
+    classify_first_loop
+      "int main() { int i; for (i = 64; i > 0; i = i - 1) { int t; t = i; } return 0; }"
+  in
+  Alcotest.(check bool) "downward loop is not canonical" false (is_doall v)
+
+let test_seq_indirect_write () =
+  let v =
+    classify_first_loop
+      "int h[8]; int x[64];\nint main() { int i; for (i = 0; i < 64; i = i + 1) { h[x[i] % 8] = h[x[i] % 8] + 1; } return 0; }"
+  in
+  Alcotest.(check bool) "indirect write is sequential" false (is_doall v)
+
+let test_carried_vars () =
+  let src =
+    "float a[64];\nint main() { int i; float s; s = 0.0; for (i = 0; i < 64; i = i + 1) { s = s + a[i]; a[i] = s; } return 0; }"
+  in
+  let prog = Frontend.compile src in
+  let main = List.hd prog.Ast.funcs in
+  let body = ref [] in
+  ignore
+    (Ast.fold_stmts
+       (fun () (s : Ast.stmt) ->
+         match s.Ast.sdesc with
+         | Ast.For f when !body = [] -> body := f.Ast.fbody
+         | _ -> ())
+       () main.Ast.fbody);
+  let carried = Loops.carried_vars ~ind:(Some "i") !body in
+  Alcotest.(check bool) "s carried" true (SS.mem "s" carried);
+  Alcotest.(check bool) "a not carried (elementwise)" false (SS.mem "a" carried)
+
+(* ------------------------------------------------------------------ *)
+(* Graph construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let pipeline_src =
+  {|
+float a[128]; float b[128]; float c[128];
+int main() {
+  int i;
+  for (i = 0; i < 128; i = i + 1) { a[i] = i * 0.5; }
+  for (i = 0; i < 128; i = i + 1) { b[i] = a[i] + 1.0; }
+  for (i = 0; i < 128; i = i + 1) { c[i] = b[i] * b[i]; }
+  return 0;
+}
+|}
+
+let test_build_structure () =
+  let root = build pipeline_src in
+  Alcotest.(check bool) "root is hierarchical" true (Node.is_hierarchical root);
+  let loops =
+    Array.to_list root.Node.children
+    |> List.filter (fun (c : Node.t) ->
+           match c.Node.kind with Node.Loop _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "three loop children" 3 (List.length loops);
+  List.iter
+    (fun (l : Node.t) ->
+      Alcotest.(check bool) "loop is doall" true (Node.is_doall l))
+    loops
+
+let test_build_flow_edges () =
+  let root = build pipeline_src in
+  (* find indices of the three loops among children *)
+  let idx_of var =
+    let found = ref (-1) in
+    Array.iteri
+      (fun i (c : Node.t) -> if SS.mem var c.Node.defs then found := i)
+      root.Node.children;
+    !found
+  in
+  let ia = idx_of "a" and ib = idx_of "b" and ic = idx_of "c" in
+  let has_flow src dst var =
+    List.exists
+      (fun (e : Node.edge) ->
+        e.Node.src = Node.EChild src && e.Node.dst = Node.EChild dst
+        && String.equal e.Node.var var
+        && e.Node.kind = Node.Flow)
+      root.Node.edges
+  in
+  Alcotest.(check bool) "a flows loop1->loop2" true (has_flow ia ib "a");
+  Alcotest.(check bool) "b flows loop2->loop3" true (has_flow ib ic "b");
+  Alcotest.(check bool) "no direct a edge to loop3" false (has_flow ia ic "a")
+
+let test_build_edges_forward () =
+  List.iter
+    (fun (b : Benchsuite.Suite.t) ->
+      let prog = Benchsuite.Suite.compile b in
+      let profile = (Interp.Eval.run prog).Interp.Eval.profile in
+      let root = Build.build prog profile in
+      let rec check (n : Node.t) =
+        List.iter
+          (fun (e : Node.edge) ->
+            match (e.Node.src, e.Node.dst) with
+            | Node.EChild i, Node.EChild j ->
+                if i >= j then
+                  Alcotest.failf "%s: backward edge %d->%d in node %s"
+                    b.Benchsuite.Suite.name i j n.Node.label
+            | _ -> ())
+          n.Node.edges;
+        List.iter
+          (fun (x, y) ->
+            if x < 0 || y < 0 || x >= Array.length n.Node.children
+               || y >= Array.length n.Node.children then
+              Alcotest.failf "%s: bad conflict pair" b.Benchsuite.Suite.name)
+          n.Node.conflicts;
+        Array.iter check n.Node.children
+      in
+      check root)
+    Benchsuite.Suite.all
+
+let test_build_cycles_conserved () =
+  (* the root's total cycles must equal the profiled total work *)
+  let prog, profile = compile_and_profile pipeline_src in
+  let root = Build.build prog profile in
+  let diff =
+    Float.abs (root.Node.total_cycles -. profile.Interp.Profile.total_work)
+  in
+  Alcotest.(check bool) "cycles conserved" true
+    (diff <= 1e-6 *. profile.Interp.Profile.total_work +. 1e-6)
+
+let test_build_iteration_counts () =
+  let root = build pipeline_src in
+  Array.iter
+    (fun (c : Node.t) ->
+      match c.Node.kind with
+      | Node.Loop l ->
+          Alcotest.(check bool) "iters 128"
+            true
+            (Float.abs (l.iters_per_entry -. 128.) < 1e-9)
+      | _ -> ())
+    root.Node.children
+
+let test_coalescing_bound () =
+  (* 20 straight-line statements must coalesce below the bound *)
+  let stmts =
+    String.concat "\n"
+      (List.init 20 (fun i -> Printf.sprintf "  g%d = %d;" i i))
+  in
+  let decls =
+    String.concat "\n" (List.init 20 (fun i -> Printf.sprintf "int g%d;" i))
+  in
+  let src = Printf.sprintf "%s\nint main() {\n%s\n  return g0;\n}" decls stmts in
+  let root = build ~max_children:6 src in
+  Alcotest.(check bool) "children within bound" true
+    (Array.length root.Node.children <= 6)
+
+let test_conflicts_for_recurrence () =
+  let src =
+    {|
+float a[64]; float b[64];
+int main() {
+  int i;
+  float s;
+  s = 0.0;
+  for (i = 0; i < 64; i = i + 1) {
+    s = s + a[i];
+    b[i] = s * 2.0;
+  }
+  return (int) s;
+}
+|}
+  in
+  let root = build src in
+  let loop =
+    Array.to_list root.Node.children
+    |> List.find (fun (c : Node.t) ->
+           match c.Node.kind with Node.Loop _ -> true | _ -> false)
+  in
+  Alcotest.(check bool) "recurrence creates conflicts" true
+    (List.length loop.Node.conflicts > 0
+    || Array.length loop.Node.children < 2)
+
+let test_branch_structure () =
+  let src =
+    {|
+int g;
+int main() {
+  int x;
+  x = 3;
+  if (x > 1) {
+    g = x * 2;
+  } else {
+    g = x - 1;
+  }
+  return g;
+}
+|}
+  in
+  let root = build src in
+  let branch =
+    Array.to_list root.Node.children
+    |> List.find_opt (fun (c : Node.t) ->
+           match c.Node.kind with Node.Branch _ -> true | _ -> false)
+  in
+  match branch with
+  | None -> Alcotest.fail "no branch node"
+  | Some b ->
+      Alcotest.(check bool) "branch has cond + arms" true
+        (Array.length b.Node.children >= 2)
+
+let test_live_in_out_bytes () =
+  let root = build pipeline_src in
+  (* c (512 bytes) leaves main through Comm-Out *)
+  Alcotest.(check bool) "live-out bytes include arrays" true
+    (root.Node.live_out_bytes >= 512)
+
+let suite =
+  [
+    Alcotest.test_case "defuse assign" `Quick test_defuse_assign;
+    Alcotest.test_case "defuse locals hidden" `Quick test_defuse_locals_hidden;
+    Alcotest.test_case "doall elementwise" `Quick test_doall_elementwise;
+    Alcotest.test_case "doall private scalar" `Quick test_doall_private_scalar;
+    Alcotest.test_case "seq accumulator" `Quick test_seq_accumulator;
+    Alcotest.test_case "seq in-place stencil" `Quick test_seq_inplace_stencil;
+    Alcotest.test_case "doall read-only stencil" `Quick test_doall_readonly_stencil;
+    Alcotest.test_case "seq guarded def" `Quick test_seq_guarded_def;
+    Alcotest.test_case "seq non-canonical" `Quick test_seq_noncanonical;
+    Alcotest.test_case "seq indirect write" `Quick test_seq_indirect_write;
+    Alcotest.test_case "carried vars" `Quick test_carried_vars;
+    Alcotest.test_case "build structure" `Quick test_build_structure;
+    Alcotest.test_case "build flow edges" `Quick test_build_flow_edges;
+    Alcotest.test_case "edges forward (all benchmarks)" `Quick test_build_edges_forward;
+    Alcotest.test_case "cycles conserved" `Quick test_build_cycles_conserved;
+    Alcotest.test_case "iteration counts" `Quick test_build_iteration_counts;
+    Alcotest.test_case "coalescing bound" `Quick test_coalescing_bound;
+    Alcotest.test_case "conflicts for recurrence" `Quick test_conflicts_for_recurrence;
+    Alcotest.test_case "branch structure" `Quick test_branch_structure;
+    Alcotest.test_case "live in/out bytes" `Quick test_live_in_out_bytes;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* DOT export                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let dot_contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_dot_export () =
+  let root = build pipeline_src in
+  let s = Dot.to_string root in
+  Alcotest.(check bool) "digraph wrapper" true
+    (dot_contains s "digraph ahtg" && dot_contains s "}");
+  Alcotest.(check bool) "clusters for hierarchy" true
+    (dot_contains s "subgraph cluster_");
+  Alcotest.(check bool) "comm nodes" true
+    (dot_contains s "comm-in" && dot_contains s "comm-out");
+  (* balanced braces *)
+  let opens = String.fold_left (fun n c -> if c = '{' then n + 1 else n) 0 s in
+  let closes = String.fold_left (fun n c -> if c = '}' then n + 1 else n) 0 s in
+  Alcotest.(check int) "balanced braces" opens closes
+
+let test_dot_carried_marks () =
+  let src =
+    "float a[64];\nint main() { int i; float s; s = 0.0; for (i = 0; i < 64; i = i + 1) { s = s + a[i]; a[i] = s * 0.5; } return (int) s; }"
+  in
+  let root = build src in
+  let s = Dot.to_string root in
+  (* the recurrence should render either as a carried mark or the loop has
+     a single (coalesced) child *)
+  Alcotest.(check bool) "renders" true (String.length s > 0);
+  ignore s
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "dot export" `Quick test_dot_export;
+      Alcotest.test_case "dot carried marks" `Quick test_dot_carried_marks;
+    ]
+
+let test_seq_mutated_bound () =
+  let v =
+    classify_first_loop
+      "int n;\nfloat a[64];\nint main() { int i; n = 64; for (i = 0; i < n; i = i + 1) { a[i] = 1.0; n = 32; } return n; }"
+  in
+  Alcotest.(check bool) "mutated bound is sequential" false (is_doall v)
+
+let test_doall_invariant_bound () =
+  let v =
+    classify_first_loop
+      "int n;\nfloat a[64];\nint main() { int i; n = 64; for (i = 0; i < n; i = i + 1) { a[i] = 1.0; } return n; }"
+  in
+  Alcotest.(check bool) "invariant bound stays doall" true (is_doall v)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "seq mutated bound" `Quick test_seq_mutated_bound;
+      Alcotest.test_case "doall invariant bound" `Quick
+        test_doall_invariant_bound;
+    ]

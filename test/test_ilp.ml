@@ -1,0 +1,471 @@
+(* Tests for the ILP library: simplex on hand-checked LPs, branch & bound
+   against the exhaustive reference solver, and qcheck properties on random
+   models. *)
+
+open Ilp
+
+let feq ?(eps = 1e-5) a b = Float.abs (a -. b) <= eps
+
+let check_feq msg expected actual =
+  if not (feq expected actual) then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Simplex                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* max 3x + 2y st x + y <= 4, x + 3y <= 6, x,y >= 0  -> (4,0), obj 12 *)
+let test_simplex_basic () =
+  let m = Model.create () in
+  let x = Model.cont_var m "x" in
+  let y = Model.cont_var m "y" in
+  let open Lin_expr in
+  Model.le m (add (term x) (term y)) (constant 4.);
+  Model.le m (add (term x) (term ~coef:3. y)) (constant 6.);
+  Model.set_objective m Model.Maximize (add (term ~coef:3. x) (term ~coef:2. y));
+  match Simplex.solve m with
+  | Simplex.Optimal { obj; x = sol } ->
+      check_feq "objective" 12. obj;
+      check_feq "x" 4. sol.(x);
+      check_feq "y" 0. sol.(y)
+  | _ -> Alcotest.fail "expected optimal"
+
+(* min x + y st x + y >= 2, x - y = 0 -> (1,1), obj 2 *)
+let test_simplex_eq_ge () =
+  let m = Model.create () in
+  let x = Model.cont_var m "x" in
+  let y = Model.cont_var m "y" in
+  let open Lin_expr in
+  Model.ge m (add (term x) (term y)) (constant 2.);
+  Model.eq m (sub (term x) (term y)) (constant 0.);
+  Model.set_objective m Model.Minimize (add (term x) (term y));
+  match Simplex.solve m with
+  | Simplex.Optimal { obj; x = sol } ->
+      check_feq "objective" 2. obj;
+      check_feq "x" 1. sol.(x);
+      check_feq "y" 1. sol.(y)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_infeasible () =
+  let m = Model.create () in
+  let x = Model.cont_var m "x" in
+  let open Lin_expr in
+  Model.ge m (term x) (constant 5.);
+  Model.le m (term x) (constant 2.);
+  Model.set_objective m Model.Minimize (term x);
+  match Simplex.solve m with
+  | Simplex.Infeasible -> ()
+  | Simplex.Optimal { obj; _ } -> Alcotest.failf "expected infeasible, got %g" obj
+  | Simplex.Unbounded -> Alcotest.fail "expected infeasible, got unbounded"
+
+let test_simplex_unbounded () =
+  let m = Model.create () in
+  let x = Model.cont_var m "x" in
+  let y = Model.cont_var m "y" in
+  let open Lin_expr in
+  Model.ge m (add (term x) (term y)) (constant 1.);
+  Model.set_objective m Model.Maximize (term x);
+  match Simplex.solve m with
+  | Simplex.Unbounded -> ()
+  | Simplex.Optimal { obj; _ } -> Alcotest.failf "expected unbounded, got %g" obj
+  | Simplex.Infeasible -> Alcotest.fail "expected unbounded, got infeasible"
+
+(* upper bounds handled without extra rows: max x + y, x <= 3 (bound),
+   y <= 2 (bound), x + y <= 4 -> obj 4 *)
+let test_simplex_bounds () =
+  let m = Model.create () in
+  let x = Model.cont_var ~ub:3. m "x" in
+  let y = Model.cont_var ~ub:2. m "y" in
+  let open Lin_expr in
+  Model.le m (add (term x) (term y)) (constant 4.);
+  Model.set_objective m Model.Maximize (add (term x) (term y));
+  match Simplex.solve m with
+  | Simplex.Optimal { obj; _ } -> check_feq "objective" 4. obj
+  | _ -> Alcotest.fail "expected optimal"
+
+(* negative lower bounds *)
+let test_simplex_neg_lb () =
+  let m = Model.create () in
+  let x = Model.cont_var ~lb:(-5.) ~ub:5. m "x" in
+  let open Lin_expr in
+  Model.ge m (term x) (constant (-3.));
+  Model.set_objective m Model.Minimize (term x);
+  match Simplex.solve m with
+  | Simplex.Optimal { obj; x = sol } ->
+      check_feq "objective" (-3.) obj;
+      check_feq "x" (-3.) sol.(x)
+  | _ -> Alcotest.fail "expected optimal"
+
+(* degenerate LP that tends to cycle without anti-cycling *)
+let test_simplex_degenerate () =
+  let m = Model.create () in
+  let x1 = Model.cont_var m "x1" in
+  let x2 = Model.cont_var m "x2" in
+  let x3 = Model.cont_var m "x3" in
+  let x4 = Model.cont_var m "x4" in
+  let open Lin_expr in
+  Model.le m
+    (sum [ term ~coef:0.5 x1; term ~coef:(-5.5) x2; term ~coef:(-2.5) x3; term ~coef:9. x4 ])
+    (constant 0.);
+  Model.le m
+    (sum [ term ~coef:0.5 x1; term ~coef:(-1.5) x2; term ~coef:(-0.5) x3; term x4 ])
+    (constant 0.);
+  Model.le m (term x1) (constant 1.);
+  Model.set_objective m Model.Maximize
+    (sum [ term ~coef:10. x1; term ~coef:(-57.) x2; term ~coef:(-9.) x3; term ~coef:(-24.) x4 ]);
+  match Simplex.solve m with
+  | Simplex.Optimal { obj; _ } -> check_feq "objective" 1. obj
+  | _ -> Alcotest.fail "expected optimal"
+
+(* ------------------------------------------------------------------ *)
+(* Branch & bound                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* knapsack: max 10a+13b+7c st 3a+4b+2c <= 6, binaries -> a=0 b=c=1 obj 20 *)
+let test_bb_knapsack () =
+  let m = Model.create () in
+  let a = Model.bool_var m "a" in
+  let b = Model.bool_var m "b" in
+  let c = Model.bool_var m "c" in
+  let open Lin_expr in
+  Model.le m
+    (sum [ term ~coef:3. a; term ~coef:4. b; term ~coef:2. c ])
+    (constant 6.);
+  Model.set_objective m Model.Maximize
+    (sum [ term ~coef:10. a; term ~coef:13. b; term ~coef:7. c ]);
+  let sol = Branch_bound.solve m in
+  Alcotest.(check bool) "optimal" true (sol.Branch_bound.status = Branch_bound.Optimal);
+  check_feq "objective" 20. sol.Branch_bound.obj
+
+(* integer rounding matters: max y st y <= 2.5 -> 2 *)
+let test_bb_int_cut () =
+  let m = Model.create () in
+  let y = Model.int_var ~ub:10. m "y" in
+  let open Lin_expr in
+  Model.le m (term ~coef:2. y) (constant 5.);
+  Model.set_objective m Model.Maximize (term y);
+  let sol = Branch_bound.solve m in
+  check_feq "objective" 2. sol.Branch_bound.obj
+
+let test_bb_infeasible () =
+  let m = Model.create () in
+  let a = Model.bool_var m "a" in
+  let b = Model.bool_var m "b" in
+  let open Lin_expr in
+  Model.eq m (add (term a) (term b)) (constant 1.);
+  Model.ge m (add (term a) (term b)) (constant 2.);
+  Model.set_objective m Model.Minimize (term a);
+  let sol = Branch_bound.solve m in
+  Alcotest.(check bool) "infeasible" true
+    (sol.Branch_bound.status = Branch_bound.Infeasible)
+
+(* and_var linearization behaves like conjunction *)
+let test_and_var () =
+  List.iter
+    (fun (xa, xb) ->
+      let m = Model.create () in
+      let a = Model.bool_var m "a" in
+      let b = Model.bool_var m "b" in
+      let z = Model.and_var m a b in
+      let open Lin_expr in
+      Model.eq m (term a) (constant xa);
+      Model.eq m (term b) (constant xb);
+      (* force z to its implied value by optimizing both directions *)
+      Model.set_objective m Model.Maximize (term z);
+      let hi = Branch_bound.solve m in
+      Model.set_objective m Model.Minimize (term z);
+      let lo = Branch_bound.solve m in
+      let expected = if xa = 1. && xb = 1. then 1. else 0. in
+      (* max: AND can only be 1 when both are 1 *)
+      check_feq "and upper" expected hi.Branch_bound.obj;
+      (* min: AND is forced to 1 when both are 1 *)
+      check_feq "and lower" expected lo.Branch_bound.obj)
+    [ (0., 0.); (0., 1.); (1., 0.); (1., 1.) ]
+
+(* mixed integer + continuous *)
+let test_bb_mixed () =
+  let m = Model.create () in
+  let k = Model.int_var ~ub:5. m "k" in
+  let x = Model.cont_var ~ub:10. m "x" in
+  let open Lin_expr in
+  (* x <= 1.5 k ; maximize x - 0.1 k -> k as small as possible per x *)
+  Model.le m (sub (term x) (term ~coef:1.5 k)) (constant 0.);
+  Model.set_objective m Model.Maximize (sub (term x) (term ~coef:0.1 k));
+  let sol = Branch_bound.solve m in
+  (* best: k=5, x=7.5, obj 7.0 *)
+  check_feq "objective" 7.0 sol.Branch_bound.obj
+
+(* ------------------------------------------------------------------ *)
+(* Random cross-check vs exhaustive                                    *)
+(* ------------------------------------------------------------------ *)
+
+let random_model rand =
+  let int_range lo hi st = lo + Random.State.int st (hi - lo + 1) in
+  let bool st = Random.State.bool st in
+  let nb = int_range 1 5 rand in
+  let nc = int_range 1 5 rand in
+  let m = Model.create () in
+  let vars =
+    List.init nb (fun i ->
+        Model.bool_var m (Printf.sprintf "b%d" i))
+  in
+  (* random constraints with small integer coefficients *)
+  for ci = 0 to nc - 1 do
+    let terms =
+      List.filter_map
+        (fun v ->
+          let c = int_range (-3) 3 rand in
+          if c = 0 then None else Some (Lin_expr.term ~coef:(float_of_int c) v))
+        vars
+    in
+    if List.length terms > 0 then begin
+      let bound = float_of_int (int_range (-4) 6 rand) in
+      let op = int_range 0 2 rand in
+      let e = Lin_expr.sum terms in
+      match op with
+      | 0 -> Model.le ~name:(Printf.sprintf "c%d" ci) m e (Lin_expr.constant bound)
+      | 1 -> Model.ge ~name:(Printf.sprintf "c%d" ci) m e (Lin_expr.constant bound)
+      | _ ->
+          (* equalities are often infeasible with random bounds; bias the
+             bound to something attainable *)
+          let k = int_range 0 (List.length terms) rand in
+          Model.eq ~name:(Printf.sprintf "c%d" ci) m e
+            (Lin_expr.constant (float_of_int k))
+    end
+  done;
+  let obj =
+    Lin_expr.sum
+      (List.map
+         (fun v ->
+           Lin_expr.term ~coef:(float_of_int (int_range (-5) 5 rand)) v)
+         vars)
+  in
+  let sense = if bool rand then Model.Minimize else Model.Maximize in
+  Model.set_objective m sense obj;
+  m
+
+let model_arb = QCheck.make ~print:(fun m -> Fmt.str "%a" Model.pp m) random_model
+
+let test_bb_vs_exhaustive =
+  QCheck.Test.make ~count:300 ~name:"branch&bound matches exhaustive" model_arb
+    (fun m ->
+      let bb = Branch_bound.solve m in
+      let ex = Exhaustive.solve m in
+      match (bb.Branch_bound.status, ex.Exhaustive.x) with
+      | Branch_bound.Infeasible, None -> true
+      | Branch_bound.Optimal, Some _ ->
+          feq ~eps:1e-4 bb.Branch_bound.obj ex.Exhaustive.obj
+      | Branch_bound.Optimal, None | Branch_bound.Infeasible, Some _ -> false
+      | _ -> false)
+
+(* any feasible integer point must not beat the reported optimum *)
+let test_bb_optimality_bound =
+  QCheck.Test.make ~count:200 ~name:"no feasible point beats B&B optimum"
+    (QCheck.pair model_arb (QCheck.list_of_size (QCheck.Gen.return 8) (QCheck.float_bound_inclusive 1.)))
+    (fun (m, probes) ->
+      let bb = Branch_bound.solve m in
+      match bb.Branch_bound.status with
+      | Branch_bound.Optimal ->
+          let n = Model.num_vars m in
+          List.for_all
+            (fun seed ->
+              let y =
+                Array.init n (fun i ->
+                    if Float.rem (seed *. float_of_int (i + 3) *. 7.919) 1. > 0.5
+                    then 1.
+                    else 0.)
+              in
+              if Model.feasible m (fun v -> y.(v)) then
+                let o = Model.objective_value m (fun v -> y.(v)) in
+                match m.Model.obj_sense with
+                | Model.Minimize -> o >= bb.Branch_bound.obj -. 1e-4
+                | Model.Maximize -> o <= bb.Branch_bound.obj +. 1e-4
+              else true)
+            probes
+      | _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "simplex basic max" `Quick test_simplex_basic;
+    Alcotest.test_case "simplex eq+ge" `Quick test_simplex_eq_ge;
+    Alcotest.test_case "simplex infeasible" `Quick test_simplex_infeasible;
+    Alcotest.test_case "simplex unbounded" `Quick test_simplex_unbounded;
+    Alcotest.test_case "simplex var bounds" `Quick test_simplex_bounds;
+    Alcotest.test_case "simplex negative lb" `Quick test_simplex_neg_lb;
+    Alcotest.test_case "simplex degenerate" `Quick test_simplex_degenerate;
+    Alcotest.test_case "bb knapsack" `Quick test_bb_knapsack;
+    Alcotest.test_case "bb integer cut" `Quick test_bb_int_cut;
+    Alcotest.test_case "bb infeasible" `Quick test_bb_infeasible;
+    Alcotest.test_case "and_var truth table" `Quick test_and_var;
+    Alcotest.test_case "bb mixed int/cont" `Quick test_bb_mixed;
+    QCheck_alcotest.to_alcotest test_bb_vs_exhaustive;
+    QCheck_alcotest.to_alcotest test_bb_optimality_bound;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* LP-format export                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_lp_format () =
+  let m = Model.create ~name:"demo" () in
+  let a = Model.bool_var m "a" in
+  let k = Model.int_var ~ub:7. m "k" in
+  let x = Model.cont_var ~ub:3.5 m "x" in
+  let open Lin_expr in
+  Model.le ~name:"cap" m (sum [ term ~coef:2. a; term k; term x ]) (constant 9.);
+  Model.ge ~name:"floor" m (term x) (constant 0.5);
+  Model.eq ~name:"tie" m (sub (term k) (term ~coef:3. a)) (constant 0.);
+  Model.set_objective m Model.Maximize (add (term x) (term ~coef:4. k));
+  let s = Lp_format.to_string m in
+  Alcotest.(check bool) "sections" true
+    (contains s "Maximize" && contains s "Subject To" && contains s "Bounds"
+    && contains s "Binaries" && contains s "Generals" && contains s "End");
+  Alcotest.(check bool) "constraint names" true
+    (contains s "cap:" && contains s "floor:" && contains s "tie:");
+  Alcotest.(check bool) "coefficients" true (contains s "2 a");
+  Alcotest.(check bool) "var bound" true (contains s "3.5")
+
+let test_lp_format_sanitize () =
+  let m = Model.create () in
+  let v = Model.bool_var m "x[1][2]" in
+  Model.set_objective m Model.Minimize (Lin_expr.term v);
+  let s = Lp_format.to_string m in
+  Alcotest.(check bool) "no brackets survive" true
+    (not (contains s "x[1]"))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "lp-format export" `Quick test_lp_format;
+      Alcotest.test_case "lp-format sanitize" `Quick test_lp_format_sanitize;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Additional solver edge cases                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* equality-only system with a unique solution *)
+let test_simplex_equalities_only () =
+  let m = Model.create () in
+  let x = Model.cont_var m "x" in
+  let y = Model.cont_var m "y" in
+  let open Lin_expr in
+  Model.eq m (add (term x) (term y)) (constant 10.);
+  Model.eq m (sub (term x) (term y)) (constant 4.);
+  Model.set_objective m Model.Minimize (term x);
+  match Simplex.solve m with
+  | Simplex.Optimal { x = sol; _ } ->
+      check_feq "x" 7. sol.(x);
+      check_feq "y" 3. sol.(y)
+  | _ -> Alcotest.fail "expected optimal"
+
+(* redundant constraints must not confuse phase 1 *)
+let test_simplex_redundant_rows () =
+  let m = Model.create () in
+  let x = Model.cont_var ~ub:5. m "x" in
+  let open Lin_expr in
+  Model.le m (term x) (constant 4.);
+  Model.le m (term x) (constant 4.);
+  Model.eq m (term ~coef:2. x) (add (term x) (term x));
+  (* 2x = 2x: vacuous *)
+  Model.set_objective m Model.Maximize (term x);
+  match Simplex.solve m with
+  | Simplex.Optimal { obj; _ } -> check_feq "objective" 4. obj
+  | _ -> Alcotest.fail "expected optimal"
+
+(* warm start worse than optimum must not block improvement *)
+let test_bb_warm_start_improved () =
+  let m = Model.create () in
+  let a = Model.bool_var m "a" in
+  let b = Model.bool_var m "b" in
+  let open Lin_expr in
+  Model.le m (add (term a) (term b)) (constant 2.);
+  Model.set_objective m Model.Maximize (add (term ~coef:5. a) (term ~coef:3. b));
+  let warm = [| 0.; 0. |] in
+  let sol = Branch_bound.solve ~warm_start:warm m in
+  check_feq "improves past warm start" 8. sol.Branch_bound.obj
+
+(* infeasible warm start is ignored, not trusted *)
+let test_bb_warm_start_infeasible_ignored () =
+  let m = Model.create () in
+  let a = Model.bool_var m "a" in
+  let open Lin_expr in
+  Model.le m (term a) (constant 0.);
+  Model.set_objective m Model.Maximize (term a);
+  let warm = [| 1. |] in
+  (* violates a <= 0 *)
+  let sol = Branch_bound.solve ~warm_start:warm m in
+  check_feq "solves correctly anyway" 0. sol.Branch_bound.obj
+
+(* node limit returns the incumbent with Feasible status *)
+let test_bb_node_limit_feasible () =
+  let m = Model.create () in
+  let vars = List.init 14 (fun i -> Model.bool_var m (Printf.sprintf "v%d" i)) in
+  let open Lin_expr in
+  List.iteri
+    (fun i v ->
+      Model.le m
+        (add (term v) (term (List.nth vars ((i + 3) mod 14))))
+        (constant 1.))
+    vars;
+  Model.set_objective m Model.Maximize (sum (List.map term vars));
+  let warm = Array.make (Model.num_vars m) 0. in
+  let options = { Branch_bound.default_options with Branch_bound.node_limit = 1 } in
+  let sol = Branch_bound.solve ~options ~warm_start:warm m in
+  Alcotest.(check bool) "feasible or optimal under limit" true
+    (match sol.Branch_bound.status with
+    | Branch_bound.Feasible | Branch_bound.Optimal -> true
+    | _ -> false)
+
+(* stats accumulate across solves *)
+let test_stats_accumulate () =
+  let stats = Stats.create () in
+  let mk () =
+    let m = Model.create () in
+    let a = Model.bool_var m "a" in
+    Model.set_objective m Model.Maximize (Lin_expr.term a);
+    m
+  in
+  ignore (Solver.solve ~stats (mk ()));
+  ignore (Solver.solve ~stats (mk ()));
+  Alcotest.(check int) "two ilps" 2 stats.Stats.ilps;
+  Alcotest.(check int) "two vars" 2 stats.Stats.vars;
+  let copy = Stats.copy stats in
+  Stats.reset stats;
+  Alcotest.(check int) "reset" 0 stats.Stats.ilps;
+  Alcotest.(check int) "copy unaffected" 2 copy.Stats.ilps;
+  Stats.merge ~into:stats copy;
+  Alcotest.(check int) "merged" 2 stats.Stats.ilps
+
+(* general integers beyond 0/1 *)
+let test_bb_general_int_domain () =
+  let m = Model.create () in
+  let k = Model.int_var ~lb:2. ~ub:9. m "k" in
+  let open Lin_expr in
+  (* maximize k with 3k <= 22 -> k = 7 *)
+  Model.le m (term ~coef:3. k) (constant 22.);
+  Model.set_objective m Model.Maximize (term k);
+  let sol = Branch_bound.solve m in
+  check_feq "k" 7. sol.Branch_bound.obj
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "simplex equalities only" `Quick
+        test_simplex_equalities_only;
+      Alcotest.test_case "simplex redundant rows" `Quick
+        test_simplex_redundant_rows;
+      Alcotest.test_case "bb warm start improved" `Quick
+        test_bb_warm_start_improved;
+      Alcotest.test_case "bb infeasible warm start" `Quick
+        test_bb_warm_start_infeasible_ignored;
+      Alcotest.test_case "bb node limit" `Quick test_bb_node_limit_feasible;
+      Alcotest.test_case "stats accumulate" `Quick test_stats_accumulate;
+      Alcotest.test_case "bb general int domain" `Quick
+        test_bb_general_int_domain;
+    ]

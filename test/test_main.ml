@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "mpsoc-par"
+    [
+      ("minic", Test_minic.suite);
+      ("interp", Test_interp.suite);
+      ("platform", Test_platform.suite);
+      ("ilp", Test_ilp.suite);
+      ("htg", Test_htg.suite);
+      ("sim", Test_sim.suite);
+      ("benchsuite", Test_benchsuite.suite);
+      ("parcore", Test_parcore.suite);
+      ("report", Test_report.suite);
+      ("pipeline-properties", Test_pipeline_prop.suite);
+    ]

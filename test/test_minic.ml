@@ -1,0 +1,396 @@
+(* Tests for the Mini-C frontend: lexer, parser, pretty-printer round-trip,
+   type checker, and the inliner. *)
+
+open Minic
+
+let parse = Parser.program_of_string
+
+let simple_prog =
+  {|
+int g;
+float buf[8];
+
+int add1(int x) {
+  int r;
+  r = x + 1;
+  return r;
+}
+
+int main() {
+  int i;
+  int acc;
+  acc = 0;
+  for (i = 0; i < 8; i = i + 1) {
+    buf[i] = i * 2.5;
+    acc = acc + i;
+  }
+  if (acc > 10) {
+    g = add1(acc);
+  } else {
+    g = 0;
+  }
+  return g;
+}
+|}
+
+let test_lexer_basic () =
+  let toks = Lexer.tokenize "int x = 42; // comment\nx = x + 1;" in
+  let kinds = List.map (fun (t : Lexer.located) -> t.tok) toks in
+  Alcotest.(check bool)
+    "token stream" true
+    (kinds
+    = Token.
+        [
+          KW_INT; IDENT "x"; ASSIGN; INT_LIT 42; SEMI; IDENT "x"; ASSIGN;
+          IDENT "x"; PLUS; INT_LIT 1; SEMI; EOF;
+        ])
+
+let test_lexer_floats () =
+  let toks = Lexer.tokenize "1.5 2e3 0.25 7" in
+  let lits =
+    List.filter_map
+      (fun (t : Lexer.located) ->
+        match t.tok with
+        | Token.FLOAT_LIT f -> Some (`F f)
+        | Token.INT_LIT n -> Some (`I n)
+        | _ -> None)
+      toks
+  in
+  Alcotest.(check bool)
+    "literals" true
+    (lits = [ `F 1.5; `F 2000.; `F 0.25; `I 7 ])
+
+let test_lexer_comments () =
+  let toks = Lexer.tokenize "/* multi\nline */ x #include <foo>\ny" in
+  let idents =
+    List.filter_map
+      (fun (t : Lexer.located) ->
+        match t.tok with Token.IDENT s -> Some s | _ -> None)
+      toks
+  in
+  Alcotest.(check (list string)) "idents" [ "x"; "y" ] idents
+
+let test_lexer_error () =
+  match Lexer.tokenize "int x = @;" with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected lexer error"
+
+let test_parse_simple () =
+  let p = parse simple_prog in
+  Alcotest.(check int) "globals" 2 (List.length p.Ast.globals);
+  Alcotest.(check int) "functions" 2 (List.length p.Ast.funcs);
+  let main = Option.get (Ast.find_func p "main") in
+  Alcotest.(check bool) "main returns int" true
+    (Ast.equal_ty main.Ast.fret (Ast.TScalar Ast.SInt))
+
+let test_parse_precedence () =
+  let e = Parser.expr_of_string "1 + 2 * 3 - 4 / 2" in
+  (* (1 + (2*3)) - (4/2) *)
+  let expected =
+    Ast.(
+      Binop
+        ( Sub,
+          Binop (Add, IntLit 1, Binop (Mul, IntLit 2, IntLit 3)),
+          Binop (Div, IntLit 4, IntLit 2) ))
+  in
+  Alcotest.(check bool) "precedence" true (Ast.equal_expr e expected)
+
+let test_parse_logical_precedence () =
+  let e = Parser.expr_of_string "a < b && c == d || e" in
+  let expected =
+    Ast.(
+      Binop
+        ( LOr,
+          Binop (LAnd, Binop (Lt, Var "a", Var "b"), Binop (Eq, Var "c", Var "d")),
+          Var "e" ))
+  in
+  Alcotest.(check bool) "logical precedence" true (Ast.equal_expr e expected)
+
+let test_parse_error () =
+  match parse "int main() { x = ; }" with
+  | exception Parser.Error _ -> ()
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_roundtrip () =
+  let p = parse simple_prog in
+  let printed = Pretty.to_string p in
+  let p2 = parse printed in
+  Alcotest.(check bool) "round trip" true (Rename.equal_modulo_ids p p2)
+
+let test_roundtrip_expr_parens () =
+  (* printing must preserve grouping of parsed parentheses *)
+  let e = Parser.expr_of_string "(1 + 2) * 3" in
+  let e2 = Parser.expr_of_string (Pretty.expr_to_string e) in
+  Alcotest.(check bool) "paren round trip" true (Ast.equal_expr e e2)
+
+let test_typecheck_ok () =
+  let p = parse simple_prog in
+  Typecheck.check p
+
+let expect_type_error src =
+  let p = parse src in
+  match Typecheck.check p with
+  | exception Typecheck.Error _ -> ()
+  | () -> Alcotest.fail "expected type error"
+
+let test_typecheck_undeclared () =
+  expect_type_error "int main() { x = 1; return 0; }"
+
+let test_typecheck_bad_dims () =
+  expect_type_error
+    "float a[4][4];\nint main() { a[1] = 0.0; return 0; }"
+
+let test_typecheck_float_mod () =
+  expect_type_error "int main() { float x; x = 1.5 % 2.0; return 0; }"
+
+let test_typecheck_no_main () =
+  expect_type_error "int f() { return 1; }"
+
+let test_typecheck_bad_call_arity () =
+  expect_type_error
+    "int f(int a, int b) { return a + b; }\nint main() { int x; x = f(1); return x; }"
+
+let test_typecheck_void_return_value () =
+  expect_type_error "void f() { return 1; }\nint main() { f(); return 0; }"
+
+let test_typecheck_index_float () =
+  expect_type_error "float a[4];\nint main() { a[1.5] = 0.0; return 0; }"
+
+let test_inline_basic () =
+  let p = Frontend.compile simple_prog in
+  Alcotest.(check int) "single function after inlining" 1
+    (List.length p.Ast.funcs);
+  (* no user calls remain *)
+  let has_user_call =
+    Ast.fold_stmts
+      (fun acc s ->
+        acc
+        || List.exists
+             (fun e ->
+               let found = ref false in
+               Ast.iter_expr
+                 (function
+                   | Ast.Call (n, _) when not (Builtins.is_builtin n) ->
+                       found := true
+                   | _ -> ())
+                 e;
+               !found)
+             (Ast.stmt_exprs s))
+      false (List.hd p.Ast.funcs).Ast.fbody
+  in
+  Alcotest.(check bool) "no user calls" false has_user_call
+
+let test_inline_array_param () =
+  let src =
+    {|
+float data[16];
+void scale(float a[16], float k) {
+  int i;
+  for (i = 0; i < 16; i = i + 1) {
+    a[i] = a[i] * k;
+  }
+}
+int main() {
+  scale(data, 2.0);
+  return 0;
+}
+|}
+  in
+  let p = Frontend.compile src in
+  (* the inlined loop must reference the global array [data] directly *)
+  let mentions_data = ref false in
+  ignore
+    (Ast.fold_stmts
+       (fun () s ->
+         List.iter
+           (fun e ->
+             Ast.iter_expr
+               (function
+                 | Ast.ArrRef ("data", _) -> mentions_data := true
+                 | _ -> ())
+               e)
+           (Ast.stmt_exprs s);
+         match s.Ast.sdesc with
+         | Ast.Assign (Ast.LArr ("data", _), _) -> mentions_data := true
+         | _ -> ())
+       () (List.hd p.Ast.funcs).Ast.fbody);
+  Alcotest.(check bool) "array passed by reference" true !mentions_data
+
+let test_inline_recursion_rejected () =
+  let src =
+    "int f(int x) { int r; r = f(x); return r; }\nint main() { int y; y = f(1); return y; }"
+  in
+  match Frontend.compile src with
+  | exception Frontend.Error (Frontend.Inline_error _) -> ()
+  | _ -> Alcotest.fail "expected inline error on recursion"
+
+let test_inline_nested_call_rejected () =
+  let src =
+    "int f(int x) { return x; }\nint main() { int y; y = 1 + f(1); return y; }"
+  in
+  match Frontend.compile src with
+  | exception Frontend.Error (Frontend.Inline_error _) -> ()
+  | _ -> Alcotest.fail "expected inline error on nested call"
+
+let test_sid_renumber_dense () =
+  let p = Frontend.compile simple_prog in
+  let sids =
+    Ast.fold_stmts (fun acc s -> s.Ast.sid :: acc) []
+      (List.hd p.Ast.funcs).Ast.fbody
+  in
+  let sorted = List.sort compare sids in
+  let expected = List.init (List.length sids) (fun i -> i) in
+  Alcotest.(check (list int)) "dense ids from 0" expected sorted
+
+let test_stmt_count () =
+  let p = parse "int main() { int x; x = 1; if (x) { x = 2; } return x; }" in
+  Alcotest.(check int) "statement count" 5 (Ast.stmt_count p)
+
+let suite =
+  [
+    Alcotest.test_case "lexer basic" `Quick test_lexer_basic;
+    Alcotest.test_case "lexer floats" `Quick test_lexer_floats;
+    Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer error" `Quick test_lexer_error;
+    Alcotest.test_case "parse simple program" `Quick test_parse_simple;
+    Alcotest.test_case "parse arith precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "parse logical precedence" `Quick test_parse_logical_precedence;
+    Alcotest.test_case "parse error" `Quick test_parse_error;
+    Alcotest.test_case "pretty round trip" `Quick test_roundtrip;
+    Alcotest.test_case "pretty parens round trip" `Quick test_roundtrip_expr_parens;
+    Alcotest.test_case "typecheck ok" `Quick test_typecheck_ok;
+    Alcotest.test_case "typecheck undeclared" `Quick test_typecheck_undeclared;
+    Alcotest.test_case "typecheck bad dims" `Quick test_typecheck_bad_dims;
+    Alcotest.test_case "typecheck float mod" `Quick test_typecheck_float_mod;
+    Alcotest.test_case "typecheck no main" `Quick test_typecheck_no_main;
+    Alcotest.test_case "typecheck call arity" `Quick test_typecheck_bad_call_arity;
+    Alcotest.test_case "typecheck void return" `Quick test_typecheck_void_return_value;
+    Alcotest.test_case "typecheck float index" `Quick test_typecheck_index_float;
+    Alcotest.test_case "inline basic" `Quick test_inline_basic;
+    Alcotest.test_case "inline array by reference" `Quick test_inline_array_param;
+    Alcotest.test_case "inline rejects recursion" `Quick test_inline_recursion_rejected;
+    Alcotest.test_case "inline rejects nested call" `Quick test_inline_nested_call_rejected;
+    Alcotest.test_case "sid renumber dense" `Quick test_sid_renumber_dense;
+    Alcotest.test_case "stmt count" `Quick test_stmt_count;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Additional frontend edge cases                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_lexer_operators () =
+  let toks =
+    Lexer.tokenize "a <= b >= c == d != e << f >> g & h | i ^ j && k || l"
+  in
+  let ops =
+    List.filter_map
+      (fun (t : Lexer.located) ->
+        match t.tok with
+        | Token.LE | Token.GE | Token.EQ | Token.NE | Token.SHL | Token.SHR
+        | Token.AMP | Token.BAR | Token.CARET | Token.AMPAMP | Token.BARBAR ->
+            Some t.tok
+        | _ -> None)
+      toks
+  in
+  Alcotest.(check int) "all operators lexed" 11 (List.length ops)
+
+let test_parser_cast_erasure () =
+  let e1 = Parser.expr_of_string "(int) x" in
+  let e2 = Parser.expr_of_string "x" in
+  Alcotest.(check bool) "cast erased" true (Ast.equal_expr e1 e2)
+
+let test_parser_unary_chain () =
+  let e = Parser.expr_of_string "- - x" in
+  Alcotest.(check bool) "double negation" true
+    (Ast.equal_expr e Ast.(Unop (Neg, Unop (Neg, Var "x"))))
+
+let test_parser_empty_for_header () =
+  let p =
+    Parser.program_of_string
+      "int main() { int i; i = 0; for (; i < 3; ) { i = i + 1; } return i; }"
+  in
+  Typecheck.check p;
+  let r = Interp.Eval.run (Minic.Frontend.compile
+    "int main() { int i; i = 0; for (; i < 3; ) { i = i + 1; } return i; }") in
+  Alcotest.(check int) "runs" 3 (Interp.Value.to_int (Option.get r.Interp.Eval.ret))
+
+let test_parse_else_if_chain () =
+  let src =
+    {|int main() {
+  int x;
+  int y;
+  x = 2;
+  if (x == 1) { y = 10; } else if (x == 2) { y = 20; } else { y = 30; }
+  return y;
+}|}
+  in
+  let r = Interp.Eval.run (Minic.Frontend.compile src) in
+  Alcotest.(check int) "else-if" 20 (Interp.Value.to_int (Option.get r.Interp.Eval.ret))
+
+let test_typecheck_shadow_builtin () =
+  match Frontend.parse_and_check "int sqrt(int x) { return x; }\nint main() { return 0; }" with
+  | exception Frontend.Error (Frontend.Type_error _) -> ()
+  | _ -> Alcotest.fail "expected error on shadowing a builtin"
+
+let test_typecheck_duplicate_function () =
+  match
+    Frontend.parse_and_check
+      "int f() { return 1; }\nint f() { return 2; }\nint main() { return 0; }"
+  with
+  | exception Frontend.Error (Frontend.Type_error _) -> ()
+  | _ -> Alcotest.fail "expected error on duplicate function"
+
+let test_typecheck_array_shape_mismatch () =
+  match
+    Frontend.parse_and_check
+      {|float a[8];
+void g(float b[16]) { b[0] = 1.0; }
+int main() { g(a); return 0; }|}
+  with
+  | exception Frontend.Error (Frontend.Type_error _) -> ()
+  | _ -> Alcotest.fail "expected error on array shape mismatch"
+
+let test_inline_chain () =
+  (* f calls g; both inline transitively *)
+  let src =
+    {|
+int g(int x) { return x * 2; }
+int f(int x) { int t; t = g(x); return t + 1; }
+int main() { int y; y = f(10); return y; }
+|}
+  in
+  let r = Interp.Eval.run (Frontend.compile src) in
+  Alcotest.(check int) "nested inline" 21
+    (Interp.Value.to_int (Option.get r.Interp.Eval.ret))
+
+let test_inline_two_sites_disjoint () =
+  (* two calls to the same function get disjoint locals *)
+  let src =
+    {|
+int f(int x) { int t; t = x + 1; return t; }
+int main() { int a; int b; a = f(1); b = f(10); return a * 100 + b; }
+|}
+  in
+  let r = Interp.Eval.run (Frontend.compile src) in
+  Alcotest.(check int) "disjoint inline sites" 211
+    (Interp.Value.to_int (Option.get r.Interp.Eval.ret))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "lexer operators" `Quick test_lexer_operators;
+      Alcotest.test_case "parser cast erasure" `Quick test_parser_cast_erasure;
+      Alcotest.test_case "parser unary chain" `Quick test_parser_unary_chain;
+      Alcotest.test_case "parser empty for header" `Quick
+        test_parser_empty_for_header;
+      Alcotest.test_case "else-if chain" `Quick test_parse_else_if_chain;
+      Alcotest.test_case "typecheck shadow builtin" `Quick
+        test_typecheck_shadow_builtin;
+      Alcotest.test_case "typecheck duplicate function" `Quick
+        test_typecheck_duplicate_function;
+      Alcotest.test_case "typecheck array shape" `Quick
+        test_typecheck_array_shape_mismatch;
+      Alcotest.test_case "inline chain" `Quick test_inline_chain;
+      Alcotest.test_case "inline disjoint sites" `Quick
+        test_inline_two_sites_disjoint;
+    ]

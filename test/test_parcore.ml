@@ -1,0 +1,409 @@
+(* Tests for the parallelizer core: the ILP formulation, loop splitting,
+   Algorithm 1, candidate management, implementation, and end-to-end
+   speedup sanity on small programs. *)
+
+open Parcore
+
+let pf_a = Platform.Presets.platform_a_accel
+let pf_a_slow = Platform.Presets.platform_a_slow
+let cfg = Config.fast
+
+let run ?(platform = pf_a) ?(approach = Parallelize.Heterogeneous) src =
+  Parallelize.run ~cfg ~approach ~platform src
+
+(* a program with two independent heavy loops and a cheap tail *)
+let two_independent =
+  {|
+float a[512]; float b[512];
+int main() {
+  int i;
+  for (i = 0; i < 512; i = i + 1) { a[i] = sin(i * 0.01) * 2.0; }
+  for (i = 0; i < 512; i = i + 1) { b[i] = cos(i * 0.02) + 1.0; }
+  return (int) (a[5] + b[7]);
+}
+|}
+
+(* strictly sequential dependence chain *)
+let chain_src =
+  {|
+int main() {
+  int i;
+  float s;
+  s = 1.0;
+  for (i = 0; i < 2000; i = i + 1) { s = s + sqrt(s) * 0.001; }
+  return (int) (s * 100.0);
+}
+|}
+
+let doall_src =
+  {|
+float a[1024]; float b[1024];
+int main() {
+  int i;
+  for (i = 0; i < 1024; i = i + 1) {
+    b[i] = sqrt(fabs(sin(i * 0.01))) + a[i] * 2.0;
+  }
+  return (int) b[3];
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Solution candidates                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mk_cand ?(node_id = 0) ?(cls = 0) ~time ~units () =
+  {
+    Solution.node_id;
+    main_class = cls;
+    time_us = time;
+    extra_units = [| units |];
+    kind = Solution.Seq [||];
+  }
+
+let test_prune_pareto () =
+  let cands =
+    [
+      mk_cand ~time:100. ~units:0 ();
+      mk_cand ~time:60. ~units:1 ();
+      mk_cand ~time:80. ~units:2 ();
+      (* dominated: slower and more units *)
+      mk_cand ~time:30. ~units:3 ();
+    ]
+  in
+  let kept = Solution.prune ~max_keep:4 cands in
+  Alcotest.(check int) "dominated dropped" 3 (List.length kept);
+  Alcotest.(check bool) "keeps the fastest" true
+    (List.exists (fun s -> s.Solution.time_us = 30.) kept);
+  Alcotest.(check bool) "keeps the cheapest" true
+    (List.exists (fun s -> s.Solution.time_us = 100.) kept)
+
+let test_prune_cap () =
+  let cands =
+    List.init 10 (fun i ->
+        mk_cand ~time:(100. -. (10. *. float_of_int i)) ~units:i ())
+  in
+  let kept = Solution.prune ~max_keep:3 cands in
+  Alcotest.(check int) "capped" 3 (List.length kept);
+  Alcotest.(check bool) "extremes kept" true
+    (List.exists (fun s -> s.Solution.time_us = 100.) kept
+    && List.exists (fun s -> s.Solution.time_us = 10.) kept)
+
+let test_total_units () =
+  let s = mk_cand ~time:1. ~units:3 () in
+  Alcotest.(check int) "units = 1 + extras" 4 (Solution.total_units s)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end behaviour                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_independent_loops_parallelize () =
+  let out = run two_independent in
+  let s = Parallelize.speedup out in
+  Alcotest.(check bool) "speedup > 2" true (s > 2.)
+
+let test_chain_no_slowdown () =
+  (* a sequential chain must never be "parallelized" into a slowdown *)
+  let out = run chain_src in
+  let s = Parallelize.speedup out in
+  Alcotest.(check bool) "no slowdown" true (s >= 0.99)
+
+let test_chain_offloads_to_fast_core () =
+  (* scenario I: the chain can move to a 5x faster core *)
+  let out = run chain_src in
+  let s = Parallelize.speedup out in
+  Alcotest.(check bool) "offloaded" true (s > 2.)
+
+let test_doall_split_near_theoretical () =
+  let out = run doall_src in
+  let s = Parallelize.speedup out in
+  let max_s = Platform.Desc.theoretical_speedup pf_a in
+  Alcotest.(check bool) "substantial speedup" true (s > 0.5 *. max_s);
+  Alcotest.(check bool) "below theoretical" true (s <= max_s +. 0.01)
+
+let test_hetero_beats_homo () =
+  let het = run doall_src in
+  let hom = run ~approach:Parallelize.Homogeneous doall_src in
+  Alcotest.(check bool) "hetero >= homo" true
+    (Parallelize.speedup het >= Parallelize.speedup hom -. 0.05)
+
+let test_homo_never_exceeds_hetero_theory () =
+  let hom = run ~approach:Parallelize.Homogeneous doall_src in
+  Alcotest.(check bool) "homo below theoretical" true
+    (Parallelize.speedup hom <= Platform.Desc.theoretical_speedup pf_a)
+
+let test_scenario2_hetero_no_slowdown () =
+  (* the paper's claim 4: the heterogeneous approach never produced
+     speedups below 1 *)
+  List.iter
+    (fun src ->
+      let out = run ~platform:pf_a_slow src in
+      Alcotest.(check bool) "no slowdown in scenario II" true
+        (Parallelize.speedup out >= 0.99))
+    [ two_independent; chain_src; doall_src ]
+
+let test_determinism () =
+  let o1 = run doall_src and o2 = run doall_src in
+  Alcotest.(check bool) "same modelled time" true
+    (o1.Parallelize.algo.Algorithm.root.Solution.time_us
+    = o2.Parallelize.algo.Algorithm.root.Solution.time_us);
+  Alcotest.(check bool) "same simulated speedup" true
+    (Parallelize.speedup o1 = Parallelize.speedup o2)
+
+(* ------------------------------------------------------------------ *)
+(* Structural validity of solutions                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec check_solution pf (node : Htg.Node.t) (s : Solution.t) =
+  let nclasses = Platform.Desc.num_classes pf in
+  Alcotest.(check int) "node id matches" node.Htg.Node.id s.Solution.node_id;
+  Alcotest.(check bool) "main class valid" true
+    (s.Solution.main_class >= 0 && s.Solution.main_class < nclasses);
+  (match s.Solution.kind with
+  | Solution.Seq _ -> ()
+  | Solution.Split sp ->
+      let total = Array.fold_left ( +. ) 0. sp.Solution.chunk_iters in
+      (match node.Htg.Node.kind with
+      | Htg.Node.Loop l ->
+          Alcotest.(check bool) "chunks sum to iterations" true
+            (Float.abs (total -. l.iters_per_entry) < 1e-6)
+      | _ -> Alcotest.fail "split on a non-loop node");
+      Array.iteri
+        (fun t n ->
+          if n > 0. then
+            Alcotest.(check bool) "chunk class valid" true
+              (sp.Solution.split_class.(t) >= 0
+              && sp.Solution.split_class.(t) < nclasses))
+        sp.Solution.chunk_iters
+  | Solution.Pipeline p ->
+      Array.iteri
+        (fun n st ->
+          ignore n;
+          Alcotest.(check bool) "stage in range" true
+            (st >= 0 && st < Array.length p.Solution.stage_class);
+          Alcotest.(check bool) "assigned stage is used" true
+            (p.Solution.stage_class.(st) >= 0))
+        p.Solution.stage_of;
+      (* stages are contiguous in body order *)
+      let prev = ref 0 in
+      Array.iter
+        (fun st ->
+          Alcotest.(check bool) "stages monotone" true (st >= !prev);
+          prev := st)
+        p.Solution.stage_of
+  | Solution.Par p ->
+      Array.iteri
+        (fun n t ->
+          Alcotest.(check bool) "assignment in range" true
+            (t >= 0 && t < Array.length p.Solution.task_class);
+          Alcotest.(check bool) "assigned task is used" true
+            (p.Solution.task_class.(t) >= 0);
+          check_solution pf node.Htg.Node.children.(n) p.Solution.child_choice.(n))
+        p.Solution.assignment);
+  (* unit accounting: total units within the platform *)
+  Alcotest.(check bool) "units within platform" true
+    (Solution.total_units s <= Platform.Desc.total_units pf)
+
+let test_solution_validity () =
+  List.iter
+    (fun src ->
+      let out = run src in
+      check_solution pf_a out.Parallelize.htg
+        out.Parallelize.algo.Algorithm.root)
+    [ two_independent; chain_src; doall_src ]
+
+let test_per_class_unit_budget () =
+  (* extra units per class never exceed what the platform has *)
+  let out = run two_independent in
+  let units = Platform.Desc.units_per_class pf_a in
+  let root = out.Parallelize.algo.Algorithm.root in
+  Array.iteri
+    (fun c extra ->
+      let avail =
+        units.(c) - if c = pf_a.Platform.Desc.main_class then 1 else 0
+      in
+      Alcotest.(check bool) "per-class budget" true (extra <= avail))
+    root.Solution.extra_units
+
+let test_sets_always_have_seq () =
+  let out = run two_independent in
+  Hashtbl.iter
+    (fun _ set ->
+      Array.iter
+        (fun cands ->
+          Alcotest.(check bool) "sequential candidate present" true
+            (List.exists Solution.is_sequential cands))
+        set)
+    out.Parallelize.algo.Algorithm.sets
+
+(* ------------------------------------------------------------------ *)
+(* Stats / Table I behaviour                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_hetero_more_ilps_than_homo () =
+  let het = run two_independent in
+  let hom = run ~approach:Parallelize.Homogeneous two_independent in
+  let hs = het.Parallelize.algo.Algorithm.stats in
+  let ms = hom.Parallelize.algo.Algorithm.stats in
+  Alcotest.(check bool) "more ILPs" true (hs.Ilp.Stats.ilps > ms.Ilp.Stats.ilps);
+  Alcotest.(check bool) "more variables" true (hs.Ilp.Stats.vars > ms.Ilp.Stats.vars);
+  Alcotest.(check bool) "more constraints" true
+    (hs.Ilp.Stats.constrs > ms.Ilp.Stats.constrs)
+
+(* ------------------------------------------------------------------ *)
+(* Annotation output                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_annotation_mentions_classes () =
+  let out = run doall_src in
+  let spec =
+    Annotate.specification pf_a out.Parallelize.htg
+      out.Parallelize.algo.Algorithm.root
+  in
+  Alcotest.(check bool) "mentions a fast class" true
+    (contains_substring spec "arm500")
+
+let test_premapping_nonempty_for_parallel () =
+  let out = run doall_src in
+  let pm =
+    Annotate.pre_mapping pf_a out.Parallelize.htg
+      out.Parallelize.algo.Algorithm.root
+  in
+  Alcotest.(check bool) "pre-mapping has entries" true (List.length pm > 0)
+
+let test_ablation_no_split_weaker () =
+  let src = doall_src in
+  let full = run src in
+  let nosplit =
+    Parallelize.run
+      ~cfg:{ cfg with Config.enable_loop_split = false }
+      ~approach:Parallelize.Heterogeneous ~platform:pf_a src
+  in
+  Alcotest.(check bool) "loop splitting contributes" true
+    (Parallelize.speedup full >= Parallelize.speedup nosplit -. 0.05)
+
+let suite =
+  [
+    Alcotest.test_case "prune pareto" `Quick test_prune_pareto;
+    Alcotest.test_case "prune cap" `Quick test_prune_cap;
+    Alcotest.test_case "total units" `Quick test_total_units;
+    Alcotest.test_case "independent loops parallelize" `Slow
+      test_independent_loops_parallelize;
+    Alcotest.test_case "chain no slowdown" `Slow test_chain_no_slowdown;
+    Alcotest.test_case "chain offloads" `Slow test_chain_offloads_to_fast_core;
+    Alcotest.test_case "doall split near theoretical" `Slow
+      test_doall_split_near_theoretical;
+    Alcotest.test_case "hetero beats homo" `Slow test_hetero_beats_homo;
+    Alcotest.test_case "homo below theoretical" `Slow
+      test_homo_never_exceeds_hetero_theory;
+    Alcotest.test_case "scenario II no slowdown" `Slow
+      test_scenario2_hetero_no_slowdown;
+    Alcotest.test_case "determinism" `Slow test_determinism;
+    Alcotest.test_case "solution validity" `Slow test_solution_validity;
+    Alcotest.test_case "per-class unit budget" `Slow test_per_class_unit_budget;
+    Alcotest.test_case "sets always have seq" `Slow test_sets_always_have_seq;
+    Alcotest.test_case "hetero more ILPs" `Slow test_hetero_more_ilps_than_homo;
+    Alcotest.test_case "annotation mentions classes" `Slow
+      test_annotation_mentions_classes;
+    Alcotest.test_case "pre-mapping nonempty" `Slow
+      test_premapping_nonempty_for_parallel;
+    Alcotest.test_case "ablation: no-split weaker" `Slow
+      test_ablation_no_split_weaker;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline extension (paper future work, opt-in)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* three chained filter stages, each with its own carried state: not
+   DOALL, not task-parallel, but perfectly pipelineable *)
+let pipeline_src =
+  {|
+float x[2048]; float y1[2048]; float y2[2048]; float out[2048];
+int main() {
+  int n;
+  float s1;
+  float s2;
+  float s3;
+  s1 = 0.1;
+  s2 = 0.2;
+  s3 = 0.3;
+  for (n = 0; n < 2048; n = n + 1) { x[n] = sin(n * 0.01); }
+  for (n = 0; n < 2048; n = n + 1) {
+    s1 = s1 * 0.9 + x[n];
+    y1[n] = sqrt(fabs(s1)) + s1 * s1;
+    s2 = s2 * 0.8 + y1[n];
+    y2[n] = sin(s2) + cos(s2) * 0.5;
+    s3 = s3 * 0.7 + y2[n];
+    out[n] = s3 * 1.01 + y2[n] * 0.25;
+  }
+  return (int) (out[100] * 100.0);
+}
+|}
+
+(* pipeline ILPs need the default solver budget; the fast profile's
+   limits stop at the single-stage warm start *)
+let pipe_cfg = { Config.default with Config.enable_pipeline = true }
+
+let test_pipeline_candidate_found () =
+  let out =
+    Parallelize.run ~cfg:pipe_cfg ~approach:Parallelize.Heterogeneous
+      ~platform:Platform.Presets.platform_b_accel pipeline_src
+  in
+  (* the chosen solution tree must contain a Pipeline somewhere *)
+  let rec has_pipeline (s : Solution.t) =
+    match s.Solution.kind with
+    | Solution.Pipeline _ -> true
+    | Solution.Seq cs -> Array.exists has_pipeline cs
+    | Solution.Par p -> Array.exists has_pipeline p.Solution.child_choice
+    | Solution.Split _ -> false
+  in
+  Alcotest.(check bool) "pipeline used" true
+    (has_pipeline out.Parallelize.algo.Algorithm.root);
+  Alcotest.(check bool) "pipeline speeds up" true
+    (Parallelize.speedup out > 1.5)
+
+let test_pipeline_off_by_default () =
+  Alcotest.(check bool) "flag off" false
+    Config.default.Config.enable_pipeline;
+  (* without the flag, the same program gets no Pipeline candidates *)
+  let out =
+    Parallelize.run ~cfg ~approach:Parallelize.Heterogeneous
+      ~platform:Platform.Presets.platform_b_accel pipeline_src
+  in
+  let rec has_pipeline (s : Solution.t) =
+    match s.Solution.kind with
+    | Solution.Pipeline _ -> true
+    | Solution.Seq cs -> Array.exists has_pipeline cs
+    | Solution.Par p -> Array.exists has_pipeline p.Solution.child_choice
+    | Solution.Split _ -> false
+  in
+  Alcotest.(check bool) "no pipeline without the flag" false
+    (has_pipeline out.Parallelize.algo.Algorithm.root)
+
+let test_pipeline_validity () =
+  let out =
+    Parallelize.run ~cfg:pipe_cfg ~approach:Parallelize.Heterogeneous
+      ~platform:Platform.Presets.platform_b_accel pipeline_src
+  in
+  check_solution Platform.Presets.platform_b_accel out.Parallelize.htg
+    out.Parallelize.algo.Algorithm.root;
+  (* realization conserves cycles *)
+  let total = out.Parallelize.htg.Htg.Node.total_cycles in
+  let realized = Sim.Prog.total_cycles out.Parallelize.program in
+  Alcotest.(check bool) "cycles conserved" true
+    (Float.abs (realized -. total) <= (1e-6 *. total) +. 1.)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "pipeline candidate found" `Slow
+        test_pipeline_candidate_found;
+      Alcotest.test_case "pipeline off by default" `Slow
+        test_pipeline_off_by_default;
+      Alcotest.test_case "pipeline validity" `Slow test_pipeline_validity;
+    ]

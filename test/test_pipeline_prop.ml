@@ -1,0 +1,168 @@
+(* Property tests over randomly generated Mini-C programs: the frontend
+   round-trips, interpretation is deterministic, HTG construction
+   conserves profiled work, realization conserves cycles, and simulated
+   speedups stay within theoretical bounds. *)
+
+let pf = Platform.Presets.platform_a_accel
+
+(* ------------------------------------------------------------------ *)
+(* Random program generator                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Generates programs over float arrays a,b,c[N] and scalars s,t with a
+   random sequence of statement templates.  All programs are type-correct,
+   terminate, and avoid division. *)
+let gen_program rand =
+  let irange lo hi = lo + Random.State.int rand (hi - lo + 1) in
+  let n = 32 in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "float a[%d]; float b[%d]; float c[%d];\n" n n n);
+  Buffer.add_string buf "int main() {\n  int i;\n  float s;\n  float t;\n";
+  Buffer.add_string buf "  s = 1.0;\n  t = 2.0;\n";
+  let arr () = List.nth [ "a"; "b"; "c" ] (irange 0 2) in
+  let expr_of i_ok =
+    (* small random arithmetic expression; [i] is only in scope (and in
+       bounds) inside loop bodies *)
+    let idx = if i_ok then "i" else string_of_int (irange 0 (n - 1)) in
+    let atoms =
+      [ "s"; "t"; "0.5"; "1.25"; Printf.sprintf "%s[%s]" (arr ()) idx ]
+      @ (if i_ok then [ "i * 0.1" ] else [ "3.0" ])
+    in
+    let atom () = List.nth atoms (irange 0 (List.length atoms - 1)) in
+    match irange 0 2 with
+    | 0 -> Printf.sprintf "%s + %s" (atom ()) (atom ())
+    | 1 -> Printf.sprintf "%s * %s" (atom ()) (atom ())
+    | _ -> Printf.sprintf "%s - %s * 0.25" (atom ()) (atom ())
+  in
+  let n_stmts = irange 3 7 in
+  for _k = 1 to n_stmts do
+    match irange 0 4 with
+    | 0 ->
+        (* elementwise DOALL loop *)
+        let dst = arr () in
+        Buffer.add_string buf
+          (Printf.sprintf "  for (i = 0; i < %d; i = i + 1) { %s[i] = %s; }\n" n
+             dst (expr_of true))
+    | 1 ->
+        (* reduction loop (sequential) *)
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  for (i = 0; i < %d; i = i + 1) { s = s + %s[i] * 0.01; }\n" n
+             (arr ()))
+    | 2 ->
+        (* scalar statement *)
+        Buffer.add_string buf (Printf.sprintf "  t = %s;\n" (expr_of false))
+    | 3 ->
+        (* branch *)
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  if (s > t) {\n    s = s * 0.5;\n  } else {\n    t = t + %s;\n  }\n"
+             (expr_of false))
+    | _ ->
+        (* stencil into a distinct array *)
+        let src = arr () in
+        let dst = arr () in
+        if String.equal src dst then
+          Buffer.add_string buf
+            (Printf.sprintf "  for (i = 0; i < %d; i = i + 1) { %s[i] = %s[i] * 1.1; }\n"
+               n dst src)
+        else
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  for (i = 1; i < %d; i = i + 1) { %s[i] = %s[i - 1] + %s[i]; }\n"
+               n dst src src)
+  done;
+  Buffer.add_string buf "  return (int) (s * 10.0 + t);\n}\n";
+  Buffer.contents buf
+
+let src_arb =
+  QCheck.make ~print:(fun s -> s) gen_program
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let compiles_and_roundtrips =
+  QCheck.Test.make ~count:40 ~name:"random programs compile and round-trip"
+    src_arb (fun src ->
+      let prog = Minic.Frontend.compile src in
+      let printed = Minic.Pretty.to_string prog in
+      let prog2 = Minic.Frontend.compile printed in
+      let r1 = Interp.Eval.run prog and r2 = Interp.Eval.run prog2 in
+      let v1 = Option.map Interp.Value.to_int r1.Interp.Eval.ret in
+      let v2 = Option.map Interp.Value.to_int r2.Interp.Eval.ret in
+      v1 = v2
+      && r1.Interp.Eval.profile.Interp.Profile.total_work
+         = r2.Interp.Eval.profile.Interp.Profile.total_work)
+
+let htg_conserves_work =
+  QCheck.Test.make ~count:40 ~name:"HTG conserves profiled work" src_arb
+    (fun src ->
+      let prog = Minic.Frontend.compile src in
+      let r = Interp.Eval.run prog in
+      let htg = Htg.Build.build prog r.Interp.Eval.profile in
+      let total = r.Interp.Eval.profile.Interp.Profile.total_work in
+      Float.abs (htg.Htg.Node.total_cycles -. total) <= (1e-6 *. total) +. 1e-6)
+
+let edges_forward_and_conflicts_valid =
+  QCheck.Test.make ~count:40 ~name:"HTG edges forward, conflicts valid" src_arb
+    (fun src ->
+      let prog = Minic.Frontend.compile src in
+      let r = Interp.Eval.run prog in
+      let htg = Htg.Build.build prog r.Interp.Eval.profile in
+      let ok = ref true in
+      let rec check (node : Htg.Node.t) =
+        List.iter
+          (fun (e : Htg.Node.edge) ->
+            match (e.Htg.Node.src, e.Htg.Node.dst) with
+            | Htg.Node.EChild i, Htg.Node.EChild j -> if i >= j then ok := false
+            | _ -> ())
+          node.Htg.Node.edges;
+        List.iter
+          (fun (x, y) ->
+            let k = Array.length node.Htg.Node.children in
+            if x < 0 || y < 0 || x >= k || y >= k then ok := false)
+          node.Htg.Node.conflicts;
+        Array.iter check node.Htg.Node.children
+      in
+      check htg;
+      !ok)
+
+let tiny_cfg =
+  {
+    Parcore.Config.fast with
+    Parcore.Config.ilp_time_limit_s = 0.2;
+    ilp_node_limit = 200;
+  }
+
+let realization_conserves_cycles =
+  QCheck.Test.make ~count:12 ~name:"realization conserves total cycles" src_arb
+    (fun src ->
+      let out =
+        Parcore.Parallelize.run ~cfg:tiny_cfg
+          ~approach:Parcore.Parallelize.Heterogeneous ~platform:pf src
+      in
+      let total = out.Parcore.Parallelize.htg.Htg.Node.total_cycles in
+      let realized = Sim.Prog.total_cycles out.Parcore.Parallelize.program in
+      Float.abs (realized -. total) <= (1e-6 *. total) +. 1.)
+
+let speedup_within_bounds =
+  QCheck.Test.make ~count:12 ~name:"speedup within theoretical bounds" src_arb
+    (fun src ->
+      let out =
+        Parcore.Parallelize.run ~cfg:tiny_cfg
+          ~approach:Parcore.Parallelize.Heterogeneous ~platform:pf src
+      in
+      let s = Parcore.Parallelize.speedup out in
+      Float.is_finite s && s > 0.
+      && s <= Platform.Desc.theoretical_speedup pf +. 0.01)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest compiles_and_roundtrips;
+    QCheck_alcotest.to_alcotest htg_conserves_work;
+    QCheck_alcotest.to_alcotest edges_forward_and_conflicts_valid;
+    QCheck_alcotest.to_alcotest realization_conserves_cycles;
+    QCheck_alcotest.to_alcotest speedup_within_bounds;
+  ]

@@ -1,0 +1,144 @@
+(* Tests for platform descriptions: presets, theoretical speedups, the
+   homogeneous view, and the textual parser round-trip. *)
+
+open Platform
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let test_theoretical_a () =
+  (* (1*100 + 1*250 + 2*500)/100 = 13.5 and /500 = 2.7, as in the paper *)
+  Alcotest.(check bool) "13.5x" true
+    (feq (Desc.theoretical_speedup Presets.platform_a_accel) 13.5);
+  Alcotest.(check bool) "2.7x" true
+    (feq (Desc.theoretical_speedup Presets.platform_a_slow) 2.7)
+
+let test_theoretical_b () =
+  Alcotest.(check bool) "7x" true
+    (feq (Desc.theoretical_speedup Presets.platform_b_accel) 7.0);
+  Alcotest.(check bool) "2.8x" true
+    (feq (Desc.theoretical_speedup Presets.platform_b_slow) 2.8)
+
+let test_time_us () =
+  let p = Presets.platform_a_accel in
+  (* 1000 cycles at 100 MHz = 10 us; at 500 MHz = 2 us *)
+  Alcotest.(check bool) "100MHz" true (feq (Desc.time_us p ~cls:0 1000.) 10.);
+  Alcotest.(check bool) "500MHz" true (feq (Desc.time_us p ~cls:2 1000.) 2.)
+
+let test_homogeneous_view () =
+  let h = Desc.homogeneous_view Presets.platform_a_accel in
+  Alcotest.(check int) "one class" 1 (Desc.num_classes h);
+  Alcotest.(check int) "all units merged" 4 (Desc.total_units h);
+  (* homogeneous view runs at the main class's speed *)
+  Alcotest.(check bool) "main speed" true
+    (feq (Proc_class.speed (Desc.main h)) 100.)
+
+let test_total_units () =
+  Alcotest.(check int) "platform A units" 4
+    (Desc.total_units Presets.platform_a_accel);
+  Alcotest.(check int) "biglittle units" 8 (Desc.total_units Presets.biglittle)
+
+let test_comm_cost () =
+  let c = Comm.make ~startup_us:2.0 ~per_byte_us:0.01 in
+  Alcotest.(check bool) "transfer" true (feq (Comm.transfer_us c 100) 3.0)
+
+let test_class_index () =
+  let p = Presets.platform_a_accel in
+  Alcotest.(check (option int)) "arm250" (Some 1) (Desc.class_index p "arm250");
+  Alcotest.(check (option int)) "missing" None (Desc.class_index p "nope")
+
+let test_invalid_platform () =
+  (match
+     Desc.make ~name:"bad" ~classes:[] ~main_class:0 ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected invalid_arg on empty classes");
+  match
+    Desc.make ~name:"bad"
+      ~classes:[ Proc_class.make ~name:"c" ~freq_mhz:100. ~count:1 () ]
+      ~main_class:3 ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected invalid_arg on bad main_class"
+
+let test_parse_roundtrip () =
+  let p = Presets.platform_b_accel in
+  let p2 = Parse.of_string (Parse.to_string p) in
+  Alcotest.(check int) "classes" (Desc.num_classes p) (Desc.num_classes p2);
+  Alcotest.(check bool) "theoretical speedup" true
+    (feq (Desc.theoretical_speedup p) (Desc.theoretical_speedup p2));
+  Alcotest.(check int) "main class" p.Desc.main_class p2.Desc.main_class
+
+let test_parse_basic () =
+  let p =
+    Parse.of_string
+      "platform t\n# comment\nclass little freq 1000 cpi 1.6 count 4\nclass big freq 1800 count 4 main\nbus startup 2.0 per_byte 0.005\ntco 1.5\n"
+  in
+  Alcotest.(check int) "classes" 2 (Desc.num_classes p);
+  Alcotest.(check int) "main" 1 p.Desc.main_class;
+  Alcotest.(check bool) "tco" true (feq p.Desc.tco_us 1.5);
+  Alcotest.(check bool) "cpi" true (feq (Desc.proc_class p 0).Proc_class.cpi 1.6)
+
+let test_parse_errors () =
+  let bad s =
+    match Parse.of_string s with
+    | exception Parse.Error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  bad "class a freq 100 count 1\n";
+  (* no main *)
+  bad "class a freq 100 main\nclass b freq 200 main\n";
+  (* two mains *)
+  bad "clazz a\n";
+  bad "class a count 1 main\n" (* missing freq *)
+
+let suite =
+  [
+    Alcotest.test_case "theoretical speedup A" `Quick test_theoretical_a;
+    Alcotest.test_case "theoretical speedup B" `Quick test_theoretical_b;
+    Alcotest.test_case "time scaling" `Quick test_time_us;
+    Alcotest.test_case "homogeneous view" `Quick test_homogeneous_view;
+    Alcotest.test_case "total units" `Quick test_total_units;
+    Alcotest.test_case "comm cost" `Quick test_comm_cost;
+    Alcotest.test_case "class index" `Quick test_class_index;
+    Alcotest.test_case "invalid platforms" `Quick test_invalid_platform;
+    Alcotest.test_case "parse round trip" `Quick test_parse_roundtrip;
+    Alcotest.test_case "parse basic" `Quick test_parse_basic;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Energy model                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_power_defaults () =
+  (* default power follows the DVFS-style curve *)
+  let c100 = Proc_class.make ~name:"c" ~freq_mhz:100. ~count:1 () in
+  let c400 = Proc_class.make ~name:"d" ~freq_mhz:400. ~count:1 () in
+  Alcotest.(check bool) "100 MHz = 20 mW" true (feq c100.Proc_class.power_mw 20.);
+  Alcotest.(check bool) "superlinear in frequency" true
+    (c400.Proc_class.power_mw > 4. *. c100.Proc_class.power_mw)
+
+let test_power_override () =
+  let c = Proc_class.make ~name:"c" ~freq_mhz:100. ~count:1 ~power_mw:55. () in
+  Alcotest.(check bool) "explicit power" true (feq c.Proc_class.power_mw 55.);
+  Alcotest.(check bool) "energy" true (feq (Proc_class.energy_uj c 2000.) 110.)
+
+let test_parse_power_roundtrip () =
+  let p =
+    Parse.of_string
+      "platform t\nclass a freq 100 count 1 power 42 main\nclass b freq 500 count 3\n"
+  in
+  Alcotest.(check bool) "power parsed" true
+    (feq (Desc.proc_class p 0).Proc_class.power_mw 42.);
+  let p2 = Parse.of_string (Parse.to_string p) in
+  Alcotest.(check bool) "power survives round trip" true
+    (feq (Desc.proc_class p2 0).Proc_class.power_mw 42.)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "power defaults" `Quick test_power_defaults;
+      Alcotest.test_case "power override" `Quick test_power_override;
+      Alcotest.test_case "power parse round trip" `Quick
+        test_parse_power_roundtrip;
+    ]

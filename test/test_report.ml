@@ -1,0 +1,169 @@
+(* Tests for the reporting layer: table/bar-chart rendering and the
+   experiment driver (memoization, figure structure) on a tiny ad-hoc
+   benchmark so the test stays fast. *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let s =
+    Report.Table.render
+      [ Report.Table.col ~align:Report.Table.Left "name"; Report.Table.col "v" ]
+      [ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  Alcotest.(check bool) "has header" true (contains s "name");
+  Alcotest.(check bool) "has data" true (contains s "alpha");
+  (* all lines of the box have equal width *)
+  let widths =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> String.length l > 0)
+    |> List.map String.length
+  in
+  Alcotest.(check bool) "rectangular" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_fmt_int_separators () =
+  Alcotest.(check string) "thousands" "12,686" (Report.Table.fmt_int 12686);
+  Alcotest.(check string) "small" "950" (Report.Table.fmt_int 950);
+  Alcotest.(check string) "million" "1,234,567" (Report.Table.fmt_int 1234567);
+  Alcotest.(check string) "negative" "-1,234" (Report.Table.fmt_int (-1234))
+
+let test_fmt_time () =
+  Alcotest.(check string) "mm:ss" "03:10" (Report.Table.fmt_time_mmss 190.);
+  Alcotest.(check string) "seconds" "00:08" (Report.Table.fmt_time_mmss 8.2)
+
+(* ------------------------------------------------------------------ *)
+(* Bar chart                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_barchart () =
+  let s =
+    Report.Barchart.render ~width:20 ~limit:10.
+      [
+        { Report.Barchart.label = "homo"; values = [ ("k1", 2.); ("k2", 4.) ] };
+        { Report.Barchart.label = "het"; values = [ ("k1", 8.); ("k2", 10.) ] };
+      ]
+  in
+  Alcotest.(check bool) "labels present" true
+    (contains s "homo" && contains s "het");
+  Alcotest.(check bool) "limit line" true (contains s "theoretical limit");
+  (* bar for value 10 at width 20 must be the full 20 hashes *)
+  Alcotest.(check bool) "full bar" true (contains s (String.make 20 '#'))
+
+let test_barchart_monotonic () =
+  let s =
+    Report.Barchart.render ~width:40
+      [ { Report.Barchart.label = "x"; values = [ ("a", 1.); ("b", 4.) ] } ]
+  in
+  let count_hashes line =
+    String.fold_left (fun acc c -> if c = '#' then acc + 1 else acc) 0 line
+  in
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> contains l "#")
+  in
+  match lines with
+  | [ la; lb ] ->
+      Alcotest.(check bool) "bigger value, longer bar" true
+        (count_hashes lb > count_hashes la)
+  | _ -> Alcotest.fail "expected two bars"
+
+(* ------------------------------------------------------------------ *)
+(* Experiments driver on a tiny benchmark                              *)
+(* ------------------------------------------------------------------ *)
+
+let tiny : Benchsuite.Suite.t =
+  {
+    Benchsuite.Suite.name = "tiny_test";
+    description = "tiny synthetic kernel for driver tests";
+    source =
+      {|
+float a[256]; float b[256];
+int main() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) { b[i] = sqrt(fabs(a[i])) + i * 0.5; }
+  return (int) b[10];
+}
+|};
+  }
+
+let test_driver_memoization () =
+  let ctx = Report.Experiments.create ~cfg:Parcore.Config.fast ~verbose:false () in
+  let pf = Platform.Presets.platform_b_accel in
+  let r1 = Report.Experiments.run ctx tiny pf Parcore.Parallelize.Heterogeneous in
+  let r2 = Report.Experiments.run ctx tiny pf Parcore.Parallelize.Heterogeneous in
+  Alcotest.(check bool) "memoized (same physical result)" true (r1 == r2);
+  Alcotest.(check bool) "positive speedup" true (r1.Report.Experiments.speedup > 0.)
+
+let test_driver_speedup_sane () =
+  let ctx = Report.Experiments.create ~cfg:Parcore.Config.fast ~verbose:false () in
+  let pf = Platform.Presets.platform_b_accel in
+  let het = Report.Experiments.run ctx tiny pf Parcore.Parallelize.Heterogeneous in
+  let hom = Report.Experiments.run ctx tiny pf Parcore.Parallelize.Homogeneous in
+  let maxs = Platform.Desc.theoretical_speedup pf in
+  Alcotest.(check bool) "hetero within bounds" true
+    (het.Report.Experiments.speedup >= 0.99
+    && het.Report.Experiments.speedup <= maxs +. 0.01);
+  Alcotest.(check bool) "homo within bounds" true
+    (hom.Report.Experiments.speedup > 0.
+    && hom.Report.Experiments.speedup <= maxs +. 0.01)
+
+let test_figure_rendering_shape () =
+  (* render a figure structure directly (no heavy runs) *)
+  let fig =
+    {
+      Report.Experiments.fig_id = "figX";
+      fig_title = "Figure X: test";
+      fig_platform = Platform.Presets.platform_a_accel;
+      theoretical = 13.5;
+      frows =
+        [
+          { Report.Experiments.fbench = "k1"; homo = 3.3; hetero = 8.7 };
+          { Report.Experiments.fbench = "k2"; homo = 1.0; hetero = 2.0 };
+        ];
+    }
+  in
+  let s = Report.Experiments.render_figure fig in
+  Alcotest.(check bool) "title" true (contains s "Figure X");
+  Alcotest.(check bool) "averages" true (contains s "average");
+  Alcotest.(check bool) "both benchmarks" true (contains s "k1" && contains s "k2")
+
+let test_table1_rendering_shape () =
+  let rows =
+    [
+      {
+        Report.Experiments.tbench = "demo";
+        homo_time_s = 8.;
+        homo_ilps = 22;
+        homo_vars = 6946;
+        homo_constrs = 12867;
+        het_time_s = 190.;
+        het_ilps = 93;
+        het_vars = 55965;
+        het_constrs = 80640;
+      };
+    ]
+  in
+  let s = Report.Experiments.render_table1 rows in
+  Alcotest.(check bool) "benchmark name" true (contains s "demo");
+  Alcotest.(check bool) "formatted counts" true (contains s "6,946");
+  Alcotest.(check bool) "ratio block" true (contains s "x");
+  Alcotest.(check bool) "average row" true (contains s "average")
+
+let suite =
+  [
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "fmt_int separators" `Quick test_fmt_int_separators;
+    Alcotest.test_case "fmt_time" `Quick test_fmt_time;
+    Alcotest.test_case "barchart" `Quick test_barchart;
+    Alcotest.test_case "barchart monotonic" `Quick test_barchart_monotonic;
+    Alcotest.test_case "driver memoization" `Slow test_driver_memoization;
+    Alcotest.test_case "driver speedup sane" `Slow test_driver_speedup_sane;
+    Alcotest.test_case "figure rendering" `Quick test_figure_rendering_shape;
+    Alcotest.test_case "table1 rendering" `Quick test_table1_rendering_shape;
+  ]

@@ -1,0 +1,261 @@
+(* Tests for the MPSoC simulator: time scaling, fork-join scheduling, bus
+   serialization, spawn overhead, entries multiplication, and metrics. *)
+
+open Sim
+
+let pf = Platform.Presets.platform_a_accel (* 100/250/500/500, main = 100 *)
+let feq ?(eps = 1e-6) a b = Float.abs (a -. b) <= eps
+
+let nodep = []
+
+let mk_fork ?(entries = 1.) ?(deps = nodep) tasks =
+  Prog.Fork
+    {
+      Prog.flabel = "f";
+      entries;
+      tasks = Array.of_list tasks;
+      deps;
+    }
+
+let task cls cycles = { Prog.tclass = cls; body = Prog.work cycles }
+
+let test_work_scaling () =
+  (* 1000 cycles at 100 MHz = 10 us on the main class *)
+  Alcotest.(check bool) "main class" true (feq (Engine.run pf (Prog.work 1000.)) 10.)
+
+let test_seq_sum () =
+  let p = Prog.Seq [ Prog.work 500.; Prog.work 1500. ] in
+  Alcotest.(check bool) "sum" true (feq (Engine.run pf p) 20.)
+
+let test_fork_parallel () =
+  (* task 0 on main (100 MHz), task 1 on class 2 (500 MHz), equal cycles;
+     makespan = max(main work, spawn + fast work) *)
+  let p = mk_fork [ task 0 100_000.; task 2 100_000. ] in
+  let t = Engine.run pf p in
+  (* main: 2us spawn + 1000us work; sibling: 2us ready + 200us *)
+  Alcotest.(check bool) "parallel max" true (feq t 1002.)
+
+let test_fork_single_task () =
+  let p = mk_fork [ task 0 1000. ] in
+  Alcotest.(check bool) "single task = sequential" true (feq (Engine.run pf p) 10.)
+
+let test_fork_chain_dep () =
+  (* task1 waits for task0's output (not at_start) *)
+  let deps =
+    [ { Prog.dsrc = 0; ddst = 1; bytes = 0.; transfers = 0.; at_start = false } ]
+  in
+  let p = mk_fork ~deps [ task 2 50_000.; task 2 50_000. ] in
+  (* both on 500MHz: each 100us; serialized by the dep: ~200us *)
+  let t = Engine.run pf p in
+  Alcotest.(check bool) "chained" true (t >= 200.)
+
+let test_fork_at_start_dep () =
+  let deps =
+    [ { Prog.dsrc = 0; ddst = 1; bytes = 400.; transfers = 1.; at_start = true } ]
+  in
+  let p = mk_fork ~deps [ task 2 50_000.; task 2 50_000. ] in
+  (* transfer (2 + 400*0.005 = 4us) overlaps task 0's work: makespan ~
+     max(100, 4 + 100) + spawn *)
+  let t = Engine.run pf p in
+  Alcotest.(check bool) "input distribution overlaps" true (t < 120.)
+
+let test_join_edges () =
+  let deps =
+    [ { Prog.dsrc = 1; ddst = 0; bytes = 2000.; transfers = 1.; at_start = false } ]
+  in
+  let p = mk_fork ~deps [ task 0 0.; task 2 50_000. ] in
+  (* sibling: ready 2us + 100us work; join transfer 0.5 + 2.5 = 3us *)
+  let t = Engine.run pf p in
+  Alcotest.(check bool) "join adds transfer" true (feq t 105.)
+
+let test_bus_serialization () =
+  (* two join transfers must serialize on the shared bus *)
+  let deps =
+    [
+      { Prog.dsrc = 1; ddst = 0; bytes = 20000.; transfers = 1.; at_start = false };
+      { Prog.dsrc = 2; ddst = 0; bytes = 20000.; transfers = 1.; at_start = false };
+    ]
+  in
+  let p = mk_fork ~deps [ task 0 0.; task 2 0.; task 2 0. ] in
+  let t = Engine.run pf p in
+  (* each transfer 0.5 + 25 = 25.5us; serialized >= 51us *)
+  Alcotest.(check bool) "bus serializes" true (t >= 51.)
+
+let test_entries_multiply () =
+  let p1 = mk_fork ~entries:1. [ task 2 1000. ] in
+  let p10 = mk_fork ~entries:10. [ task 2 10_000. ] in
+  (* 10 entries of a tenth-size region: same total work, same makespan *)
+  Alcotest.(check bool) "entries scale" true
+    (feq (Engine.run pf p10) (10. *. Engine.run pf p1))
+
+let test_spawn_overhead () =
+  let p2 = mk_fork [ task 0 0.; task 2 0. ] in
+  let p4 = mk_fork [ task 0 0.; task 2 0.; task 2 0.; task 1 0. ] in
+  (* spawn is sequential on the main task: more tasks, later start *)
+  Alcotest.(check bool) "more spawns, more time" true
+    (Engine.run pf p4 > Engine.run pf p2)
+
+let test_nested_fork () =
+  let inner = mk_fork [ task 2 50_000.; task 2 50_000. ] in
+  let p = mk_fork [ { Prog.tclass = 0; body = inner }; task 1 10_000. ] in
+  let t = Engine.run pf p in
+  Alcotest.(check bool) "nested forks compose" true (t > 0. && t < 1000.)
+
+let test_metrics () =
+  let deps =
+    [ { Prog.dsrc = 1; ddst = 0; bytes = 1000.; transfers = 2.; at_start = false } ]
+  in
+  let p = mk_fork ~deps [ task 0 10_000.; task 2 50_000. ] in
+  let m = Engine.run_metrics pf p in
+  Alcotest.(check bool) "busy main class" true (feq m.Engine.busy_us.(0) 100.);
+  Alcotest.(check bool) "busy fast class" true (feq m.Engine.busy_us.(2) 100.);
+  Alcotest.(check bool) "one spawn" true (feq m.Engine.spawned_tasks 1.);
+  Alcotest.(check bool) "transfer count" true (feq m.Engine.transfers 2.);
+  Alcotest.(check bool) "bytes" true (feq m.Engine.bytes 1000.);
+  Alcotest.(check bool) "bus busy" true (m.Engine.bus_busy_us > 0.)
+
+let test_makespan_bounds () =
+  (* property: max per-task time <= makespan <= serial sum + comm + spawn *)
+  let cases =
+    [
+      [ task 0 5000.; task 2 40_000.; task 1 10_000. ];
+      [ task 2 100.; task 2 100. ];
+      [ task 0 0.; task 1 70_000. ];
+    ]
+  in
+  List.iter
+    (fun tasks ->
+      let p = mk_fork tasks in
+      let t = Engine.run pf p in
+      let times =
+        List.map
+          (fun (tk : Prog.task) ->
+            Platform.Desc.time_us pf ~cls:tk.Prog.tclass
+              (Prog.total_cycles tk.Prog.body))
+          tasks
+      in
+      let lo = List.fold_left Float.max 0. times in
+      let hi =
+        List.fold_left ( +. ) 0. times
+        +. (float_of_int (List.length tasks) *. pf.Platform.Desc.tco_us)
+      in
+      Alcotest.(check bool) "lower bound" true (t >= lo -. 1e-9);
+      Alcotest.(check bool) "upper bound" true (t <= hi +. 1e-9))
+    cases
+
+let test_speedup_helper () =
+  let seq = Prog.work 100_000. in
+  let par = mk_fork [ task 2 100_000. ] in
+  (* offloaded to the 5x faster core: ~5x *)
+  let s = Engine.speedup pf ~sequential:seq ~parallel:par in
+  Alcotest.(check bool) "offload speedup" true (s > 4.5 && s <= 5.0)
+
+let test_prog_helpers () =
+  let p = mk_fork [ task 0 10.; { Prog.tclass = 1; body = mk_fork [ task 1 5. ] } ] in
+  Alcotest.(check int) "fork count" 2 (Prog.fork_count p);
+  Alcotest.(check bool) "total cycles" true (feq (Prog.total_cycles p) 15.);
+  Alcotest.(check int) "max width" 2 (Prog.max_width p)
+
+let suite =
+  [
+    Alcotest.test_case "work scaling" `Quick test_work_scaling;
+    Alcotest.test_case "seq sum" `Quick test_seq_sum;
+    Alcotest.test_case "fork parallel" `Quick test_fork_parallel;
+    Alcotest.test_case "fork single task" `Quick test_fork_single_task;
+    Alcotest.test_case "fork chain dep" `Quick test_fork_chain_dep;
+    Alcotest.test_case "at-start dep overlaps" `Quick test_fork_at_start_dep;
+    Alcotest.test_case "join edges" `Quick test_join_edges;
+    Alcotest.test_case "bus serialization" `Quick test_bus_serialization;
+    Alcotest.test_case "entries multiply" `Quick test_entries_multiply;
+    Alcotest.test_case "spawn overhead" `Quick test_spawn_overhead;
+    Alcotest.test_case "nested forks" `Quick test_nested_fork;
+    Alcotest.test_case "metrics" `Quick test_metrics;
+    Alcotest.test_case "makespan bounds" `Quick test_makespan_bounds;
+    Alcotest.test_case "speedup helper" `Quick test_speedup_helper;
+    Alcotest.test_case "prog helpers" `Quick test_prog_helpers;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Energy accounting                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_energy_accounting () =
+  (* 1000 us busy on the 100 MHz class (20 mW default power) = 20 uJ *)
+  let m = Engine.run_metrics pf (Prog.work 100_000.) in
+  Alcotest.(check bool) "sequential energy" true
+    (feq ~eps:1e-6 m.Engine.energy_uj 20.);
+  (* the same cycles on a 500 MHz core: 200 us at ~223.6 mW = ~44.7 uJ *)
+  let m2 = Engine.run_metrics pf (mk_fork [ task 2 100_000. ]) in
+  Alcotest.(check bool) "fast core burns more energy" true
+    (m2.Engine.energy_uj > 2. *. m.Engine.energy_uj)
+
+let test_energy_sums_over_classes () =
+  let p = mk_fork [ task 0 100_000.; task 2 100_000. ] in
+  let m = Engine.run_metrics pf p in
+  let expected =
+    Platform.Proc_class.energy_uj pf.Platform.Desc.classes.(0) m.Engine.busy_us.(0)
+    +. Platform.Proc_class.energy_uj pf.Platform.Desc.classes.(2)
+         m.Engine.busy_us.(2)
+  in
+  Alcotest.(check bool) "energy = sum of class energies" true
+    (feq ~eps:1e-6 m.Engine.energy_uj expected)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "energy accounting" `Quick test_energy_accounting;
+      Alcotest.test_case "energy sums over classes" `Quick
+        test_energy_sums_over_classes;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace / Gantt                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_spans () =
+  let p =
+    Prog.Seq
+      [ Prog.work ~label:"setup" 1000.; mk_fork [ task 0 5000.; task 2 5000. ] ]
+  in
+  let spans = Engine.trace pf p in
+  Alcotest.(check bool) "has spans" true (List.length spans >= 3);
+  (* setup span precedes the fork's tasks *)
+  let setup = List.find (fun s -> s.Engine.sp_label = "setup") spans in
+  Alcotest.(check bool) "setup starts at 0" true (feq setup.Engine.sp_start 0.);
+  Alcotest.(check bool) "setup is 10us" true (feq setup.Engine.sp_finish 10.);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "spans ordered" true
+        (s.Engine.sp_finish >= s.Engine.sp_start))
+    spans
+
+let test_trace_metrics_unchanged () =
+  (* tracing must not change what run_metrics reports *)
+  let p = mk_fork [ task 0 5000.; { Prog.tclass = 2; body = mk_fork [ task 2 100. ] } ] in
+  let m1 = Engine.run_metrics pf p in
+  let _ = Engine.trace pf p in
+  let m2 = Engine.run_metrics pf p in
+  Alcotest.(check bool) "makespan stable" true
+    (feq m1.Engine.makespan_us m2.Engine.makespan_us);
+  Alcotest.(check bool) "spawns counted" true (m2.Engine.spawned_tasks > 0.)
+
+let test_gantt_render () =
+  let p = mk_fork [ task 0 5000.; task 2 5000. ] in
+  let s = Engine.gantt ~width:30 pf (Engine.trace pf p) in
+  Alcotest.(check bool) "renders bars" true (String.contains s '#');
+  Alcotest.(check bool) "mentions class names" true
+    (String.length s > 0 &&
+     (let contains sub str =
+        let n = String.length str and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub str i m = sub || go (i + 1)) in
+        go 0
+      in
+      contains "arm100" s || contains "arm500" s))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "trace spans" `Quick test_trace_spans;
+      Alcotest.test_case "trace keeps metrics" `Quick test_trace_metrics_unchanged;
+      Alcotest.test_case "gantt render" `Quick test_gantt_render;
+    ]
