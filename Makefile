@@ -1,0 +1,43 @@
+# Convenience targets around dune.
+
+.PHONY: all build test test-quick bench bench-runtime execute clean fmt
+
+all: build
+
+build:
+	dune build
+
+# Tier-1: the full test suite (slow differential-validation and
+# determinism tests included).
+test:
+	dune build && dune runtest
+
+# Quick tests only (skips the Slow alcotest cases).
+test-quick:
+	dune exec test/test_main.exe -- -q
+
+# Paper evaluation artifacts (figures + Table I).
+bench:
+	dune exec bench/main.exe
+
+# Measured host execution of the partitioned benchmarks on OCaml 5
+# domains (E8).
+bench-runtime:
+	dune exec bench/main.exe -- runtime
+
+# Differential validation of every suite benchmark on two presets via
+# the CLI (the acceptance check of the execution runtime).
+execute: build
+	@for b in $$(./_build/default/bin/mpsoc_par.exe list | awk '/^benchmarks:/{f=1;next} /^$$/{f=0} f{print $$1}'); do \
+	  for p in platform-a-accel platform-b-accel; do \
+	    ./_build/default/bin/mpsoc_par.exe execute $$b -p $$p --validate \
+	      | grep -q 'validation: OK' \
+	      && echo "ok   $$b $$p" || { echo "FAIL $$b $$p"; exit 1; }; \
+	  done; \
+	done
+
+clean:
+	dune clean
+
+fmt:
+	dune fmt

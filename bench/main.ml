@@ -3,13 +3,14 @@
     With no arguments it regenerates the paper's full evaluation:
     Figures 7(a)/(b), 8(a)/(b) and Table I (experiments E1-E5 of
     DESIGN.md).  Individual artifacts can be selected by name; [ablation]
-    adds the E6 study and [micro] runs the Bechamel component
-    micro-benchmarks (E7).
+    adds the E6 study, [micro] runs the Bechamel component
+    micro-benchmarks (E7), and [runtime] measures real host execution of
+    the partitioned programs on OCaml 5 domains (E9).
 
     {v
       dune exec bench/main.exe                 # E1-E5
       dune exec bench/main.exe -- fig7a table1
-      dune exec bench/main.exe -- ablation micro
+      dune exec bench/main.exe -- ablation micro runtime
     v} *)
 
 let line () = print_endline (String.make 78 '-')
@@ -135,6 +136,45 @@ let run_micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* E9: host execution — really run the partitioned programs            *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike E1-E5 (simulated makespans on the modelled MPSoC), this
+   artifact executes each parallelized benchmark on the host's OCaml 5
+   domains and reports measured wall-clock speedup of the runtime over
+   its own single-domain execution, plus task/steal counts. *)
+let run_host_execution () =
+  print_endline
+    "E9: host execution on OCaml 5 domains (measured wall clock, not simulated)";
+  line ();
+  let pf = Platform.Presets.platform_a_accel in
+  let domains = min 4 (Domain.recommended_domain_count ()) in
+  Printf.printf "  %-16s %10s %10s %8s %7s %7s %7s\n" "benchmark" "1-dom (s)"
+    (Printf.sprintf "%d-dom (s)" domains)
+    "speedup" "tasks" "steals" "valid";
+  List.iter
+    (fun (b : Benchsuite.Suite.t) ->
+      let prog = Benchsuite.Suite.compile b in
+      let out =
+        Parcore.Parallelize.run_program ~cfg:Parcore.Config.fast
+          ~approach:Parcore.Parallelize.Heterogeneous ~platform:pf prog
+      in
+      let htg = out.Parcore.Parallelize.htg in
+      let sol = out.Parcore.Parallelize.algo.Parcore.Algorithm.root in
+      let seq = Runtime.Exec.run ~domains:1 prog htg sol in
+      let par = Runtime.Exec.run ~domains prog htg sol in
+      let valid = Runtime.Exec.ret_equal par.Runtime.Exec.ret seq.Runtime.Exec.ret in
+      let m = par.Runtime.Exec.metrics in
+      Printf.printf "  %-16s %10.3f %10.3f %7.2fx %7d %7d %7s\n"
+        b.Benchsuite.Suite.name seq.Runtime.Exec.metrics.Runtime.Metrics.wall_s
+        m.Runtime.Metrics.wall_s
+        (seq.Runtime.Exec.metrics.Runtime.Metrics.wall_s /. m.Runtime.Metrics.wall_s)
+        m.Runtime.Metrics.n_tasks_spawned m.Runtime.Metrics.n_steals
+        (if valid then "ok" else "FAIL"))
+    Benchsuite.Suite.all;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -159,10 +199,11 @@ let () =
             (Report.Experiments.(
                render_energy (energy_table ctx Platform.Presets.platform_a_accel)))
       | "micro" -> run_micro ()
+      | "runtime" -> run_host_execution ()
       | other ->
           Printf.eprintf
             "unknown experiment %S (expected fig7a fig7b fig8a fig8b table1 \
-             ablation energy micro)\n"
+             ablation energy micro runtime)\n"
             other;
           exit 1);
       line ())

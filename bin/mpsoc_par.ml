@@ -66,8 +66,19 @@ let time_limit_arg =
     & info [ "ilp-time-limit" ] ~docv:"SECONDS"
         ~doc:"Time budget per generated ILP.")
 
-let cfg_of time_limit =
-  { Parcore.Config.default with Parcore.Config.ilp_time_limit_s = time_limit }
+let max_steps_arg =
+  Arg.(
+    value
+    & opt int Parcore.Config.default.Parcore.Config.max_steps
+    & info [ "max-steps" ] ~docv:"N"
+        ~doc:"Interpreted-statement budget for profiling and execution runs.")
+
+let cfg_of time_limit max_steps =
+  {
+    Parcore.Config.default with
+    Parcore.Config.ilp_time_limit_s = time_limit;
+    max_steps;
+  }
 
 let exit_err fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
 
@@ -102,12 +113,19 @@ let parallelize_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
   in
-  let run file platform approach time_limit dot gantt =
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"Also print the ILP statistics summary (solve time, branch \
+                & bound nodes).")
+  in
+  let run file platform approach time_limit max_steps dot gantt verbose =
     let src = read_file file in
     match
       guard_runtime file (fun () ->
-          Parcore.Parallelize.run ~cfg:(cfg_of time_limit) ~approach ~platform
-            src)
+          Parcore.Parallelize.run ~cfg:(cfg_of time_limit max_steps) ~approach
+            ~platform src)
     with
     | exception Minic.Frontend.Error e ->
         exit_err "%s: %s" file (Minic.Frontend.error_to_string e)
@@ -130,6 +148,9 @@ let parallelize_cmd =
           algo.Parcore.Algorithm.stats.Ilp.Stats.ilps
           algo.Parcore.Algorithm.stats.Ilp.Stats.vars
           algo.Parcore.Algorithm.stats.Ilp.Stats.constrs;
+        if verbose then
+          Fmt.pr "ilp statistics: %a@." Ilp.Stats.pp
+            algo.Parcore.Algorithm.stats;
         Fmt.pr "simulated makespan: %.1f us (sequential %.1f us)@."
           m.Sim.Engine.makespan_us
           (Sim.Engine.run platform out.Parcore.Parallelize.seq_program);
@@ -151,8 +172,8 @@ let parallelize_cmd =
   Cmd.v
     (Cmd.info "parallelize" ~doc:"Parallelize a Mini-C source file")
     Term.(
-      const run $ file $ platform_arg $ approach_arg $ time_limit_arg $ dot_arg
-      $ gantt_arg)
+      const run $ file $ platform_arg $ approach_arg $ time_limit_arg
+      $ max_steps_arg $ dot_arg $ gantt_arg $ verbose)
 
 (* ---------------- analyze ---------------- *)
 
@@ -160,13 +181,15 @@ let analyze_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
   in
-  let run file dot =
+  let run file max_steps dot =
     let src = read_file file in
     match Minic.Frontend.compile src with
     | exception Minic.Frontend.Error e ->
         exit_err "%s: %s" file (Minic.Frontend.error_to_string e)
     | prog ->
-        let r = guard_runtime file (fun () -> Interp.Eval.run prog) in
+        let r =
+          guard_runtime file (fun () -> Interp.Eval.run ~max_steps prog)
+        in
         (match r.Interp.Eval.ret with
         | Some v -> Fmt.pr "program result: %a@." Interp.Value.pp v
         | None -> ());
@@ -182,7 +205,7 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Print the profiled hierarchical task graph")
-    Term.(const run $ file $ dot_arg)
+    Term.(const run $ file $ max_steps_arg $ dot_arg)
 
 (* ---------------- bench ---------------- *)
 
@@ -190,14 +213,14 @@ let bench_cmd =
   let bench_name =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
   in
-  let run name platform time_limit =
+  let run name platform time_limit max_steps =
     match Benchsuite.Suite.find name with
     | None ->
         exit_err "unknown benchmark %S (try: %s)" name
           (String.concat ", " Benchsuite.Suite.names)
     | Some b ->
         let ctx =
-          Report.Experiments.create ~cfg:(cfg_of time_limit) ()
+          Report.Experiments.create ~cfg:(cfg_of time_limit max_steps) ()
         in
         let homo =
           Report.Experiments.run ctx b platform Parcore.Parallelize.Homogeneous
@@ -212,7 +235,94 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Run one suite benchmark through both approaches")
-    Term.(const run $ bench_name $ platform_arg $ time_limit_arg)
+    Term.(const run $ bench_name $ platform_arg $ time_limit_arg $ max_steps_arg)
+
+(* ---------------- execute ---------------- *)
+
+let execute_cmd =
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:"A Mini-C source file or a suite benchmark name.")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "d"; "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the execution runtime (default: the \
+             machine's recommended domain count; 1 runs sequentially on \
+             the calling domain).")
+  in
+  let validate_arg =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Also run the sequential reference interpreter and check that \
+             the parallel execution computes the same result; exits \
+             non-zero on a mismatch.")
+  in
+  let run target platform approach time_limit max_steps domains validate =
+    let name, src =
+      if Sys.file_exists target then (target, read_file target)
+      else
+        match Benchsuite.Suite.find target with
+        | Some b -> (b.Benchsuite.Suite.name, b.Benchsuite.Suite.source)
+        | None ->
+            exit_err
+              "%S is neither a file nor a suite benchmark (benchmarks: %s)"
+              target
+              (String.concat ", " Benchsuite.Suite.names)
+    in
+    match Minic.Frontend.compile src with
+    | exception Minic.Frontend.Error e ->
+        exit_err "%s: %s" name (Minic.Frontend.error_to_string e)
+    | prog ->
+        let out =
+          guard_runtime name (fun () ->
+              Parcore.Parallelize.run_program ~cfg:(cfg_of time_limit max_steps)
+                ~approach ~platform prog)
+        in
+        let root_sol = out.Parcore.Parallelize.algo.Parcore.Algorithm.root in
+        Fmt.pr "platform: %a@." Platform.Desc.pp_summary platform;
+        Fmt.pr "approach: %s@." (Parcore.Parallelize.approach_name approach);
+        let exec () =
+          Runtime.Exec.run ?domains ~max_steps prog
+            out.Parcore.Parallelize.htg root_sol
+        in
+        let r = guard_runtime name exec in
+        (match r.Runtime.Exec.ret with
+        | Some v -> Fmt.pr "result: %a@." Interp.Value.pp v
+        | None -> Fmt.pr "result: (none)@.");
+        Fmt.pr "%a@." Runtime.Metrics.pp r.Runtime.Exec.metrics;
+        if validate then begin
+          let seq = guard_runtime name (fun () -> Interp.Eval.run ~max_steps prog) in
+          let ok = Runtime.Exec.ret_equal r.Runtime.Exec.ret seq.Interp.Eval.ret in
+          let pp_ret ppf = function
+            | Some v -> Interp.Value.pp ppf v
+            | None -> Fmt.string ppf "(none)"
+          in
+          if ok then
+            Fmt.pr "validation: OK (sequential result %a)@." pp_ret
+              seq.Interp.Eval.ret
+          else
+            exit_err "validation: MISMATCH (parallel %s, sequential %s)"
+              (Fmt.str "%a" pp_ret r.Runtime.Exec.ret)
+              (Fmt.str "%a" pp_ret seq.Interp.Eval.ret)
+        end
+  in
+  Cmd.v
+    (Cmd.info "execute"
+       ~doc:
+         "Really run the parallelized program on OCaml 5 domains and \
+          report wall-clock time, task and steal counts")
+    Term.(
+      const run $ target $ platform_arg $ approach_arg $ time_limit_arg
+      $ max_steps_arg $ domains_arg $ validate_arg)
 
 (* ---------------- experiments ---------------- *)
 
@@ -225,7 +335,11 @@ let experiments_cmd =
                 energy micro-free subset (default: all).")
   in
   let run which time_limit =
-    let ctx = Report.Experiments.create ~cfg:(cfg_of time_limit) () in
+    let ctx =
+      Report.Experiments.create
+        ~cfg:(cfg_of time_limit Parcore.Config.default.Parcore.Config.max_steps)
+        ()
+    in
     let all = [ "fig7a"; "fig7b"; "fig8a"; "fig8b"; "table1" ] in
     let which = if which = [] then all else which in
     List.iter
@@ -279,6 +393,13 @@ let main =
        ~doc:
          "ILP-based extraction of task-level parallelism for heterogeneous \
           MPSoCs (reproduction of Cordes et al., ICPP 2013)")
-    [ parallelize_cmd; analyze_cmd; bench_cmd; experiments_cmd; list_cmd ]
+    [
+      parallelize_cmd;
+      analyze_cmd;
+      execute_cmd;
+      bench_cmd;
+      experiments_cmd;
+      list_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

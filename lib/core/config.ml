@@ -22,6 +22,9 @@ type t = {
       (** relative optimality gap accepted by branch & bound; the paper's
           solvers run to proven optimality, but a sub-percent gap changes
           no mapping decision and keeps solve times in check *)
+  max_steps : int;
+      (** interpreted-statement budget for the profiling run (and any
+          runtime execution derived from it) *)
 }
 
 let default =
@@ -35,6 +38,7 @@ let default =
     enable_loop_split = true;
     enable_pipeline = false;
     ilp_gap_rel = 0.005;
+    max_steps = 50_000_000;
   }
 
 (** Faster, slightly less exhaustive settings for unit tests. *)

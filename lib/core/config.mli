@@ -19,6 +19,8 @@ type t = {
           paper's future-work extension, off by default *)
   ilp_gap_rel : float;
       (** relative optimality gap accepted by branch & bound *)
+  max_steps : int;
+      (** interpreted-statement budget for the profiling run *)
 }
 
 val default : t

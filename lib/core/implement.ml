@@ -204,18 +204,9 @@ and realize_split ~mode pf pool (node : Htg.Node.t) (sp : Solution.split)
 and realize_par ~mode pf pool (node : Htg.Node.t) (p : Solution.par) ~cur_cls :
     Sim.Prog.node =
   let k = Array.length node.Htg.Node.children in
-  (* compress task indices to the used ones, keeping order (task 0 first) *)
-  let used_tasks =
-    List.filter
-      (fun t ->
-        t = 0
-        || Array.exists (fun a -> a = t) p.Solution.assignment)
-      (List.init (Array.length p.Solution.task_class) (fun t -> t))
-  in
-  let index_of = Hashtbl.create 8 in
-  List.iteri (fun idx t -> Hashtbl.replace index_of t idx) used_tasks;
-  let compressed_assignment =
-    Array.map (fun t -> Hashtbl.find index_of t) p.Solution.assignment
+  (* dense partition: task slots the ILP left unused are compressed away *)
+  let part =
+    Solution.partition_of_assignment p.Solution.assignment p.Solution.task_class
   in
   let header_cycles =
     Float.max 0.
@@ -226,35 +217,33 @@ and realize_par ~mode pf pool (node : Htg.Node.t) (p : Solution.par) ~cur_cls :
   in
   let taken = ref [] in
   let tasks =
-    Array.of_list
-      (List.mapi
-         (fun idx t ->
-           let cls =
-             task_class ~mode pf pool ~cur_cls ~is_main:(idx = 0)
-               (if p.Solution.task_class.(t) >= 0 then p.Solution.task_class.(t)
-                else cur_cls)
-           in
-           if idx > 0 then taken := cls :: !taken;
-           let body_children =
-             List.filter_map
-               (fun n ->
-                 if compressed_assignment.(n) = idx then
-                   Some
-                     (realize_node ~mode pf pool node.Htg.Node.children.(n)
-                        p.Solution.child_choice.(n) ~cur_cls:cls)
-                 else None)
-               (List.init k (fun n -> n))
-           in
-           let body_children =
-             if idx = 0 && header_cycles > 0. then
-               Sim.Prog.work ~label:(node.Htg.Node.label ^ ".ctrl") header_cycles
-               :: body_children
-             else body_children
-           in
-           { Sim.Prog.tclass = cls; body = Sim.Prog.Seq body_children })
-         used_tasks)
+    Array.mapi
+      (fun idx declared ->
+        let cls =
+          task_class ~mode pf pool ~cur_cls ~is_main:(idx = 0)
+            (if declared >= 0 then declared else cur_cls)
+        in
+        if idx > 0 then taken := cls :: !taken;
+        let body_children =
+          List.filter_map
+            (fun n ->
+              if part.Solution.owner.(n) = idx then
+                Some
+                  (realize_node ~mode pf pool node.Htg.Node.children.(n)
+                     p.Solution.child_choice.(n) ~cur_cls:cls)
+              else None)
+            (List.init k (fun n -> n))
+        in
+        let body_children =
+          if idx = 0 && header_cycles > 0. then
+            Sim.Prog.work ~label:(node.Htg.Node.label ^ ".ctrl") header_cycles
+            :: body_children
+          else body_children
+        in
+        { Sim.Prog.tclass = cls; body = Sim.Prog.Seq body_children })
+      part.Solution.classes
   in
-  let deps = deps_of_edges node compressed_assignment in
+  let deps = deps_of_edges node part.Solution.owner in
   let fork =
     Sim.Prog.Fork
       {

@@ -30,7 +30,9 @@ let run_program ?(cfg = Config.default) ?profile ~approach
   let profile =
     match profile with
     | Some p -> p
-    | None -> (Interp.Eval.run prog).Interp.Eval.profile
+    | None ->
+        (Interp.Eval.run ~max_steps:cfg.Config.max_steps prog)
+          .Interp.Eval.profile
   in
   let htg = Htg.Build.build ~max_children:cfg.Config.max_children prog profile in
   let view =

@@ -68,6 +68,61 @@ let num_tasks s =
 
 let is_sequential s = match s.kind with Seq _ -> true | _ -> false
 
+(* ------------------------------------------------------------------ *)
+(* Dense task partition (runtime-consumable form)                      *)
+(* ------------------------------------------------------------------ *)
+
+(** A fork/join partition of a hierarchical node's children over a dense
+    task index space: [owner.(n)] is the task executing child [n], task 0
+    is the main task (always present), [classes.(t)] the declared
+    processor class of task [t] (may be [-1]: run on the caller's class).
+    This is the form the implement stage and the execution runtime
+    consume; it compresses away task slots the ILP left unused. *)
+type partition = { owner : int array; classes : int array }
+
+let partition_of_assignment assignment task_class : partition =
+  let used =
+    List.filter
+      (fun t -> t = 0 || Array.exists (fun a -> a = t) assignment)
+      (List.init (Array.length task_class) (fun t -> t))
+  in
+  let index_of = Hashtbl.create 8 in
+  List.iteri (fun idx t -> Hashtbl.replace index_of t idx) used;
+  {
+    owner =
+      Array.map
+        (fun t ->
+          match Hashtbl.find_opt index_of t with Some i -> i | None -> 0)
+        assignment;
+    classes = Array.of_list (List.map (fun t -> task_class.(t)) used);
+  }
+
+(** The dense partition of a [Par] or [Pipeline] candidate ([None] for
+    sequential and split candidates, which have no per-child partition). *)
+let partition s : partition option =
+  match s.kind with
+  | Seq _ | Split _ -> None
+  | Par p -> Some (partition_of_assignment p.assignment p.task_class)
+  | Pipeline p ->
+      (* stages with a class, stage 0 always materialized as the main
+         task; children of an unmaterialized stage fall back to task 0 *)
+      let used =
+        List.filter
+          (fun t -> t = 0 || p.stage_class.(t) >= 0)
+          (List.init (Array.length p.stage_class) (fun t -> t))
+      in
+      let index_of = Hashtbl.create 8 in
+      List.iteri (fun idx t -> Hashtbl.replace index_of t idx) used;
+      Some
+        {
+          owner =
+            Array.map
+              (fun t ->
+                match Hashtbl.find_opt index_of t with Some i -> i | None -> 0)
+              p.stage_of;
+          classes = Array.of_list (List.map (fun t -> p.stage_class.(t)) used);
+        }
+
 let kind_str s =
   match s.kind with
   | Seq _ -> "seq"

@@ -49,6 +49,21 @@ val total_units : t -> int
 val num_tasks : t -> int
 
 val is_sequential : t -> bool
+
+(** A fork/join partition of a hierarchical node's children over a dense
+    task index space: [owner.(n)] is the task executing child [n], task 0
+    is the main task (always present), [classes.(t)] the declared
+    processor class of task [t] ([-1]: run on the caller's class).  The
+    runtime-consumable form of a candidate's task structure. *)
+type partition = { owner : int array; classes : int array }
+
+(** The dense partition of a [Par] or [Pipeline] candidate; [None] for
+    sequential and split candidates. *)
+val partition : t -> partition option
+
+(** Dense partition of a raw (child -> task, task -> class) assignment. *)
+val partition_of_assignment : int array -> int array -> partition
+
 val kind_str : t -> string
 val pp : Format.formatter -> t -> unit
 

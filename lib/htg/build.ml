@@ -215,6 +215,7 @@ let merge_simple ctx (a : Node.t) (b : Node.t) : Node.t =
     uses = SS.union a.Node.uses b.Node.uses;
     live_in_bytes = 0;
     live_out_bytes = 0;
+    stmts = a.Node.stmts @ b.Node.stmts;
   }
 
 (** Reduce the child list below [ctx.max_children] by repeatedly merging
@@ -268,6 +269,7 @@ let mk_simple ctx (s : Ast.stmt) label : Node.t =
     uses = du.Defuse.uses;
     live_in_bytes = 0;
     live_out_bytes = 0;
+    stmts = [ s ];
   }
 
 let sum_in_out edges =
@@ -362,6 +364,7 @@ and conv_region ctx ~label ~entries (b : Ast.block) : Node.t option =
           uses = SS.diff du_all.Defuse.uses locals;
           live_in_bytes = live_in;
           live_out_bytes = live_out;
+          stmts = b;
         }
 
 (** Names declared by direct [Decl] children of the block (these never
@@ -436,6 +439,7 @@ and conv_branch ctx (s : Ast.stmt) b1 b2 : Node.t option =
           uses = SS.diff du_all.Defuse.uses locals;
           live_in_bytes = live_in;
           live_out_bytes = live_out;
+          stmts = [ s ];
         }
 
 and conv_loop ctx (s : Ast.stmt) (ind : string option) (body : Ast.block) :
@@ -492,6 +496,7 @@ and conv_loop ctx (s : Ast.stmt) (ind : string option) (body : Ast.block) :
     uses = SS.diff du_all.Defuse.uses locals;
     live_in_bytes = live_in;
     live_out_bytes = live_out;
+    stmts = [ s ];
   }
 
 (** Build the AHTG of an inlined program from its profile.  The root is the
@@ -505,7 +510,10 @@ let build ?(max_children = 8) (prog : Ast.program) (profile : Interp.Profile.t)
   in
   let ctx = { profile; sizes = collect_sizes prog; next_id = 0; max_children } in
   match conv_region ctx ~label:"main" ~entries:1. main.fbody with
-  | Some root when Node.is_hierarchical root -> root
+  | Some root when Node.is_hierarchical root ->
+      (* the root covers main's whole body, even when singleton collapse
+         picked one statement's node as the region *)
+      { root with Node.stmts = main.fbody }
   | Some only ->
       (* main with a single statement: wrap so the root is hierarchical *)
       {
@@ -521,6 +529,7 @@ let build ?(max_children = 8) (prog : Ast.program) (profile : Interp.Profile.t)
         uses = only.Node.uses;
         live_in_bytes = only.Node.live_in_bytes;
         live_out_bytes = only.Node.live_out_bytes;
+        stmts = main.fbody;
       }
   | None ->
       {
@@ -536,4 +545,5 @@ let build ?(max_children = 8) (prog : Ast.program) (profile : Interp.Profile.t)
         uses = SS.empty;
         live_in_bytes = 0;
         live_out_bytes = 0;
+        stmts = [];
       }

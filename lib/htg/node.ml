@@ -48,6 +48,11 @@ type t = {
   uses : SS.t;  (** external uses of the subtree *)
   live_in_bytes : int;  (** total Comm-In volume over the program run *)
   live_out_bytes : int;  (** total Comm-Out volume over the program run *)
+  stmts : Minic.Ast.stmt list;
+      (** the source statements the node covers, in program order: the
+          coalesced statements of a Simple node, the loop/if statement of a
+          Loop/Branch node, the block's statements for a Region — what an
+          execution runtime interprets when it runs the node *)
 }
 
 let is_hierarchical n = Array.length n.children > 0

@@ -43,6 +43,11 @@ type t = {
   uses : SS.t;
   live_in_bytes : int;  (** total Comm-In volume over the program run *)
   live_out_bytes : int;  (** total Comm-Out volume over the program run *)
+  stmts : Minic.Ast.stmt list;
+      (** source statements the node covers, in program order (coalesced
+          statements for Simple, the loop/if statement for Loop/Branch,
+          the block's statements for Region) — what an execution runtime
+          interprets when it runs the node *)
 }
 
 val is_hierarchical : t -> bool

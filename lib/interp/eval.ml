@@ -17,8 +17,10 @@ type result = {
 
 exception Step_limit_exceeded of int
 
+type store = (string, Value.t ref) Hashtbl.t
+
 type env = {
-  vars : (string, Value.t ref) Hashtbl.t;
+  vars : store;
   profile : Profile.t;
   mutable steps : int;
   max_steps : int;
@@ -26,9 +28,29 @@ type env = {
 
 exception Return_exn of Value.t option
 
+let default_max_steps = 50_000_000
+
+(** Slots a profile needs to cover every statement id of [prog]. *)
+let profile_slots (prog : Ast.program) : int =
+  let max_sid =
+    List.fold_left
+      (fun acc (f : Ast.func) ->
+        Ast.fold_stmts (fun m (s : Ast.stmt) -> max m s.sid) acc f.fbody)
+      0 prog.funcs
+  in
+  max (max_sid + 1) (Ast.stmt_count prog)
+
+let make_env ?(max_steps = default_max_steps) ~profile (vars : store) : env =
+  { vars; profile; steps = 0; max_steps }
+
+let env_store env = env.vars
+let env_steps env = env.steps
+
 let tick env =
   env.steps <- env.steps + 1;
   if env.steps > env.max_steps then raise (Step_limit_exceeded env.steps)
+
+let tick_env = tick
 
 let lookup env name =
   match Hashtbl.find_opt env.vars name with
@@ -195,7 +217,10 @@ let rec exec_stmt env (s : Ast.stmt) : unit =
       if truthy v then exec_block env b1 else exec_block env b2
   | Ast.While (cond, body) ->
       Profile.record env.profile s.sid 0.;
+      (* each condition test counts as a step so that an empty loop body
+         still makes progress towards the step limit *)
       let rec loop () =
+        tick env;
         let v, c = eval env cond in
         Profile.add_work env.profile s.sid (c +. Costmodel.branch);
         if truthy v then begin
@@ -213,6 +238,7 @@ let rec exec_stmt env (s : Ast.stmt) : unit =
           Profile.add_work env.profile s.sid (c +. c')
       | None -> ());
       let rec loop () =
+        tick env;
         let v, c = eval env fcond in
         Profile.add_work env.profile s.sid (c +. Costmodel.branch);
         if truthy v then begin
@@ -247,35 +273,22 @@ let rec exec_stmt env (s : Ast.stmt) : unit =
 and exec_block env (b : Ast.block) = List.iter (exec_stmt env) b
 
 (* ------------------------------------------------------------------ *)
-(* Entry point                                                         *)
+(* Re-entrant entry points (used by the execution runtime)             *)
 (* ------------------------------------------------------------------ *)
 
-(** Run the inlined program's [main].  [max_steps] bounds interpreted
-    statements (default 50 million). *)
-let run ?(max_steps = 50_000_000) (prog : Ast.program) : result =
-  let main =
-    match Ast.find_func prog "main" with
-    | Some m -> m
-    | None -> Value.error "program has no main function"
-  in
-  if List.length main.fparams > 0 then
-    Value.error "main must take no parameters";
-  let nstmts = Ast.stmt_count prog in
-  (* statement ids must be dense; renumbering guarantees this *)
-  let max_sid =
-    List.fold_left
-      (fun acc (f : Ast.func) ->
-        Ast.fold_stmts (fun m (s : Ast.stmt) -> max m s.sid) acc f.fbody)
-      0 prog.funcs
-  in
-  let env =
-    {
-      vars = Hashtbl.create 64;
-      profile = Profile.create (max (max_sid + 1) nstmts);
-      steps = 0;
-      max_steps;
-    }
-  in
+(** Evaluate an expression for its value (cost is recorded by the caller
+    if needed). *)
+let eval_expr env e : Value.t = fst (eval env e)
+
+(** Assign [value] to [lhs] in the environment's store. *)
+let exec_assign env lhs value : unit = ignore (assign env lhs value : float)
+
+(** Execute a statement list against the environment's store.  May raise
+    {!Return_exn}, {!Runtime_error} or {!Step_limit_exceeded}. *)
+let exec_block_env = exec_block
+
+(** Bind the program's globals (evaluating initializers) in the store. *)
+let init_globals env (prog : Ast.program) : unit =
   List.iter
     (fun (d : Ast.decl) ->
       let value =
@@ -284,6 +297,27 @@ let run ?(max_steps = 50_000_000) (prog : Ast.program) : result =
         | None -> Value.zero_of_ty d.dty
       in
       Hashtbl.replace env.vars d.dname (ref value))
-    prog.globals;
+    prog.globals
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Run the inlined program's [main].  [max_steps] bounds interpreted
+    statements (default 50 million). *)
+let run ?(max_steps = default_max_steps) (prog : Ast.program) : result =
+  let main =
+    match Ast.find_func prog "main" with
+    | Some m -> m
+    | None -> Value.error "program has no main function"
+  in
+  if List.length main.fparams > 0 then
+    Value.error "main must take no parameters";
+  let env =
+    make_env ~max_steps
+      ~profile:(Profile.create (profile_slots prog))
+      (Hashtbl.create 64)
+  in
+  init_globals env prog;
   let ret = try exec_block env main.fbody; None with Return_exn v -> v in
   { ret; profile = env.profile; steps = env.steps }

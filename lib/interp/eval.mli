@@ -18,3 +18,46 @@ exception Step_limit_exceeded of int
 (** Run the inlined program's [main].  [max_steps] bounds interpreted
     statements (default 50 million). *)
 val run : ?max_steps:int -> Ast.program -> result
+
+val default_max_steps : int
+
+(** {2 Re-entrant interface}
+
+    The execution runtime ({!module:Runtime}, [lib/runtime]) runs tasks of
+    a partitioned program concurrently, each against an isolated store.
+    These entry points expose the interpreter's machinery over an explicit
+    store so a statement subrange can be executed in isolation. *)
+
+(** A mutable variable store (name -> value cell).  Stores are not
+    thread-safe: each task owns its store exclusively. *)
+type store = (string, Value.t ref) Hashtbl.t
+
+type env
+(** Interpreter state over a store: profile, step counter, step budget. *)
+
+exception Return_exn of Value.t option
+(** Raised by [return]; carries the returned value. *)
+
+(** Slots a {!Profile.t} needs to cover every statement id of the
+    program. *)
+val profile_slots : Ast.program -> int
+
+val make_env : ?max_steps:int -> profile:Profile.t -> store -> env
+val env_store : env -> store
+val env_steps : env -> int
+
+(** Count one interpreted statement against the step budget. *)
+val tick_env : env -> unit
+
+(** Evaluate an expression for its value. *)
+val eval_expr : env -> Ast.expr -> Value.t
+
+(** Assign a value to an lvalue in the environment's store. *)
+val exec_assign : env -> Ast.lhs -> Value.t -> unit
+
+(** Execute a statement list.  May raise {!Return_exn}, {!Runtime_error}
+    or {!Step_limit_exceeded}. *)
+val exec_block_env : env -> Ast.block -> unit
+
+(** Bind the program's globals (evaluating initializers) in the store. *)
+val init_globals : env -> Ast.program -> unit

@@ -48,6 +48,25 @@ let flat_index ~dims ~idxs =
   in
   go dims idxs 0
 
+(** Deep copy: array payloads are duplicated so the copy can be mutated
+    (or sent to another domain) without aliasing the original. *)
+let copy = function
+  | (VInt _ | VFloat _) as v -> v
+  | VArrI { data; dims } -> VArrI { data = Array.copy data; dims }
+  | VArrF { data; dims } -> VArrF { data = Array.copy data; dims }
+
+(** Structural equality (exact, including float bit-for-bit via [=]). *)
+let equal a b =
+  match (a, b) with
+  | VInt x, VInt y -> x = y
+  | VFloat x, VFloat y -> Float.equal x y
+  | VArrI x, VArrI y -> x.dims = y.dims && x.data = y.data
+  | VArrF x, VArrF y ->
+      x.dims = y.dims
+      && Array.length x.data = Array.length y.data
+      && Array.for_all2 Float.equal x.data y.data
+  | _ -> false
+
 let size_bytes = function
   | VInt _ | VFloat _ -> 4
   | VArrI { data; _ } -> 4 * Array.length data

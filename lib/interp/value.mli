@@ -22,5 +22,12 @@ val is_float : t -> bool
 (** Flattened offset with per-dimension bounds checks. *)
 val flat_index : dims:int list -> idxs:int list -> int
 
+(** Deep copy: array payloads are duplicated so the copy can be mutated
+    (or sent to another domain) without aliasing the original. *)
+val copy : t -> t
+
+(** Structural equality; floats compare with {!Float.equal} (NaN = NaN). *)
+val equal : t -> t -> bool
+
 val size_bytes : t -> int
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type state =
+  | Empty of (unit -> unit) list  (** parked consumer wake-ups *)
+  | Full of Interp.Value.t option
+
+type t = { m : Mutex.t; mutable st : state }
+
+let create () = { m = Mutex.create (); st = Empty [] }
+
+let send pool c v =
+  Mutex.lock c.m;
+  match c.st with
+  | Full _ -> Mutex.unlock c.m (* first write wins *)
+  | Empty waiters ->
+      c.st <- Full v;
+      Mutex.unlock c.m;
+      List.iter (fun wake -> wake ()) waiters;
+      ignore pool
+
+let poison pool c = send pool c None
+
+let recv pool c =
+  Mutex.lock c.m;
+  match c.st with
+  | Full v ->
+      Mutex.unlock c.m;
+      v
+  | Empty _ ->
+      Mutex.unlock c.m;
+      Effect.perform
+        (Pool.Suspend
+           (fun k ->
+             let wake () = Pool.resume pool k in
+             Mutex.lock c.m;
+             match c.st with
+             | Full _ ->
+                 (* the send raced us between unlock and here *)
+                 Mutex.unlock c.m;
+                 wake ()
+             | Empty ws ->
+                 c.st <- Empty (wake :: ws);
+                 Mutex.unlock c.m));
+      (* resumed: the cell is necessarily full now *)
+      Mutex.lock c.m;
+      let v = match c.st with Full v -> v | Empty _ -> assert false in
+      Mutex.unlock c.m;
+      v

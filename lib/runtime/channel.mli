@@ -1,0 +1,27 @@
+(** Write-once value-passing channels along HTG def-use edges.
+
+    Each fork instance creates one cell per (producer child, variable)
+    pair whose value crosses a task boundary.  The producing task fills
+    the cell right after executing the child; consuming tasks read it
+    before executing theirs.  A read of an empty cell suspends the task
+    via {!Pool.Suspend} — the worker moves on to other work and the task
+    resumes when the send lands.
+
+    The payload is [Value.t option]: [None] marks a variable that was
+    never bound (or a cell poisoned because its producer failed), which
+    consumers treat as "no update". *)
+
+type t
+
+val create : unit -> t
+
+(** Fill the cell.  First write wins; later writes are ignored, which
+    makes the error-path poisoning idempotent. *)
+val send : Pool.t -> t -> Interp.Value.t option -> unit
+
+(** Read the cell, suspending the calling task until it is filled. *)
+val recv : Pool.t -> t -> Interp.Value.t option
+
+(** [poison pool c] = [send pool c None]; used to release consumers when
+    the producing task dies. *)
+val poison : Pool.t -> t -> unit

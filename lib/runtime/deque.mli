@@ -1,0 +1,22 @@
+(** Per-worker work-stealing deque.  The owning worker pushes and pops at
+    the front (LIFO, cache-friendly for nested fork/join); thieves steal
+    single tasks from the back (FIFO, taking the oldest — typically
+    largest — piece of work).  A mutex protects the ring buffer: at
+    task-level granularity the lock is uncontended in the common path and
+    the simplicity pays for itself (the classic lock-free alternative is
+    the Chase-Lev deque). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Owner operations (front). *)
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+
+(** Thief operation (back): steal the oldest element. *)
+val steal : 'a t -> 'a option
+
+(** Snapshot size (racy, for diagnostics only). *)
+val size : 'a t -> int

@@ -1,0 +1,89 @@
+(** Shared execution counters, updated from every worker domain. *)
+
+type t = {
+  forks : int Atomic.t;
+  inline_forks : int Atomic.t;
+  tasks_spawned : int Atomic.t;
+  sends : int Atomic.t;
+  recvs : int Atomic.t;
+  bytes_sent : int Atomic.t;
+  merges : int Atomic.t;
+  splits : int Atomic.t;
+  seq_fallbacks : int Atomic.t;
+  steps : int Atomic.t;
+}
+
+let create () =
+  {
+    forks = Atomic.make 0;
+    inline_forks = Atomic.make 0;
+    tasks_spawned = Atomic.make 0;
+    sends = Atomic.make 0;
+    recvs = Atomic.make 0;
+    bytes_sent = Atomic.make 0;
+    merges = Atomic.make 0;
+    splits = Atomic.make 0;
+    seq_fallbacks = Atomic.make 0;
+    steps = Atomic.make 0;
+  }
+
+let add a n = ignore (Atomic.fetch_and_add a n)
+let incr a = add a 1
+
+type snapshot = {
+  domains : int;
+  wall_s : float;
+  n_forks : int;
+  n_inline_forks : int;
+  n_tasks_spawned : int;
+  n_steals : int;
+  n_sends : int;
+  n_recvs : int;
+  n_bytes_sent : int;
+  n_merges : int;
+  n_splits : int;
+  n_seq_fallbacks : int;
+  n_steps : int;
+  worker_busy_s : float array;
+  worker_tasks : int array;
+}
+
+let snapshot m ~domains ~wall_s ~steals ~worker_busy_s ~worker_tasks =
+  {
+    domains;
+    wall_s;
+    n_forks = Atomic.get m.forks;
+    n_inline_forks = Atomic.get m.inline_forks;
+    n_tasks_spawned = Atomic.get m.tasks_spawned;
+    n_steals = steals;
+    n_sends = Atomic.get m.sends;
+    n_recvs = Atomic.get m.recvs;
+    n_bytes_sent = Atomic.get m.bytes_sent;
+    n_merges = Atomic.get m.merges;
+    n_splits = Atomic.get m.splits;
+    n_seq_fallbacks = Atomic.get m.seq_fallbacks;
+    n_steps = Atomic.get m.steps;
+    worker_busy_s;
+    worker_tasks;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "domains:        %d@," s.domains;
+  Format.fprintf ppf "wall clock:     %.6f s@," s.wall_s;
+  Format.fprintf ppf "interp steps:   %d@," s.n_steps;
+  Format.fprintf ppf "forks:          %d (+ %d run inline)@," s.n_forks s.n_inline_forks;
+  Format.fprintf ppf "tasks spawned:  %d@," s.n_tasks_spawned;
+  Format.fprintf ppf "steals:         %d@," s.n_steals;
+  Format.fprintf ppf "channel sends:  %d (%d recvs, %d bytes moved)@," s.n_sends s.n_recvs
+    s.n_bytes_sent;
+  Format.fprintf ppf "joins merged:   %d values@," s.n_merges;
+  Format.fprintf ppf "doall splits:   %d@," s.n_splits;
+  Format.fprintf ppf "seq fallbacks:  %d@," s.n_seq_fallbacks;
+  Format.fprintf ppf "@[<v 2>workers (busy s / tasks run):";
+  Array.iteri
+    (fun i b ->
+      Format.pp_print_cut ppf ();
+      Format.fprintf ppf "w%-2d %.6f / %d" i b s.worker_tasks.(i))
+    s.worker_busy_s;
+  Format.fprintf ppf "@]@]"

@@ -1,0 +1,48 @@
+(** Shared execution counters for the task-parallel runtime, plus the
+    immutable snapshot reported back to the caller. *)
+
+type t = {
+  forks : int Atomic.t;  (** fork/join regions that actually spawned *)
+  inline_forks : int Atomic.t;  (** single-task partitions run inline *)
+  tasks_spawned : int Atomic.t;
+  sends : int Atomic.t;  (** channel cells filled *)
+  recvs : int Atomic.t;  (** channel reads (incl. non-blocking hits) *)
+  bytes_sent : int Atomic.t;  (** payload bytes moved through channels *)
+  merges : int Atomic.t;  (** values merged back at joins *)
+  splits : int Atomic.t;  (** DOALL loop entries executed chunked *)
+  seq_fallbacks : int Atomic.t;  (** nodes demoted to sequential execution *)
+  steps : int Atomic.t;  (** interpreter steps summed over all tasks *)
+}
+
+val create : unit -> t
+val add : int Atomic.t -> int -> unit
+val incr : int Atomic.t -> unit
+
+type snapshot = {
+  domains : int;
+  wall_s : float;
+  n_forks : int;
+  n_inline_forks : int;
+  n_tasks_spawned : int;
+  n_steals : int;
+  n_sends : int;
+  n_recvs : int;
+  n_bytes_sent : int;
+  n_merges : int;
+  n_splits : int;
+  n_seq_fallbacks : int;
+  n_steps : int;
+  worker_busy_s : float array;  (** per worker, time spent running tasks *)
+  worker_tasks : int array;  (** per worker, tasks executed *)
+}
+
+val snapshot :
+  t ->
+  domains:int ->
+  wall_s:float ->
+  steals:int ->
+  worker_busy_s:float array ->
+  worker_tasks:int array ->
+  snapshot
+
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,64 @@
+(** Fixed-size domain pool with per-worker work-stealing deques and
+    effects-based task suspension.
+
+    The pool owns [domains - 1] spawned OCaml 5 domains; the caller of
+    {!run} acts as worker 0, so [domains = 1] degenerates to fully
+    sequential execution on the calling domain (useful for determinism
+    checks).  Tasks are [unit -> unit] thunks pushed to the scheduling
+    worker's own deque (front); idle workers steal from the back of other
+    deques.
+
+    A task that must wait — on a {!type:future} or a runtime channel —
+    performs the {!Suspend} effect instead of blocking its domain: the
+    captured continuation is parked with the event source and re-enqueued
+    when the event fires, so the worker is immediately free to run other
+    tasks.  This is what makes nested fork/join with blocking
+    value-passing channels deadlock-free on a fixed-size pool. *)
+
+type t
+
+type 'a future
+
+(** [Suspend register] parks the current task: [register] is called with
+    the continuation and must arrange for {!resume} to be applied to it
+    exactly once, now or later. *)
+type _ Effect.t +=
+  | Suspend : ((unit, unit) Effect.Deep.continuation -> unit) -> unit Effect.t
+
+(** [create ~domains ()] starts [domains - 1] worker domains (clamped to
+    at least 1 total).  Default: [Domain.recommended_domain_count ()]. *)
+val create : ?domains:int -> unit -> t
+
+val size : t -> int
+
+(** Schedule a thunk; its result (or exception) is captured in the
+    future.  Must be called from within {!run}'s dynamic extent or before
+    it starts. *)
+val spawn : t -> (unit -> 'a) -> 'a future
+
+(** Wait for a future.  Returns the thunk's result or the exception it
+    raised.  If the future is not yet filled and the caller is a pool
+    task, it suspends (the worker keeps running other tasks). *)
+val await : t -> 'a future -> ('a, exn) result
+
+(** Resume a continuation parked via {!Suspend}: re-enqueue it on the
+    current worker's deque. *)
+val resume : t -> (unit, unit) Effect.Deep.continuation -> unit
+
+(** [run pool f] executes [f] as the root task with the caller acting as
+    worker 0, helping with queued tasks until the root completes.
+    Re-raises whatever [f] raises. *)
+val run : t -> (unit -> 'a) -> 'a
+
+(** Stop the workers and join their domains.  The pool must be idle
+    ({!run} returned). *)
+val shutdown : t -> unit
+
+(** Total successful steals so far. *)
+val steals : t -> int
+
+(** Per-worker seconds spent executing tasks. *)
+val worker_busy_s : t -> float array
+
+(** Per-worker count of executed tasks (including resumed suspensions). *)
+val worker_tasks : t -> int array

@@ -10,5 +10,6 @@ let () =
       ("benchsuite", Test_benchsuite.suite);
       ("parcore", Test_parcore.suite);
       ("report", Test_report.suite);
+      ("runtime", Test_runtime.suite);
       ("pipeline-properties", Test_pipeline_prop.suite);
     ]

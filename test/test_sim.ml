@@ -259,3 +259,68 @@ let suite =
       Alcotest.test_case "trace keeps metrics" `Quick test_trace_metrics_unchanged;
       Alcotest.test_case "gantt render" `Quick test_gantt_render;
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Nested forks: width, trace, gantt                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_max_width_nested () =
+  (* a fork whose second task forks again: widths add across the nesting,
+     so 1 (task 0) + 2 (inner fork) = 3 live tasks at the widest point *)
+  let inner = mk_fork [ task 1 100.; task 2 100. ] in
+  let p = mk_fork [ task 0 100.; { Prog.tclass = 1; body = inner } ] in
+  Alcotest.(check int) "two-level width" 3 (Prog.max_width p);
+  (* sequential composition does not add widths *)
+  let q = Prog.Seq [ p; mk_fork [ task 0 1.; task 1 1. ] ] in
+  Alcotest.(check int) "seq takes the max" 3 (Prog.max_width q);
+  (* three levels: 1 + (1 + 2) = 4 *)
+  let deep =
+    mk_fork [ task 0 1.; { Prog.tclass = 1; body = mk_fork [ task 1 1.; { Prog.tclass = 2; body = inner } ] } ]
+  in
+  Alcotest.(check int) "three-level width" 4 (Prog.max_width deep)
+
+let test_trace_nested_fork () =
+  let inner = mk_fork [ task 2 5000.; task 2 5000. ] in
+  let p =
+    Prog.Seq [ Prog.work ~label:"pre" 1000.; mk_fork [ task 0 5000.; { Prog.tclass = 1; body = inner } ] ]
+  in
+  let spans = Engine.trace pf p in
+  (* trace summarizes a nested fork as one span per *outer* task ("without
+     crossing another fork"): pre + f.t0 + f.t1 = exactly 3 spans *)
+  Alcotest.(check int) "outer spans only" 3 (List.length spans);
+  let nested = List.find (fun s -> s.Engine.sp_label = "f.t1") spans in
+  (* the nested task's span absorbs the inner fork: two 5000-cycle tasks on
+     class 2 (500 MHz) take >= 10 us even when fully parallel *)
+  Alcotest.(check bool) "nested span covers inner fork" true
+    (nested.Engine.sp_finish -. nested.Engine.sp_start >= 10.);
+  let m = Engine.run_metrics pf p in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "span within makespan" true
+        (s.Engine.sp_start >= 0. && s.Engine.sp_finish <= m.Engine.makespan_us +. 1e-6))
+    spans;
+  (* inner spans cannot start before the sequential prefix finished *)
+  let pre = List.find (fun s -> s.Engine.sp_label = "pre") spans in
+  List.iter
+    (fun s ->
+      if s != pre then
+        Alcotest.(check bool) "after prefix" true
+          (s.Engine.sp_start >= pre.Engine.sp_finish -. 1e-6))
+    spans
+
+let test_gantt_nested_rows () =
+  let inner = mk_fork [ task 2 5000.; task 2 5000. ] in
+  let p = mk_fork [ task 0 5000.; { Prog.tclass = 1; body = inner } ] in
+  let s = Engine.gantt ~width:40 pf (Engine.trace pf p) in
+  Alcotest.(check bool) "renders bars" true (String.contains s '#');
+  (* one row per span: at least the three leaf tasks show up *)
+  let rows = List.length (String.split_on_char '\n' (String.trim s)) in
+  Alcotest.(check bool) "row per task" true (rows >= 3)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "max_width nested forks" `Quick test_max_width_nested;
+      Alcotest.test_case "trace nested fork" `Quick test_trace_nested_fork;
+      Alcotest.test_case "gantt nested rows" `Quick test_gantt_nested_rows;
+    ]
