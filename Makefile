@@ -1,6 +1,6 @@
 # Convenience targets around dune.
 
-.PHONY: all build test test-quick bench bench-runtime execute clean fmt
+.PHONY: all build test test-quick bench bench-runtime bench-perf execute clean fmt
 
 all: build
 
@@ -24,6 +24,12 @@ bench:
 # domains (E8).
 bench-runtime:
 	dune exec bench/main.exe -- runtime
+
+# Compile-side perf of the parallelizer itself (E10): baseline vs. the
+# memoized, warm-started, domain-parallel solve engine; writes
+# BENCH_parallelize.json.
+bench-perf:
+	dune exec bench/main.exe -- perf
 
 # Differential validation of every suite benchmark on two presets via
 # the CLI (the acceptance check of the execution runtime).

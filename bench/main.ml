@@ -7,10 +7,15 @@
     micro-benchmarks (E7), and [runtime] measures real host execution of
     the partitioned programs on OCaml 5 domains (E9).
 
+    [perf] times the parallelizer itself (E10) — baseline vs. the
+    memoized, warm-started, domain-parallel solve engine — and writes
+    [BENCH_parallelize.json]; [perf-smoke] is its quick CI subset.
+
     {v
       dune exec bench/main.exe                 # E1-E5
       dune exec bench/main.exe -- fig7a table1
       dune exec bench/main.exe -- ablation micro runtime
+      dune exec bench/main.exe -- perf         # writes BENCH_parallelize.json
     v} *)
 
 let line () = print_endline (String.make 78 '-')
@@ -175,6 +180,174 @@ let run_host_execution () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* E10: compile-side performance — the parallelizer itself             *)
+(* ------------------------------------------------------------------ *)
+
+(* Times end-to-end [Algorithm.parallelize] for the suite under three
+   configurations and writes BENCH_parallelize.json so the perf
+   trajectory of the solve engine is tracked from this PR onward:
+
+   - [baseline]: the pre-optimization driver — sequential, no solve
+     cache, no sweep warm-starting, no deterministic work limit (the
+     2 s wall budget per ILP is what bounds hard solves, as it
+     historically did);
+   - [jobs1]:    the optimized engine on one domain;
+   - [jobsN]:    the optimized engine on [recommended_domain_count]
+     domains.
+
+   The optimized runs disable the wall budget so the deterministic work
+   limit is the only solve bound, and the harness asserts that [jobs1]
+   and [jobsN] produce bit-identical solution sets. *)
+
+let perf_baseline_cfg =
+  {
+    Parcore.Config.default with
+    Parcore.Config.jobs = 1;
+    solve_cache = false;
+    sweep_warm_start = false;
+    ilp_work_limit = 0.;
+  }
+
+let perf_opt_cfg ~jobs ~work_limit =
+  {
+    Parcore.Config.default with
+    Parcore.Config.jobs = jobs;
+    ilp_time_limit_s = infinity;
+    ilp_work_limit = work_limit;
+  }
+
+(* canonical projection of a parallelization result for bit-identity
+   checks: root choice, per-class root set, and every node's set *)
+let perf_canon (r : Parcore.Algorithm.result) =
+  ( r.Parcore.Algorithm.root,
+    r.Parcore.Algorithm.root_set,
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) r.Parcore.Algorithm.sets []) )
+
+type perf_row = {
+  pr_name : string;
+  pr_baseline_ms : float;
+  pr_jobs1_ms : float;
+  pr_jobsn_ms : float;
+  pr_ilps_baseline : int;
+  pr_ilps_opt : int;
+  pr_cache_hits : int;
+  pr_identical : bool;
+}
+
+let run_perf ~smoke () =
+  let ncores = Domain.recommended_domain_count () in
+  let pf = Platform.Presets.platform_a_accel in
+  let benches =
+    if smoke then
+      List.filter
+        (fun (b : Benchsuite.Suite.t) ->
+          List.mem b.Benchsuite.Suite.name
+            [ "boundary_value"; "compress"; "mult_10" ])
+        Benchsuite.Suite.all
+    else Benchsuite.Suite.all
+  in
+  let work_limit =
+    if smoke then Parcore.Config.fast.Parcore.Config.ilp_work_limit
+    else Parcore.Config.default.Parcore.Config.ilp_work_limit
+  in
+  Printf.printf
+    "E10: compile-side perf — parallelize wall time (ncores=%d%s)\n" ncores
+    (if smoke then ", smoke subset" else "");
+  line ();
+  Printf.printf "  %-16s %12s %11s %11s %6s %6s %5s %8s %5s\n" "benchmark"
+    "baseline(ms)" "jobs1(ms)" "jobsN(ms)" "ilp-b" "ilp-o" "hits" "speedup"
+    "ident";
+  let rows =
+    List.map
+      (fun (b : Benchsuite.Suite.t) ->
+        let prog = Benchsuite.Suite.compile b in
+        let profile = (Interp.Eval.run prog).Interp.Eval.profile in
+        let once cfg =
+          let out =
+            Parcore.Parallelize.run_program ~cfg ~profile
+              ~approach:Parcore.Parallelize.Heterogeneous ~platform:pf prog
+          in
+          out.Parcore.Parallelize.algo
+        in
+        let base = once perf_baseline_cfg in
+        let opt1 = once (perf_opt_cfg ~jobs:1 ~work_limit) in
+        let optn = once (perf_opt_cfg ~jobs:ncores ~work_limit) in
+        let ms (a : Parcore.Algorithm.result) =
+          a.Parcore.Algorithm.wall_time_s *. 1000.
+        in
+        let row =
+          {
+            pr_name = b.Benchsuite.Suite.name;
+            pr_baseline_ms = ms base;
+            pr_jobs1_ms = ms opt1;
+            pr_jobsn_ms = ms optn;
+            pr_ilps_baseline = base.Parcore.Algorithm.stats.Ilp.Stats.ilps;
+            pr_ilps_opt = opt1.Parcore.Algorithm.stats.Ilp.Stats.ilps;
+            pr_cache_hits = opt1.Parcore.Algorithm.stats.Ilp.Stats.cache_hits;
+            pr_identical = perf_canon opt1 = perf_canon optn;
+          }
+        in
+        Printf.printf "  %-16s %12.1f %11.1f %11.1f %6d %6d %5d %7.2fx %5s\n"
+          row.pr_name row.pr_baseline_ms row.pr_jobs1_ms row.pr_jobsn_ms
+          row.pr_ilps_baseline row.pr_ilps_opt row.pr_cache_hits
+          (row.pr_baseline_ms /. row.pr_jobsn_ms)
+          (if row.pr_identical then "ok" else "FAIL");
+        row)
+      benches
+  in
+  let sum f = List.fold_left (fun acc r -> acc +. f r) 0. rows in
+  let sumi f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  let total_base = sum (fun r -> r.pr_baseline_ms) in
+  let total_optn = sum (fun r -> r.pr_jobsn_ms) in
+  let total_hits = sumi (fun r -> r.pr_cache_hits) in
+  let total_ilps = sumi (fun r -> r.pr_ilps_opt) in
+  let hit_rate =
+    if total_hits + total_ilps = 0 then 0.
+    else float_of_int total_hits /. float_of_int (total_hits + total_ilps)
+  in
+  let all_identical = List.for_all (fun r -> r.pr_identical) rows in
+  let speedup = total_base /. total_optn in
+  Printf.printf
+    "  total: baseline %.0f ms, optimized jobs=%d %.0f ms — speedup %.2fx, \
+     cache hit rate %.1f%%, bit-identical across jobs: %s\n"
+    total_base ncores total_optn speedup (100. *. hit_rate)
+    (if all_identical then "yes" else "NO");
+  (* hand-rolled JSON: flat schema, no escaping needed for these names *)
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"mpsoc-par/parallelize-perf/v1\",\n";
+  Printf.bprintf buf "  \"smoke\": %b,\n" smoke;
+  Printf.bprintf buf "  \"ncores\": %d,\n" ncores;
+  Printf.bprintf buf "  \"platform\": %S,\n" pf.Platform.Desc.name;
+  Printf.bprintf buf "  \"work_limit\": %.0f,\n" work_limit;
+  Buffer.add_string buf "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.bprintf buf
+        "    { \"name\": %S, \"baseline_ms\": %.1f, \"jobs1_ms\": %.1f, \
+         \"jobsN_ms\": %.1f, \"ilps_baseline\": %d, \"ilps_optimized\": %d, \
+         \"cache_hits\": %d, \"speedup\": %.3f, \"identical\": %b }%s\n"
+        r.pr_name r.pr_baseline_ms r.pr_jobs1_ms r.pr_jobsn_ms
+        r.pr_ilps_baseline r.pr_ilps_opt r.pr_cache_hits
+        (r.pr_baseline_ms /. r.pr_jobsn_ms)
+        r.pr_identical
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Printf.bprintf buf
+    "  \"total\": { \"baseline_ms\": %.1f, \"optimized_ms\": %.1f, \
+     \"speedup\": %.3f, \"cache_hit_rate\": %.3f, \"identical\": %b }\n"
+    total_base total_optn speedup hit_rate all_identical;
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_parallelize.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "  written to BENCH_parallelize.json\n";
+  print_newline ();
+  if not all_identical then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -200,10 +373,12 @@ let () =
                render_energy (energy_table ctx Platform.Presets.platform_a_accel)))
       | "micro" -> run_micro ()
       | "runtime" -> run_host_execution ()
+      | "perf" -> run_perf ~smoke:false ()
+      | "perf-smoke" -> run_perf ~smoke:true ()
       | other ->
           Printf.eprintf
             "unknown experiment %S (expected fig7a fig7b fig8a fig8b table1 \
-             ablation energy micro runtime)\n"
+             ablation energy micro runtime perf perf-smoke)\n"
             other;
           exit 1);
       line ())

@@ -73,11 +73,25 @@ let max_steps_arg =
     & info [ "max-steps" ] ~docv:"N"
         ~doc:"Interpreted-statement budget for profiling and execution runs.")
 
-let cfg_of time_limit max_steps =
+let jobs_arg =
+  Arg.(
+    value
+    & opt int Parcore.Config.default.Parcore.Config.jobs
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallelization itself: sibling subtrees \
+           and independent per-class ILP sweeps are solved concurrently. \
+           $(b,1) (the default) runs sequentially on the calling domain; \
+           $(b,0) uses the machine's recommended domain count.  Chosen \
+           solutions are bit-identical at any value.")
+
+let cfg_of ?(jobs = Parcore.Config.default.Parcore.Config.jobs) time_limit
+    max_steps =
   {
     Parcore.Config.default with
     Parcore.Config.ilp_time_limit_s = time_limit;
     max_steps;
+    jobs;
   }
 
 let exit_err fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
@@ -120,12 +134,13 @@ let parallelize_cmd =
           ~doc:"Also print the ILP statistics summary (solve time, branch \
                 & bound nodes).")
   in
-  let run file platform approach time_limit max_steps dot gantt verbose =
+  let run file platform approach time_limit max_steps jobs dot gantt verbose =
     let src = read_file file in
     match
       guard_runtime file (fun () ->
-          Parcore.Parallelize.run ~cfg:(cfg_of time_limit max_steps) ~approach
-            ~platform src)
+          Parcore.Parallelize.run
+            ~cfg:(cfg_of ~jobs time_limit max_steps)
+            ~approach ~platform src)
     with
     | exception Minic.Frontend.Error e ->
         exit_err "%s: %s" file (Minic.Frontend.error_to_string e)
@@ -173,7 +188,7 @@ let parallelize_cmd =
     (Cmd.info "parallelize" ~doc:"Parallelize a Mini-C source file")
     Term.(
       const run $ file $ platform_arg $ approach_arg $ time_limit_arg
-      $ max_steps_arg $ dot_arg $ gantt_arg $ verbose)
+      $ max_steps_arg $ jobs_arg $ dot_arg $ gantt_arg $ verbose)
 
 (* ---------------- analyze ---------------- *)
 
@@ -213,14 +228,14 @@ let bench_cmd =
   let bench_name =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
   in
-  let run name platform time_limit max_steps =
+  let run name platform time_limit max_steps jobs =
     match Benchsuite.Suite.find name with
     | None ->
         exit_err "unknown benchmark %S (try: %s)" name
           (String.concat ", " Benchsuite.Suite.names)
     | Some b ->
         let ctx =
-          Report.Experiments.create ~cfg:(cfg_of time_limit max_steps) ()
+          Report.Experiments.create ~cfg:(cfg_of ~jobs time_limit max_steps) ()
         in
         let homo =
           Report.Experiments.run ctx b platform Parcore.Parallelize.Homogeneous
@@ -235,7 +250,9 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Run one suite benchmark through both approaches")
-    Term.(const run $ bench_name $ platform_arg $ time_limit_arg $ max_steps_arg)
+    Term.(
+      const run $ bench_name $ platform_arg $ time_limit_arg $ max_steps_arg
+      $ jobs_arg)
 
 (* ---------------- execute ---------------- *)
 
@@ -266,7 +283,7 @@ let execute_cmd =
              the parallel execution computes the same result; exits \
              non-zero on a mismatch.")
   in
-  let run target platform approach time_limit max_steps domains validate =
+  let run target platform approach time_limit max_steps jobs domains validate =
     let name, src =
       if Sys.file_exists target then (target, read_file target)
       else
@@ -284,7 +301,8 @@ let execute_cmd =
     | prog ->
         let out =
           guard_runtime name (fun () ->
-              Parcore.Parallelize.run_program ~cfg:(cfg_of time_limit max_steps)
+              Parcore.Parallelize.run_program
+                ~cfg:(cfg_of ~jobs time_limit max_steps)
                 ~approach ~platform prog)
         in
         let root_sol = out.Parcore.Parallelize.algo.Parcore.Algorithm.root in
@@ -322,7 +340,7 @@ let execute_cmd =
           report wall-clock time, task and steal counts")
     Term.(
       const run $ target $ platform_arg $ approach_arg $ time_limit_arg
-      $ max_steps_arg $ domains_arg $ validate_arg)
+      $ max_steps_arg $ jobs_arg $ domains_arg $ validate_arg)
 
 (* ---------------- experiments ---------------- *)
 
@@ -334,10 +352,12 @@ let experiments_cmd =
           ~doc:"Subset to run: fig7a fig7b fig8a fig8b table1 ablation \
                 energy micro-free subset (default: all).")
   in
-  let run which time_limit =
+  let run which time_limit jobs =
     let ctx =
       Report.Experiments.create
-        ~cfg:(cfg_of time_limit Parcore.Config.default.Parcore.Config.max_steps)
+        ~cfg:
+          (cfg_of ~jobs time_limit
+             Parcore.Config.default.Parcore.Config.max_steps)
         ()
     in
     let all = [ "fig7a"; "fig7b"; "fig8a"; "fig8b"; "table1" ] in
@@ -366,7 +386,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's figures and tables")
-    Term.(const run $ which $ time_limit_arg)
+    Term.(const run $ which $ time_limit_arg $ jobs_arg)
 
 (* ---------------- list ---------------- *)
 

@@ -7,7 +7,20 @@
     additionally receive iteration-splitting candidates from
     {!Loop_split}.  Candidate sets are Pareto-pruned per class; a per-class
     sequential candidate is always retained, which guarantees feasibility
-    of every parent ILP (Section IV-K note in the paper). *)
+    of every parent ILP (Section IV-K note in the paper).
+
+    The fan-out is itself parallel when [Config.jobs > 1]: sibling
+    subtrees and the independent (class, sweep-kind) budget sweeps of a
+    node become tasks on a {!Taskpool.Pool} of domains.  Determinism is
+    preserved by construction — every sweep is a self-contained job whose
+    inputs (child sets, platform, config) do not depend on scheduling,
+    and the driver replays the candidates in the exact order the
+    sequential driver would have considered them, so chosen solutions are
+    bit-identical at any [jobs] value.  Statistics are likewise
+    accumulated per job and merged in that canonical order.  The solve
+    cache ([Config.solve_cache]) keeps this determinism because entries
+    are single-flight: a given fingerprint is solved exactly once, and a
+    hit returns precisely what the solve returned. *)
 
 type result = {
   root_set : Solution.set;
@@ -37,77 +50,160 @@ let rec seq_candidate (sets : (int, Solution.set) Hashtbl.t)
     kind = Solution.Seq child_seq;
   }
 
-let parallelize ?(cfg = Config.default) ?stats (pf : Platform.Desc.t)
+(* the three sweep kinds of one (node, class), in the order the
+   sequential driver runs them *)
+type sweep_kind = Ilppar | Split | Pipe
+
+let parallelize ?(cfg = Config.default) ?stats ?pool (pf : Platform.Desc.t)
     (root_node : Htg.Node.t) : result =
-  let t0 = Sys.time () in
+  let t0 = Ilp.Clock.now_s () in
   let stats = match stats with Some s -> s | None -> Ilp.Stats.create () in
-  let sets : (int, Solution.set) Hashtbl.t = Hashtbl.create 64 in
+  let cache = if cfg.Config.solve_cache then Some (Ilp.Memo.create ()) else None in
+  let jobs =
+    if cfg.Config.jobs = 0 then Domain.recommended_domain_count ()
+    else max 1 cfg.Config.jobs
+  in
+  (* jobs = 1 stays entirely on the calling domain (no pool); a caller
+     supplied pool is reused, otherwise one is created for this run *)
+  let owned_pool, pool =
+    if jobs <= 1 then (None, None)
+    else
+      match pool with
+      | Some p -> (None, Some p)
+      | None ->
+          let p = Taskpool.Pool.create ~domains:jobs () in
+          (Some p, Some p)
+  in
   let nclasses = Platform.Desc.num_classes pf in
   let total_units = Platform.Desc.total_units pf in
+  let sets : (int, Solution.set) Hashtbl.t = Hashtbl.create 64 in
+  (* concurrent go() calls on sibling subtrees write their results as
+     they finish; every access goes through the mutex *)
+  let sets_mu = Mutex.create () in
+  let find_set id =
+    Mutex.lock sets_mu;
+    let r = Hashtbl.find_opt sets id in
+    Mutex.unlock sets_mu;
+    r
+  in
+  let store_set id s =
+    Mutex.lock sets_mu;
+    Hashtbl.replace sets id s;
+    Mutex.unlock sets_mu
+  in
+  (* as {!seq_candidate}, but reading the shared table under the lock *)
+  let rec seq_cand (node : Htg.Node.t) cls : Solution.t =
+    let child_seq =
+      Array.map
+        (fun (c : Htg.Node.t) ->
+          match find_set c.Htg.Node.id with
+          | Some set -> Solution.seq_of set cls
+          | None -> seq_cand c cls)
+        node.Htg.Node.children
+    in
+    {
+      Solution.node_id = node.Htg.Node.id;
+      main_class = cls;
+      time_us = Htg.Node.seq_time_us pf ~cls node;
+      extra_units = Array.make nclasses 0;
+      kind = Solution.Seq child_seq;
+    }
+  in
+  (* one self-contained sweep job; returns the kept candidates in
+     discovery order plus the job's private statistics *)
+  let sweep_job node child_sets seq_class kind :
+      Solution.t list * Ilp.Stats.t =
+    let st = Ilp.Stats.create () in
+    let cands =
+      match kind with
+      | Ilppar ->
+          Formulation.sweep ~stats:st ?cache ~total_units
+            {
+              Formulation.node;
+              child_sets;
+              pf;
+              seq_class;
+              budget = total_units;
+              cfg;
+            }
+      | Split ->
+          Loop_split.sweep ~stats:st ?cache ~total_units
+            { Loop_split.node; pf; seq_class; budget = total_units; cfg }
+      | Pipe ->
+          Pipeline.sweep ~stats:st ?cache ~total_units
+            { Pipeline.node; pf; seq_class; budget = total_units; cfg }
+    in
+    (cands, st)
+  in
+  let await_all p futs =
+    List.map
+      (fun f ->
+        match Taskpool.Pool.await p f with Ok r -> r | Error e -> raise e)
+      futs
+  in
   let rec go (node : Htg.Node.t) : Solution.set =
-    match Hashtbl.find_opt sets node.Htg.Node.id with
+    match find_set node.Htg.Node.id with
     | Some set -> set
     | None ->
-        (* bottom-up: children first *)
-        let child_sets = Array.map go node.Htg.Node.children in
+        (* bottom-up: children first — in parallel when a pool exists *)
+        let child_sets =
+          match pool with
+          | Some p when Array.length node.Htg.Node.children > 1 ->
+              let futs =
+                Array.map
+                  (fun c -> Taskpool.Pool.spawn p (fun () -> go c))
+                  node.Htg.Node.children
+              in
+              Array.map
+                (fun f ->
+                  match Taskpool.Pool.await p f with
+                  | Ok s -> s
+                  | Error e -> raise e)
+                futs
+          | _ -> Array.map go node.Htg.Node.children
+        in
         let res : Solution.t list array =
-          Array.init nclasses (fun c -> [ seq_candidate sets pf node c ])
+          Array.init nclasses (fun c -> [ seq_cand node c ])
         in
         if Htg.Node.is_hierarchical node then begin
-          for seq_class = 0 to nclasses - 1 do
-            let seq_time = Htg.Node.seq_time_us pf ~cls:seq_class node in
-            let consider (r : Solution.t) =
-              if r.Solution.time_us *. cfg.Config.min_parallel_gain < seq_time
-              then res.(seq_class) <- r :: res.(seq_class)
-            in
-            (* ILPPAR sweep over decreasing budgets (Algorithm 1 l.14-20) *)
-            let i = ref total_units in
-            while !i > 1 do
-              match
-                Formulation.solve ~stats
-                  {
-                    Formulation.node;
-                    child_sets;
-                    pf;
-                    seq_class;
-                    budget = !i;
-                    cfg;
-                  }
-              with
-              | Some r ->
-                  consider r;
-                  i := Solution.total_units r - 1
-              | None -> i := 0
-            done;
-            (* DOALL loops: iteration-splitting candidates *)
-            if Htg.Node.is_doall node && cfg.Config.enable_loop_split then begin
-              let i = ref total_units in
-              while !i > 1 do
-                match
-                  Loop_split.solve ~stats
-                    { Loop_split.node; pf; seq_class; budget = !i; cfg }
-                with
-                | Some r ->
-                    consider r;
-                    i := Solution.total_units r - 1
-                | None -> i := 0
-              done
-            end;
-            (* sequential loops: pipeline-stage candidates (extension) *)
-            if cfg.Config.enable_pipeline then begin
-              let i = ref total_units in
-              while !i > 1 do
-                match
-                  Pipeline.solve ~stats
-                    { Pipeline.node; pf; seq_class; budget = !i; cfg }
-                with
-                | Some r ->
-                    consider r;
-                    i := Solution.total_units r - 1
-                | None -> i := 0
-              done
-            end
-          done
+          (* independent (class, kind) sweeps, listed in the sequential
+             driver's order: classes ascending; ILPPAR, then DOALL
+             splitting, then pipelining *)
+          let kinds =
+            [ Ilppar ]
+            @ (if Htg.Node.is_doall node && cfg.Config.enable_loop_split then
+                 [ Split ]
+               else [])
+            @ if cfg.Config.enable_pipeline then [ Pipe ] else []
+          in
+          let descs =
+            List.concat_map
+              (fun c -> List.map (fun k -> (c, k)) kinds)
+              (List.init nclasses Fun.id)
+          in
+          let outs =
+            match pool with
+            | Some p when List.length descs > 1 ->
+                await_all p
+                  (List.map
+                     (fun (c, k) ->
+                       Taskpool.Pool.spawn p (fun () ->
+                           sweep_job node child_sets c k))
+                     descs)
+            | _ -> List.map (fun (c, k) -> sweep_job node child_sets c k) descs
+          in
+          (* deterministic merge: replay the candidates exactly as the
+             sequential driver considers them *)
+          List.iter2
+            (fun (seq_class, _kind) (cands, st) ->
+              Ilp.Stats.merge ~into:stats st;
+              let seq_time = Htg.Node.seq_time_us pf ~cls:seq_class node in
+              List.iter
+                (fun (r : Solution.t) ->
+                  if r.Solution.time_us *. cfg.Config.min_parallel_gain < seq_time
+                  then res.(seq_class) <- r :: res.(seq_class))
+                cands)
+            descs outs
         end;
         let set =
           Array.map
@@ -121,13 +217,20 @@ let parallelize ?(cfg = Config.default) ?stats (pf : Platform.Desc.t)
           Array.mapi
             (fun c cands ->
               if List.exists Solution.is_sequential cands then cands
-              else seq_candidate sets pf node c :: cands)
+              else seq_cand node c :: cands)
             set
         in
-        Hashtbl.replace sets node.Htg.Node.id set;
+        store_set node.Htg.Node.id set;
         set
   in
-  let root_set = go root_node in
+  let root_set =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Taskpool.Pool.shutdown owned_pool)
+      (fun () ->
+        match pool with
+        | Some p -> Taskpool.Pool.run p (fun () -> go root_node)
+        | None -> go root_node)
+  in
   (* the application's sequential context runs on the platform's main
      class; implement the best candidate tagged with it (Algorithm 1 l.4) *)
   let main_cls = pf.Platform.Desc.main_class in
@@ -139,4 +242,4 @@ let parallelize ?(cfg = Config.default) ?stats (pf : Platform.Desc.t)
           (fun acc s -> if s.Solution.time_us < acc.Solution.time_us then s else acc)
           x rest
   in
-  { root_set; root; sets; stats; wall_time_s = Sys.time () -. t0 }
+  { root_set; root; sets; stats; wall_time_s = Ilp.Clock.now_s () -. t0 }

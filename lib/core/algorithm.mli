@@ -25,5 +25,18 @@ val seq_candidate :
   int ->
   Solution.t
 
+(** Run Algorithm 1.  With [cfg.jobs > 1] (or [= 0], meaning the
+    recommended domain count), sibling subtrees and the independent
+    (class, sweep-kind) budget sweeps run as tasks on a domain pool —
+    [pool] reuses an existing one, otherwise the run creates and shuts
+    down its own.  Chosen solutions (and their [time_us]) are
+    bit-identical at any [jobs] value; see the implementation notes on
+    why.  [cfg.solve_cache] memoizes structurally identical ILPs within
+    the run. *)
 val parallelize :
-  ?cfg:Config.t -> ?stats:Ilp.Stats.t -> Platform.Desc.t -> Htg.Node.t -> result
+  ?cfg:Config.t ->
+  ?stats:Ilp.Stats.t ->
+  ?pool:Taskpool.Pool.t ->
+  Platform.Desc.t ->
+  Htg.Node.t ->
+  result

@@ -4,8 +4,19 @@ type t = {
   max_candidates_per_class : int;
       (** cap on parallel solution candidates kept per (node, class) after
           Pareto pruning; the per-class sequential candidate is always kept *)
-  ilp_time_limit_s : float;  (** wall budget per generated ILP *)
+  ilp_time_limit_s : float;
+      (** wall budget per generated ILP (monotonic clock).  A safety net
+          only: when bit-reproducibility matters, make sure the
+          deterministic [ilp_work_limit] is the binding limit, since wall
+          time varies run to run *)
   ilp_node_limit : int;  (** branch & bound node budget per ILP *)
+  ilp_work_limit : float;
+      (** deterministic solve budget per generated ILP, measured in
+          simplex work units (tableau cells touched).  Unlike the wall
+          budget this is machine- and schedule-independent, so runs
+          terminate identically anywhere and at any [jobs] value.
+          [0.] disables it.  As calibration: 1e8 units is roughly 0.5 s
+          of solving on a 2020s core *)
   max_children : int;  (** AHTG coalescing bound, see {!Htg.Build} *)
   min_parallel_gain : float;
       (** a parallel candidate must beat the same-class sequential time by
@@ -25,6 +36,25 @@ type t = {
   max_steps : int;
       (** interpreted-statement budget for the profiling run (and any
           runtime execution derived from it) *)
+  jobs : int;
+      (** worker domains for the compile-side solve engine: sibling
+          subtree parallelizations and the independent (class, kind)
+          budget sweeps of a node become pool tasks.  [1] (the default)
+          keeps the historical fully sequential driver; [0] means
+          [Domain.recommended_domain_count ()].  Chosen solutions are
+          bit-identical at any value (see DESIGN.md on determinism) *)
+  solve_cache : bool;
+      (** memoize ILP solves on a structural fingerprint ({!Ilp.Memo}):
+          isomorphic subproblems across budgets, classes and tree nodes
+          are solved once.  Single-flight, so hit counts and results stay
+          deterministic under parallel solving *)
+  sweep_warm_start : bool;
+      (** chain the solves of one decreasing-budget sweep: the previous
+          budget's proven optimum becomes a [known_lb] (valid because
+          shrinking the budget only shrinks the feasible set), and its
+          improving-incumbent trail seeds the next solve's incumbent.
+          Prunes substantially; disable to reproduce the pre-cache
+          solver behaviour exactly *)
 }
 
 let default =
@@ -32,6 +62,7 @@ let default =
     max_candidates_per_class = 3;
     ilp_time_limit_s = 2.;
     ilp_node_limit = 3_000;
+    ilp_work_limit = 4e8;
     max_children = 8;
     min_parallel_gain = 1.02;
     max_split_tasks = 8;
@@ -39,6 +70,9 @@ let default =
     enable_pipeline = false;
     ilp_gap_rel = 0.005;
     max_steps = 50_000_000;
+    jobs = 1;
+    solve_cache = true;
+    sweep_warm_start = true;
   }
 
 (** Faster, slightly less exhaustive settings for unit tests. *)
@@ -47,6 +81,7 @@ let fast =
     default with
     ilp_time_limit_s = 0.5;
     ilp_node_limit = 800;
+    ilp_work_limit = 1e8;
     max_candidates_per_class = 2;
     ilp_gap_rel = 0.01;
   }

@@ -4,8 +4,15 @@ type t = {
   max_candidates_per_class : int;
       (** cap on parallel candidates kept per (node, class) after Pareto
           pruning; the per-class sequential candidate is always kept *)
-  ilp_time_limit_s : float;  (** wall budget per generated ILP *)
+  ilp_time_limit_s : float;
+      (** wall budget per generated ILP (monotonic clock); a safety net —
+          for bit-reproducible runs the deterministic [ilp_work_limit]
+          should be the binding limit *)
   ilp_node_limit : int;  (** branch & bound node budget per ILP *)
+  ilp_work_limit : float;
+      (** deterministic solve budget per ILP in simplex work units
+          (tableau cells touched): machine- and schedule-independent,
+          identical termination at any [jobs] value; [0.] disables *)
   max_children : int;  (** AHTG coalescing bound *)
   min_parallel_gain : float;
       (** a parallel candidate must beat the same-class sequential time by
@@ -21,6 +28,17 @@ type t = {
       (** relative optimality gap accepted by branch & bound *)
   max_steps : int;
       (** interpreted-statement budget for the profiling run *)
+  jobs : int;
+      (** worker domains for the solve engine: [1] = historical
+          sequential driver (default), [0] = recommended domain count.
+          Chosen solutions are bit-identical at any value *)
+  solve_cache : bool;
+      (** memoize ILP solves on a structural fingerprint; single-flight,
+          deterministic results and hit counts *)
+  sweep_warm_start : bool;
+      (** chain budget-sweep solves: previous proven optimum as a known
+          lower bound + incumbent trail as warm starts; disable to
+          reproduce the pre-cache solver behaviour exactly *)
 }
 
 val default : t

@@ -682,21 +682,33 @@ let extract (inp : input) (inst : instance) (out : Solver.outcome) :
         }
 
 (** Build and solve one ILPPAR instance.  Returns [None] when the node has
-    fewer than two children or the budget admits no parallelism. *)
-let solve ?stats (inp : input) : Solution.t option =
+    fewer than two children or the budget admits no parallelism.  [prev]
+    is the outcome of the preceding (larger-budget) solve of the same
+    sweep, chained into a lower bound and warm starts (see {!Sweep}). *)
+let solve_ext ?stats ?cache ?prev (inp : input) :
+    (Solution.t * Solver.outcome) option =
   match build inp with
   | None -> None
   | Some inst ->
-      let options =
-        {
-          Branch_bound.default_options with
-          Branch_bound.time_limit_s = inp.cfg.Config.ilp_time_limit_s;
-          node_limit = inp.cfg.Config.ilp_node_limit;
-          gap_rel = inp.cfg.Config.ilp_gap_rel;
-        }
-      in
+      let options = Sweep.chain_options inp.cfg prev in
       let warm = hierarchical_warm_start inp inst in
-      let out = Solver.solve ~options ~warm_start:warm ?stats inst.model in
+      let extra_starts =
+        Sweep.chain_starts inp.cfg prev ~num_vars:(Model.num_vars inst.model)
+      in
+      let out =
+        Solver.solve ~options ~warm_start:warm ~extra_starts ?cache ?stats
+          inst.model
+      in
       (match out.Solver.status with
-      | Branch_bound.Optimal | Branch_bound.Feasible -> extract inp inst out
+      | Branch_bound.Optimal | Branch_bound.Feasible ->
+          Option.map (fun r -> (r, out)) (extract inp inst out)
       | Branch_bound.Infeasible | Branch_bound.Unbounded -> None)
+
+let solve ?stats ?cache (inp : input) : Solution.t option =
+  Option.map fst (solve_ext ?stats ?cache inp)
+
+(** The full decreasing-budget ILPPAR sweep for one (node, class), with
+    cross-budget chaining; candidates in discovery order. *)
+let sweep ?stats ?cache ~total_units (inp : input) : Solution.t list =
+  Sweep.run ~total_units ~solve:(fun ~budget ~prev ->
+      solve_ext ?stats ?cache ?prev { inp with budget })

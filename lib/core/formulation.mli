@@ -19,5 +19,26 @@ type input = {
 (** Build and solve one ILPPAR instance.  [None] when the node has fewer
     than two children or the budget admits no parallelism; otherwise the
     extracted candidate (tagged [seq_class]), even if only the warm-start
-    incumbent survived the solver limits. *)
-val solve : ?stats:Ilp.Stats.t -> input -> Solution.t option
+    incumbent survived the solver limits.  [cache] memoizes the solve on
+    the model's structural fingerprint. *)
+val solve : ?stats:Ilp.Stats.t -> ?cache:Ilp.Memo.t -> input -> Solution.t option
+
+(** Like {!solve} but also returns the raw solver outcome; [prev] chains
+    the preceding (larger-budget) outcome of the same sweep into a lower
+    bound and warm starts (see {!Sweep}). *)
+val solve_ext :
+  ?stats:Ilp.Stats.t ->
+  ?cache:Ilp.Memo.t ->
+  ?prev:Ilp.Solver.outcome ->
+  input ->
+  (Solution.t * Ilp.Solver.outcome) option
+
+(** The full decreasing-budget ILPPAR sweep for one (node, class) —
+    [input.budget] is ignored, the sweep starts at [total_units] — with
+    cross-budget chaining; candidates in discovery order. *)
+val sweep :
+  ?stats:Ilp.Stats.t ->
+  ?cache:Ilp.Memo.t ->
+  total_units:int ->
+  input ->
+  Solution.t list

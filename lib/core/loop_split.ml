@@ -34,7 +34,8 @@ let iter_cycles (node : Htg.Node.t) =
       Htg.Node.cycles_per_entry node /. iters_per_entry
   | _ -> 0.
 
-let solve ?stats (inp : input) : Solution.t option =
+let solve_ext ?stats ?cache ?prev (inp : input) :
+    (Solution.t * Solver.outcome) option =
   let node = inp.node in
   match node.Htg.Node.kind with
   | Htg.Node.Loop { doall = true; iters_per_entry; _ }
@@ -144,15 +145,13 @@ let solve ?stats (inp : input) : Solution.t option =
         warm.(used.(0)) <- 1.;
         warm.(map_tc.(0).(inp.seq_class)) <- 1.;
         warm.(makespan) <- n_iters *. (w_us inp.seq_class +. comm_per_iter_us);
-        let options =
-          {
-            Branch_bound.default_options with
-            Branch_bound.time_limit_s = inp.cfg.Config.ilp_time_limit_s;
-            node_limit = inp.cfg.Config.ilp_node_limit;
-            gap_rel = inp.cfg.Config.ilp_gap_rel;
-          }
+        let options = Sweep.chain_options inp.cfg prev in
+        let extra_starts =
+          Sweep.chain_starts inp.cfg prev ~num_vars:(Model.num_vars m)
         in
-        let out = Solver.solve ~options ~warm_start:warm ?stats m in
+        let out =
+          Solver.solve ~options ~warm_start:warm ~extra_starts ?cache ?stats m
+        in
         match (out.Solver.status, out.Solver.x) with
         | (Branch_bound.Optimal | Branch_bound.Feasible), Some sol ->
             let chunk_iters = Array.init ntasks (fun t -> Float.round sol.(iters.(t))) in
@@ -182,13 +181,23 @@ let solve ?stats (inp : input) : Solution.t option =
             ignore header_us;
             let time_us = ec *. out.Solver.obj in
             Some
-              {
-                Solution.node_id = node.Htg.Node.id;
-                main_class = inp.seq_class;
-                time_us;
-                extra_units = extra;
-                kind = Solution.Split { Solution.chunk_iters; split_class };
-              }
+              ( {
+                  Solution.node_id = node.Htg.Node.id;
+                  main_class = inp.seq_class;
+                  time_us;
+                  extra_units = extra;
+                  kind = Solution.Split { Solution.chunk_iters; split_class };
+                },
+                out )
         | _ -> None
       end
   | _ -> None
+
+let solve ?stats ?cache (inp : input) : Solution.t option =
+  Option.map fst (solve_ext ?stats ?cache inp)
+
+(** The decreasing-budget splitting sweep for one (node, class), with
+    cross-budget chaining; candidates in discovery order. *)
+let sweep ?stats ?cache ~total_units (inp : input) : Solution.t list =
+  Sweep.run ~total_units ~solve:(fun ~budget ~prev ->
+      solve_ext ?stats ?cache ?prev { inp with budget })

@@ -15,5 +15,25 @@ type input = {
 (** Per-iteration body cost in abstract cycles (loop control amortized). *)
 val iter_cycles : Htg.Node.t -> float
 
-(** [None] for non-DOALL nodes or budgets without parallelism. *)
-val solve : ?stats:Ilp.Stats.t -> input -> Solution.t option
+(** [None] for non-DOALL nodes or budgets without parallelism.  [cache]
+    memoizes the solve on the model's structural fingerprint. *)
+val solve : ?stats:Ilp.Stats.t -> ?cache:Ilp.Memo.t -> input -> Solution.t option
+
+(** Like {!solve} but also returns the raw solver outcome; [prev] chains
+    the preceding (larger-budget) outcome of the same sweep (see
+    {!Sweep}). *)
+val solve_ext :
+  ?stats:Ilp.Stats.t ->
+  ?cache:Ilp.Memo.t ->
+  ?prev:Ilp.Solver.outcome ->
+  input ->
+  (Solution.t * Ilp.Solver.outcome) option
+
+(** The decreasing-budget splitting sweep for one (node, class) —
+    [input.budget] is ignored, the sweep starts at [total_units]. *)
+val sweep :
+  ?stats:Ilp.Stats.t ->
+  ?cache:Ilp.Memo.t ->
+  total_units:int ->
+  input ->
+  Solution.t list

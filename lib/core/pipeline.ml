@@ -39,7 +39,8 @@ type input = {
     synchronization cost; the pipeline fill grows accordingly. *)
 let handoff_batch = 32.
 
-let solve ?stats (inp : input) : Solution.t option =
+let solve_ext ?stats ?cache ?prev (inp : input) :
+    (Solution.t * Solver.outcome) option =
   let node = inp.node in
   match node.Htg.Node.kind with
   | Htg.Node.Loop { doall = false; iters_per_entry; _ }
@@ -216,15 +217,13 @@ let solve ?stats (inp : input) : Solution.t option =
         warm.(bottleneck) <-
           List.fold_left ( +. ) 0.
             (List.init k (fun n -> periter_us n inp.seq_class));
-        let options =
-          {
-            Branch_bound.default_options with
-            Branch_bound.time_limit_s = cfg.Config.ilp_time_limit_s;
-            node_limit = cfg.Config.ilp_node_limit;
-            gap_rel = cfg.Config.ilp_gap_rel;
-          }
+        let options = Sweep.chain_options cfg prev in
+        let extra_starts =
+          Sweep.chain_starts cfg prev ~num_vars:(Model.num_vars m)
         in
-        let out = Solver.solve ~options ~warm_start:warm ?stats m in
+        let out =
+          Solver.solve ~options ~warm_start:warm ~extra_starts ?cache ?stats m
+        in
         match (out.Solver.status, out.Solver.x) with
         | (Branch_bound.Optimal | Branch_bound.Feasible), Some sol ->
             let stage_of =
@@ -286,16 +285,26 @@ let solve ?stats (inp : input) : Solution.t option =
                 (fun t c -> if t > 0 && c >= 0 then extra.(c) <- extra.(c) + 1)
                 stage_class;
               Some
-                {
-                  Solution.node_id = node.Htg.Node.id;
-                  main_class = inp.seq_class;
-                  time_us;
-                  extra_units = extra;
-                  kind =
-                    Solution.Pipeline
-                      { Solution.stage_of; stage_class; bottleneck_us = b };
-                }
+                ( {
+                    Solution.node_id = node.Htg.Node.id;
+                    main_class = inp.seq_class;
+                    time_us;
+                    extra_units = extra;
+                    kind =
+                      Solution.Pipeline
+                        { Solution.stage_of; stage_class; bottleneck_us = b };
+                  },
+                  out )
             end
         | _ -> None
       end
   | _ -> None
+
+let solve ?stats ?cache (inp : input) : Solution.t option =
+  Option.map fst (solve_ext ?stats ?cache inp)
+
+(** The decreasing-budget pipelining sweep for one (node, class), with
+    cross-budget chaining; candidates in discovery order. *)
+let sweep ?stats ?cache ~total_units (inp : input) : Solution.t list =
+  Sweep.run ~total_units ~solve:(fun ~budget ~prev ->
+      solve_ext ?stats ?cache ?prev { inp with budget })

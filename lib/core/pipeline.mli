@@ -17,5 +17,25 @@ type input = {
 val handoff_batch : float
 
 (** [None] when the node is not a pipelineable loop, the budget admits no
-    parallelism, or no multi-stage partition beats one stage. *)
-val solve : ?stats:Ilp.Stats.t -> input -> Solution.t option
+    parallelism, or no multi-stage partition beats one stage.  [cache]
+    memoizes the solve on the model's structural fingerprint. *)
+val solve : ?stats:Ilp.Stats.t -> ?cache:Ilp.Memo.t -> input -> Solution.t option
+
+(** Like {!solve} but also returns the raw solver outcome; [prev] chains
+    the preceding (larger-budget) outcome of the same sweep (see
+    {!Sweep}). *)
+val solve_ext :
+  ?stats:Ilp.Stats.t ->
+  ?cache:Ilp.Memo.t ->
+  ?prev:Ilp.Solver.outcome ->
+  input ->
+  (Solution.t * Ilp.Solver.outcome) option
+
+(** The decreasing-budget pipelining sweep for one (node, class) —
+    [input.budget] is ignored, the sweep starts at [total_units]. *)
+val sweep :
+  ?stats:Ilp.Stats.t ->
+  ?cache:Ilp.Memo.t ->
+  total_units:int ->
+  input ->
+  Solution.t list

@@ -1,0 +1,26 @@
+(** Shared driver for the decreasing-budget solve sweeps of Algorithm 1
+    (ILPPAR, loop splitting, pipelining), including the cross-budget warm
+    starts: previous proven optimum as a [known_lb], previous incumbent
+    trail as extra starting points ([Config.sweep_warm_start]). *)
+
+open Ilp
+
+(** Per-solve options from the configuration plus the chained [known_lb]
+    (all sweep models minimize a makespan). *)
+val chain_options : Config.t -> Solver.outcome option -> Branch_bound.options
+
+(** Incumbent trail of the previous solve, filtered to points whose
+    variable layout matches the new instance. *)
+val chain_starts :
+  Config.t -> Solver.outcome option -> num_vars:int -> float array list
+
+(** [run ~total_units ~solve] drives one sweep: solve at budget [i], keep
+    the candidate, continue at one unit below what it used.  Returns kept
+    candidates in discovery order (largest budget first). *)
+val run :
+  total_units:int ->
+  solve:
+    (budget:int ->
+    prev:Solver.outcome option ->
+    (Solution.t * Solver.outcome) option) ->
+  Solution.t list

@@ -17,11 +17,17 @@ type solution = {
   x : float array option;
   obj : float;  (** objective of [x] in the model's own sense *)
   nodes : int;  (** branch & bound nodes processed *)
+  incumbents : float array list;
+      (** trail of improving incumbents found during the search, most
+          recent (= best) first, capped; used to warm-start related
+          solves (e.g. the next processor budget in a sweep) *)
 }
 
 type options = {
   time_limit_s : float;
   node_limit : int;
+  work_limit : float;
+  known_lb : float;
   gap_abs : float;
   gap_rel : float;
   int_tol : float;
@@ -31,10 +37,15 @@ let default_options =
   {
     time_limit_s = 30.;
     node_limit = 200_000;
+    work_limit = infinity;
+    known_lb = neg_infinity;
     gap_abs = 1e-6;
     gap_rel = 1e-9;
     int_tol = 1e-6;
   }
+
+(* how many improving incumbents to keep for the caller *)
+let max_incumbents = 4
 
 type node = { nlb : float array; nub : float array; parent_bound : float }
 
@@ -132,7 +143,7 @@ let rounded_candidate model opts (x : float array) =
     {!rounded_candidate} but finds feasible completions the plain rounding
     misses (e.g. when big-M continuous variables must move). *)
 let fix_and_solve model (node_lb : float array) (node_ub : float array)
-    (x : float array) =
+    (x : float array) ~work =
   let n = Model.num_vars model in
   let lb = Array.copy node_lb and ub = Array.copy node_ub in
   let ok = ref true in
@@ -147,8 +158,10 @@ let fix_and_solve model (node_lb : float array) (node_ub : float array)
     end
   done;
   if not !ok then None
-  else
-    match Simplex.solve ~lb ~ub model with
+  else begin
+    let res, w = Simplex.solve_counted ~lb ~ub model in
+    work := !work +. w;
+    match res with
     | Simplex.Optimal { x = y; _ } ->
         let y = Array.copy y in
         for v = 0 to n - 1 do
@@ -157,28 +170,49 @@ let fix_and_solve model (node_lb : float array) (node_ub : float array)
         done;
         if Model.feasible model (fun v -> y.(v)) then Some y else None
     | Simplex.Infeasible | Simplex.Unbounded -> None
+  end
 
-let solve ?(options = default_options) ?warm_start (model : Model.t) : solution
-    =
+let solve ?(options = default_options) ?warm_start ?(extra_starts = [])
+    (model : Model.t) : solution =
   let n = Model.num_vars model in
   let sense = model.Model.obj_sense in
   (* internal objective: always minimize *)
   let key_of_obj o = match sense with Model.Minimize -> o | Model.Maximize -> -.o in
-  let start = Sys.time () in
+  let start = Clock.now_s () in
+  let work = ref 0. in
   let incumbent = ref None in
   let incumbent_key = ref infinity in
+  let incumbents = ref [] in
   let consider_incumbent y =
     let o = Model.objective_value model (fun v -> y.(v)) in
     let k = key_of_obj o in
     if k < !incumbent_key -. 1e-12 then begin
       incumbent_key := k;
-      incumbent := Some (y, o)
+      incumbent := Some (y, o);
+      incumbents :=
+        y :: List.filteri (fun i _ -> i < max_incumbents - 1) !incumbents
     end
   in
-  (match warm_start with
-  | Some y when Array.length y = n && Model.feasible model (fun v -> y.(v)) ->
+  let seed y =
+    if Array.length y = n && Model.feasible model (fun v -> y.(v)) then
       consider_incumbent (Array.copy y)
-  | _ -> ());
+  in
+  (match warm_start with Some y -> seed y | None -> ());
+  (* additional starting points (e.g. the incumbent trail of a related
+     solve); infeasible ones are filtered by [seed] *)
+  List.iter seed extra_starts;
+  (* [known_lb] is a caller-proven lower bound on the optimal key (the
+     caller must guarantee it, e.g. the proven optimum of a relaxation of
+     this model).  Once the incumbent is within the optimality gap of it,
+     the search can stop with a proof. *)
+  let proved_by_lb () =
+    (* an infinite incumbent key would make the relative-gap term
+       infinite and "prove" optimality with no incumbent at all *)
+    Float.is_finite !incumbent_key
+    && !incumbent_key
+       <= options.known_lb
+          +. max options.gap_abs (options.gap_rel *. Float.abs !incumbent_key)
+  in
   let root_lb = Array.init n (fun v -> (Model.var_info model v).Model.lb) in
   let root_ub = Array.init n (fun v -> (Model.var_info model v).Model.ub) in
   let heap = Heap.create () in
@@ -191,10 +225,21 @@ let solve ?(options = default_options) ?warm_start (model : Model.t) : solution
     !incumbent_key
     -. max options.gap_abs (options.gap_rel *. Float.abs !incumbent_key)
   in
+  let proved = ref false in
   let continue = ref true in
   while !continue do
-    if Sys.time () -. start > options.time_limit_s || !nodes >= options.node_limit
-    then begin
+    (* deterministic limits (work, nodes) are checked before the wall
+       clock so that runs with a finite work budget terminate identically
+       on any machine and at any domain count *)
+    if proved_by_lb () then begin
+      proved := true;
+      continue := false
+    end
+    else if !work >= options.work_limit || !nodes >= options.node_limit then begin
+      hit_limit := true;
+      continue := false
+    end
+    else if Clock.now_s () -. start > options.time_limit_s then begin
       hit_limit := true;
       continue := false
     end
@@ -206,7 +251,9 @@ let solve ?(options = default_options) ?warm_start (model : Model.t) : solution
             (* best-first: all remaining nodes are worse *)
           else begin
             incr nodes;
-            match Simplex.solve ~lb:nd.nlb ~ub:nd.nub model with
+            let lp, w = Simplex.solve_counted ~lb:nd.nlb ~ub:nd.nub model in
+            work := !work +. w;
+            match lp with
             | Simplex.Infeasible -> ()
             | Simplex.Unbounded -> saw_unbounded := true
             | Simplex.Optimal { x; obj } -> (
@@ -218,7 +265,7 @@ let solve ?(options = default_options) ?warm_start (model : Model.t) : solution
                   | None ->
                       (* periodically try the LP-based completion *)
                       if !nodes land 7 = 1 then
-                        match fix_and_solve model nd.nlb nd.nub x with
+                        match fix_and_solve model nd.nlb nd.nub x ~work with
                         | Some y -> consider_incumbent y
                         | None -> ());
                   match fractional_var model options x with
@@ -247,14 +294,16 @@ let solve ?(options = default_options) ?warm_start (model : Model.t) : solution
   match !incumbent with
   | Some (y, o) ->
       {
-        status = (if !hit_limit then Feasible else Optimal);
+        status = (if !hit_limit && not !proved then Feasible else Optimal);
         x = Some y;
         obj = o;
         nodes = !nodes;
+        incumbents = !incumbents;
       }
   | None ->
       if !saw_unbounded then
-        { status = Unbounded; x = None; obj = nan; nodes = !nodes }
-      else if !hit_limit then
-        { status = Infeasible; x = None; obj = nan; nodes = !nodes }
-      else { status = Infeasible; x = None; obj = nan; nodes = !nodes }
+        { status = Unbounded; x = None; obj = nan; nodes = !nodes; incumbents = [] }
+      else
+        (* with a limit hit this is "no incumbent found", which we still
+           report as Infeasible: callers treat both as "no solution" *)
+        { status = Infeasible; x = None; obj = nan; nodes = !nodes; incumbents = [] }

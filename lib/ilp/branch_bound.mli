@@ -17,11 +17,25 @@ type solution = {
   x : float array option;
   obj : float;  (** objective of [x] in the model's own sense *)
   nodes : int;  (** branch & bound nodes processed *)
+  incumbents : float array list;
+      (** trail of improving incumbents, most recent (= best) first,
+          capped at a few entries; feed them to a related solve's
+          [extra_starts] to seed its incumbent early *)
 }
 
 type options = {
-  time_limit_s : float;
+  time_limit_s : float;  (** wall-clock limit (monotonic clock) *)
   node_limit : int;
+  work_limit : float;
+      (** deterministic budget in {!Simplex} work units (tableau cells
+          touched); unlike [time_limit_s], identical runs hit it at the
+          identical node on any machine / domain count.  [infinity]
+          disables it. *)
+  known_lb : float;
+      (** caller-proven lower bound on the optimal objective key
+          (minimize sense; negated objective for maximize models).  The
+          search stops with {!Optimal} once the incumbent is within the
+          optimality gap of it.  [neg_infinity] disables it. *)
   gap_abs : float;  (** absolute optimality gap for fathoming *)
   gap_rel : float;  (** relative optimality gap for fathoming *)
   int_tol : float;  (** integrality tolerance *)
@@ -30,5 +44,11 @@ type options = {
 val default_options : options
 
 (** Solve the MILP.  [warm_start], when feasible, becomes the initial
-    incumbent. *)
-val solve : ?options:options -> ?warm_start:float array -> Model.t -> solution
+    incumbent; [extra_starts] are further candidate starting points
+    (infeasible ones are skipped). *)
+val solve :
+  ?options:options ->
+  ?warm_start:float array ->
+  ?extra_starts:float array list ->
+  Model.t ->
+  solution

@@ -1,0 +1,12 @@
+(** Wall-clock time for solver limits and timing reports.
+
+    The solver layer used to time itself with [Sys.time ()] — process CPU
+    time — which over-reports wildly once solves run on several domains
+    (N busy domains advance it N× faster than the wall) and under-reports
+    when the process is descheduled.  All solver-side timing and
+    time-limit enforcement goes through this module instead so there is a
+    single switch point; [Unix.gettimeofday] is the best widely available
+    approximation of a monotonic clock without extra dependencies (OCaml's
+    stdlib exposes no [CLOCK_MONOTONIC] reader). *)
+
+let now_s : unit -> float = Unix.gettimeofday

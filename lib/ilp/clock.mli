@@ -1,0 +1,6 @@
+(** Wall-clock time for solver limits and timing reports (not process CPU
+    time — see the implementation notes on why that matters under
+    domain-parallel solving). *)
+
+(** Seconds since the epoch; differences measure elapsed wall time. *)
+val now_s : unit -> float

@@ -1,0 +1,152 @@
+(** Structural solve cache for {!Branch_bound} (see the interface for the
+    contract).
+
+    The fingerprint is an MD5 digest of a canonical binary serialization
+    of everything that can influence the solve result: variable kinds,
+    bounds and branch priorities; normalized constraint rows; the
+    objective and its sense; the solver options; and the warm-start
+    points.  Variable, constraint and model {e names} are deliberately
+    excluded, so structurally isomorphic models — same math, different
+    labels, as produced for different tree nodes or processor classes
+    with identical cost annotations — hit the same entry.
+
+    Concurrency: a single mutex guards the table.  A worker that finds a
+    fingerprint in flight blocks on a condition variable until the owner
+    fills it; the owning worker is on another domain and never depends on
+    a waiter, so this cannot deadlock.  This single-flight discipline
+    means each distinct subproblem is solved exactly once at any worker
+    count — which also keeps hit/miss statistics deterministic. *)
+
+type entry = Inflight | Done of Branch_bound.solution
+
+type t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  tbl : (string, entry) Hashtbl.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    tbl = Hashtbl.create 256;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+(* ---- canonical fingerprint ---- *)
+
+let add_int b i =
+  Buffer.add_int64_le b (Int64.of_int i)
+
+let add_float b f =
+  (* bit pattern, so e.g. 0. and -0. are distinct and NaN is stable *)
+  Buffer.add_int64_le b (Int64.bits_of_float f)
+
+let add_terms b (e : Lin_expr.t) =
+  let e = Lin_expr.normalize e in
+  add_int b (List.length e.Lin_expr.terms);
+  List.iter
+    (fun (v, c) ->
+      add_int b v;
+      add_float b c)
+    e.Lin_expr.terms;
+  add_float b e.Lin_expr.const
+
+let fingerprint ?(options = Branch_bound.default_options) ?warm_start
+    ?(extra_starts = []) (model : Model.t) : string =
+  let b = Buffer.create 4096 in
+  (* variables: kind, bounds, priority — no names *)
+  let n = Model.num_vars model in
+  add_int b n;
+  for v = 0 to n - 1 do
+    let i = Model.var_info model v in
+    add_int b (match i.Model.kind with Model.Cont -> 0 | Model.Int -> 1 | Model.Bool -> 2);
+    add_float b i.Model.lb;
+    add_float b i.Model.ub;
+    add_int b i.Model.priority
+  done;
+  (* constraints: normalized expr, op, bound — no names *)
+  add_int b (Model.num_constraints model);
+  Model.iter_constrs
+    (fun c ->
+      add_int b (match c.Model.op with Model.Le -> 0 | Model.Ge -> 1 | Model.Eq -> 2);
+      add_float b c.Model.bound;
+      add_terms b c.Model.expr)
+    model;
+  (* objective *)
+  add_int b (match model.Model.obj_sense with Model.Minimize -> 0 | Model.Maximize -> 1);
+  add_terms b model.Model.objective;
+  (* options that change the search result *)
+  add_float b options.Branch_bound.time_limit_s;
+  add_int b options.Branch_bound.node_limit;
+  add_float b options.Branch_bound.work_limit;
+  add_float b options.Branch_bound.known_lb;
+  add_float b options.Branch_bound.gap_abs;
+  add_float b options.Branch_bound.gap_rel;
+  add_float b options.Branch_bound.int_tol;
+  (* starting points seed the incumbent, which steers the search *)
+  let add_point y =
+    add_int b (Array.length y);
+    Array.iter (add_float b) y
+  in
+  (match warm_start with
+  | None -> add_int b 0
+  | Some y ->
+      add_int b 1;
+      add_point y);
+  add_int b (List.length extra_starts);
+  List.iter add_point extra_starts;
+  Digest.string (Buffer.contents b)
+
+(* ---- lookup protocol ---- *)
+
+let find_or_reserve c key =
+  Mutex.lock c.mu;
+  let rec loop () =
+    match Hashtbl.find_opt c.tbl key with
+    | Some (Done sol) -> `Hit sol
+    | Some Inflight ->
+        Condition.wait c.cond c.mu;
+        loop ()
+    | None ->
+        Hashtbl.replace c.tbl key Inflight;
+        `Reserved
+  in
+  let r = loop () in
+  Mutex.unlock c.mu;
+  (match r with
+  | `Hit _ -> Atomic.incr c.hits
+  | `Reserved -> Atomic.incr c.misses);
+  r
+
+let fill c key sol =
+  Mutex.lock c.mu;
+  Hashtbl.replace c.tbl key (Done sol);
+  Condition.broadcast c.cond;
+  Mutex.unlock c.mu
+
+let cancel c key =
+  Mutex.lock c.mu;
+  Hashtbl.remove c.tbl key;
+  Condition.broadcast c.cond;
+  Mutex.unlock c.mu
+
+let hits c = Atomic.get c.hits
+let misses c = Atomic.get c.misses
+
+let hit_rate c =
+  let h = float_of_int (hits c) and m = float_of_int (misses c) in
+  if h +. m = 0. then 0. else h /. (h +. m)
+
+let length c =
+  Mutex.lock c.mu;
+  let n =
+    Hashtbl.fold
+      (fun _ e n -> match e with Done _ -> n + 1 | Inflight -> n)
+      c.tbl 0
+  in
+  Mutex.unlock c.mu;
+  n

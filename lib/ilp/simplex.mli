@@ -11,12 +11,23 @@ type result =
   | Infeasible
   | Unbounded
 
-(** Diagnostics: pivots and solves across the process lifetime. *)
-val total_iterations : int ref
+(** Diagnostics: pivots and solves across the process lifetime.  Atomic
+    because solves run concurrently on OCaml 5 domains; each solve counts
+    into domain-local accumulators and publishes once at the end with
+    [fetch_and_add], so concurrent solves never lose updates. *)
+val total_iterations : int Atomic.t
 
-val solve_count : int ref
+val solve_count : int Atomic.t
 
 (** Solve the LP relaxation of [model] (integrality is ignored).
     [lb]/[ub] optionally override the model's variable bounds; both must
     have length [Model.num_vars model]. *)
 val solve : ?lb:float array -> ?ub:float array -> Model.t -> result
+
+(** Like {!solve}, but also returns the work performed, measured in
+    tableau cells touched across all pivots.  Unlike wall-clock time this
+    measure is deterministic — independent of machine speed, domain count
+    and scheduling — so {!Branch_bound} uses it for reproducible solve
+    budgets. *)
+val solve_counted :
+  ?lb:float array -> ?ub:float array -> Model.t -> result * float

@@ -1,6 +1,7 @@
-(** Facade over {!Branch_bound} adding timing and {!Stats} recording; this
-    is the entry point the parallelizer uses, mirroring the "state-of-the-
-    art ILP solver" box of the paper's tool flow (Fig. 6). *)
+(** Facade over {!Branch_bound} adding timing, {!Stats} recording and the
+    {!Memo} solve cache; this is the entry point the parallelizer uses,
+    mirroring the "state-of-the-art ILP solver" box of the paper's tool
+    flow (Fig. 6). *)
 
 type outcome = {
   status : Branch_bound.status;
@@ -8,21 +9,39 @@ type outcome = {
   obj : float;
   nodes : int;
   time_s : float;
+  incumbents : float array list;
+      (** improving-incumbent trail of the underlying search (best
+          first); seeds related solves via [extra_starts] *)
 }
 
-(** Solve [model]; if [stats] is given, the ILP's size, solve time and
-    node count are accumulated into it. *)
 let debug_slow =
   match Sys.getenv_opt "MPSOC_ILP_DEBUG" with
   | Some ("" | "0") | None -> None
   | Some s -> float_of_string_opt s
 
-let solve ?options ?warm_start ?stats (model : Model.t) : outcome =
-  let t0 = Sys.time () in
-  let sol = Branch_bound.solve ?options ?warm_start model in
-  let time_s = Sys.time () -. t0 in
+let solve ?options ?warm_start ?(extra_starts = []) ?cache ?stats
+    (model : Model.t) : outcome =
+  let t0 = Clock.now_s () in
+  let run () = Branch_bound.solve ?options ?warm_start ~extra_starts model in
+  let sol, cached =
+    match cache with
+    | None -> (run (), false)
+    | Some c -> (
+        let key = Memo.fingerprint ?options ?warm_start ~extra_starts model in
+        match Memo.find_or_reserve c key with
+        | `Hit sol -> (sol, true)
+        | `Reserved -> (
+            match run () with
+            | sol ->
+                Memo.fill c key sol;
+                (sol, false)
+            | exception e ->
+                Memo.cancel c key;
+                raise e))
+  in
+  let time_s = Clock.now_s () -. t0 in
   (match debug_slow with
-  | Some threshold when time_s >= threshold ->
+  | Some threshold when time_s >= threshold && not cached ->
       Printf.eprintf "[ilp] %s: %d vars %d constrs %d nodes %.2fs status=%s\n%!"
         (Model.name model) (Model.num_vars model) (Model.num_constraints model)
         sol.Branch_bound.nodes time_s
@@ -33,7 +52,9 @@ let solve ?options ?warm_start ?stats (model : Model.t) : outcome =
         | Branch_bound.Unbounded -> "unbounded")
   | _ -> ());
   (match stats with
-  | Some s -> Stats.record s model ~nodes:sol.Branch_bound.nodes ~time_s
+  | Some s ->
+      if cached then Stats.record_cache_hit s
+      else Stats.record s model ~nodes:sol.Branch_bound.nodes ~time_s
   | None -> ());
   {
     status = sol.Branch_bound.status;
@@ -41,6 +62,7 @@ let solve ?options ?warm_start ?stats (model : Model.t) : outcome =
     obj = sol.Branch_bound.obj;
     nodes = sol.Branch_bound.nodes;
     time_s;
+    incumbents = sol.Branch_bound.incumbents;
   }
 
 (** Convenience: value of variable [v] in an outcome (0 if none). *)

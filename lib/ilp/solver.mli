@@ -1,5 +1,5 @@
-(** Facade over {!Branch_bound} adding timing and {!Stats} recording; the
-    entry point the parallelizer uses. *)
+(** Facade over {!Branch_bound} adding timing, {!Stats} recording and the
+    {!Memo} solve cache; the entry point the parallelizer uses. *)
 
 type outcome = {
   status : Branch_bound.status;
@@ -7,15 +7,25 @@ type outcome = {
   obj : float;
   nodes : int;
   time_s : float;
+  incumbents : float array list;
+      (** improving-incumbent trail of the underlying search (best
+          first); feed to a related solve's [extra_starts] *)
 }
 
 (** Solve [model]; when [stats] is given, the ILP's size, solve time and
-    node count are accumulated into it.  Setting the [MPSOC_ILP_DEBUG]
-    environment variable to a float prints every solve that takes at
-    least that many seconds. *)
+    node count are accumulated into it — a solve answered by [cache] is
+    counted as a cache hit instead of a solved ILP.  [extra_starts] are
+    additional incumbent seeds (infeasible ones are skipped).  Setting
+    the [MPSOC_ILP_DEBUG] environment variable to a float prints every
+    solve that takes at least that many seconds.
+
+    Do not mutate the [x] array of the outcome when [cache] is used:
+    cached solutions are shared between hits. *)
 val solve :
   ?options:Branch_bound.options ->
   ?warm_start:float array ->
+  ?extra_starts:float array list ->
+  ?cache:Memo.t ->
   ?stats:Stats.t ->
   Model.t ->
   outcome

@@ -1,5 +1,11 @@
 (** Statistics collector for generated ILPs — the data behind the paper's
-    Table I (#ILPs, #variables, #constraints, solve time). *)
+    Table I (#ILPs, #variables, #constraints, solve time).
+
+    A value of this type is plain mutable state and is {e not} domain-safe
+    on its own.  The concurrency discipline is per-worker accumulation:
+    every parallel solve job records into its own private [t] and the
+    driver combines them with {!merge} in a deterministic order, so totals
+    are exact (no lost updates) and identical at any worker count. *)
 
 type t = {
   mutable ilps : int;
@@ -7,17 +13,21 @@ type t = {
   mutable constrs : int;
   mutable solve_time_s : float;
   mutable bb_nodes : int;
+  mutable cache_hits : int;
+      (** solves answered from the {!Memo} cache; these are *not* counted
+          in [ilps] — that stays the number of ILPs actually solved *)
 }
 
 let create () =
-  { ilps = 0; vars = 0; constrs = 0; solve_time_s = 0.; bb_nodes = 0 }
+  { ilps = 0; vars = 0; constrs = 0; solve_time_s = 0.; bb_nodes = 0; cache_hits = 0 }
 
 let reset t =
   t.ilps <- 0;
   t.vars <- 0;
   t.constrs <- 0;
   t.solve_time_s <- 0.;
-  t.bb_nodes <- 0
+  t.bb_nodes <- 0;
+  t.cache_hits <- 0
 
 let record t (model : Model.t) ~nodes ~time_s =
   t.ilps <- t.ilps + 1;
@@ -26,15 +36,19 @@ let record t (model : Model.t) ~nodes ~time_s =
   t.solve_time_s <- t.solve_time_s +. time_s;
   t.bb_nodes <- t.bb_nodes + nodes
 
+let record_cache_hit t = t.cache_hits <- t.cache_hits + 1
+
 let merge ~into:a b =
   a.ilps <- a.ilps + b.ilps;
   a.vars <- a.vars + b.vars;
   a.constrs <- a.constrs + b.constrs;
   a.solve_time_s <- a.solve_time_s +. b.solve_time_s;
-  a.bb_nodes <- a.bb_nodes + b.bb_nodes
+  a.bb_nodes <- a.bb_nodes + b.bb_nodes;
+  a.cache_hits <- a.cache_hits + b.cache_hits
 
 let copy t = { t with ilps = t.ilps }
 
 let pp ppf t =
   Fmt.pf ppf "#ILPs %d, #Var %d, #Constr %d, time %.2fs, B&B nodes %d" t.ilps
-    t.vars t.constrs t.solve_time_s t.bb_nodes
+    t.vars t.constrs t.solve_time_s t.bb_nodes;
+  if t.cache_hits > 0 then Fmt.pf ppf ", cache hits %d" t.cache_hits

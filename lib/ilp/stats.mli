@@ -1,5 +1,9 @@
 (** Statistics collector for generated ILPs — the data behind the paper's
-    Table I (#ILPs, #variables, #constraints, solve time). *)
+    Table I (#ILPs, #variables, #constraints, solve time).
+
+    Not domain-safe by itself: under parallel solving, give each worker
+    its own [t] and {!merge} them in a deterministic order (that is what
+    [Parcore.Algorithm] does), so totals are exact at any worker count. *)
 
 type t = {
   mutable ilps : int;
@@ -7,6 +11,9 @@ type t = {
   mutable constrs : int;
   mutable solve_time_s : float;
   mutable bb_nodes : int;
+  mutable cache_hits : int;
+      (** solves answered from the {!Memo} cache; not counted in [ilps],
+          which stays the number of ILPs actually solved *)
 }
 
 val create : unit -> t
@@ -14,6 +21,9 @@ val reset : t -> unit
 
 (** Record one solved ILP. *)
 val record : t -> Model.t -> nodes:int -> time_s:float -> unit
+
+(** Record one solve answered from the {!Memo} cache. *)
+val record_cache_hit : t -> unit
 
 val merge : into:t -> t -> unit
 val copy : t -> t

@@ -1,64 +1,3 @@
-(** Lock-protected work-stealing deque (see the interface for the design
-    rationale).  Ring buffer of a power-of-two capacity, growing on
-    demand; [front] is the owner end, [back] the steal end. *)
+(** Re-export of {!Taskpool.Deque} (see {!Pool} for why it moved). *)
 
-type 'a t = {
-  mutable buf : 'a option array;
-  mutable front : int;  (** next slot the owner pushes into *)
-  mutable back : int;  (** oldest occupied slot + buffer arithmetic *)
-  m : Mutex.t;
-}
-(* invariant: elements live in slots [back, front) modulo capacity; the
-   buffer is grown before front would collide with back *)
-
-let create () = { buf = Array.make 64 None; front = 0; back = 0; m = Mutex.create () }
-
-let locked q f =
-  Mutex.lock q.m;
-  match f () with
-  | v ->
-      Mutex.unlock q.m;
-      v
-  | exception e ->
-      Mutex.unlock q.m;
-      raise e
-
-let grow q =
-  let cap = Array.length q.buf in
-  let buf' = Array.make (2 * cap) None in
-  for i = 0 to q.front - q.back - 1 do
-    buf'.(i) <- q.buf.((q.back + i) land (cap - 1))
-  done;
-  q.front <- q.front - q.back;
-  q.back <- 0;
-  q.buf <- buf'
-
-let push q x =
-  locked q (fun () ->
-      if q.front - q.back = Array.length q.buf then grow q;
-      q.buf.(q.front land (Array.length q.buf - 1)) <- Some x;
-      q.front <- q.front + 1)
-
-let pop q =
-  locked q (fun () ->
-      if q.front = q.back then None
-      else begin
-        q.front <- q.front - 1;
-        let i = q.front land (Array.length q.buf - 1) in
-        let x = q.buf.(i) in
-        q.buf.(i) <- None;
-        x
-      end)
-
-let steal q =
-  locked q (fun () ->
-      if q.front = q.back then None
-      else begin
-        let i = q.back land (Array.length q.buf - 1) in
-        let x = q.buf.(i) in
-        q.buf.(i) <- None;
-        q.back <- q.back + 1;
-        x
-      end)
-
-let size q = locked q (fun () -> q.front - q.back)
+include Taskpool.Deque

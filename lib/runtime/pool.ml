@@ -1,208 +1,11 @@
-type task = unit -> unit
+(** Re-export of {!Taskpool.Pool}.
 
-type worker = {
-  deque : task Deque.t;
-  mutable busy_s : float;  (** written only by the worker's own domain *)
-  mutable ran : int;
-}
+    The work-stealing domain pool started life in this library but is now
+    shared with the compile-side parallelizer ({!Parcore.Algorithm}), which
+    sits below [runtime] in the dependency order.  The implementation lives
+    in the bottom-layer [taskpool] library; this module keeps the historical
+    [Runtime.Pool] path (and the [Suspend] effect constructor, which the
+    include re-exports as the {e same} extension constructor) working for
+    the executor, channels and tests. *)
 
-type t = {
-  workers : worker array;
-  mutable handles : unit Domain.t list;
-  mu : Mutex.t;
-  cond : Condition.t;
-  mutable avail : int;  (** queued tasks across all deques (exact) *)
-  mutable live : bool;
-  n_steals : int Atomic.t;
-  mutable crashed : exn option;  (** scheduler-level bug escape hatch *)
-}
-
-type 'a state = Pending of (unit -> unit) list | Done of ('a, exn) result
-type 'a future = { mutable st : 'a state; fm : Mutex.t }
-
-type _ Effect.t +=
-  | Suspend : ((unit, unit) Effect.Deep.continuation -> unit) -> unit Effect.t
-
-(* which worker the current domain is (None outside the pool) *)
-let worker_key : int option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
-
-let size p = Array.length p.workers
-
-let signal_work p =
-  Mutex.lock p.mu;
-  p.avail <- p.avail + 1;
-  Condition.signal p.cond;
-  Mutex.unlock p.mu
-
-let consumed p =
-  Mutex.lock p.mu;
-  p.avail <- p.avail - 1;
-  Mutex.unlock p.mu
-
-let enqueue p task =
-  let wid = match Domain.DLS.get worker_key with Some i -> i | None -> 0 in
-  Deque.push p.workers.(wid).deque task;
-  signal_work p
-
-let resume p k = enqueue p (fun () -> Effect.Deep.continue k ())
-
-(* Pop from our own deque, else steal round-robin from the others. *)
-let try_take p wid =
-  match Deque.pop p.workers.(wid).deque with
-  | Some t ->
-      consumed p;
-      Some t
-  | None ->
-      let n = Array.length p.workers in
-      let rec go k =
-        if k >= n then None
-        else
-          let victim = (wid + k) mod n in
-          match Deque.steal p.workers.(victim).deque with
-          | Some t ->
-              ignore (Atomic.fetch_and_add p.n_steals 1);
-              consumed p;
-              Some t
-          | None -> go (k + 1)
-      in
-      go 1
-
-(* Run one task under the effect handler.  Suspended tasks park their
-   continuation with the event source; the handler returns, freeing the
-   worker.  Task thunks are expected to catch their own exceptions
-   (futures wrap them); anything escaping here is a scheduler bug and is
-   recorded so [run] can re-raise it. *)
-let exec p wid task =
-  let w = p.workers.(wid) in
-  let t0 = Unix.gettimeofday () in
-  (try
-     Effect.Deep.try_with task ()
-       {
-         effc =
-           (fun (type a) (eff : a Effect.t) ->
-             match eff with
-             | Suspend register ->
-                 Some (fun (k : (a, unit) Effect.Deep.continuation) -> register k)
-             | _ -> None);
-       }
-   with e ->
-     Mutex.lock p.mu;
-     if p.crashed = None then p.crashed <- Some e;
-     Condition.broadcast p.cond;
-     Mutex.unlock p.mu);
-  w.busy_s <- w.busy_s +. (Unix.gettimeofday () -. t0);
-  w.ran <- w.ran + 1
-
-let rec worker_loop p wid =
-  if p.live then begin
-    (match try_take p wid with
-    | Some t -> exec p wid t
-    | None ->
-        Mutex.lock p.mu;
-        while p.avail <= 0 && p.live do
-          Condition.wait p.cond p.mu
-        done;
-        Mutex.unlock p.mu);
-    worker_loop p wid
-  end
-
-let create ?domains () =
-  let requested =
-    match domains with Some d -> d | None -> Domain.recommended_domain_count ()
-  in
-  let n = max 1 requested in
-  let p =
-    {
-      workers = Array.init n (fun _ -> { deque = Deque.create (); busy_s = 0.; ran = 0 });
-      handles = [];
-      mu = Mutex.create ();
-      cond = Condition.create ();
-      avail = 0;
-      live = true;
-      n_steals = Atomic.make 0;
-      crashed = None;
-    }
-  in
-  p.handles <-
-    List.init (n - 1) (fun i ->
-        let wid = i + 1 in
-        Domain.spawn (fun () ->
-            Domain.DLS.set worker_key (Some wid);
-            worker_loop p wid));
-  p
-
-let fill fut r p =
-  Mutex.lock fut.fm;
-  let waiters = match fut.st with Pending ws -> ws | Done _ -> [] in
-  fut.st <- Done r;
-  Mutex.unlock fut.fm;
-  List.iter (fun wake -> wake ()) waiters;
-  (* wake run()'s helper loop, which may be waiting for exactly this *)
-  Mutex.lock p.mu;
-  Condition.broadcast p.cond;
-  Mutex.unlock p.mu
-
-let spawn p f =
-  let fut = { st = Pending []; fm = Mutex.create () } in
-  enqueue p (fun () ->
-      let r = try Ok (f ()) with e -> Error e in
-      fill fut r p);
-  fut
-
-let poll fut =
-  Mutex.lock fut.fm;
-  let r = match fut.st with Done r -> Some r | Pending _ -> None in
-  Mutex.unlock fut.fm;
-  r
-
-let await p fut =
-  match poll fut with
-  | Some r -> r
-  | None ->
-      Effect.perform
-        (Suspend
-           (fun k ->
-             let wake () = resume p k in
-             Mutex.lock fut.fm;
-             match fut.st with
-             | Done _ ->
-                 Mutex.unlock fut.fm;
-                 wake ()
-             | Pending ws ->
-                 fut.st <- Pending (wake :: ws);
-                 Mutex.unlock fut.fm));
-      (match poll fut with Some r -> r | None -> assert false)
-
-let run p f =
-  Domain.DLS.set worker_key (Some 0);
-  let root = spawn p f in
-  let rec help () =
-    (match p.crashed with Some e -> raise e | None -> ());
-    match poll root with
-    | Some r -> r
-    | None ->
-        (match try_take p 0 with
-        | Some t -> exec p 0 t
-        | None ->
-            Mutex.lock p.mu;
-            (* re-check the root under the pool lock: [fill] broadcasts
-               under it, so a completion between our poll and this lock
-               cannot be missed *)
-            if poll root = None && p.avail <= 0 && p.crashed = None then
-              Condition.wait p.cond p.mu;
-            Mutex.unlock p.mu);
-        help ()
-  in
-  match help () with Ok v -> v | Error e -> raise e
-
-let shutdown p =
-  Mutex.lock p.mu;
-  p.live <- false;
-  Condition.broadcast p.cond;
-  Mutex.unlock p.mu;
-  List.iter Domain.join p.handles;
-  p.handles <- []
-
-let steals p = Atomic.get p.n_steals
-let worker_busy_s p = Array.map (fun w -> w.busy_s) p.workers
-let worker_tasks p = Array.map (fun w -> w.ran) p.workers
+include Taskpool.Pool

@@ -1,0 +1,64 @@
+(* Determinism of the parallel parallelizer: for every suite benchmark
+   and both evaluation platforms, the chosen solution sets must be
+   bit-identical whether the solve engine runs sequentially ([jobs = 1])
+   or fans out onto 2 or 8 worker domains.  ILP and cache-hit counts must
+   match too (the cache is single-flight, so even those are exact).
+
+   The configuration pins the deterministic work limit as the only solve
+   bound (wall budget disabled): wall-time limits are the one knob that
+   could legitimately break reproducibility across schedules. *)
+
+let cfg =
+  {
+    Parcore.Config.fast with
+    Parcore.Config.ilp_time_limit_s = infinity;
+    ilp_work_limit = 1e7;
+  }
+
+(* canonical projection of a result: root choice, per-class root set,
+   every node's candidate set, and the (deterministic) counters *)
+let canon (r : Parcore.Algorithm.result) =
+  ( r.Parcore.Algorithm.root,
+    r.Parcore.Algorithm.root_set,
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) r.Parcore.Algorithm.sets []),
+    r.Parcore.Algorithm.stats.Ilp.Stats.ilps,
+    r.Parcore.Algorithm.stats.Ilp.Stats.cache_hits )
+
+let check_benchmark (b : Benchsuite.Suite.t) (pf : Platform.Desc.t) () =
+  let prog = Benchsuite.Suite.compile b in
+  let profile = (Interp.Eval.run prog).Interp.Eval.profile in
+  let run jobs =
+    let out =
+      Parcore.Parallelize.run_program
+        ~cfg:{ cfg with Parcore.Config.jobs }
+        ~profile ~approach:Parcore.Parallelize.Heterogeneous ~platform:pf prog
+    in
+    canon out.Parcore.Parallelize.algo
+  in
+  let r1 = run 1 in
+  let r2 = run 2 in
+  let r8 = run 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s on %s: jobs=2 matches jobs=1" b.Benchsuite.Suite.name
+       pf.Platform.Desc.name)
+    true (r1 = r2);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s on %s: jobs=8 matches jobs=1" b.Benchsuite.Suite.name
+       pf.Platform.Desc.name)
+    true (r1 = r8)
+
+let suite =
+  List.concat_map
+    (fun (b : Benchsuite.Suite.t) ->
+      List.map
+        (fun (pf : Platform.Desc.t) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s / %s" b.Benchsuite.Suite.name
+               pf.Platform.Desc.name)
+            `Slow
+            (check_benchmark b pf))
+        [
+          Platform.Presets.platform_a_accel; Platform.Presets.platform_b_accel;
+        ])
+    Benchsuite.Suite.all

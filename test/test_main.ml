@@ -5,6 +5,7 @@ let () =
       ("interp", Test_interp.suite);
       ("platform", Test_platform.suite);
       ("ilp", Test_ilp.suite);
+      ("memo", Test_memo.suite);
       ("htg", Test_htg.suite);
       ("sim", Test_sim.suite);
       ("benchsuite", Test_benchsuite.suite);
@@ -12,4 +13,5 @@ let () =
       ("report", Test_report.suite);
       ("runtime", Test_runtime.suite);
       ("pipeline-properties", Test_pipeline_prop.suite);
+      ("determinism", Test_determinism.suite);
     ]

@@ -1,0 +1,243 @@
+(* Tests for the solve-engine additions: the structural solve cache
+   ({!Ilp.Memo}), the domain-safe simplex counters, per-worker statistics
+   merging, and the warm-start / known-lower-bound machinery of branch &
+   bound. *)
+
+open Ilp
+
+let feq ?(eps = 1e-6) a b = Float.abs (a -. b) <= eps
+
+(* a small knapsack MILP: max 3a + 4b + 5c st 2a + 3b + 4c <= 6 *)
+let knapsack ?(names = [| "a"; "b"; "c" |]) ?(profit = [| 3.; 4.; 5. |]) () =
+  let m = Model.create () in
+  let xs = Array.mapi (fun _ n -> Model.bool_var m n) names in
+  let open Lin_expr in
+  Model.le m
+    (sum
+       [ term ~coef:2. xs.(0); term ~coef:3. xs.(1); term ~coef:4. xs.(2) ])
+    (constant 6.);
+  Model.set_objective m Model.Maximize
+    (sum (Array.to_list (Array.mapi (fun i x -> term ~coef:profit.(i) x) xs)));
+  m
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_fingerprint_isomorphic () =
+  (* names differ, structure identical -> same fingerprint *)
+  let a = knapsack () in
+  let b = knapsack ~names:[| "u"; "v"; "w" |] () in
+  Alcotest.(check bool)
+    "isomorphic models share a fingerprint" true
+    (String.equal (Memo.fingerprint a) (Memo.fingerprint b))
+
+let test_fingerprint_distinct_costs () =
+  (* a changed cost annotation must miss: no false sharing *)
+  let a = knapsack () in
+  let b = knapsack ~profit:[| 3.; 4.; 5.000001 |] () in
+  Alcotest.(check bool)
+    "distinct costs get distinct fingerprints" false
+    (String.equal (Memo.fingerprint a) (Memo.fingerprint b));
+  (* options and warm starts steer the search, so they key the entry *)
+  let opts =
+    { Branch_bound.default_options with Branch_bound.node_limit = 7 }
+  in
+  Alcotest.(check bool)
+    "options are part of the key" false
+    (String.equal (Memo.fingerprint a) (Memo.fingerprint ~options:opts a));
+  Alcotest.(check bool)
+    "warm starts are part of the key" false
+    (String.equal (Memo.fingerprint a)
+       (Memo.fingerprint ~warm_start:[| 1.; 0.; 1. |] a))
+
+(* ------------------------------------------------------------------ *)
+(* Cache behaviour through the solver facade                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_hit_via_solver () =
+  let cache = Memo.create () in
+  let stats = Stats.create () in
+  let o1 = Solver.solve ~cache ~stats (knapsack ()) in
+  let o2 = Solver.solve ~cache ~stats (knapsack ~names:[| "p"; "q"; "r" |] ()) in
+  Alcotest.(check int) "one ILP actually solved" 1 stats.Stats.ilps;
+  Alcotest.(check int) "one cache hit" 1 stats.Stats.cache_hits;
+  Alcotest.(check int) "cache: 1 hit" 1 (Memo.hits cache);
+  Alcotest.(check int) "cache: 1 miss" 1 (Memo.misses cache);
+  Alcotest.(check int) "cache: 1 entry" 1 (Memo.length cache);
+  Alcotest.(check bool) "same objective" true (feq o1.Solver.obj o2.Solver.obj);
+  Alcotest.(check bool)
+    "same point" true
+    (Option.get o1.Solver.x = Option.get o2.Solver.x)
+
+let test_cache_no_false_sharing () =
+  let cache = Memo.create () in
+  let stats = Stats.create () in
+  ignore (Solver.solve ~cache ~stats (knapsack ()));
+  ignore (Solver.solve ~cache ~stats (knapsack ~profit:[| 9.; 1.; 1. |] ()));
+  Alcotest.(check int) "both solved" 2 stats.Stats.ilps;
+  Alcotest.(check int) "no hits" 0 stats.Stats.cache_hits;
+  Alcotest.(check int) "two entries" 2 (Memo.length cache)
+
+let test_cache_single_flight () =
+  (* many domains racing on one fingerprint: exactly one solve *)
+  let cache = Memo.create () in
+  let stats_of = Array.init 4 (fun _ -> Stats.create ()) in
+  let domains =
+    Array.mapi
+      (fun i st ->
+        ignore i;
+        Domain.spawn (fun () ->
+            for _ = 1 to 25 do
+              ignore (Solver.solve ~cache ~stats:st (knapsack ()))
+            done))
+      stats_of
+  in
+  Array.iter Domain.join domains;
+  let merged = Stats.create () in
+  Array.iter (fun st -> Stats.merge ~into:merged st) stats_of;
+  Alcotest.(check int) "solved exactly once" 1 merged.Stats.ilps;
+  Alcotest.(check int) "99 hits" 99 merged.Stats.cache_hits;
+  Alcotest.(check int) "cache agrees" 99 (Memo.hits cache);
+  Alcotest.(check int) "one entry" 1 (Memo.length cache)
+
+(* ------------------------------------------------------------------ *)
+(* Domain-safe global counters                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_atomic_counters_hammer () =
+  let solves_per_domain = 200 in
+  let before_solves = Atomic.get Simplex.solve_count in
+  let before_iters = Atomic.get Simplex.total_iterations in
+  let m () =
+    let m = Model.create () in
+    let x = Model.cont_var m "x" in
+    let y = Model.cont_var m "y" in
+    let open Lin_expr in
+    Model.le m (add (term x) (term y)) (constant 4.);
+    Model.le m (add (term x) (term ~coef:3. y)) (constant 6.);
+    Model.set_objective m Model.Maximize
+      (add (term ~coef:3. x) (term ~coef:2. y));
+    m
+  in
+  let domains =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to solves_per_domain do
+              match Simplex.solve (m ()) with
+              | Simplex.Optimal _ -> ()
+              | _ -> failwith "expected optimal"
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int)
+    "no lost solve_count updates" (4 * solves_per_domain)
+    (Atomic.get Simplex.solve_count - before_solves);
+  Alcotest.(check bool)
+    "iterations accumulated" true
+    (Atomic.get Simplex.total_iterations - before_iters >= 4 * solves_per_domain)
+
+let test_stats_merge_across_domains () =
+  (* per-worker Stats instances merged -> exact totals *)
+  let stats_of = Array.init 4 (fun _ -> Stats.create ()) in
+  let domains =
+    Array.map
+      (fun st ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10 do
+              ignore (Solver.solve ~stats:st (knapsack ()))
+            done))
+      stats_of
+  in
+  Array.iter Domain.join domains;
+  let merged = Stats.create () in
+  Array.iter (fun st -> Stats.merge ~into:merged st) stats_of;
+  Alcotest.(check int) "ilps exact" 40 merged.Stats.ilps;
+  Alcotest.(check int) "vars exact" (40 * 3) merged.Stats.vars;
+  Alcotest.(check bool) "nodes accumulated" true (merged.Stats.bb_nodes > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Warm starts and known lower bounds                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_known_lb_preserves_optimum () =
+  let plain = Branch_bound.solve (knapsack ()) in
+  Alcotest.(check bool)
+    "baseline optimal" true
+    (plain.Branch_bound.status = Branch_bound.Optimal);
+  (* the bound lives in the internal minimize key space: negated
+     objective for this maximize model *)
+  let opts =
+    {
+      Branch_bound.default_options with
+      Branch_bound.known_lb = -.plain.Branch_bound.obj -. 1e-9;
+    }
+  in
+  let pruned = Branch_bound.solve ~options:opts (knapsack ()) in
+  let status_str s =
+    match s with
+    | Branch_bound.Optimal -> "Optimal"
+    | Branch_bound.Feasible -> "Feasible"
+    | Branch_bound.Infeasible -> "Infeasible"
+    | Branch_bound.Unbounded -> "Unbounded"
+  in
+  Alcotest.(check string)
+    (Printf.sprintf "still optimal with known_lb (obj %g vs %g)"
+       pruned.Branch_bound.obj plain.Branch_bound.obj)
+    "Optimal"
+    (status_str pruned.Branch_bound.status);
+  Alcotest.(check bool)
+    "same objective" true
+    (feq plain.Branch_bound.obj pruned.Branch_bound.obj)
+
+let test_extra_starts_seeding () =
+  let plain = Branch_bound.solve (knapsack ()) in
+  let best = Option.get plain.Branch_bound.x in
+  (* seeding the optimum (plus junk that must be filtered) keeps it *)
+  let seeded =
+    Branch_bound.solve
+      ~extra_starts:[ [| 1.; 1.; 1. |] (* infeasible: filtered *); best ]
+      (knapsack ())
+  in
+  Alcotest.(check bool)
+    "optimal with seeds" true
+    (seeded.Branch_bound.status = Branch_bound.Optimal);
+  Alcotest.(check bool)
+    "same objective" true
+    (feq plain.Branch_bound.obj seeded.Branch_bound.obj);
+  Alcotest.(check bool)
+    "incumbent trail non-empty" true
+    (plain.Branch_bound.incumbents <> [])
+
+let test_work_limit_binds () =
+  (* a tiny work budget must stop the search deterministically and
+     report Feasible, never loop *)
+  let opts =
+    { Branch_bound.default_options with Branch_bound.work_limit = 1. }
+  in
+  let r = Branch_bound.solve ~options:opts (knapsack ()) in
+  Alcotest.(check bool)
+    "limited run is not proven optimal" true
+    (r.Branch_bound.status = Branch_bound.Feasible
+    || r.Branch_bound.status = Branch_bound.Infeasible)
+
+let suite =
+  [
+    Alcotest.test_case "fingerprint: isomorphic models" `Quick
+      test_fingerprint_isomorphic;
+    Alcotest.test_case "fingerprint: distinct costs/options" `Quick
+      test_fingerprint_distinct_costs;
+    Alcotest.test_case "cache hit via solver" `Quick test_cache_hit_via_solver;
+    Alcotest.test_case "cache: no false sharing" `Quick
+      test_cache_no_false_sharing;
+    Alcotest.test_case "cache: single flight across domains" `Quick
+      test_cache_single_flight;
+    Alcotest.test_case "atomic counters under 4 domains" `Quick
+      test_atomic_counters_hammer;
+    Alcotest.test_case "stats merge across domains" `Quick
+      test_stats_merge_across_domains;
+    Alcotest.test_case "known_lb preserves optimum" `Quick
+      test_known_lb_preserves_optimum;
+    Alcotest.test_case "extra starts seeding" `Quick test_extra_starts_seeding;
+    Alcotest.test_case "work limit binds" `Quick test_work_limit_binds;
+  ]
