@@ -1,6 +1,6 @@
 # Convenience targets around dune.
 
-.PHONY: all build test test-quick bench bench-runtime bench-perf execute clean fmt
+.PHONY: all build test test-quick chaos bench bench-runtime bench-perf execute clean fmt
 
 all: build
 
@@ -15,6 +15,12 @@ test:
 # Quick tests only (skips the Slow alcotest cases).
 test-quick:
 	dune exec test/test_main.exe -- -q
+
+# Chaos suite: every benchmark x platform x fault plan through the full
+# flow; asserts each run ends in a validated solution or a typed error.
+# CHAOS_SUBSET=n keeps every n-th case for a quicker smoke run.
+chaos:
+	dune build @chaos
 
 # Paper evaluation artifacts (figures + Table I).
 bench:

@@ -17,37 +17,39 @@ let read_file path =
   close_in ic;
   s
 
-let platform_conv =
-  let parse s =
-    match Platform.Presets.find s with
-    | Some p -> Ok p
-    | None ->
-        if Sys.file_exists s then
-          match Platform.Parse.of_file s with
-          | p -> Ok p
-          | exception Platform.Parse.Error m ->
-              Error (`Msg (Printf.sprintf "bad platform file %s: %s" s m))
-        else
-          Error
-            (`Msg
-              (Printf.sprintf
-                 "unknown platform %S (preset names: %s; or a description file)"
-                 s
-                 (String.concat ", " (List.map fst Platform.Presets.all))))
-  in
-  let print ppf (p : Platform.Desc.t) =
-    Format.fprintf ppf "%s" p.Platform.Desc.name
-  in
-  Arg.conv (parse, print)
+(** Print a typed error and exit with its contract code (3 invalid input /
+    resource limit, 4 timeout or deadlock, 1 injected fault or internal). *)
+let exit_with (e : Mpsoc_error.t) =
+  Fmt.epr "%a@." Mpsoc_error.pp e;
+  exit (Mpsoc_error.exit_code e)
 
 let platform_arg =
   Arg.(
     value
-    & opt platform_conv Platform.Presets.platform_a_accel
+    & opt string "platform-a-accel"
     & info [ "p"; "platform" ] ~docv:"PLATFORM"
         ~doc:
           "Target platform: a preset name (see $(b,list)) or a platform \
            description file.")
+
+(* Resolved inside each subcommand (not an [Arg.conv]) so a malformed
+   platform file honours the typed exit-code contract (exit 3) instead of
+   cmdliner's generic CLI-error code. *)
+let resolve_platform s : Platform.Desc.t =
+  match Platform.Presets.find s with
+  | Some p -> p
+  | None ->
+      if Sys.file_exists s then
+        match Platform.Parse.of_file_result s with
+        | Ok p -> p
+        | Error e -> exit_with e
+      else
+        exit_with
+          (Mpsoc_error.make ~phase:Cli ~kind:Invalid_input ~location:s
+             ~advice:"see `mpsoc-par list` for preset names"
+             (Printf.sprintf
+                "unknown platform %S (preset names: %s; or a description file)" s
+                (String.concat ", " (List.map fst Platform.Presets.all))))
 
 let approach_arg =
   Arg.(
@@ -85,28 +87,92 @@ let jobs_arg =
            $(b,0) uses the machine's recommended domain count.  Chosen \
            solutions are bit-identical at any value.")
 
-let cfg_of ?(jobs = Parcore.Config.default.Parcore.Config.jobs) time_limit
+let timeout_arg =
+  Arg.(
+    value
+    & opt float Parcore.Config.default.Parcore.Config.timeout_s
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock deadline for the execution runtime.  Past it the \
+           watchdog cancels the run and the tool exits 4 with a \
+           $(b,timeout) (or $(b,deadlock)) error.  0 disables the \
+           watchdog.")
+
+let fault_plan_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-plan" ] ~docv:"SPEC"
+        ~doc:
+          "Arm the deterministic fault-injection harness for this run: a \
+           comma list of $(i,point\\@hit=action) rules (action: \
+           $(b,raise), $(b,exhaust), or $(b,delay:SECONDS)) or \
+           $(b,seed:N) for a generated plan.  Probe points: \
+           frontend.parse, platform.io, simplex.pivot, ilp.budget, \
+           pool.spawn, channel.recv.")
+
+(** Arm the requested fault plan (if any) around [f]. *)
+let with_fault_plan spec f =
+  match spec with
+  | None -> f ()
+  | Some s -> (
+      match Fault.of_spec s with
+      | Ok plan -> Fault.with_plan plan f
+      | Error msg ->
+          exit_with
+            (Mpsoc_error.make ~phase:Cli ~kind:Invalid_input ~location:s
+               ~advice:"spec: point@hit=raise|exhaust|delay:S[,...] or seed:N"
+               ("bad --fault-plan: " ^ msg)))
+
+let cfg_of ?(jobs = Parcore.Config.default.Parcore.Config.jobs)
+    ?(timeout_s = Parcore.Config.default.Parcore.Config.timeout_s) time_limit
     max_steps =
   {
     Parcore.Config.default with
     Parcore.Config.ilp_time_limit_s = time_limit;
     max_steps;
     jobs;
+    timeout_s;
   }
 
 let exit_err fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
 
 (** Run [f], mapping the library's runtime failures (diverging or faulting
-    input programs) to clean CLI errors. *)
+    input programs) to the typed exit-code contract. *)
 let guard_runtime file f =
   match f () with
   | v -> v
+  | exception Mpsoc_error.Error e -> exit_with e
   | exception Interp.Eval.Step_limit_exceeded n ->
-      exit_err
-        "%s: the program did not terminate within %d interpreted statements          (the profiling run must terminate)"
-        file n
+      exit_with
+        (Mpsoc_error.make ~phase:Profile ~kind:Resource_limit ~location:file
+           ~advice:"raise --max-steps"
+           (Printf.sprintf
+              "the program did not terminate within %d interpreted statements" n))
   | exception Interp.Eval.Runtime_error m ->
-      exit_err "%s: runtime error during profiling: %s" file m
+      exit_with
+        (Mpsoc_error.make ~phase:Profile ~kind:Invalid_input ~location:file
+           ("runtime error during profiling: " ^ m))
+
+(** The degraded-but-valid exit decision (exit 2): the chosen solution
+    carries a degradation tag, or the solver's degradation ladder engaged
+    anywhere during the sweep. *)
+let degradation_status (algo : Parcore.Algorithm.result) =
+  let worst = Parcore.Solution.worst_degradation algo.Parcore.Algorithm.root in
+  let engaged = Ilp.Stats.ladder_engaged algo.Parcore.Algorithm.stats in
+  if Parcore.Solution.degradation_rank worst > 0 then
+    Some (Parcore.Solution.degradation_name worst)
+  else if engaged then Some "exact (ladder engaged during the sweep)"
+  else None
+
+let exit_degraded (algo : Parcore.Algorithm.result) =
+  match degradation_status algo with
+  | None -> ()
+  | Some name ->
+      Fmt.pr "degradation: %s — solver budget ran out; the solution is valid \
+              but possibly sub-optimal@."
+        name;
+      exit 2
 
 let dot_arg =
   Arg.(
@@ -134,17 +200,18 @@ let parallelize_cmd =
           ~doc:"Also print the ILP statistics summary (solve time, branch \
                 & bound nodes).")
   in
-  let run file platform approach time_limit max_steps jobs dot gantt verbose =
+  let run file platform approach time_limit max_steps jobs dot gantt verbose
+      fault_spec =
+    let platform = resolve_platform platform in
     let src = read_file file in
     match
-      guard_runtime file (fun () ->
-          Parcore.Parallelize.run
+      with_fault_plan fault_spec (fun () ->
+          Parcore.Parallelize.run_result
             ~cfg:(cfg_of ~jobs time_limit max_steps)
             ~approach ~platform src)
     with
-    | exception Minic.Frontend.Error e ->
-        exit_err "%s: %s" file (Minic.Frontend.error_to_string e)
-    | out ->
+    | Error e -> exit_with e
+    | Ok out ->
         let algo = out.Parcore.Parallelize.algo in
         Fmt.pr "platform: %a@." Platform.Desc.pp_summary platform;
         Fmt.pr "approach: %s@.@."
@@ -182,13 +249,15 @@ let parallelize_cmd =
           print_string
             (Sim.Engine.gantt platform
                (Sim.Engine.trace platform out.Parcore.Parallelize.program))
-        end
+        end;
+        exit_degraded algo
   in
   Cmd.v
     (Cmd.info "parallelize" ~doc:"Parallelize a Mini-C source file")
     Term.(
       const run $ file $ platform_arg $ approach_arg $ time_limit_arg
-      $ max_steps_arg $ jobs_arg $ dot_arg $ gantt_arg $ verbose)
+      $ max_steps_arg $ jobs_arg $ dot_arg $ gantt_arg $ verbose
+      $ fault_plan_arg)
 
 (* ---------------- analyze ---------------- *)
 
@@ -200,7 +269,9 @@ let analyze_cmd =
     let src = read_file file in
     match Minic.Frontend.compile src with
     | exception Minic.Frontend.Error e ->
-        exit_err "%s: %s" file (Minic.Frontend.error_to_string e)
+        exit_with
+          (Mpsoc_error.make ~phase:Frontend ~kind:Invalid_input ~location:file
+             (Minic.Frontend.error_to_string e))
     | prog ->
         let r =
           guard_runtime file (fun () -> Interp.Eval.run ~max_steps prog)
@@ -229,6 +300,7 @@ let bench_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
   in
   let run name platform time_limit max_steps jobs =
+    let platform = resolve_platform platform in
     match Benchsuite.Suite.find name with
     | None ->
         exit_err "unknown benchmark %S (try: %s)" name
@@ -283,7 +355,9 @@ let execute_cmd =
              the parallel execution computes the same result; exits \
              non-zero on a mismatch.")
   in
-  let run target platform approach time_limit max_steps jobs domains validate =
+  let run target platform approach time_limit max_steps jobs domains validate
+      timeout_s fault_spec =
+    let platform = resolve_platform platform in
     let name, src =
       if Sys.file_exists target then (target, read_file target)
       else
@@ -295,43 +369,56 @@ let execute_cmd =
               target
               (String.concat ", " Benchsuite.Suite.names)
     in
+    with_fault_plan fault_spec @@ fun () ->
     match Minic.Frontend.compile src with
     | exception Minic.Frontend.Error e ->
-        exit_err "%s: %s" name (Minic.Frontend.error_to_string e)
-    | prog ->
+        exit_with
+          (Mpsoc_error.make ~phase:Frontend ~kind:Invalid_input ~location:name
+             (Minic.Frontend.error_to_string e))
+    | prog -> (
         let out =
-          guard_runtime name (fun () ->
-              Parcore.Parallelize.run_program
-                ~cfg:(cfg_of ~jobs time_limit max_steps)
-                ~approach ~platform prog)
+          match
+            Parcore.Parallelize.run_program_result
+              ~cfg:(cfg_of ~jobs ~timeout_s time_limit max_steps)
+              ~approach ~platform prog
+          with
+          | Ok out -> out
+          | Error e -> exit_with e
         in
-        let root_sol = out.Parcore.Parallelize.algo.Parcore.Algorithm.root in
+        let algo = out.Parcore.Parallelize.algo in
+        let root_sol = algo.Parcore.Algorithm.root in
         Fmt.pr "platform: %a@." Platform.Desc.pp_summary platform;
         Fmt.pr "approach: %s@." (Parcore.Parallelize.approach_name approach);
-        let exec () =
-          Runtime.Exec.run ?domains ~max_steps prog
-            out.Parcore.Parallelize.htg root_sol
-        in
-        let r = guard_runtime name exec in
-        (match r.Runtime.Exec.ret with
-        | Some v -> Fmt.pr "result: %a@." Interp.Value.pp v
-        | None -> Fmt.pr "result: (none)@.");
-        Fmt.pr "%a@." Runtime.Metrics.pp r.Runtime.Exec.metrics;
-        if validate then begin
-          let seq = guard_runtime name (fun () -> Interp.Eval.run ~max_steps prog) in
-          let ok = Runtime.Exec.ret_equal r.Runtime.Exec.ret seq.Interp.Eval.ret in
-          let pp_ret ppf = function
-            | Some v -> Interp.Value.pp ppf v
-            | None -> Fmt.string ppf "(none)"
-          in
-          if ok then
-            Fmt.pr "validation: OK (sequential result %a)@." pp_ret
-              seq.Interp.Eval.ret
-          else
-            exit_err "validation: MISMATCH (parallel %s, sequential %s)"
-              (Fmt.str "%a" pp_ret r.Runtime.Exec.ret)
-              (Fmt.str "%a" pp_ret seq.Interp.Eval.ret)
-        end
+        match
+          Runtime.Exec.run_result ?domains ~max_steps
+            ~timeout_s prog out.Parcore.Parallelize.htg root_sol
+        with
+        | Error e -> exit_with e
+        | Ok r ->
+            (match r.Runtime.Exec.ret with
+            | Some v -> Fmt.pr "result: %a@." Interp.Value.pp v
+            | None -> Fmt.pr "result: (none)@.");
+            Fmt.pr "%a@." Runtime.Metrics.pp r.Runtime.Exec.metrics;
+            if validate then begin
+              let seq =
+                guard_runtime name (fun () -> Interp.Eval.run ~max_steps prog)
+              in
+              let ok =
+                Runtime.Exec.ret_equal r.Runtime.Exec.ret seq.Interp.Eval.ret
+              in
+              let pp_ret ppf = function
+                | Some v -> Interp.Value.pp ppf v
+                | None -> Fmt.string ppf "(none)"
+              in
+              if ok then
+                Fmt.pr "validation: OK (sequential result %a)@." pp_ret
+                  seq.Interp.Eval.ret
+              else
+                exit_err "validation: MISMATCH (parallel %s, sequential %s)"
+                  (Fmt.str "%a" pp_ret r.Runtime.Exec.ret)
+                  (Fmt.str "%a" pp_ret seq.Interp.Eval.ret)
+            end;
+            exit_degraded algo)
   in
   Cmd.v
     (Cmd.info "execute"
@@ -340,7 +427,8 @@ let execute_cmd =
           report wall-clock time, task and steal counts")
     Term.(
       const run $ target $ platform_arg $ approach_arg $ time_limit_arg
-      $ max_steps_arg $ jobs_arg $ domains_arg $ validate_arg)
+      $ max_steps_arg $ jobs_arg $ domains_arg $ validate_arg $ timeout_arg
+      $ fault_plan_arg)
 
 (* ---------------- experiments ---------------- *)
 

@@ -47,6 +47,7 @@ let rec seq_candidate (sets : (int, Solution.set) Hashtbl.t)
     main_class = cls;
     time_us = Htg.Node.seq_time_us pf ~cls node;
     extra_units = Array.make (Platform.Desc.num_classes pf) 0;
+    degrade = Solution.Exact;
     kind = Solution.Seq child_seq;
   }
 
@@ -106,6 +107,7 @@ let parallelize ?(cfg = Config.default) ?stats ?pool (pf : Platform.Desc.t)
       main_class = cls;
       time_us = Htg.Node.seq_time_us pf ~cls node;
       extra_units = Array.make nclasses 0;
+      degrade = Solution.Exact;
       kind = Solution.Seq child_seq;
     }
   in

@@ -55,6 +55,11 @@ type t = {
           improving-incumbent trail seeds the next solve's incumbent.
           Prunes substantially; disable to reproduce the pre-cache
           solver behaviour exactly *)
+  timeout_s : float;
+      (** global wall-clock deadline for executing an extracted parallel
+          program ([--timeout]): past it, the runtime watchdog cancels the
+          run and reports a typed timeout (or deadlock) error instead of
+          hanging.  [0.] (the default) disables the watchdog *)
 }
 
 let default =
@@ -73,6 +78,7 @@ let default =
     jobs = 1;
     solve_cache = true;
     sweep_warm_start = true;
+    timeout_s = 0.;
   }
 
 (** Faster, slightly less exhaustive settings for unit tests. *)

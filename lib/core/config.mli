@@ -39,6 +39,11 @@ type t = {
       (** chain budget-sweep solves: previous proven optimum as a known
           lower bound + incumbent trail as warm starts; disable to
           reproduce the pre-cache solver behaviour exactly *)
+  timeout_s : float;
+      (** global wall-clock deadline for executing an extracted parallel
+          program ([--timeout]): past it, the runtime watchdog cancels
+          the run and reports a typed timeout (or deadlock) error instead
+          of hanging; [0.] (the default) disables the watchdog *)
 }
 
 val default : t

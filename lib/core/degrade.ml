@@ -1,0 +1,164 @@
+(** Lower rungs of the solver degradation ladder.
+
+    When branch & bound exhausts its budget without finding any incumbent
+    (or a fault is injected into the solver), {!Formulation.solve_ext}
+    falls back to constructive heuristics instead of discarding the
+    subproblem.  This module holds the solver-free rung: greedy list
+    scheduling of a node's children over the processor classes, in the
+    spirit of heuristic mappers like AMTHA — always cheap, never optimal,
+    tagged [Solution.Greedy] so the degradation is visible end to end.
+
+    The construction preserves the structural invariants the implement
+    stage relies on: children are packed into {e contiguous} chunks in
+    child (= topological) order, so task ids are non-decreasing along
+    every dependence edge (the paper's Eq. 10), and every child runs its
+    own {e sequential} candidate of the task's class, so no nested
+    resources beyond the task's unit are consumed. *)
+
+(** Greedy candidate for one (node, class, budget) subproblem, or [None]
+    when no parallelism fits (fewer than two non-empty chunks, or the
+    budget/platform admits no extra task).  [edges] lists the node's
+    dependence edges as [(src, dst, cost_us)] with negative indices for
+    the Communication-In/Out pseudo-nodes; the modelled time
+    conservatively charges {e every} cut edge. *)
+let greedy ~(node : Htg.Node.t) ~(child_sets : Solution.set array)
+    ~(pf : Platform.Desc.t) ~seq_class ~budget
+    ~(edges : (int * int * float) list) () : Solution.t option =
+  let k = Array.length node.Htg.Node.children in
+  let nclasses = Platform.Desc.num_classes pf in
+  if k < 2 || budget < 2 then None
+  else begin
+    (* units still free for extra tasks (the main task occupies one unit
+       of [seq_class]) *)
+    let avail = Array.copy (Platform.Desc.units_per_class pf) in
+    avail.(seq_class) <- avail.(seq_class) - 1;
+    let free = Array.fold_left ( + ) 0 avail in
+    let m = min k (min budget (free + 1)) in
+    if m < 2 then None
+    else begin
+      (* contiguous chunks balanced on the children's sequential cost on
+         [seq_class]; zero-cost children may leave chunks empty *)
+      let cost_of n =
+        (Solution.seq_of child_sets.(n) seq_class).Solution.time_us
+      in
+      let total = ref 0. in
+      for n = 0 to k - 1 do
+        total := !total +. cost_of n
+      done;
+      let grand = !total in
+      if grand <= 0. || not (Float.is_finite grand) then None
+      else begin
+        let prefix = ref 0. in
+        let chunk_of =
+          Array.init k (fun n ->
+              let c =
+                min (m - 1) (int_of_float (!prefix /. grand *. float_of_int m))
+              in
+              prefix := !prefix +. cost_of n;
+              c)
+        in
+        (* compress used chunks to dense task ids (order-preserving, so
+           Eq. 10 still holds); chunk 0 always owns child 0 *)
+        let used = Array.make m false in
+        Array.iter (fun c -> used.(c) <- true) chunk_of;
+        let dense = Array.make m (-1) in
+        let next = ref 0 in
+        for c = 0 to m - 1 do
+          if used.(c) then begin
+            dense.(c) <- !next;
+            incr next
+          end
+        done;
+        let ntasks = !next in
+        if ntasks < 2 then None
+        else begin
+          let assignment = Array.map (fun c -> dense.(c)) chunk_of in
+          (* classes: the main task keeps [seq_class]; extra tasks grab
+             the fastest still-free units, deterministic tie-break on the
+             class index *)
+          let order =
+            List.init nclasses Fun.id
+            |> List.sort (fun a b ->
+                   match
+                     compare
+                       (Platform.Proc_class.speed (Platform.Desc.proc_class pf b))
+                       (Platform.Proc_class.speed (Platform.Desc.proc_class pf a))
+                   with
+                   | 0 -> compare a b
+                   | c -> c)
+          in
+          let task_class = Array.make ntasks (-1) in
+          task_class.(0) <- seq_class;
+          for t = 1 to ntasks - 1 do
+            match List.find_opt (fun c -> avail.(c) > 0) order with
+            | Some c ->
+                avail.(c) <- avail.(c) - 1;
+                task_class.(t) <- c
+            | None -> ()
+          done;
+          if Array.exists (fun c -> c < 0) task_class then None
+          else begin
+            let child_choice =
+              Array.init k (fun n ->
+                  Solution.seq_of child_sets.(n) task_class.(assignment.(n)))
+            in
+            (* conservative makespan: header on the main class, one task
+               creation per extra task, the slowest task, and every cut
+               edge's full transfer cost *)
+            let header_cycles =
+              Float.max 0.
+                (node.Htg.Node.total_cycles
+                -. Array.fold_left
+                     (fun acc c -> acc +. c.Htg.Node.total_cycles)
+                     0. node.Htg.Node.children)
+            in
+            let header_us =
+              Platform.Desc.time_us pf ~cls:seq_class header_cycles
+            in
+            let tco =
+              node.Htg.Node.exec_count *. pf.Platform.Desc.tco_us
+              *. float_of_int (ntasks - 1)
+            in
+            let task_time = Array.make ntasks 0. in
+            Array.iteri
+              (fun n choice ->
+                let t = assignment.(n) in
+                task_time.(t) <- task_time.(t) +. choice.Solution.time_us)
+              child_choice;
+            let slowest = Array.fold_left Float.max 0. task_time in
+            let comm =
+              List.fold_left
+                (fun acc (src, dst, cost) ->
+                  let task_of i = if i < 0 then 0 else assignment.(i) in
+                  if task_of src <> task_of dst then acc +. cost else acc)
+                0. edges
+            in
+            let time_us = header_us +. tco +. slowest +. comm in
+            if not (Float.is_finite time_us) then None
+            else begin
+              let extra = Array.make nclasses 0 in
+              for t = 1 to ntasks - 1 do
+                extra.(task_class.(t)) <- extra.(task_class.(t)) + 1
+              done;
+              Some
+                {
+                  Solution.node_id = node.Htg.Node.id;
+                  main_class = seq_class;
+                  time_us;
+                  extra_units = extra;
+                  degrade = Solution.Greedy;
+                  kind =
+                    Solution.Par
+                      {
+                        Solution.assignment;
+                        task_class;
+                        child_choice;
+                        par_time_breakdown = Solution.no_breakdown;
+                      };
+                }
+            end
+          end
+        end
+      end
+    end
+  end

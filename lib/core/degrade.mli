@@ -1,0 +1,24 @@
+(** Solver-free rung of the degradation ladder: greedy list scheduling of
+    a node's children over the processor classes, used by
+    {!Formulation.solve_ext} when branch & bound ran out of budget with no
+    incumbent (or a fault was injected into the solver).  See
+    {!Solution.degradation}. *)
+
+val greedy :
+  node:Htg.Node.t ->
+  child_sets:Solution.set array ->
+  pf:Platform.Desc.t ->
+  seq_class:int ->
+  budget:int ->
+  edges:(int * int * float) list ->
+  unit ->
+  Solution.t option
+(** Greedy candidate for one (node, class, budget) subproblem, or [None]
+    when no parallelism fits.  Children are packed into contiguous chunks
+    in child (= topological) order — so task ids stay non-decreasing
+    along every dependence edge (Eq. 10) — chunks are balanced on the
+    children's sequential cost, extra tasks take the fastest free units,
+    and every child runs its own sequential candidate of its task's
+    class.  [edges] lists dependence edges as [(src, dst, cost_us)] with
+    negative indices for the Communication-In/Out pseudo-nodes; the
+    modelled time conservatively charges every cut edge. *)

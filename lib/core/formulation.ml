@@ -671,6 +671,7 @@ let extract (inp : input) (inst : instance) (out : Solver.outcome) :
           main_class = inp.seq_class;
           time_us;
           extra_units = extra;
+          degrade = Solution.Exact;
           kind =
             Solution.Par
               {
@@ -681,28 +682,122 @@ let extract (inp : input) (inst : instance) (out : Solver.outcome) :
               };
         }
 
+(* ------------------------------------------------------------------ *)
+(* Degradation ladder                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let is_int_kind = function Model.Bool | Model.Int -> true | Model.Cont -> false
+
+(** Second rung: solve the root LP relaxation once, round the integer
+    variables, and accept the point only if it satisfies the full model.
+    The fabricated outcome carries [Feasible] so downstream sweep chaining
+    treats it like an incumbent-quality result (no [known_lb] proof). *)
+let lp_round (inp : input) (inst : instance) :
+    (Solution.t * Solver.outcome) option =
+  match Simplex.solve_counted inst.model with
+  | Simplex.Optimal { x; _ }, _ ->
+      let y = Array.copy x in
+      for v = 0 to Model.num_vars inst.model - 1 do
+        if is_int_kind (Model.var_info inst.model v).Model.kind then
+          y.(v) <- Float.round y.(v)
+      done;
+      if not (Model.feasible inst.model (fun v -> y.(v))) then None
+      else begin
+        let obj = Model.objective_value inst.model (fun v -> y.(v)) in
+        let out =
+          {
+            Solver.status = Branch_bound.Feasible;
+            x = Some y;
+            obj;
+            nodes = 0;
+            time_s = 0.;
+            incumbents = [];
+          }
+        in
+        Option.map
+          (fun r -> ({ r with Solution.degrade = Solution.Lp_round }, out))
+          (extract inp inst out)
+      end
+  | (Simplex.Infeasible | Simplex.Unbounded), _ -> None
+  | exception Fault.Injected _ ->
+      (* the relaxation's pivots hit the same probes branch & bound did;
+         give up on this rung and let the caller fall to greedy *)
+      None
+
+(** Rungs below best-incumbent, tried in order: LP rounding, greedy list
+    scheduling, and finally [None] — the node then keeps its sequential
+    candidate only (recorded as a seq-fallback in [stats]). *)
+let degrade_ladder ?stats (inp : input) (inst : instance) :
+    (Solution.t * Solver.outcome) option =
+  let record level =
+    match stats with Some s -> Stats.record_degraded s level | None -> ()
+  in
+  match lp_round inp inst with
+  | Some r ->
+      record `Lp_round;
+      Some r
+  | None -> (
+      let edges =
+        List.map (fun e -> (e.e_src, e.e_dst, e.e_cost_us)) inst.all_edges
+      in
+      match
+        Degrade.greedy ~node:inp.node ~child_sets:inp.child_sets ~pf:inp.pf
+          ~seq_class:inp.seq_class ~budget:inp.budget ~edges ()
+      with
+      | Some r ->
+          record `Greedy;
+          let out =
+            {
+              Solver.status = Branch_bound.Feasible;
+              x = None;
+              obj = r.Solution.time_us;
+              nodes = 0;
+              time_s = 0.;
+              incumbents = [];
+            }
+          in
+          Some (r, out)
+      | None ->
+          record `Seq_fallback;
+          None)
+
 (** Build and solve one ILPPAR instance.  Returns [None] when the node has
     fewer than two children or the budget admits no parallelism.  [prev]
     is the outcome of the preceding (larger-budget) solve of the same
-    sweep, chained into a lower bound and warm starts (see {!Sweep}). *)
+    sweep, chained into a lower bound and warm starts (see {!Sweep}).
+
+    Solver limits and injected solver faults never lose the subproblem:
+    results are tagged with their {!Solution.degradation} level and the
+    ladder in {!degrade_ladder} supplies a constructive fallback. *)
 let solve_ext ?stats ?cache ?prev (inp : input) :
     (Solution.t * Solver.outcome) option =
   match build inp with
   | None -> None
-  | Some inst ->
+  | Some inst -> (
       let options = Sweep.chain_options inp.cfg prev in
       let warm = hierarchical_warm_start inp inst in
       let extra_starts =
         Sweep.chain_starts inp.cfg prev ~num_vars:(Model.num_vars inst.model)
       in
-      let out =
+      match
         Solver.solve ~options ~warm_start:warm ~extra_starts ?cache ?stats
           inst.model
-      in
-      (match out.Solver.status with
-      | Branch_bound.Optimal | Branch_bound.Feasible ->
-          Option.map (fun r -> (r, out)) (extract inp inst out)
-      | Branch_bound.Infeasible | Branch_bound.Unbounded -> None)
+      with
+      | out -> (
+          match out.Solver.status with
+          | Branch_bound.Optimal ->
+              Option.map (fun r -> (r, out)) (extract inp inst out)
+          | Branch_bound.Feasible -> (
+              match extract inp inst out with
+              | Some r ->
+                  (match stats with
+                  | Some s -> Stats.record_degraded s `Incumbent
+                  | None -> ());
+                  Some ({ r with Solution.degrade = Solution.Incumbent }, out)
+              | None -> None)
+          | Branch_bound.Infeasible | Branch_bound.Unbounded -> None
+          | Branch_bound.Limit -> degrade_ladder ?stats inp inst)
+      | exception Fault.Injected _ -> degrade_ladder ?stats inp inst)
 
 let solve ?stats ?cache (inp : input) : Solution.t option =
   Option.map fst (solve_ext ?stats ?cache inp)

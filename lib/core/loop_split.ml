@@ -149,9 +149,14 @@ let solve_ext ?stats ?cache ?prev (inp : input) :
         let extra_starts =
           Sweep.chain_starts inp.cfg prev ~num_vars:(Model.num_vars m)
         in
-        let out =
+        match
           Solver.solve ~options ~warm_start:warm ~extra_starts ?cache ?stats m
-        in
+        with
+        | exception Fault.Injected _ ->
+            (* splitting candidates are optional extras on top of the
+               ILPPAR sweep; under an injected solver fault just skip *)
+            None
+        | out ->
         match (out.Solver.status, out.Solver.x) with
         | (Branch_bound.Optimal | Branch_bound.Feasible), Some sol ->
             let chunk_iters = Array.init ntasks (fun t -> Float.round sol.(iters.(t))) in
@@ -180,12 +185,22 @@ let solve_ext ?stats ?cache ?prev (inp : input) :
             in
             ignore header_us;
             let time_us = ec *. out.Solver.obj in
+            let degrade =
+              match out.Solver.status with
+              | Branch_bound.Optimal -> Solution.Exact
+              | _ ->
+                  (match stats with
+                  | Some s -> Ilp.Stats.record_degraded s `Incumbent
+                  | None -> ());
+                  Solution.Incumbent
+            in
             Some
               ( {
                   Solution.node_id = node.Htg.Node.id;
                   main_class = inp.seq_class;
                   time_us;
                   extra_units = extra;
+                  degrade;
                   kind = Solution.Split { Solution.chunk_iters; split_class };
                 },
                 out )

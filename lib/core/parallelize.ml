@@ -54,6 +54,75 @@ let run_program ?(cfg = Config.default) ?profile ~approach
 let run ?cfg ~approach ~platform (src : string) : outcome =
   run_program ?cfg ~approach ~platform (Minic.Frontend.compile src)
 
+(* ---- Result-threaded pipeline -------------------------------------- *)
+
+(* Run one phase, mapping every failure mode the flow can legitimately hit
+   to a typed error tagged with that phase.  [Frontend.Error] keeps its
+   own phase tag regardless of where it surfaces (it can only originate in
+   the frontend). *)
+let wrap phase f =
+  match f () with
+  | v -> Ok v
+  | exception Mpsoc_error.Error e -> Error e
+  | exception Minic.Frontend.Error e ->
+      Error
+        (Mpsoc_error.make ~phase:Mpsoc_error.Frontend ~kind:Invalid_input
+           (Minic.Frontend.error_to_string e))
+  | exception Interp.Eval.Step_limit_exceeded n ->
+      Error
+        (Mpsoc_error.make ~phase ~kind:Resource_limit ~advice:"raise --max-steps"
+           (Printf.sprintf
+              "the program did not terminate within %d interpreted statements" n))
+  | exception Interp.Eval.Runtime_error m ->
+      Error (Mpsoc_error.make ~phase ~kind:Invalid_input ("runtime error: " ^ m))
+  | exception Fault.Injected { point; hit } ->
+      Error
+        (Mpsoc_error.make ~phase
+           ~kind:(Fault_injected point)
+           (Printf.sprintf "armed fault plan fired on hit %d" hit))
+
+let ( let* ) = Result.bind
+
+let run_program_result ?(cfg = Config.default) ?profile ~approach
+    ~(platform : Platform.Desc.t) (prog : Minic.Ast.program) :
+    (outcome, Mpsoc_error.t) result =
+  let* profile =
+    match profile with
+    | Some p -> Ok p
+    | None ->
+        wrap Mpsoc_error.Profile (fun () ->
+            (Interp.Eval.run ~max_steps:cfg.Config.max_steps prog)
+              .Interp.Eval.profile)
+  in
+  let* htg =
+    wrap Mpsoc_error.Graph (fun () ->
+        Htg.Build.build ~max_children:cfg.Config.max_children prog profile)
+  in
+  let view =
+    match approach with
+    | Heterogeneous -> platform
+    | Homogeneous -> Platform.Desc.homogeneous_view platform
+  in
+  let* algo =
+    wrap Mpsoc_error.Parallelize (fun () -> Algorithm.parallelize ~cfg view htg)
+  in
+  let mode =
+    match approach with
+    | Heterogeneous -> Implement.Pre_mapped
+    | Homogeneous -> Implement.Oblivious
+  in
+  let* program, seq_program =
+    wrap Mpsoc_error.Implement (fun () ->
+        ( Implement.realize ~mode platform htg algo.Algorithm.root,
+          Implement.realize_sequential htg ))
+  in
+  Ok { approach; platform; htg; algo; program; seq_program; profile }
+
+let run_result ?cfg ~approach ~platform (src : string) :
+    (outcome, Mpsoc_error.t) result =
+  let* prog = wrap Mpsoc_error.Frontend (fun () -> Minic.Frontend.compile src) in
+  run_program_result ?cfg ~approach ~platform prog
+
 (** Simulated speedup of the outcome over sequential execution on the
     platform's main core. *)
 let speedup (o : outcome) : float =

@@ -39,6 +39,28 @@ val run :
   string ->
   outcome
 
+(** {2 Result-threaded pipeline}
+
+    Same flow, but every failure — frontend errors, diverging or faulting
+    profiling runs, HTG construction errors, injected faults — comes back
+    as a typed {!Mpsoc_error.t} tagged with the phase that failed, instead
+    of an exception. *)
+
+val run_program_result :
+  ?cfg:Config.t ->
+  ?profile:Interp.Profile.t ->
+  approach:approach ->
+  platform:Platform.Desc.t ->
+  Minic.Ast.program ->
+  (outcome, Mpsoc_error.t) result
+
+val run_result :
+  ?cfg:Config.t ->
+  approach:approach ->
+  platform:Platform.Desc.t ->
+  string ->
+  (outcome, Mpsoc_error.t) result
+
 (** Simulated speedup over sequential execution on the main core. *)
 val speedup : outcome -> float
 

@@ -221,9 +221,14 @@ let solve_ext ?stats ?cache ?prev (inp : input) :
         let extra_starts =
           Sweep.chain_starts cfg prev ~num_vars:(Model.num_vars m)
         in
-        let out =
+        match
           Solver.solve ~options ~warm_start:warm ~extra_starts ?cache ?stats m
-        in
+        with
+        | exception Fault.Injected _ ->
+            (* pipelining candidates are optional extras on top of the
+               ILPPAR sweep; under an injected solver fault just skip *)
+            None
+        | out ->
         match (out.Solver.status, out.Solver.x) with
         | (Branch_bound.Optimal | Branch_bound.Feasible), Some sol ->
             let stage_of =
@@ -284,12 +289,22 @@ let solve_ext ?stats ?cache ?prev (inp : input) :
               Array.iteri
                 (fun t c -> if t > 0 && c >= 0 then extra.(c) <- extra.(c) + 1)
                 stage_class;
+              let degrade =
+                match out.Solver.status with
+                | Branch_bound.Optimal -> Solution.Exact
+                | _ ->
+                    (match stats with
+                    | Some s -> Ilp.Stats.record_degraded s `Incumbent
+                    | None -> ());
+                    Solution.Incumbent
+              in
               Some
                 ( {
                     Solution.node_id = node.Htg.Node.id;
                     main_class = inp.seq_class;
                     time_us;
                     extra_units = extra;
+                    degrade;
                     kind =
                       Solution.Pipeline
                         { Solution.stage_of; stage_class; bottleneck_us = b };

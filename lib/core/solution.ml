@@ -6,11 +6,25 @@
     allocates per class (beyond the unit that runs the main task — the
     paper's [USEDPROCS]), and enough structure to implement it later. *)
 
+(** How far down the solver degradation ladder a candidate was produced.
+    [Exact] and [Incumbent] come from branch & bound (proved optimum vs
+    best incumbent at a limit); the later rungs are engaged only when the
+    search ran out of budget with no incumbent at all (or a fault was
+    injected into the solver), so a disarmed, warm-started run never
+    produces them. *)
+type degradation =
+  | Exact  (** ILP proved optimal (or construction needs no solver) *)
+  | Incumbent  (** budget ran out; best branch & bound incumbent *)
+  | Lp_round  (** rounded LP relaxation, feasibility re-checked *)
+  | Greedy  (** greedy list-scheduling over processor classes *)
+  | Seq_fallback  (** the always-feasible sequential solution *)
+
 type t = {
   node_id : int;  (** AHTG node this candidate belongs to *)
   main_class : int;  (** the paper's candidate tag *)
   time_us : float;  (** modelled total execution time of the node *)
   extra_units : int array;  (** per class, beyond the main task's unit *)
+  degrade : degradation;
   kind : kind;
 }
 
@@ -67,6 +81,32 @@ let num_tasks s =
         p.stage_class
 
 let is_sequential s = match s.kind with Seq _ -> true | _ -> false
+
+let degradation_rank = function
+  | Exact -> 0
+  | Incumbent -> 1
+  | Lp_round -> 2
+  | Greedy -> 3
+  | Seq_fallback -> 4
+
+let degradation_name = function
+  | Exact -> "exact"
+  | Incumbent -> "incumbent"
+  | Lp_round -> "lp-round"
+  | Greedy -> "greedy"
+  | Seq_fallback -> "seq-fallback"
+
+(** Worst degradation anywhere in the candidate's choice tree: the level
+    the whole solution must be reported at. *)
+let rec worst_degradation s =
+  let fold = Array.fold_left (fun acc c ->
+      let d = worst_degradation c in
+      if degradation_rank d > degradation_rank acc then d else acc)
+  in
+  match s.kind with
+  | Seq children -> fold s.degrade children
+  | Par p -> fold s.degrade p.child_choice
+  | Split _ | Pipeline _ -> s.degrade
 
 (* ------------------------------------------------------------------ *)
 (* Dense task partition (runtime-consumable form)                      *)
@@ -131,10 +171,13 @@ let kind_str s =
   | Pipeline _ -> Printf.sprintf "pipeline(%d stages)" (num_tasks s)
 
 let pp ppf s =
-  Fmt.pf ppf "node %d: %s on class %d, %.1f us, extra units [%a]" s.node_id
+  Fmt.pf ppf "node %d: %s on class %d, %.1f us, extra units [%a]%s" s.node_id
     (kind_str s) s.main_class s.time_us
     Fmt.(array ~sep:comma int)
     s.extra_units
+    (match worst_degradation s with
+    | Exact -> ""
+    | d -> Printf.sprintf " [degraded: %s]" (degradation_name d))
 
 (* ------------------------------------------------------------------ *)
 (* Candidate sets                                                      *)

@@ -4,11 +4,24 @@
     extra processing units it allocates per class (the paper's
     [USEDPROCS]). *)
 
+(** How far down the solver degradation ladder a candidate was produced.
+    [Exact] and [Incumbent] come from branch & bound (proved optimum vs
+    best incumbent at a limit); the later rungs are engaged only when the
+    search ran out of budget with no incumbent at all (or a fault was
+    injected into the solver). *)
+type degradation =
+  | Exact  (** ILP proved optimal (or construction needs no solver) *)
+  | Incumbent  (** budget ran out; best branch & bound incumbent *)
+  | Lp_round  (** rounded LP relaxation, feasibility re-checked *)
+  | Greedy  (** greedy list-scheduling over processor classes *)
+  | Seq_fallback  (** the always-feasible sequential solution *)
+
 type t = {
   node_id : int;  (** AHTG node this candidate belongs to *)
   main_class : int;  (** the paper's candidate tag *)
   time_us : float;  (** modelled total execution time of the node *)
   extra_units : int array;  (** per class, beyond the main task's unit *)
+  degrade : degradation;
   kind : kind;
 }
 
@@ -49,6 +62,15 @@ val total_units : t -> int
 val num_tasks : t -> int
 
 val is_sequential : t -> bool
+
+val degradation_rank : degradation -> int
+(** 0 for [Exact] … 4 for [Seq_fallback]; monotone in severity. *)
+
+val degradation_name : degradation -> string
+
+val worst_degradation : t -> degradation
+(** Worst level anywhere in the candidate's choice tree — the level the
+    whole solution must be reported at (drives the CLI's exit code 2). *)
 
 (** A fork/join partition of a hierarchical node's children over a dense
     task index space: [owner.(n)] is the task executing child [n], task 0

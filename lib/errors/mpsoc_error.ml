@@ -1,0 +1,79 @@
+type phase =
+  | Cli
+  | Frontend
+  | Profile
+  | Graph
+  | Parallelize
+  | Implement
+  | Execute
+  | Platform
+
+type kind =
+  | Invalid_input
+  | Resource_limit
+  | Timeout
+  | Deadlock of { waiting_tasks : string list }
+  | Fault_injected of string
+  | Internal
+
+type t = {
+  phase : phase;
+  kind : kind;
+  message : string;
+  location : string option;
+  advice : string option;
+}
+
+exception Error of t
+
+let make ?location ?advice ~phase ~kind message =
+  { phase; kind; message; location; advice }
+
+let raise_error ?location ?advice ~phase ~kind message =
+  raise (Error (make ?location ?advice ~phase ~kind message))
+
+let phase_name = function
+  | Cli -> "cli"
+  | Frontend -> "frontend"
+  | Profile -> "profile"
+  | Graph -> "htg"
+  | Parallelize -> "parallelize"
+  | Implement -> "implement"
+  | Execute -> "execute"
+  | Platform -> "platform"
+
+let kind_name = function
+  | Invalid_input -> "invalid input"
+  | Resource_limit -> "resource limit"
+  | Timeout -> "timeout"
+  | Deadlock _ -> "deadlock"
+  | Fault_injected p -> Printf.sprintf "injected fault at %s" p
+  | Internal -> "internal error"
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>error [%s] %s: %s" (phase_name t.phase) (kind_name t.kind)
+    t.message;
+  (match t.kind with
+  | Deadlock { waiting_tasks } when waiting_tasks <> [] ->
+      Fmt.pf ppf "@,  waiting tasks: %s" (String.concat ", " waiting_tasks)
+  | _ -> ());
+  (match t.location with
+  | Some l -> Fmt.pf ppf "@,  at: %s" l
+  | None -> ());
+  (match t.advice with
+  | Some a -> Fmt.pf ppf "@,  hint: %s" a
+  | None -> ());
+  Fmt.pf ppf "@]"
+
+let to_string t = Fmt.str "%a" pp t
+
+let exit_code t =
+  match t.kind with
+  | Invalid_input | Resource_limit -> 3
+  | Timeout | Deadlock _ -> 4
+  | Fault_injected _ | Internal -> 1
+
+let () =
+  Printexc.register_printer (function
+    | Error t -> Some (to_string t)
+    | _ -> None)

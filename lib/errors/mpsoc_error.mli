@@ -1,0 +1,63 @@
+(** Structured errors for the whole flow.
+
+    Every phase of the pipeline — CLI argument handling, the Mini-C
+    frontend, profiling, HTG construction, parallelization, task-program
+    implementation, and execution — reports failures as a value of {!t}
+    threaded through [Result], so the CLI can honour a fixed exit-code
+    contract (see {!exit_code}) and callers embedding the library never
+    have to catch stringly-typed exceptions.
+
+    {!exception-Error} exists for the few construction-time helpers
+    (e.g. [Platform.Desc.make]) whose signatures are not [Result]-shaped;
+    the [Result]-returning entry points catch it at phase boundaries. *)
+
+type phase =
+  | Cli
+  | Frontend
+  | Profile
+  | Graph  (** hierarchical task graph construction *)
+  | Parallelize
+  | Implement
+  | Execute
+  | Platform
+
+type kind =
+  | Invalid_input  (** malformed source, platform file, or argument *)
+  | Resource_limit  (** a configured budget (steps, nodes, …) ran out *)
+  | Timeout  (** the [--timeout] wall-clock deadline expired *)
+  | Deadlock of { waiting_tasks : string list }
+      (** the watchdog found tasks blocked on receives with no runnable
+          producer left *)
+  | Fault_injected of string  (** an armed {!Fault} probe fired (point name) *)
+  | Internal  (** invariant violation: a bug, not a user error *)
+
+type t = {
+  phase : phase;
+  kind : kind;
+  message : string;
+  location : string option;
+      (** offending name/position, e.g. a class name or [file:line] *)
+  advice : string option;  (** one-line hint on how to fix or work around *)
+}
+
+exception Error of t
+
+val make :
+  ?location:string -> ?advice:string -> phase:phase -> kind:kind -> string -> t
+
+val raise_error :
+  ?location:string -> ?advice:string -> phase:phase -> kind:kind -> string -> 'a
+(** [make] then [raise (Error _)]. *)
+
+val phase_name : phase -> string
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human rendering: phase, message, location, advice. *)
+
+val to_string : t -> string
+
+val exit_code : t -> int
+(** CLI contract: 3 for [Invalid_input]/[Resource_limit], 4 for
+    [Timeout]/[Deadlock], 1 for [Fault_injected]/[Internal].  (0 = ok and
+    2 = degraded-but-valid are decided by the CLI from the solution
+    record, not from an error.) *)

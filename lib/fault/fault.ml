@@ -1,0 +1,205 @@
+type action = Raise | Delay_s of float | Exhaust
+
+type rule = { point : string; at_hit : int; action : action }
+
+type plan = { label : string; rules : rule list }
+
+exception Injected of { point : string; hit : int }
+
+(* Armed state: the plan plus a mutex-protected hit counter per probe
+   point.  The fast path ([point] with nothing armed) is a single
+   Atomic.get; the armed path takes a mutex, which is fine — probes sit
+   on paths that are orders of magnitude more expensive than a lock. *)
+type state = {
+  plan : plan;
+  mutex : Mutex.t;
+  hits : (string, int ref) Hashtbl.t;
+}
+
+let current : state option Atomic.t = Atomic.make None
+
+let arm plan =
+  Atomic.set current
+    (Some { plan; mutex = Mutex.create (); hits = Hashtbl.create 8 })
+
+let disarm () = Atomic.set current None
+
+let with_plan plan f =
+  arm plan;
+  Fun.protect ~finally:disarm f
+
+let armed () =
+  match Atomic.get current with None -> None | Some s -> Some s.plan
+
+(* Count a hit for [pt] and return the rules of [pt] that fire at this
+   hit count ([Exhaust] rules fire at and after their hit count). *)
+let hit st pt =
+  Mutex.lock st.mutex;
+  let r =
+    match Hashtbl.find_opt st.hits pt with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add st.hits pt r;
+        r
+  in
+  incr r;
+  let n = !r in
+  Mutex.unlock st.mutex;
+  n
+
+let point pt =
+  match Atomic.get current with
+  | None -> ()
+  | Some st ->
+      if List.exists (fun ru -> ru.point = pt) st.plan.rules then begin
+        let n = hit st pt in
+        List.iter
+          (fun ru ->
+            if ru.point = pt && n = ru.at_hit then
+              match ru.action with
+              | Raise -> raise (Injected { point = pt; hit = n })
+              | Delay_s s -> if s > 0. then Unix.sleepf s
+              | Exhaust -> ())
+          st.plan.rules
+      end
+
+let exhausted pt =
+  match Atomic.get current with
+  | None -> false
+  | Some st ->
+      if
+        List.exists
+          (fun ru -> ru.point = pt && ru.action = Exhaust)
+          st.plan.rules
+      then begin
+        let n = hit st pt in
+        List.exists
+          (fun ru -> ru.point = pt && ru.action = Exhaust && n >= ru.at_hit)
+          st.plan.rules
+      end
+      else false
+
+let known_points =
+  [
+    "frontend.parse";
+    "platform.io";
+    "simplex.pivot";
+    "ilp.budget";
+    "pool.spawn";
+    "channel.recv";
+  ]
+
+(* -- plan specs ---------------------------------------------------- *)
+
+let action_to_string = function
+  | Raise -> "raise"
+  | Exhaust -> "exhaust"
+  | Delay_s s -> Printf.sprintf "delay:%g" s
+
+let to_spec p =
+  String.concat ","
+    (List.map
+       (fun r ->
+         Printf.sprintf "%s@%d=%s" r.point r.at_hit (action_to_string r.action))
+       p.rules)
+
+(* Small LCG; good enough for plan generation and fully deterministic
+   across platforms (no dependence on Stdlib.Random state). *)
+let lcg seed =
+  let s = ref (seed land 0x3FFFFFFF) in
+  fun bound ->
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    !s mod bound
+
+let generate ~seed =
+  let next = lcg (seed * 2654435761) in
+  let npts = List.length known_points in
+  let nrules = 1 + next 3 in
+  let rules =
+    List.init nrules (fun _ ->
+        let point = List.nth known_points (next npts) in
+        let at_hit = 1 + next 40 in
+        let action =
+          (* weight towards Raise; Delay kept short so chaos runs stay
+             fast but still exercise timeout paths *)
+          match next 10 with
+          | 0 | 1 -> Exhaust
+          | 2 -> Delay_s (0.01 *. float_of_int (1 + next 20))
+          | _ -> Raise
+        in
+        { point; at_hit; action })
+  in
+  { label = Printf.sprintf "seed:%d" seed; rules }
+
+let parse_rule s =
+  match String.index_opt s '@' with
+  | None -> Error (Printf.sprintf "rule %S: expected point@hit=action" s)
+  | Some i -> (
+      let point = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.index_opt rest '=' with
+      | None -> Error (Printf.sprintf "rule %S: missing =action" s)
+      | Some j -> (
+          let hit_s = String.sub rest 0 j in
+          let act_s = String.sub rest (j + 1) (String.length rest - j - 1) in
+          match int_of_string_opt hit_s with
+          | None | Some 0 ->
+              Error (Printf.sprintf "rule %S: bad hit count %S" s hit_s)
+          | Some at_hit when at_hit < 0 ->
+              Error (Printf.sprintf "rule %S: bad hit count %S" s hit_s)
+          | Some at_hit -> (
+              if not (List.mem point known_points) then
+                Error
+                  (Printf.sprintf "rule %S: unknown point %S (known: %s)" s
+                     point
+                     (String.concat " " known_points))
+              else
+                match act_s with
+                | "raise" -> Ok { point; at_hit; action = Raise }
+                | "exhaust" -> Ok { point; at_hit; action = Exhaust }
+                | _ -> (
+                    match String.index_opt act_s ':' with
+                    | Some k when String.sub act_s 0 k = "delay" -> (
+                        let d =
+                          String.sub act_s (k + 1)
+                            (String.length act_s - k - 1)
+                        in
+                        match float_of_string_opt d with
+                        | Some f when f >= 0. && Float.is_finite f ->
+                            Ok { point; at_hit; action = Delay_s f }
+                        | _ ->
+                            Error
+                              (Printf.sprintf "rule %S: bad delay %S" s d))
+                    | _ ->
+                        Error
+                          (Printf.sprintf
+                             "rule %S: unknown action %S (raise, exhaust, \
+                              delay:SECONDS)"
+                             s act_s)))))
+
+let of_spec spec =
+  let parts =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if parts = [] then Error "empty fault-plan spec"
+  else
+    let rec go acc = function
+      | [] -> Ok { label = spec; rules = List.rev acc }
+      | p :: rest -> (
+          match String.index_opt p ':' with
+          | Some i when String.sub p 0 i = "seed" -> (
+              match
+                int_of_string_opt
+                  (String.sub p (i + 1) (String.length p - i - 1))
+              with
+              | Some n -> go (List.rev_append (generate ~seed:n).rules acc) rest
+              | None -> Error (Printf.sprintf "bad seed in %S" p))
+          | _ -> (
+              match parse_rule p with
+              | Ok r -> go (r :: acc) rest
+              | Error e -> Error e))
+    in
+    go [] parts

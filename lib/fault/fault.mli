@@ -1,0 +1,63 @@
+(** Deterministic fault injection for chaos testing.
+
+    A {!plan} arms a set of named probe points sprinkled through the code
+    base ({!point} calls).  Each rule fires at a chosen hit count of its
+    probe and either raises {!Injected}, sleeps for a fixed delay, or —
+    for budget-style probes queried via {!exhausted} — reports the budget
+    as spent from that hit on.
+
+    When no plan is armed (the default), every probe is a single
+    [Atomic.get] returning immediately: production code pays nothing.
+
+    Plans are process-global; {!with_plan} scopes arming to a callback so
+    test harnesses can run many plans in sequence.  Hit counting is
+    thread-safe and deterministic for a deterministic probe sequence. *)
+
+type action =
+  | Raise  (** raise {!Injected} at the chosen hit *)
+  | Delay_s of float  (** sleep that many seconds at the chosen hit *)
+  | Exhaust
+      (** make {!exhausted} return [true] from the chosen hit onwards;
+          ignored by {!point} *)
+
+type rule = { point : string; at_hit : int; action : action }
+
+type plan = { label : string; rules : rule list }
+
+exception Injected of { point : string; hit : int }
+(** Raised by an armed [Raise] rule.  Chaos harnesses treat an escape of
+    this exception past the top-level [Result] API as a bug. *)
+
+val arm : plan -> unit
+(** Arm [plan], resetting all hit counters.  Replaces any armed plan. *)
+
+val disarm : unit -> unit
+
+val with_plan : plan -> (unit -> 'a) -> 'a
+(** [with_plan p f] arms [p], runs [f ()], and disarms afterwards even if
+    [f] raises. *)
+
+val armed : unit -> plan option
+
+val point : string -> unit
+(** Probe.  No-op unless a plan with a rule for this point is armed. *)
+
+val exhausted : string -> bool
+(** Budget probe: [true] iff an armed [Exhaust] rule for this point has
+    reached its hit count.  Counts a hit on every call while armed. *)
+
+val known_points : string list
+(** Documented probe points, for spec validation and plan generation. *)
+
+val of_spec : string -> (plan, string) result
+(** Parse a plan from a compact spec:
+    [point\@hit=action(,point\@hit=action)*] where action is [raise],
+    [exhaust], or [delay:SECONDS] — e.g.
+    ["channel.recv@3=raise,ilp.budget@100=exhaust"].  The special entry
+    [seed:N] expands to {!generate}[ ~seed:N]'s rules. *)
+
+val generate : seed:int -> plan
+(** Deterministic pseudo-random plan: 1–3 rules over {!known_points}
+    with hit counts in [1, 40]. *)
+
+val to_spec : plan -> string

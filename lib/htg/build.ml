@@ -506,7 +506,11 @@ let build ?(max_children = 8) (prog : Ast.program) (profile : Interp.Profile.t)
   let main =
     match Ast.find_func prog "main" with
     | Some m -> m
-    | None -> invalid_arg "Build.build: no main"
+    | None ->
+        Mpsoc_error.raise_error ~location:"main" ~phase:Mpsoc_error.Graph
+          ~kind:Mpsoc_error.Invalid_input
+          ~advice:"the program must define a main() function"
+          "no main function to build the task graph from"
   in
   let ctx = { profile; sizes = collect_sizes prog; next_id = 0; max_children } in
   match conv_region ctx ~label:"main" ~entries:1. main.fbody with

@@ -11,6 +11,11 @@ type status =
   | Feasible  (** limit hit; best incumbent returned *)
   | Infeasible
   | Unbounded
+  | Limit
+      (** a work/node/time limit ran out before any incumbent was found:
+          the model may still be feasible, the search just could not tell.
+          Distinct from [Infeasible] so callers can engage degradation
+          fallbacks instead of discarding the subproblem. *)
 
 type solution = {
   status : status;
@@ -235,7 +240,11 @@ let solve ?(options = default_options) ?warm_start ?(extra_starts = [])
       proved := true;
       continue := false
     end
-    else if !work >= options.work_limit || !nodes >= options.node_limit then begin
+    else if
+      !work >= options.work_limit
+      || !nodes >= options.node_limit
+      || Fault.exhausted "ilp.budget"
+    then begin
       hit_limit := true;
       continue := false
     end
@@ -303,7 +312,12 @@ let solve ?(options = default_options) ?warm_start ?(extra_starts = [])
   | None ->
       if !saw_unbounded then
         { status = Unbounded; x = None; obj = nan; nodes = !nodes; incumbents = [] }
+      else if !hit_limit then
+        (* limit ran out before any incumbent was found: not a proof of
+           infeasibility, so report it as such and let the caller degrade
+           (LP rounding, greedy scheduling, sequential fallback).  Note a
+           warm-started solve can never land here — the seed is already an
+           incumbent. *)
+        { status = Limit; x = None; obj = nan; nodes = !nodes; incumbents = [] }
       else
-        (* with a limit hit this is "no incumbent found", which we still
-           report as Infeasible: callers treat both as "no solution" *)
         { status = Infeasible; x = None; obj = nan; nodes = !nodes; incumbents = [] }

@@ -11,6 +11,12 @@ type status =
   | Feasible  (** limit hit; best incumbent returned *)
   | Infeasible
   | Unbounded
+  | Limit
+      (** a work/node/time limit ran out before any incumbent was found:
+          feasibility is unknown.  Callers should fall back to a degraded
+          construction (LP rounding, greedy scheduling) rather than treat
+          the subproblem as infeasible.  A warm-started solve never
+          returns [Limit]: the seed already is an incumbent. *)
 
 type solution = {
   status : status;

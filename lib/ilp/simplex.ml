@@ -47,6 +47,7 @@ type tab = {
    passes [active = n_artificial_start] and skips them entirely (a free
    25-45% cut of phase-2 row work on equality-heavy models). *)
 let pivot t r j active =
+  Fault.point "simplex.pivot";
   let arow = t.a.(r) in
   let piv = arow.(j) in
   let inv = 1. /. piv in

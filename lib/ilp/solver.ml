@@ -49,7 +49,8 @@ let solve ?options ?warm_start ?(extra_starts = []) ?cache ?stats
         | Branch_bound.Optimal -> "optimal"
         | Branch_bound.Feasible -> "feasible"
         | Branch_bound.Infeasible -> "infeasible"
-        | Branch_bound.Unbounded -> "unbounded")
+        | Branch_bound.Unbounded -> "unbounded"
+        | Branch_bound.Limit -> "limit")
   | _ -> ());
   (match stats with
   | Some s ->

@@ -16,10 +16,28 @@ type t = {
   mutable cache_hits : int;
       (** solves answered from the {!Memo} cache; these are *not* counted
           in [ilps] — that stays the number of ILPs actually solved *)
+  mutable deg_incumbent : int;
+      (** solves that hit a limit and delivered their best incumbent *)
+  mutable deg_lp_round : int;  (** fallbacks to rounded LP relaxations *)
+  mutable deg_greedy : int;  (** fallbacks to greedy list scheduling *)
+  mutable deg_seq : int;
+      (** solves where even the greedy fallback failed and the node kept
+          only its sequential candidate *)
 }
 
 let create () =
-  { ilps = 0; vars = 0; constrs = 0; solve_time_s = 0.; bb_nodes = 0; cache_hits = 0 }
+  {
+    ilps = 0;
+    vars = 0;
+    constrs = 0;
+    solve_time_s = 0.;
+    bb_nodes = 0;
+    cache_hits = 0;
+    deg_incumbent = 0;
+    deg_lp_round = 0;
+    deg_greedy = 0;
+    deg_seq = 0;
+  }
 
 let reset t =
   t.ilps <- 0;
@@ -27,7 +45,11 @@ let reset t =
   t.constrs <- 0;
   t.solve_time_s <- 0.;
   t.bb_nodes <- 0;
-  t.cache_hits <- 0
+  t.cache_hits <- 0;
+  t.deg_incumbent <- 0;
+  t.deg_lp_round <- 0;
+  t.deg_greedy <- 0;
+  t.deg_seq <- 0
 
 let record t (model : Model.t) ~nodes ~time_s =
   t.ilps <- t.ilps + 1;
@@ -38,17 +60,39 @@ let record t (model : Model.t) ~nodes ~time_s =
 
 let record_cache_hit t = t.cache_hits <- t.cache_hits + 1
 
+(** One solve landed on a degradation-ladder rung (see
+    [Solution.degradation] in [lib/core]). *)
+let record_degraded t level =
+  match level with
+  | `Incumbent -> t.deg_incumbent <- t.deg_incumbent + 1
+  | `Lp_round -> t.deg_lp_round <- t.deg_lp_round + 1
+  | `Greedy -> t.deg_greedy <- t.deg_greedy + 1
+  | `Seq_fallback -> t.deg_seq <- t.deg_seq + 1
+
+(** [true] iff any solve fell below the best-incumbent rung, i.e. the
+    candidate sets may be missing solutions branch & bound would have
+    found with enough budget. *)
+let ladder_engaged t = t.deg_lp_round > 0 || t.deg_greedy > 0 || t.deg_seq > 0
+
 let merge ~into:a b =
   a.ilps <- a.ilps + b.ilps;
   a.vars <- a.vars + b.vars;
   a.constrs <- a.constrs + b.constrs;
   a.solve_time_s <- a.solve_time_s +. b.solve_time_s;
   a.bb_nodes <- a.bb_nodes + b.bb_nodes;
-  a.cache_hits <- a.cache_hits + b.cache_hits
+  a.cache_hits <- a.cache_hits + b.cache_hits;
+  a.deg_incumbent <- a.deg_incumbent + b.deg_incumbent;
+  a.deg_lp_round <- a.deg_lp_round + b.deg_lp_round;
+  a.deg_greedy <- a.deg_greedy + b.deg_greedy;
+  a.deg_seq <- a.deg_seq + b.deg_seq
 
 let copy t = { t with ilps = t.ilps }
 
 let pp ppf t =
   Fmt.pf ppf "#ILPs %d, #Var %d, #Constr %d, time %.2fs, B&B nodes %d" t.ilps
     t.vars t.constrs t.solve_time_s t.bb_nodes;
-  if t.cache_hits > 0 then Fmt.pf ppf ", cache hits %d" t.cache_hits
+  if t.cache_hits > 0 then Fmt.pf ppf ", cache hits %d" t.cache_hits;
+  if t.deg_incumbent > 0 then Fmt.pf ppf ", incumbent-only %d" t.deg_incumbent;
+  if t.deg_lp_round > 0 then Fmt.pf ppf ", lp-round %d" t.deg_lp_round;
+  if t.deg_greedy > 0 then Fmt.pf ppf ", greedy %d" t.deg_greedy;
+  if t.deg_seq > 0 then Fmt.pf ppf ", seq-fallback %d" t.deg_seq

@@ -14,6 +14,13 @@ type t = {
   mutable cache_hits : int;
       (** solves answered from the {!Memo} cache; not counted in [ilps],
           which stays the number of ILPs actually solved *)
+  mutable deg_incumbent : int;
+      (** solves that hit a limit and delivered their best incumbent *)
+  mutable deg_lp_round : int;  (** fallbacks to rounded LP relaxations *)
+  mutable deg_greedy : int;  (** fallbacks to greedy list scheduling *)
+  mutable deg_seq : int;
+      (** solves where even the greedy fallback failed and the node kept
+          only its sequential candidate *)
 }
 
 val create : unit -> t
@@ -24,6 +31,15 @@ val record : t -> Model.t -> nodes:int -> time_s:float -> unit
 
 (** Record one solve answered from the {!Memo} cache. *)
 val record_cache_hit : t -> unit
+
+(** Record one solve landing on a degradation-ladder rung. *)
+val record_degraded :
+  t -> [ `Incumbent | `Lp_round | `Greedy | `Seq_fallback ] -> unit
+
+(** [true] iff any solve fell below the best-incumbent rung, i.e. the
+    candidate sets may be missing solutions the full search would have
+    found — the whole run must then be reported as degraded. *)
+val ladder_engaged : t -> bool
 
 val merge : into:t -> t -> unit
 val copy : t -> t

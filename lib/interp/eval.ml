@@ -17,6 +17,14 @@ type result = {
 
 exception Step_limit_exceeded of int
 
+(** Cooperative supervision for runtime execution: a watchdog sets
+    [cancel]; the interpreter bumps [pulse] and checks [cancel] every
+    1024 steps, raising {!Cancelled} — so even pure compute loops
+    terminate on a timeout verdict. *)
+type supervision = { cancel : bool Atomic.t; pulse : int Atomic.t }
+
+exception Cancelled
+
 type store = (string, Value.t ref) Hashtbl.t
 
 type env = {
@@ -24,6 +32,7 @@ type env = {
   profile : Profile.t;
   mutable steps : int;
   max_steps : int;
+  supervision : supervision option;
 }
 
 exception Return_exn of Value.t option
@@ -40,15 +49,21 @@ let profile_slots (prog : Ast.program) : int =
   in
   max (max_sid + 1) (Ast.stmt_count prog)
 
-let make_env ?(max_steps = default_max_steps) ~profile (vars : store) : env =
-  { vars; profile; steps = 0; max_steps }
+let make_env ?(max_steps = default_max_steps) ?supervision ~profile
+    (vars : store) : env =
+  { vars; profile; steps = 0; max_steps; supervision }
 
 let env_store env = env.vars
 let env_steps env = env.steps
 
 let tick env =
   env.steps <- env.steps + 1;
-  if env.steps > env.max_steps then raise (Step_limit_exceeded env.steps)
+  if env.steps > env.max_steps then raise (Step_limit_exceeded env.steps);
+  match env.supervision with
+  | Some s when env.steps land 1023 = 0 ->
+      Atomic.incr s.pulse;
+      if Atomic.get s.cancel then raise Cancelled
+  | _ -> ()
 
 let tick_env = tick
 

@@ -35,6 +35,14 @@ type store = (string, Value.t ref) Hashtbl.t
 type env
 (** Interpreter state over a store: profile, step counter, step budget. *)
 
+(** Cooperative supervision for runtime execution: a watchdog sets
+    [cancel]; the interpreter bumps [pulse] and checks [cancel] every
+    1024 steps, raising {!Cancelled} — so even pure compute loops
+    terminate on a timeout verdict. *)
+type supervision = { cancel : bool Atomic.t; pulse : int Atomic.t }
+
+exception Cancelled
+
 exception Return_exn of Value.t option
 (** Raised by [return]; carries the returned value. *)
 
@@ -42,7 +50,8 @@ exception Return_exn of Value.t option
     program. *)
 val profile_slots : Ast.program -> int
 
-val make_env : ?max_steps:int -> profile:Profile.t -> store -> env
+val make_env :
+  ?max_steps:int -> ?supervision:supervision -> profile:Profile.t -> store -> env
 val env_store : env -> store
 val env_steps : env -> int
 

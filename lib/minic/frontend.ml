@@ -18,6 +18,7 @@ exception Error of error
 
 (** Parse and type-check only (no inlining). *)
 let parse_and_check src =
+  Fault.point "frontend.parse";
   try
     let prog = Parser.program_of_string src in
     Typecheck.check prog;

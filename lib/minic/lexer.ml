@@ -100,7 +100,10 @@ let lex_number st loc =
       consume_digits ()
   | _ -> ());
   let s = Buffer.contents buf in
-  if !is_float then Token.FLOAT_LIT (float_of_string s)
+  if !is_float then
+    match float_of_string_opt s with
+    | Some f -> Token.FLOAT_LIT f
+    | None -> raise (Error (Printf.sprintf "bad float literal %S" s, loc))
   else
     match int_of_string_opt s with
     | Some n -> Token.INT_LIT n

@@ -15,15 +15,33 @@ type t = {
 }
 [@@deriving show, eq]
 
+let invalid ?location ?advice msg =
+  Mpsoc_error.raise_error ?location ?advice ~phase:Mpsoc_error.Platform
+    ~kind:Mpsoc_error.Invalid_input msg
+
 let make ?(comm = Comm.default) ?(tco_us = 2.0) ~name ~classes ~main_class () =
   let classes = Array.of_list classes in
-  if Array.length classes = 0 then invalid_arg "Platform.make: no classes";
+  if Array.length classes = 0 then
+    invalid ~location:name ~advice:"declare at least one `class' entry"
+      "platform has no processor classes";
   if main_class < 0 || main_class >= Array.length classes then
-    invalid_arg "Platform.make: main_class out of range";
-  if tco_us < 0. then invalid_arg "Platform.make: negative tco_us";
+    invalid ~location:name
+      ~advice:"main_class must name one of the declared classes"
+      (Printf.sprintf "main_class index %d out of range (have %d classes)"
+         main_class (Array.length classes));
+  if not (Float.is_finite tco_us) || tco_us < 0. then
+    invalid ~location:name ~advice:"tco_us must be a finite value >= 0"
+      (Printf.sprintf "invalid task creation overhead %g us" tco_us);
   let names = Array.to_list (Array.map (fun c -> c.Proc_class.name) classes) in
-  if List.length (List.sort_uniq String.compare names) <> List.length names
-  then invalid_arg "Platform.make: duplicate class names";
+  (match
+     List.filter
+       (fun n -> List.length (List.filter (String.equal n) names) > 1)
+       (List.sort_uniq String.compare names)
+   with
+  | [] -> ()
+  | dup :: _ ->
+      invalid ~location:dup ~advice:"give every processor class a unique name"
+        (Printf.sprintf "duplicate processor class name %S" dup));
   { name; classes; main_class; comm; tco_us }
 
 let num_classes t = Array.length t.classes
@@ -81,7 +99,10 @@ let homogeneous_view t =
 (** Switch which class is the main one (used for scenario I vs II). *)
 let with_main_class t ~main_class =
   if main_class < 0 || main_class >= Array.length t.classes then
-    invalid_arg "Platform.with_main_class: out of range";
+    invalid ~location:t.name
+      ~advice:"pick a main class index within the declared classes"
+      (Printf.sprintf "with_main_class: index %d out of range (have %d classes)"
+         main_class (Array.length t.classes));
   { t with main_class }
 
 let pp_summary ppf t =

@@ -42,10 +42,24 @@ let parse_class_line words lineno =
             | None -> err "line %d: bad number %s for %s" lineno v k)
       in
       let freq = get_float "freq" 0. in
-      if freq <= 0. then err "line %d: class %s needs freq > 0" lineno name;
+      if (not (Float.is_finite freq)) || freq <= 0. then
+        err "line %d: class %s needs a finite freq > 0" lineno name;
       let cpi = get_float "cpi" 1.0 in
-      let count = int_of_float (get_float "count" 1.) in
+      if (not (Float.is_finite cpi)) || cpi <= 0. then
+        err "line %d: class %s needs a finite cpi > 0" lineno name;
+      let count_f = get_float "count" 1. in
+      (* [int_of_float nan] is 0 and a huge count would blow up the ILP
+         model size, so bound-check before converting *)
+      if
+        (not (Float.is_finite count_f))
+        || count_f < 1.
+        || count_f > 65536.
+        || Float.rem count_f 1. <> 0.
+      then err "line %d: class %s needs an integer count in [1, 65536]" lineno name;
+      let count = int_of_float count_f in
       let power = get_float "power" 0. in
+      if not (Float.is_finite power) then
+        err "line %d: class %s has a non-finite power" lineno name;
       let is_main = List.mem_assoc "main" kvs in
       let pc =
         if power > 0. then
@@ -85,8 +99,8 @@ let of_string src : Desc.t =
           | _ -> err "line %d: bad bus parameters" lineno)
       | [ "tco"; v ] -> (
           match float_of_string_opt v with
-          | Some f -> acc.tco <- f
-          | None -> err "line %d: bad tco value" lineno)
+          | Some f when Float.is_finite f && f >= 0. -> acc.tco <- f
+          | _ -> err "line %d: bad tco value" lineno)
       | w :: _ -> err "line %d: unknown directive %s" lineno w)
     lines;
   if List.length acc.classes = 0 then err "no processor classes declared";
@@ -105,11 +119,38 @@ let of_string src : Desc.t =
     ~main_class ~comm:acc.comm ~tco_us:acc.tco ()
 
 let of_file path =
+  Fault.point "platform.io";
   let ic = open_in path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  of_string s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      of_string s)
+
+let wrap_errors f =
+  match f () with
+  | desc -> Ok desc
+  | exception Error msg ->
+      Error
+        (Mpsoc_error.make ~phase:Mpsoc_error.Platform
+           ~kind:Mpsoc_error.Invalid_input
+           ~advice:
+             "see `platform', `class', `bus' and `tco' directives in the docs"
+           msg)
+  | exception Mpsoc_error.Error e -> Error e
+  | exception Sys_error msg ->
+      Error
+        (Mpsoc_error.make ~phase:Mpsoc_error.Platform
+           ~kind:Mpsoc_error.Invalid_input
+           ~advice:"check the platform file path and permissions" msg)
+  | exception Fault.Injected { point; _ } ->
+      Error
+        (Mpsoc_error.make ~phase:Mpsoc_error.Platform
+           ~kind:(Mpsoc_error.Fault_injected point) "injected platform I/O fault")
+
+let of_string_result src = wrap_errors (fun () -> of_string src)
+let of_file_result path = wrap_errors (fun () -> of_file path)
 
 (** Render a platform back into the textual format ([of_string] inverse). *)
 let to_string (p : Desc.t) =

@@ -17,5 +17,12 @@ exception Error of string
 val of_string : string -> Desc.t
 val of_file : string -> Desc.t
 
+val of_string_result : string -> (Desc.t, Mpsoc_error.t) result
+(** Like {!of_string} but never raises: parse errors, invalid platform
+    values and injected I/O faults come back as {!Mpsoc_error.t}. *)
+
+val of_file_result : string -> (Desc.t, Mpsoc_error.t) result
+(** Like {!of_string_result} for a file; also catches [Sys_error]. *)
+
 (** Render a platform back into the textual format. *)
 val to_string : Desc.t -> string

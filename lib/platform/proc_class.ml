@@ -21,13 +21,21 @@ type t = {
 
 let default_power_mw ~freq_mhz = 20. *. Float.pow (freq_mhz /. 100.) 1.5
 
+let invalid ~name msg =
+  Mpsoc_error.raise_error ~location:name ~phase:Mpsoc_error.Platform
+    ~kind:Mpsoc_error.Invalid_input msg
+
 let make ?(cpi = 1.0) ?power_mw ~name ~freq_mhz ~count () =
-  if freq_mhz <= 0. then invalid_arg "Proc_class.make: freq_mhz must be > 0";
-  if cpi <= 0. then invalid_arg "Proc_class.make: cpi must be > 0";
-  if count < 1 then invalid_arg "Proc_class.make: count must be >= 1";
+  if not (Float.is_finite freq_mhz) || freq_mhz <= 0. then
+    invalid ~name (Printf.sprintf "freq_mhz must be finite and > 0, got %g" freq_mhz);
+  if not (Float.is_finite cpi) || cpi <= 0. then
+    invalid ~name (Printf.sprintf "cpi must be finite and > 0, got %g" cpi);
+  if count < 1 then
+    invalid ~name (Printf.sprintf "count must be >= 1, got %d" count);
   let power_mw =
     match power_mw with
-    | Some p when p <= 0. -> invalid_arg "Proc_class.make: power_mw must be > 0"
+    | Some p when (not (Float.is_finite p)) || p <= 0. ->
+        invalid ~name (Printf.sprintf "power_mw must be finite and > 0, got %g" p)
     | Some p -> p
     | None -> default_power_mw ~freq_mhz
   in

@@ -1,31 +1,57 @@
+type content = Value of Interp.Value.t option | Expired
+
 type state =
   | Empty of (unit -> unit) list  (** parked consumer wake-ups *)
-  | Full of Interp.Value.t option
+  | Full of content
 
 type t = { m : Mutex.t; mutable st : state }
 
 let create () = { m = Mutex.create (); st = Empty [] }
 
-let send pool c v =
+let fill pool c content =
   Mutex.lock c.m;
   match c.st with
   | Full _ -> Mutex.unlock c.m (* first write wins *)
   | Empty waiters ->
-      c.st <- Full v;
+      c.st <- Full content;
       Mutex.unlock c.m;
       List.iter (fun wake -> wake ()) waiters;
       ignore pool
 
+let send pool c v = fill pool c (Value v)
 let poison pool c = send pool c None
+let expire pool c = fill pool c Expired
 
-let recv pool c =
+let recv ?watch ?(label = "recv") pool c =
+  Fault.point "channel.recv";
+  let read_full () =
+    Mutex.lock c.m;
+    let r =
+      match c.st with
+      | Full (Value v) -> Ok v
+      | Full Expired -> Error `Expired
+      | Empty _ -> assert false
+    in
+    Mutex.unlock c.m;
+    r
+  in
   Mutex.lock c.m;
   match c.st with
-  | Full v ->
+  | Full (Value v) ->
       Mutex.unlock c.m;
-      v
+      Ok v
+  | Full Expired ->
+      Mutex.unlock c.m;
+      Error `Expired
   | Empty _ ->
       Mutex.unlock c.m;
+      (* announce the park so the watchdog can expire us on a verdict *)
+      let ticket =
+        match watch with
+        | None -> None
+        | Some w ->
+            Some (w, Watchdog.register w ~label ~expire:(fun () -> expire pool c))
+      in
       Effect.perform
         (Pool.Suspend
            (fun k ->
@@ -40,7 +66,7 @@ let recv pool c =
                  c.st <- Empty (wake :: ws);
                  Mutex.unlock c.m));
       (* resumed: the cell is necessarily full now *)
-      Mutex.lock c.m;
-      let v = match c.st with Full v -> v | Empty _ -> assert false in
-      Mutex.unlock c.m;
-      v
+      (match ticket with
+      | Some (w, id) -> Watchdog.unregister w id
+      | None -> ());
+      read_full ()

@@ -9,19 +9,35 @@
 
     The payload is [Value.t option]: [None] marks a variable that was
     never bound (or a cell poisoned because its producer failed), which
-    consumers treat as "no update". *)
+    consumers treat as "no update".
+
+    A cell can also be {e expired} (by the {!Watchdog} on a timeout or
+    deadlock verdict): pending and future receives then return
+    [Error `Expired] instead of blocking forever — the fix for the
+    receive-blocks-forever hazard of a never-written channel. *)
 
 type t
 
 val create : unit -> t
 
-(** Fill the cell.  First write wins; later writes are ignored, which
-    makes the error-path poisoning idempotent. *)
+(** Fill the cell.  First write wins; later writes (including expiry) are
+    ignored, which makes the error-path poisoning idempotent. *)
 val send : Pool.t -> t -> Interp.Value.t option -> unit
 
-(** Read the cell, suspending the calling task until it is filled. *)
-val recv : Pool.t -> t -> Interp.Value.t option
+(** Read the cell, suspending the calling task until it is filled or
+    expired.  When [watch] is given, the park is registered with the
+    watchdog under [label] so a verdict wakes it with [Error `Expired]. *)
+val recv :
+  ?watch:Watchdog.t ->
+  ?label:string ->
+  Pool.t ->
+  t ->
+  (Interp.Value.t option, [ `Expired ]) result
 
 (** [poison pool c] = [send pool c None]; used to release consumers when
     the producing task dies. *)
 val poison : Pool.t -> t -> unit
+
+(** Expire the cell: pending and future receives return [Error `Expired].
+    A no-op if the cell is already full.  Idempotent. *)
+val expire : Pool.t -> t -> unit

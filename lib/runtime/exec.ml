@@ -11,12 +11,26 @@ type ctx = {
   metrics : Metrics.t;
   max_steps : int;
   slots : int;  (** profile slots for scratch environments *)
+  watch : Watchdog.t option;
 }
 
+exception Expired_receive of string
+(** A def-use receive was expired by the watchdog (timeout/deadlock
+    verdict); carries the receive's label.  Internal — mapped to a typed
+    error at the top level. *)
+
 let truthy v = Value.to_int v <> 0
+let beat ctx = match ctx.watch with Some w -> Watchdog.beat w | None -> ()
 
 let scratch_env ctx store =
-  Eval.make_env ~max_steps:ctx.max_steps ~profile:(Interp.Profile.create ctx.slots) store
+  let supervision =
+    Option.map
+      (fun w ->
+        { Eval.cancel = Watchdog.cancel_token w; pulse = Watchdog.pulse_counter w })
+      ctx.watch
+  in
+  Eval.make_env ?supervision ~max_steps:ctx.max_steps
+    ~profile:(Interp.Profile.create ctx.slots) store
 
 (* Does a block survive HTG conversion as a node?  Mirrors the builder's
    conversion, which drops blocks that are empty all the way down; used to
@@ -278,9 +292,11 @@ and fork ctx env (node : Node.t) (cov : cover) (part : Solution.partition) child
                 | None -> ()
                 | Some cell -> (
                     Metrics.incr ctx.metrics.Metrics.recvs;
-                    match Channel.recv ctx.pool cell with
-                    | Some value -> Hashtbl.replace store v (ref (Value.copy value))
-                    | None -> () (* producer failed or never bound it *))))
+                    let label = Printf.sprintf "task%d:%s<-child%d" t v i in
+                    match Channel.recv ?watch:ctx.watch ~label ctx.pool cell with
+                    | Ok (Some value) -> Hashtbl.replace store v (ref (Value.copy value))
+                    | Ok None -> () (* producer failed or never bound it *)
+                    | Error `Expired -> raise (Expired_receive label))))
           cov.imports.(j)
       in
       let rec go = function
@@ -288,8 +304,10 @@ and fork ctx env (node : Node.t) (cov : cover) (part : Solution.partition) child
         | j :: rest -> (
             match
               import j;
+              beat ctx;
               exec_child ctx tenv node.Node.children.(j) (child_sol j);
-              publish j
+              publish j;
+              beat ctx
             with
             | () -> go rest
             | exception e ->
@@ -492,11 +510,18 @@ and run_split ctx env (s : Ast.stmt) (f : Ast.for_loop) (sp : Solution.split) =
 
 type result = { ret : Value.t option; steps : int; metrics : Metrics.snapshot }
 
-let run ?domains ?(max_steps = Eval.default_max_steps) (prog : Ast.program) (root : Node.t)
-    (sol : Solution.t) : result =
+(* Shared driver: run the program under an optional watchdog and report
+   the raw outcome together with the watchdog's verdict.  The verdict is
+   read *before* the watchdog is stopped so a timeout/deadlock that fired
+   during the run is never lost. *)
+let run_watched ?domains ?(max_steps = Eval.default_max_steps) ?(timeout_s = 0.)
+    ?(grace_s = 0.5) (prog : Ast.program) (root : Node.t) (sol : Solution.t) =
+  let watch =
+    if timeout_s > 0. then Some (Watchdog.create ~grace_s ~timeout_s ()) else None
+  in
   let pool = Pool.create ?domains () in
   let metrics = Metrics.create () in
-  let ctx = { pool; metrics; max_steps; slots = Eval.profile_slots prog } in
+  let ctx = { pool; metrics; max_steps; slots = Eval.profile_slots prog; watch } in
   let t0 = Unix.gettimeofday () in
   let outcome =
     try
@@ -516,14 +541,77 @@ let run ?domains ?(max_steps = Eval.default_max_steps) (prog : Ast.program) (roo
     with e -> Error e
   in
   let wall_s = Unix.gettimeofday () -. t0 in
+  let verdict =
+    match watch with None -> Watchdog.Running | Some w -> Watchdog.verdict w
+  in
+  Option.iter Watchdog.stop watch;
   let snap =
     Metrics.snapshot metrics ~domains:(Pool.size pool) ~wall_s ~steals:(Pool.steals pool)
       ~worker_busy_s:(Pool.worker_busy_s pool) ~worker_tasks:(Pool.worker_tasks pool)
   in
   Pool.shutdown pool;
+  let outcome =
+    Result.map (fun ret -> { ret; steps = snap.Metrics.n_steps; metrics = snap }) outcome
+  in
+  (outcome, verdict)
+
+let verdict_error = function
+  | Watchdog.Running -> None
+  | Watchdog.Timed_out ->
+      Some
+        (Mpsoc_error.make ~phase:Execute ~kind:Timeout
+           ~advice:"raise --timeout or reduce the input size"
+           "execution exceeded the wall-clock deadline")
+  | Watchdog.Deadlocked waiting_tasks ->
+      Some
+        (Mpsoc_error.make ~phase:Execute
+           ~kind:(Deadlock { waiting_tasks })
+           ~advice:
+             "the task graph has a receive with no reachable producer; report the \
+              solution tree and fault plan"
+           (Printf.sprintf "deadlock: %d receive(s) parked with no progress"
+              (List.length waiting_tasks)))
+
+let error_of_exn verdict e =
+  match verdict_error verdict with
+  | Some err -> err
+  | None -> (
+      match e with
+      | Mpsoc_error.Error err -> err
+      | Eval.Step_limit_exceeded n ->
+          Mpsoc_error.make ~phase:Execute ~kind:Resource_limit
+            ~advice:"raise --max-steps"
+            (Printf.sprintf "interpreted-statement budget exceeded (%d steps)" n)
+      | Eval.Runtime_error msg ->
+          Mpsoc_error.make ~phase:Execute ~kind:Invalid_input msg
+      | Fault.Injected { point; hit } ->
+          Mpsoc_error.make ~phase:Execute ~kind:(Fault_injected point)
+            (Printf.sprintf "armed fault plan fired on hit %d" hit)
+      | Eval.Cancelled | Expired_receive _ ->
+          (* cancellation implies a verdict; if the race hid it, report a
+             plain timeout rather than an internal error *)
+          Mpsoc_error.make ~phase:Execute ~kind:Timeout
+            "execution cancelled by the watchdog"
+      | e ->
+          Mpsoc_error.make ~phase:Execute ~kind:Internal (Printexc.to_string e))
+
+let run ?domains ?max_steps ?timeout_s ?grace_s prog root sol : result =
+  let outcome, verdict =
+    run_watched ?domains ?max_steps ?timeout_s ?grace_s prog root sol
+  in
   match outcome with
-  | Ok ret -> { ret; steps = snap.Metrics.n_steps; metrics = snap }
-  | Error e -> raise e
+  | Ok r -> r
+  | Error e -> (
+      match verdict_error verdict with
+      | Some err -> raise (Mpsoc_error.Error err)
+      | None -> raise e)
+
+let run_result ?domains ?max_steps ?timeout_s ?grace_s prog root sol :
+    (result, Mpsoc_error.t) Stdlib.result =
+  let outcome, verdict =
+    run_watched ?domains ?max_steps ?timeout_s ?grace_s prog root sol
+  in
+  match outcome with Ok r -> Ok r | Error e -> Error (error_of_exn verdict e)
 
 let ret_equal a b =
   match (a, b) with
@@ -531,7 +619,7 @@ let ret_equal a b =
   | Some x, Some y -> Value.equal x y
   | _ -> false
 
-let validate ?domains ?max_steps prog root sol =
+let validate ?domains ?max_steps ?timeout_s ?grace_s prog root sol =
   let seq = Eval.run ?max_steps prog in
-  let par = run ?domains ?max_steps prog root sol in
+  let par = run ?domains ?max_steps ?timeout_s ?grace_s prog root sol in
   (par, seq, ret_equal par.ret seq.Eval.ret)

@@ -33,24 +33,45 @@ type result = {
 (** Execute [prog] under solution [sol] for AHTG root [root] on a fresh
     domain pool.  [domains] defaults to the machine's recommended domain
     count; [1] executes fully sequentially on the calling domain.
-    Re-raises interpreter errors ({!Interp.Eval.Runtime_error},
-    {!Interp.Eval.Step_limit_exceeded}). *)
+    [timeout_s > 0.] arms a {!Watchdog} (wall-clock deadline plus parked
+    receive deadlock detection with no-progress window [grace_s],
+    default 0.5 s); on a verdict, raises {!Mpsoc_error.Error} with kind
+    [Timeout] or [Deadlock].  Re-raises interpreter errors
+    ({!Interp.Eval.Runtime_error}, {!Interp.Eval.Step_limit_exceeded}). *)
 val run :
   ?domains:int ->
   ?max_steps:int ->
+  ?timeout_s:float ->
+  ?grace_s:float ->
   Minic.Ast.program ->
   Htg.Node.t ->
   Parcore.Solution.t ->
   result
 
+(** Like {!run}, but every failure comes back as a typed
+    {!Mpsoc_error.t} (watchdog verdicts take precedence over the raw
+    exception they caused). *)
+val run_result :
+  ?domains:int ->
+  ?max_steps:int ->
+  ?timeout_s:float ->
+  ?grace_s:float ->
+  Minic.Ast.program ->
+  Htg.Node.t ->
+  Parcore.Solution.t ->
+  (result, Mpsoc_error.t) Stdlib.result
+
 (** Return-value equality (the differential-validation criterion). *)
 val ret_equal : Interp.Value.t option -> Interp.Value.t option -> bool
 
 (** Run both the sequential reference interpreter and the parallel
-    runtime; returns [(parallel, sequential, rets_agree)]. *)
+    runtime; returns [(parallel, sequential, rets_agree)].  The watchdog
+    options cover only the parallel run. *)
 val validate :
   ?domains:int ->
   ?max_steps:int ->
+  ?timeout_s:float ->
+  ?grace_s:float ->
   Minic.Ast.program ->
   Htg.Node.t ->
   Parcore.Solution.t ->

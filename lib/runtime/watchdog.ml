@@ -1,0 +1,136 @@
+(** Runtime watchdog: a tiny monitor domain that turns hangs into typed
+    verdicts.
+
+    Two failure modes of a mis-implemented (or fault-injected) task graph
+    are covered:
+
+    - {b deadlock}: every task is either finished or parked on a def-use
+      channel receive, and no producer is left to fill the cells.  The
+      executor registers every parked receive here; the interpreter and
+      the fork/join machinery bump {!beat} whenever real work happens.
+      If parked receives exist and the pulse stays still for a grace
+      period, the watchdog declares [Deadlocked] with the waiting tasks'
+      labels and expires the parked receives so they wake with an error
+      instead of sleeping forever.
+
+    - {b timeout}: a global wall-clock deadline.  Past it the watchdog
+      sets the cooperative {!cancel} flag (checked by the interpreter's
+      step counter, so compute loops terminate too) and likewise expires
+      all parked receives.
+
+    After a verdict the monitor keeps expiring any receive that parks
+    late, so the run always drains. *)
+
+type verdict = Running | Timed_out | Deadlocked of string list
+
+type t = {
+  cancel : bool Atomic.t;
+  pulse : int Atomic.t;
+  mutable verdict : verdict;  (* written by the monitor under [mu] *)
+  mu : Mutex.t;
+  waiters : (int, string * (unit -> unit)) Hashtbl.t;
+  mutable next_id : int;
+  stop_flag : bool Atomic.t;
+  mutable domain : unit Domain.t option;
+  timeout_s : float;
+  grace_s : float;
+}
+
+let poll_interval_s = 0.02
+
+let beat t = Atomic.incr t.pulse
+
+let cancel_token t = t.cancel
+let pulse_counter t = t.pulse
+
+let register t ~label ~expire =
+  Mutex.lock t.mu;
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let fired = t.verdict <> Running in
+  if not fired then Hashtbl.replace t.waiters id (label, expire);
+  Mutex.unlock t.mu;
+  (* parking after the verdict: expire immediately so the task drains *)
+  if fired then expire ();
+  id
+
+let unregister t id =
+  Mutex.lock t.mu;
+  Hashtbl.remove t.waiters id;
+  Mutex.unlock t.mu
+
+let verdict t =
+  Mutex.lock t.mu;
+  let v = t.verdict in
+  Mutex.unlock t.mu;
+  v
+
+(* Declare [v], expiring all currently parked receives.  The expire
+   closures are called outside the lock — they take channel locks and may
+   resume pool tasks. *)
+let declare t v =
+  Mutex.lock t.mu;
+  let already = t.verdict <> Running in
+  if not already then t.verdict <- v;
+  let expires =
+    Hashtbl.fold (fun _ (_, e) acc -> e :: acc) t.waiters []
+  in
+  Hashtbl.reset t.waiters;
+  Mutex.unlock t.mu;
+  Atomic.set t.cancel true;
+  List.iter (fun e -> e ()) expires
+
+let monitor t =
+  let start = Unix.gettimeofday () in
+  let last_pulse = ref (Atomic.get t.pulse) in
+  let last_change = ref start in
+  while not (Atomic.get t.stop_flag) do
+    Unix.sleepf poll_interval_s;
+    if not (Atomic.get t.stop_flag) then begin
+      let now = Unix.gettimeofday () in
+      if t.timeout_s > 0. && now -. start > t.timeout_s then
+        declare t Timed_out
+      else begin
+        let p = Atomic.get t.pulse in
+        if p <> !last_pulse then begin
+          last_pulse := p;
+          last_change := now
+        end;
+        if t.grace_s > 0. && now -. !last_change > t.grace_s then begin
+          Mutex.lock t.mu;
+          let labels =
+            Hashtbl.fold (fun _ (l, _) acc -> l :: acc) t.waiters []
+            |> List.sort String.compare
+          in
+          Mutex.unlock t.mu;
+          if labels <> [] then declare t (Deadlocked labels)
+        end
+      end
+    end
+  done
+
+let create ?(grace_s = 0.5) ~timeout_s () =
+  let t =
+    {
+      cancel = Atomic.make false;
+      pulse = Atomic.make 0;
+      verdict = Running;
+      mu = Mutex.create ();
+      waiters = Hashtbl.create 16;
+      next_id = 0;
+      stop_flag = Atomic.make false;
+      domain = None;
+      timeout_s;
+      grace_s;
+    }
+  in
+  t.domain <- Some (Domain.spawn (fun () -> monitor t));
+  t
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  match t.domain with
+  | Some d ->
+      Domain.join d;
+      t.domain <- None
+  | None -> ()

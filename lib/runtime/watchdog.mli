@@ -1,0 +1,41 @@
+(** Runtime watchdog: a monitor domain that turns hangs of the execution
+    runtime into typed verdicts — [Deadlocked] when parked def-use
+    receives stop the pulse for a grace period, [Timed_out] past a global
+    wall-clock deadline.  On a verdict it sets the cooperative cancel flag
+    (observed by the interpreter's step counter) and expires every parked
+    receive, so the run always drains. *)
+
+type t
+
+type verdict = Running | Timed_out | Deadlocked of string list
+
+val create : ?grace_s:float -> timeout_s:float -> unit -> t
+(** Spawn the monitor domain.  [timeout_s] is the absolute deadline from
+    now ([0.] = none); [grace_s] (default 0.5) is the no-progress window
+    after which parked receives are declared deadlocked ([0.] disables
+    deadlock detection).  Call {!stop} when the run is over. *)
+
+val stop : t -> unit
+(** Stop and join the monitor domain (idempotent). *)
+
+val beat : t -> unit
+(** Signal progress (fork/join transitions, channel traffic).  The
+    interpreter signals through {!pulse_counter} directly. *)
+
+val cancel_token : t -> bool Atomic.t
+(** Cooperative cancel flag, set on any verdict; wire it into
+    [Interp.Eval]'s supervision so compute loops terminate. *)
+
+val pulse_counter : t -> int Atomic.t
+(** The progress pulse; bump it from interpreter supervision. *)
+
+val register : t -> label:string -> expire:(unit -> unit) -> int
+(** Announce a parked receive.  [expire] must be idempotent and safe to
+    call concurrently with the receive being satisfied; it is invoked on
+    a verdict (immediately, if one was already declared).  Returns a
+    ticket for {!unregister}. *)
+
+val unregister : t -> int -> unit
+(** Withdraw a parked receive (after it woke up). *)
+
+val verdict : t -> verdict

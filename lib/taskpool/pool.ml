@@ -143,6 +143,7 @@ let fill fut r p =
   Mutex.unlock p.mu
 
 let spawn p f =
+  Fault.point "pool.spawn";
   let fut = { st = Pending []; fm = Mutex.create () } in
   enqueue p (fun () ->
       let r = try Ok (f ()) with e -> Error e in

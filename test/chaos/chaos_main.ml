@@ -1,0 +1,143 @@
+(* Chaos harness: every suite benchmark x two platform scenarios x a pool
+   of seeded fault plans, run through the full flow — parallelize under
+   the armed plan, execute under a watchdog, then differentially validate
+   (disarmed) against the sequential interpreter.
+
+   The contract under test is the robustness tentpole: the flow ALWAYS
+   terminates, and every run ends in either a solution whose parallel
+   execution matches the sequential result, or a typed {!Mpsoc_error.t}.
+   An escaping exception, a hang, or a value mismatch fails the harness.
+
+   Not part of the default test runner (it is chaos, not a unit): run it
+   via [dune build @chaos] or [make chaos].  [CHAOS_SUBSET=n] keeps every
+   n-th (benchmark, platform, plan) case for a quicker smoke run. *)
+
+let cfg =
+  {
+    Parcore.Config.fast with
+    Parcore.Config.jobs = 1;
+    ilp_work_limit = 2e5;
+    ilp_node_limit = 2_000;
+  }
+
+let platforms =
+  [
+    ("A/accel", Platform.Presets.platform_a_accel);
+    ("B/slow", Platform.Presets.platform_b_slow);
+  ]
+
+(* ~20 plans: every probe point hit early, budget exhaustion, a late hit,
+   a short injected delay, and a dozen generated pseudo-random plans. *)
+let plans =
+  let r point at_hit action = { Fault.point; at_hit; action } in
+  let handcrafted =
+    [
+      { Fault.label = "parse-raise"; rules = [ r "frontend.parse" 1 Fault.Raise ] };
+      { Fault.label = "io-raise"; rules = [ r "platform.io" 1 Fault.Raise ] };
+      { Fault.label = "pivot-raise"; rules = [ r "simplex.pivot" 1 Fault.Raise ] };
+      { Fault.label = "pivot-late"; rules = [ r "simplex.pivot" 500 Fault.Raise ] };
+      { Fault.label = "budget-out"; rules = [ r "ilp.budget" 1 Fault.Exhaust ] };
+      { Fault.label = "budget-late"; rules = [ r "ilp.budget" 40 Fault.Exhaust ] };
+      { Fault.label = "spawn-raise"; rules = [ r "pool.spawn" 1 Fault.Raise ] };
+      { Fault.label = "recv-raise"; rules = [ r "channel.recv" 1 Fault.Raise ] };
+      {
+        Fault.label = "recv-delay";
+        rules = [ r "channel.recv" 1 (Fault.Delay_s 0.05) ];
+      };
+      {
+        Fault.label = "pivot+budget";
+        rules = [ r "simplex.pivot" 100 Fault.Raise; r "ilp.budget" 10 Fault.Exhaust ];
+      };
+    ]
+  in
+  handcrafted @ List.init 12 (fun i -> Fault.generate ~seed:(i + 1))
+
+let failures = ref 0
+let cases = ref 0
+
+let fail_case name fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.printf "FAIL %s: %s\n%!" name msg)
+    fmt
+
+let run_case ~name prog profile seq_ret platform plan =
+  incr cases;
+  let outcome =
+    try
+      Ok
+        (Fault.with_plan plan (fun () ->
+             match
+               Parcore.Parallelize.run_program_result ~cfg ~profile
+                 ~approach:Parcore.Parallelize.Heterogeneous ~platform prog
+             with
+             | Error e -> `Typed e
+             | Ok out -> (
+                 let algo = out.Parcore.Parallelize.algo in
+                 match
+                   Runtime.Exec.run_result ~domains:2 ~timeout_s:20.
+                     ~max_steps:cfg.Parcore.Config.max_steps prog
+                     out.Parcore.Parallelize.htg algo.Parcore.Algorithm.root
+                 with
+                 | Error e -> `Typed e
+                 | Ok r -> `Ran (out, r))))
+    with e -> Error e
+  in
+  match outcome with
+  | Error e ->
+      fail_case name "exception escaped the Result APIs: %s" (Printexc.to_string e)
+  | Ok (`Typed e) ->
+      (* typed errors are an accepted terminal state, but must honour the
+         exit-code contract *)
+      let code = Mpsoc_error.exit_code e in
+      if not (List.mem code [ 1; 3; 4 ]) then
+        fail_case name "typed error with bad exit code %d: %s" code
+          (Mpsoc_error.to_string e)
+  | Ok (`Ran (out, r)) ->
+      (* the armed run produced a value: it must match the sequential
+         reference (computed once, disarmed) *)
+      if not (Runtime.Exec.ret_equal r.Runtime.Exec.ret seq_ret) then
+        fail_case name "differential validation mismatch"
+      else
+        (* and re-executing disarmed must match too *)
+        let r2 =
+          Runtime.Exec.run ~domains:2 ~max_steps:cfg.Parcore.Config.max_steps
+            prog out.Parcore.Parallelize.htg
+            out.Parcore.Parallelize.algo.Parcore.Algorithm.root
+        in
+        if not (Runtime.Exec.ret_equal r2.Runtime.Exec.ret seq_ret) then
+          fail_case name "disarmed re-execution mismatch"
+
+let () =
+  let subset =
+    match Sys.getenv_opt "CHAOS_SUBSET" with
+    | Some s -> ( match int_of_string_opt s with Some n when n > 1 -> n | _ -> 1)
+    | None -> 1
+  in
+  let t0 = Unix.gettimeofday () in
+  let k = ref 0 in
+  List.iter
+    (fun (b : Benchsuite.Suite.t) ->
+      let prog = Benchsuite.Suite.compile b in
+      let seq =
+        Interp.Eval.run ~max_steps:cfg.Parcore.Config.max_steps prog
+      in
+      List.iter
+        (fun (pname, platform) ->
+          List.iter
+            (fun plan ->
+              incr k;
+              if !k mod subset = 0 then
+                let name =
+                  Printf.sprintf "%s/%s/%s" b.Benchsuite.Suite.name pname
+                    plan.Fault.label
+                in
+                run_case ~name prog seq.Interp.Eval.profile
+                  seq.Interp.Eval.ret platform plan)
+            plans)
+        platforms)
+    Benchsuite.Suite.all;
+  Printf.printf "chaos: %d cases, %d failures (%.1f s)\n%!" !cases !failures
+    (Unix.gettimeofday () -. t0);
+  exit (if !failures = 0 then 0 else 1)

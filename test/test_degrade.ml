@@ -1,0 +1,120 @@
+(* Tests for the solver degradation ladder: when the ILP budget is
+   exhausted (or the simplex core faults), parallelization still
+   terminates with a feasible, differentially-validated solution tagged
+   with its degradation level — and a plan that never fires leaves the
+   result bit-identical to an unfaulted run. *)
+
+let cfg = Parcore.Config.fast
+let platform = Platform.Presets.platform_a_accel
+
+let bench name =
+  match Benchsuite.Suite.find name with
+  | Some b -> Benchsuite.Suite.compile b
+  | None -> Alcotest.fail ("unknown benchmark " ^ name)
+
+let parallelize prog =
+  match
+    Parcore.Parallelize.run_program_result ~cfg
+      ~approach:Parcore.Parallelize.Heterogeneous ~platform prog
+  with
+  | Ok out -> out
+  | Error e -> Alcotest.fail ("pipeline failed: " ^ Mpsoc_error.to_string e)
+
+(* Differential validation must run with faults disarmed: the solution
+   under test was produced under the plan; executing it must not be. *)
+let assert_validates prog (out : Parcore.Parallelize.outcome) =
+  let _, _, ok =
+    Runtime.Exec.validate ~domains:2 prog out.Parcore.Parallelize.htg
+      out.Parcore.Parallelize.algo.Parcore.Algorithm.root
+  in
+  Alcotest.(check bool) "parallel result matches sequential" true ok
+
+let test_budget_exhausted_ladder () =
+  let prog = bench "fir_256" in
+  let plan =
+    {
+      Fault.label = "budget";
+      rules = [ { Fault.point = "ilp.budget"; at_hit = 1; action = Fault.Exhaust } ];
+    }
+  in
+  let out = Fault.with_plan plan (fun () -> parallelize prog) in
+  let algo = out.Parcore.Parallelize.algo in
+  let stats = algo.Parcore.Algorithm.stats in
+  let engaged =
+    Ilp.Stats.ladder_engaged stats || stats.Ilp.Stats.deg_incumbent > 0
+  in
+  Alcotest.(check bool) "ladder (or incumbent rung) engaged" true engaged;
+  assert_validates prog out
+
+let test_simplex_fault_ladder () =
+  let prog = bench "fir_256" in
+  let plan =
+    {
+      Fault.label = "pivot";
+      rules = [ { Fault.point = "simplex.pivot"; at_hit = 1; action = Fault.Raise } ];
+    }
+  in
+  let out = Fault.with_plan plan (fun () -> parallelize prog) in
+  let algo = out.Parcore.Parallelize.algo in
+  (* with the LP core dead from the first pivot, anything beyond the
+     sequential candidate must have come off the ladder *)
+  Alcotest.(check bool) "ladder engaged" true
+    (Ilp.Stats.ladder_engaged algo.Parcore.Algorithm.stats);
+  assert_validates prog out
+
+let test_degradation_tags_consistent () =
+  let prog = bench "mult_10" in
+  let plan =
+    {
+      Fault.label = "budget";
+      rules = [ { Fault.point = "ilp.budget"; at_hit = 1; action = Fault.Exhaust } ];
+    }
+  in
+  let out = Fault.with_plan plan (fun () -> parallelize prog) in
+  let root = out.Parcore.Parallelize.algo.Parcore.Algorithm.root in
+  let worst = Parcore.Solution.worst_degradation root in
+  let rank = Parcore.Solution.degradation_rank worst in
+  Alcotest.(check bool) "rank in range" true (rank >= 0 && rank <= 4);
+  (* the name map is total over the rungs *)
+  List.iter
+    (fun d -> ignore (Parcore.Solution.degradation_name d))
+    [
+      Parcore.Solution.Exact;
+      Parcore.Solution.Incumbent;
+      Parcore.Solution.Lp_round;
+      Parcore.Solution.Greedy;
+      Parcore.Solution.Seq_fallback;
+    ]
+
+let test_unfired_plan_bit_identical () =
+  let prog = bench "fir_256" in
+  let plain = parallelize prog in
+  let plan =
+    {
+      Fault.label = "never";
+      rules =
+        [ { Fault.point = "frontend.parse"; at_hit = 999_999; action = Fault.Raise } ];
+    }
+  in
+  let armed = Fault.with_plan plan (fun () -> parallelize prog) in
+  let time (o : Parcore.Parallelize.outcome) =
+    o.Parcore.Parallelize.algo.Parcore.Algorithm.root.Parcore.Solution.time_us
+  in
+  Alcotest.(check (float 0.)) "same chosen makespan" (time plain) (time armed);
+  Alcotest.(check bool) "same degradation tag" true
+    (Parcore.Solution.worst_degradation
+       plain.Parcore.Parallelize.algo.Parcore.Algorithm.root
+    = Parcore.Solution.worst_degradation
+        armed.Parcore.Parallelize.algo.Parcore.Algorithm.root)
+
+let suite =
+  [
+    Alcotest.test_case "exhausted budget engages the ladder" `Slow
+      test_budget_exhausted_ladder;
+    Alcotest.test_case "dead simplex degrades but validates" `Slow
+      test_simplex_fault_ladder;
+    Alcotest.test_case "degradation tags are consistent" `Slow
+      test_degradation_tags_consistent;
+    Alcotest.test_case "unfired plan leaves results bit-identical" `Slow
+      test_unfired_plan_bit_identical;
+  ]

@@ -1,0 +1,112 @@
+(* Tests for the deterministic fault-injection harness: disarmed probes
+   are no-ops, armed rules fire at exactly their hit count, budget
+   exhaustion is sticky, plan specs round-trip, and generated plans are
+   deterministic in their seed. *)
+
+open Fault
+
+let test_disarmed_noop () =
+  disarm ();
+  (* any point name is accepted and does nothing *)
+  for _ = 1 to 100 do
+    point "channel.recv";
+    point "no.such.probe"
+  done;
+  Alcotest.(check bool) "exhausted false" false (exhausted "ilp.budget");
+  Alcotest.(check bool) "nothing armed" true (armed () = None)
+
+let test_raise_at_exact_hit () =
+  let plan =
+    { label = "t"; rules = [ { point = "pool.spawn"; at_hit = 3; action = Raise } ] }
+  in
+  with_plan plan (fun () ->
+      point "pool.spawn";
+      point "pool.spawn";
+      (match point "pool.spawn" with
+      | () -> Alcotest.fail "expected Injected on hit 3"
+      | exception Injected { point = p; hit } ->
+          Alcotest.(check string) "point" "pool.spawn" p;
+          Alcotest.(check int) "hit" 3 hit);
+      (* fires only at the exact hit: later hits pass *)
+      point "pool.spawn";
+      (* other points are unaffected *)
+      point "channel.recv");
+  Alcotest.(check bool) "disarmed after with_plan" true (armed () = None)
+
+let test_exhaust_sticky () =
+  let plan =
+    { label = "t"; rules = [ { point = "ilp.budget"; at_hit = 2; action = Exhaust } ] }
+  in
+  with_plan plan (fun () ->
+      Alcotest.(check bool) "hit 1 not yet" false (exhausted "ilp.budget");
+      Alcotest.(check bool) "hit 2 exhausted" true (exhausted "ilp.budget");
+      Alcotest.(check bool) "hit 3 sticky" true (exhausted "ilp.budget");
+      (* Exhaust rules are ignored by [point] *)
+      point "ilp.budget")
+
+let test_with_plan_disarms_on_raise () =
+  let plan =
+    { label = "t"; rules = [ { point = "pool.spawn"; at_hit = 1; action = Raise } ] }
+  in
+  (match with_plan plan (fun () -> point "pool.spawn") with
+  | () -> Alcotest.fail "expected Injected"
+  | exception Injected _ -> ());
+  Alcotest.(check bool) "disarmed after raise" true (armed () = None)
+
+let test_spec_roundtrip () =
+  let spec = "channel.recv@3=raise,ilp.budget@5=exhaust,pool.spawn@2=delay:0.05" in
+  match of_spec spec with
+  | Error m -> Alcotest.fail ("parse failed: " ^ m)
+  | Ok plan -> (
+      Alcotest.(check int) "three rules" 3 (List.length plan.rules);
+      match of_spec (to_spec plan) with
+      | Error m -> Alcotest.fail ("re-parse failed: " ^ m)
+      | Ok plan2 ->
+          Alcotest.(check bool) "rules stable" true (plan.rules = plan2.rules))
+
+let test_spec_rejects_garbage () =
+  let bad =
+    [
+      "";
+      "no.such.probe@1=raise";
+      "channel.recv@0=raise";
+      "channel.recv@x=raise";
+      "channel.recv@1=explode";
+      "channel.recv@1=delay:none";
+      "channel.recv=raise";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match of_spec s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted bad spec %S" s)
+      | Error _ -> ())
+    bad
+
+let test_generate_deterministic () =
+  let p1 = generate ~seed:7 and p2 = generate ~seed:7 in
+  Alcotest.(check bool) "same seed, same plan" true (p1.rules = p2.rules);
+  let n = List.length p1.rules in
+  Alcotest.(check bool) "1-3 rules" true (n >= 1 && n <= 3);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "known point" true (List.mem r.point known_points);
+      Alcotest.(check bool) "hit in range" true (r.at_hit >= 1 && r.at_hit <= 40))
+    p1.rules;
+  (* seed:N specs expand to the generated plan *)
+  match of_spec "seed:7" with
+  | Ok p -> Alcotest.(check bool) "seed spec matches" true (p.rules = p1.rules)
+  | Error m -> Alcotest.fail ("seed spec failed: " ^ m)
+
+let suite =
+  [
+    Alcotest.test_case "disarmed probes are no-ops" `Quick test_disarmed_noop;
+    Alcotest.test_case "raise fires at the exact hit" `Quick test_raise_at_exact_hit;
+    Alcotest.test_case "exhaust is sticky from its hit" `Quick test_exhaust_sticky;
+    Alcotest.test_case "with_plan disarms on raise" `Quick
+      test_with_plan_disarms_on_raise;
+    Alcotest.test_case "spec round-trips" `Quick test_spec_roundtrip;
+    Alcotest.test_case "spec rejects garbage" `Quick test_spec_rejects_garbage;
+    Alcotest.test_case "generated plans are seed-deterministic" `Quick
+      test_generate_deterministic;
+  ]

@@ -1,0 +1,76 @@
+(* Input fuzzing: arbitrary bytes thrown at the Mini-C frontend and
+   garbled text thrown at the platform parser must come back as typed
+   errors through the Result APIs — never as an escaping exception. *)
+
+let cfg = Parcore.Config.fast
+let platform = Platform.Presets.platform_a_accel
+
+(* Arbitrary byte strings, with a C-flavoured generator mixed in so some
+   inputs get past the lexer into the parser. *)
+let garbage_arb =
+  let open QCheck in
+  let any_bytes = string_of_size (Gen.int_range 0 200) in
+  let c_ish =
+    let frag =
+      Gen.oneofl
+        [
+          "int "; "float "; "main"; "() {"; "}"; ";"; "="; "+"; "for"; "while";
+          "if"; "return "; "x"; "i"; "0"; "1.5"; "a["; "]"; "("; ")"; "\n";
+          "/*"; "*/"; "\"";
+        ]
+    in
+    QCheck.make
+      Gen.(map (String.concat "") (list_size (int_range 0 40) frag))
+  in
+  QCheck.oneof [ any_bytes; c_ish ]
+
+let frontend_never_escapes =
+  QCheck.Test.make ~count:200 ~name:"frontend fuzz: typed errors only"
+    garbage_arb (fun src ->
+      match
+        Parcore.Parallelize.run_result ~cfg
+          ~approach:Parcore.Parallelize.Heterogeneous ~platform src
+      with
+      | Ok _ -> true (* a random string that parses and runs is fine *)
+      | Error e ->
+          (* the error is typed and maps to a sane exit code *)
+          let code = Mpsoc_error.exit_code e in
+          code = 1 || code = 3 || code = 4
+      | exception e ->
+          QCheck.Test.fail_reportf "exception escaped the Result API: %s"
+            (Printexc.to_string e))
+
+(* Garbled platform descriptions: random bytes, plus single-character
+   mutations of a valid description (the nastier case: almost-valid
+   input). *)
+let platform_text_arb =
+  let valid = Platform.Parse.to_string Platform.Presets.platform_b_accel in
+  let open QCheck in
+  let mutated =
+    QCheck.make
+      Gen.(
+        let* pos = int_range 0 (String.length valid - 1) in
+        let* c = printable in
+        let b = Bytes.of_string valid in
+        Bytes.set b pos c;
+        return (Bytes.to_string b))
+  in
+  QCheck.oneof [ string_of_size (Gen.int_range 0 200); mutated ]
+
+let platform_parse_never_escapes =
+  QCheck.Test.make ~count:300 ~name:"platform fuzz: typed errors only"
+    platform_text_arb (fun text ->
+      match Platform.Parse.of_string_result text with
+      | Ok _ -> true
+      | Error e ->
+          e.Mpsoc_error.phase = Mpsoc_error.Platform
+          && Mpsoc_error.exit_code e = 3
+      | exception e ->
+          QCheck.Test.fail_reportf "exception escaped of_string_result: %s"
+            (Printexc.to_string e))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest frontend_never_escapes;
+    QCheck_alcotest.to_alcotest platform_parse_never_escapes;
+  ]

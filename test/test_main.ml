@@ -12,6 +12,10 @@ let () =
       ("parcore", Test_parcore.suite);
       ("report", Test_report.suite);
       ("runtime", Test_runtime.suite);
+      ("fault", Test_fault.suite);
+      ("degrade", Test_degrade.suite);
+      ("watchdog", Test_watchdog.suite);
+      ("fuzz-inputs", Test_fuzz_inputs.suite);
       ("pipeline-properties", Test_pipeline_prop.suite);
       ("determinism", Test_determinism.suite);
     ]

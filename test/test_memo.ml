@@ -180,6 +180,7 @@ let test_known_lb_preserves_optimum () =
     | Branch_bound.Feasible -> "Feasible"
     | Branch_bound.Infeasible -> "Infeasible"
     | Branch_bound.Unbounded -> "Unbounded"
+    | Branch_bound.Limit -> "Limit"
   in
   Alcotest.(check string)
     (Printf.sprintf "still optimal with known_lb (obj %g vs %g)"

@@ -58,6 +58,7 @@ let mk_cand ?(node_id = 0) ?(cls = 0) ~time ~units () =
     time_us = time;
     extra_units = [| units |];
     kind = Solution.Seq [||];
+    degrade = Solution.Exact;
   }
 
 let test_prune_pareto () =

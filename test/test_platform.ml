@@ -50,15 +50,17 @@ let test_invalid_platform () =
   (match
      Desc.make ~name:"bad" ~classes:[] ~main_class:0 ()
    with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "expected invalid_arg on empty classes");
+  | exception Mpsoc_error.Error { phase = Platform; kind = Invalid_input; _ } ->
+      ()
+  | _ -> Alcotest.fail "expected typed error on empty classes");
   match
     Desc.make ~name:"bad"
       ~classes:[ Proc_class.make ~name:"c" ~freq_mhz:100. ~count:1 () ]
       ~main_class:3 ()
   with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "expected invalid_arg on bad main_class"
+  | exception Mpsoc_error.Error { phase = Platform; kind = Invalid_input; _ } ->
+      ()
+  | _ -> Alcotest.fail "expected typed error on bad main_class"
 
 let test_parse_roundtrip () =
   let p = Presets.platform_b_accel in

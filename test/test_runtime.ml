@@ -111,7 +111,9 @@ let test_channel_send_recv () =
             (* recv suspends until the producer task runs *)
             Runtime.Channel.recv pool c)
       in
-      Alcotest.(check bool) "value arrives" true (v = Some (Interp.Value.VInt 42)))
+      Alcotest.(check bool)
+        "value arrives" true
+        (v = Ok (Some (Interp.Value.VInt 42))))
 
 let test_channel_write_once () =
   with_pool 1 (fun pool ->
@@ -120,7 +122,9 @@ let test_channel_write_once () =
       Runtime.Channel.send pool c (Some (Interp.Value.VInt 2));
       Runtime.Channel.poison pool c;
       let v = Runtime.Pool.run pool (fun () -> Runtime.Channel.recv pool c) in
-      Alcotest.(check bool) "first write wins" true (v = Some (Interp.Value.VInt 1)))
+      Alcotest.(check bool)
+        "first write wins" true
+        (v = Ok (Some (Interp.Value.VInt 1))))
 
 (* ------------------------------------------------------------------ *)
 (* Differential validation                                             *)
