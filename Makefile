@@ -1,6 +1,6 @@
 # Convenience targets around dune.
 
-.PHONY: all build test test-quick chaos bench bench-runtime bench-perf execute clean fmt
+.PHONY: all build test test-quick chaos bench bench-runtime bench-perf perf-smoke execute clean fmt
 
 all: build
 
@@ -36,6 +36,10 @@ bench-runtime:
 # BENCH_parallelize.json.
 bench-perf:
 	dune exec bench/main.exe -- perf
+
+# Quick CI subset of bench-perf.
+perf-smoke:
+	dune exec bench/main.exe -- perf-smoke
 
 # Differential validation of every suite benchmark on two presets via
 # the CLI (the acceptance check of the execution runtime).

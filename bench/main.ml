@@ -20,6 +20,13 @@
 
 let line () = print_endline (String.make 78 '-')
 
+(* Solver totals aggregated across every parallelize run the selected
+   experiments perform; reported by [--metrics] at the end. *)
+let agg_stats = Ilp.Stats.create ()
+
+let record_stats (a : Parcore.Algorithm.result) =
+  Ilp.Stats.merge ~into:agg_stats a.Parcore.Algorithm.stats
+
 (* ------------------------------------------------------------------ *)
 (* E7: Bechamel micro-benchmarks                                       *)
 (* ------------------------------------------------------------------ *)
@@ -164,6 +171,7 @@ let run_host_execution () =
         Parcore.Parallelize.run_program ~cfg:Parcore.Config.fast
           ~approach:Parcore.Parallelize.Heterogeneous ~platform:pf prog
       in
+      record_stats out.Parcore.Parallelize.algo;
       let htg = out.Parcore.Parallelize.htg in
       let sol = out.Parcore.Parallelize.algo.Parcore.Algorithm.root in
       let seq = Runtime.Exec.run ~domains:1 prog htg sol in
@@ -268,6 +276,7 @@ let run_perf ~smoke () =
             Parcore.Parallelize.run_program ~cfg ~profile
               ~approach:Parcore.Parallelize.Heterogeneous ~platform:pf prog
           in
+          record_stats out.Parcore.Parallelize.algo;
           out.Parcore.Parallelize.algo
         in
         let base = once perf_baseline_cfg in
@@ -316,7 +325,11 @@ let run_perf ~smoke () =
   (* hand-rolled JSON: flat schema, no escaping needed for these names *)
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"mpsoc-par/parallelize-perf/v1\",\n";
+  Buffer.add_string buf "  \"schema\": \"mpsoc-par/parallelize-perf/v2\",\n";
+  (* provenance header (v2): git rev, compiler, host, UTC timestamp *)
+  List.iter
+    (fun (k, v) -> Printf.bprintf buf "  %S: %s,\n" k (Trace_json.to_string v))
+    (Observe.run_metadata ());
   Printf.bprintf buf "  \"smoke\": %b,\n" smoke;
   Printf.bprintf buf "  \"ncores\": %d,\n" ncores;
   Printf.bprintf buf "  \"platform\": %S,\n" pf.Platform.Desc.name;
@@ -352,11 +365,24 @@ let run_perf ~smoke () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  let argv = Array.to_list Sys.argv |> List.tl in
+  (* --trace FILE / --metrics FILE arm the span recorder around the
+     selected experiments; everything else is an experiment id *)
+  let rec parse trace metrics acc = function
+    | "--trace" :: f :: rest -> parse (Some f) metrics acc rest
+    | "--metrics" :: f :: rest -> parse trace (Some f) acc rest
+    | a :: rest -> parse trace metrics (a :: acc) rest
+    | [] -> (trace, metrics, List.rev acc)
+  in
+  let trace_file, metrics_file, args = parse None None [] argv in
+  let armed = trace_file <> None || metrics_file <> None in
+  if armed then Trace.start ();
+  let t0 = Trace.now_s () in
   let which = if args = [] then [ "fig7a"; "fig7b"; "fig8a"; "fig8b"; "table1" ] else args in
   let ctx = Report.Experiments.create () in
   List.iter
     (fun id ->
+      Trace.span ~cat:"phase" id @@ fun () ->
       (match id with
       | "fig7a" -> print_string (Report.Experiments.(render_figure (fig7a ctx)))
       | "fig7b" -> print_string (Report.Experiments.(render_figure (fig7b ctx)))
@@ -382,4 +408,17 @@ let () =
             other;
           exit 1);
       line ())
-    which
+    which;
+  if armed then
+    match Trace.stop () with
+    | None -> ()
+    | Some c ->
+        Option.iter (fun path -> Trace_chrome.write ~path c) trace_file;
+        Option.iter
+          (fun path ->
+            Observe.write_json ~path
+              (Observe.metrics_doc ~generated_by:"bench/main.exe"
+                 ~phases:(Observe.phases_of_events c.Trace.events)
+                 ~wall_s:(Trace.now_s () -. t0)
+                 agg_stats))
+          metrics_file

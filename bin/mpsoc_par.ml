@@ -125,15 +125,102 @@ let with_fault_plan spec f =
                ("bad --fault-plan: " ^ msg)))
 
 let cfg_of ?(jobs = Parcore.Config.default.Parcore.Config.jobs)
-    ?(timeout_s = Parcore.Config.default.Parcore.Config.timeout_s) time_limit
-    max_steps =
+    ?(timeout_s = Parcore.Config.default.Parcore.Config.timeout_s)
+    ?(trace = None) ?(metrics = None) ?(profile = false) time_limit max_steps =
   {
     Parcore.Config.default with
     Parcore.Config.ilp_time_limit_s = time_limit;
     max_steps;
     jobs;
     timeout_s;
+    trace_file = trace;
+    metrics_file = metrics;
+    profile;
   }
+
+(* ---------------- observability ---------------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span trace of the run and write it as Chrome \
+           trace-event JSON to $(docv) (loadable in Perfetto or \
+           chrome://tracing; one track per domain).  $(b,-) writes to \
+           stdout.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the unified metrics JSON (solver totals, runtime \
+           counters, per-phase wall times) to $(docv).  $(b,-) writes to \
+           stdout.")
+
+let profile_flag =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Print a profiling summary to stderr: per-phase wall times, \
+           solver totals in the paper's Table I shape, and the slowest \
+           individual ILP solves.")
+
+(** Arm the trace recorder when any observability output was requested
+    and hand [f] a report function: call it once the run's outcome is
+    known (after normal output, before any [exit]) to stop the recorder
+    and write the trace/metrics/profile exports. *)
+let with_observability (cfg : Parcore.Config.t) ~generated_by f =
+  let armed =
+    cfg.Parcore.Config.trace_file <> None
+    || cfg.Parcore.Config.metrics_file <> None
+    || cfg.Parcore.Config.profile
+  in
+  if armed then Trace.start ();
+  let t0 = Trace.now_s () in
+  let report ?runtime ~stats () =
+    if armed then begin
+      let wall_s = Trace.now_s () -. t0 in
+      match Trace.stop () with
+      | None -> ()
+      | Some c ->
+          Option.iter
+            (fun path -> Trace_chrome.write ~path c)
+            cfg.Parcore.Config.trace_file;
+          Option.iter
+            (fun path ->
+              Observe.write_json ~path
+                (Observe.metrics_doc ~generated_by
+                   ~phases:(Observe.phases_of_events c.Trace.events)
+                   ?runtime ~wall_s stats))
+            cfg.Parcore.Config.metrics_file;
+          if cfg.Parcore.Config.profile then
+            Fmt.epr "%t@." (fun ppf ->
+                Observe.profile_table ppf ?runtime ~wall_s
+                  ~events:c.Trace.events stats)
+    end
+  in
+  f report
+
+(** Resolve a positional TARGET: a Mini-C source file, or a suite
+    benchmark name. *)
+let resolve_target target : string * string =
+  if Sys.file_exists target then (target, read_file target)
+  else
+    match Benchsuite.Suite.find target with
+    | Some b -> (b.Benchsuite.Suite.name, b.Benchsuite.Suite.source)
+    | None ->
+        exit_with
+          (Mpsoc_error.make ~phase:Cli ~kind:Invalid_input ~location:target
+             ~advice:"see `mpsoc-par list` for benchmark names"
+             (Printf.sprintf
+                "%S is neither a file nor a suite benchmark (benchmarks: %s)"
+                target
+                (String.concat ", " Benchsuite.Suite.names)))
 
 let exit_err fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
 
@@ -169,8 +256,10 @@ let exit_degraded (algo : Parcore.Algorithm.result) =
   match degradation_status algo with
   | None -> ()
   | Some name ->
-      Fmt.pr "degradation: %s — solver budget ran out; the solution is valid \
-              but possibly sub-optimal@."
+      (* diagnostic, not output: stderr keeps stdout machine-readable
+         when --trace/--metrics write to - *)
+      Fmt.epr "degradation: %s — solver budget ran out; the solution is valid \
+               but possibly sub-optimal@."
         name;
       exit 2
 
@@ -190,74 +279,87 @@ let gantt_arg =
 (* ---------------- parallelize ---------------- *)
 
 let parallelize_cmd =
-  let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:"A Mini-C source file or a suite benchmark name.")
   in
   let verbose =
     Arg.(
       value & flag
       & info [ "v"; "verbose" ]
           ~doc:"Also print the ILP statistics summary (solve time, branch \
-                & bound nodes).")
+                & bound nodes) to stderr.")
   in
-  let run file platform approach time_limit max_steps jobs dot gantt verbose
-      fault_spec =
+  let run target platform approach time_limit max_steps jobs dot gantt verbose
+      fault_spec trace metrics profile =
     let platform = resolve_platform platform in
-    let src = read_file file in
+    let _name, src = resolve_target target in
+    let cfg = cfg_of ~jobs ~trace ~metrics ~profile time_limit max_steps in
+    with_observability cfg ~generated_by:"mpsoc-par parallelize"
+    @@ fun report ->
     match
       with_fault_plan fault_spec (fun () ->
-          Parcore.Parallelize.run_result
-            ~cfg:(cfg_of ~jobs time_limit max_steps)
-            ~approach ~platform src)
+          Parcore.Parallelize.run_result ~cfg ~approach ~platform src)
     with
     | Error e -> exit_with e
     | Ok out ->
         let algo = out.Parcore.Parallelize.algo in
-        Fmt.pr "platform: %a@." Platform.Desc.pp_summary platform;
-        Fmt.pr "approach: %s@.@."
-          (Parcore.Parallelize.approach_name approach);
-        print_string
-          (Parcore.Annotate.specification platform out.Parcore.Parallelize.htg
-             algo.Parcore.Algorithm.root);
-        Fmt.pr "@.pre-mapping specification:@.";
-        List.iter
-          (fun (task, cls) -> Fmt.pr "  %s -> %s@." task cls)
-          (Parcore.Annotate.pre_mapping platform out.Parcore.Parallelize.htg
-             algo.Parcore.Algorithm.root);
-        let m = Parcore.Parallelize.metrics out in
-        Fmt.pr "@.parallelization: %.2f s, %d ILPs, %d variables, %d constraints@."
-          algo.Parcore.Algorithm.wall_time_s
-          algo.Parcore.Algorithm.stats.Ilp.Stats.ilps
-          algo.Parcore.Algorithm.stats.Ilp.Stats.vars
-          algo.Parcore.Algorithm.stats.Ilp.Stats.constrs;
-        if verbose then
-          Fmt.pr "ilp statistics: %a@." Ilp.Stats.pp
-            algo.Parcore.Algorithm.stats;
-        Fmt.pr "simulated makespan: %.1f us (sequential %.1f us)@."
-          m.Sim.Engine.makespan_us
-          (Sim.Engine.run platform out.Parcore.Parallelize.seq_program);
-        Fmt.pr "speedup over sequential on the main core: %.2fx (theoretical max %.2fx)@."
-          (Parcore.Parallelize.speedup out)
-          (Platform.Desc.theoretical_speedup platform);
-        (match dot with
-        | Some path ->
-            Htg.Dot.to_file path out.Parcore.Parallelize.htg;
-            Fmt.pr "task graph written to %s@." path
-        | None -> ());
-        if gantt then begin
-          Fmt.pr "@.simulated schedule (first entry of each region):@.";
-          print_string
-            (Sim.Engine.gantt platform
-               (Sim.Engine.trace platform out.Parcore.Parallelize.program))
-        end;
+        (* the reporting phase simulates the program; span it so the
+           profile's phase times cover the whole run *)
+        Trace.span ~cat:"phase" "report" (fun () ->
+            Fmt.pr "platform: %a@." Platform.Desc.pp_summary platform;
+            Fmt.pr "approach: %s@.@."
+              (Parcore.Parallelize.approach_name approach);
+            print_string
+              (Parcore.Annotate.specification platform
+                 out.Parcore.Parallelize.htg algo.Parcore.Algorithm.root);
+            Fmt.pr "@.pre-mapping specification:@.";
+            List.iter
+              (fun (task, cls) -> Fmt.pr "  %s -> %s@." task cls)
+              (Parcore.Annotate.pre_mapping platform
+                 out.Parcore.Parallelize.htg algo.Parcore.Algorithm.root);
+            let m = Parcore.Parallelize.metrics out in
+            Fmt.pr
+              "@.parallelization: %.2f s, %d ILPs, %d variables, %d \
+               constraints@."
+              algo.Parcore.Algorithm.wall_time_s
+              algo.Parcore.Algorithm.stats.Ilp.Stats.ilps
+              algo.Parcore.Algorithm.stats.Ilp.Stats.vars
+              algo.Parcore.Algorithm.stats.Ilp.Stats.constrs;
+            if verbose then
+              Fmt.epr "ilp statistics: %a@." Ilp.Stats.pp
+                algo.Parcore.Algorithm.stats;
+            Fmt.pr "simulated makespan: %.1f us (sequential %.1f us)@."
+              m.Sim.Engine.makespan_us
+              (Sim.Engine.run platform out.Parcore.Parallelize.seq_program);
+            Fmt.pr
+              "speedup over sequential on the main core: %.2fx (theoretical \
+               max %.2fx)@."
+              (Parcore.Parallelize.speedup out)
+              (Platform.Desc.theoretical_speedup platform);
+            (match dot with
+            | Some path ->
+                Htg.Dot.to_file path out.Parcore.Parallelize.htg;
+                Fmt.pr "task graph written to %s@." path
+            | None -> ());
+            if gantt then begin
+              Fmt.pr "@.simulated schedule (first entry of each region):@.";
+              print_string
+                (Sim.Engine.gantt platform
+                   (Sim.Engine.trace platform out.Parcore.Parallelize.program))
+            end);
+        report ~stats:algo.Parcore.Algorithm.stats ();
         exit_degraded algo
   in
   Cmd.v
     (Cmd.info "parallelize" ~doc:"Parallelize a Mini-C source file")
     Term.(
-      const run $ file $ platform_arg $ approach_arg $ time_limit_arg
+      const run $ target $ platform_arg $ approach_arg $ time_limit_arg
       $ max_steps_arg $ jobs_arg $ dot_arg $ gantt_arg $ verbose
-      $ fault_plan_arg)
+      $ fault_plan_arg $ trace_arg $ metrics_arg $ profile_flag)
 
 (* ---------------- analyze ---------------- *)
 
@@ -355,22 +457,25 @@ let execute_cmd =
              the parallel execution computes the same result; exits \
              non-zero on a mismatch.")
   in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"Also print the per-worker busy-time / task / steal \
+                breakdown to stderr.")
+  in
   let run target platform approach time_limit max_steps jobs domains validate
-      timeout_s fault_spec =
+      timeout_s fault_spec verbose trace metrics profile =
     let platform = resolve_platform platform in
-    let name, src =
-      if Sys.file_exists target then (target, read_file target)
-      else
-        match Benchsuite.Suite.find target with
-        | Some b -> (b.Benchsuite.Suite.name, b.Benchsuite.Suite.source)
-        | None ->
-            exit_err
-              "%S is neither a file nor a suite benchmark (benchmarks: %s)"
-              target
-              (String.concat ", " Benchsuite.Suite.names)
+    let name, src = resolve_target target in
+    let cfg =
+      cfg_of ~jobs ~timeout_s ~trace ~metrics ~profile time_limit max_steps
     in
+    with_observability cfg ~generated_by:"mpsoc-par execute" @@ fun report ->
     with_fault_plan fault_spec @@ fun () ->
-    match Minic.Frontend.compile src with
+    match
+      Trace.span ~cat:"phase" "frontend" (fun () -> Minic.Frontend.compile src)
+    with
     | exception Minic.Frontend.Error e ->
         exit_with
           (Mpsoc_error.make ~phase:Frontend ~kind:Invalid_input ~location:name
@@ -378,9 +483,8 @@ let execute_cmd =
     | prog -> (
         let out =
           match
-            Parcore.Parallelize.run_program_result
-              ~cfg:(cfg_of ~jobs ~timeout_s time_limit max_steps)
-              ~approach ~platform prog
+            Parcore.Parallelize.run_program_result ~cfg ~approach ~platform
+              prog
           with
           | Ok out -> out
           | Error e -> exit_with e
@@ -390,8 +494,9 @@ let execute_cmd =
         Fmt.pr "platform: %a@." Platform.Desc.pp_summary platform;
         Fmt.pr "approach: %s@." (Parcore.Parallelize.approach_name approach);
         match
-          Runtime.Exec.run_result ?domains ~max_steps
-            ~timeout_s prog out.Parcore.Parallelize.htg root_sol
+          Trace.span ~cat:"phase" "execute" (fun () ->
+              Runtime.Exec.run_result ?domains ~max_steps ~timeout_s prog
+                out.Parcore.Parallelize.htg root_sol)
         with
         | Error e -> exit_with e
         | Ok r ->
@@ -399,6 +504,8 @@ let execute_cmd =
             | Some v -> Fmt.pr "result: %a@." Interp.Value.pp v
             | None -> Fmt.pr "result: (none)@.");
             Fmt.pr "%a@." Runtime.Metrics.pp r.Runtime.Exec.metrics;
+            if verbose then
+              Fmt.epr "%a@." Runtime.Metrics.pp_workers r.Runtime.Exec.metrics;
             if validate then begin
               let seq =
                 guard_runtime name (fun () -> Interp.Eval.run ~max_steps prog)
@@ -418,6 +525,8 @@ let execute_cmd =
                   (Fmt.str "%a" pp_ret r.Runtime.Exec.ret)
                   (Fmt.str "%a" pp_ret seq.Interp.Eval.ret)
             end;
+            report ~runtime:r.Runtime.Exec.metrics
+              ~stats:algo.Parcore.Algorithm.stats ();
             exit_degraded algo)
   in
   Cmd.v
@@ -428,7 +537,7 @@ let execute_cmd =
     Term.(
       const run $ target $ platform_arg $ approach_arg $ time_limit_arg
       $ max_steps_arg $ jobs_arg $ domains_arg $ validate_arg $ timeout_arg
-      $ fault_plan_arg)
+      $ fault_plan_arg $ verbose $ trace_arg $ metrics_arg $ profile_flag)
 
 (* ---------------- experiments ---------------- *)
 

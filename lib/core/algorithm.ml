@@ -55,6 +55,8 @@ let rec seq_candidate (sets : (int, Solution.set) Hashtbl.t)
    sequential driver runs them *)
 type sweep_kind = Ilppar | Split | Pipe
 
+let kind_str = function Ilppar -> "ilppar" | Split -> "split" | Pipe -> "pipe"
+
 let parallelize ?(cfg = Config.default) ?stats ?pool (pf : Platform.Desc.t)
     (root_node : Htg.Node.t) : result =
   let t0 = Ilp.Clock.now_s () in
@@ -113,8 +115,15 @@ let parallelize ?(cfg = Config.default) ?stats ?pool (pf : Platform.Desc.t)
   in
   (* one self-contained sweep job; returns the kept candidates in
      discovery order plus the job's private statistics *)
-  let sweep_job node child_sets seq_class kind :
+  let sweep_job (node : Htg.Node.t) child_sets seq_class kind :
       Solution.t list * Ilp.Stats.t =
+    (* a sweep job never suspends (pure solving), so the span is safe on
+       whichever pool domain runs it *)
+    Trace.span_k ~cat:"algo"
+      (fun () ->
+        Printf.sprintf "sweep.node%d.c%d.%s" node.Htg.Node.id seq_class
+          (kind_str kind))
+    @@ fun () ->
     let st = Ilp.Stats.create () in
     let cands =
       match kind with
@@ -147,13 +156,28 @@ let parallelize ?(cfg = Config.default) ?stats ?pool (pf : Platform.Desc.t)
     match find_set node.Htg.Node.id with
     | Some set -> set
     | None ->
+        (* Algorithm 1 node visit.  Without a pool the visit runs
+           uninterrupted on this domain and gets a proper span; with a
+           pool it awaits child futures (suspension may migrate it across
+           domains), so it is bracketed with instants instead. *)
+        let traced = Trace.enabled () in
+        let with_pool = Option.is_some pool in
+        if traced && with_pool then
+          Trace.instant ~cat:"algo" "node.visit"
+            ~args:[ ("node", Trace.Int node.Htg.Node.id) ];
+        let visit () =
         (* bottom-up: children first — in parallel when a pool exists *)
         let child_sets =
           match pool with
           | Some p when Array.length node.Htg.Node.children > 1 ->
               let futs =
                 Array.map
-                  (fun c -> Taskpool.Pool.spawn p (fun () -> go c))
+                  (fun (c : Htg.Node.t) ->
+                    let label =
+                      if traced then Printf.sprintf "go.node%d" c.Htg.Node.id
+                      else "task"
+                    in
+                    Taskpool.Pool.spawn ~label p (fun () -> go c))
                   node.Htg.Node.children
               in
               Array.map
@@ -189,7 +213,13 @@ let parallelize ?(cfg = Config.default) ?stats ?pool (pf : Platform.Desc.t)
                 await_all p
                   (List.map
                      (fun (c, k) ->
-                       Taskpool.Pool.spawn p (fun () ->
+                       let label =
+                         if traced then
+                           Printf.sprintf "sweep.node%d.c%d.%s"
+                             node.Htg.Node.id c (kind_str k)
+                         else "task"
+                       in
+                       Taskpool.Pool.spawn ~label p (fun () ->
                            sweep_job node child_sets c k))
                      descs)
             | _ -> List.map (fun (c, k) -> sweep_job node child_sets c k) descs
@@ -224,6 +254,18 @@ let parallelize ?(cfg = Config.default) ?stats ?pool (pf : Platform.Desc.t)
         in
         store_set node.Htg.Node.id set;
         set
+        in
+        if with_pool then begin
+          let set = visit () in
+          if traced then
+            Trace.instant ~cat:"algo" "node.done"
+              ~args:[ ("node", Trace.Int node.Htg.Node.id) ];
+          set
+        end
+        else
+          Trace.span_k ~cat:"algo"
+            (fun () -> Printf.sprintf "node%d" node.Htg.Node.id)
+            visit
   in
   let root_set =
     Fun.protect

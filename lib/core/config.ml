@@ -60,6 +60,15 @@ type t = {
           program ([--timeout]): past it, the runtime watchdog cancels the
           run and reports a typed timeout (or deadlock) error instead of
           hanging.  [0.] (the default) disables the watchdog *)
+  trace_file : string option;
+      (** write a Chrome trace-event JSON of the run here ([--trace];
+          ["-"] is stdout).  Arms the {!Trace} recorder, which otherwise
+          costs one atomic read per probe *)
+  metrics_file : string option;
+      (** write the unified metrics JSON here ([--metrics]; ["-"] is
+          stdout) *)
+  profile : bool;
+      (** print the human per-phase/solver profile table ([--profile]) *)
 }
 
 let default =
@@ -79,6 +88,9 @@ let default =
     solve_cache = true;
     sweep_warm_start = true;
     timeout_s = 0.;
+    trace_file = None;
+    metrics_file = None;
+    profile = false;
   }
 
 (** Faster, slightly less exhaustive settings for unit tests. *)

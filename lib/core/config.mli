@@ -44,6 +44,13 @@ type t = {
           program ([--timeout]): past it, the runtime watchdog cancels
           the run and reports a typed timeout (or deadlock) error instead
           of hanging; [0.] (the default) disables the watchdog *)
+  trace_file : string option;
+      (** Chrome trace-event JSON destination ([--trace]; ["-"] =
+          stdout); arms the {!Trace} recorder *)
+  metrics_file : string option;
+      (** unified metrics JSON destination ([--metrics]; ["-"] = stdout) *)
+  profile : bool;
+      (** print the human per-phase/solver profile table ([--profile]) *)
 }
 
 val default : t

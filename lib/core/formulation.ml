@@ -730,7 +730,20 @@ let lp_round (inp : input) (inst : instance) :
 let degrade_ladder ?stats (inp : input) (inst : instance) :
     (Solution.t * Solver.outcome) option =
   let record level =
-    match stats with Some s -> Stats.record_degraded s level | None -> ()
+    (match stats with Some s -> Stats.record_degraded s level | None -> ());
+    if Trace.enabled () then
+      Trace.instant ~cat:"ilp" "degrade"
+        ~args:
+          [
+            ("node", Trace.Int inp.node.Htg.Node.id);
+            ( "rung",
+              Trace.Str
+                (match level with
+                | `Incumbent -> "incumbent"
+                | `Lp_round -> "lp_round"
+                | `Greedy -> "greedy"
+                | `Seq_fallback -> "seq_fallback") );
+          ]
   in
   match lp_round inp inst with
   | Some r ->
@@ -793,6 +806,13 @@ let solve_ext ?stats ?cache ?prev (inp : input) :
                   (match stats with
                   | Some s -> Stats.record_degraded s `Incumbent
                   | None -> ());
+                  if Trace.enabled () then
+                    Trace.instant ~cat:"ilp" "degrade"
+                      ~args:
+                        [
+                          ("node", Trace.Int inp.node.Htg.Node.id);
+                          ("rung", Trace.Str "incumbent");
+                        ];
                   Some ({ r with Solution.degrade = Solution.Incumbent }, out)
               | None -> None)
           | Branch_bound.Infeasible | Branch_bound.Unbounded -> None

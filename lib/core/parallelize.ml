@@ -31,28 +31,39 @@ let run_program ?(cfg = Config.default) ?profile ~approach
     match profile with
     | Some p -> p
     | None ->
-        (Interp.Eval.run ~max_steps:cfg.Config.max_steps prog)
-          .Interp.Eval.profile
+        Trace.span ~cat:"phase" "profile" (fun () ->
+            (Interp.Eval.run ~max_steps:cfg.Config.max_steps prog)
+              .Interp.Eval.profile)
   in
-  let htg = Htg.Build.build ~max_children:cfg.Config.max_children prog profile in
+  let htg =
+    Trace.span ~cat:"phase" "htg" (fun () ->
+        Htg.Build.build ~max_children:cfg.Config.max_children prog profile)
+  in
   let view =
     match approach with
     | Heterogeneous -> platform
     | Homogeneous -> Platform.Desc.homogeneous_view platform
   in
-  let algo = Algorithm.parallelize ~cfg view htg in
+  let algo =
+    Trace.span ~cat:"phase" "parallelize" (fun () ->
+        Algorithm.parallelize ~cfg view htg)
+  in
   let mode =
     match approach with
     | Heterogeneous -> Implement.Pre_mapped
     | Homogeneous -> Implement.Oblivious
   in
-  let program = Implement.realize ~mode platform htg algo.Algorithm.root in
-  let seq_program = Implement.realize_sequential htg in
+  let program, seq_program =
+    Trace.span ~cat:"phase" "implement" (fun () ->
+        ( Implement.realize ~mode platform htg algo.Algorithm.root,
+          Implement.realize_sequential htg ))
+  in
   { approach; platform; htg; algo; program; seq_program; profile }
 
 (** Parallelize from source text. *)
 let run ?cfg ~approach ~platform (src : string) : outcome =
-  run_program ?cfg ~approach ~platform (Minic.Frontend.compile src)
+  run_program ?cfg ~approach ~platform
+    (Trace.span ~cat:"phase" "frontend" (fun () -> Minic.Frontend.compile src))
 
 (* ---- Result-threaded pipeline -------------------------------------- *)
 
@@ -91,12 +102,14 @@ let run_program_result ?(cfg = Config.default) ?profile ~approach
     | Some p -> Ok p
     | None ->
         wrap Mpsoc_error.Profile (fun () ->
-            (Interp.Eval.run ~max_steps:cfg.Config.max_steps prog)
-              .Interp.Eval.profile)
+            Trace.span ~cat:"phase" "profile" (fun () ->
+                (Interp.Eval.run ~max_steps:cfg.Config.max_steps prog)
+                  .Interp.Eval.profile))
   in
   let* htg =
     wrap Mpsoc_error.Graph (fun () ->
-        Htg.Build.build ~max_children:cfg.Config.max_children prog profile)
+        Trace.span ~cat:"phase" "htg" (fun () ->
+            Htg.Build.build ~max_children:cfg.Config.max_children prog profile))
   in
   let view =
     match approach with
@@ -104,7 +117,9 @@ let run_program_result ?(cfg = Config.default) ?profile ~approach
     | Homogeneous -> Platform.Desc.homogeneous_view platform
   in
   let* algo =
-    wrap Mpsoc_error.Parallelize (fun () -> Algorithm.parallelize ~cfg view htg)
+    wrap Mpsoc_error.Parallelize (fun () ->
+        Trace.span ~cat:"phase" "parallelize" (fun () ->
+            Algorithm.parallelize ~cfg view htg))
   in
   let mode =
     match approach with
@@ -113,14 +128,18 @@ let run_program_result ?(cfg = Config.default) ?profile ~approach
   in
   let* program, seq_program =
     wrap Mpsoc_error.Implement (fun () ->
-        ( Implement.realize ~mode platform htg algo.Algorithm.root,
-          Implement.realize_sequential htg ))
+        Trace.span ~cat:"phase" "implement" (fun () ->
+            ( Implement.realize ~mode platform htg algo.Algorithm.root,
+              Implement.realize_sequential htg )))
   in
   Ok { approach; platform; htg; algo; program; seq_program; profile }
 
 let run_result ?cfg ~approach ~platform (src : string) :
     (outcome, Mpsoc_error.t) result =
-  let* prog = wrap Mpsoc_error.Frontend (fun () -> Minic.Frontend.compile src) in
+  let* prog =
+    wrap Mpsoc_error.Frontend (fun () ->
+        Trace.span ~cat:"phase" "frontend" (fun () -> Minic.Frontend.compile src))
+  in
   run_program_result ?cfg ~approach ~platform prog
 
 (** Simulated speedup of the outcome over sequential execution on the

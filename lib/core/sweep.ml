@@ -71,7 +71,15 @@ let run ~total_units
   let prev = ref None in
   let i = ref total_units in
   while !i > 1 do
-    match solve ~budget:!i ~prev:!prev with
+    let budget = !i in
+    let solved =
+      (* one span per budget step; the warm-start provenance rides along
+         (the per-ILP detail lives in the solver's own X event) *)
+      Trace.span_k ~cat:"sweep"
+        (fun () -> Printf.sprintf "budget=%d" budget)
+        (fun () -> solve ~budget ~prev:!prev)
+    in
+    match solved with
     | Some (r, out) ->
         acc := r :: !acc;
         prev := Some out;

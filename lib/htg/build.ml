@@ -512,8 +512,11 @@ let build ?(max_children = 8) (prog : Ast.program) (profile : Interp.Profile.t)
           ~advice:"the program must define a main() function"
           "no main function to build the task graph from"
   in
-  let ctx = { profile; sizes = collect_sizes prog; next_id = 0; max_children } in
-  match conv_region ctx ~label:"main" ~entries:1. main.fbody with
+  let sizes = Trace.span ~cat:"htg" "defuse.sizes" (fun () -> collect_sizes prog) in
+  let ctx = { profile; sizes; next_id = 0; max_children } in
+  match Trace.span ~cat:"htg" "convert" (fun () ->
+            conv_region ctx ~label:"main" ~entries:1. main.fbody)
+  with
   | Some root when Node.is_hierarchical root ->
       (* the root covers main's whole body, even when singleton collapse
          picked one statement's node as the region *)

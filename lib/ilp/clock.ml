@@ -7,6 +7,10 @@
     time-limit enforcement goes through this module instead so there is a
     single switch point; [Unix.gettimeofday] is the best widely available
     approximation of a monotonic clock without extra dependencies (OCaml's
-    stdlib exposes no [CLOCK_MONOTONIC] reader). *)
+    stdlib exposes no [CLOCK_MONOTONIC] reader).
 
-let now_s : unit -> float = Unix.gettimeofday
+    Aliases {!Trace.now_s} so solver timing and trace timestamps share
+    one time base — an ILP's [time_s] is directly comparable to the span
+    durations around it. *)
+
+let now_s : unit -> float = Trace.now_s

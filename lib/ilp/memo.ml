@@ -120,6 +120,12 @@ let find_or_reserve c key =
   (match r with
   | `Hit _ -> Atomic.incr c.hits
   | `Reserved -> Atomic.incr c.misses);
+  if Trace.enabled () then
+    Trace.counter ~cat:"ilp" "memo"
+      [
+        ("hits", float_of_int (Atomic.get c.hits));
+        ("misses", float_of_int (Atomic.get c.misses));
+      ];
   r
 
 let fill c key sol =

@@ -19,9 +19,18 @@ let debug_slow =
   | Some ("" | "0") | None -> None
   | Some s -> float_of_string_opt s
 
+let status_str = function
+  | Branch_bound.Optimal -> "optimal"
+  | Branch_bound.Feasible -> "feasible"
+  | Branch_bound.Infeasible -> "infeasible"
+  | Branch_bound.Unbounded -> "unbounded"
+  | Branch_bound.Limit -> "limit"
+
 let solve ?options ?warm_start ?(extra_starts = []) ?cache ?stats
     (model : Model.t) : outcome =
   let t0 = Clock.now_s () in
+  let traced = Trace.enabled () in
+  let pivots0 = if traced then Atomic.get Simplex.total_iterations else 0 in
   let run () = Branch_bound.solve ?options ?warm_start ~extra_starts model in
   let sol, cached =
     match cache with
@@ -40,17 +49,32 @@ let solve ?options ?warm_start ?(extra_starts = []) ?cache ?stats
                 raise e))
   in
   let time_s = Clock.now_s () -. t0 in
+  if traced then
+    (* one X event per solve, on the solving domain's track; pivots are
+       the delta of the global simplex counter over this solve (exact at
+       jobs=1; under concurrent solves it includes neighbours' pivots,
+       so it is an upper bound — still the right scent for slow solves) *)
+    Trace.complete ~cat:"ilp" ~t0_s:t0 (Model.name model)
+      ~args:
+        [
+          ("vars", Trace.Int (Model.num_vars model));
+          ("constrs", Trace.Int (Model.num_constraints model));
+          ("nodes", Trace.Int sol.Branch_bound.nodes);
+          ("status", Trace.Str (status_str sol.Branch_bound.status));
+          ("cached", Trace.Bool cached);
+          ("warm_start", Trace.Bool (warm_start <> None));
+          ("extra_starts", Trace.Int (List.length extra_starts));
+          ( "pivots",
+            Trace.Int
+              (if cached then 0
+               else Atomic.get Simplex.total_iterations - pivots0) );
+        ];
   (match debug_slow with
   | Some threshold when time_s >= threshold && not cached ->
       Printf.eprintf "[ilp] %s: %d vars %d constrs %d nodes %.2fs status=%s\n%!"
         (Model.name model) (Model.num_vars model) (Model.num_constraints model)
         sol.Branch_bound.nodes time_s
-        (match sol.Branch_bound.status with
-        | Branch_bound.Optimal -> "optimal"
-        | Branch_bound.Feasible -> "feasible"
-        | Branch_bound.Infeasible -> "infeasible"
-        | Branch_bound.Unbounded -> "unbounded"
-        | Branch_bound.Limit -> "limit")
+        (status_str sol.Branch_bound.status)
   | _ -> ());
   (match stats with
   | Some s ->

@@ -20,8 +20,11 @@ exception Error of error
 let parse_and_check src =
   Fault.point "frontend.parse";
   try
-    let prog = Parser.program_of_string src in
-    Typecheck.check prog;
+    let prog =
+      Trace.span ~cat:"frontend" "parse" (fun () ->
+          Parser.program_of_string src)
+    in
+    Trace.span ~cat:"frontend" "typecheck" (fun () -> Typecheck.check prog);
     prog
   with
   | Lexer.Error (m, l) -> raise (Error (Lex_error (m, l)))
@@ -33,8 +36,8 @@ let parse_and_check src =
 let compile src =
   let prog = parse_and_check src in
   try
-    let flat = Inline.program prog in
-    Typecheck.check flat;
+    let flat = Trace.span ~cat:"frontend" "inline" (fun () -> Inline.program prog) in
+    Trace.span ~cat:"frontend" "typecheck" (fun () -> Typecheck.check flat);
     flat
   with
   | Inline.Error (m, l) -> raise (Error (Inline_error (m, l)))

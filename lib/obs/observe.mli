@@ -1,0 +1,41 @@
+(** Unified observability exports: the schema-versioned metrics document
+    joining {!Ilp.Stats}, {!Runtime.Metrics.snapshot} and traced phase
+    times, plus the human [--profile] table. *)
+
+val schema : string
+(** Current document schema id ("mpsoc-par/metrics/v1"). *)
+
+val run_metadata : unit -> (string * Trace_json.t) list
+(** Provenance fields: git rev (null outside a checkout), OCaml version,
+    recommended domain count, UTC timestamp. *)
+
+val solver_json : Ilp.Stats.t -> Trace_json.t
+(** Field-for-field JSON mirror of the [Ilp.Stats] record. *)
+
+val runtime_json : Runtime.Metrics.snapshot -> Trace_json.t
+
+val phases_of_events : Trace.event list -> (string * float) list
+(** Per-phase wall seconds (category ["phase"] spans). *)
+
+val metrics_doc :
+  generated_by:string ->
+  ?phases:(string * float) list ->
+  ?runtime:Runtime.Metrics.snapshot ->
+  ?wall_s:float ->
+  Ilp.Stats.t ->
+  Trace_json.t
+
+val write_json : path:string -> Trace_json.t -> unit
+(** Pretty-printed with a trailing newline; [path = "-"] is stdout. *)
+
+val top_solves : ?n:int -> Trace.event list -> Trace.event list
+(** The [n] slowest ILP solves (category ["ilp"] X events), slowest
+    first. *)
+
+val profile_table :
+  Format.formatter ->
+  ?runtime:Runtime.Metrics.snapshot ->
+  wall_s:float ->
+  events:Trace.event list ->
+  Ilp.Stats.t ->
+  unit

@@ -18,7 +18,9 @@ let fill pool c content =
       List.iter (fun wake -> wake ()) waiters;
       ignore pool
 
-let send pool c v = fill pool c (Value v)
+let send pool c v =
+  if Trace.enabled () then Trace.instant ~cat:"chan" "chan.send";
+  fill pool c (Value v)
 let poison pool c = send pool c None
 let expire pool c = fill pool c Expired
 
@@ -45,6 +47,10 @@ let recv ?watch ?(label = "recv") pool c =
       Error `Expired
   | Empty _ ->
       Mutex.unlock c.m;
+      (* the wait brackets an effect suspension — the continuation may
+         resume on another domain, so instants, not a span *)
+      if Trace.enabled () then
+        Trace.instant ~cat:"chan" "chan.wait" ~args:[ ("recv", Trace.Str label) ];
       (* announce the park so the watchdog can expire us on a verdict *)
       let ticket =
         match watch with
@@ -66,6 +72,8 @@ let recv ?watch ?(label = "recv") pool c =
                  c.st <- Empty (wake :: ws);
                  Mutex.unlock c.m));
       (* resumed: the cell is necessarily full now *)
+      if Trace.enabled () then
+        Trace.instant ~cat:"chan" "chan.ready" ~args:[ ("recv", Trace.Str label) ];
       (match ticket with
       | Some (w, id) -> Watchdog.unregister w id
       | None -> ());

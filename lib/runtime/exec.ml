@@ -320,7 +320,14 @@ and fork ctx env (node : Node.t) (cov : cover) (part : Solution.partition) child
       go (children_of t);
       (!err, store, Eval.env_steps tenv)
     in
-    let futs = List.init (m - 1) (fun i -> Pool.spawn ctx.pool (fun () -> run_task (i + 1))) in
+    let task_label t =
+      if Trace.enabled () then Printf.sprintf "node%d.task%d" node.Node.id t
+      else "task"
+    in
+    let futs =
+      List.init (m - 1) (fun i ->
+          Pool.spawn ~label:(task_label (i + 1)) ctx.pool (fun () -> run_task (i + 1)))
+    in
     let r0 = run_task 0 in
     let results =
       Array.of_list
@@ -463,7 +470,13 @@ and run_split ctx env (s : Ast.stmt) (f : Ast.for_loop) (sp : Solution.split) =
        with e -> err := Some e);
       (!err, store, Eval.env_steps cenv)
     in
-    let futs = List.init (m - 1) (fun i -> Pool.spawn ctx.pool (fun () -> run_chunk (i + 1))) in
+    let chunk_label t =
+      if Trace.enabled () then Printf.sprintf "chunk%d" t else "chunk"
+    in
+    let futs =
+      List.init (m - 1) (fun i ->
+          Pool.spawn ~label:(chunk_label (i + 1)) ctx.pool (fun () -> run_chunk (i + 1)))
+    in
     let r0 = run_chunk 0 in
     let results =
       Array.of_list
@@ -548,6 +561,7 @@ let run_watched ?domains ?(max_steps = Eval.default_max_steps) ?(timeout_s = 0.)
   let snap =
     Metrics.snapshot metrics ~domains:(Pool.size pool) ~wall_s ~steals:(Pool.steals pool)
       ~worker_busy_s:(Pool.worker_busy_s pool) ~worker_tasks:(Pool.worker_tasks pool)
+      ~worker_steals:(Pool.worker_steals pool)
   in
   Pool.shutdown pool;
   let outcome =

@@ -46,9 +46,11 @@ type snapshot = {
   n_steps : int;
   worker_busy_s : float array;
   worker_tasks : int array;
+  worker_steals : int array;
 }
 
-let snapshot m ~domains ~wall_s ~steals ~worker_busy_s ~worker_tasks =
+let snapshot m ~domains ~wall_s ~steals ~worker_busy_s ~worker_tasks
+    ~worker_steals =
   {
     domains;
     wall_s;
@@ -65,6 +67,7 @@ let snapshot m ~domains ~wall_s ~steals ~worker_busy_s ~worker_tasks =
     n_steps = Atomic.get m.steps;
     worker_busy_s;
     worker_tasks;
+    worker_steals;
   }
 
 let pp ppf s =
@@ -79,11 +82,14 @@ let pp ppf s =
     s.n_bytes_sent;
   Format.fprintf ppf "joins merged:   %d values@," s.n_merges;
   Format.fprintf ppf "doall splits:   %d@," s.n_splits;
-  Format.fprintf ppf "seq fallbacks:  %d@," s.n_seq_fallbacks;
-  Format.fprintf ppf "@[<v 2>workers (busy s / tasks run):";
+  Format.fprintf ppf "seq fallbacks:  %d@]" s.n_seq_fallbacks
+
+let pp_workers ppf s =
+  Format.fprintf ppf "@[<v 2>workers (busy s / tasks run / stolen):";
   Array.iteri
     (fun i b ->
       Format.pp_print_cut ppf ();
-      Format.fprintf ppf "w%-2d %.6f / %d" i b s.worker_tasks.(i))
+      Format.fprintf ppf "w%-2d %.6f / %d / %d" i b s.worker_tasks.(i)
+        (if i < Array.length s.worker_steals then s.worker_steals.(i) else 0))
     s.worker_busy_s;
-  Format.fprintf ppf "@]@]"
+  Format.fprintf ppf "@]"

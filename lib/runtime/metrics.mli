@@ -34,6 +34,7 @@ type snapshot = {
   n_steps : int;
   worker_busy_s : float array;  (** per worker, time spent running tasks *)
   worker_tasks : int array;  (** per worker, tasks executed *)
+  worker_steals : int array;  (** per worker, tasks stolen from others *)
 }
 
 val snapshot :
@@ -43,6 +44,11 @@ val snapshot :
   steals:int ->
   worker_busy_s:float array ->
   worker_tasks:int array ->
+  worker_steals:int array ->
   snapshot
 
 val pp : Format.formatter -> snapshot -> unit
+(** Aggregate counters only; see {!pp_workers} for the per-worker lines. *)
+
+val pp_workers : Format.formatter -> snapshot -> unit
+(** Per-worker busy-seconds / tasks-run / steals breakdown. *)

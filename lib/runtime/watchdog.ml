@@ -69,6 +69,17 @@ let verdict t =
    closures are called outside the lock — they take channel locks and may
    resume pool tasks. *)
 let declare t v =
+  if Trace.enabled () then
+    Trace.instant ~cat:"watchdog" "watchdog.verdict"
+      ~args:
+        [
+          ( "verdict",
+            Trace.Str
+              (match v with
+              | Running -> "running"
+              | Timed_out -> "timed_out"
+              | Deadlocked _ -> "deadlocked") );
+        ];
   Mutex.lock t.mu;
   let already = t.verdict <> Running in
   if not already then t.verdict <- v;
@@ -88,6 +99,9 @@ let monitor t =
     Unix.sleepf poll_interval_s;
     if not (Atomic.get t.stop_flag) then begin
       let now = Unix.gettimeofday () in
+      if Trace.enabled () then
+        Trace.instant ~cat:"watchdog" "watchdog.check"
+          ~args:[ ("pulse", Trace.Int (Atomic.get t.pulse)) ];
       if t.timeout_s > 0. && now -. start > t.timeout_s then
         declare t Timed_out
       else begin

@@ -1,9 +1,10 @@
-type task = unit -> unit
+type task = { run : unit -> unit; label : string }
 
 type worker = {
   deque : task Deque.t;
   mutable busy_s : float;  (** written only by the worker's own domain *)
   mutable ran : int;
+  mutable stolen : int;  (** tasks this worker took from other deques *)
 }
 
 type t = {
@@ -44,7 +45,9 @@ let enqueue p task =
   Deque.push p.workers.(wid).deque task;
   signal_work p
 
-let resume p k = enqueue p (fun () -> Effect.Deep.continue k ())
+let resume p k =
+  if Trace.enabled () then Trace.instant ~cat:"pool" "resume";
+  enqueue p { run = (fun () -> Effect.Deep.continue k ()); label = "resume" }
 
 (* Pop from our own deque, else steal round-robin from the others. *)
 let try_take p wid =
@@ -61,6 +64,10 @@ let try_take p wid =
           match Deque.steal p.workers.(victim).deque with
           | Some t ->
               ignore (Atomic.fetch_and_add p.n_steals 1);
+              p.workers.(wid).stolen <- p.workers.(wid).stolen + 1;
+              if Trace.enabled () then
+                Trace.instant ~cat:"pool" "steal"
+                  ~args:[ ("victim", Trace.Int victim); ("task", Trace.Str t.label) ];
               consumed p;
               Some t
           | None -> go (k + 1)
@@ -75,16 +82,24 @@ let try_take p wid =
 let exec p wid task =
   let w = p.workers.(wid) in
   let t0 = Unix.gettimeofday () in
+  (* The span brackets one scheduling quantum: it opens and closes on
+     this worker's domain even if the task suspends (the handler returns
+     here), so Chrome tracks stay balanced. *)
   (try
-     Effect.Deep.try_with task ()
-       {
-         effc =
-           (fun (type a) (eff : a Effect.t) ->
-             match eff with
-             | Suspend register ->
-                 Some (fun (k : (a, unit) Effect.Deep.continuation) -> register k)
-             | _ -> None);
-       }
+     Trace.span_k ~cat:"task"
+       (fun () -> task.label)
+       (fun () ->
+         Effect.Deep.try_with task.run ()
+           {
+             effc =
+               (fun (type a) (eff : a Effect.t) ->
+                 match eff with
+                 | Suspend register ->
+                     Some
+                       (fun (k : (a, unit) Effect.Deep.continuation) ->
+                         register k)
+                 | _ -> None);
+           })
    with e ->
      Mutex.lock p.mu;
      if p.crashed = None then p.crashed <- Some e;
@@ -98,11 +113,13 @@ let rec worker_loop p wid =
     (match try_take p wid with
     | Some t -> exec p wid t
     | None ->
+        if Trace.enabled () then Trace.instant ~cat:"pool" "park";
         Mutex.lock p.mu;
         while p.avail <= 0 && p.live do
           Condition.wait p.cond p.mu
         done;
-        Mutex.unlock p.mu);
+        Mutex.unlock p.mu;
+        if Trace.enabled () then Trace.instant ~cat:"pool" "unpark");
     worker_loop p wid
   end
 
@@ -113,7 +130,9 @@ let create ?domains () =
   let n = max 1 requested in
   let p =
     {
-      workers = Array.init n (fun _ -> { deque = Deque.create (); busy_s = 0.; ran = 0 });
+      workers =
+        Array.init n (fun _ ->
+            { deque = Deque.create (); busy_s = 0.; ran = 0; stolen = 0 });
       handles = [];
       mu = Mutex.create ();
       cond = Condition.create ();
@@ -142,12 +161,19 @@ let fill fut r p =
   Condition.broadcast p.cond;
   Mutex.unlock p.mu
 
-let spawn p f =
+let spawn ?(label = "task") p f =
   Fault.point "pool.spawn";
+  if Trace.enabled () then
+    Trace.instant ~cat:"pool" "spawn" ~args:[ ("task", Trace.Str label) ];
   let fut = { st = Pending []; fm = Mutex.create () } in
-  enqueue p (fun () ->
-      let r = try Ok (f ()) with e -> Error e in
-      fill fut r p);
+  enqueue p
+    {
+      run =
+        (fun () ->
+          let r = try Ok (f ()) with e -> Error e in
+          fill fut r p);
+      label;
+    };
   fut
 
 let poll fut =
@@ -176,7 +202,7 @@ let await p fut =
 
 let run p f =
   Domain.DLS.set worker_key (Some 0);
-  let root = spawn p f in
+  let root = spawn ~label:"root" p f in
   let rec help () =
     (match p.crashed with Some e -> raise e | None -> ());
     match poll root with
@@ -207,3 +233,4 @@ let shutdown p =
 let steals p = Atomic.get p.n_steals
 let worker_busy_s p = Array.map (fun w -> w.busy_s) p.workers
 let worker_tasks p = Array.map (fun w -> w.ran) p.workers
+let worker_steals p = Array.map (fun w -> w.stolen) p.workers

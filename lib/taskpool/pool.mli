@@ -33,8 +33,9 @@ val size : t -> int
 
 (** Schedule a thunk; its result (or exception) is captured in the
     future.  Must be called from within {!run}'s dynamic extent or before
-    it starts. *)
-val spawn : t -> (unit -> 'a) -> 'a future
+    it starts.  [label] names the task in trace output (default
+    ["task"]); it costs nothing when tracing is disabled. *)
+val spawn : ?label:string -> t -> (unit -> 'a) -> 'a future
 
 (** Wait for a future.  Returns the thunk's result or the exception it
     raised.  If the future is not yet filled and the caller is a pool
@@ -62,3 +63,6 @@ val worker_busy_s : t -> float array
 
 (** Per-worker count of executed tasks (including resumed suspensions). *)
 val worker_tasks : t -> int array
+
+(** Per-worker count of tasks taken from another worker's deque. *)
+val worker_steals : t -> int array

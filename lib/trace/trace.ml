@@ -1,0 +1,257 @@
+(** Low-overhead span/counter recorder for the whole tool flow.
+
+    Discipline (same as the disarmed fault probes in {!Fault}): the
+    disabled fast path of every probe is a single [Atomic.get] returning
+    [None] — no timestamp read, no allocation, no lock — so permanent
+    instrumentation of hot paths (simplex solves, pool dispatch, channel
+    operations) costs nothing when tracing is off.
+
+    When armed ({!start}), each domain records into its own fixed-capacity
+    ring buffer (single writer: the owning domain; created lazily on the
+    domain's first event and registered with the active sink under a
+    mutex).  Buffer overflow overwrites the oldest events and counts the
+    drops — flight-recorder semantics.  {!stop} disarms and merges all
+    buffers deterministically: buffers in ascending domain id, events of
+    one buffer in emission order, the whole stream stably sorted by
+    timestamp (ties keep the domain order), so the merged stream depends
+    only on the recorded data.
+
+    Span contract: a {!span} body must complete on the domain that opened
+    it — do not wrap code that can suspend on a pool effect and resume on
+    another domain (use {!instant} pairs there instead).  This is what
+    keeps Begin/End events balanced per track in the Chrome export. *)
+
+type arg = Int of int | Float of float | Str of string | Bool of bool
+
+type ph = B | E | I | C | X
+
+type event = {
+  name : string;
+  cat : string;
+  ph : ph;
+  ts_us : float;  (** microseconds since the sink's epoch *)
+  dur_us : float;  (** [X] events only; [0.] otherwise *)
+  dom : int;  (** recording domain = Chrome track id *)
+  args : (string * arg) list;
+}
+
+type buffer = {
+  b_dom : int;
+  evs : event option array;
+  mutable head : int;  (** next write slot (monotonic; slot = head mod cap) *)
+  mutable dropped : int;
+}
+
+type sink = {
+  epoch_s : float;
+  gen : int;
+  capacity : int;
+  mu : Mutex.t;
+  mutable bufs : buffer list;
+}
+
+type collected = {
+  events : event list;  (** merged, sorted by [ts_us] (stable in domain) *)
+  domains : int list;  (** distinct recording domains, ascending *)
+  dropped : int;  (** events lost to ring overwrite, all buffers *)
+  epoch_s : float;
+  span_s : float;  (** wall seconds the sink was armed *)
+}
+
+(* Monotonic-enough wall clock; the single switch point for the whole
+   solver/runtime stack ({!Ilp.Clock} aliases it). *)
+let now_s : unit -> float = Unix.gettimeofday
+
+let state : sink option Atomic.t = Atomic.make None
+let generation = Atomic.make 0
+
+let enabled () = Atomic.get state <> None
+
+(* The per-domain buffer of the *current* sink generation.  A stale DLS
+   entry (from a previous start/stop cycle) is replaced, so buffers never
+   leak across sinks. *)
+let dls : (int * buffer) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let buffer_for (s : sink) : buffer =
+  let cell = Domain.DLS.get dls in
+  match !cell with
+  | Some (g, b) when g = s.gen -> b
+  | _ ->
+      let b =
+        {
+          b_dom = (Domain.self () :> int);
+          evs = Array.make s.capacity None;
+          head = 0;
+          dropped = 0;
+        }
+      in
+      Mutex.lock s.mu;
+      s.bufs <- b :: s.bufs;
+      Mutex.unlock s.mu;
+      cell := Some (s.gen, b);
+      b
+
+let push (s : sink) (ev : event) =
+  let b = buffer_for s in
+  let cap = Array.length b.evs in
+  if b.head >= cap && b.evs.(b.head mod cap) <> None then
+    b.dropped <- b.dropped + 1;
+  b.evs.(b.head mod cap) <- Some ev;
+  b.head <- b.head + 1
+
+let emit s ph ?(dur_us = 0.) ~cat ~args ~ts_us name =
+  push s { name; cat; ph; ts_us; dur_us; dom = (Domain.self () :> int); args }
+
+let rel (s : sink) t = (t -. s.epoch_s) *. 1e6
+
+(* ---- probes ------------------------------------------------------- *)
+
+let span ?(args = []) ~cat name f =
+  match Atomic.get state with
+  | None -> f ()
+  | Some s ->
+      emit s B ~cat ~args ~ts_us:(rel s (now_s ())) name;
+      Fun.protect
+        ~finally:(fun () ->
+          (* re-read: [stop] may have disarmed mid-span; the E event would
+             land in a dead buffer, which the merge never sees *)
+          match Atomic.get state with
+          | Some s' when s'.gen = s.gen ->
+              emit s' E ~cat ~args:[] ~ts_us:(rel s' (now_s ())) name
+          | _ -> ())
+        f
+
+(** [span_k]: as {!span}, but the name thunk is forced only when tracing
+    is armed — use when the label is built with [Printf.sprintf]. *)
+let span_k ~cat name_k f =
+  match Atomic.get state with
+  | None -> f ()
+  | Some _ -> span ~cat (name_k ()) f
+
+let instant ?(args = []) ~cat name =
+  match Atomic.get state with
+  | None -> ()
+  | Some s -> emit s I ~cat ~args ~ts_us:(rel s (now_s ())) name
+
+let counter ~cat name values =
+  match Atomic.get state with
+  | None -> ()
+  | Some s ->
+      emit s C ~cat
+        ~args:(List.map (fun (k, v) -> (k, Float v)) values)
+        ~ts_us:(rel s (now_s ())) name
+
+let complete ?(args = []) ~cat ~t0_s name =
+  match Atomic.get state with
+  | None -> ()
+  | Some s ->
+      let now = now_s () in
+      emit s X ~cat ~args ~ts_us:(rel s t0_s)
+        ~dur_us:(Float.max 0. ((now -. t0_s) *. 1e6))
+        name
+
+(* ---- lifecycle ---------------------------------------------------- *)
+
+let default_capacity = 1 lsl 16
+
+let start ?(capacity = default_capacity) () =
+  let gen = 1 + Atomic.fetch_and_add generation 1 in
+  Atomic.set state
+    (Some
+       {
+         epoch_s = now_s ();
+         gen;
+         capacity = max 16 capacity;
+         mu = Mutex.create ();
+         bufs = [];
+       })
+
+let buffer_events (b : buffer) : event list =
+  let cap = Array.length b.evs in
+  let first = if b.head <= cap then 0 else b.head - cap in
+  let acc = ref [] in
+  for i = b.head - 1 downto first do
+    match b.evs.(i mod cap) with Some e -> acc := e :: !acc | None -> ()
+  done;
+  !acc
+
+let stop () : collected option =
+  match Atomic.get state with
+  | None -> None
+  | Some s ->
+      Atomic.set state None;
+      let stopped = now_s () in
+      Mutex.lock s.mu;
+      let bufs = List.sort (fun a b -> compare a.b_dom b.b_dom) s.bufs in
+      Mutex.unlock s.mu;
+      let events = List.concat_map buffer_events bufs in
+      (* stable by construction: ties keep the dom-ascending concat order *)
+      let events =
+        List.stable_sort (fun a b -> compare a.ts_us b.ts_us) events
+      in
+      Some
+        {
+          events;
+          domains = List.map (fun b -> b.b_dom) bufs;
+          dropped =
+            List.fold_left (fun acc (b : buffer) -> acc + b.dropped) 0 bufs;
+          epoch_s = s.epoch_s;
+          span_s = stopped -. s.epoch_s;
+        }
+
+let with_tracing ?capacity f =
+  start ?capacity ();
+  let finish () = match stop () with Some c -> c | None -> assert false in
+  match f () with
+  | v -> (v, finish ())
+  | exception e ->
+      ignore (finish ());
+      raise e
+
+(* ---- small helpers over collected streams ------------------------- *)
+
+let ph_name = function B -> "B" | E -> "E" | I -> "i" | C -> "C" | X -> "X"
+
+(** Wall seconds per span name for category [cat], aggregated from
+    balanced B/E pairs (per-domain stacks) plus X events; insertion
+    order of first appearance. *)
+let span_totals ~cat (events : event list) : (string * float) list =
+  let totals : (string, float ref) Hashtbl.t = Hashtbl.create 16 in
+  let order : string list ref = ref [] in
+  let add name dur_us =
+    match Hashtbl.find_opt totals name with
+    | Some r -> r := !r +. (dur_us /. 1e6)
+    | None ->
+        Hashtbl.add totals name (ref (dur_us /. 1e6));
+        order := name :: !order
+  in
+  let stacks : (int, (string * float) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack dom =
+    match Hashtbl.find_opt stacks dom with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.add stacks dom s;
+        s
+  in
+  List.iter
+    (fun e ->
+      if e.cat = cat then
+        match e.ph with
+        | B ->
+            let s = stack e.dom in
+            s := (e.name, e.ts_us) :: !s
+        | E -> (
+            let s = stack e.dom in
+            match !s with
+            | (n, t0) :: rest when n = e.name ->
+                s := rest;
+                (* only top-level spans count, so nested re-entries of a
+                   phase are not double-charged *)
+                if rest = [] then add n (e.ts_us -. t0)
+            | _ -> () (* unbalanced (ring overwrite): skip *))
+        | X -> if (stack e.dom : _ ref).contents = [] then add e.name e.dur_us
+        | I | C -> ())
+    events;
+  List.rev_map (fun n -> (n, !(Hashtbl.find totals n))) !order

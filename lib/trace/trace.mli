@@ -1,0 +1,76 @@
+(** Low-overhead, domain-safe span/counter recorder.
+
+    Disabled fast path is a single [Atomic.get] (same discipline as the
+    disarmed {!Fault} probes).  When armed, each domain writes into its
+    own ring buffer; {!stop} merges all buffers deterministically. *)
+
+type arg = Int of int | Float of float | Str of string | Bool of bool
+
+type ph =
+  | B  (** duration begin *)
+  | E  (** duration end *)
+  | I  (** instant *)
+  | C  (** counter sample *)
+  | X  (** complete (begin + duration in one event) *)
+
+type event = {
+  name : string;
+  cat : string;
+  ph : ph;
+  ts_us : float;  (** microseconds since the sink's epoch *)
+  dur_us : float;  (** [X] events only; [0.] otherwise *)
+  dom : int;  (** recording domain = Chrome track id *)
+  args : (string * arg) list;
+}
+
+type collected = {
+  events : event list;  (** merged, sorted by [ts_us] (stable in domain) *)
+  domains : int list;  (** distinct recording domains, ascending *)
+  dropped : int;  (** events lost to ring overwrite, all buffers *)
+  epoch_s : float;  (** absolute wall time of {!start} *)
+  span_s : float;  (** wall seconds the sink was armed *)
+}
+
+val now_s : unit -> float
+(** The clock every probe stamps with.  [Ilp.Clock.now_s] aliases this so
+    solver timing and trace timestamps share one time base. *)
+
+val enabled : unit -> bool
+
+val start : ?capacity:int -> unit -> unit
+(** Arm the recorder.  [capacity] is the per-domain ring size in events
+    (default 65536); overflow overwrites the oldest events and is
+    reported in {!collected.dropped}. *)
+
+val stop : unit -> collected option
+(** Disarm and merge.  [None] if the recorder was not armed. *)
+
+val with_tracing : ?capacity:int -> (unit -> 'a) -> 'a * collected
+(** [with_tracing f] = {!start}; [f ()]; {!stop}.  If [f] raises, the
+    recorder is still disarmed (the collection is discarded). *)
+
+val span : ?args:(string * arg) list -> cat:string -> string -> (unit -> 'b) -> 'b
+(** [span ~cat name f] brackets [f] with B/E events.  [f] must complete
+    on the domain that called [span] — never wrap code that can suspend
+    on a pool effect and resume elsewhere. *)
+
+val span_k : cat:string -> (unit -> string) -> (unit -> 'b) -> 'b
+(** As {!span}, but the name thunk is forced only when tracing is armed
+    (use for [sprintf]-built labels on hot paths). *)
+
+val instant : ?args:(string * arg) list -> cat:string -> string -> unit
+
+val counter : cat:string -> string -> (string * float) list -> unit
+
+val complete : ?args:(string * arg) list -> cat:string -> t0_s:float -> string -> unit
+(** [complete ~t0_s name] records an X event spanning [t0_s] (absolute,
+    from {!now_s}) to now, attributed to the calling domain.  Cheaper
+    than {!span} for code that already measures its own elapsed time. *)
+
+val ph_name : ph -> string
+(** Chrome trace-event phase letter: ["B"], ["E"], ["i"], ["C"], ["X"]. *)
+
+val span_totals : cat:string -> event list -> (string * float) list
+(** Wall seconds per top-level span name within category [cat],
+    aggregated from balanced B/E pairs (per-domain stacks) and
+    top-level X events; ordered by first appearance. *)

@@ -1,0 +1,78 @@
+(* Chrome trace-event ("JSON Array Format" object variant) exporter —
+   loadable in Perfetto and chrome://tracing.  One process (pid 1), one
+   thread track per recording domain (tid = domain id). *)
+
+let arg_json : Trace.arg -> Trace_json.t = function
+  | Trace.Int i -> Trace_json.Num (float_of_int i)
+  | Trace.Float f -> Trace_json.Num f
+  | Trace.Str s -> Trace_json.Str s
+  | Trace.Bool b -> Trace_json.Bool b
+
+let event_json (e : Trace.event) : Trace_json.t =
+  let base =
+    [
+      ("name", Trace_json.Str e.name);
+      ("cat", Trace_json.Str e.cat);
+      ("ph", Trace_json.Str (Trace.ph_name e.ph));
+      ("ts", Trace_json.Num e.ts_us);
+      ("pid", Trace_json.Num 1.);
+      ("tid", Trace_json.Num (float_of_int e.dom));
+    ]
+  in
+  let base = match e.ph with
+    | Trace.X -> base @ [ ("dur", Trace_json.Num e.dur_us) ]
+    | Trace.I -> base @ [ ("s", Trace_json.Str "t") ]  (* thread-scoped instant *)
+    | _ -> base
+  in
+  let base =
+    match e.args with
+    | [] -> base
+    | args ->
+        base @ [ ("args", Trace_json.Obj (List.map (fun (k, v) -> (k, arg_json v)) args)) ]
+  in
+  Trace_json.Obj base
+
+let metadata (c : Trace.collected) : Trace_json.t list =
+  let meta name tid args =
+    Trace_json.Obj
+      [
+        ("name", Trace_json.Str name);
+        ("ph", Trace_json.Str "M");
+        ("pid", Trace_json.Num 1.);
+        ("tid", Trace_json.Num (float_of_int tid));
+        ("args", Trace_json.Obj args);
+      ]
+  in
+  meta "process_name" 0 [ ("name", Trace_json.Str "mpsoc-par") ]
+  :: List.map
+       (fun dom ->
+         let label = if dom = 0 then "domain 0 (main)" else Printf.sprintf "domain %d" dom in
+         meta "thread_name" dom [ ("name", Trace_json.Str label) ])
+       c.domains
+
+let document (c : Trace.collected) : Trace_json.t =
+  Trace_json.Obj
+    [
+      ("traceEvents", Trace_json.List (metadata c @ List.map event_json c.events));
+      ("displayTimeUnit", Trace_json.Str "ms");
+      ( "otherData",
+        Trace_json.Obj
+          [
+            ("schema", Trace_json.Str "mpsoc-par/chrome-trace/v1");
+            ("dropped_events", Trace_json.Num (float_of_int c.dropped));
+            ("capture_span_s", Trace_json.Num c.span_s);
+          ] );
+    ]
+
+let to_string (c : Trace.collected) = Trace_json.to_string (document c)
+
+(* [path = "-"] writes to stdout. *)
+let write ~path (c : Trace.collected) =
+  let s = to_string c in
+  if path = "-" then print_string s
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc s)
+  end

@@ -1,0 +1,8 @@
+(** Chrome trace-event JSON exporter (Perfetto / chrome://tracing).
+    One process, one thread track per recording domain. *)
+
+val document : Trace.collected -> Trace_json.t
+val to_string : Trace.collected -> string
+
+val write : path:string -> Trace.collected -> unit
+(** [path = "-"] writes to stdout. *)

@@ -1,0 +1,21 @@
+(** Minimal JSON emit/parse — no external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Raises {!Parse_error} on malformed input. *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_num : t -> float option
+val to_str : t -> string option

@@ -15,6 +15,7 @@ let () =
       ("fault", Test_fault.suite);
       ("degrade", Test_degrade.suite);
       ("watchdog", Test_watchdog.suite);
+      ("trace", Test_trace.suite);
       ("fuzz-inputs", Test_fuzz_inputs.suite);
       ("pipeline-properties", Test_pipeline_prop.suite);
       ("determinism", Test_determinism.suite);
