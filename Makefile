@@ -1,6 +1,6 @@
 # Convenience targets around dune.
 
-.PHONY: all build test test-quick chaos bench bench-runtime bench-perf perf-smoke execute clean fmt
+.PHONY: all build test test-quick chaos bench bench-runtime bench-perf perf-smoke perf-gate execute clean fmt
 
 all: build
 
@@ -40,6 +40,13 @@ bench-perf:
 # Quick CI subset of bench-perf.
 perf-smoke:
 	dune exec bench/main.exe -- perf-smoke
+
+# Perf-regression gate: rerun the smoke subset and compare it against
+# the committed baseline (±25%, override with BENCH_TOLERANCE_PCT).
+# After an intentional perf change: make perf-smoke &&
+# cp BENCH_parallelize.json ci/bench_baseline.json and commit.
+perf-gate: perf-smoke
+	./ci/check_bench.sh ci/bench_baseline.json BENCH_parallelize.json
 
 # Differential validation of every suite benchmark on two presets via
 # the CLI (the acceptance check of the execution runtime).

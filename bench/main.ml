@@ -332,6 +332,9 @@ let run_perf ~smoke () =
     (Observe.run_metadata ());
   Printf.bprintf buf "  \"smoke\": %b,\n" smoke;
   Printf.bprintf buf "  \"ncores\": %d,\n" ncores;
+  (* the --jobs value the jobsN column actually ran with — host_domains
+     alone does not make numbers comparable across machines *)
+  Printf.bprintf buf "  \"jobs\": %d,\n" ncores;
   Printf.bprintf buf "  \"platform\": %S,\n" pf.Platform.Desc.name;
   Printf.bprintf buf "  \"work_limit\": %.0f,\n" work_limit;
   Buffer.add_string buf "  \"benchmarks\": [\n";

@@ -105,7 +105,7 @@ let fault_plan_arg =
     & info [ "fault-plan" ] ~docv:"SPEC"
         ~doc:
           "Arm the deterministic fault-injection harness for this run: a \
-           comma list of $(i,point\\@hit=action) rules (action: \
+           comma list of $(i,point@hit=action) rules (action: \
            $(b,raise), $(b,exhaust), or $(b,delay:SECONDS)) or \
            $(b,seed:N) for a generated plan.  Probe points: \
            frontend.parse, platform.io, simplex.pivot, ilp.budget, \
@@ -124,9 +124,31 @@ let with_fault_plan spec f =
                ~advice:"spec: point@hit=raise|exhaust|delay:S[,...] or seed:N"
                ("bad --fault-plan: " ^ msg)))
 
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist solved ILP subproblems under $(docv) and answer \
+           structurally identical solves from disk on later runs.  Warm \
+           runs are bit-identical to cold ones; corrupt or stale cache \
+           files silently degrade to misses.  Created if missing.")
+
+let cache_max_mb_arg =
+  Arg.(
+    value
+    & opt int Parcore.Config.default.Parcore.Config.cache_max_mb
+    & info [ "cache-max-mb" ] ~docv:"MB"
+        ~doc:
+          "Size cap of the persistent solve cache; least-recently-used \
+           entries are evicted once the data file exceeds it.")
+
 let cfg_of ?(jobs = Parcore.Config.default.Parcore.Config.jobs)
     ?(timeout_s = Parcore.Config.default.Parcore.Config.timeout_s)
-    ?(trace = None) ?(metrics = None) ?(profile = false) time_limit max_steps =
+    ?(trace = None) ?(metrics = None) ?(profile = false) ?(cache_dir = None)
+    ?(cache_max_mb = Parcore.Config.default.Parcore.Config.cache_max_mb)
+    time_limit max_steps =
   {
     Parcore.Config.default with
     Parcore.Config.ilp_time_limit_s = time_limit;
@@ -136,6 +158,8 @@ let cfg_of ?(jobs = Parcore.Config.default.Parcore.Config.jobs)
     trace_file = trace;
     metrics_file = metrics;
     profile;
+    cache_dir;
+    cache_max_mb;
   }
 
 (* ---------------- observability ---------------- *)
@@ -182,7 +206,7 @@ let with_observability (cfg : Parcore.Config.t) ~generated_by f =
   in
   if armed then Trace.start ();
   let t0 = Trace.now_s () in
-  let report ?runtime ~stats () =
+  let report ?runtime ?cache ~stats () =
     if armed then begin
       let wall_s = Trace.now_s () -. t0 in
       match Trace.stop () with
@@ -196,7 +220,7 @@ let with_observability (cfg : Parcore.Config.t) ~generated_by f =
               Observe.write_json ~path
                 (Observe.metrics_doc ~generated_by
                    ~phases:(Observe.phases_of_events c.Trace.events)
-                   ?runtime ~wall_s stats))
+                   ?runtime ?cache ~wall_s stats))
             cfg.Parcore.Config.metrics_file;
           if cfg.Parcore.Config.profile then
             Fmt.epr "%t@." (fun ppf ->
@@ -263,6 +287,23 @@ let exit_degraded (algo : Parcore.Algorithm.result) =
         name;
       exit 2
 
+(** Canonical digest of everything Algorithm 1 decided: the implemented
+    root solution, the root candidate set, and every node's candidate set
+    in node-id order.  Two runs chose bit-identical solutions iff their
+    digests match — this is what the cold-vs-warm CI step diffs. *)
+let solution_digest (algo : Parcore.Algorithm.result) =
+  let sets =
+    Hashtbl.fold
+      (fun k v acc -> (k, v) :: acc)
+      algo.Parcore.Algorithm.sets []
+    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+  in
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (algo.Parcore.Algorithm.root, algo.Parcore.Algorithm.root_set, sets)
+          []))
+
 let dot_arg =
   Arg.(
     value
@@ -294,10 +335,13 @@ let parallelize_cmd =
                 & bound nodes) to stderr.")
   in
   let run target platform approach time_limit max_steps jobs dot gantt verbose
-      fault_spec trace metrics profile =
+      fault_spec trace metrics profile cache_dir cache_max_mb =
     let platform = resolve_platform platform in
     let _name, src = resolve_target target in
-    let cfg = cfg_of ~jobs ~trace ~metrics ~profile time_limit max_steps in
+    let cfg =
+      cfg_of ~jobs ~trace ~metrics ~profile ~cache_dir ~cache_max_mb time_limit
+        max_steps
+    in
     with_observability cfg ~generated_by:"mpsoc-par parallelize"
     @@ fun report ->
     match
@@ -329,9 +373,13 @@ let parallelize_cmd =
               algo.Parcore.Algorithm.stats.Ilp.Stats.ilps
               algo.Parcore.Algorithm.stats.Ilp.Stats.vars
               algo.Parcore.Algorithm.stats.Ilp.Stats.constrs;
-            if verbose then
+            if verbose then begin
               Fmt.epr "ilp statistics: %a@." Ilp.Stats.pp
                 algo.Parcore.Algorithm.stats;
+              Option.iter
+                (Fmt.epr "%a@." Cache.Store.pp_counters)
+                algo.Parcore.Algorithm.disk_cache
+            end;
             Fmt.pr "simulated makespan: %.1f us (sequential %.1f us)@."
               m.Sim.Engine.makespan_us
               (Sim.Engine.run platform out.Parcore.Parallelize.seq_program);
@@ -351,7 +399,8 @@ let parallelize_cmd =
                 (Sim.Engine.gantt platform
                    (Sim.Engine.trace platform out.Parcore.Parallelize.program))
             end);
-        report ~stats:algo.Parcore.Algorithm.stats ();
+        report ?cache:algo.Parcore.Algorithm.disk_cache
+          ~stats:algo.Parcore.Algorithm.stats ();
         exit_degraded algo
   in
   Cmd.v
@@ -359,7 +408,8 @@ let parallelize_cmd =
     Term.(
       const run $ target $ platform_arg $ approach_arg $ time_limit_arg
       $ max_steps_arg $ jobs_arg $ dot_arg $ gantt_arg $ verbose
-      $ fault_plan_arg $ trace_arg $ metrics_arg $ profile_flag)
+      $ fault_plan_arg $ trace_arg $ metrics_arg $ profile_flag
+      $ cache_dir_arg $ cache_max_mb_arg)
 
 (* ---------------- analyze ---------------- *)
 
@@ -427,6 +477,104 @@ let bench_cmd =
     Term.(
       const run $ bench_name $ platform_arg $ time_limit_arg $ max_steps_arg
       $ jobs_arg)
+
+(* ---------------- batch ---------------- *)
+
+let batch_cmd =
+  let targets =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"TARGETS"
+          ~doc:"Mini-C source files and/or suite benchmark names.")
+  in
+  let run targets platform approach time_limit max_steps jobs fault_spec trace
+      metrics profile cache_dir cache_max_mb =
+    let platform = resolve_platform platform in
+    (* resolve everything up front so a typo fails before any solving *)
+    let sources = List.map resolve_target targets in
+    let cfg =
+      cfg_of ~jobs ~trace ~metrics ~profile ~cache_dir ~cache_max_mb time_limit
+        max_steps
+    in
+    with_observability cfg ~generated_by:"mpsoc-par batch" @@ fun report ->
+    with_fault_plan fault_spec @@ fun () ->
+    (* one taskpool, one platform parse, one persistent store — shared by
+       every target in the batch *)
+    let jobs_n =
+      if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs
+    in
+    let pool =
+      if jobs_n > 1 then Some (Taskpool.Pool.create ~domains:jobs_n ())
+      else None
+    in
+    let store =
+      match cache_dir with
+      | None -> None
+      | Some dir -> (
+          match Cache.Store.open_ ~max_mb:cache_max_mb ~dir () with
+          | s -> Some s
+          | exception Mpsoc_error.Error e -> exit_with e)
+    in
+    let total = Ilp.Stats.create () in
+    let hard_error = ref None in
+    let degraded = ref false in
+    let t0 = Ilp.Clock.now_s () in
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter Taskpool.Pool.shutdown pool;
+        Option.iter Cache.Store.close store)
+      (fun () ->
+        List.iter
+          (fun (name, src) ->
+            match
+              Parcore.Parallelize.run_result ~cfg ?pool ?store ~approach
+                ~platform src
+            with
+            | Error e ->
+                (* diagnose and move on: one bad target must not cost the
+                   batch the others' results *)
+                Fmt.epr "%s: %a@." name Mpsoc_error.pp e;
+                if !hard_error = None then
+                  hard_error := Some (Mpsoc_error.exit_code e)
+            | Ok out ->
+                let algo = out.Parcore.Parallelize.algo in
+                Ilp.Stats.merge ~into:total algo.Parcore.Algorithm.stats;
+                (* one deterministic line per target on stdout (cold and
+                   warm runs diff clean); counts and timings on stderr *)
+                let deg = degradation_status algo in
+                Fmt.pr "%s %.4fx %s%s@." name
+                  (Parcore.Parallelize.speedup out)
+                  (solution_digest algo)
+                  (match deg with
+                  | Some d -> " degraded:" ^ String.concat "-"
+                                (String.split_on_char ' ' d)
+                  | None -> "");
+                Fmt.epr "%s: %d ILPs, %.2f s solve, %.2f s wall@." name
+                  algo.Parcore.Algorithm.stats.Ilp.Stats.ilps
+                  algo.Parcore.Algorithm.stats.Ilp.Stats.solve_time_s
+                  algo.Parcore.Algorithm.wall_time_s;
+                if deg <> None then degraded := true)
+          sources);
+    let cache = Option.map Cache.Store.counters store in
+    Fmt.epr "batch: %d targets, %d ILPs, %.2f s solve, %.2f s wall@."
+      (List.length sources) total.Ilp.Stats.ilps total.Ilp.Stats.solve_time_s
+      (Ilp.Clock.now_s () -. t0);
+    Option.iter (Fmt.epr "%a@." Cache.Store.pp_counters) cache;
+    report ?cache ~stats:total ();
+    match !hard_error with
+    | Some code -> exit code
+    | None -> if !degraded then exit 2
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Parallelize many sources in one process, sharing the taskpool, \
+          the platform parse and the persistent solve cache across \
+          targets; prints one deterministic result line per target")
+    Term.(
+      const run $ targets $ platform_arg $ approach_arg $ time_limit_arg
+      $ max_steps_arg $ jobs_arg $ fault_plan_arg $ trace_arg $ metrics_arg
+      $ profile_flag $ cache_dir_arg $ cache_max_mb_arg)
 
 (* ---------------- execute ---------------- *)
 
@@ -614,6 +762,7 @@ let main =
       parallelize_cmd;
       analyze_cmd;
       execute_cmd;
+      batch_cmd;
       bench_cmd;
       experiments_cmd;
       list_cmd;

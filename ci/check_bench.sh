@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Perf-regression gate for the compile-side solve engine.
+#
+# Usage: ci/check_bench.sh BASELINE.json FRESH.json
+#
+# Compares every baseline benchmark's jobs1_ms (single-worker wall time,
+# the schedule-independent number) and ilps_optimized (solve count — a
+# drift here means the search changed, not just the machine) in FRESH
+# against BASELINE, within a relative tolerance (default +/-25%,
+# override with BENCH_TOLERANCE_PCT).  Also requires every run to stay
+# bit-identical across jobs values.  Exits 1 on any regression, with a
+# per-benchmark table either way.
+#
+# Wall times on shared CI runners are noisy; the tolerance is deliberately
+# wide and only the regression direction fails the job for jobs1_ms
+# (getting faster is not an error).  ilps_optimized is checked both ways:
+# solving more OR fewer ILPs than the baseline means the search behaves
+# differently and the baseline should be regenerated deliberately
+# (make perf-smoke; commit the fresh JSON).
+set -euo pipefail
+
+baseline=${1:?usage: check_bench.sh BASELINE.json FRESH.json}
+fresh=${2:?usage: check_bench.sh BASELINE.json FRESH.json}
+tol_pct=${BENCH_TOLERANCE_PCT:-25}
+
+for f in "$baseline" "$fresh"; do
+  [ -r "$f" ] || { echo "check_bench: cannot read $f" >&2; exit 1; }
+  jq -e '.schema | startswith("mpsoc-par/parallelize-perf/")' "$f" >/dev/null \
+    || { echo "check_bench: $f is not a parallelize-perf document" >&2; exit 1; }
+done
+
+echo "perf gate: $fresh vs $baseline (tolerance +/-${tol_pct}%)"
+printf '  %-16s %12s %12s %8s  %6s %6s  %s\n' \
+  benchmark base_ms fresh_ms delta ilp_b ilp_f verdict
+
+fail=0
+while IFS=$'\t' read -r name base_ms base_ilps; do
+  row=$(jq -r --arg n "$name" \
+    '.benchmarks[] | select(.name == $n) | [.jobs1_ms, .ilps_optimized, .identical] | @tsv' \
+    "$fresh")
+  if [ -z "$row" ]; then
+    printf '  %-16s %12s %12s %8s  %6s %6s  %s\n' \
+      "$name" "$base_ms" - - "$base_ilps" - "FAIL (missing from fresh run)"
+    fail=1
+    continue
+  fi
+  IFS=$'\t' read -r fresh_ms fresh_ilps identical <<<"$row"
+  verdict=$(awk -v b="$base_ms" -v f="$fresh_ms" -v bi="$base_ilps" \
+    -v fi="$fresh_ilps" -v id="$identical" -v tol="$tol_pct" 'BEGIN {
+      delta = (f - b) * 100.0 / b
+      if (id != "true")                    { print "FAIL (not bit-identical across jobs)"; exit }
+      if (delta > tol)                     { printf "FAIL (jobs1_ms +%.1f%% > +%s%%)\n", delta, tol; exit }
+      if (fi > bi * (1 + tol/100.0) ||
+          fi < bi * (1 - tol/100.0))       { printf "FAIL (ilps %d vs baseline %d, beyond %s%%)\n", fi, bi, tol; exit }
+      print "ok"
+    }')
+  delta=$(awk -v b="$base_ms" -v f="$fresh_ms" 'BEGIN { printf "%+.1f%%", (f-b)*100.0/b }')
+  printf '  %-16s %12s %12s %8s  %6s %6s  %s\n' \
+    "$name" "$base_ms" "$fresh_ms" "$delta" "$base_ilps" "$fresh_ilps" "$verdict"
+  [ "$verdict" = ok ] || fail=1
+done < <(jq -r '.benchmarks[] | [.name, .jobs1_ms, .ilps_optimized] | @tsv' "$baseline")
+
+jq -e '.total.identical == true' "$fresh" >/dev/null \
+  || { echo "  total: FAIL (fresh run not bit-identical across jobs)"; fail=1; }
+
+if [ "$fail" -ne 0 ]; then
+  echo "perf gate: FAILED — if the change is intentional, regenerate the" \
+       "baseline with 'make perf-smoke' and commit it as ci/bench_baseline.json"
+  exit 1
+fi
+echo "perf gate: ok"

@@ -1,0 +1,130 @@
+(** Binary codec for one persistent solve-cache payload: a
+    {!Ilp.Branch_bound.solution}.
+
+    The format is hand-rolled (no [Marshal]) so it is stable across
+    compiler versions and auditable byte by byte: little-endian 64-bit
+    integers, floats as their IEEE-754 bit patterns (so [0.] and [-0.]
+    survive distinctly and NaN payloads are preserved — cached solutions
+    must be {e bit}-identical to freshly solved ones, since downstream
+    warm-start fingerprints hash them).  {!decode} is total: any
+    truncated, over-long or out-of-range input yields [None], never an
+    exception — the store maps that to a cache miss. *)
+
+let version = 1
+
+let status_tag = function
+  | Ilp.Branch_bound.Optimal -> 0
+  | Ilp.Branch_bound.Feasible -> 1
+  | Ilp.Branch_bound.Infeasible -> 2
+  | Ilp.Branch_bound.Unbounded -> 3
+  | Ilp.Branch_bound.Limit -> 4
+
+let encode (s : Ilp.Branch_bound.solution) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_uint8 b version;
+  Buffer.add_uint8 b (status_tag s.Ilp.Branch_bound.status);
+  Buffer.add_int64_le b (Int64.bits_of_float s.Ilp.Branch_bound.obj);
+  Buffer.add_int64_le b (Int64.of_int s.Ilp.Branch_bound.nodes);
+  let add_arr a =
+    Buffer.add_int64_le b (Int64.of_int (Array.length a));
+    Array.iter (fun f -> Buffer.add_int64_le b (Int64.bits_of_float f)) a
+  in
+  (match s.Ilp.Branch_bound.x with
+  | None -> Buffer.add_uint8 b 0
+  | Some a ->
+      Buffer.add_uint8 b 1;
+      add_arr a);
+  Buffer.add_int64_le b (Int64.of_int (List.length s.Ilp.Branch_bound.incumbents));
+  List.iter add_arr s.Ilp.Branch_bound.incumbents;
+  Buffer.contents b
+
+exception Malformed
+
+let decode (s : string) : Ilp.Branch_bound.solution option =
+  let pos = ref 0 in
+  let len = String.length s in
+  let u8 () =
+    if !pos >= len then raise Malformed;
+    let c = Char.code s.[!pos] in
+    incr pos;
+    c
+  in
+  let i64 () =
+    if !pos + 8 > len then raise Malformed;
+    let v = String.get_int64_le s !pos in
+    pos := !pos + 8;
+    v
+  in
+  let int_ () =
+    let v = i64 () in
+    (* every encoded int fits a non-negative OCaml int *)
+    if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0 then
+      raise Malformed;
+    Int64.to_int v
+  in
+  let float_ () = Int64.float_of_bits (i64 ()) in
+  let arr () =
+    let n = int_ () in
+    (* each element needs 8 remaining bytes: rejects absurd lengths
+       before allocating *)
+    if n > (len - !pos) / 8 then raise Malformed;
+    let a = Array.make n 0. in
+    for i = 0 to n - 1 do
+      a.(i) <- float_ ()
+    done;
+    a
+  in
+  match
+    (if u8 () <> version then raise Malformed;
+     let status =
+       match u8 () with
+       | 0 -> Ilp.Branch_bound.Optimal
+       | 1 -> Ilp.Branch_bound.Feasible
+       | 2 -> Ilp.Branch_bound.Infeasible
+       | 3 -> Ilp.Branch_bound.Unbounded
+       | 4 -> Ilp.Branch_bound.Limit
+       | _ -> raise Malformed
+     in
+     let obj = float_ () in
+     let nodes = int_ () in
+     let x = match u8 () with 0 -> None | 1 -> Some (arr ()) | _ -> raise Malformed in
+     let n = int_ () in
+     let incumbents = ref [] in
+     for _ = 1 to n do
+       incumbents := arr () :: !incumbents
+     done;
+     (* trailing garbage means the entry is not what we wrote *)
+     if !pos <> len then raise Malformed;
+     {
+       Ilp.Branch_bound.status;
+       x;
+       obj;
+       nodes;
+       incumbents = List.rev !incumbents;
+     })
+  with
+  | sol -> Some sol
+  | exception Malformed -> None
+
+(** Bit-exact structural equality (floats compared by bit pattern, so
+    NaNs and signed zeros count; used by round-trip tests and available
+    to integrity checks). *)
+let equal (a : Ilp.Branch_bound.solution) (b : Ilp.Branch_bound.solution) =
+  let feq x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y) in
+  let arr_eq x y =
+    Array.length x = Array.length y
+    && (let ok = ref true in
+        Array.iteri (fun i v -> if not (feq v y.(i)) then ok := false) x;
+        !ok)
+  in
+  a.Ilp.Branch_bound.status = b.Ilp.Branch_bound.status
+  && feq a.Ilp.Branch_bound.obj b.Ilp.Branch_bound.obj
+  && a.Ilp.Branch_bound.nodes = b.Ilp.Branch_bound.nodes
+  && (match (a.Ilp.Branch_bound.x, b.Ilp.Branch_bound.x) with
+     | None, None -> true
+     | Some x, Some y -> arr_eq x y
+     | _ -> false)
+  && List.length a.Ilp.Branch_bound.incumbents
+     = List.length b.Ilp.Branch_bound.incumbents
+  && List.for_all2 arr_eq a.Ilp.Branch_bound.incumbents
+       b.Ilp.Branch_bound.incumbents

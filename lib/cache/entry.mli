@@ -1,0 +1,21 @@
+(** Binary codec for persistent solve-cache payloads
+    ({!Ilp.Branch_bound.solution}).
+
+    Hand-rolled, compiler-version-stable format: little-endian 64-bit
+    ints, floats as IEEE-754 bit patterns.  Decoding a cached entry must
+    reproduce the solved value {e bit}-exactly, because downstream solves
+    fingerprint the incumbent trail — a single rounded float would change
+    every subsequent cache key. *)
+
+val version : int
+(** Payload format version (independent of the store schema; bumped only
+    if the byte layout changes). *)
+
+val encode : Ilp.Branch_bound.solution -> string
+
+val decode : string -> Ilp.Branch_bound.solution option
+(** Total: truncated, corrupted or trailing-garbage input returns [None],
+    never raises. *)
+
+val equal : Ilp.Branch_bound.solution -> Ilp.Branch_bound.solution -> bool
+(** Bit-exact structural equality (floats by bit pattern). *)

@@ -1,0 +1,373 @@
+(** Persistent, content-addressed solve cache (schema
+    [mpsoc-par/solve-cache/v1]).
+
+    Layout under the cache directory:
+    - [data]: append-only concatenation of {!Entry}-encoded payloads;
+    - [index]: one header line ([schema ocaml=<compiler>]) followed by one
+      line per entry: [key offset length md5(payload) last_used].
+
+    Durability discipline: a single writer appends payloads to [data] and
+    rewrites [index] atomically (temp file + [rename]) after every store,
+    so a crash at any point leaves either the previous index (new payload
+    bytes are unreferenced garbage, reclaimed by the next compaction) or
+    the new one — never a torn index.
+
+    Load-time and read-time validation treat {e every} anomaly as a miss,
+    never an error: a header whose schema or compiler version mismatches
+    invalidates the whole store (counted in [stale]); a malformed index
+    line, an out-of-bounds extent, a checksum mismatch or an undecodable
+    payload drops that entry (counted in [corrupt]).
+
+    Eviction is LRU under a byte cap: when [data] outgrows [max_bytes]
+    the store compacts — most-recently-used entries are rewritten into a
+    fresh data file until the cap is reached, the rest are dropped
+    (counted in [evictions]).
+
+    Concurrency: one mutex serializes all operations; the store is
+    domain-safe within a process.  Cross-process sharing is best-effort —
+    the atomic index rename means a concurrent reader sees a consistent
+    (if stale) view and degrades to misses. *)
+
+let schema = "mpsoc-par/solve-cache/v1"
+
+(* the index header also pins the compiler: the payload codec is
+   version-stable, but keeping runs from different compilers in separate
+   generations costs only a refill and removes a whole class of doubt *)
+let header () = schema ^ " ocaml=" ^ Sys.ocaml_version
+
+let default_max_mb = 512
+
+type counters = {
+  hits : int;  (** lookups answered with a validated payload *)
+  misses : int;  (** lookups that found nothing usable *)
+  evictions : int;  (** entries dropped by the LRU size cap *)
+  corrupt : int;  (** entries dropped by integrity checks *)
+  stale : int;  (** whole-store invalidations (schema/compiler mismatch) *)
+  entries : int;  (** live entries *)
+  bytes : int;  (** size of the data file *)
+}
+
+type ientry = {
+  mutable offset : int;
+  length : int;
+  sum : string;  (** raw 16-byte MD5 of the payload *)
+  mutable last_used : int;  (** LRU clock value of the last touch *)
+}
+
+type t = {
+  dir : string;
+  max_bytes : int;
+  mu : Mutex.t;
+  index : (string, ientry) Hashtbl.t;
+  mutable data_len : int;
+  mutable clock : int;
+  mutable data_oc : out_channel option;  (** the single append writer *)
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable n_evictions : int;
+  mutable n_corrupt : int;
+  mutable n_stale : int;
+}
+
+let index_path t = Filename.concat t.dir "index"
+let data_path t = Filename.concat t.dir "data"
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* ---- trace probes -------------------------------------------------- *)
+
+let probe t what =
+  if Trace.enabled () then begin
+    Trace.instant ~cat:"cache" what;
+    Trace.counter ~cat:"cache" "solve-cache"
+      [
+        ("hits", float_of_int t.n_hits);
+        ("misses", float_of_int t.n_misses);
+        ("evictions", float_of_int t.n_evictions);
+        ("corrupt", float_of_int t.n_corrupt);
+      ]
+  end
+
+(* ---- index persistence --------------------------------------------- *)
+
+(* Atomic rewrite: temp file in the same directory, then rename.  All
+   persistence failures are swallowed — the cache is an accelerator, a
+   full disk must never fail the solve. *)
+let write_index t =
+  try
+    let tmp = index_path t ^ ".tmp" in
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (header ());
+        output_char oc '\n';
+        Hashtbl.iter
+          (fun key (e : ientry) ->
+            Printf.fprintf oc "%s %d %d %s %d\n" key e.offset e.length
+              (Digest.to_hex e.sum) e.last_used)
+          t.index);
+    Sys.rename tmp (index_path t)
+  with _ -> ()
+
+let parse_line line =
+  match String.split_on_char ' ' line with
+  | [ key; off; len; sum; used ] -> (
+      match
+        ( int_of_string_opt off,
+          int_of_string_opt len,
+          int_of_string_opt used )
+      with
+      | Some offset, Some length, Some last_used
+        when offset >= 0 && length > 0 && String.length sum = 32 -> (
+          match Digest.from_hex sum with
+          | sum -> Some (key, { offset; length; sum; last_used })
+          | exception _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let file_size path = try (Unix.stat path).Unix.st_size with _ -> 0
+
+let load t =
+  let ipath = index_path t in
+  if not (Sys.file_exists ipath) then ()
+  else
+    match In_channel.with_open_bin ipath In_channel.input_lines with
+    | exception _ -> t.n_stale <- t.n_stale + 1
+    | [] -> ()
+    | hdr :: lines when String.equal hdr (header ()) ->
+        let dsize = file_size (data_path t) in
+        List.iter
+          (fun line ->
+            if String.length line > 0 then
+              match parse_line line with
+              | Some (key, e) when e.offset + e.length <= dsize ->
+                  Hashtbl.replace t.index key e;
+                  t.clock <- max t.clock e.last_used
+              | Some _ | None -> t.n_corrupt <- t.n_corrupt + 1)
+          lines;
+        t.data_len <- dsize
+    | _hdr :: _ ->
+        (* schema or compiler mismatch: full invalidation.  Drop both
+           files so the new generation starts clean. *)
+        t.n_stale <- t.n_stale + 1;
+        (try Sys.remove ipath with _ -> ());
+        (try Sys.remove (data_path t) with _ -> ())
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ ?(max_mb = default_max_mb) ~dir () =
+  (try mkdir_p dir with _ -> ());
+  if not (try Sys.is_directory dir with _ -> false) then
+    Mpsoc_error.raise_error ~phase:Mpsoc_error.Cli
+      ~kind:Mpsoc_error.Invalid_input ~location:dir
+      ~advice:"pass a writable directory to --cache-dir"
+      (Printf.sprintf "cannot create solve-cache directory %S" dir);
+  let t =
+    {
+      dir;
+      max_bytes = max 1 max_mb * 1024 * 1024;
+      mu = Mutex.create ();
+      index = Hashtbl.create 256;
+      data_len = 0;
+      clock = 0;
+      data_oc = None;
+      n_hits = 0;
+      n_misses = 0;
+      n_evictions = 0;
+      n_corrupt = 0;
+      n_stale = 0;
+    }
+  in
+  load t;
+  t
+
+(* ---- lookup -------------------------------------------------------- *)
+
+let read_payload t (e : ientry) : string option =
+  try
+    In_channel.with_open_bin (data_path t) (fun ic ->
+        In_channel.seek ic (Int64.of_int e.offset);
+        match In_channel.really_input_string ic e.length with
+        | Some s -> Some s
+        | None -> None)
+  with _ -> None
+
+let drop_corrupt t key =
+  Hashtbl.remove t.index key;
+  t.n_corrupt <- t.n_corrupt + 1
+
+let lookup t key : Ilp.Branch_bound.solution option =
+  locked t @@ fun () ->
+  let r =
+    match Hashtbl.find_opt t.index key with
+    | None -> None
+    | Some e -> (
+        match read_payload t e with
+        | None ->
+            drop_corrupt t key;
+            None
+        | Some payload ->
+            if not (String.equal (Digest.string payload) e.sum) then begin
+              drop_corrupt t key;
+              None
+            end
+            else
+              match Entry.decode payload with
+              | None ->
+                  drop_corrupt t key;
+                  None
+              | Some sol ->
+                  t.clock <- t.clock + 1;
+                  e.last_used <- t.clock;
+                  Some sol)
+  in
+  (match r with
+  | Some _ ->
+      t.n_hits <- t.n_hits + 1;
+      probe t "disk.hit"
+  | None ->
+      t.n_misses <- t.n_misses + 1;
+      probe t "disk.miss");
+  r
+
+(* ---- store + eviction ---------------------------------------------- *)
+
+let data_channel t =
+  match t.data_oc with
+  | Some oc -> oc
+  | None ->
+      let oc =
+        open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 (data_path t)
+      in
+      t.data_oc <- Some oc;
+      oc
+
+let close_data t =
+  Option.iter close_out_noerr t.data_oc;
+  t.data_oc <- None
+
+(* Rewrite [data] keeping the most-recently-used entries that fit the
+   cap; everything else is evicted.  Assumes the lock is held. *)
+let compact t =
+  close_data t;
+  let entries =
+    Hashtbl.fold (fun key e acc -> (key, e) :: acc) t.index []
+    |> List.sort (fun (_, a) (_, b) -> compare b.last_used a.last_used)
+  in
+  let total = List.length entries in
+  let kept, _ =
+    List.fold_left
+      (fun (kept, bytes) (key, e) ->
+        if bytes + e.length <= t.max_bytes then ((key, e) :: kept, bytes + e.length)
+        else (kept, bytes))
+      ([], 0) entries
+  in
+  let kept = List.rev kept (* most-recently-used first again *) in
+  t.n_evictions <- t.n_evictions + (total - List.length kept);
+  let tmp = data_path t ^ ".tmp" in
+  (try
+     let oc = open_out_bin tmp in
+     let written =
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () ->
+           List.filter_map
+             (fun (key, e) ->
+               match read_payload t e with
+               | Some payload when String.equal (Digest.string payload) e.sum ->
+                   let offset = pos_out oc in
+                   output_string oc payload;
+                   Some (key, { e with offset })
+               | Some _ | None ->
+                   t.n_corrupt <- t.n_corrupt + 1;
+                   None)
+             kept)
+     in
+     Sys.rename tmp (data_path t);
+     Hashtbl.reset t.index;
+     List.iter (fun (key, e) -> Hashtbl.replace t.index key e) written;
+     t.data_len <- file_size (data_path t)
+   with _ ->
+     (* compaction failed: keep the oversized store rather than lose it *)
+     (try Sys.remove tmp with _ -> ()));
+  probe t "evict";
+  write_index t
+
+let store t key (sol : Ilp.Branch_bound.solution) =
+  locked t @@ fun () ->
+  if not (Hashtbl.mem t.index key) then begin
+    (try
+       let payload = Entry.encode sol in
+       let oc = data_channel t in
+       let offset = t.data_len in
+       output_string oc payload;
+       flush oc;
+       t.data_len <- t.data_len + String.length payload;
+       t.clock <- t.clock + 1;
+       Hashtbl.replace t.index key
+         {
+           offset;
+           length = String.length payload;
+           sum = Digest.string payload;
+           last_used = t.clock;
+         }
+     with _ -> ());
+    if t.data_len > t.max_bytes then compact t else write_index t;
+    probe t "disk.store"
+  end
+
+let flush t = locked t @@ fun () -> write_index t
+
+let close t =
+  locked t @@ fun () ->
+  if t.data_len > t.max_bytes then compact t else write_index t;
+  close_data t
+
+let counters t =
+  locked t @@ fun () ->
+  {
+    hits = t.n_hits;
+    misses = t.n_misses;
+    evictions = t.n_evictions;
+    corrupt = t.n_corrupt;
+    stale = t.n_stale;
+    entries = Hashtbl.length t.index;
+    bytes = t.data_len;
+  }
+
+let hit_rate (c : counters) =
+  let h = float_of_int c.hits and m = float_of_int c.misses in
+  if h +. m = 0. then 0. else h /. (h +. m)
+
+let pp_counters ppf (c : counters) =
+  Fmt.pf ppf
+    "disk cache: %d hits / %d misses (%.0f%%), %d entries (%d KiB), %d \
+     evicted, %d corrupt, %d stale"
+    c.hits c.misses
+    (100. *. hit_rate c)
+    c.entries (c.bytes / 1024) c.evictions c.corrupt c.stale
+
+(* ---- keys and the Memo backing ------------------------------------- *)
+
+(* The in-memory fingerprint already covers the formulation, the solver
+   options (including the work limit) and the warm starts; the salt folds
+   in the store schema and the caller's context — canonically the
+   platform description — so the same structural model solved against a
+   different machine never false-shares an entry. *)
+let entry_key ~salt fingerprint =
+  Digest.to_hex (Digest.string (salt ^ "\x00" ^ fingerprint))
+
+let salt ~context = Digest.string (schema ^ "\x00" ^ context)
+
+let backing t ~salt : Ilp.Memo.backing =
+  {
+    Ilp.Memo.lookup = (fun fp -> lookup t (entry_key ~salt fp));
+    store = (fun fp sol -> store t (entry_key ~salt fp) sol);
+  }

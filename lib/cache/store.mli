@@ -1,0 +1,65 @@
+(** Persistent, content-addressed solve cache.
+
+    On-disk layout (under the cache directory): an append-only [data]
+    file of {!Entry}-encoded payloads and a text [index] whose header
+    pins the store schema and compiler version.  The index is rewritten
+    atomically (temp file + rename) by the single writer; every read
+    validates extent bounds and an MD5 checksum, and any anomaly —
+    truncated file, flipped bit, unknown schema — degrades to a cache
+    miss with a counter, never an error or a wrong answer.  Eviction is
+    LRU under a byte cap, applied by compacting the data file. *)
+
+val schema : string
+(** ["mpsoc-par/solve-cache/v1"].  Bumping it invalidates every existing
+    store on first open. *)
+
+val default_max_mb : int
+
+type counters = {
+  hits : int;  (** lookups answered with a validated payload *)
+  misses : int;  (** lookups that found nothing usable *)
+  evictions : int;  (** entries dropped by the LRU size cap *)
+  corrupt : int;  (** entries dropped by integrity checks *)
+  stale : int;  (** whole-store invalidations (schema/compiler mismatch) *)
+  entries : int;  (** live entries *)
+  bytes : int;  (** size of the data file *)
+}
+
+type t
+
+val open_ : ?max_mb:int -> dir:string -> unit -> t
+(** Open (creating if needed) the store rooted at [dir].  Loads and
+    validates the index; a schema or compiler mismatch drops the old
+    generation (counted in [stale]).  Raises {!Mpsoc_error.Error}
+    ([Cli]/[Invalid_input]) only when [dir] cannot be created — file
+    corruption never raises. *)
+
+val lookup : t -> string -> Ilp.Branch_bound.solution option
+(** Checksum-validated, decode-validated read; [None] on any anomaly
+    (the offending entry is dropped and counted in [corrupt]). *)
+
+val store : t -> string -> Ilp.Branch_bound.solution -> unit
+(** Append the payload and persist the index.  Idempotent per key; all
+    IO failures are swallowed (the cache is an accelerator).  Triggers
+    LRU compaction when the data file exceeds the cap. *)
+
+val flush : t -> unit
+val close : t -> unit
+
+val counters : t -> counters
+val hit_rate : counters -> float
+val pp_counters : Format.formatter -> counters -> unit
+
+val salt : context:string -> string
+(** Derive the key salt from the store schema and a caller context
+    string (canonically the platform description), so structurally
+    identical models solved for different machines never share an
+    entry. *)
+
+val entry_key : salt:string -> string -> string
+(** [entry_key ~salt fingerprint] — the on-disk key for an in-memory
+    {!Ilp.Memo.fingerprint}. *)
+
+val backing : t -> salt:string -> Ilp.Memo.backing
+(** Adapt the store into the disk tier consulted by
+    {!Ilp.Memo.create}. *)

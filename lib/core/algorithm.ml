@@ -28,6 +28,8 @@ type result = {
   sets : (int, Solution.set) Hashtbl.t;  (** per AHTG node id *)
   stats : Ilp.Stats.t;
   wall_time_s : float;
+  disk_cache : Cache.Store.counters option;
+      (** persistent-cache traffic of this run ([None] without a store) *)
 }
 
 (** Sequential candidate of [node] on class [cls]: children (if any) use
@@ -57,11 +59,36 @@ type sweep_kind = Ilppar | Split | Pipe
 
 let kind_str = function Ilppar -> "ilppar" | Split -> "split" | Pipe -> "pipe"
 
-let parallelize ?(cfg = Config.default) ?stats ?pool (pf : Platform.Desc.t)
-    (root_node : Htg.Node.t) : result =
+let parallelize ?(cfg = Config.default) ?stats ?pool ?store
+    (pf : Platform.Desc.t) (root_node : Htg.Node.t) : result =
   let t0 = Ilp.Clock.now_s () in
   let stats = match stats with Some s -> s | None -> Ilp.Stats.create () in
-  let cache = if cfg.Config.solve_cache then Some (Ilp.Memo.create ()) else None in
+  (* persistent tier: a caller-supplied store is shared (batch mode),
+     otherwise [cfg.cache_dir] makes this run open and close its own *)
+  let owned_store, store =
+    match store with
+    | Some s -> (None, Some s)
+    | None -> (
+        match cfg.Config.cache_dir with
+        | Some dir when cfg.Config.solve_cache ->
+            let s = Cache.Store.open_ ~max_mb:cfg.Config.cache_max_mb ~dir () in
+            (Some s, Some s)
+        | Some _ | None -> (None, None))
+  in
+  (* the salt keys entries by platform (the formulation's structural
+     fingerprint does not name the machine, but its coefficients come
+     from it — salting makes the separation explicit and collision-proof) *)
+  let backing =
+    Option.map
+      (fun s ->
+        Cache.Store.backing s
+          ~salt:(Cache.Store.salt ~context:(Platform.Desc.show pf)))
+      store
+  in
+  let cache =
+    if cfg.Config.solve_cache then Some (Ilp.Memo.create ?backing ())
+    else None
+  in
   let jobs =
     if cfg.Config.jobs = 0 then Domain.recommended_domain_count ()
     else max 1 cfg.Config.jobs
@@ -269,12 +296,16 @@ let parallelize ?(cfg = Config.default) ?stats ?pool (pf : Platform.Desc.t)
   in
   let root_set =
     Fun.protect
-      ~finally:(fun () -> Option.iter Taskpool.Pool.shutdown owned_pool)
+      ~finally:(fun () ->
+        Option.iter Taskpool.Pool.shutdown owned_pool;
+        (* closing persists the index; counters stay readable after *)
+        Option.iter Cache.Store.close owned_store)
       (fun () ->
         match pool with
         | Some p -> Taskpool.Pool.run p (fun () -> go root_node)
         | None -> go root_node)
   in
+  let disk_cache = Option.map Cache.Store.counters store in
   (* the application's sequential context runs on the platform's main
      class; implement the best candidate tagged with it (Algorithm 1 l.4) *)
   let main_cls = pf.Platform.Desc.main_class in
@@ -286,4 +317,4 @@ let parallelize ?(cfg = Config.default) ?stats ?pool (pf : Platform.Desc.t)
           (fun acc s -> if s.Solution.time_us < acc.Solution.time_us then s else acc)
           x rest
   in
-  { root_set; root; sets; stats; wall_time_s = Ilp.Clock.now_s () -. t0 }
+  { root_set; root; sets; stats; wall_time_s = Ilp.Clock.now_s () -. t0; disk_cache }

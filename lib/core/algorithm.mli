@@ -14,6 +14,8 @@ type result = {
   sets : (int, Solution.set) Hashtbl.t;  (** per AHTG node id *)
   stats : Ilp.Stats.t;
   wall_time_s : float;
+  disk_cache : Cache.Store.counters option;
+      (** persistent-cache traffic of this run ([None] without a store) *)
 }
 
 (** Sequential candidate of a node on a class (children, if any, use their
@@ -32,11 +34,14 @@ val seq_candidate :
     down its own.  Chosen solutions (and their [time_us]) are
     bit-identical at any [jobs] value; see the implementation notes on
     why.  [cfg.solve_cache] memoizes structurally identical ILPs within
-    the run. *)
+    the run; [store] (or [cfg.cache_dir], which opens a run-private one)
+    adds the persistent cross-run tier under the same single-flight memo,
+    so a warm run answers every solve from disk, bit-identically. *)
 val parallelize :
   ?cfg:Config.t ->
   ?stats:Ilp.Stats.t ->
   ?pool:Taskpool.Pool.t ->
+  ?store:Cache.Store.t ->
   Platform.Desc.t ->
   Htg.Node.t ->
   result

@@ -69,6 +69,15 @@ type t = {
           stdout) *)
   profile : bool;
       (** print the human per-phase/solver profile table ([--profile]) *)
+  cache_dir : string option;
+      (** root of the persistent cross-run solve cache ([--cache-dir]).
+          [None] (the default) keeps the cache purely in-memory.  Warm
+          runs answer every structural solve from disk — bit-identical
+          to cold runs — and skip ILPPAR entirely *)
+  cache_max_mb : int;
+      (** LRU size cap of the persistent cache's data file in MiB
+          ([--cache-max-mb]); least-recently-used entries are evicted by
+          compaction once the cap is exceeded *)
 }
 
 let default =
@@ -91,6 +100,8 @@ let default =
     trace_file = None;
     metrics_file = None;
     profile = false;
+    cache_dir = None;
+    cache_max_mb = 512;
   }
 
 (** Faster, slightly less exhaustive settings for unit tests. *)

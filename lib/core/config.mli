@@ -51,6 +51,11 @@ type t = {
       (** unified metrics JSON destination ([--metrics]; ["-"] = stdout) *)
   profile : bool;
       (** print the human per-phase/solver profile table ([--profile]) *)
+  cache_dir : string option;
+      (** root of the persistent cross-run solve cache ([--cache-dir]);
+          [None] (the default) keeps the cache purely in-memory *)
+  cache_max_mb : int;
+      (** LRU size cap of the persistent cache in MiB ([--cache-max-mb]) *)
 }
 
 val default : t

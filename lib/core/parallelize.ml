@@ -24,8 +24,10 @@ type outcome = {
 }
 
 (** Parallelize an already-compiled (inlined) program.  [profile] lets
-    callers reuse one profiling run across platforms and approaches. *)
-let run_program ?(cfg = Config.default) ?profile ~approach
+    callers reuse one profiling run across platforms and approaches;
+    [pool] and [store] likewise share a taskpool and persistent solve
+    cache across many invocations (batch mode). *)
+let run_program ?(cfg = Config.default) ?profile ?pool ?store ~approach
     ~(platform : Platform.Desc.t) (prog : Minic.Ast.program) : outcome =
   let profile =
     match profile with
@@ -46,7 +48,7 @@ let run_program ?(cfg = Config.default) ?profile ~approach
   in
   let algo =
     Trace.span ~cat:"phase" "parallelize" (fun () ->
-        Algorithm.parallelize ~cfg view htg)
+        Algorithm.parallelize ~cfg ?pool ?store view htg)
   in
   let mode =
     match approach with
@@ -61,8 +63,8 @@ let run_program ?(cfg = Config.default) ?profile ~approach
   { approach; platform; htg; algo; program; seq_program; profile }
 
 (** Parallelize from source text. *)
-let run ?cfg ~approach ~platform (src : string) : outcome =
-  run_program ?cfg ~approach ~platform
+let run ?cfg ?pool ?store ~approach ~platform (src : string) : outcome =
+  run_program ?cfg ?pool ?store ~approach ~platform
     (Trace.span ~cat:"phase" "frontend" (fun () -> Minic.Frontend.compile src))
 
 (* ---- Result-threaded pipeline -------------------------------------- *)
@@ -94,8 +96,8 @@ let wrap phase f =
 
 let ( let* ) = Result.bind
 
-let run_program_result ?(cfg = Config.default) ?profile ~approach
-    ~(platform : Platform.Desc.t) (prog : Minic.Ast.program) :
+let run_program_result ?(cfg = Config.default) ?profile ?pool ?store
+    ~approach ~(platform : Platform.Desc.t) (prog : Minic.Ast.program) :
     (outcome, Mpsoc_error.t) result =
   let* profile =
     match profile with
@@ -119,7 +121,7 @@ let run_program_result ?(cfg = Config.default) ?profile ~approach
   let* algo =
     wrap Mpsoc_error.Parallelize (fun () ->
         Trace.span ~cat:"phase" "parallelize" (fun () ->
-            Algorithm.parallelize ~cfg view htg))
+            Algorithm.parallelize ~cfg ?pool ?store view htg))
   in
   let mode =
     match approach with
@@ -134,13 +136,13 @@ let run_program_result ?(cfg = Config.default) ?profile ~approach
   in
   Ok { approach; platform; htg; algo; program; seq_program; profile }
 
-let run_result ?cfg ~approach ~platform (src : string) :
+let run_result ?cfg ?pool ?store ~approach ~platform (src : string) :
     (outcome, Mpsoc_error.t) result =
   let* prog =
     wrap Mpsoc_error.Frontend (fun () ->
         Trace.span ~cat:"phase" "frontend" (fun () -> Minic.Frontend.compile src))
   in
-  run_program_result ?cfg ~approach ~platform prog
+  run_program_result ?cfg ?pool ?store ~approach ~platform prog
 
 (** Simulated speedup of the outcome over sequential execution on the
     platform's main core. *)

@@ -22,10 +22,14 @@ type outcome = {
 }
 
 (** Parallelize an already-compiled (inlined) program; [profile] lets
-    callers reuse one profiling run across platforms and approaches. *)
+    callers reuse one profiling run across platforms and approaches, and
+    [pool]/[store] likewise share a taskpool and a persistent solve cache
+    across many invocations (batch mode). *)
 val run_program :
   ?cfg:Config.t ->
   ?profile:Interp.Profile.t ->
+  ?pool:Taskpool.Pool.t ->
+  ?store:Cache.Store.t ->
   approach:approach ->
   platform:Platform.Desc.t ->
   Minic.Ast.program ->
@@ -34,6 +38,8 @@ val run_program :
 (** Parallelize from source text. *)
 val run :
   ?cfg:Config.t ->
+  ?pool:Taskpool.Pool.t ->
+  ?store:Cache.Store.t ->
   approach:approach ->
   platform:Platform.Desc.t ->
   string ->
@@ -49,6 +55,8 @@ val run :
 val run_program_result :
   ?cfg:Config.t ->
   ?profile:Interp.Profile.t ->
+  ?pool:Taskpool.Pool.t ->
+  ?store:Cache.Store.t ->
   approach:approach ->
   platform:Platform.Desc.t ->
   Minic.Ast.program ->
@@ -56,6 +64,8 @@ val run_program_result :
 
 val run_result :
   ?cfg:Config.t ->
+  ?pool:Taskpool.Pool.t ->
+  ?store:Cache.Store.t ->
   approach:approach ->
   platform:Platform.Desc.t ->
   string ->

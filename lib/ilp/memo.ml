@@ -19,20 +19,29 @@
 
 type entry = Inflight | Done of Branch_bound.solution
 
+type backing = {
+  lookup : string -> Branch_bound.solution option;
+  store : string -> Branch_bound.solution -> unit;
+}
+
 type t = {
   mu : Mutex.t;
   cond : Condition.t;
   tbl : (string, entry) Hashtbl.t;
+  backing : backing option;
   hits : int Atomic.t;
+  disk_hits : int Atomic.t;
   misses : int Atomic.t;
 }
 
-let create () =
+let create ?backing () =
   {
     mu = Mutex.create ();
     cond = Condition.create ();
     tbl = Hashtbl.create 256;
+    backing;
     hits = Atomic.make 0;
+    disk_hits = Atomic.make 0;
     misses = Atomic.make 0;
   }
 
@@ -103,6 +112,12 @@ let fingerprint ?(options = Branch_bound.default_options) ?warm_start
 
 (* ---- lookup protocol ---- *)
 
+let publish c key sol =
+  Mutex.lock c.mu;
+  Hashtbl.replace c.tbl key (Done sol);
+  Condition.broadcast c.cond;
+  Mutex.unlock c.mu
+
 let find_or_reserve c key =
   Mutex.lock c.mu;
   let rec loop () =
@@ -117,22 +132,41 @@ let find_or_reserve c key =
   in
   let r = loop () in
   Mutex.unlock c.mu;
+  (* Consult the disk tier only after winning the reservation, outside
+     the lock: the Inflight marker makes concurrent requesters wait, so
+     each key touches the disk at most once per run.  Any backing failure
+     degrades to a miss (the caller just solves). *)
+  let r =
+    match (r, c.backing) with
+    | `Reserved, Some bk -> (
+        match (try bk.lookup key with _ -> None) with
+        | Some sol ->
+            publish c key sol;
+            `Disk_hit sol
+        | None -> `Reserved)
+    | (`Hit _ | `Reserved), _ -> r
+  in
   (match r with
   | `Hit _ -> Atomic.incr c.hits
+  | `Disk_hit _ -> Atomic.incr c.disk_hits
   | `Reserved -> Atomic.incr c.misses);
   if Trace.enabled () then
     Trace.counter ~cat:"ilp" "memo"
       [
         ("hits", float_of_int (Atomic.get c.hits));
+        ("disk_hits", float_of_int (Atomic.get c.disk_hits));
         ("misses", float_of_int (Atomic.get c.misses));
       ];
-  r
+  match r with
+  | `Disk_hit sol -> `Hit sol
+  | (`Hit _ | `Reserved) as r -> r
 
 let fill c key sol =
-  Mutex.lock c.mu;
-  Hashtbl.replace c.tbl key (Done sol);
-  Condition.broadcast c.cond;
-  Mutex.unlock c.mu
+  publish c key sol;
+  (* Write-through after publishing, so waiters wake before disk IO. *)
+  match c.backing with
+  | Some bk -> ( try bk.store key sol with _ -> ())
+  | None -> ()
 
 let cancel c key =
   Mutex.lock c.mu;
@@ -141,6 +175,7 @@ let cancel c key =
   Mutex.unlock c.mu
 
 let hits c = Atomic.get c.hits
+let disk_hits c = Atomic.get c.disk_hits
 let misses c = Atomic.get c.misses
 
 let hit_rate c =

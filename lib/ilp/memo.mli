@@ -18,7 +18,17 @@
 
 type t
 
-val create : unit -> t
+(** Optional second tier consulted on an in-memory miss (e.g. a
+    persistent on-disk store).  [lookup] runs while the requester holds
+    the single-flight reservation, so each key touches the tier at most
+    once per run; [store] is called write-through after {!fill}
+    publishes.  Both may raise — failures degrade to misses. *)
+type backing = {
+  lookup : string -> Branch_bound.solution option;
+  store : string -> Branch_bound.solution -> unit;
+}
+
+val create : ?backing:backing -> unit -> t
 
 (** Canonical structural fingerprint of a solve request. *)
 val fingerprint :
@@ -41,9 +51,13 @@ val fill : t -> string -> Branch_bound.solution -> unit
 (** Drop a reserved fingerprint (the solve failed); waiters retry. *)
 val cancel : t -> string -> unit
 
-(** Lookups answered from the cache (including waits on in-flight
-    solves). *)
+(** Lookups answered from the in-memory table (including waits on
+    in-flight solves). *)
 val hits : t -> int
+
+(** Lookups answered by the {!backing} tier (counted separately from
+    in-memory [hits]; also excluded from [misses]). *)
+val disk_hits : t -> int
 
 (** Lookups that had to solve. *)
 val misses : t -> int

@@ -89,6 +89,20 @@ let runtime_json (s : Runtime.Metrics.snapshot) : J.t =
       ("worker_steals", int_arr s.Runtime.Metrics.worker_steals);
     ]
 
+let cache_json (c : Cache.Store.counters) : J.t =
+  J.Obj
+    [
+      ("schema", J.Str Cache.Store.schema);
+      ("hits", num c.Cache.Store.hits);
+      ("misses", num c.Cache.Store.misses);
+      ("hit_rate", J.Num (Cache.Store.hit_rate c));
+      ("evictions", num c.Cache.Store.evictions);
+      ("corrupt", num c.Cache.Store.corrupt);
+      ("stale", num c.Cache.Store.stale);
+      ("entries", num c.Cache.Store.entries);
+      ("bytes", num c.Cache.Store.bytes);
+    ]
+
 let phases_json (phases : (string * float) list) : J.t =
   J.Obj (List.map (fun (n, s) -> (n, J.Num s)) phases)
 
@@ -97,14 +111,15 @@ let phases_of_events events = Trace.span_totals ~cat:"phase" events
 
 (** The unified document.  [stats] is required — solver totals are the
     one section every flow has; the rest attaches when available. *)
-let metrics_doc ~generated_by ?phases ?runtime ?wall_s (stats : Ilp.Stats.t) :
-    J.t =
+let metrics_doc ~generated_by ?phases ?runtime ?cache ?wall_s
+    (stats : Ilp.Stats.t) : J.t =
   let opt name v f = match v with None -> [] | Some x -> [ (name, f x) ] in
   J.Obj
     ([ ("schema", J.Str schema); ("generated_by", J.Str generated_by) ]
     @ run_metadata ()
     @ opt "wall_s" wall_s (fun w -> J.Num w)
     @ [ ("solver", solver_json stats) ]
+    @ opt "cache" cache cache_json
     @ opt "phases" phases phases_json
     @ opt "runtime" runtime runtime_json)
 

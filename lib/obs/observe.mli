@@ -14,6 +14,9 @@ val solver_json : Ilp.Stats.t -> Trace_json.t
 
 val runtime_json : Runtime.Metrics.snapshot -> Trace_json.t
 
+val cache_json : Cache.Store.counters -> Trace_json.t
+(** Persistent solve-cache counters (the document's ["cache"] section). *)
+
 val phases_of_events : Trace.event list -> (string * float) list
 (** Per-phase wall seconds (category ["phase"] spans). *)
 
@@ -21,6 +24,7 @@ val metrics_doc :
   generated_by:string ->
   ?phases:(string * float) list ->
   ?runtime:Runtime.Metrics.snapshot ->
+  ?cache:Cache.Store.counters ->
   ?wall_s:float ->
   Ilp.Stats.t ->
   Trace_json.t

@@ -1,0 +1,368 @@
+(* Tests for the persistent cross-run solve cache: the entry codec
+   (round-trip, totality on garbage), the on-disk store (integrity
+   degradation, schema invalidation, LRU eviction), key salting, the
+   Memo backing hook, and the end-to-end contract — a warm run answers
+   every solve from disk and its chosen solutions are byte-identical to
+   the cold run's. *)
+
+let sol ?(status = Ilp.Branch_bound.Optimal) ?x ?(obj = 7.5) ?(nodes = 42)
+    ?(incumbents = []) () : Ilp.Branch_bound.solution =
+  { Ilp.Branch_bound.status; x; obj; nodes; incumbents }
+
+(* ------------------------------------------------------------------ *)
+(* Entry codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_entry_roundtrip_hand () =
+  let cases =
+    [
+      sol ();
+      sol ~status:Ilp.Branch_bound.Infeasible ~obj:infinity ~nodes:0 ();
+      sol ~x:[||] ~obj:(-0.) ();
+      sol
+        ~x:[| 1.; 0.; 0.5; -3.25 |]
+        ~incumbents:[ [| 1.; 1.; 0.; 0. |]; [| 1.; 0.; 0.5; -3.25 |] ]
+        ~status:Ilp.Branch_bound.Limit ();
+      sol ~obj:nan ~x:[| nan; neg_infinity |] ();
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Cache.Entry.decode (Cache.Entry.encode s) with
+      | None -> Alcotest.fail "decode of a fresh encode returned None"
+      | Some s' ->
+          Alcotest.(check bool)
+            "round-trip is bit-exact" true (Cache.Entry.equal s s'))
+    cases
+
+let test_entry_roundtrip_qcheck () =
+  let open QCheck in
+  let float_bits =
+    (* spans normals, subnormals, infinities, NaNs, signed zeros *)
+    Gen.map Int64.float_of_bits Gen.int64
+  in
+  let gen_sol =
+    Gen.(
+      let* status = oneofl Ilp.Branch_bound.[ Optimal; Feasible; Infeasible; Unbounded; Limit ] in
+      let* obj = float_bits in
+      let* nodes = int_bound 1_000_000 in
+      let* x = option (array_size (int_bound 12) float_bits) in
+      let* incumbents = list_size (int_bound 4) (array_size (int_bound 12) float_bits) in
+      return (sol ~status ?x ~obj ~nodes ~incumbents ()))
+  in
+  let arb = make gen_sol in
+  let prop s =
+    match Cache.Entry.decode (Cache.Entry.encode s) with
+    | None -> false
+    | Some s' -> Cache.Entry.equal s s'
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:500 ~name:"entry codec round-trips bit-exactly"
+       arb prop)
+
+let test_entry_decode_total () =
+  let payload = Cache.Entry.encode (sol ~x:[| 1.; 2.; 3. |] ()) in
+  (* every truncation is a miss, never an exception *)
+  for n = 0 to String.length payload - 1 do
+    match Cache.Entry.decode (String.sub payload 0 n) with
+    | Some _ -> Alcotest.failf "truncation to %d bytes decoded" n
+    | None -> ()
+  done;
+  (* trailing garbage is rejected too (the entry is not what we wrote) *)
+  Alcotest.(check bool)
+    "trailing garbage rejected" true
+    (Cache.Entry.decode (payload ^ "x") = None);
+  (* a flipped version byte is rejected *)
+  let b = Bytes.of_string payload in
+  Bytes.set b 0 '\xff';
+  Alcotest.(check bool)
+    "bad version rejected" true
+    (Cache.Entry.decode (Bytes.to_string b) = None);
+  (* absurd array length claims must not allocate or crash *)
+  let huge = Bytes.make 18 '\xff' in
+  Bytes.set huge 0 '\001' (* version *);
+  Bytes.set huge 1 '\000' (* status Optimal *);
+  Alcotest.(check bool)
+    "absurd lengths rejected" true
+    (Cache.Entry.decode (Bytes.to_string huge) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let with_tmp_dir f =
+  let dir = Filename.temp_dir "mpsoc-cache-test" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun n -> try Sys.remove (Filename.concat dir n) with _ -> ())
+          (Sys.readdir dir);
+        try Sys.rmdir dir with _ -> ()
+      end)
+    (fun () -> f dir)
+
+let test_store_roundtrip_across_open () =
+  with_tmp_dir @@ fun dir ->
+  let s = sol ~x:[| 1.; 0.; 1. |] ~incumbents:[ [| 1.; 0.; 0. |] ] () in
+  let st = Cache.Store.open_ ~dir () in
+  Cache.Store.store st "key-a" s;
+  Cache.Store.close st;
+  let st = Cache.Store.open_ ~dir () in
+  (match Cache.Store.lookup st "key-a" with
+  | None -> Alcotest.fail "persisted entry not found after reopen"
+  | Some s' ->
+      Alcotest.(check bool) "persisted bit-exactly" true (Cache.Entry.equal s s'));
+  Alcotest.(check bool)
+    "unknown key misses" true
+    (Cache.Store.lookup st "key-b" = None);
+  let c = Cache.Store.counters st in
+  Alcotest.(check int) "one hit" 1 c.Cache.Store.hits;
+  Alcotest.(check int) "one miss" 1 c.Cache.Store.misses;
+  Cache.Store.close st
+
+let test_store_corruption_degrades () =
+  with_tmp_dir @@ fun dir ->
+  let st = Cache.Store.open_ ~dir () in
+  Cache.Store.store st "k" (sol ~x:[| 2.; 3.; 4. |] ());
+  Cache.Store.close st;
+  (* flip bits in the middle of the data file *)
+  let data = Filename.concat dir "data" in
+  let fd = Unix.openfile data [ Unix.O_WRONLY ] 0 in
+  ignore (Unix.lseek fd 12 Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.make 4 '\xff') 0 4);
+  Unix.close fd;
+  let st = Cache.Store.open_ ~dir () in
+  Alcotest.(check bool)
+    "bit-flipped entry is a miss" true
+    (Cache.Store.lookup st "k" = None);
+  let c = Cache.Store.counters st in
+  Alcotest.(check int) "corruption counted" 1 c.Cache.Store.corrupt;
+  Alcotest.(check int) "no hit" 0 c.Cache.Store.hits;
+  Cache.Store.close st;
+  (* truncation likewise: the extent check drops the entry at load *)
+  let st = Cache.Store.open_ ~dir () in
+  Cache.Store.store st "k2" (sol ~x:(Array.make 64 1.5) ());
+  Cache.Store.close st;
+  let fd = Unix.openfile data [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd 10;
+  Unix.close fd;
+  let st = Cache.Store.open_ ~dir () in
+  Alcotest.(check bool)
+    "truncated entry is a miss" true
+    (Cache.Store.lookup st "k2" = None);
+  Cache.Store.close st
+
+let test_store_schema_invalidation () =
+  with_tmp_dir @@ fun dir ->
+  let st = Cache.Store.open_ ~dir () in
+  Cache.Store.store st "k" (sol ());
+  Cache.Store.close st;
+  (* bump the schema in the index header: the whole generation is stale *)
+  let index = Filename.concat dir "index" in
+  let lines = In_channel.with_open_bin index In_channel.input_lines in
+  let patched =
+    match lines with
+    | _hdr :: rest ->
+        String.concat "\n"
+          (("mpsoc-par/solve-cache/v0 ocaml=" ^ Sys.ocaml_version) :: rest)
+        ^ "\n"
+    | [] -> Alcotest.fail "empty index"
+  in
+  Out_channel.with_open_bin index (fun oc -> Out_channel.output_string oc patched);
+  let st = Cache.Store.open_ ~dir () in
+  let c = Cache.Store.counters st in
+  Alcotest.(check int) "stale counted" 1 c.Cache.Store.stale;
+  Alcotest.(check int) "no entries survive" 0 c.Cache.Store.entries;
+  Alcotest.(check bool) "old key misses" true (Cache.Store.lookup st "k" = None);
+  Cache.Store.close st
+
+let test_store_eviction_cap () =
+  with_tmp_dir @@ fun dir ->
+  (* ~176 KiB per entry; 10 of them overflow a 1 MiB cap *)
+  let big i = sol ~x:(Array.make 22_000 (float_of_int i)) () in
+  let st = Cache.Store.open_ ~max_mb:1 ~dir () in
+  for i = 1 to 10 do
+    Cache.Store.store st (Printf.sprintf "k%02d" i) (big i)
+  done;
+  Cache.Store.close st;
+  let st = Cache.Store.open_ ~dir () in
+  let c = Cache.Store.counters st in
+  Alcotest.(check bool)
+    (Printf.sprintf "data file under the cap (%d bytes)" c.Cache.Store.bytes)
+    true
+    (c.Cache.Store.bytes <= 1024 * 1024);
+  Alcotest.(check bool)
+    "some entries survive" true
+    (c.Cache.Store.entries > 0);
+  Alcotest.(check bool)
+    "some entries were evicted" true
+    (c.Cache.Store.entries < 10);
+  (* LRU: the most recently stored entry survives, the first is gone *)
+  (match Cache.Store.lookup st "k10" with
+  | Some s -> Alcotest.(check bool) "MRU intact" true (Cache.Entry.equal s (big 10))
+  | None -> Alcotest.fail "most-recently-used entry was evicted");
+  Alcotest.(check bool)
+    "LRU entry evicted" true
+    (Cache.Store.lookup st "k01" = None);
+  Cache.Store.close st
+
+let test_key_salting () =
+  (* same fingerprint, different platform context -> different disk keys *)
+  let fp = String.make 16 'f' in
+  let salt_a =
+    Cache.Store.salt
+      ~context:(Platform.Desc.show Platform.Presets.platform_a_accel)
+  in
+  let salt_b =
+    Cache.Store.salt
+      ~context:(Platform.Desc.show Platform.Presets.platform_b_slow)
+  in
+  Alcotest.(check bool)
+    "platforms separate the keyspace" false
+    (String.equal
+       (Cache.Store.entry_key ~salt:salt_a fp)
+       (Cache.Store.entry_key ~salt:salt_b fp));
+  Alcotest.(check bool)
+    "same context derives the same key" true
+    (String.equal
+       (Cache.Store.entry_key ~salt:salt_a fp)
+       (Cache.Store.entry_key
+          ~salt:
+            (Cache.Store.salt
+               ~context:(Platform.Desc.show Platform.Presets.platform_a_accel))
+          fp))
+
+(* ------------------------------------------------------------------ *)
+(* Memo backing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_memo_backing () =
+  let disk : (string, Ilp.Branch_bound.solution) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let backing =
+    {
+      Ilp.Memo.lookup = Hashtbl.find_opt disk;
+      store = Hashtbl.replace disk;
+    }
+  in
+  let m = Ilp.Memo.create ~backing () in
+  let s = sol ~x:[| 1. |] () in
+  (* miss everywhere -> reserved; fill writes through to the backing *)
+  (match Ilp.Memo.find_or_reserve m "fp1" with
+  | `Hit _ -> Alcotest.fail "empty tiers produced a hit"
+  | `Reserved -> Ilp.Memo.fill m "fp1" s);
+  Alcotest.(check bool) "write-through" true (Hashtbl.mem disk "fp1");
+  (* a fresh memo over the same backing answers from disk *)
+  let m2 = Ilp.Memo.create ~backing () in
+  (match Ilp.Memo.find_or_reserve m2 "fp1" with
+  | `Hit s' ->
+      Alcotest.(check bool) "disk tier answers" true (Cache.Entry.equal s s')
+  | `Reserved -> Alcotest.fail "backing was not consulted");
+  Alcotest.(check int) "counted as disk hit" 1 (Ilp.Memo.disk_hits m2);
+  Alcotest.(check int) "not counted as memory hit" 0 (Ilp.Memo.hits m2);
+  Alcotest.(check int) "not counted as miss" 0 (Ilp.Memo.misses m2);
+  (* and the second lookup of the same key hits in memory *)
+  (match Ilp.Memo.find_or_reserve m2 "fp1" with
+  | `Hit _ -> ()
+  | `Reserved -> Alcotest.fail "published disk hit did not stick");
+  Alcotest.(check int) "memory hit after publish" 1 (Ilp.Memo.hits m2);
+  (* a raising backing degrades to a plain miss *)
+  let m3 =
+    Ilp.Memo.create
+      ~backing:
+        { Ilp.Memo.lookup = (fun _ -> failwith "io"); store = (fun _ _ -> ()) }
+      ()
+  in
+  (match Ilp.Memo.find_or_reserve m3 "fp1" with
+  | `Hit _ -> Alcotest.fail "raising backing produced a hit"
+  | `Reserved -> Ilp.Memo.cancel m3 "fp1");
+  Alcotest.(check int) "raising backing is a miss" 1 (Ilp.Memo.misses m3)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: warm runs are byte-identical and solve nothing          *)
+(* ------------------------------------------------------------------ *)
+
+(* chaos-suite-sized budgets keep a full pipeline run quick *)
+let quick_cfg dir =
+  {
+    Parcore.Config.fast with
+    Parcore.Config.jobs = 1;
+    ilp_work_limit = 2e5;
+    ilp_node_limit = 2_000;
+    cache_dir = Some dir;
+  }
+
+let algo_bytes (algo : Parcore.Algorithm.result) =
+  let sets =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) algo.Parcore.Algorithm.sets []
+    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+  in
+  Marshal.to_string
+    (algo.Parcore.Algorithm.root, algo.Parcore.Algorithm.root_set, sets)
+    []
+
+let source name =
+  match Benchsuite.Suite.find name with
+  | Some b -> b.Benchsuite.Suite.source
+  | None -> Alcotest.failf "unknown suite benchmark %s" name
+
+let run_once cfg pf src =
+  Parcore.Parallelize.run ~cfg ~approach:Parcore.Parallelize.Heterogeneous
+    ~platform:pf src
+
+let check_warm_cold name pf =
+  with_tmp_dir @@ fun dir ->
+  let cfg = quick_cfg dir in
+  let src = source name in
+  let cold = run_once cfg pf src in
+  let warm = run_once cfg pf src in
+  Alcotest.(check string)
+    (name ^ ": warm solutions byte-identical to cold")
+    (Digest.to_hex (Digest.string (algo_bytes cold.Parcore.Parallelize.algo)))
+    (Digest.to_hex (Digest.string (algo_bytes warm.Parcore.Parallelize.algo)));
+  let warm_stats = warm.Parcore.Parallelize.algo.Parcore.Algorithm.stats in
+  Alcotest.(check int)
+    (name ^ ": warm run solves no fresh ILPs")
+    0 warm_stats.Ilp.Stats.ilps;
+  match warm.Parcore.Parallelize.algo.Parcore.Algorithm.disk_cache with
+  | None -> Alcotest.fail "no disk-cache counters on a cached run"
+  | Some c ->
+      Alcotest.(check int) (name ^ ": warm run all hits") 0 c.Cache.Store.misses;
+      Alcotest.(check bool)
+        (name ^ ": warm run hit something") true (c.Cache.Store.hits > 0)
+
+let test_warm_cold_quick () =
+  check_warm_cold "mult_10" Platform.Presets.platform_a_accel
+
+let test_warm_cold_matrix () =
+  List.iter
+    (fun name ->
+      List.iter
+        (fun pf -> check_warm_cold name pf)
+        [ Platform.Presets.platform_a_accel; Platform.Presets.platform_b_slow ])
+    [ "mult_10"; "compress"; "boundary_value" ]
+
+let suite =
+  [
+    Alcotest.test_case "entry: hand-picked round-trips" `Quick
+      test_entry_roundtrip_hand;
+    Alcotest.test_case "entry: qcheck round-trip" `Quick
+      test_entry_roundtrip_qcheck;
+    Alcotest.test_case "entry: decode is total" `Quick test_entry_decode_total;
+    Alcotest.test_case "store: round-trip across open" `Quick
+      test_store_roundtrip_across_open;
+    Alcotest.test_case "store: corruption degrades to miss" `Quick
+      test_store_corruption_degrades;
+    Alcotest.test_case "store: schema bump invalidates" `Quick
+      test_store_schema_invalidation;
+    Alcotest.test_case "store: eviction respects the cap" `Quick
+      test_store_eviction_cap;
+    Alcotest.test_case "keys: platform salting" `Quick test_key_salting;
+    Alcotest.test_case "memo: disk backing tier" `Quick test_memo_backing;
+    Alcotest.test_case "warm run = cold run (quick)" `Quick
+      test_warm_cold_quick;
+    Alcotest.test_case "warm run = cold run (3 benchmarks x 2 platforms)"
+      `Slow test_warm_cold_matrix;
+  ]

@@ -6,6 +6,7 @@ let () =
       ("platform", Test_platform.suite);
       ("ilp", Test_ilp.suite);
       ("memo", Test_memo.suite);
+      ("cache", Test_cache.suite);
       ("htg", Test_htg.suite);
       ("sim", Test_sim.suite);
       ("benchsuite", Test_benchsuite.suite);
