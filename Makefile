@@ -1,6 +1,6 @@
 # Convenience targets around dune.
 
-.PHONY: all build test test-quick chaos bench bench-runtime bench-perf perf-smoke perf-gate execute clean fmt
+.PHONY: all build test test-quick chaos bench bench-runtime bench-perf perf-smoke perf-gate execute serve-smoke clean fmt
 
 all: build
 
@@ -47,6 +47,21 @@ perf-smoke:
 # cp BENCH_parallelize.json ci/bench_baseline.json and commit.
 perf-gate: perf-smoke
 	./ci/check_bench.sh ci/bench_baseline.json BENCH_parallelize.json
+
+# Server-mode smoke: start the serve daemon, replay 3 benchmarks via
+# loadgen (report in serve-load.json), then SIGTERM and require a
+# clean drain (exit 0).
+serve-smoke: build
+	@rm -f serve-smoke.sock; \
+	./_build/default/bin/mpsoc_par.exe serve --socket serve-smoke.sock \
+	  --jobs 2 --ilp-time-limit 0.5 & pid=$$!; \
+	for i in $$(seq 1 100); do test -S serve-smoke.sock && break; sleep 0.1; done; \
+	./_build/default/bin/mpsoc_par.exe loadgen mult_10 compress boundary_value \
+	  --socket serve-smoke.sock --qps 1 -c 2 -n 9 --report serve-load.json \
+	  || { kill $$pid; exit 1; }; \
+	kill -TERM $$pid; wait $$pid \
+	  && echo "serve-smoke: clean drain" \
+	  || { echo "serve-smoke: drain failed"; exit 1; }
 
 # Differential validation of every suite benchmark on two presets via
 # the CLI (the acceptance check of the execution runtime).

@@ -231,20 +231,12 @@ let with_observability (cfg : Parcore.Config.t) ~generated_by f =
   f report
 
 (** Resolve a positional TARGET: a Mini-C source file, or a suite
-    benchmark name. *)
+    benchmark name.  The error path lists the available benchmark names
+    (shared with batch and the serve daemon via {!Benchsuite.Suite.resolve}). *)
 let resolve_target target : string * string =
-  if Sys.file_exists target then (target, read_file target)
-  else
-    match Benchsuite.Suite.find target with
-    | Some b -> (b.Benchsuite.Suite.name, b.Benchsuite.Suite.source)
-    | None ->
-        exit_with
-          (Mpsoc_error.make ~phase:Cli ~kind:Invalid_input ~location:target
-             ~advice:"see `mpsoc-par list` for benchmark names"
-             (Printf.sprintf
-                "%S is neither a file nor a suite benchmark (benchmarks: %s)"
-                target
-                (String.concat ", " Benchsuite.Suite.names)))
+  match Benchsuite.Suite.resolve target with
+  | Ok r -> r
+  | Error e -> exit_with e
 
 let exit_err fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
 
@@ -265,16 +257,9 @@ let guard_runtime file f =
         (Mpsoc_error.make ~phase:Profile ~kind:Invalid_input ~location:file
            ("runtime error during profiling: " ^ m))
 
-(** The degraded-but-valid exit decision (exit 2): the chosen solution
-    carries a degradation tag, or the solver's degradation ladder engaged
-    anywhere during the sweep. *)
-let degradation_status (algo : Parcore.Algorithm.result) =
-  let worst = Parcore.Solution.worst_degradation algo.Parcore.Algorithm.root in
-  let engaged = Ilp.Stats.ladder_engaged algo.Parcore.Algorithm.stats in
-  if Parcore.Solution.degradation_rank worst > 0 then
-    Some (Parcore.Solution.degradation_name worst)
-  else if engaged then Some "exact (ladder engaged during the sweep)"
-  else None
+(** The degraded-but-valid exit decision (exit 2); shared with the serve
+    daemon's [degraded] response status. *)
+let degradation_status = Parcore.Algorithm.degradation
 
 let exit_degraded (algo : Parcore.Algorithm.result) =
   match degradation_status algo with
@@ -287,22 +272,9 @@ let exit_degraded (algo : Parcore.Algorithm.result) =
         name;
       exit 2
 
-(** Canonical digest of everything Algorithm 1 decided: the implemented
-    root solution, the root candidate set, and every node's candidate set
-    in node-id order.  Two runs chose bit-identical solutions iff their
-    digests match — this is what the cold-vs-warm CI step diffs. *)
-let solution_digest (algo : Parcore.Algorithm.result) =
-  let sets =
-    Hashtbl.fold
-      (fun k v acc -> (k, v) :: acc)
-      algo.Parcore.Algorithm.sets []
-    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
-  in
-  Digest.to_hex
-    (Digest.string
-       (Marshal.to_string
-          (algo.Parcore.Algorithm.root, algo.Parcore.Algorithm.root_set, sets)
-          []))
+(** Canonical solution digest (what the cold-vs-warm CI step diffs, and
+    what serve responses report per request). *)
+let solution_digest = Parcore.Algorithm.digest
 
 let dot_arg =
   Arg.(
@@ -549,6 +521,10 @@ let batch_cmd =
                   | Some d -> " degraded:" ^ String.concat "-"
                                 (String.split_on_char ' ' d)
                   | None -> "");
+                (* land the line now: batch runs are long, and killing
+                   one mid-run must keep the finished targets readable
+                   even when stdout is a pipe *)
+                flush stdout;
                 Fmt.epr "%s: %d ILPs, %.2f s solve, %.2f s wall@." name
                   algo.Parcore.Algorithm.stats.Ilp.Stats.ilps
                   algo.Parcore.Algorithm.stats.Ilp.Stats.solve_time_s
@@ -733,6 +709,176 @@ let experiments_cmd =
        ~doc:"Regenerate the paper's figures and tables")
     Term.(const run $ which $ time_limit_arg $ jobs_arg)
 
+(* ---------------- serve / loadgen ---------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string Serve.Daemon.default_config.Serve.Daemon.socket_path
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on (loadgen: connects to).")
+
+let serve_cmd =
+  let tcp_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp-port" ] ~docv:"PORT"
+          ~doc:"Also listen on 127.0.0.1:$(docv).")
+  in
+  let queue_max_arg =
+    Arg.(
+      value
+      & opt int Serve.Daemon.default_config.Serve.Daemon.queue_max
+      & info [ "queue-max" ] ~docv:"N"
+          ~doc:
+            "Admission-queue bound: past $(docv) queued jobs, new requests \
+             are rejected with the typed $(b,overloaded) status.")
+  in
+  let default_deadline_arg =
+    Arg.(
+      value
+      & opt float Serve.Daemon.default_config.Serve.Daemon.default_deadline_s
+      & info [ "default-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Watchdog deadline applied to requests that carry none \
+             ($(b,0) = unlimited).")
+  in
+  let drain_grace_arg =
+    Arg.(
+      value
+      & opt float Serve.Daemon.default_config.Serve.Daemon.drain_grace_s
+      & info [ "drain-grace" ] ~docv:"SECONDS"
+          ~doc:
+            "On SIGTERM (or a $(b,drain) request), finish in-flight jobs \
+             for up to $(docv) seconds before force-stopping with exit 4.")
+  in
+  let run socket tcp_port queue_max default_deadline_s drain_grace_s time_limit
+      max_steps jobs trace metrics profile cache_dir cache_max_mb =
+    let cfg =
+      cfg_of ~jobs ~trace ~metrics ~profile ~cache_dir ~cache_max_mb time_limit
+        max_steps
+    in
+    match
+      Serve.Daemon.run
+        {
+          Serve.Daemon.socket_path = socket;
+          tcp_port;
+          queue_max;
+          default_deadline_s;
+          drain_grace_s;
+          cfg;
+        }
+    with
+    | code -> exit code
+    | exception Mpsoc_error.Error e -> exit_with e
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident parallelization server: a Unix-domain (and \
+          optionally TCP) daemon multiplexing concurrent clients onto one \
+          shared taskpool, in-memory solve memo and persistent cache, with \
+          bounded fair admission, per-request deadlines and graceful drain \
+          on SIGTERM")
+    Term.(
+      const run $ socket_arg $ tcp_port_arg $ queue_max_arg
+      $ default_deadline_arg $ drain_grace_arg $ time_limit_arg
+      $ max_steps_arg $ jobs_arg $ trace_arg $ metrics_arg $ profile_flag
+      $ cache_dir_arg $ cache_max_mb_arg)
+
+let loadgen_cmd =
+  let targets =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"TARGETS"
+          ~doc:"Suite benchmark names (or server-side source paths) to replay.")
+  in
+  let op_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("parallelize", Serve.Protocol.Parallelize);
+               ("execute", Serve.Protocol.Execute);
+             ])
+          Serve.Protocol.Parallelize
+      & info [ "op" ] ~docv:"OP"
+          ~doc:"Request kind: $(b,parallelize) (default) or $(b,execute).")
+  in
+  let qps_arg =
+    Arg.(
+      value
+      & opt float Serve.Loadgen.default_config.Serve.Loadgen.qps
+      & info [ "qps" ] ~docv:"RATE"
+          ~doc:
+            "Offered request rate (open-loop pacing across all \
+             connections); $(b,0) sends as fast as possible.")
+  in
+  let concurrency_arg =
+    Arg.(
+      value
+      & opt int Serve.Loadgen.default_config.Serve.Loadgen.concurrency
+      & info [ "c"; "concurrency" ] ~docv:"N"
+          ~doc:"Concurrent client connections (one domain each).")
+  in
+  let requests_arg =
+    Arg.(
+      value
+      & opt int Serve.Loadgen.default_config.Serve.Loadgen.requests
+      & info [ "n"; "requests" ] ~docv:"N"
+          ~doc:"Total requests across all connections.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request watchdog deadline sent to the server \
+             ($(b,0) = server default).")
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt string "BENCH_serve.json"
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write the latency-percentile report JSON \
+             (p50/p90/p99, throughput, rejection rate, per-target solution \
+             digests) to $(docv); $(b,-) writes to stdout.")
+  in
+  let run targets socket platform approach op qps concurrency requests
+      deadline_s report =
+    match
+      Serve.Loadgen.run
+        {
+          Serve.Loadgen.socket_path = socket;
+          targets;
+          platform;
+          approach = Parcore.Parallelize.approach_name approach;
+          op;
+          qps;
+          concurrency;
+          requests;
+          deadline_s;
+          report_path = Some report;
+        }
+    with
+    | code -> exit code
+    | exception Mpsoc_error.Error e -> exit_with e
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Replay benchmarks against a running $(b,serve) daemon at a \
+          configured QPS and concurrency, and write a latency-percentile \
+          report with a per-target solution-digest consistency check")
+    Term.(
+      const run $ targets $ socket_arg $ platform_arg $ approach_arg $ op_arg
+      $ qps_arg $ concurrency_arg $ requests_arg $ deadline_arg $ report_arg)
+
 (* ---------------- list ---------------- *)
 
 let list_cmd =
@@ -763,6 +909,8 @@ let main =
       analyze_cmd;
       execute_cmd;
       batch_cmd;
+      serve_cmd;
+      loadgen_cmd;
       bench_cmd;
       experiments_cmd;
       list_cmd;

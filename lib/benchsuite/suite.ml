@@ -24,3 +24,32 @@ let find name = List.find_opt (fun b -> String.equal b.name name) all
 
 (** Compile a benchmark through the full frontend (parse, check, inline). *)
 let compile (b : t) : Minic.Ast.program = Minic.Frontend.compile b.source
+
+(** Resolve a CLI/serve TARGET: an existing Mini-C file path wins, then a
+    suite benchmark name.  The error of an unknown target lists every
+    available benchmark name, so a typo is diagnosed in one round trip
+    (the serve daemon returns this message verbatim to remote clients,
+    which cannot run [mpsoc-par list] against the server's suite). *)
+let resolve (target : string) : (string * string, Mpsoc_error.t) result =
+  if Sys.file_exists target then (
+    let ic = open_in_bin target in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match really_input_string ic (in_channel_length ic) with
+        | src -> Ok (target, src)
+        | exception Sys_error m ->
+            Error
+              (Mpsoc_error.make ~phase:Cli ~kind:Invalid_input ~location:target
+                 ("cannot read target file: " ^ m))))
+  else
+    match find target with
+    | Some b -> Ok (b.name, b.source)
+    | None ->
+        Error
+          (Mpsoc_error.make ~phase:Cli ~kind:Invalid_input ~location:target
+             ~advice:"see `mpsoc-par list` for benchmark names"
+             (Printf.sprintf
+                "%S is neither a file nor a suite benchmark (benchmarks: %s)"
+                target
+                (String.concat ", " names)))

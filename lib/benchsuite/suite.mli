@@ -10,3 +10,8 @@ val find : string -> t option
 
 (** Compile a benchmark through the full frontend. *)
 val compile : t -> Minic.Ast.program
+
+(** Resolve a TARGET argument — an existing Mini-C file path, else a
+    benchmark name — to [(display_name, source)].  The unknown-target
+    error lists every available benchmark name. *)
+val resolve : string -> (string * string, Mpsoc_error.t) result

@@ -59,7 +59,7 @@ type sweep_kind = Ilppar | Split | Pipe
 
 let kind_str = function Ilppar -> "ilppar" | Split -> "split" | Pipe -> "pipe"
 
-let parallelize ?(cfg = Config.default) ?stats ?pool ?store
+let parallelize ?(cfg = Config.default) ?stats ?pool ?store ?memo
     (pf : Platform.Desc.t) (root_node : Htg.Node.t) : result =
   let t0 = Ilp.Clock.now_s () in
   let stats = match stats with Some s -> s | None -> Ilp.Stats.create () in
@@ -85,9 +85,15 @@ let parallelize ?(cfg = Config.default) ?stats ?pool ?store
           ~salt:(Cache.Store.salt ~context:(Platform.Desc.show pf)))
       store
   in
+  (* a caller-supplied memo keeps the in-memory tier hot across runs
+     (server mode); it must have been created against the same platform
+     salt, which is why the server keys memos by platform description *)
   let cache =
-    if cfg.Config.solve_cache then Some (Ilp.Memo.create ?backing ())
-    else None
+    match memo with
+    | Some m -> Some m
+    | None ->
+        if cfg.Config.solve_cache then Some (Ilp.Memo.create ?backing ())
+        else None
   in
   let jobs =
     if cfg.Config.jobs = 0 then Domain.recommended_domain_count ()
@@ -318,3 +324,31 @@ let parallelize ?(cfg = Config.default) ?stats ?pool ?store
           x rest
   in
   { root_set; root; sets; stats; wall_time_s = Ilp.Clock.now_s () -. t0; disk_cache }
+
+(** Canonical digest of everything Algorithm 1 decided: the implemented
+    root solution, the root candidate set, and every node's candidate
+    set in node-id order.  Two runs chose bit-identical solutions iff
+    their digests match — the batch CLI prints it per target and the
+    serve protocol returns it per request, so cold/warm and
+    CLI-vs-server runs can be diffed directly. *)
+let digest (r : result) : string =
+  let sets =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) r.sets []
+    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+  in
+  Digest.to_hex
+    (Digest.string (Marshal.to_string (r.root, r.root_set, sets) []))
+
+(** The degraded-but-valid verdict shared by the CLI (exit 2) and the
+    serve protocol (status [degraded]): [Some name] when the chosen
+    solution carries a degradation tag, or when the solver's
+    degradation ladder engaged anywhere during the sweep (the candidate
+    sets may then be missing solutions the full search would have
+    found). *)
+let degradation (r : result) : string option =
+  let worst = Solution.worst_degradation r.root in
+  if Solution.degradation_rank worst > 0 then
+    Some (Solution.degradation_name worst)
+  else if Ilp.Stats.ladder_engaged r.stats then
+    Some "exact (ladder engaged during the sweep)"
+  else None

@@ -36,12 +36,29 @@ val seq_candidate :
     why.  [cfg.solve_cache] memoizes structurally identical ILPs within
     the run; [store] (or [cfg.cache_dir], which opens a run-private one)
     adds the persistent cross-run tier under the same single-flight memo,
-    so a warm run answers every solve from disk, bit-identically. *)
+    so a warm run answers every solve from disk, bit-identically.
+    [memo] shares one in-memory solve cache across runs (server mode
+    keeps a hot memo per platform); it takes precedence over
+    [cfg.solve_cache], and its backing tier must have been created with
+    this platform's salt. *)
 val parallelize :
   ?cfg:Config.t ->
   ?stats:Ilp.Stats.t ->
   ?pool:Taskpool.Pool.t ->
   ?store:Cache.Store.t ->
+  ?memo:Ilp.Memo.t ->
   Platform.Desc.t ->
   Htg.Node.t ->
   result
+
+val digest : result -> string
+(** Canonical hex digest of everything the run decided (root solution,
+    root candidate set, every node's candidate set in node-id order).
+    Two runs chose bit-identical solutions iff their digests match; the
+    batch CLI prints it per target and the serve protocol returns it
+    per request. *)
+
+val degradation : result -> string option
+(** [Some name] iff the run must be reported degraded-but-valid (CLI
+    exit 2 / serve status [degraded]): the chosen solution carries a
+    degradation tag, or the solver ladder engaged during the sweep. *)

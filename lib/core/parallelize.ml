@@ -27,7 +27,7 @@ type outcome = {
     callers reuse one profiling run across platforms and approaches;
     [pool] and [store] likewise share a taskpool and persistent solve
     cache across many invocations (batch mode). *)
-let run_program ?(cfg = Config.default) ?profile ?pool ?store ~approach
+let run_program ?(cfg = Config.default) ?profile ?pool ?store ?memo ~approach
     ~(platform : Platform.Desc.t) (prog : Minic.Ast.program) : outcome =
   let profile =
     match profile with
@@ -48,7 +48,7 @@ let run_program ?(cfg = Config.default) ?profile ?pool ?store ~approach
   in
   let algo =
     Trace.span ~cat:"phase" "parallelize" (fun () ->
-        Algorithm.parallelize ~cfg ?pool ?store view htg)
+        Algorithm.parallelize ~cfg ?pool ?store ?memo view htg)
   in
   let mode =
     match approach with
@@ -63,8 +63,8 @@ let run_program ?(cfg = Config.default) ?profile ?pool ?store ~approach
   { approach; platform; htg; algo; program; seq_program; profile }
 
 (** Parallelize from source text. *)
-let run ?cfg ?pool ?store ~approach ~platform (src : string) : outcome =
-  run_program ?cfg ?pool ?store ~approach ~platform
+let run ?cfg ?pool ?store ?memo ~approach ~platform (src : string) : outcome =
+  run_program ?cfg ?pool ?store ?memo ~approach ~platform
     (Trace.span ~cat:"phase" "frontend" (fun () -> Minic.Frontend.compile src))
 
 (* ---- Result-threaded pipeline -------------------------------------- *)
@@ -96,7 +96,7 @@ let wrap phase f =
 
 let ( let* ) = Result.bind
 
-let run_program_result ?(cfg = Config.default) ?profile ?pool ?store
+let run_program_result ?(cfg = Config.default) ?profile ?pool ?store ?memo
     ~approach ~(platform : Platform.Desc.t) (prog : Minic.Ast.program) :
     (outcome, Mpsoc_error.t) result =
   let* profile =
@@ -121,7 +121,7 @@ let run_program_result ?(cfg = Config.default) ?profile ?pool ?store
   let* algo =
     wrap Mpsoc_error.Parallelize (fun () ->
         Trace.span ~cat:"phase" "parallelize" (fun () ->
-            Algorithm.parallelize ~cfg ?pool ?store view htg))
+            Algorithm.parallelize ~cfg ?pool ?store ?memo view htg))
   in
   let mode =
     match approach with
@@ -136,13 +136,13 @@ let run_program_result ?(cfg = Config.default) ?profile ?pool ?store
   in
   Ok { approach; platform; htg; algo; program; seq_program; profile }
 
-let run_result ?cfg ?pool ?store ~approach ~platform (src : string) :
+let run_result ?cfg ?pool ?store ?memo ~approach ~platform (src : string) :
     (outcome, Mpsoc_error.t) result =
   let* prog =
     wrap Mpsoc_error.Frontend (fun () ->
         Trace.span ~cat:"phase" "frontend" (fun () -> Minic.Frontend.compile src))
   in
-  run_program_result ?cfg ?pool ?store ~approach ~platform prog
+  run_program_result ?cfg ?pool ?store ?memo ~approach ~platform prog
 
 (** Simulated speedup of the outcome over sequential execution on the
     platform's main core. *)

@@ -30,6 +30,7 @@ val run_program :
   ?profile:Interp.Profile.t ->
   ?pool:Taskpool.Pool.t ->
   ?store:Cache.Store.t ->
+  ?memo:Ilp.Memo.t ->
   approach:approach ->
   platform:Platform.Desc.t ->
   Minic.Ast.program ->
@@ -40,6 +41,7 @@ val run :
   ?cfg:Config.t ->
   ?pool:Taskpool.Pool.t ->
   ?store:Cache.Store.t ->
+  ?memo:Ilp.Memo.t ->
   approach:approach ->
   platform:Platform.Desc.t ->
   string ->
@@ -57,6 +59,7 @@ val run_program_result :
   ?profile:Interp.Profile.t ->
   ?pool:Taskpool.Pool.t ->
   ?store:Cache.Store.t ->
+  ?memo:Ilp.Memo.t ->
   approach:approach ->
   platform:Platform.Desc.t ->
   Minic.Ast.program ->
@@ -66,6 +69,7 @@ val run_result :
   ?cfg:Config.t ->
   ?pool:Taskpool.Pool.t ->
   ?store:Cache.Store.t ->
+  ?memo:Ilp.Memo.t ->
   approach:approach ->
   platform:Platform.Desc.t ->
   string ->

@@ -110,8 +110,10 @@ let phases_json (phases : (string * float) list) : J.t =
 let phases_of_events events = Trace.span_totals ~cat:"phase" events
 
 (** The unified document.  [stats] is required — solver totals are the
-    one section every flow has; the rest attaches when available. *)
-let metrics_doc ~generated_by ?phases ?runtime ?cache ?wall_s
+    one section every flow has; the rest attaches when available.
+    [sections] appends caller-built sections (e.g. the serve daemon's
+    ["server"] block) without [Observe] having to know their shape. *)
+let metrics_doc ~generated_by ?phases ?runtime ?cache ?(sections = []) ?wall_s
     (stats : Ilp.Stats.t) : J.t =
   let opt name v f = match v with None -> [] | Some x -> [ (name, f x) ] in
   J.Obj
@@ -121,7 +123,8 @@ let metrics_doc ~generated_by ?phases ?runtime ?cache ?wall_s
     @ [ ("solver", solver_json stats) ]
     @ opt "cache" cache cache_json
     @ opt "phases" phases phases_json
-    @ opt "runtime" runtime runtime_json)
+    @ opt "runtime" runtime runtime_json
+    @ sections)
 
 (* ---- output -------------------------------------------------------- *)
 

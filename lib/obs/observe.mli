@@ -25,9 +25,12 @@ val metrics_doc :
   ?phases:(string * float) list ->
   ?runtime:Runtime.Metrics.snapshot ->
   ?cache:Cache.Store.counters ->
+  ?sections:(string * Trace_json.t) list ->
   ?wall_s:float ->
   Ilp.Stats.t ->
   Trace_json.t
+(** [sections] appends caller-built top-level sections (e.g. the serve
+    daemon's ["server"] block) after the standard ones. *)
 
 val write_json : path:string -> Trace_json.t -> unit
 (** Pretty-printed with a trailing newline; [path = "-"] is stdout. *)

@@ -1,0 +1,115 @@
+(** Bounded, client-fair admission queue with a drain state machine.
+
+    Admission control is what keeps a resident daemon honest under
+    overload: instead of buffering unboundedly (latency grows without
+    limit, memory too) the queue holds at most [max] jobs in total and
+    rejects the rest with a typed [Overloaded] verdict the client can
+    act on (back off, retry elsewhere).
+
+    Fairness is round-robin between clients, not FIFO over arrivals:
+    each client id owns a private FIFO and {!take} serves the client
+    queues in rotation, so one connection blasting requests cannot
+    starve an interactive one — with [k] active clients each is
+    guaranteed every [k]-th service slot regardless of arrival order.
+
+    Drain is a one-way valve ([Accepting -> Draining]): after {!drain},
+    submissions are rejected with [Draining] but everything already
+    admitted is still served; {!take} returns [None] only once the
+    queue is empty, which is the consumer's signal to exit.  This is
+    exactly the SIGTERM story — finish what you accepted, take nothing
+    new, terminate. *)
+
+type verdict = Accepted | Overloaded | Draining
+
+type 'a t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  max : int;
+  queues : (int, 'a Queue.t) Hashtbl.t;  (** per-client FIFOs *)
+  rr : int Queue.t;  (** client ids with pending work, service order *)
+  mutable depth : int;  (** total queued jobs across clients *)
+  mutable draining : bool;
+  mutable n_accepted : int;
+  mutable n_rej_overloaded : int;
+  mutable n_rej_draining : int;
+}
+
+let create ~max =
+  {
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    max;
+    queues = Hashtbl.create 16;
+    rr = Queue.create ();
+    depth = 0;
+    draining = false;
+    n_accepted = 0;
+    n_rej_overloaded = 0;
+    n_rej_draining = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let submit t ~client job : verdict =
+  locked t @@ fun () ->
+  if t.draining then begin
+    t.n_rej_draining <- t.n_rej_draining + 1;
+    Draining
+  end
+  else if t.depth >= t.max then begin
+    t.n_rej_overloaded <- t.n_rej_overloaded + 1;
+    Overloaded
+  end
+  else begin
+    let q =
+      match Hashtbl.find_opt t.queues client with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.replace t.queues client q;
+          q
+    in
+    if Queue.is_empty q then Queue.push client t.rr;
+    Queue.push job q;
+    t.depth <- t.depth + 1;
+    t.n_accepted <- t.n_accepted + 1;
+    Condition.signal t.cond;
+    Accepted
+  end
+
+let take t : 'a option =
+  locked t @@ fun () ->
+  while t.depth = 0 && not t.draining do
+    Condition.wait t.cond t.mu
+  done;
+  if t.depth = 0 then None (* draining and empty: consumer exits *)
+  else begin
+    let client = Queue.pop t.rr in
+    let q = Hashtbl.find t.queues client in
+    let job = Queue.pop q in
+    (* back of the rotation — the next client with work is served first *)
+    if not (Queue.is_empty q) then Queue.push client t.rr
+    else Hashtbl.remove t.queues client;
+    t.depth <- t.depth - 1;
+    Some job
+  end
+
+let drain t =
+  locked t @@ fun () ->
+  t.draining <- true;
+  Condition.broadcast t.cond
+
+let draining t = locked t @@ fun () -> t.draining
+let depth t = locked t @@ fun () -> t.depth
+
+type counters = { accepted : int; rej_overloaded : int; rej_draining : int }
+
+let counters t =
+  locked t @@ fun () ->
+  {
+    accepted = t.n_accepted;
+    rej_overloaded = t.n_rej_overloaded;
+    rej_draining = t.n_rej_draining;
+  }

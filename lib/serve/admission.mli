@@ -1,0 +1,28 @@
+(** Bounded, client-fair admission queue with a one-way drain valve.
+
+    At most [max] jobs are queued in total; beyond that {!submit}
+    returns [Overloaded].  Service order is round-robin between client
+    ids (each owns a private FIFO), so one busy connection cannot
+    starve another.  After {!drain}, submissions are rejected with
+    [Draining] but admitted jobs are still served; {!take} returns
+    [None] once the queue is empty — the consumer's signal to exit.
+    Domain-safe. *)
+
+type verdict = Accepted | Overloaded | Draining
+
+type 'a t
+
+val create : max:int -> 'a t
+
+val submit : 'a t -> client:int -> 'a -> verdict
+
+val take : 'a t -> 'a option
+(** Blocks until a job is available; [None] iff draining and empty. *)
+
+val drain : 'a t -> unit
+val draining : 'a t -> bool
+val depth : 'a t -> int
+
+type counters = { accepted : int; rej_overloaded : int; rej_draining : int }
+
+val counters : 'a t -> counters

@@ -1,0 +1,713 @@
+(** The resident parallelization server ([mpsoc-par serve]).
+
+    One process, three kinds of actors:
+
+    - the {b event loop} (the calling domain): a [select]-driven
+      reactor over the Unix-domain (and optional TCP) listeners, all
+      client connections, and a self-pipe.  It owns every socket —
+      accepting, incremental frame decoding, response writes — and
+      answers [status]/[drain] inline so they never queue behind solves;
+    - the {b executor} (one spawned domain): pulls parallelize/execute
+      jobs from the {!Admission} queue and runs them on shared solver
+      state — one {!Taskpool.Pool}, one persistent {!Cache.Store}, and
+      one hot in-memory {!Ilp.Memo} per platform view — so a repeat
+      request is answered from memory with zero fresh ILP solves;
+    - the {b watchdog contract}: each job carries an absolute deadline.
+      A job whose deadline passes while queued is answered [timeout]
+      without running; an [execute] job passes its remaining budget to
+      the runtime watchdog, whose typed verdicts map onto response
+      codes exactly as they map onto CLI exit codes.
+
+    Jobs from concurrent clients are multiplexed, not raced: the
+    executor serializes solver work (the taskpool parallelizes {e
+    inside} each job), which both preserves the solver's determinism
+    story — responses are bit-identical to single-shot CLI runs — and
+    keeps the admission queue the single point of back-pressure.
+
+    Shutdown (SIGTERM, SIGINT, or a [drain] request) is a graceful
+    drain: listeners close, queued and in-flight jobs finish, new
+    requests are rejected with the typed [draining] status, the cache
+    index is flushed, and the trace/metrics exports are written.  A
+    drain that exceeds the grace period force-stops with exit code 4
+    (the timeout code). *)
+
+module P = Protocol
+module J = Trace_json
+
+type config = {
+  socket_path : string;
+  tcp_port : int option;  (** also listen on 127.0.0.1:port *)
+  queue_max : int;
+  default_deadline_s : float;  (** applied when a request carries none; 0 = none *)
+  drain_grace_s : float;  (** force-stop this long after drain starts *)
+  cfg : Parcore.Config.t;  (** solver/runtime knobs shared by every job *)
+}
+
+let default_config =
+  {
+    socket_path = "mpsoc-par.sock";
+    tcp_port = None;
+    queue_max = 64;
+    default_deadline_s = 0.;
+    drain_grace_s = 30.;
+    cfg = Parcore.Config.default;
+  }
+
+(* ---- jobs and shared state ----------------------------------------- *)
+
+type job = {
+  conn_id : int;
+  req : P.request;
+  submitted_s : float;
+  deadline_abs : float;  (** absolute {!Trace.now_s} time; [infinity] = none *)
+}
+
+(** Cumulative server counters; every field is guarded by [smu] (the
+    event loop reads them for [status] while the executor writes). *)
+type stats = {
+  smu : Mutex.t;
+  started_s : float;
+  lat : Latency.t;  (** end-to-end seconds per executor-completed request *)
+  solver : Ilp.Stats.t;
+  mutable completed : int;
+  mutable failed : int;  (** completed with a non-0/2 code *)
+  mutable timed_out : int;  (** deadline expired while queued *)
+}
+
+(** Solver state shared across every request of the process lifetime. *)
+type engine = {
+  pool : Taskpool.Pool.t option;
+  store : Cache.Store.t option;
+  memos : (string, Ilp.Memo.t) Hashtbl.t;
+      (** hot in-memory memo per platform view (the memo's disk backing
+          is salted per view, so memos must not be shared across views) *)
+  emu : Mutex.t;
+}
+
+let memo_for engine (view : Platform.Desc.t) : Ilp.Memo.t =
+  let key = Platform.Desc.show view in
+  Mutex.lock engine.emu;
+  let m =
+    match Hashtbl.find_opt engine.memos key with
+    | Some m -> m
+    | None ->
+        let backing =
+          Option.map
+            (fun s ->
+              Cache.Store.backing s ~salt:(Cache.Store.salt ~context:key))
+            engine.store
+        in
+        let m = Ilp.Memo.create ?backing () in
+        Hashtbl.replace engine.memos key m;
+        m
+  in
+  Mutex.unlock engine.emu;
+  m
+
+(* ---- request execution (runs on the executor domain) --------------- *)
+
+let resolve_platform_result (s : string) : (Platform.Desc.t, Mpsoc_error.t) result
+    =
+  match Platform.Presets.find s with
+  | Some p -> Ok p
+  | None ->
+      if Sys.file_exists s then Platform.Parse.of_file_result s
+      else
+        Error
+          (Mpsoc_error.make ~phase:Cli ~kind:Invalid_input ~location:s
+             ~advice:"see `mpsoc-par list` for preset names"
+             (Printf.sprintf
+                "unknown platform %S (preset names: %s; or a description file)"
+                s
+                (String.concat ", " (List.map fst Platform.Presets.all))))
+
+let approach_of_string = function
+  | "hetero" | "heterogeneous" -> Ok Parcore.Parallelize.Heterogeneous
+  | "homo" | "homogeneous" -> Ok Parcore.Parallelize.Homogeneous
+  | s ->
+      Error
+        (Mpsoc_error.make ~phase:Cli ~kind:Invalid_input ~location:s
+           (Printf.sprintf "unknown approach %S (approaches: hetero, homo)" s))
+
+let num i = J.Num (float_of_int i)
+
+(** The response fields every successful solve reports: enough for a
+    client to diff against a single-shot CLI run ([digest], [speedup])
+    and to see the warm-path contract ([ilps] = 0, [memo_hits] > 0 on a
+    repeat request). *)
+let solve_body ~name ~(out : Parcore.Parallelize.outcome) () =
+  let algo = out.Parcore.Parallelize.algo in
+  let st = algo.Parcore.Algorithm.stats in
+  [
+    ("target", J.Str name);
+    ("approach", J.Str (Parcore.Parallelize.approach_name out.Parcore.Parallelize.approach));
+    ("platform", J.Str out.Parcore.Parallelize.platform.Platform.Desc.name);
+    ("speedup", J.Num (Parcore.Parallelize.speedup out));
+    ("digest", J.Str (Parcore.Algorithm.digest algo));
+    ("ilps", num st.Ilp.Stats.ilps);
+    ("memo_hits", num st.Ilp.Stats.cache_hits);
+    ("solve_time_s", J.Num st.Ilp.Stats.solve_time_s);
+    ("wall_s", J.Num algo.Parcore.Algorithm.wall_time_s);
+    ( "degradation",
+      match Parcore.Algorithm.degradation algo with
+      | Some d -> J.Str d
+      | None -> J.Null );
+  ]
+
+let ( let* ) = Result.bind
+
+let compile_result ~name src : (Minic.Ast.program, Mpsoc_error.t) result =
+  match Minic.Frontend.compile src with
+  | prog -> Ok prog
+  | exception Minic.Frontend.Error e ->
+      Error
+        (Mpsoc_error.make ~phase:Frontend ~kind:Invalid_input ~location:name
+           (Minic.Frontend.error_to_string e))
+
+(** One parallelize/execute job on the shared engine.  Every failure
+    comes back as a typed protocol response, never an exception. *)
+let run_job cfg engine stats (job : job) : P.response =
+  let req = job.req in
+  let id = req.id in
+  let now = Trace.now_s () in
+  if now > job.deadline_abs then
+    P.response ~id P.Timeout
+      ~message:
+        (Printf.sprintf
+           "deadline expired after %.3f s in the admission queue"
+           (now -. job.submitted_s))
+  else
+    let solved =
+      let* platform = resolve_platform_result req.P.platform in
+      let* approach = approach_of_string req.P.approach in
+      let* name, src = Benchsuite.Suite.resolve req.P.target in
+      (* the memo must match the view Algorithm 1 will actually solve
+         (homogeneous runs solve the class-blind view) *)
+      let view =
+        match approach with
+        | Parcore.Parallelize.Heterogeneous -> platform
+        | Parcore.Parallelize.Homogeneous ->
+            Platform.Desc.homogeneous_view platform
+      in
+      let memo = memo_for engine view in
+      let* prog = compile_result ~name src in
+      let* out =
+        Parcore.Parallelize.run_program_result ~cfg ?pool:engine.pool
+          ?store:engine.store ~memo ~approach ~platform prog
+      in
+      Ok (name, prog, out)
+    in
+    match solved with
+    | Error e -> P.of_error ~id e
+    | Ok (name, prog, out) -> (
+        let algo = out.Parcore.Parallelize.algo in
+        Mutex.lock stats.smu;
+        Ilp.Stats.merge ~into:stats.solver algo.Parcore.Algorithm.stats;
+        Mutex.unlock stats.smu;
+        let ok_status, message =
+          match Parcore.Algorithm.degradation algo with
+          | Some d ->
+              ( P.Degraded,
+                d ^ " — solver budget ran out; the solution is valid but \
+                     possibly sub-optimal" )
+          | None -> (P.Ok_, "")
+        in
+        match req.P.op with
+        | P.Parallelize ->
+            P.response ~id ok_status ~message
+              ~body:(solve_body ~name ~out ())
+        | P.Execute -> (
+            (* remaining budget goes to the runtime watchdog; an armed
+               deadline always bounds the execution phase *)
+            let timeout_s =
+              if job.deadline_abs = infinity then cfg.Parcore.Config.timeout_s
+              else Float.max 0.001 (job.deadline_abs -. Trace.now_s ())
+            in
+            match
+              Runtime.Exec.run_result ~max_steps:cfg.Parcore.Config.max_steps
+                ~timeout_s prog out.Parcore.Parallelize.htg
+                algo.Parcore.Algorithm.root
+            with
+            | Error e -> P.of_error ~id e
+            | Ok r ->
+                let ret =
+                  match r.Runtime.Exec.ret with
+                  | Some v -> J.Str (Fmt.str "%a" Interp.Value.pp v)
+                  | None -> J.Null
+                in
+                P.response ~id ok_status ~message
+                  ~body:
+                    (solve_body ~name ~out ()
+                    @ [
+                        ("result", ret);
+                        ("steps", num r.Runtime.Exec.steps);
+                        ( "exec_wall_s",
+                          J.Num r.Runtime.Exec.metrics.Runtime.Metrics.wall_s
+                        );
+                        ( "exec_domains",
+                          num r.Runtime.Exec.metrics.Runtime.Metrics.domains );
+                      ]))
+        | P.Status | P.Drain -> assert false (* answered by the event loop *))
+
+(* ---- the server ----------------------------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  dec : P.decoder;
+  outq : string Queue.t;  (** encoded frames awaiting write *)
+  mutable out_off : int;  (** bytes of the head frame already written *)
+  mutable closing : bool;  (** close once [outq] drains *)
+}
+
+type t = {
+  config : config;
+  queue : job Admission.t;
+  stats : stats;
+  engine : engine;
+  conns : (int, conn) Hashtbl.t;
+  outbox : (int * P.response) Queue.t;  (** executor -> event loop *)
+  omu : Mutex.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  mutable listeners : Unix.file_descr list;
+  mutable draining : bool;
+  mutable drain_started_s : float;
+  exec_done : bool Atomic.t;
+  want_drain : bool Atomic.t;  (** set from the signal handler *)
+}
+
+let wake t =
+  (* best-effort: the pipe being full already guarantees a wakeup *)
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error _ -> ()
+
+let server_json t : J.t =
+  let q = Admission.counters t.queue in
+  Mutex.lock t.stats.smu;
+  let completed = t.stats.completed
+  and failed = t.stats.failed
+  and timed_out = t.stats.timed_out
+  and lat_summary = Latency.summarize t.stats.lat
+  and lat_hist = Latency.histogram_json t.stats.lat in
+  Mutex.unlock t.stats.smu;
+  J.Obj
+    [
+      ("uptime_s", J.Num (Trace.now_s () -. t.stats.started_s));
+      ("state", J.Str (if t.draining then "draining" else "accepting"));
+      ("queue_depth", num (Admission.depth t.queue));
+      ("queue_max", num t.config.queue_max);
+      ("connections", num (Hashtbl.length t.conns));
+      ("accepted", num q.Admission.accepted);
+      ("rejected_overloaded", num q.Admission.rej_overloaded);
+      ("rejected_draining", num q.Admission.rej_draining);
+      ("completed", num completed);
+      ("failed", num failed);
+      ("timed_out", num timed_out);
+      ("latency", Latency.summary_json lat_summary);
+      ("latency_histogram_ms", lat_hist);
+    ]
+
+let send_response (c : conn) (r : P.response) =
+  Queue.push (P.frame (J.to_string (P.response_json r))) c.outq
+
+let close_conn t (c : conn) =
+  Hashtbl.remove t.conns c.cid;
+  try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+(** Write as much queued output as the socket accepts right now. *)
+let rec flush_conn t (c : conn) =
+  match Queue.peek_opt c.outq with
+  | None -> if c.closing then close_conn t c
+  | Some s -> (
+      let len = String.length s - c.out_off in
+      match Unix.write_substring c.fd s c.out_off len with
+      | n when n = len ->
+          ignore (Queue.pop c.outq);
+          c.out_off <- 0;
+          flush_conn t c
+      | n -> c.out_off <- c.out_off + n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error _ -> close_conn t c)
+
+let begin_drain t ~reason =
+  if not t.draining then begin
+    t.draining <- true;
+    t.drain_started_s <- Trace.now_s ();
+    Admission.drain t.queue;
+    Trace.instant ~cat:"server" "drain" ~args:[ ("reason", Trace.Str reason) ];
+    Fmt.epr "serve: draining (%s): %d queued job(s), %d connection(s)@."
+      reason
+      (Admission.depth t.queue)
+      (Hashtbl.length t.conns);
+    (* stop accepting: close the listeners and remove the socket file so
+       new clients fail fast instead of queueing on a dying server *)
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
+    t.listeners <- [];
+    (try Unix.unlink t.config.socket_path with Unix.Unix_error _ -> ())
+  end
+
+(** One decoded request frame from connection [c]. *)
+let handle_request t (c : conn) payload =
+  match P.parse_request payload with
+  | Error m ->
+      (* protocol error: answer once, then drop the connection — after
+         a framing/JSON error the stream has no trustworthy boundary *)
+      send_response c (P.response ~id:"" P.Invalid ~message:m);
+      c.closing <- true
+  | Ok req -> (
+      match req.P.op with
+      | P.Status ->
+          send_response c
+            (P.response ~id:req.P.id P.Ok_ ~body:[ ("server", server_json t) ])
+      | P.Drain ->
+          begin_drain t ~reason:"drain request";
+          send_response c
+            (P.response ~id:req.P.id P.Ok_
+               ~body:[ ("state", J.Str "draining") ])
+      | P.Parallelize | P.Execute -> (
+          let now = Trace.now_s () in
+          let deadline_s =
+            if req.P.deadline_s > 0. then req.P.deadline_s
+            else t.config.default_deadline_s
+          in
+          let job =
+            {
+              conn_id = c.cid;
+              req;
+              submitted_s = now;
+              deadline_abs =
+                (if deadline_s > 0. then now +. deadline_s else infinity);
+            }
+          in
+          match Admission.submit t.queue ~client:c.cid job with
+          | Admission.Accepted ->
+              Trace.instant ~cat:"server" "accept"
+                ~args:
+                  [
+                    ("target", Trace.Str req.P.target);
+                    ("queue_depth", Trace.Int (Admission.depth t.queue));
+                  ]
+          | Admission.Overloaded ->
+              Trace.instant ~cat:"server" "reject.overloaded";
+              send_response c
+                (P.response ~id:req.P.id P.Overloaded
+                   ~message:
+                     (Printf.sprintf
+                        "admission queue full (%d jobs); retry later"
+                        t.config.queue_max))
+          | Admission.Draining ->
+              Trace.instant ~cat:"server" "reject.draining";
+              send_response c
+                (P.response ~id:req.P.id P.Draining
+                   ~message:"server is draining; no new jobs accepted")))
+
+let handle_readable t (c : conn) =
+  let buf = Bytes.create 65536 in
+  match Unix.read c.fd buf 0 (Bytes.length buf) with
+  | 0 -> close_conn t c
+  | n ->
+      P.feed c.dec (Bytes.sub_string buf 0 n);
+      let rec drain_frames () =
+        if not c.closing then
+          match P.next c.dec with
+          | `Frame payload ->
+              handle_request t c payload;
+              drain_frames ()
+          | `Awaiting -> ()
+          | `Error m ->
+              send_response c (P.response ~id:"" P.Invalid ~message:m);
+              c.closing <- true
+      in
+      drain_frames ()
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error _ -> close_conn t c
+
+(* ---- the executor domain ------------------------------------------- *)
+
+let record_result t (job : job) (resp : P.response) =
+  let dt = Trace.now_s () -. job.submitted_s in
+  Mutex.lock t.stats.smu;
+  t.stats.completed <- t.stats.completed + 1;
+  (match P.status_code resp.P.status with
+  | 0 | 2 -> ()
+  | _ -> t.stats.failed <- t.stats.failed + 1);
+  if resp.P.status = P.Timeout then t.stats.timed_out <- t.stats.timed_out + 1;
+  Latency.record t.stats.lat dt;
+  Mutex.unlock t.stats.smu
+
+let executor t () =
+  let rec loop () =
+    match Admission.take t.queue with
+    | None -> ()  (* drained and empty *)
+    | Some job ->
+        let resp =
+          Trace.span_k ~cat:"server"
+            (fun () ->
+              Printf.sprintf "req.%s.%s"
+                (P.op_name job.req.P.op)
+                job.req.P.target)
+            (fun () ->
+              match run_job t.config.cfg t.engine t.stats job with
+              | r -> r
+              | exception e ->
+                  (* a bug in the flow must not kill the server *)
+                  P.response ~id:job.req.P.id P.Internal
+                    ~message:("uncaught exception: " ^ Printexc.to_string e))
+        in
+        record_result t job resp;
+        Mutex.lock t.omu;
+        Queue.push (job.conn_id, resp) t.outbox;
+        Mutex.unlock t.omu;
+        wake t;
+        loop ()
+  in
+  loop ();
+  Atomic.set t.exec_done true;
+  wake t
+
+(* ---- listeners ------------------------------------------------------ *)
+
+let listen_unix path =
+  (* replace a stale socket file from a previous crash; refuse to
+     clobber anything that is not a socket *)
+  (match Unix.stat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ ->
+      Mpsoc_error.raise_error ~phase:Cli ~kind:Invalid_input ~location:path
+        "socket path exists and is not a socket"
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  fd
+
+(* ---- main entry ------------------------------------------------------ *)
+
+let run (config : config) : int =
+  let cfg = config.cfg in
+  let armed =
+    cfg.Parcore.Config.trace_file <> None
+    || cfg.Parcore.Config.metrics_file <> None
+    || cfg.Parcore.Config.profile
+  in
+  if armed then Trace.start ();
+  let jobs_n =
+    if cfg.Parcore.Config.jobs = 0 then Domain.recommended_domain_count ()
+    else max 1 cfg.Parcore.Config.jobs
+  in
+  let pool =
+    if jobs_n > 1 then Some (Taskpool.Pool.create ~domains:jobs_n ()) else None
+  in
+  let store =
+    match cfg.Parcore.Config.cache_dir with
+    | None -> None
+    | Some dir ->
+        Some
+          (Cache.Store.open_ ~max_mb:cfg.Parcore.Config.cache_max_mb ~dir ())
+  in
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let t =
+    {
+      config;
+      queue = Admission.create ~max:config.queue_max;
+      stats =
+        {
+          smu = Mutex.create ();
+          started_s = Trace.now_s ();
+          lat = Latency.create ();
+          solver = Ilp.Stats.create ();
+          completed = 0;
+          failed = 0;
+          timed_out = 0;
+        };
+      engine =
+        { pool; store; memos = Hashtbl.create 4; emu = Mutex.create () };
+      conns = Hashtbl.create 16;
+      outbox = Queue.create ();
+      omu = Mutex.create ();
+      wake_r;
+      wake_w;
+      listeners = [];
+      draining = false;
+      drain_started_s = 0.;
+      exec_done = Atomic.make false;
+      want_drain = Atomic.make false;
+    }
+  in
+  t.listeners <-
+    (listen_unix config.socket_path
+    :: (match config.tcp_port with
+       | Some port -> [ listen_tcp port ]
+       | None -> []));
+  (* SIGTERM/SIGINT request a drain; the handler only flips an atomic
+     and pokes the pipe, everything else happens on the event loop *)
+  let on_signal _ =
+    Atomic.set t.want_drain true;
+    wake t
+  in
+  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
+  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fmt.epr "serve: listening on %s%s (jobs %d, queue %d%s)@."
+    config.socket_path
+    (match config.tcp_port with
+    | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
+    | None -> "")
+    jobs_n config.queue_max
+    (match cfg.Parcore.Config.cache_dir with
+    | Some d -> ", cache " ^ d
+    | None -> "");
+  let exec_domain = Domain.spawn (executor t) in
+  let next_cid = ref 0 in
+  let exit_code = ref 0 in
+  (* ---- event loop ---- *)
+  let finished () =
+    t.draining
+    && Atomic.get t.exec_done
+    && Mutex.protect t.omu (fun () -> Queue.is_empty t.outbox)
+    && Hashtbl.fold (fun _ c acc -> acc && Queue.is_empty c.outq) t.conns true
+  in
+  let deliver_outbox () =
+    let pending =
+      Mutex.protect t.omu (fun () ->
+          let l = List.of_seq (Queue.to_seq t.outbox) in
+          Queue.clear t.outbox;
+          l)
+    in
+    List.iter
+      (fun (cid, resp) ->
+        match Hashtbl.find_opt t.conns cid with
+        | Some c -> send_response c resp
+        | None -> () (* client went away; drop the response *))
+      pending
+  in
+  (try
+     while not (finished ()) do
+       if Atomic.get t.want_drain then begin_drain t ~reason:"signal";
+       (* force-stop a drain that overstays the grace period *)
+       if
+         t.draining
+         && Trace.now_s () -. t.drain_started_s > config.drain_grace_s
+       then begin
+         Fmt.epr "serve: drain exceeded %.1f s grace; force-stopping@."
+           config.drain_grace_s;
+         exit_code := 4;
+         raise Exit
+       end;
+       let reads =
+         (t.wake_r :: t.listeners)
+         @ Hashtbl.fold (fun _ c acc -> c.fd :: acc) t.conns []
+       in
+       let writes =
+         Hashtbl.fold
+           (fun _ c acc ->
+             if Queue.is_empty c.outq then acc else c.fd :: acc)
+           t.conns []
+       in
+       match Unix.select reads writes [] 0.5 with
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | readable, writable, _ ->
+           if List.mem t.wake_r readable then begin
+             let b = Bytes.create 256 in
+             try
+               while Unix.read t.wake_r b 0 256 > 0 do
+                 ()
+               done
+             with Unix.Unix_error _ -> ()
+           end;
+           deliver_outbox ();
+           List.iter
+             (fun lfd ->
+               if List.mem lfd readable then
+                 match Unix.accept lfd with
+                 | fd, _ ->
+                     Unix.set_nonblock fd;
+                     incr next_cid;
+                     let c =
+                       {
+                         fd;
+                         cid = !next_cid;
+                         dec = P.decoder ();
+                         outq = Queue.create ();
+                         out_off = 0;
+                         closing = false;
+                       }
+                     in
+                     Hashtbl.replace t.conns c.cid c;
+                     Trace.instant ~cat:"server" "connect"
+                       ~args:[ ("conn", Trace.Int c.cid) ]
+                 | exception Unix.Unix_error _ -> ())
+             t.listeners;
+           (* snapshot: handlers mutate the table *)
+           let cs = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+           List.iter
+             (fun c -> if List.mem c.fd readable then handle_readable t c)
+             cs;
+           let cs = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+           List.iter
+             (fun c ->
+               if
+                 List.mem c.fd writable
+                 || (not (Queue.is_empty c.outq))
+                 || c.closing
+               then flush_conn t c)
+             cs
+     done
+   with Exit -> ());
+  (* ---- shutdown ---- *)
+  Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+    t.conns;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    t.listeners;
+  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  (* the executor exits once the queue drains; on a force-stop it may
+     still be mid-solve, in which case joining would hang past the
+     grace deadline — only join on clean drains *)
+  if Atomic.get t.exec_done then Domain.join exec_domain;
+  Option.iter Taskpool.Pool.shutdown t.engine.pool;
+  Option.iter Cache.Store.close t.engine.store;
+  Sys.set_signal Sys.sigterm prev_term;
+  Sys.set_signal Sys.sigint prev_int;
+  Sys.set_signal Sys.sigpipe prev_pipe;
+  let q = Admission.counters t.queue in
+  Fmt.epr
+    "serve: stopped after %.1f s — %d accepted, %d completed, %d rejected \
+     (%d overloaded, %d draining)@."
+    (Trace.now_s () -. t.stats.started_s)
+    q.Admission.accepted t.stats.completed
+    (q.Admission.rej_overloaded + q.Admission.rej_draining)
+    q.Admission.rej_overloaded q.Admission.rej_draining;
+  if armed then begin
+    let wall_s = Trace.now_s () -. t.stats.started_s in
+    match Trace.stop () with
+    | None -> ()
+    | Some c ->
+        Option.iter
+          (fun path -> Trace_chrome.write ~path c)
+          cfg.Parcore.Config.trace_file;
+        Option.iter
+          (fun path ->
+            Observe.write_json ~path
+              (Observe.metrics_doc ~generated_by:"mpsoc-par serve"
+                 ~phases:(Observe.phases_of_events c.Trace.events)
+                 ?cache:(Option.map Cache.Store.counters t.engine.store)
+                 ~sections:[ ("server", server_json t) ]
+                 ~wall_s t.stats.solver))
+          cfg.Parcore.Config.metrics_file;
+        if cfg.Parcore.Config.profile then
+          Fmt.epr "%t@." (fun ppf ->
+              Observe.profile_table ppf ~wall_s ~events:c.Trace.events
+                t.stats.solver)
+  end;
+  !exit_code

@@ -1,0 +1,25 @@
+(** The resident parallelization server: a [select]-driven event loop
+    over a Unix-domain (and optional TCP) listener speaking the
+    {!Protocol} frames, one executor domain multiplexing every client's
+    jobs onto shared solver state (taskpool, persistent store, hot
+    per-platform {!Ilp.Memo}), a bounded client-fair {!Admission}
+    queue, per-request watchdog deadlines, and graceful drain on
+    SIGTERM/SIGINT or a [drain] request. *)
+
+type config = {
+  socket_path : string;
+  tcp_port : int option;  (** also listen on 127.0.0.1:port *)
+  queue_max : int;
+  default_deadline_s : float;
+      (** applied when a request carries none; [0.] = none *)
+  drain_grace_s : float;  (** force-stop this long after drain starts *)
+  cfg : Parcore.Config.t;  (** solver/runtime knobs shared by every job *)
+}
+
+val default_config : config
+
+val run : config -> int
+(** Serve until drained.  Returns the process exit code: [0] after a
+    clean drain (all admitted jobs answered, cache index flushed,
+    trace/metrics written), [4] when the drain exceeded
+    [drain_grace_s] and the server force-stopped. *)

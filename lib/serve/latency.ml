@@ -1,0 +1,92 @@
+(** Latency sample recorder shared by the daemon's metrics section and
+    the loadgen report: exact percentiles over all recorded samples.
+
+    Requests through one server process number in the thousands, not
+    millions, so keeping every sample and sorting once at summary time
+    is both exact and cheap — no bucketing error to explain away when
+    two reports are compared.  Not thread-safe; callers serialize. *)
+
+type t = {
+  mutable samples : float array;  (** seconds; live prefix of [n] *)
+  mutable n : int;
+}
+
+let create () = { samples = Array.make 256 0.; n = 0 }
+
+let record t (s : float) =
+  if t.n >= Array.length t.samples then begin
+    let bigger = Array.make (2 * Array.length t.samples) 0. in
+    Array.blit t.samples 0 bigger 0 t.n;
+    t.samples <- bigger
+  end;
+  t.samples.(t.n) <- s;
+  t.n <- t.n + 1
+
+let count t = t.n
+
+(** Nearest-rank percentile of a sorted array ([p] in [0..100]). *)
+let percentile (sorted : float array) (p : float) : float =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+type summary = {
+  count : int;
+  mean_ms : float;
+  max_ms : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+}
+
+let summarize t : summary =
+  let sorted = Array.sub t.samples 0 t.n in
+  Array.sort compare sorted;
+  let total = Array.fold_left ( +. ) 0. sorted in
+  let ms s = 1e3 *. s in
+  {
+    count = t.n;
+    mean_ms = (if t.n = 0 then 0. else ms (total /. float_of_int t.n));
+    max_ms = (if t.n = 0 then 0. else ms sorted.(t.n - 1));
+    p50_ms = ms (percentile sorted 50.);
+    p90_ms = ms (percentile sorted 90.);
+    p99_ms = ms (percentile sorted 99.);
+  }
+
+let summary_json (s : summary) : Trace_json.t =
+  Trace_json.Obj
+    [
+      ("count", Trace_json.Num (float_of_int s.count));
+      ("mean_ms", Trace_json.Num s.mean_ms);
+      ("max_ms", Trace_json.Num s.max_ms);
+      ("p50_ms", Trace_json.Num s.p50_ms);
+      ("p90_ms", Trace_json.Num s.p90_ms);
+      ("p99_ms", Trace_json.Num s.p99_ms);
+    ]
+
+(* fixed 1-2-5 bucket boundaries in milliseconds; the last bucket is
+   open-ended *)
+let bucket_bounds_ms =
+  [ 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 2000.; 5000. ]
+
+let histogram_json t : Trace_json.t =
+  let counts = Array.make (List.length bucket_bounds_ms + 1) 0 in
+  for i = 0 to t.n - 1 do
+    let ms = 1e3 *. t.samples.(i) in
+    let rec slot k = function
+      | [] -> k
+      | b :: rest -> if ms <= b then k else slot (k + 1) rest
+    in
+    let k = slot 0 bucket_bounds_ms in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let labels =
+    List.map (fun b -> Printf.sprintf "le_%gms" b) bucket_bounds_ms
+    @ [ "gt_5000ms" ]
+  in
+  Trace_json.Obj
+    (List.mapi
+       (fun i l -> (l, Trace_json.Num (float_of_int counts.(i))))
+       labels)

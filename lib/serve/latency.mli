@@ -1,0 +1,29 @@
+(** Latency sample recorder: exact nearest-rank percentiles over all
+    recorded samples (seconds in, milliseconds out).  Not thread-safe;
+    callers serialize. *)
+
+type t
+
+val create : unit -> t
+val record : t -> float -> unit
+val count : t -> int
+
+val percentile : float array -> float -> float
+(** Nearest-rank percentile of an already-sorted array ([p] in
+    [0..100]); [0.] when empty. *)
+
+type summary = {
+  count : int;
+  mean_ms : float;
+  max_ms : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+}
+
+val summarize : t -> summary
+val summary_json : summary -> Trace_json.t
+
+val histogram_json : t -> Trace_json.t
+(** Fixed 1-2-5 bucket counts in milliseconds (["le_10ms"], ...,
+    ["gt_5000ms"]) — the metrics document's request-latency histogram. *)

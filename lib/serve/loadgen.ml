@@ -1,0 +1,246 @@
+(** Load generator for the serve daemon ([mpsoc-par loadgen]).
+
+    Replays a target list against a running server at a configured
+    offered rate and concurrency, then writes a latency-percentile
+    report (schema [mpsoc-par/loadgen/v1]) suitable for the benchmark
+    directory, next to [BENCH_parallelize.json].
+
+    Pacing is open-loop on a single global schedule: request [i] is
+    due at [t0 + i/qps] regardless of which worker sends it, so the
+    offered rate stays fixed even when the server slows down — queueing
+    then shows up as latency and [overloaded] rejections, which is
+    exactly what the report is for.  Each worker domain owns one
+    connection and blocks for each response (per-connection closed
+    loop, cross-connection open loop).
+
+    The report doubles as a correctness check: every response's
+    solution digest is compared per target, and a target answering two
+    different digests — which determinism forbids — fails the run. *)
+
+module P = Protocol
+module J = Trace_json
+
+type config = {
+  socket_path : string;
+  targets : string list;
+  platform : string;
+  approach : string;
+  op : P.op;  (** {!P.Parallelize} (default) or {!P.Execute} *)
+  qps : float;  (** offered request rate; [0.] = as fast as possible *)
+  concurrency : int;  (** worker connections *)
+  requests : int;  (** total requests across all workers *)
+  deadline_s : float;  (** per-request deadline sent to the server; [0.] = server default *)
+  report_path : string option;  (** [None] = no report file; ["-"] = stdout *)
+}
+
+let default_config =
+  {
+    socket_path = "mpsoc-par.sock";
+    targets = [];
+    platform = "platform-a-accel";
+    approach = "hetero";
+    op = P.Parallelize;
+    qps = 2.;
+    concurrency = 2;
+    requests = 10;
+    deadline_s = 0.;
+    report_path = None;
+  }
+
+(** Per-worker tallies, merged after the joins. *)
+type wres = {
+  samples : float list;  (** per-response end-to-end seconds *)
+  statuses : (string * int) list;  (** response-status name -> count *)
+  digests : (string * string) list;  (** (target, digest) pairs observed *)
+  transport_errors : int;
+}
+
+let bump statuses name =
+  let n = match List.assoc_opt name statuses with Some n -> n | None -> 0 in
+  (name, n + 1) :: List.remove_assoc name statuses
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (code, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     Mpsoc_error.raise_error ~phase:Cli ~kind:Invalid_input ~location:path
+       ~advice:"is `mpsoc-par serve` running on this socket?"
+       ("cannot connect: " ^ Unix.error_message code));
+  fd
+
+let worker (cfg : config) ~t0 ~(next : int Atomic.t) () : wres =
+  let fd = connect cfg.socket_path in
+  let targets = Array.of_list cfg.targets in
+  let rec loop acc =
+    let i = Atomic.fetch_and_add next 1 in
+    if i >= cfg.requests then acc
+    else begin
+      (* global open-loop schedule: request i is due at t0 + i/qps *)
+      if cfg.qps > 0. then begin
+        let due = t0 +. (float_of_int i /. cfg.qps) in
+        let wait = due -. Trace.now_s () in
+        if wait > 0. then Unix.sleepf wait
+      end;
+      let target = targets.(i mod Array.length targets) in
+      let req =
+        P.request
+          ~id:(Printf.sprintf "load-%d" i)
+          ~target ~platform:cfg.platform ~approach:cfg.approach
+          ~deadline_s:cfg.deadline_s cfg.op
+      in
+      let sent = Trace.now_s () in
+      match
+        P.write_request fd req;
+        P.read_response fd
+      with
+      | exception Unix.Unix_error _ ->
+          { acc with transport_errors = acc.transport_errors + 1 }
+      | `Eof | `Error _ ->
+          { acc with transport_errors = acc.transport_errors + 1 }
+      | `Response r ->
+          let dt = Trace.now_s () -. sent in
+          let digests =
+            match List.assoc_opt "digest" r.P.body with
+            | Some (J.Str d) -> (target, d) :: acc.digests
+            | _ -> acc.digests
+          in
+          loop
+            {
+              acc with
+              samples = dt :: acc.samples;
+              statuses = bump acc.statuses (P.status_name r.P.status);
+              digests;
+            }
+    end
+  in
+  let r =
+    try
+      loop { samples = []; statuses = []; digests = []; transport_errors = 0 }
+    with Mpsoc_error.Error _ as e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  r
+
+(** Per-target digest sets; a target with more than one distinct digest
+    violates the determinism contract. *)
+let digest_check (pairs : (string * string) list) :
+    (string * string list) list * bool =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (t, d) ->
+      let ds = Option.value (Hashtbl.find_opt tbl t) ~default:[] in
+      if not (List.mem d ds) then Hashtbl.replace tbl t (d :: ds))
+    pairs;
+  let per_target =
+    Hashtbl.fold (fun t ds acc -> (t, List.rev ds) :: acc) tbl []
+    |> List.sort compare
+  in
+  (per_target, List.for_all (fun (_, ds) -> List.length ds <= 1) per_target)
+
+let run (cfg : config) : int =
+  if cfg.targets = [] then
+    Mpsoc_error.raise_error ~phase:Cli ~kind:Invalid_input
+      "loadgen needs at least one TARGET";
+  if cfg.requests <= 0 then
+    Mpsoc_error.raise_error ~phase:Cli ~kind:Invalid_input
+      "loadgen needs --requests > 0";
+  (* fail fast on a bad target before opening the flood *)
+  List.iter
+    (fun t ->
+      match Benchsuite.Suite.resolve t with
+      | Ok _ -> ()
+      | Error e -> raise (Mpsoc_error.Error e))
+    cfg.targets;
+  let t0 = Trace.now_s () in
+  let next = Atomic.make 0 in
+  let workers =
+    List.init
+      (max 1 cfg.concurrency)
+      (fun _ -> Domain.spawn (worker cfg ~t0 ~next))
+  in
+  let results = List.map Domain.join workers in
+  let wall_s = Trace.now_s () -. t0 in
+  (* merge the per-worker tallies *)
+  let lat = Latency.create () in
+  List.iter
+    (fun r -> List.iter (Latency.record lat) r.samples)
+    results;
+  let statuses =
+    List.fold_left
+      (fun acc r ->
+        List.fold_left
+          (fun acc (name, n) ->
+            let m =
+              match List.assoc_opt name acc with Some m -> m | None -> 0
+            in
+            (name, m + n) :: List.remove_assoc name acc)
+          acc r.statuses)
+      [] results
+    |> List.sort compare
+  in
+  let transport_errors =
+    List.fold_left (fun a r -> a + r.transport_errors) 0 results
+  in
+  let count name =
+    match List.assoc_opt name statuses with Some n -> n | None -> 0
+  in
+  let completed = Latency.count lat in
+  let rejected = count "overloaded" + count "draining" in
+  let per_target, digests_ok =
+    digest_check (List.concat_map (fun r -> r.digests) results)
+  in
+  let summary = Latency.summarize lat in
+  let ok = transport_errors = 0 && digests_ok in
+  let report =
+    J.Obj
+      [
+        ("schema", J.Str "mpsoc-par/loadgen/v1");
+        ("socket", J.Str cfg.socket_path);
+        ("op", J.Str (P.op_name cfg.op));
+        ("platform", J.Str cfg.platform);
+        ("approach", J.Str cfg.approach);
+        ("targets", J.List (List.map (fun t -> J.Str t) cfg.targets));
+        ("offered_qps", J.Num cfg.qps);
+        ("concurrency", J.Num (float_of_int cfg.concurrency));
+        ("requests", J.Num (float_of_int cfg.requests));
+        ("wall_s", J.Num wall_s);
+        ("completed", J.Num (float_of_int completed));
+        ( "throughput_rps",
+          J.Num (if wall_s > 0. then float_of_int completed /. wall_s else 0.)
+        );
+        ( "statuses",
+          J.Obj
+            (List.map
+               (fun (name, n) -> (name, J.Num (float_of_int n)))
+               statuses) );
+        ("rejected", J.Num (float_of_int rejected));
+        ( "rejection_rate",
+          J.Num
+            (if cfg.requests > 0 then
+               float_of_int rejected /. float_of_int cfg.requests
+             else 0.) );
+        ("transport_errors", J.Num (float_of_int transport_errors));
+        ("latency", Latency.summary_json summary);
+        ("latency_histogram_ms", Latency.histogram_json lat);
+        ( "digests",
+          J.Obj
+            (List.map
+               (fun (t, ds) -> (t, J.List (List.map (fun d -> J.Str d) ds)))
+               per_target) );
+        ("digests_consistent", J.Bool digests_ok);
+        ("ok", J.Bool ok);
+      ]
+  in
+  Option.iter (fun path -> Observe.write_json ~path report) cfg.report_path;
+  Fmt.epr
+    "loadgen: %d/%d completed in %.2f s (%.2f rps) — p50 %.1f ms, p90 %.1f \
+     ms, p99 %.1f ms; %d rejected, %d transport error(s)%s@."
+    completed cfg.requests wall_s
+    (if wall_s > 0. then float_of_int completed /. wall_s else 0.)
+    summary.Latency.p50_ms summary.Latency.p90_ms summary.Latency.p99_ms
+    rejected transport_errors
+    (if digests_ok then "" else "; DIGEST MISMATCH");
+  if ok then 0 else 1

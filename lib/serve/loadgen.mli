@@ -1,0 +1,28 @@
+(** Load generator for the serve daemon: open-loop paced request replay
+    over [concurrency] connections, a latency-percentile report
+    (schema [mpsoc-par/loadgen/v1]), and a per-target solution-digest
+    consistency check. *)
+
+type config = {
+  socket_path : string;
+  targets : string list;
+  platform : string;
+  approach : string;
+  op : Protocol.op;  (** {!Protocol.Parallelize} or {!Protocol.Execute} *)
+  qps : float;  (** offered request rate; [0.] = as fast as possible *)
+  concurrency : int;  (** worker connections (one domain each) *)
+  requests : int;  (** total requests across all workers *)
+  deadline_s : float;
+      (** per-request deadline sent to the server; [0.] = server default *)
+  report_path : string option;  (** [None] = no file; ["-"] = stdout *)
+}
+
+val default_config : config
+
+val run : config -> int
+(** Returns the process exit code: [0] when every request got a
+    response over an intact connection and per-target digests were
+    consistent; [1] on transport errors or a digest mismatch.  Typed
+    server rejections ([overloaded]/[draining]) are reported, not
+    failures.  Raises {!Mpsoc_error.Error} ([Invalid_input]) on an
+    unknown target, empty target list, or unreachable socket. *)

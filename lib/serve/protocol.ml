@@ -1,0 +1,335 @@
+(** Wire protocol of the serve daemon (schema [mpsoc-par/serve/v1]).
+
+    Transport: length-prefixed frames — a 4-byte big-endian payload
+    length followed by that many bytes of JSON.  Length prefixes make
+    the stream self-delimiting without scanning, so a slow or malicious
+    client can never stall the parser, and the decoder rejects any
+    frame announcing more than {!max_frame} bytes before buffering it.
+
+    Requests and responses are JSON objects carrying a [schema] field;
+    the response [code] mirrors the CLI exit-code contract (0 ok /
+    2 degraded / 3 invalid input, overload or drain rejection /
+    4 timeout or deadlock / 1 fault or internal), so a remote client
+    observes exactly the statuses a local CLI run would exit with. *)
+
+module J = Trace_json
+
+let schema = "mpsoc-par/serve/v1"
+
+(** Hard cap on a frame's JSON payload.  Large enough for any source
+    file the flow accepts, small enough that a garbage length prefix
+    (e.g. someone piping an HTTP request at the socket) is rejected
+    immediately instead of waiting on gigabytes that never arrive. *)
+let max_frame = 4 * 1024 * 1024
+
+(* ---- requests ------------------------------------------------------ *)
+
+type op = Parallelize | Execute | Status | Drain
+
+let op_name = function
+  | Parallelize -> "parallelize"
+  | Execute -> "execute"
+  | Status -> "status"
+  | Drain -> "drain"
+
+let op_of_name = function
+  | "parallelize" -> Some Parallelize
+  | "execute" -> Some Execute
+  | "status" -> Some Status
+  | "drain" -> Some Drain
+  | _ -> None
+
+type request = {
+  id : string;  (** client-chosen correlation id, echoed in the response *)
+  op : op;
+  target : string;  (** benchmark name or server-side source path *)
+  platform : string;  (** preset name or server-side description file *)
+  approach : string;  (** ["hetero"] (default) or ["homo"] *)
+  deadline_s : float;
+      (** per-request watchdog deadline; [0.] accepts the server default *)
+}
+
+let request ?(id = "") ?(target = "") ?(platform = "platform-a-accel")
+    ?(approach = "hetero") ?(deadline_s = 0.) op =
+  { id; op; target; platform; approach; deadline_s }
+
+let request_json (r : request) : J.t =
+  J.Obj
+    [
+      ("schema", J.Str schema);
+      ("id", J.Str r.id);
+      ("op", J.Str (op_name r.op));
+      ("target", J.Str r.target);
+      ("platform", J.Str r.platform);
+      ("approach", J.Str r.approach);
+      ("deadline_s", J.Num r.deadline_s);
+    ]
+
+let str_field ?(default = "") j name =
+  match J.member name j with
+  | Some (J.Str s) -> s
+  | Some _ | None -> default
+
+let num_field ?(default = 0.) j name =
+  match J.member name j with Some (J.Num n) -> n | Some _ | None -> default
+
+let request_of_json (j : J.t) : (request, string) result =
+  match j with
+  | J.Obj _ -> (
+      match str_field j "schema" with
+      | s when s <> schema ->
+          Error
+            (Printf.sprintf "unsupported schema %S (this server speaks %s)" s
+               schema)
+      | _ -> (
+          match op_of_name (str_field j "op") with
+          | None ->
+              Error
+                (Printf.sprintf
+                   "unknown op %S (ops: parallelize, execute, status, drain)"
+                   (str_field j "op"))
+          | Some op ->
+              Ok
+                {
+                  id = str_field j "id";
+                  op;
+                  target = str_field j "target";
+                  platform =
+                    str_field ~default:"platform-a-accel" j "platform";
+                  approach = str_field ~default:"hetero" j "approach";
+                  deadline_s = num_field j "deadline_s";
+                }))
+  | _ -> Error "request is not a JSON object"
+
+let parse_request (payload : string) : (request, string) result =
+  match J.parse payload with
+  | j -> request_of_json j
+  | exception J.Parse_error m -> Error ("bad JSON: " ^ m)
+
+(* ---- responses ----------------------------------------------------- *)
+
+type status =
+  | Ok_
+  | Degraded
+  | Invalid
+  | Resource_limit
+  | Timeout
+  | Deadlock
+  | Fault
+  | Internal
+  | Overloaded  (** admission queue full — retry later *)
+  | Draining  (** server is shutting down — resubmit elsewhere *)
+
+let all_statuses =
+  [
+    Ok_;
+    Degraded;
+    Invalid;
+    Resource_limit;
+    Timeout;
+    Deadlock;
+    Fault;
+    Internal;
+    Overloaded;
+    Draining;
+  ]
+
+let status_name = function
+  | Ok_ -> "ok"
+  | Degraded -> "degraded"
+  | Invalid -> "invalid"
+  | Resource_limit -> "resource-limit"
+  | Timeout -> "timeout"
+  | Deadlock -> "deadlock"
+  | Fault -> "fault"
+  | Internal -> "internal"
+  | Overloaded -> "overloaded"
+  | Draining -> "draining"
+
+let status_of_name n =
+  List.find_opt (fun s -> status_name s = n) all_statuses
+
+(** The CLI exit-code contract, applied to responses.  [Overloaded] and
+    [Draining] are typed rejections of a valid request — resource-class
+    (3), like [Resource_limit], not server faults. *)
+let status_code = function
+  | Ok_ -> 0
+  | Degraded -> 2
+  | Invalid | Resource_limit | Overloaded | Draining -> 3
+  | Timeout | Deadlock -> 4
+  | Fault | Internal -> 1
+
+let status_of_error (e : Mpsoc_error.t) =
+  match e.Mpsoc_error.kind with
+  | Mpsoc_error.Invalid_input -> Invalid
+  | Mpsoc_error.Resource_limit -> Resource_limit
+  | Mpsoc_error.Timeout -> Timeout
+  | Mpsoc_error.Deadlock _ -> Deadlock
+  | Mpsoc_error.Fault_injected _ -> Fault
+  | Mpsoc_error.Internal -> Internal
+
+type response = {
+  id : string;
+  status : status;
+  message : string;  (** human diagnostic; [""] when none *)
+  body : (string * J.t) list;  (** op-specific payload *)
+}
+
+let response ?(message = "") ?(body = []) ~id status =
+  { id; status; message; body }
+
+let of_error ~id (e : Mpsoc_error.t) =
+  response ~id (status_of_error e) ~message:(Mpsoc_error.to_string e)
+
+let response_json (r : response) : J.t =
+  J.Obj
+    ([
+       ("schema", J.Str schema);
+       ("id", J.Str r.id);
+       ("status", J.Str (status_name r.status));
+       ("code", J.Num (float_of_int (status_code r.status)));
+     ]
+    @ (if r.message = "" then [] else [ ("message", J.Str r.message) ])
+    @ r.body)
+
+let response_of_json (j : J.t) : (response, string) result =
+  match j with
+  | J.Obj fields -> (
+      if str_field j "schema" <> schema then
+        Error (Printf.sprintf "unsupported schema %S" (str_field j "schema"))
+      else
+        match status_of_name (str_field j "status") with
+        | None -> Error (Printf.sprintf "unknown status %S" (str_field j "status"))
+        | Some status ->
+            let known = [ "schema"; "id"; "status"; "code"; "message" ] in
+            Ok
+              {
+                id = str_field j "id";
+                status;
+                message = str_field j "message";
+                body =
+                  List.filter (fun (k, _) -> not (List.mem k known)) fields;
+              })
+  | _ -> Error "response is not a JSON object"
+
+let parse_response (payload : string) : (response, string) result =
+  match J.parse payload with
+  | j -> response_of_json j
+  | exception J.Parse_error m -> Error ("bad JSON: " ^ m)
+
+(* ---- framing ------------------------------------------------------- *)
+
+let frame (payload : string) : string =
+  let n = String.length payload in
+  if n > max_frame then
+    invalid_arg
+      (Printf.sprintf "Protocol.frame: payload of %d bytes exceeds max %d" n
+         max_frame);
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.to_string b
+
+(** Incremental frame decoder: feed arbitrary byte chunks, pop complete
+    payloads.  Total on any input — a length prefix that is negative or
+    exceeds {!max_frame} yields [`Error] (the connection must be
+    dropped; resynchronisation inside a corrupt stream is impossible). *)
+type decoder = {
+  mutable buf : Bytes.t;
+  mutable len : int;  (** live bytes in [buf], starting at 0 *)
+  mutable dead : string option;  (** sticky framing error *)
+}
+
+let decoder () = { buf = Bytes.create 4096; len = 0; dead = None }
+
+let feed d (s : string) =
+  match d.dead with
+  | Some _ -> ()  (* the stream is unrecoverable; drop further input *)
+  | None ->
+      let n = String.length s in
+      let need = d.len + n in
+      if Bytes.length d.buf < need then begin
+        let cap = max need (2 * Bytes.length d.buf) in
+        let nb = Bytes.create cap in
+        Bytes.blit d.buf 0 nb 0 d.len;
+        d.buf <- nb
+      end;
+      Bytes.blit_string s 0 d.buf d.len n;
+      d.len <- need
+
+let next d : [ `Frame of string | `Awaiting | `Error of string ] =
+  match d.dead with
+  | Some m -> `Error m
+  | None ->
+      if d.len < 4 then `Awaiting
+      else
+        let n = Int32.to_int (Bytes.get_int32_be d.buf 0) in
+        if n < 0 || n > max_frame then begin
+          let m =
+            Printf.sprintf "bad frame length %d (max %d)" n max_frame
+          in
+          d.dead <- Some m;
+          `Error m
+        end
+        else if d.len < 4 + n then `Awaiting
+        else begin
+          let payload = Bytes.sub_string d.buf 4 n in
+          let rest = d.len - (4 + n) in
+          Bytes.blit d.buf (4 + n) d.buf 0 rest;
+          d.len <- rest;
+          `Frame payload
+        end
+
+(* ---- blocking fd helpers (clients and tests) ----------------------- *)
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let n = Unix.write fd b off len in
+    write_all fd b (off + n) (len - n)
+  end
+
+let write_frame fd (payload : string) =
+  let f = frame payload in
+  write_all fd (Bytes.unsafe_of_string f) 0 (String.length f)
+
+(** Read exactly [n] bytes; [None] on EOF at a frame boundary (offset
+    0), raises [End_of_file] on EOF mid-frame. *)
+let read_exact fd n : string option =
+  let b = Bytes.create n in
+  let rec go off =
+    if off >= n then Some (Bytes.to_string b)
+    else
+      match Unix.read fd b off (n - off) with
+      | 0 -> if off = 0 then None else raise End_of_file
+      | k -> go (off + k)
+  in
+  go 0
+
+let read_frame fd : [ `Frame of string | `Eof | `Error of string ] =
+  match read_exact fd 4 with
+  | None -> `Eof
+  | Some hdr -> (
+      let n = Int32.to_int (String.get_int32_be hdr 0) in
+      if n < 0 || n > max_frame then
+        `Error (Printf.sprintf "bad frame length %d (max %d)" n max_frame)
+      else
+        match read_exact fd n with
+        | Some payload -> `Frame payload
+        | None -> `Error "eof inside a frame"
+        | exception End_of_file -> `Error "eof inside a frame")
+  | exception End_of_file -> `Error "eof inside a frame header"
+
+let write_request fd (r : request) =
+  write_frame fd (J.to_string (request_json r))
+
+let write_response fd (r : response) =
+  write_frame fd (J.to_string (response_json r))
+
+let read_response fd : [ `Response of response | `Eof | `Error of string ] =
+  match read_frame fd with
+  | `Eof -> `Eof
+  | `Error m -> `Error m
+  | `Frame payload -> (
+      match parse_response payload with
+      | Ok r -> `Response r
+      | Error m -> `Error m)

@@ -1,0 +1,108 @@
+(** Wire protocol of the serve daemon (schema [mpsoc-par/serve/v1]):
+    length-prefixed JSON frames — a 4-byte big-endian payload length
+    followed by that many bytes of JSON.  Response codes mirror the CLI
+    exit-code contract (0 ok / 2 degraded / 3 invalid-overloaded-draining
+    / 4 timeout-deadlock / 1 fault-internal). *)
+
+module J = Trace_json
+
+val schema : string
+(** ["mpsoc-par/serve/v1"]. *)
+
+val max_frame : int
+(** Hard cap on a frame's JSON payload in bytes; a length prefix
+    announcing more is a framing error, not a large allocation. *)
+
+(** {2 Requests} *)
+
+type op = Parallelize | Execute | Status | Drain
+
+val op_name : op -> string
+val op_of_name : string -> op option
+
+type request = {
+  id : string;  (** client-chosen correlation id, echoed in the response *)
+  op : op;
+  target : string;  (** benchmark name or server-side source path *)
+  platform : string;  (** preset name or server-side description file *)
+  approach : string;  (** ["hetero"] (default) or ["homo"] *)
+  deadline_s : float;
+      (** per-request watchdog deadline; [0.] accepts the server default *)
+}
+
+val request :
+  ?id:string ->
+  ?target:string ->
+  ?platform:string ->
+  ?approach:string ->
+  ?deadline_s:float ->
+  op ->
+  request
+
+val request_json : request -> J.t
+val request_of_json : J.t -> (request, string) result
+val parse_request : string -> (request, string) result
+
+(** {2 Responses} *)
+
+type status =
+  | Ok_
+  | Degraded
+  | Invalid
+  | Resource_limit
+  | Timeout
+  | Deadlock
+  | Fault
+  | Internal
+  | Overloaded  (** admission queue full — retry later *)
+  | Draining  (** server is shutting down — resubmit elsewhere *)
+
+val all_statuses : status list
+val status_name : status -> string
+val status_of_name : string -> status option
+
+val status_code : status -> int
+(** The CLI exit-code contract applied to responses; [Overloaded] and
+    [Draining] are typed resource-class rejections (3). *)
+
+val status_of_error : Mpsoc_error.t -> status
+
+type response = {
+  id : string;
+  status : status;
+  message : string;  (** human diagnostic; [""] when none *)
+  body : (string * J.t) list;  (** op-specific payload *)
+}
+
+val response :
+  ?message:string -> ?body:(string * J.t) list -> id:string -> status -> response
+
+val of_error : id:string -> Mpsoc_error.t -> response
+val response_json : response -> J.t
+val response_of_json : J.t -> (response, string) result
+val parse_response : string -> (response, string) result
+
+(** {2 Framing} *)
+
+val frame : string -> string
+(** Prepend the 4-byte big-endian length.  Raises [Invalid_argument] on
+    a payload over {!max_frame}. *)
+
+(** Incremental frame decoder: {!feed} arbitrary byte chunks, pop
+    complete payloads with {!next}.  Total on any input — a length
+    prefix that is negative or exceeds {!max_frame} yields [`Error],
+    sticky: the stream cannot be resynchronised and must be dropped. *)
+type decoder
+
+val decoder : unit -> decoder
+val feed : decoder -> string -> unit
+val next : decoder -> [ `Frame of string | `Awaiting | `Error of string ]
+
+(** {2 Blocking helpers} (clients and tests; the daemon uses {!decoder}) *)
+
+val write_frame : Unix.file_descr -> string -> unit
+val read_frame : Unix.file_descr -> [ `Frame of string | `Eof | `Error of string ]
+val write_request : Unix.file_descr -> request -> unit
+val write_response : Unix.file_descr -> response -> unit
+val read_response :
+  Unix.file_descr -> [ `Response of response | `Eof | `Error of string ]

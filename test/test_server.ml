@@ -1,0 +1,473 @@
+(* Tests for the serve subsystem: frame codec round-trip and totality on
+   adversarial input (qcheck), request/response JSON round-trip, the
+   response-code contract, the bounded fair admission queue and its
+   drain valve, latency percentiles, and an end-to-end daemon test —
+   concurrent clients over a real Unix socket get responses bit-identical
+   to a direct library run, then a drain request shuts the server down
+   cleanly. *)
+
+module P = Serve.Protocol
+module J = Trace_json
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Feed [wire] to a fresh decoder in chunks of [sizes] (cycled) and pop
+   every completed frame. *)
+let decode_chunked sizes wire =
+  let d = P.decoder () in
+  let out = ref [] in
+  let err = ref None in
+  let n = String.length wire in
+  let pos = ref 0 in
+  let k = ref 0 in
+  while !pos < n && !err = None do
+    let sz = List.nth sizes (!k mod List.length sizes) in
+    incr k;
+    let len = min sz (n - !pos) in
+    P.feed d (String.sub wire !pos len);
+    pos := !pos + len;
+    let rec drain () =
+      match P.next d with
+      | `Frame s ->
+          out := s :: !out;
+          drain ()
+      | `Awaiting -> ()
+      | `Error m -> err := Some m
+    in
+    drain ()
+  done;
+  (List.rev !out, !err)
+
+let test_frame_roundtrip_qcheck () =
+  let open QCheck in
+  let gen =
+    Gen.(
+      pair
+        (list_size (int_range 1 8) (string_size ~gen:char (int_bound 300)))
+        (list_size (int_range 1 5) (int_range 1 64)))
+  in
+  let prop (payloads, sizes) =
+    let wire = String.concat "" (List.map P.frame payloads) in
+    let got, err = decode_chunked sizes wire in
+    err = None && got = payloads
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:300
+       ~name:"framing round-trips through arbitrary chunking" (make gen) prop)
+
+let test_decoder_truncated () =
+  (* a partial header, then a partial payload: always [`Awaiting], and
+     the frame completes once the last byte arrives *)
+  let wire = P.frame "hello" in
+  let d = P.decoder () in
+  P.feed d (String.sub wire 0 2);
+  Alcotest.(check bool) "partial header awaits" true (P.next d = `Awaiting);
+  P.feed d (String.sub wire 2 (String.length wire - 3));
+  Alcotest.(check bool) "partial payload awaits" true (P.next d = `Awaiting);
+  P.feed d (String.sub wire (String.length wire - 1) 1);
+  (match P.next d with
+  | `Frame s -> Alcotest.(check string) "payload" "hello" s
+  | _ -> Alcotest.fail "expected the completed frame");
+  Alcotest.(check bool) "then empty" true (P.next d = `Awaiting)
+
+let test_decoder_garbage_length () =
+  (* an HTTP request line: 'GET ' = 0x47455420, over max_frame *)
+  let d = P.decoder () in
+  P.feed d "GET / HTTP/1.1\r\n";
+  (match P.next d with
+  | `Error _ -> ()
+  | _ -> Alcotest.fail "oversized length prefix must be a framing error");
+  (* sticky: even a valid frame afterwards cannot resynchronize *)
+  P.feed d (P.frame "x");
+  match P.next d with
+  | `Error _ -> ()
+  | _ -> Alcotest.fail "decoder errors must be sticky"
+
+let test_decoder_negative_length () =
+  let d = P.decoder () in
+  P.feed d "\xff\xff\xff\xfexx";
+  match P.next d with
+  | `Error _ -> ()
+  | _ -> Alcotest.fail "negative length prefix must be a framing error"
+
+let test_frame_oversized_payload () =
+  match P.frame (String.make (P.max_frame + 1) 'a') with
+  | _ -> Alcotest.fail "framing an oversized payload must raise"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Request / response JSON                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_request_roundtrip_qcheck () =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* op = oneofl P.[ Parallelize; Execute; Status; Drain ] in
+      let* id = string_size ~gen:printable (int_bound 12) in
+      let* target = string_size ~gen:printable (int_bound 20) in
+      (* quarter-second grid: survives the emitter's %.6g numbers *)
+      let* q = int_bound 400 in
+      return (P.request ~id ~target ~deadline_s:(float_of_int q /. 4.) op))
+  in
+  let prop (r : P.request) =
+    match P.parse_request (J.to_string (P.request_json r)) with
+    | Ok r' -> r = r'
+    | Error _ -> false
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:300 ~name:"request JSON round-trips" (make gen)
+       prop)
+
+let test_response_roundtrip () =
+  List.iter
+    (fun status ->
+      let r =
+        P.response ~id:"req-7" status ~message:"m"
+          ~body:[ ("speedup", J.Num 3.25); ("digest", J.Str "abc") ]
+      in
+      match P.parse_response (J.to_string (P.response_json r)) with
+      | Ok r' ->
+          if r <> r' then
+            Alcotest.failf "response round-trip changed %s"
+              (P.status_name status)
+      | Error m -> Alcotest.failf "response parse failed: %s" m)
+    P.all_statuses
+
+let test_parse_request_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match P.parse_request s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parse_request accepted %S" s)
+    [
+      "";
+      "not json";
+      "[1,2]";
+      {|{"schema":"mpsoc-par/serve/v1"}|};
+      {|{"schema":"mpsoc-par/serve/v1","op":"frobnicate"}|};
+      {|{"schema":"bogus/v9","op":"status"}|};
+    ]
+
+let test_status_code_contract () =
+  let expect =
+    [
+      (P.Ok_, 0);
+      (P.Degraded, 2);
+      (P.Invalid, 3);
+      (P.Resource_limit, 3);
+      (P.Overloaded, 3);
+      (P.Draining, 3);
+      (P.Timeout, 4);
+      (P.Deadlock, 4);
+      (P.Fault, 1);
+      (P.Internal, 1);
+    ]
+  in
+  List.iter
+    (fun (s, code) ->
+      Alcotest.(check int) (P.status_name s) code (P.status_code s))
+    expect;
+  (* every status is covered by the expectation table *)
+  Alcotest.(check int)
+    "all statuses covered" (List.length P.all_statuses) (List.length expect);
+  (* the protocol mirror of the CLI contract: a typed error's response
+     code equals its CLI exit code *)
+  List.iter
+    (fun kind ->
+      let e = Mpsoc_error.make ~phase:Cli ~kind "boom" in
+      Alcotest.(check int) "error code mirror"
+        (Mpsoc_error.exit_code e)
+        (P.status_code (P.status_of_error e)))
+    Mpsoc_error.
+      [
+        Invalid_input;
+        Resource_limit;
+        Timeout;
+        Deadlock { waiting_tasks = [ "t0" ] };
+        Fault_injected "point";
+        Internal;
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Admission queue                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_admission_fairness () =
+  let q = Serve.Admission.create ~max:16 in
+  (* client 1 floods first, then client 2 adds two jobs; round-robin
+     must interleave them instead of draining client 1 first *)
+  List.iter
+    (fun j ->
+      match Serve.Admission.submit q ~client:1 j with
+      | Serve.Admission.Accepted -> ()
+      | _ -> Alcotest.fail "submit under capacity must be accepted")
+    [ "a1"; "a2"; "a3"; "a4" ];
+  List.iter
+    (fun j ->
+      match Serve.Admission.submit q ~client:2 j with
+      | Serve.Admission.Accepted -> ()
+      | _ -> Alcotest.fail "submit under capacity must be accepted")
+    [ "b1"; "b2" ];
+  let order = List.init 6 (fun _ -> Option.get (Serve.Admission.take q)) in
+  Alcotest.(check (list string))
+    "round-robin interleave"
+    [ "a1"; "b1"; "a2"; "b2"; "a3"; "a4" ]
+    order
+
+let test_admission_overload () =
+  let q = Serve.Admission.create ~max:2 in
+  ignore (Serve.Admission.submit q ~client:1 "x");
+  ignore (Serve.Admission.submit q ~client:2 "y");
+  (match Serve.Admission.submit q ~client:3 "z" with
+  | Serve.Admission.Overloaded -> ()
+  | _ -> Alcotest.fail "submit over capacity must be overloaded");
+  (* overload is a rejection, not corruption: the queue still serves *)
+  Alcotest.(check int) "depth" 2 (Serve.Admission.depth q);
+  let c = Serve.Admission.counters q in
+  Alcotest.(check int) "accepted" 2 c.Serve.Admission.accepted;
+  Alcotest.(check int) "rejected" 1 c.Serve.Admission.rej_overloaded
+
+let test_admission_drain () =
+  let q = Serve.Admission.create ~max:8 in
+  ignore (Serve.Admission.submit q ~client:1 "x");
+  Serve.Admission.drain q;
+  (match Serve.Admission.submit q ~client:1 "y" with
+  | Serve.Admission.Draining -> ()
+  | _ -> Alcotest.fail "submit while draining must be rejected");
+  (* admitted work still drains, then take signals completion *)
+  Alcotest.(check (option string)) "queued job" (Some "x")
+    (Serve.Admission.take q);
+  Alcotest.(check (option string)) "drained" None (Serve.Admission.take q);
+  Alcotest.(check (option string)) "stays drained" None (Serve.Admission.take q)
+
+let test_admission_take_blocks () =
+  (* take blocks until a producer submits from another domain *)
+  let q = Serve.Admission.create ~max:4 in
+  let producer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.05;
+        ignore (Serve.Admission.submit q ~client:9 "late"))
+  in
+  Alcotest.(check (option string)) "blocking take" (Some "late")
+    (Serve.Admission.take q);
+  Domain.join producer
+
+(* ------------------------------------------------------------------ *)
+(* Latency percentiles                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_latency_percentiles () =
+  let l = Serve.Latency.create () in
+  (* 1..100 ms, shuffled deterministically *)
+  List.iter
+    (fun i -> Serve.Latency.record l (float_of_int ((i * 37 mod 100) + 1) /. 1e3))
+    (List.init 100 Fun.id);
+  let s = Serve.Latency.summarize l in
+  Alcotest.(check int) "count" 100 s.Serve.Latency.count;
+  (* nearest-rank on 1..100: pXX = XX *)
+  Alcotest.(check (float 1e-6)) "p50" 50. s.Serve.Latency.p50_ms;
+  Alcotest.(check (float 1e-6)) "p90" 90. s.Serve.Latency.p90_ms;
+  Alcotest.(check (float 1e-6)) "p99" 99. s.Serve.Latency.p99_ms;
+  Alcotest.(check (float 1e-6)) "max" 100. s.Serve.Latency.max_ms;
+  Alcotest.(check (float 1e-6)) "mean" 50.5 s.Serve.Latency.mean_ms
+
+let test_latency_empty () =
+  let s = Serve.Latency.summarize (Serve.Latency.create ()) in
+  Alcotest.(check int) "count" 0 s.Serve.Latency.count;
+  Alcotest.(check (float 1e-9)) "p99" 0. s.Serve.Latency.p99_ms
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: daemon on a real socket, concurrent clients             *)
+(* ------------------------------------------------------------------ *)
+
+(* small but parallelizable: two independent DOALL loops *)
+let e2e_src =
+  {|
+float a[256]; float b[256];
+int main() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) { a[i] = sin(i * 0.01) * 2.0; }
+  for (i = 0; i < 256; i = i + 1) { b[i] = cos(i * 0.02) + 1.0; }
+  return (int) (a[5] + b[7]);
+}
+|}
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "serve-test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm p =
+        if Sys.is_directory p then (
+          Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+          Unix.rmdir p)
+        else Sys.remove p
+      in
+      try rm dir with Sys_error _ | Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let rpc sock (req : P.request) : P.response =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      P.write_request fd req;
+      match P.read_response fd with
+      | `Response r -> r
+      | `Eof -> Alcotest.fail "server closed the connection"
+      | `Error m -> Alcotest.failf "transport error: %s" m)
+
+let connect_retry sock =
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX sock) with
+    | () -> Unix.close fd
+    | exception Unix.Unix_error _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if n = 0 then Alcotest.fail "server socket never came up";
+        Unix.sleepf 0.05;
+        go (n - 1)
+  in
+  go 100
+
+let body_str name (r : P.response) =
+  match List.assoc_opt name r.P.body with
+  | Some (J.Str s) -> s
+  | _ -> Alcotest.failf "response body misses string field %S" name
+
+let body_num name (r : P.response) =
+  match List.assoc_opt name r.P.body with
+  | Some (J.Num n) -> n
+  | _ -> Alcotest.failf "response body misses numeric field %S" name
+
+let test_daemon_end_to_end () =
+  with_tmpdir @@ fun dir ->
+  let src_file = Filename.concat dir "prog.c" in
+  let oc = open_out src_file in
+  output_string oc e2e_src;
+  close_out oc;
+  let sock = Filename.concat dir "s.sock" in
+  let cfg = { Parcore.Config.fast with Parcore.Config.jobs = 2 } in
+  let server =
+    Domain.spawn (fun () ->
+        Serve.Daemon.run
+          {
+            Serve.Daemon.default_config with
+            Serve.Daemon.socket_path = sock;
+            cfg;
+          })
+  in
+  connect_retry sock;
+  (* two concurrent clients ask for the same target *)
+  let ask () =
+    rpc sock
+      (P.request ~id:"c" ~target:src_file ~platform:"platform-a-accel"
+         P.Parallelize)
+  in
+  let other = Domain.spawn ask in
+  let r1 = ask () in
+  let r2 = Domain.join other in
+  List.iter
+    (fun (r : P.response) ->
+      match P.status_code r.P.status with
+      | 0 | 2 -> ()
+      | _ ->
+          Alcotest.failf "request failed: %s %s" (P.status_name r.P.status)
+            r.P.message)
+    [ r1; r2 ];
+  (* both responses carry the same digest, and it is bit-identical to a
+     direct single-shot library run with the same config *)
+  let direct =
+    Parcore.Parallelize.run ~cfg ~approach:Parcore.Parallelize.Heterogeneous
+      ~platform:Platform.Presets.platform_a_accel e2e_src
+  in
+  let expect = Parcore.Algorithm.digest direct.Parcore.Parallelize.algo in
+  Alcotest.(check string) "client 1 digest" expect (body_str "digest" r1);
+  Alcotest.(check string) "client 2 digest" expect (body_str "digest" r2);
+  (* warm path: a repeat request is answered from the hot memo *)
+  let r3 = ask () in
+  Alcotest.(check (float 0.)) "warm run solves no ILPs" 0. (body_num "ilps" r3);
+  Alcotest.(check bool) "warm run hit the memo" true (body_num "memo_hits" r3 > 0.);
+  (* status reflects the served jobs *)
+  let st = rpc sock (P.request ~id:"st" P.Status) in
+  (match List.assoc_opt "server" st.P.body with
+  | Some (J.Obj fields) -> (
+      match List.assoc_opt "completed" fields with
+      | Some (J.Num n) ->
+          Alcotest.(check bool) "completed >= 3" true (n >= 3.)
+      | _ -> Alcotest.fail "status misses completed")
+  | _ -> Alcotest.fail "status misses server section");
+  (* graceful drain via the protocol *)
+  let dr = rpc sock (P.request ~id:"d" P.Drain) in
+  Alcotest.(check string) "drain acknowledged" "ok" (P.status_name dr.P.status);
+  let code = Domain.join server in
+  Alcotest.(check int) "clean drain exit" 0 code;
+  Alcotest.(check bool) "socket removed" false (Sys.file_exists sock)
+
+let test_daemon_rejects_unknown_target () =
+  with_tmpdir @@ fun dir ->
+  let sock = Filename.concat dir "s.sock" in
+  let server =
+    Domain.spawn (fun () ->
+        Serve.Daemon.run
+          {
+            Serve.Daemon.default_config with
+            Serve.Daemon.socket_path = sock;
+            cfg = Parcore.Config.fast;
+          })
+  in
+  connect_retry sock;
+  let r = rpc sock (P.request ~id:"x" ~target:"no-such-benchmark" P.Parallelize) in
+  Alcotest.(check string) "typed rejection" "invalid" (P.status_name r.P.status);
+  (* the diagnostic lists the available benchmark names (satellite
+     contract shared with the CLI's resolve_target) *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  Alcotest.(check bool) "message lists benchmarks" true
+    (List.for_all (contains r.P.message) Benchsuite.Suite.names);
+  ignore (rpc sock (P.request ~id:"d" P.Drain));
+  Alcotest.(check int) "clean exit" 0 (Domain.join server)
+
+let suite =
+  [
+    Alcotest.test_case "frame round-trip (qcheck)" `Quick
+      test_frame_roundtrip_qcheck;
+    Alcotest.test_case "decoder: truncated input awaits" `Quick
+      test_decoder_truncated;
+    Alcotest.test_case "decoder: garbage length is a sticky error" `Quick
+      test_decoder_garbage_length;
+    Alcotest.test_case "decoder: negative length is an error" `Quick
+      test_decoder_negative_length;
+    Alcotest.test_case "frame: oversized payload raises" `Quick
+      test_frame_oversized_payload;
+    Alcotest.test_case "request JSON round-trip (qcheck)" `Quick
+      test_request_roundtrip_qcheck;
+    Alcotest.test_case "response JSON round-trip (all statuses)" `Quick
+      test_response_roundtrip;
+    Alcotest.test_case "parse_request rejects garbage" `Quick
+      test_parse_request_rejects_garbage;
+    Alcotest.test_case "response codes mirror the CLI exit contract" `Quick
+      test_status_code_contract;
+    Alcotest.test_case "admission: round-robin fairness" `Quick
+      test_admission_fairness;
+    Alcotest.test_case "admission: overload rejection" `Quick
+      test_admission_overload;
+    Alcotest.test_case "admission: drain valve" `Quick test_admission_drain;
+    Alcotest.test_case "admission: take blocks until submit" `Quick
+      test_admission_take_blocks;
+    Alcotest.test_case "latency: nearest-rank percentiles" `Quick
+      test_latency_percentiles;
+    Alcotest.test_case "latency: empty summary" `Quick test_latency_empty;
+    Alcotest.test_case "daemon: concurrent clients, bit-identical to direct run"
+      `Slow test_daemon_end_to_end;
+    Alcotest.test_case "daemon: typed rejection lists benchmarks" `Slow
+      test_daemon_rejects_unknown_target;
+  ]
