@@ -45,8 +45,16 @@ perf-smoke:
 # the committed baseline (±25%, override with BENCH_TOLERANCE_PCT).
 # After an intentional perf change: make perf-smoke &&
 # cp BENCH_parallelize.json ci/bench_baseline.json and commit.
+# Also asserts every ILP acceleration toggle builds and runs: one smoke
+# benchmark per toggle-off configuration through the CLI.
 perf-gate: perf-smoke
 	./ci/check_bench.sh ci/bench_baseline.json BENCH_parallelize.json
+	@for t in presolve symmetry cuts seed-incumbent; do \
+	  ./_build/default/bin/mpsoc_par.exe bench mult_10 \
+	    -p platform-a-accel --ilp-time-limit 0.5 --$$t false >/dev/null \
+	    && echo "toggle-smoke: --$$t false ok" \
+	    || { echo "toggle-smoke: --$$t false FAILED"; exit 1; }; \
+	done
 
 # Server-mode smoke: start the serve daemon, replay 3 benchmarks via
 # loadgen (report in serve-load.json), then SIGTERM and require a

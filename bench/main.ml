@@ -214,6 +214,12 @@ let perf_baseline_cfg =
     solve_cache = false;
     sweep_warm_start = false;
     ilp_work_limit = 0.;
+    (* pre-acceleration solver semantics: the baseline column must keep
+       measuring the historical search, not the presolved/cut one *)
+    ilp_presolve = false;
+    ilp_symmetry = false;
+    ilp_cuts = false;
+    ilp_seed_incumbent = false;
   }
 
 let perf_opt_cfg ~jobs ~work_limit =
@@ -240,6 +246,10 @@ type perf_row = {
   pr_ilps_baseline : int;
   pr_ilps_opt : int;
   pr_cache_hits : int;
+  (* v3 solver-effort counters, from the deterministic jobs=1 run *)
+  pr_nodes : int;
+  pr_pivots : int;
+  pr_cuts : int;
   pr_identical : bool;
 }
 
@@ -263,9 +273,9 @@ let run_perf ~smoke () =
     "E10: compile-side perf — parallelize wall time (ncores=%d%s)\n" ncores
     (if smoke then ", smoke subset" else "");
   line ();
-  Printf.printf "  %-16s %12s %11s %11s %6s %6s %5s %8s %5s\n" "benchmark"
-    "baseline(ms)" "jobs1(ms)" "jobsN(ms)" "ilp-b" "ilp-o" "hits" "speedup"
-    "ident";
+  Printf.printf "  %-16s %12s %11s %11s %6s %6s %5s %6s %8s %5s %8s %5s\n"
+    "benchmark" "baseline(ms)" "jobs1(ms)" "jobsN(ms)" "ilp-b" "ilp-o" "hits"
+    "nodes" "pivots" "cuts" "speedup" "ident";
   let rows =
     List.map
       (fun (b : Benchsuite.Suite.t) ->
@@ -294,12 +304,17 @@ let run_perf ~smoke () =
             pr_ilps_baseline = base.Parcore.Algorithm.stats.Ilp.Stats.ilps;
             pr_ilps_opt = opt1.Parcore.Algorithm.stats.Ilp.Stats.ilps;
             pr_cache_hits = opt1.Parcore.Algorithm.stats.Ilp.Stats.cache_hits;
+            pr_nodes = opt1.Parcore.Algorithm.stats.Ilp.Stats.bb_nodes;
+            pr_pivots = opt1.Parcore.Algorithm.stats.Ilp.Stats.pivots;
+            pr_cuts = opt1.Parcore.Algorithm.stats.Ilp.Stats.cuts;
             pr_identical = perf_canon opt1 = perf_canon optn;
           }
         in
-        Printf.printf "  %-16s %12.1f %11.1f %11.1f %6d %6d %5d %7.2fx %5s\n"
+        Printf.printf
+          "  %-16s %12.1f %11.1f %11.1f %6d %6d %5d %6d %8d %5d %7.2fx %5s\n"
           row.pr_name row.pr_baseline_ms row.pr_jobs1_ms row.pr_jobsn_ms
-          row.pr_ilps_baseline row.pr_ilps_opt row.pr_cache_hits
+          row.pr_ilps_baseline row.pr_ilps_opt row.pr_cache_hits row.pr_nodes
+          row.pr_pivots row.pr_cuts
           (row.pr_baseline_ms /. row.pr_jobsn_ms)
           (if row.pr_identical then "ok" else "FAIL");
         row)
@@ -311,6 +326,9 @@ let run_perf ~smoke () =
   let total_optn = sum (fun r -> r.pr_jobsn_ms) in
   let total_hits = sumi (fun r -> r.pr_cache_hits) in
   let total_ilps = sumi (fun r -> r.pr_ilps_opt) in
+  let total_nodes = sumi (fun r -> r.pr_nodes) in
+  let total_pivots = sumi (fun r -> r.pr_pivots) in
+  let total_cuts = sumi (fun r -> r.pr_cuts) in
   let hit_rate =
     if total_hits + total_ilps = 0 then 0.
     else float_of_int total_hits /. float_of_int (total_hits + total_ilps)
@@ -319,14 +337,18 @@ let run_perf ~smoke () =
   let speedup = total_base /. total_optn in
   Printf.printf
     "  total: baseline %.0f ms, optimized jobs=%d %.0f ms — speedup %.2fx, \
-     cache hit rate %.1f%%, bit-identical across jobs: %s\n"
-    total_base ncores total_optn speedup (100. *. hit_rate)
+     cache hit rate %.1f%%, %d B&B nodes, %d pivots, %d cuts, bit-identical \
+     across jobs: %s\n"
+    total_base ncores total_optn speedup (100. *. hit_rate) total_nodes
+    total_pivots total_cuts
     (if all_identical then "yes" else "NO");
   (* hand-rolled JSON: flat schema, no escaping needed for these names *)
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"mpsoc-par/parallelize-perf/v2\",\n";
-  (* provenance header (v2): git rev, compiler, host, UTC timestamp *)
+  Buffer.add_string buf "  \"schema\": \"mpsoc-par/parallelize-perf/v3\",\n";
+  (* provenance header (v2): git rev, compiler, host, UTC timestamp;
+     v3 adds the per-benchmark solver-effort counters bb_nodes / pivots /
+     cuts_added taken from the deterministic jobs=1 run *)
   List.iter
     (fun (k, v) -> Printf.bprintf buf "  %S: %s,\n" k (Trace_json.to_string v))
     (Observe.run_metadata ());
@@ -343,9 +365,11 @@ let run_perf ~smoke () =
       Printf.bprintf buf
         "    { \"name\": %S, \"baseline_ms\": %.1f, \"jobs1_ms\": %.1f, \
          \"jobsN_ms\": %.1f, \"ilps_baseline\": %d, \"ilps_optimized\": %d, \
-         \"cache_hits\": %d, \"speedup\": %.3f, \"identical\": %b }%s\n"
+         \"cache_hits\": %d, \"bb_nodes\": %d, \"pivots\": %d, \
+         \"cuts_added\": %d, \"speedup\": %.3f, \"identical\": %b }%s\n"
         r.pr_name r.pr_baseline_ms r.pr_jobs1_ms r.pr_jobsn_ms
-        r.pr_ilps_baseline r.pr_ilps_opt r.pr_cache_hits
+        r.pr_ilps_baseline r.pr_ilps_opt r.pr_cache_hits r.pr_nodes r.pr_pivots
+        r.pr_cuts
         (r.pr_baseline_ms /. r.pr_jobsn_ms)
         r.pr_identical
         (if i = List.length rows - 1 then "" else ","))
@@ -353,8 +377,10 @@ let run_perf ~smoke () =
   Buffer.add_string buf "  ],\n";
   Printf.bprintf buf
     "  \"total\": { \"baseline_ms\": %.1f, \"optimized_ms\": %.1f, \
-     \"speedup\": %.3f, \"cache_hit_rate\": %.3f, \"identical\": %b }\n"
-    total_base total_optn speedup hit_rate all_identical;
+     \"speedup\": %.3f, \"cache_hit_rate\": %.3f, \"bb_nodes\": %d, \
+     \"pivots\": %d, \"cuts_added\": %d, \"identical\": %b }\n"
+    total_base total_optn speedup hit_rate total_nodes total_pivots total_cuts
+    all_identical;
   Buffer.add_string buf "}\n";
   let oc = open_out "BENCH_parallelize.json" in
   output_string oc (Buffer.contents buf);

@@ -144,11 +144,60 @@ let cache_max_mb_arg =
           "Size cap of the persistent solve cache; least-recently-used \
            entries are evicted once the data file exceeds it.")
 
+(* The four ILP acceleration toggles ship as one bundle: every solving
+   subcommand takes all of them or none, and the solver treats them as a
+   single configuration (they salt the memo/persistent cache keys
+   together). *)
+type accel = {
+  presolve : bool;
+  symmetry : bool;
+  cuts : bool;
+  seed_incumbent : bool;
+}
+
+let accel_default =
+  {
+    presolve = Parcore.Config.default.Parcore.Config.ilp_presolve;
+    symmetry = Parcore.Config.default.Parcore.Config.ilp_symmetry;
+    cuts = Parcore.Config.default.Parcore.Config.ilp_cuts;
+    seed_incumbent = Parcore.Config.default.Parcore.Config.ilp_seed_incumbent;
+  }
+
+let accel_term =
+  let toggle name default doc =
+    Arg.(value & opt bool default & info [ name ] ~docv:"BOOL" ~doc)
+  in
+  let presolve =
+    toggle "presolve" accel_default.presolve
+      "Run the ILP presolve reductions (bound tightening, implied \
+       fixings, dominated columns) before each branch & bound search; \
+       solutions are lifted back so results are unchanged."
+  in
+  let symmetry =
+    toggle "symmetry" accel_default.symmetry
+      "Add lexicographic symmetry-breaking rows (used-task contiguity \
+       and interchangeable-class ordering) to each formulation."
+  in
+  let cuts =
+    toggle "cuts" accel_default.cuts
+      "Separate knapsack cover cuts on the budget rows at the root node \
+       and periodically during the dive."
+  in
+  let seed =
+    toggle "seed-incumbent" accel_default.seed_incumbent
+      "Prime each top-level solve's incumbent with the greedy list \
+       schedule so fathoming starts from a real bound."
+  in
+  Term.(
+    const (fun presolve symmetry cuts seed_incumbent ->
+        { presolve; symmetry; cuts; seed_incumbent })
+    $ presolve $ symmetry $ cuts $ seed)
+
 let cfg_of ?(jobs = Parcore.Config.default.Parcore.Config.jobs)
     ?(timeout_s = Parcore.Config.default.Parcore.Config.timeout_s)
     ?(trace = None) ?(metrics = None) ?(profile = false) ?(cache_dir = None)
     ?(cache_max_mb = Parcore.Config.default.Parcore.Config.cache_max_mb)
-    time_limit max_steps =
+    ?(accel = accel_default) time_limit max_steps =
   {
     Parcore.Config.default with
     Parcore.Config.ilp_time_limit_s = time_limit;
@@ -160,6 +209,10 @@ let cfg_of ?(jobs = Parcore.Config.default.Parcore.Config.jobs)
     profile;
     cache_dir;
     cache_max_mb;
+    ilp_presolve = accel.presolve;
+    ilp_symmetry = accel.symmetry;
+    ilp_cuts = accel.cuts;
+    ilp_seed_incumbent = accel.seed_incumbent;
   }
 
 (* ---------------- observability ---------------- *)
@@ -307,12 +360,12 @@ let parallelize_cmd =
                 & bound nodes) to stderr.")
   in
   let run target platform approach time_limit max_steps jobs dot gantt verbose
-      fault_spec trace metrics profile cache_dir cache_max_mb =
+      fault_spec trace metrics profile cache_dir cache_max_mb accel =
     let platform = resolve_platform platform in
     let _name, src = resolve_target target in
     let cfg =
-      cfg_of ~jobs ~trace ~metrics ~profile ~cache_dir ~cache_max_mb time_limit
-        max_steps
+      cfg_of ~jobs ~trace ~metrics ~profile ~cache_dir ~cache_max_mb ~accel
+        time_limit max_steps
     in
     with_observability cfg ~generated_by:"mpsoc-par parallelize"
     @@ fun report ->
@@ -381,7 +434,7 @@ let parallelize_cmd =
       const run $ target $ platform_arg $ approach_arg $ time_limit_arg
       $ max_steps_arg $ jobs_arg $ dot_arg $ gantt_arg $ verbose
       $ fault_plan_arg $ trace_arg $ metrics_arg $ profile_flag
-      $ cache_dir_arg $ cache_max_mb_arg)
+      $ cache_dir_arg $ cache_max_mb_arg $ accel_term)
 
 (* ---------------- analyze ---------------- *)
 
@@ -423,7 +476,7 @@ let bench_cmd =
   let bench_name =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
   in
-  let run name platform time_limit max_steps jobs =
+  let run name platform time_limit max_steps jobs accel =
     let platform = resolve_platform platform in
     match Benchsuite.Suite.find name with
     | None ->
@@ -431,7 +484,9 @@ let bench_cmd =
           (String.concat ", " Benchsuite.Suite.names)
     | Some b ->
         let ctx =
-          Report.Experiments.create ~cfg:(cfg_of ~jobs time_limit max_steps) ()
+          Report.Experiments.create
+            ~cfg:(cfg_of ~jobs ~accel time_limit max_steps)
+            ()
         in
         let homo =
           Report.Experiments.run ctx b platform Parcore.Parallelize.Homogeneous
@@ -448,7 +503,7 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Run one suite benchmark through both approaches")
     Term.(
       const run $ bench_name $ platform_arg $ time_limit_arg $ max_steps_arg
-      $ jobs_arg)
+      $ jobs_arg $ accel_term)
 
 (* ---------------- batch ---------------- *)
 
@@ -460,13 +515,13 @@ let batch_cmd =
           ~doc:"Mini-C source files and/or suite benchmark names.")
   in
   let run targets platform approach time_limit max_steps jobs fault_spec trace
-      metrics profile cache_dir cache_max_mb =
+      metrics profile cache_dir cache_max_mb accel =
     let platform = resolve_platform platform in
     (* resolve everything up front so a typo fails before any solving *)
     let sources = List.map resolve_target targets in
     let cfg =
-      cfg_of ~jobs ~trace ~metrics ~profile ~cache_dir ~cache_max_mb time_limit
-        max_steps
+      cfg_of ~jobs ~trace ~metrics ~profile ~cache_dir ~cache_max_mb ~accel
+        time_limit max_steps
     in
     with_observability cfg ~generated_by:"mpsoc-par batch" @@ fun report ->
     with_fault_plan fault_spec @@ fun () ->
@@ -550,7 +605,7 @@ let batch_cmd =
     Term.(
       const run $ targets $ platform_arg $ approach_arg $ time_limit_arg
       $ max_steps_arg $ jobs_arg $ fault_plan_arg $ trace_arg $ metrics_arg
-      $ profile_flag $ cache_dir_arg $ cache_max_mb_arg)
+      $ profile_flag $ cache_dir_arg $ cache_max_mb_arg $ accel_term)
 
 (* ---------------- execute ---------------- *)
 
@@ -754,10 +809,10 @@ let serve_cmd =
              for up to $(docv) seconds before force-stopping with exit 4.")
   in
   let run socket tcp_port queue_max default_deadline_s drain_grace_s time_limit
-      max_steps jobs trace metrics profile cache_dir cache_max_mb =
+      max_steps jobs trace metrics profile cache_dir cache_max_mb accel =
     let cfg =
-      cfg_of ~jobs ~trace ~metrics ~profile ~cache_dir ~cache_max_mb time_limit
-        max_steps
+      cfg_of ~jobs ~trace ~metrics ~profile ~cache_dir ~cache_max_mb ~accel
+        time_limit max_steps
     in
     match
       Serve.Daemon.run
@@ -785,7 +840,7 @@ let serve_cmd =
       const run $ socket_arg $ tcp_port_arg $ queue_max_arg
       $ default_deadline_arg $ drain_grace_arg $ time_limit_arg
       $ max_steps_arg $ jobs_arg $ trace_arg $ metrics_arg $ profile_flag
-      $ cache_dir_arg $ cache_max_mb_arg)
+      $ cache_dir_arg $ cache_max_mb_arg $ accel_term)
 
 let loadgen_cmd =
   let targets =

@@ -7,9 +7,12 @@
 # the schedule-independent number) and ilps_optimized (solve count — a
 # drift here means the search changed, not just the machine) in FRESH
 # against BASELINE, within a relative tolerance (default +/-25%,
-# override with BENCH_TOLERANCE_PCT).  Also requires every run to stay
-# bit-identical across jobs values.  Exits 1 on any regression, with a
-# per-benchmark table either way.
+# override with BENCH_TOLERANCE_PCT).  Schema v3 baselines additionally
+# carry the deterministic solver-effort counters bb_nodes and pivots;
+# those are gated upward-only (more search effort than the baseline is a
+# regression; less is an improvement) with the same tolerance.  Also
+# requires every run to stay bit-identical across jobs values.  Exits 1
+# on any regression, with a per-benchmark table either way.
 #
 # Wall times on shared CI runners are noisy; the tolerance is deliberately
 # wide and only the regression direction fails the job for jobs1_ms
@@ -30,35 +33,50 @@ for f in "$baseline" "$fresh"; do
 done
 
 echo "perf gate: $fresh vs $baseline (tolerance +/-${tol_pct}%)"
-printf '  %-16s %12s %12s %8s  %6s %6s  %s\n' \
-  benchmark base_ms fresh_ms delta ilp_b ilp_f verdict
+printf '  %-16s %12s %12s %8s  %6s %6s  %6s %6s  %8s %8s  %s\n' \
+  benchmark base_ms fresh_ms delta ilp_b ilp_f node_b node_f piv_b piv_f verdict
 
 fail=0
-while IFS=$'\t' read -r name base_ms base_ilps; do
+while IFS=$'\t' read -r name base_ms base_ilps base_nodes base_pivots; do
   row=$(jq -r --arg n "$name" \
-    '.benchmarks[] | select(.name == $n) | [.jobs1_ms, .ilps_optimized, .identical] | @tsv' \
+    '.benchmarks[] | select(.name == $n)
+     | [.jobs1_ms, .ilps_optimized, (.bb_nodes // "-"), (.pivots // "-"), .identical]
+     | @tsv' \
     "$fresh")
   if [ -z "$row" ]; then
-    printf '  %-16s %12s %12s %8s  %6s %6s  %s\n' \
-      "$name" "$base_ms" - - "$base_ilps" - "FAIL (missing from fresh run)"
+    printf '  %-16s %12s %12s %8s  %6s %6s  %6s %6s  %8s %8s  %s\n' \
+      "$name" "$base_ms" - - "$base_ilps" - "$base_nodes" - "$base_pivots" - \
+      "FAIL (missing from fresh run)"
     fail=1
     continue
   fi
-  IFS=$'\t' read -r fresh_ms fresh_ilps identical <<<"$row"
+  IFS=$'\t' read -r fresh_ms fresh_ilps fresh_nodes fresh_pivots identical <<<"$row"
   verdict=$(awk -v b="$base_ms" -v f="$fresh_ms" -v bi="$base_ilps" \
-    -v fi="$fresh_ilps" -v id="$identical" -v tol="$tol_pct" 'BEGIN {
+    -v fi="$fresh_ilps" -v bn="$base_nodes" -v fn="$fresh_nodes" \
+    -v bp="$base_pivots" -v fp="$fresh_pivots" -v id="$identical" \
+    -v tol="$tol_pct" 'BEGIN {
       delta = (f - b) * 100.0 / b
       if (id != "true")                    { print "FAIL (not bit-identical across jobs)"; exit }
       if (delta > tol)                     { printf "FAIL (jobs1_ms +%.1f%% > +%s%%)\n", delta, tol; exit }
       if (fi > bi * (1 + tol/100.0) ||
           fi < bi * (1 - tol/100.0))       { printf "FAIL (ilps %d vs baseline %d, beyond %s%%)\n", fi, bi, tol; exit }
+      # solver-effort counters are deterministic: upward drift beyond the
+      # tolerance is a search regression.  "-" means the document predates
+      # schema v3 and the counter is skipped.
+      if (bn != "-" && fn != "-" &&
+          fn > bn * (1 + tol/100.0))       { printf "FAIL (bb_nodes %d vs baseline %d, beyond +%s%%)\n", fn, bn, tol; exit }
+      if (bp != "-" && fp != "-" &&
+          fp > bp * (1 + tol/100.0))       { printf "FAIL (pivots %d vs baseline %d, beyond +%s%%)\n", fp, bp, tol; exit }
       print "ok"
     }')
   delta=$(awk -v b="$base_ms" -v f="$fresh_ms" 'BEGIN { printf "%+.1f%%", (f-b)*100.0/b }')
-  printf '  %-16s %12s %12s %8s  %6s %6s  %s\n' \
-    "$name" "$base_ms" "$fresh_ms" "$delta" "$base_ilps" "$fresh_ilps" "$verdict"
+  printf '  %-16s %12s %12s %8s  %6s %6s  %6s %6s  %8s %8s  %s\n' \
+    "$name" "$base_ms" "$fresh_ms" "$delta" "$base_ilps" "$fresh_ilps" \
+    "$base_nodes" "$fresh_nodes" "$base_pivots" "$fresh_pivots" "$verdict"
   [ "$verdict" = ok ] || fail=1
-done < <(jq -r '.benchmarks[] | [.name, .jobs1_ms, .ilps_optimized] | @tsv' "$baseline")
+done < <(jq -r '.benchmarks[]
+  | [.name, .jobs1_ms, .ilps_optimized, (.bb_nodes // "-"), (.pivots // "-")]
+  | @tsv' "$baseline")
 
 jq -e '.total.identical == true' "$fresh" >/dev/null \
   || { echo "  total: FAIL (fresh run not bit-identical across jobs)"; fail=1; }

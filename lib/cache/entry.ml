@@ -10,7 +10,10 @@
     truncated, over-long or out-of-range input yields [None], never an
     exception — the store maps that to a cache miss. *)
 
-let version = 1
+(* v2 added [pivots] and [cuts]; v1 entries decode to [None] and
+   count as misses, so a store written by an older build is silently
+   re-populated rather than misread *)
+let version = 2
 
 let status_tag = function
   | Ilp.Branch_bound.Optimal -> 0
@@ -25,6 +28,8 @@ let encode (s : Ilp.Branch_bound.solution) : string =
   Buffer.add_uint8 b (status_tag s.Ilp.Branch_bound.status);
   Buffer.add_int64_le b (Int64.bits_of_float s.Ilp.Branch_bound.obj);
   Buffer.add_int64_le b (Int64.of_int s.Ilp.Branch_bound.nodes);
+  Buffer.add_int64_le b (Int64.of_int s.Ilp.Branch_bound.pivots);
+  Buffer.add_int64_le b (Int64.of_int s.Ilp.Branch_bound.cuts);
   let add_arr a =
     Buffer.add_int64_le b (Int64.of_int (Array.length a));
     Array.iter (fun f -> Buffer.add_int64_le b (Int64.bits_of_float f)) a
@@ -87,6 +92,8 @@ let decode (s : string) : Ilp.Branch_bound.solution option =
      in
      let obj = float_ () in
      let nodes = int_ () in
+     let pivots = int_ () in
+     let cuts = int_ () in
      let x = match u8 () with 0 -> None | 1 -> Some (arr ()) | _ -> raise Malformed in
      let n = int_ () in
      let incumbents = ref [] in
@@ -100,6 +107,8 @@ let decode (s : string) : Ilp.Branch_bound.solution option =
        x;
        obj;
        nodes;
+       pivots;
+       cuts;
        incumbents = List.rev !incumbents;
      })
   with
@@ -120,6 +129,8 @@ let equal (a : Ilp.Branch_bound.solution) (b : Ilp.Branch_bound.solution) =
   a.Ilp.Branch_bound.status = b.Ilp.Branch_bound.status
   && feq a.Ilp.Branch_bound.obj b.Ilp.Branch_bound.obj
   && a.Ilp.Branch_bound.nodes = b.Ilp.Branch_bound.nodes
+  && a.Ilp.Branch_bound.pivots = b.Ilp.Branch_bound.pivots
+  && a.Ilp.Branch_bound.cuts = b.Ilp.Branch_bound.cuts
   && (match (a.Ilp.Branch_bound.x, b.Ilp.Branch_bound.x) with
      | None, None -> true
      | Some x, Some y -> arr_eq x y

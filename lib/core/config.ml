@@ -78,6 +78,24 @@ type t = {
       (** LRU size cap of the persistent cache's data file in MiB
           ([--cache-max-mb]); least-recently-used entries are evicted by
           compaction once the cap is exceeded *)
+  ilp_presolve : bool;
+      (** run the {!Ilp.Presolve} reductions (bound tightening, implied
+          fixing, dominated columns) before each branch & bound search
+          ([--presolve]); the solution is lifted back, so results and
+          cache keys are unchanged at the caller boundary *)
+  ilp_symmetry : bool;
+      (** add lexicographic symmetry-breaking rows to each formulation
+          ([--symmetry]): used-task contiguity and no-empty-used-tasks
+          complete the paper's Eq. 10 task-label canonicalization *)
+  ilp_cuts : bool;
+      (** separate knapsack cover cuts on the budget rows at the root
+          ([--cuts]); in-dive separation exists in {!Ilp.Branch_bound}
+          but measured slower on the evaluation suite, so the pipeline
+          keeps it off *)
+  ilp_seed_incumbent : bool;
+      (** prime each solve's incumbent with the greedy list schedule
+          ([--seed-incumbent]), so fathoming starts from a real bound
+          instead of the first rounding success *)
 }
 
 let default =
@@ -102,6 +120,10 @@ let default =
     profile = false;
     cache_dir = None;
     cache_max_mb = 512;
+    ilp_presolve = true;
+    ilp_symmetry = true;
+    ilp_cuts = true;
+    ilp_seed_incumbent = true;
   }
 
 (** Faster, slightly less exhaustive settings for unit tests. *)

@@ -56,6 +56,19 @@ type t = {
           [None] (the default) keeps the cache purely in-memory *)
   cache_max_mb : int;
       (** LRU size cap of the persistent cache in MiB ([--cache-max-mb]) *)
+  ilp_presolve : bool;
+      (** run the {!Ilp.Presolve} reductions before each branch & bound
+          search ([--presolve]); solutions are lifted back, so results
+          and cache keys are unchanged at the caller boundary *)
+  ilp_symmetry : bool;
+      (** add lexicographic symmetry-breaking rows to each formulation
+          ([--symmetry]) *)
+  ilp_cuts : bool;
+      (** separate knapsack cover cuts on the budget rows at the root
+          ([--cuts]) *)
+  ilp_seed_incumbent : bool;
+      (** prime each solve's incumbent with the greedy list schedule
+          ([--seed-incumbent]) *)
 }
 
 val default : t

@@ -116,7 +116,6 @@ let build (inp : input) : instance option =
   let node = inp.node in
   let pf = inp.pf in
   let cfg = inp.cfg in
-  ignore cfg;
   let k = Array.length node.Htg.Node.children in
   let nclasses = Platform.Desc.num_classes pf in
   let total_units = Platform.Desc.total_units pf in
@@ -271,6 +270,67 @@ let build (inp : input) : instance option =
     for n = 0 to k - 2 do
       Model.ge ~name:(Printf.sprintf "eq10_%d" n) m (taskid (n + 1)) (taskid n)
     done;
+    (* ---- lexicographic symmetry breaking ([Config.ilp_symmetry]) ----
+       Eq 10 orders task ids along the children but still admits gaps and
+       used-but-empty tasks; any such solution has an equivalent compact
+       relabeling of identical cost.  Two families of rows pick the
+       compact representative and complete the task-label
+       canonicalization:
+       - contiguity: the used non-main tasks form a prefix;
+       - no empty used tasks: a task marked used must hold a child
+         (task 0 is exempt — the main task is always used). *)
+    if cfg.Config.ilp_symmetry then begin
+      for t = 1 to ntasks - 2 do
+        Model.ge
+          ~name:(Printf.sprintf "sym_contig_%d" t)
+          m (term used.(t))
+          (term used.(t + 1))
+      done;
+      for t = 1 to ntasks - 1 do
+        Model.le
+          ~name:(Printf.sprintf "sym_nonempty_%d" t)
+          m (term used.(t))
+          (sum (List.init k (fun n -> term x.(n).(t))))
+      done;
+      (* per-class lex order for provably interchangeable classes: two
+         non-main classes whose unit counts match and whose candidate
+         sets are identical under swapping the pair's roles describe the
+         same hardware twice; prefer the lower index.  The test is
+         deliberately conservative — heterogeneous platforms (distinct
+         candidate times) never trigger it, so adding the rows cannot
+         perturb their search. *)
+      let units = Platform.Desc.units_per_class inp.pf in
+      let swap c c' i = if i = c then c' else if i = c' then c else i in
+      let cand_swap_eq c c' (a : Solution.t) (b : Solution.t) =
+        a.Solution.time_us = b.Solution.time_us
+        && Array.length a.Solution.extra_units
+           = Array.length b.Solution.extra_units
+        && Array.for_all Fun.id
+             (Array.mapi
+                (fun i u -> u = b.Solution.extra_units.(swap c c' i))
+                a.Solution.extra_units)
+      in
+      let interchangeable c c' =
+        c <> inp.seq_class && c' <> inp.seq_class
+        && units.(c) = units.(c')
+        && Array.for_all
+             (fun per_child ->
+               Array.length per_child.(c) = Array.length per_child.(c')
+               && Array.for_all Fun.id
+                    (Array.mapi
+                       (fun s a -> cand_swap_eq c c' a per_child.(c').(s))
+                       per_child.(c)))
+             cands
+      in
+      for c = 0 to nclasses - 2 do
+        if interchangeable c (c + 1) then
+          Model.ge
+            ~name:(Printf.sprintf "sym_class_%d_%d" c (c + 1))
+            m
+            (sum (List.init ntasks (fun t -> term map_tc.(t).(c))))
+            (sum (List.init ntasks (fun t -> term map_tc.(t).(c + 1))))
+      done
+    end;
     (* ---- conflicts: loop-carried recurrences stay in one task ---- *)
     List.iter
       (fun (a, b) ->
@@ -603,6 +663,176 @@ let hierarchical_warm_start (inp : input) (inst : instance) : float array =
   w
 
 (* ------------------------------------------------------------------ *)
+(* Greedy incumbent seed                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Evaluate the model point implied by the greedy list schedule
+    ([Config.ilp_seed_incumbent]): a {e multi-task} incumbent at node 0,
+    complementing the sequential {!hierarchical_warm_start}.  Discrete
+    variables come straight from the greedy assignment; each continuous
+    variable takes the minimal value its rows allow, in task order.  The
+    construction is best-effort: a schedule the model rejects (e.g. a
+    conflict pair split across chunks) yields an infeasible point and is
+    filtered by the solver's seed feasibility check. *)
+let greedy_seed (inp : input) (inst : instance) : float array option =
+  let edges3 =
+    List.map (fun e -> (e.e_src, e.e_dst, e.e_cost_us)) inst.all_edges
+  in
+  match
+    Degrade.greedy ~node:inp.node ~child_sets:inp.child_sets ~pf:inp.pf
+      ~seq_class:inp.seq_class ~budget:inp.budget ~edges:edges3 ()
+  with
+  | None -> None
+  | Some { Solution.kind = Solution.Par pk; _ } ->
+      let k = Array.length inp.node.Htg.Node.children in
+      let nclasses = Platform.Desc.num_classes inp.pf in
+      let v = inst.vars in
+      let assignment = pk.Solution.assignment in
+      let task_class = pk.Solution.task_class in
+      let gtasks = Array.length task_class in
+      if
+        Array.length assignment <> k
+        || gtasks > inst.ntasks
+        || Array.exists (fun t -> t < 0 || t >= inst.ntasks) assignment
+      then None
+      else begin
+        let w = Array.make (Model.num_vars inst.model) 0. in
+        let set var value = w.(var) <- value in
+        let class_of t =
+          if t = 0 then inp.seq_class
+          else if t < gtasks && task_class.(t) >= 0 then task_class.(t)
+          else inp.seq_class
+        in
+        (* x and p; remember the picked candidate per child *)
+        let picked = Array.make k None in
+        let ok = ref true in
+        for n = 0 to k - 1 do
+          let t = assignment.(n) in
+          set v.x.(n).(t) 1.;
+          let c = class_of t in
+          let chosen = pk.Solution.child_choice.(n) in
+          let arr = inst.cands.(n).(c) in
+          let s = ref (-1) in
+          Array.iteri (fun i cand -> if !s < 0 && cand == chosen then s := i) arr;
+          if !s < 0 then
+            (* structural fallback: the sequential candidate of the class *)
+            Array.iteri
+              (fun i cand ->
+                if !s < 0 && Solution.is_sequential cand then s := i)
+              arr;
+          match !s with
+          | -1 -> ok := false
+          | s ->
+              set v.p.(n).(c).(s) 1.;
+              picked.(n) <- Some arr.(s)
+        done;
+        if not !ok then None
+        else begin
+          let pick n =
+            match picked.(n) with Some c -> c | None -> assert false
+          in
+          (* used / map_tc *)
+          let used_t = Array.make inst.ntasks false in
+          used_t.(0) <- true;
+          Array.iter (fun t -> used_t.(t) <- true) assignment;
+          for t = 0 to inst.ntasks - 1 do
+            if used_t.(t) then begin
+              set v.used.(t) 1.;
+              set v.map_tc.(t).(class_of t) 1.
+            end
+          done;
+          (* pred: minimal setting — exactly the pairs some edge forces *)
+          List.iter
+            (fun e ->
+              if e.e_src >= 0 && e.e_dst >= 0 then begin
+                let t = assignment.(e.e_src) and u = assignment.(e.e_dst) in
+                if t < u then set v.pred.(t).(u) 1.
+              end
+              else if e.e_src = comm_in && e.e_dst >= 0 then begin
+                let u = assignment.(e.e_dst) in
+                if u > 0 then set v.pred.(0).(u) 1.
+              end)
+            inst.all_edges;
+          (* cut indicators and communication cost per producing task *)
+          let comm_t = Array.make inst.ntasks 0. in
+          List.iter
+            (fun (ei, cvars) ->
+              let e = inst.flow_edges.(ei) in
+              let ts = assignment.(e.e_src) and td = assignment.(e.e_dst) in
+              if ts <> td then begin
+                set cvars.(ts) 1.;
+                comm_t.(ts) <- comm_t.(ts) +. e.e_cost_us
+              end)
+            v.cut;
+          List.iter
+            (fun e ->
+              if
+                e.e_src = comm_in && e.e_dst >= 0 && e.e_cost_us > 0.
+                && assignment.(e.e_dst) <> 0
+              then comm_t.(0) <- comm_t.(0) +. e.e_cost_us)
+            inst.all_edges;
+          for t = 0 to inst.ntasks - 1 do
+            set v.commcost.(t) comm_t.(t)
+          done;
+          (* contrib / cost *)
+          let cost_t = Array.make inst.ntasks 0. in
+          for n = 0 to k - 1 do
+            let cn = (pick n).Solution.time_us in
+            set v.contrib.(n).(assignment.(n)) cn;
+            cost_t.(assignment.(n)) <- cost_t.(assignment.(n)) +. cn
+          done;
+          for t = 0 to inst.ntasks - 1 do
+            let base =
+              (if t = 0 then inst.header_us else 0.)
+              +. if used_t.(t) then inst.tco_total else 0.
+            in
+            cost_t.(t) <- cost_t.(t) +. base;
+            set v.cost.(t) cost_t.(t)
+          done;
+          (* accum in task order (pred pairs only go low -> high) *)
+          let accum_t = Array.make inst.ntasks 0. in
+          for u = 0 to inst.ntasks - 1 do
+            let a = ref cost_t.(u) in
+            for t = 0 to u - 1 do
+              if t < u && w.(v.pred.(t).(u)) > 0.5 then
+                a := Float.max !a (cost_t.(u) +. accum_t.(t) +. comm_t.(t))
+            done;
+            accum_t.(u) <- !a;
+            set v.accum.(u) !a
+          done;
+          (* inner processor usage: Eq 14 max semantics per task *)
+          for t = 0 to inst.ntasks - 1 do
+            for c = 0 to nclasses - 1 do
+              let mx = ref 0 in
+              for n = 0 to k - 1 do
+                if assignment.(n) = t then
+                  mx := max !mx (pick n).Solution.extra_units.(c)
+              done;
+              if !mx > 0 then set v.procsused.(t).(c) (float_of_int !mx)
+            done
+          done;
+          (* exectime: Eq 11 over all tasks, plus the bus bound *)
+          let ex = ref 0. in
+          for t = 0 to inst.ntasks - 1 do
+            let out = ref 0. in
+            if t > 0 then
+              List.iter
+                (fun e ->
+                  if
+                    e.e_dst = comm_out && e.e_src >= 0 && e.e_cost_us > 0.
+                    && assignment.(e.e_src) = t
+                  then out := !out +. e.e_cost_us)
+                inst.all_edges;
+            ex := Float.max !ex (accum_t.(t) +. comm_t.(t) +. !out)
+          done;
+          ex := Float.max !ex (Array.fold_left ( +. ) 0. comm_t);
+          set v.exectime !ex;
+          Some w
+        end
+      end
+  | Some _ -> None
+
+(* ------------------------------------------------------------------ *)
 (* Extraction                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -791,6 +1021,15 @@ let solve_ext ?stats ?cache ?prev (inp : input) :
       let warm = hierarchical_warm_start inp inst in
       let extra_starts =
         Sweep.chain_starts inp.cfg prev ~num_vars:(Model.num_vars inst.model)
+      in
+      (* greedy incumbent seeding: append the multi-task greedy schedule
+         as a starting point, after the chained trail so chained points
+         keep their historical precedence in the incumbent race *)
+      let extra_starts =
+        if inp.cfg.Config.ilp_seed_incumbent then
+          extra_starts
+          @ (match greedy_seed inp inst with Some y -> [ y ] | None -> [])
+        else extra_starts
       in
       match
         Solver.solve ~options ~warm_start:warm ~extra_starts ?cache ?stats

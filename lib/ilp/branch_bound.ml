@@ -22,6 +22,8 @@ type solution = {
   x : float array option;
   obj : float;  (** objective of [x] in the model's own sense *)
   nodes : int;  (** branch & bound nodes processed *)
+  pivots : int;  (** simplex pivots across all LP relaxations *)
+  cuts : int;  (** cover cuts added (root rounds plus in-dive) *)
   incumbents : float array list;
       (** trail of improving incumbents found during the search, most
           recent (= best) first, capped; used to warm-start related
@@ -36,6 +38,14 @@ type options = {
   gap_abs : float;
   gap_rel : float;
   int_tol : float;
+  presolve : bool;
+      (** acted on by {!Solver.solve}, which runs {!Presolve} and lifts;
+          carried here so the toggle salts {!Memo} fingerprints *)
+  cut_rounds : int;  (** rounds of root cover-cut separation (0 = off) *)
+  cut_every : int;
+      (** separate cover cuts at every [cut_every]-th node during the
+          dive (0 = off); cover cuts are globally valid, so in-dive cuts
+          are sound to share across the whole tree *)
 }
 
 let default_options =
@@ -47,6 +57,12 @@ let default_options =
     gap_abs = 1e-6;
     gap_rel = 1e-9;
     int_tol = 1e-6;
+    (* acceleration is off by default at this layer: direct callers (and
+       existing tests) get the historical search; [Sweep] switches the
+       toggles on from [Config] *)
+    presolve = false;
+    cut_rounds = 0;
+    cut_every = 0;
   }
 
 (* how many improving incumbents to keep for the caller *)
@@ -148,7 +164,7 @@ let rounded_candidate model opts (x : float array) =
     {!rounded_candidate} but finds feasible completions the plain rounding
     misses (e.g. when big-M continuous variables must move). *)
 let fix_and_solve model (node_lb : float array) (node_ub : float array)
-    (x : float array) ~work =
+    (x : float array) ~work ~pivots =
   let n = Model.num_vars model in
   let lb = Array.copy node_lb and ub = Array.copy node_ub in
   let ok = ref true in
@@ -164,8 +180,9 @@ let fix_and_solve model (node_lb : float array) (node_ub : float array)
   done;
   if not !ok then None
   else begin
-    let res, w = Simplex.solve_counted ~lb ~ub model in
+    let res, w, p = Simplex.solve_stats ~lb ~ub model in
     work := !work +. w;
+    pivots := !pivots + p;
     match res with
     | Simplex.Optimal { x = y; _ } ->
         let y = Array.copy y in
@@ -179,12 +196,19 @@ let fix_and_solve model (node_lb : float array) (node_ub : float array)
 
 let solve ?(options = default_options) ?warm_start ?(extra_starts = [])
     (model : Model.t) : solution =
+  let use_cuts = options.cut_rounds > 0 || options.cut_every > 0 in
+  (* cuts are appended to a private copy so the caller's model (which
+     [Solver] fingerprints for the memo cache) is never mutated *)
+  let model = if use_cuts then Model.copy model else model in
   let n = Model.num_vars model in
   let sense = model.Model.obj_sense in
   (* internal objective: always minimize *)
   let key_of_obj o = match sense with Model.Minimize -> o | Model.Maximize -> -.o in
   let start = Clock.now_s () in
   let work = ref 0. in
+  let pivots = ref 0 in
+  let cuts_added = ref 0 in
+  let seen_cuts = if use_cuts then Hashtbl.create 32 else Hashtbl.create 0 in
   let incumbent = ref None in
   let incumbent_key = ref infinity in
   let incumbents = ref [] in
@@ -220,6 +244,29 @@ let solve ?(options = default_options) ?warm_start ?(extra_starts = [])
   in
   let root_lb = Array.init n (fun v -> (Model.var_info model v).Model.lb) in
   let root_ub = Array.init n (fun v -> (Model.var_info model v).Model.ub) in
+  (* root cutting-plane rounds: solve the root LP, separate violated
+     cover cuts, append, repeat.  Work and pivots count against the same
+     deterministic budgets as node LPs. *)
+  if options.cut_rounds > 0 then begin
+    let continue_cuts = ref true in
+    let round = ref 0 in
+    while !continue_cuts && !round < options.cut_rounds
+          && !work < options.work_limit do
+      incr round;
+      let lp, w, p = Simplex.solve_stats ~lb:root_lb ~ub:root_ub model in
+      work := !work +. w;
+      pivots := !pivots + p;
+      match lp with
+      | Simplex.Optimal { x; _ } ->
+          let cuts = Cuts.separate model x ~seen:seen_cuts ~max_cuts:16 in
+          if cuts = [] then continue_cuts := false
+          else begin
+            Cuts.add model cuts;
+            cuts_added := !cuts_added + List.length cuts
+          end
+      | Simplex.Infeasible | Simplex.Unbounded -> continue_cuts := false
+    done
+  end;
   let heap = Heap.create () in
   Heap.push heap neg_infinity
     { nlb = root_lb; nub = root_ub; parent_bound = neg_infinity };
@@ -260,8 +307,9 @@ let solve ?(options = default_options) ?warm_start ?(extra_starts = [])
             (* best-first: all remaining nodes are worse *)
           else begin
             incr nodes;
-            let lp, w = Simplex.solve_counted ~lb:nd.nlb ~ub:nd.nub model in
+            let lp, w, p = Simplex.solve_stats ~lb:nd.nlb ~ub:nd.nub model in
             work := !work +. w;
+            pivots := !pivots + p;
             match lp with
             | Simplex.Infeasible -> ()
             | Simplex.Unbounded -> saw_unbounded := true
@@ -274,7 +322,7 @@ let solve ?(options = default_options) ?warm_start ?(extra_starts = [])
                   | None ->
                       (* periodically try the LP-based completion *)
                       if !nodes land 7 = 1 then
-                        match fix_and_solve model nd.nlb nd.nub x ~work with
+                        match fix_and_solve model nd.nlb nd.nub x ~work ~pivots with
                         | Some y -> consider_incumbent y
                         | None -> ());
                   match fractional_var model options x with
@@ -288,6 +336,21 @@ let solve ?(options = default_options) ?warm_start ?(extra_starts = [])
                       if Model.feasible model (fun v -> y.(v)) then
                         consider_incumbent y
                   | Some v ->
+                      (* in-dive separation: cover cuts are globally
+                         valid, so cuts found at this node tighten every
+                         open subproblem's relaxation *)
+                      if
+                        options.cut_every > 0
+                        && !nodes mod options.cut_every = 0
+                      then begin
+                        let cuts =
+                          Cuts.separate model x ~seen:seen_cuts ~max_cuts:8
+                        in
+                        if cuts <> [] then begin
+                          Cuts.add model cuts;
+                          cuts_added := !cuts_added + List.length cuts
+                        end
+                      end;
                       let xv = x.(v) in
                       let down_ub = Array.copy nd.nub in
                       down_ub.(v) <- Float.floor xv;
@@ -300,24 +363,29 @@ let solve ?(options = default_options) ?warm_start ?(extra_starts = [])
                 end)
           end
   done;
+  let finish status x obj incumbents =
+    {
+      status;
+      x;
+      obj;
+      nodes = !nodes;
+      pivots = !pivots;
+      cuts = !cuts_added;
+      incumbents;
+    }
+  in
   match !incumbent with
   | Some (y, o) ->
-      {
-        status = (if !hit_limit && not !proved then Feasible else Optimal);
-        x = Some y;
-        obj = o;
-        nodes = !nodes;
-        incumbents = !incumbents;
-      }
+      finish
+        (if !hit_limit && not !proved then Feasible else Optimal)
+        (Some y) o !incumbents
   | None ->
-      if !saw_unbounded then
-        { status = Unbounded; x = None; obj = nan; nodes = !nodes; incumbents = [] }
+      if !saw_unbounded then finish Unbounded None nan []
       else if !hit_limit then
         (* limit ran out before any incumbent was found: not a proof of
            infeasibility, so report it as such and let the caller degrade
            (LP rounding, greedy scheduling, sequential fallback).  Note a
            warm-started solve can never land here — the seed is already an
            incumbent. *)
-        { status = Limit; x = None; obj = nan; nodes = !nodes; incumbents = [] }
-      else
-        { status = Infeasible; x = None; obj = nan; nodes = !nodes; incumbents = [] }
+        finish Limit None nan []
+      else finish Infeasible None nan []

@@ -23,6 +23,10 @@ type solution = {
   x : float array option;
   obj : float;  (** objective of [x] in the model's own sense *)
   nodes : int;  (** branch & bound nodes processed *)
+  pivots : int;
+      (** simplex pivots summed over all LP relaxations of this solve —
+          exact and deterministic, unlike wall-clock time *)
+  cuts : int;  (** cover cuts added (root rounds plus in-dive) *)
   incumbents : float array list;
       (** trail of improving incumbents, most recent (= best) first,
           capped at a few entries; feed them to a related solve's
@@ -45,6 +49,18 @@ type options = {
   gap_abs : float;  (** absolute optimality gap for fathoming *)
   gap_rel : float;  (** relative optimality gap for fathoming *)
   int_tol : float;  (** integrality tolerance *)
+  presolve : bool;
+      (** run the {!Presolve} reductions before the search.  Acted on by
+          {!Solver.solve} (which lifts the reduced solution back);
+          carried in [options] so the toggle participates in {!Memo}
+          fingerprints.  Off in {!default_options}. *)
+  cut_rounds : int;
+      (** rounds of root cover-cut separation; 0 (the default)
+          disables cutting planes entirely *)
+  cut_every : int;
+      (** separate cover cuts every [cut_every]-th node during the dive;
+          0 (the default) disables in-dive separation.  Cover cuts are
+          globally valid, so sharing them across the tree is sound. *)
 }
 
 val default_options : options

@@ -1,0 +1,156 @@
+(** Knapsack cover cuts for 0-1 rows.
+
+    A row [sum_j c_j x_j <= b] over binary variables is brought to
+    knapsack form [sum_j a_j z_j <= b'] with [a_j > 0] by complementing
+    negative-coefficient variables ([z_j = 1 - x_j]).  A {e cover} is a
+    set [C] with [sum_{C} a_j > b']: its members cannot all be 1, so
+    [sum_{C} z_j <= |C| - 1] holds for {e every} feasible 0-1 point of
+    the row.  Cover inequalities are therefore globally valid — they can
+    be appended to the model mid-search without cutting off any integer
+    solution, only fractional LP vertices.
+
+    Separation is the classic greedy: scan covers in decreasing order of
+    the fractional value [z*_j] (tie-broken on variable index, so the
+    procedure is deterministic), stop as soon as the accumulated weight
+    exceeds the capacity, and keep the cut only if the current LP point
+    violates it. *)
+
+type cut = {
+  name : string;
+  expr : Lin_expr.t;  (** x-space left-hand side *)
+  bound : float;  (** cut is [expr <= bound] *)
+  key : string;  (** canonical form for deduplication *)
+}
+
+let is_binary (model : Model.t) v =
+  let info = Model.var_info model v in
+  match info.Model.kind with
+  | Model.Bool -> true
+  | Model.Int -> info.Model.lb >= -1e-9 && info.Model.ub <= 1. +. 1e-9
+  | Model.Cont -> false
+
+(* knapsack view of row [i]: [Some (vars, weights, complemented, cap)]
+   with all weights positive, or [None] if the row is not a 0-1 knapsack *)
+let knapsack_form (model : Model.t) i =
+  let c = Model.constr model i in
+  let sign =
+    match c.Model.op with Model.Le -> 1. | Model.Ge -> -1. | Model.Eq -> 0.
+  in
+  if sign = 0. then None
+  else begin
+    let terms = c.Model.expr.Lin_expr.terms in
+    if List.exists (fun (v, _) -> not (is_binary model v)) terms then None
+    else begin
+      let cap = ref (sign *. c.Model.bound) in
+      let items =
+        List.map
+          (fun (v, coef) ->
+            let a = sign *. coef in
+            if a >= 0. then (v, a, false)
+            else begin
+              (* complement: a*x = a - a*(1-x) *)
+              cap := !cap -. a;
+              (v, -.a, true)
+            end)
+          terms
+      in
+      let total = List.fold_left (fun s (_, a, _) -> s +. a) 0. items in
+      (* a cover only exists when the items cannot all be 1 *)
+      if !cap <= 1e-9 || total <= !cap +. 1e-9 then None
+      else Some (items, !cap)
+    end
+  end
+
+(* greedy cover of row [i] violated by LP point [x], if any *)
+let separate_row (model : Model.t) i (x : float array) : cut option =
+  match knapsack_form model i with
+  | None -> None
+  | Some (items, cap) ->
+      let zstar (v, _, compl_) = if compl_ then 1. -. x.(v) else x.(v) in
+      let items =
+        List.sort
+          (fun ((va, _, _) as a) ((vb, _, _) as b) ->
+            let za = zstar a and zb = zstar b in
+            if za <> zb then compare zb za else compare va vb)
+          items
+      in
+      let weight = ref 0. in
+      let cover = ref [] in
+      (try
+         List.iter
+           (fun it ->
+             let _, a, _ = it in
+             cover := it :: !cover;
+             weight := !weight +. a;
+             if !weight > cap +. 1e-9 then raise Exit)
+           items
+       with Exit -> ());
+      if !weight <= cap +. 1e-9 then None
+      else begin
+        let cover = !cover in
+        let size = List.length cover in
+        let lhs_star =
+          List.fold_left (fun s it -> s +. zstar it) 0. cover
+        in
+        if lhs_star <= float_of_int (size - 1) +. 1e-6 then None
+        else begin
+          (* back to x-space: z = x keeps +x; z = 1-x contributes -x and
+             shifts the right-hand side down by one *)
+          let rhs = ref (float_of_int (size - 1)) in
+          let terms =
+            List.map
+              (fun (v, _, compl_) ->
+                if compl_ then begin
+                  rhs := !rhs -. 1.;
+                  Lin_expr.term ~coef:(-1.) v
+                end
+                else Lin_expr.term v)
+              cover
+          in
+          let vs =
+            List.sort compare
+              (List.map (fun (v, _, compl_) -> (v, compl_)) cover)
+          in
+          let key =
+            String.concat ","
+              (List.map
+                 (fun (v, compl_) ->
+                   string_of_int v ^ if compl_ then "c" else "")
+                 vs)
+          in
+          Some
+            {
+              name = Printf.sprintf "cover_%d" i;
+              expr = Lin_expr.sum terms;
+              bound = !rhs;
+              key;
+            }
+        end
+      end
+
+(** Separate violated cover cuts from every eligible row of [model] at LP
+    point [x]; [seen] dedupes across calls, [max_cuts] bounds the batch.
+    Deterministic: rows are scanned in index order. *)
+let separate (model : Model.t) (x : float array) ~(seen : (string, unit) Hashtbl.t)
+    ~max_cuts : cut list =
+  let out = ref [] in
+  let count = ref 0 in
+  let nrows = Model.num_constraints model in
+  (try
+     for i = 0 to nrows - 1 do
+       if !count >= max_cuts then raise Exit;
+       match separate_row model i x with
+       | Some cut when not (Hashtbl.mem seen cut.key) ->
+           Hashtbl.add seen cut.key ();
+           out := cut :: !out;
+           incr count
+       | _ -> ()
+     done
+   with Exit -> ());
+  List.rev !out
+
+(** Append cuts as [<=] rows. *)
+let add (model : Model.t) (cuts : cut list) =
+  List.iter
+    (fun c -> Model.add_constr ~name:c.name model c.expr Model.Le c.bound)
+    cuts

@@ -1,0 +1,28 @@
+(** Knapsack cover cuts for 0-1 rows.
+
+    Cover inequalities are valid for every integer-feasible point of the
+    source row (not just points near the separating LP vertex), so they
+    may be appended to the model at any point of the branch & bound
+    search without excluding any integer solution. *)
+
+type cut = {
+  name : string;
+  expr : Lin_expr.t;  (** x-space left-hand side *)
+  bound : float;  (** cut is [expr <= bound] *)
+  key : string;  (** canonical form for deduplication *)
+}
+
+(** [separate model x ~seen ~max_cuts] returns violated cover cuts at LP
+    point [x], at most [max_cuts], skipping (and recording into) the
+    [seen] table.  Deterministic: rows scanned in index order, covers
+    built greedily by decreasing fractional value with index
+    tie-breaks. *)
+val separate :
+  Model.t ->
+  float array ->
+  seen:(string, unit) Hashtbl.t ->
+  max_cuts:int ->
+  cut list
+
+(** Append cuts to a model as [<=] rows. *)
+val add : Model.t -> cut list -> unit

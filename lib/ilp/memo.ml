@@ -96,6 +96,12 @@ let fingerprint ?(options = Branch_bound.default_options) ?warm_start
   add_float b options.Branch_bound.gap_abs;
   add_float b options.Branch_bound.gap_rel;
   add_float b options.Branch_bound.int_tol;
+  (* acceleration toggles change the search trajectory (and with it the
+     incumbent a limited solve returns), so they salt the key: flipping a
+     toggle can never replay a solution computed under another one *)
+  add_int b (if options.Branch_bound.presolve then 1 else 0);
+  add_int b options.Branch_bound.cut_rounds;
+  add_int b options.Branch_bound.cut_every;
   (* starting points seed the incumbent, which steers the search *)
   let add_point y =
     add_int b (Array.length y);

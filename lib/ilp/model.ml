@@ -122,6 +122,16 @@ let and_var ?(name = "and") t x y =
   le t (term z) (term y);
   z
 
+(** Independent copy: mutating the copy's bounds, constraints or
+    objective never affects the original (variable records are mutable,
+    so they are duplicated too). *)
+let copy t =
+  {
+    t with
+    vars = Array.map (fun (i : var_info) -> { i with lb = i.lb }) t.vars;
+    constrs = Array.copy t.constrs;
+  }
+
 let constr t i = t.constrs.(i)
 
 let iter_constrs f t =

@@ -67,6 +67,9 @@ val set_objective : t -> sense -> Lin_expr.t -> unit
     [z >= x + y - 1], [z <= x], [z <= y]. *)
 val and_var : ?name:string -> t -> var -> var -> var
 
+(** Independent copy: mutating the copy never affects the original. *)
+val copy : t -> t
+
 val constr : t -> int -> constr
 val iter_constrs : (constr -> unit) -> t -> unit
 

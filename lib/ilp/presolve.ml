@@ -1,0 +1,324 @@
+(** Presolve: shrink a {!Model.t} before handing it to {!Branch_bound}.
+
+    Three classic reductions, all {e feasible-set preserving} (bound
+    tightening, implied fixing) or {e optimal-set preserving}
+    (dominated-column removal), so the reduced model has the same optimal
+    objective as the original and every optimal solution of the reduced
+    model lifts to an optimal solution of the original:
+
+    - {b bound tightening}: per-row activity bounds imply tighter variable
+      bounds; integer bounds are rounded inward.  Rows whose maximal
+      activity already satisfies them are dropped as redundant; rows whose
+      minimal activity violates them prove infeasibility without a single
+      LP solve.
+    - {b variable fixing}: variables whose bounds collapse
+      ([ub - lb <= eps]) are fixed and substituted out of every row and
+      the objective.
+    - {b dominated-column removal} (dual fixing): a variable whose every
+      active-row coefficient lets it move toward one bound without hurting
+      any constraint, and whose objective coefficient strictly rewards
+      that direction, takes that bound in {e every} optimal solution and
+      is fixed there.  Objective ties are only fixed when the column
+      appears in no active row at all, so alternate optima are never cut
+      off — that keeps downstream solution digests stable.
+
+    The caller-facing contract is the {e lifting invariant}: [lift]
+    re-inserts the fixed values so a solution of the reduced model becomes
+    a solution of the original model, bit-for-bit in the kept coordinates.
+    Callers fingerprint and cache against the {e original} model, so memo
+    keys and solution digests are unchanged at the caller boundary. *)
+
+type reduction = {
+  reduced : Model.t;  (** fresh model; the input model is never mutated *)
+  fixed : int;  (** variables eliminated (including dominated columns) *)
+  dominated : int;  (** subset of [fixed] removed by dual fixing *)
+  rows_dropped : int;  (** redundant (or fully substituted) rows dropped *)
+  lift : float array -> float array;
+  project : float array -> float array option;
+}
+
+type result = Unchanged | Infeasible | Reduced of reduction
+
+let fix_eps = 1e-9
+let feas_eps = 1e-6
+let is_inf v = Float.abs v >= Model.infinity_bound || not (Float.is_finite v)
+let is_int_kind = function Model.Bool | Model.Int -> true | Model.Cont -> false
+
+(* activity bound of row [vs, cs] over box [lb, ub]; [dir] +1. for the
+   maximal, -1. for the minimal activity.  [None] when an infinite bound
+   contributes. *)
+let activity ~dir (vs : int array) (cs : float array) lb ub =
+  let acc = ref 0. in
+  let inf = ref false in
+  for i = 0 to Array.length vs - 1 do
+    let v = vs.(i) and c = cs.(i) in
+    let b = if c *. dir > 0. then ub.(v) else lb.(v) in
+    if is_inf b then inf := true else acc := !acc +. (c *. b)
+  done;
+  if !inf then None else Some !acc
+
+(* same, excluding term [skip]'s contribution *)
+let activity_excl ~dir ~skip (vs : int array) (cs : float array) lb ub =
+  let acc = ref 0. in
+  let inf = ref false in
+  for i = 0 to Array.length vs - 1 do
+    if i <> skip then begin
+      let v = vs.(i) and c = cs.(i) in
+      let b = if c *. dir > 0. then ub.(v) else lb.(v) in
+      if is_inf b then inf := true else acc := !acc +. (c *. b)
+    end
+  done;
+  if !inf then None else Some !acc
+
+let run (model : Model.t) : result =
+  let n = Model.num_vars model in
+  let nrows = Model.num_constraints model in
+  let lb = Array.init n (fun v -> (Model.var_info model v).Model.lb) in
+  let ub = Array.init n (fun v -> (Model.var_info model v).Model.ub) in
+  let kind = Array.init n (fun v -> (Model.var_info model v).Model.kind) in
+  (* integer bounds rounded inward up front *)
+  for v = 0 to n - 1 do
+    if is_int_kind kind.(v) then begin
+      if not (is_inf lb.(v)) then lb.(v) <- Float.ceil (lb.(v) -. feas_eps);
+      if not (is_inf ub.(v)) then ub.(v) <- Float.floor (ub.(v) +. feas_eps)
+    end
+  done;
+  (* dense row views (expressions are already normalized at add time) *)
+  let row_vs = Array.make nrows [||] in
+  let row_cs = Array.make nrows [||] in
+  let row_op = Array.make nrows Model.Le in
+  let row_b = Array.make nrows 0. in
+  for i = 0 to nrows - 1 do
+    let c = Model.constr model i in
+    let e = Lin_expr.normalize c.Model.expr in
+    row_vs.(i) <- Array.of_list (List.map fst e.Lin_expr.terms);
+    row_cs.(i) <- Array.of_list (List.map snd e.Lin_expr.terms);
+    row_op.(i) <- c.Model.op;
+    row_b.(i) <- c.Model.bound -. e.Lin_expr.const
+  done;
+  let redundant = Array.make nrows false in
+  let dominated_mark = Array.make n false in
+  let infeasible = ref false in
+  let changed = ref true in
+  let any_change = ref false in
+  let tighten_ub v x =
+    let x = if is_int_kind kind.(v) then Float.floor (x +. feas_eps) else x in
+    if x < ub.(v) -. 1e-9 && not (is_inf x) then begin
+      ub.(v) <- x;
+      changed := true;
+      any_change := true;
+      true
+    end
+    else false
+  in
+  let tighten_lb v x =
+    let x = if is_int_kind kind.(v) then Float.ceil (x -. feas_eps) else x in
+    if x > lb.(v) +. 1e-9 && not (is_inf x) then begin
+      lb.(v) <- x;
+      changed := true;
+      any_change := true;
+      true
+    end
+    else false
+  in
+  (* one direction of a row seen as [sum cs <= b] (Ge rows pass negated
+     coefficients and bound; Eq rows pass both directions) *)
+  let propagate_le vs cs b =
+    (match activity ~dir:(-1.) vs cs lb ub with
+    | Some mn when mn > b +. feas_eps -> infeasible := true
+    | _ -> ());
+    for i = 0 to Array.length vs - 1 do
+      let v = vs.(i) and c = cs.(i) in
+      match activity_excl ~dir:(-1.) ~skip:i vs cs lb ub with
+      | None -> ()
+      | Some others_min ->
+          let x = (b -. others_min) /. c in
+          ignore (if c > 0. then tighten_ub v x else tighten_lb v x)
+    done
+  in
+  let redundant_le vs cs b =
+    match activity ~dir:1. vs cs lb ub with
+    | Some mx when mx <= b +. 1e-9 -> true
+    | _ -> false
+  in
+  let rounds = ref 0 in
+  while !changed && (not !infeasible) && !rounds < 10 do
+    changed := false;
+    incr rounds;
+    for i = 0 to nrows - 1 do
+      if not redundant.(i) then begin
+        let vs = row_vs.(i) and cs = row_cs.(i) and b = row_b.(i) in
+        (match row_op.(i) with
+        | Model.Le ->
+            propagate_le vs cs b;
+            if redundant_le vs cs b then redundant.(i) <- true
+        | Model.Ge ->
+            let neg = Array.map (fun c -> -.c) cs in
+            propagate_le vs neg (-.b);
+            if redundant_le vs neg (-.b) then redundant.(i) <- true
+        | Model.Eq ->
+            let neg = Array.map (fun c -> -.c) cs in
+            propagate_le vs cs b;
+            propagate_le vs neg (-.b);
+            if redundant_le vs cs b && redundant_le vs neg (-.b) then
+              redundant.(i) <- true);
+        if redundant.(i) then any_change := true
+      end
+    done;
+    for v = 0 to n - 1 do
+      if lb.(v) > ub.(v) +. feas_eps then infeasible := true
+    done;
+    (* dominated columns (dual fixing), once bound propagation settles *)
+    if (not !changed) && not !infeasible then begin
+      let down_safe = Array.make n true and up_safe = Array.make n true in
+      let in_rows = Array.make n false in
+      for i = 0 to nrows - 1 do
+        if not redundant.(i) then begin
+          let vs = row_vs.(i) and cs = row_cs.(i) in
+          for j = 0 to Array.length vs - 1 do
+            let v = vs.(j) and c = cs.(j) in
+            in_rows.(v) <- true;
+            match row_op.(i) with
+            | Model.Le ->
+                if c < 0. then down_safe.(v) <- false;
+                if c > 0. then up_safe.(v) <- false
+            | Model.Ge ->
+                if c > 0. then down_safe.(v) <- false;
+                if c < 0. then up_safe.(v) <- false
+            | Model.Eq ->
+                down_safe.(v) <- false;
+                up_safe.(v) <- false
+          done
+        end
+      done;
+      let obj = Lin_expr.normalize model.Model.objective in
+      let obj_coef = Array.make n 0. in
+      List.iter
+        (fun (v, c) ->
+          obj_coef.(v) <-
+            (match model.Model.obj_sense with
+            | Model.Minimize -> c
+            | Model.Maximize -> -.c))
+        obj.Lin_expr.terms;
+      for v = 0 to n - 1 do
+        if ub.(v) -. lb.(v) > fix_eps then
+          if down_safe.(v) && obj_coef.(v) > 0. && not (is_inf lb.(v)) then begin
+            if tighten_ub v lb.(v) then dominated_mark.(v) <- true
+          end
+          else if up_safe.(v) && obj_coef.(v) < 0. && not (is_inf ub.(v)) then begin
+            if tighten_lb v ub.(v) then dominated_mark.(v) <- true
+          end
+          else if obj_coef.(v) = 0. && not in_rows.(v) then begin
+            (* column absent from every active row with a zero objective
+               coefficient: its value is irrelevant, park it at a bound *)
+            if not (is_inf lb.(v)) then begin
+              if tighten_ub v lb.(v) then dominated_mark.(v) <- true
+            end
+            else if not (is_inf ub.(v)) then
+              if tighten_lb v ub.(v) then dominated_mark.(v) <- true
+          end
+      done
+    end
+  done;
+  if !infeasible then Infeasible
+  else if not !any_change then Unchanged
+  else begin
+    (* collapse near-equal (or eps-crossed) bounds into fixings; every
+       remaining variable has a strictly positive bound range, so the
+       [add_var] calls below cannot see lb > ub *)
+    let fixed_at = Array.make n None in
+    let nfixed = ref 0 in
+    for v = 0 to n - 1 do
+      if ub.(v) -. lb.(v) <= fix_eps then begin
+        let x =
+          if is_int_kind kind.(v) then Float.round ((lb.(v) +. ub.(v)) /. 2.)
+          else if lb.(v) <= ub.(v) then lb.(v)
+          else 0.5 *. (lb.(v) +. ub.(v))
+        in
+        fixed_at.(v) <- Some x;
+        incr nfixed
+      end
+    done;
+    let reduced = Model.create ~name:(Model.name model) () in
+    let new_of = Array.make n (-1) in
+    for v = 0 to n - 1 do
+      if fixed_at.(v) = None then begin
+        let info = Model.var_info model v in
+        new_of.(v) <-
+          Model.add_var ~lb:lb.(v) ~ub:ub.(v) ~priority:info.Model.priority
+            ~kind:kind.(v) reduced info.Model.vname
+      end
+    done;
+    let rows_dropped = ref 0 in
+    (try
+       for i = 0 to nrows - 1 do
+         if redundant.(i) then incr rows_dropped
+         else begin
+           let vs = row_vs.(i) and cs = row_cs.(i) in
+           let b = ref row_b.(i) in
+           let terms = ref [] in
+           for j = Array.length vs - 1 downto 0 do
+             let v = vs.(j) and c = cs.(j) in
+             match fixed_at.(v) with
+             | Some x -> b := !b -. (c *. x)
+             | None -> terms := Lin_expr.term ~coef:c new_of.(v) :: !terms
+           done;
+           match !terms with
+           | [] ->
+               (* fully substituted: drop if satisfied, else infeasible *)
+               let ok =
+                 match row_op.(i) with
+                 | Model.Le -> 0. <= !b +. feas_eps
+                 | Model.Ge -> 0. >= !b -. feas_eps
+                 | Model.Eq -> Float.abs !b <= feas_eps
+               in
+               if ok then incr rows_dropped else raise Exit
+           | ts ->
+               let c = Model.constr model i in
+               Model.add_constr ~name:c.Model.cname reduced (Lin_expr.sum ts)
+                 row_op.(i) !b
+         end
+       done
+     with Exit -> infeasible := true);
+    if !infeasible then Infeasible
+    else begin
+      let obj = Lin_expr.normalize model.Model.objective in
+      let oconst = ref obj.Lin_expr.const in
+      let oterms = ref [] in
+      List.iter
+        (fun (v, c) ->
+          match fixed_at.(v) with
+          | Some x -> oconst := !oconst +. (c *. x)
+          | None -> oterms := Lin_expr.term ~coef:c new_of.(v) :: !oterms)
+        obj.Lin_expr.terms;
+      Model.set_objective reduced model.Model.obj_sense
+        (Lin_expr.add_const !oconst (Lin_expr.sum (List.rev !oterms)));
+      let lift (y : float array) =
+        Array.init n (fun v ->
+            match fixed_at.(v) with Some x -> x | None -> y.(new_of.(v)))
+      in
+      let project (y : float array) =
+        if Array.length y <> n then None
+        else begin
+          let z = Array.make (Model.num_vars reduced) 0. in
+          for v = 0 to n - 1 do
+            if new_of.(v) >= 0 then z.(new_of.(v)) <- y.(v)
+          done;
+          Some z
+        end
+      in
+      let dominated = ref 0 in
+      for v = 0 to n - 1 do
+        if fixed_at.(v) <> None && dominated_mark.(v) then incr dominated
+      done;
+      Reduced
+        {
+          reduced;
+          fixed = !nfixed;
+          dominated = !dominated;
+          rows_dropped = !rows_dropped;
+          lift;
+          project;
+        }
+    end
+  end

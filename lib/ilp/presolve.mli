@@ -1,0 +1,31 @@
+(** Presolve: shrink a {!Model.t} before branch & bound.
+
+    Bound tightening, implied/dominated variable fixing and
+    redundant-row removal.  All reductions preserve the optimal
+    objective; dominated-column fixing is restricted to strict objective
+    improvement (ties stay free), so the optimal {e set} is preserved and
+    downstream solution digests are unaffected.
+
+    Lifting invariant: for any [y] feasible in [reduced], [lift y] is
+    feasible in the original model (within the solver's feasibility
+    tolerance) with the same objective value, and bit-identical to [y] in
+    every kept coordinate.  Callers fingerprint and cache against the
+    original model, so memo keys are unchanged at the caller boundary. *)
+
+type reduction = {
+  reduced : Model.t;  (** fresh model; the input model is never mutated *)
+  fixed : int;  (** variables eliminated (including dominated columns) *)
+  dominated : int;  (** subset of [fixed] removed by dual fixing *)
+  rows_dropped : int;  (** redundant (or fully substituted) rows dropped *)
+  lift : float array -> float array;
+      (** reduced-space point -> original-space point *)
+  project : float array -> float array option;
+      (** original-space point -> reduced-space point; [None] on a length
+          mismatch.  Fixed coordinates are dropped, so a point that
+          disagreed with a fixing may project to an infeasible seed — the
+          solver's warm-start feasibility check filters those. *)
+}
+
+type result = Unchanged | Infeasible | Reduced of reduction
+
+val run : Model.t -> result

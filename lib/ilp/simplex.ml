@@ -318,7 +318,7 @@ let extract t (lb : float array) =
     model's variable bounds (same length as [Model.num_vars]).  Also
     returns the deterministic work measure: tableau cells touched across
     all pivots (machine- and schedule-independent, unlike wall time). *)
-let solve_counted ?lb ?ub (model : Model.t) : result * float =
+let solve_stats ?lb ?ub (model : Model.t) : result * float * int =
   Atomic.incr solve_count;
   let iters = ref 0 in
   let work = ref 0. in
@@ -420,6 +420,10 @@ let solve_counted ?lb ?ub (model : Model.t) : result * float =
   end
   in
   ignore (Atomic.fetch_and_add total_iterations !iters);
-  (res, !work)
+  (res, !work, !iters)
+
+let solve_counted ?lb ?ub model =
+  let res, work, _ = solve_stats ?lb ?ub model in
+  (res, work)
 
 let solve ?lb ?ub model = fst (solve_counted ?lb ?ub model)

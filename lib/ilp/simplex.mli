@@ -31,3 +31,9 @@ val solve : ?lb:float array -> ?ub:float array -> Model.t -> result
     budgets. *)
 val solve_counted :
   ?lb:float array -> ?ub:float array -> Model.t -> result * float
+
+(** Like {!solve_counted}, but additionally returns the pivot count of
+    this solve alone (exact and deterministic, unlike a delta of
+    {!total_iterations} under concurrent solves). *)
+val solve_stats :
+  ?lb:float array -> ?ub:float array -> Model.t -> result * float * int

@@ -30,8 +30,61 @@ let solve ?options ?warm_start ?(extra_starts = []) ?cache ?stats
     (model : Model.t) : outcome =
   let t0 = Clock.now_s () in
   let traced = Trace.enabled () in
-  let pivots0 = if traced then Atomic.get Simplex.total_iterations else 0 in
-  let run () = Branch_bound.solve ?options ?warm_start ~extra_starts model in
+  let presolve_fixed = ref 0 in
+  let presolve_rows = ref 0 in
+  let opts =
+    match options with Some o -> o | None -> Branch_bound.default_options
+  in
+  (* The presolve toggle is orchestrated here rather than inside
+     [Branch_bound]: the memo fingerprint and the cached/returned solution
+     both live in the ORIGINAL variable space, so callers (and the
+     persistent cache) never observe the reduction.  The reduced solve's
+     solution is lifted back and its objective re-evaluated on the
+     original model, keeping the caller-visible [x]/[obj] pair exactly
+     what an unreduced solve of the same optimum would report. *)
+  let run () =
+    if not opts.Branch_bound.presolve then
+      Branch_bound.solve ?options ?warm_start ~extra_starts model
+    else
+      match Presolve.run model with
+      | Presolve.Unchanged ->
+          Branch_bound.solve ?options ?warm_start ~extra_starts model
+      | Presolve.Infeasible ->
+          presolve_rows := Model.num_constraints model;
+          {
+            Branch_bound.status = Branch_bound.Infeasible;
+            x = None;
+            obj = nan;
+            nodes = 0;
+            pivots = 0;
+            cuts = 0;
+            incumbents = [];
+          }
+      | Presolve.Reduced r ->
+          presolve_fixed := r.Presolve.fixed;
+          presolve_rows := r.Presolve.rows_dropped;
+          let project y = r.Presolve.project y in
+          let warm_start =
+            match warm_start with None -> None | Some y -> project y
+          in
+          let extra_starts = List.filter_map project extra_starts in
+          let sol =
+            Branch_bound.solve ?options ?warm_start ~extra_starts
+              r.Presolve.reduced
+          in
+          let x = Option.map r.Presolve.lift sol.Branch_bound.x in
+          let obj =
+            match x with
+            | Some y -> Model.objective_value model (fun v -> y.(v))
+            | None -> sol.Branch_bound.obj
+          in
+          {
+            sol with
+            Branch_bound.x;
+            obj;
+            incumbents = List.map r.Presolve.lift sol.Branch_bound.incumbents;
+          }
+  in
   let sol, cached =
     match cache with
     | None -> (run (), false)
@@ -64,10 +117,12 @@ let solve ?options ?warm_start ?(extra_starts = []) ?cache ?stats
           ("cached", Trace.Bool cached);
           ("warm_start", Trace.Bool (warm_start <> None));
           ("extra_starts", Trace.Int (List.length extra_starts));
-          ( "pivots",
-            Trace.Int
-              (if cached then 0
-               else Atomic.get Simplex.total_iterations - pivots0) );
+          (* exact per-solve pivot count (deterministic at any job count,
+             unlike the old global-counter delta) *)
+          ("pivots", Trace.Int sol.Branch_bound.pivots);
+          ("cuts", Trace.Int sol.Branch_bound.cuts);
+          ("presolve_fixed", Trace.Int !presolve_fixed);
+          ("presolve_rows", Trace.Int !presolve_rows);
         ];
   (match debug_slow with
   | Some threshold when time_s >= threshold && not cached ->
@@ -79,7 +134,11 @@ let solve ?options ?warm_start ?(extra_starts = []) ?cache ?stats
   (match stats with
   | Some s ->
       if cached then Stats.record_cache_hit s
-      else Stats.record s model ~nodes:sol.Branch_bound.nodes ~time_s
+      else
+        Stats.record ~pivots:sol.Branch_bound.pivots
+          ~presolve_fixed:!presolve_fixed ~presolve_rows:!presolve_rows
+          ~cuts:sol.Branch_bound.cuts s model ~nodes:sol.Branch_bound.nodes
+          ~time_s
   | None -> ());
   {
     status = sol.Branch_bound.status;

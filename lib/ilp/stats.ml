@@ -13,6 +13,15 @@ type t = {
   mutable constrs : int;
   mutable solve_time_s : float;
   mutable bb_nodes : int;
+  mutable pivots : int;
+      (** simplex pivots across all LP relaxations of the recorded solves
+          (exact per-solve counts, deterministic at any [jobs] value) *)
+  mutable presolve_fixed : int;
+      (** variables eliminated by the presolve pass (implied-bound fixing
+          plus dominated-column removal) across the recorded solves *)
+  mutable presolve_rows : int;
+      (** constraint rows dropped as redundant by the presolve pass *)
+  mutable cuts : int;  (** cover cuts added by branch & bound *)
   mutable cache_hits : int;
       (** solves answered from the {!Memo} cache; these are *not* counted
           in [ilps] — that stays the number of ILPs actually solved *)
@@ -32,6 +41,10 @@ let create () =
     constrs = 0;
     solve_time_s = 0.;
     bb_nodes = 0;
+    pivots = 0;
+    presolve_fixed = 0;
+    presolve_rows = 0;
+    cuts = 0;
     cache_hits = 0;
     deg_incumbent = 0;
     deg_lp_round = 0;
@@ -45,18 +58,27 @@ let reset t =
   t.constrs <- 0;
   t.solve_time_s <- 0.;
   t.bb_nodes <- 0;
+  t.pivots <- 0;
+  t.presolve_fixed <- 0;
+  t.presolve_rows <- 0;
+  t.cuts <- 0;
   t.cache_hits <- 0;
   t.deg_incumbent <- 0;
   t.deg_lp_round <- 0;
   t.deg_greedy <- 0;
   t.deg_seq <- 0
 
-let record t (model : Model.t) ~nodes ~time_s =
+let record ?(pivots = 0) ?(presolve_fixed = 0) ?(presolve_rows = 0)
+    ?(cuts = 0) t (model : Model.t) ~nodes ~time_s =
   t.ilps <- t.ilps + 1;
   t.vars <- t.vars + Model.num_vars model;
   t.constrs <- t.constrs + Model.num_constraints model;
   t.solve_time_s <- t.solve_time_s +. time_s;
-  t.bb_nodes <- t.bb_nodes + nodes
+  t.bb_nodes <- t.bb_nodes + nodes;
+  t.pivots <- t.pivots + pivots;
+  t.presolve_fixed <- t.presolve_fixed + presolve_fixed;
+  t.presolve_rows <- t.presolve_rows + presolve_rows;
+  t.cuts <- t.cuts + cuts
 
 let record_cache_hit t = t.cache_hits <- t.cache_hits + 1
 
@@ -80,6 +102,10 @@ let merge ~into:a b =
   a.constrs <- a.constrs + b.constrs;
   a.solve_time_s <- a.solve_time_s +. b.solve_time_s;
   a.bb_nodes <- a.bb_nodes + b.bb_nodes;
+  a.pivots <- a.pivots + b.pivots;
+  a.presolve_fixed <- a.presolve_fixed + b.presolve_fixed;
+  a.presolve_rows <- a.presolve_rows + b.presolve_rows;
+  a.cuts <- a.cuts + b.cuts;
   a.cache_hits <- a.cache_hits + b.cache_hits;
   a.deg_incumbent <- a.deg_incumbent + b.deg_incumbent;
   a.deg_lp_round <- a.deg_lp_round + b.deg_lp_round;
@@ -91,6 +117,12 @@ let copy t = { t with ilps = t.ilps }
 let pp ppf t =
   Fmt.pf ppf "#ILPs %d, #Var %d, #Constr %d, time %.2fs, B&B nodes %d" t.ilps
     t.vars t.constrs t.solve_time_s t.bb_nodes;
+  if t.pivots > 0 then Fmt.pf ppf ", pivots %d" t.pivots;
+  if t.presolve_fixed > 0 then
+    Fmt.pf ppf ", presolve-fixed %d" t.presolve_fixed;
+  if t.presolve_rows > 0 then
+    Fmt.pf ppf ", presolve-rows %d" t.presolve_rows;
+  if t.cuts > 0 then Fmt.pf ppf ", cuts %d" t.cuts;
   if t.cache_hits > 0 then Fmt.pf ppf ", cache hits %d" t.cache_hits;
   if t.deg_incumbent > 0 then Fmt.pf ppf ", incumbent-only %d" t.deg_incumbent;
   if t.deg_lp_round > 0 then Fmt.pf ppf ", lp-round %d" t.deg_lp_round;

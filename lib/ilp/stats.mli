@@ -11,6 +11,15 @@ type t = {
   mutable constrs : int;
   mutable solve_time_s : float;
   mutable bb_nodes : int;
+  mutable pivots : int;
+      (** simplex pivots across all LP relaxations of the recorded solves
+          (exact per-solve counts, deterministic at any [jobs] value) *)
+  mutable presolve_fixed : int;
+      (** variables eliminated by the presolve pass across the recorded
+          solves *)
+  mutable presolve_rows : int;
+      (** constraint rows dropped as redundant by the presolve pass *)
+  mutable cuts : int;  (** cover cuts added by branch & bound *)
   mutable cache_hits : int;
       (** solves answered from the {!Memo} cache; not counted in [ilps],
           which stays the number of ILPs actually solved *)
@@ -26,8 +35,17 @@ type t = {
 val create : unit -> t
 val reset : t -> unit
 
-(** Record one solved ILP. *)
-val record : t -> Model.t -> nodes:int -> time_s:float -> unit
+(** Record one solved ILP (acceleration counters default to 0). *)
+val record :
+  ?pivots:int ->
+  ?presolve_fixed:int ->
+  ?presolve_rows:int ->
+  ?cuts:int ->
+  t ->
+  Model.t ->
+  nodes:int ->
+  time_s:float ->
+  unit
 
 (** Record one solve answered from the {!Memo} cache. *)
 val record_cache_hit : t -> unit

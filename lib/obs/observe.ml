@@ -53,6 +53,10 @@ let solver_json (st : Ilp.Stats.t) : J.t =
       ("constrs", num st.Ilp.Stats.constrs);
       ("solve_time_s", J.Num st.Ilp.Stats.solve_time_s);
       ("bb_nodes", num st.Ilp.Stats.bb_nodes);
+      ("pivots", num st.Ilp.Stats.pivots);
+      ("presolve_fixed", num st.Ilp.Stats.presolve_fixed);
+      ("presolve_rows", num st.Ilp.Stats.presolve_rows);
+      ("cuts", num st.Ilp.Stats.cuts);
       ("cache_hits", num st.Ilp.Stats.cache_hits);
       ( "degraded",
         J.Obj
@@ -182,9 +186,13 @@ let profile_table ppf ?runtime ~wall_s ~(events : Trace.event list)
     st.Ilp.Stats.ilps st.Ilp.Stats.vars st.Ilp.Stats.constrs
     st.Ilp.Stats.solve_time_s;
   Format.fprintf ppf
-    "  B&B nodes %d  cache hits %d  degraded: %d incumbent / %d lp-round / %d \
+    "  B&B nodes %d  pivots %d  cuts %d  presolve %d fixed / %d rows@,"
+    st.Ilp.Stats.bb_nodes st.Ilp.Stats.pivots st.Ilp.Stats.cuts
+    st.Ilp.Stats.presolve_fixed st.Ilp.Stats.presolve_rows;
+  Format.fprintf ppf
+    "  cache hits %d  degraded: %d incumbent / %d lp-round / %d \
      greedy / %d seq@,"
-    st.Ilp.Stats.bb_nodes st.Ilp.Stats.cache_hits st.Ilp.Stats.deg_incumbent
+    st.Ilp.Stats.cache_hits st.Ilp.Stats.deg_incumbent
     st.Ilp.Stats.deg_lp_round st.Ilp.Stats.deg_greedy st.Ilp.Stats.deg_seq;
   (match runtime with
   | None -> ()
@@ -202,10 +210,14 @@ let profile_table ppf ?runtime ~wall_s ~(events : Trace.event list)
       List.iter
         (fun (e : Trace.event) ->
           Format.fprintf ppf
-            "  %-18s %8.2f ms  vars %-4s constrs %-4s nodes %-5s %s%s@," e.Trace.name
-            (e.Trace.dur_us /. 1e3) (arg_str e.Trace.args "vars")
+            "  %-18s %8.2f ms  vars %-4s constrs %-4s nodes %-5s pivots %-6s \
+             cuts %-3s %s%s@,"
+            e.Trace.name (e.Trace.dur_us /. 1e3)
+            (arg_str e.Trace.args "vars")
             (arg_str e.Trace.args "constrs")
             (arg_str e.Trace.args "nodes")
+            (arg_str e.Trace.args "pivots")
+            (arg_str e.Trace.args "cuts")
             (arg_str e.Trace.args "status")
             (if arg_str e.Trace.args "cached" = "true" then " (cached)" else ""))
         top);

@@ -6,8 +6,9 @@
    the cold run's. *)
 
 let sol ?(status = Ilp.Branch_bound.Optimal) ?x ?(obj = 7.5) ?(nodes = 42)
-    ?(incumbents = []) () : Ilp.Branch_bound.solution =
-  { Ilp.Branch_bound.status; x; obj; nodes; incumbents }
+    ?(pivots = 99) ?(cuts = 3) ?(incumbents = []) () :
+    Ilp.Branch_bound.solution =
+  { Ilp.Branch_bound.status; x; obj; nodes; pivots; cuts; incumbents }
 
 (* ------------------------------------------------------------------ *)
 (* Entry codec                                                         *)

@@ -25,7 +25,8 @@ let canon (r : Parcore.Algorithm.result) =
     r.Parcore.Algorithm.stats.Ilp.Stats.ilps,
     r.Parcore.Algorithm.stats.Ilp.Stats.cache_hits )
 
-let check_benchmark (b : Benchsuite.Suite.t) (pf : Platform.Desc.t) () =
+let check_benchmark ?(cfg = cfg) (b : Benchsuite.Suite.t) (pf : Platform.Desc.t)
+    () =
   let prog = Benchsuite.Suite.compile b in
   let profile = (Interp.Eval.run prog).Interp.Eval.profile in
   let run jobs =
@@ -48,6 +49,38 @@ let check_benchmark (b : Benchsuite.Suite.t) (pf : Platform.Desc.t) () =
        pf.Platform.Desc.name)
     true (r1 = r8)
 
+(* The ILP acceleration toggles (PR 7) change the search trajectory, so
+   each combination must independently stay bit-identical across worker
+   counts.  The default config above runs them all on over the full
+   suite; here a small benchmark subset re-runs with them all off and
+   with a mixed set, so a toggle can't smuggle in schedule-dependent
+   state (e.g. a racy cut pool or seed). *)
+let toggle_cfgs =
+  [
+    ( "accel-off",
+      {
+        cfg with
+        Parcore.Config.ilp_presolve = false;
+        ilp_symmetry = false;
+        ilp_cuts = false;
+        ilp_seed_incumbent = false;
+      } );
+    ( "accel-mixed",
+      {
+        cfg with
+        Parcore.Config.ilp_presolve = true;
+        ilp_symmetry = false;
+        ilp_cuts = true;
+        ilp_seed_incumbent = false;
+      } );
+  ]
+
+let toggle_benchmarks =
+  List.filter
+    (fun (b : Benchsuite.Suite.t) ->
+      List.mem b.Benchsuite.Suite.name [ "boundary_value"; "mult_10"; "fir_256" ])
+    Benchsuite.Suite.all
+
 let suite =
   List.concat_map
     (fun (b : Benchsuite.Suite.t) ->
@@ -62,3 +95,14 @@ let suite =
           Platform.Presets.platform_a_accel; Platform.Presets.platform_b_accel;
         ])
     Benchsuite.Suite.all
+  @ List.concat_map
+      (fun (name, cfg) ->
+        List.map
+          (fun (b : Benchsuite.Suite.t) ->
+            Alcotest.test_case
+              (Printf.sprintf "%s / %s / %s" b.Benchsuite.Suite.name
+                 Platform.Presets.platform_a_accel.Platform.Desc.name name)
+              `Slow
+              (check_benchmark ~cfg b Platform.Presets.platform_a_accel))
+          toggle_benchmarks)
+      toggle_cfgs

@@ -5,6 +5,7 @@ let () =
       ("interp", Test_interp.suite);
       ("platform", Test_platform.suite);
       ("ilp", Test_ilp.suite);
+      ("accel", Test_accel.suite);
       ("memo", Test_memo.suite);
       ("cache", Test_cache.suite);
       ("htg", Test_htg.suite);
