@@ -1,6 +1,6 @@
 # Convenience targets around dune.
 
-.PHONY: all build test test-quick chaos bench bench-runtime bench-perf perf-smoke perf-gate execute serve-smoke clean fmt
+.PHONY: all build test test-quick chaos bench bench-runtime bench-perf perf-smoke perf-gate execute serve-smoke serve-chaos clean fmt
 
 all: build
 
@@ -70,6 +70,32 @@ serve-smoke: build
 	kill -TERM $$pid; wait $$pid \
 	  && echo "serve-smoke: clean drain" \
 	  || { echo "serve-smoke: drain failed"; exit 1; }
+
+# Server-level chaos: the daemon under a mixed clean/faulted load.
+# Every 3rd request arms a fault plan on the executor worker (a worker
+# crash at the serve.exec probe, plus solver- and runtime-level raises);
+# the supervised pool must answer every request with a typed response,
+# restart crashed workers (>= 1 restart observed in the server metrics),
+# keep the clean requests' digests consistent, and still drain cleanly
+# on SIGTERM (exit 0).  SERVE_CHAOS_N=n scales the request count.
+serve-chaos: build
+	@rm -f serve-chaos.sock; n=$${SERVE_CHAOS_N:-45}; \
+	./_build/default/bin/mpsoc_par.exe serve --socket serve-chaos.sock \
+	  --jobs 1 --executors 2 --restart-budget 64 --ilp-time-limit 0.5 \
+	  --metrics serve-chaos-metrics.json & pid=$$!; \
+	for i in $$(seq 1 100); do test -S serve-chaos.sock && break; sleep 0.1; done; \
+	./_build/default/bin/mpsoc_par.exe loadgen mult_10 \
+	  --socket serve-chaos.sock --qps 0 -c 3 -n $$n \
+	  --fault-spec serve.exec@1=raise --fault-spec simplex.pivot@1=raise \
+	  --fault-spec pool.spawn@1=raise --fault-every 3 \
+	  --report serve-chaos-load.json \
+	  || { kill $$pid; exit 1; }; \
+	kill -TERM $$pid; wait $$pid \
+	  || { echo "serve-chaos: drain failed"; exit 1; }; \
+	jq -e '.transport_errors == 0 and .digests_consistent == true' \
+	  serve-chaos-load.json >/dev/null; \
+	jq -e '.server.executor_restarts >= 1' serve-chaos-metrics.json >/dev/null; \
+	echo "serve-chaos: $$n requests ($$(jq .faulted_requests serve-chaos-load.json) faulted), >=1 restart, clean drain"
 
 # Differential validation of every suite benchmark on two presets via
 # the CLI (the acceptance check of the execution runtime).

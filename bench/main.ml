@@ -390,6 +390,187 @@ let run_perf ~smoke () =
   if not all_identical then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* E11: serve-side saturation — executor-pool scaling under load       *)
+(* ------------------------------------------------------------------ *)
+
+(* Drives the resident daemon with the load generator over an
+   offered-QPS ladder and locates the saturation point — the highest
+   rung whose achieved throughput stays within 5% of the offered rate —
+   for 1 and 2 executor workers.  The solve cache is disabled so every
+   request costs a real solve; with the hot memo on, the first request
+   warms it and the ladder would measure protocol plumbing, not the
+   engine.  Results merge into BENCH_parallelize.json under
+   "serve_saturation" (read-modify-write: the E10 sections are kept). *)
+
+(* small but parallelizable: two independent DOALL loops; a fresh solve
+   costs ~0.5 s, so a single executor saturates around 2 rps *)
+let sat_src =
+  {|
+float a[256]; float b[256];
+int main() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) { a[i] = sin(i * 0.01) * 2.0; }
+  for (i = 0; i < 256; i = i + 1) { b[i] = cos(i * 0.02) + 1.0; }
+  return (int) (a[5] + b[7]);
+}
+|}
+
+let sat_rpc sock req =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      Serve.Protocol.write_request fd req;
+      match Serve.Protocol.read_response fd with
+      | `Response r -> r
+      | `Eof | `Error _ -> failwith "serve-sat: rpc failed")
+
+let run_serve_sat () =
+  let module J = Trace_json in
+  let ladder = [ 2.; 4.; 8. ] in
+  let requests = 12 and concurrency = 4 in
+  Printf.printf
+    "E11: serve saturation — %d requests/rung, %d connections, offered %s rps\n"
+    requests concurrency
+    (String.concat "/" (List.map (Printf.sprintf "%g") ladder));
+  let measure executors =
+    let dir = Filename.temp_file "serve-sat" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    let target = Filename.concat dir "prog.c" in
+    let oc = open_out target in
+    output_string oc sat_src;
+    close_out oc;
+    let sock = Filename.concat dir "s.sock" in
+    let cfg =
+      { Parcore.Config.fast with Parcore.Config.solve_cache = false }
+    in
+    let server =
+      Domain.spawn (fun () ->
+          Serve.Daemon.run
+            {
+              Serve.Daemon.default_config with
+              Serve.Daemon.socket_path = sock;
+              executors;
+              cfg;
+            })
+    in
+    let rec wait n =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX sock) with
+      | () -> Unix.close fd
+      | exception Unix.Unix_error _ ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          if n = 0 then failwith "serve-sat: daemon never came up";
+          Unix.sleepf 0.05;
+          wait (n - 1)
+    in
+    wait 100;
+    let rungs =
+      List.map
+        (fun qps ->
+          let r =
+            Serve.Loadgen.run_result
+              {
+                Serve.Loadgen.default_config with
+                Serve.Loadgen.socket_path = sock;
+                targets = [ target ];
+                platform = "platform-a-accel";
+                qps;
+                concurrency;
+                requests;
+                report_path = None;
+              }
+          in
+          Printf.printf
+            "  executors=%d offered %5.1f rps -> achieved %5.2f rps, p50 \
+             %7.1f ms, p99 %7.1f ms\n\
+             %!"
+            executors qps r.Serve.Loadgen.throughput_rps
+            r.Serve.Loadgen.latency.Serve.Latency.p50_ms
+            r.Serve.Loadgen.latency.Serve.Latency.p99_ms;
+          (qps, r))
+        ladder
+    in
+    ignore
+      (sat_rpc sock (Serve.Protocol.request ~id:"drain" Serve.Protocol.Drain));
+    let code = Domain.join server in
+    if code <> 0 then Printf.eprintf "serve-sat: daemon exit %d\n" code;
+    (try Unix.unlink target with Unix.Unix_error _ | Sys_error _ -> ());
+    (try Unix.rmdir dir with Unix.Unix_error _ | Sys_error _ -> ());
+    rungs
+  in
+  let saturation rungs =
+    List.fold_left
+      (fun acc (qps, r) ->
+        if r.Serve.Loadgen.throughput_rps >= 0.95 *. qps then Float.max acc qps
+        else acc)
+      0. rungs
+  in
+  let section_of rungs =
+    J.Obj
+      [
+        ("saturation_rps", J.Num (saturation rungs));
+        ( "rungs",
+          J.List
+            (List.map
+               (fun (qps, (r : Serve.Loadgen.result)) ->
+                 J.Obj
+                   [
+                     ("offered_rps", J.Num qps);
+                     ("achieved_rps", J.Num r.Serve.Loadgen.throughput_rps);
+                     ( "p50_ms",
+                       J.Num r.Serve.Loadgen.latency.Serve.Latency.p50_ms );
+                     ( "p99_ms",
+                       J.Num r.Serve.Loadgen.latency.Serve.Latency.p99_ms );
+                     ("rejected", J.Num (float_of_int r.Serve.Loadgen.rejected));
+                   ])
+               rungs) );
+      ]
+  in
+  let r1 = measure 1 in
+  let r2 = measure 2 in
+  Printf.printf "  saturation: executors=1 at %g rps, executors=2 at %g rps\n"
+    (saturation r1) (saturation r2);
+  let section =
+    J.Obj
+      [
+        ("requests_per_rung", J.Num (float_of_int requests));
+        ("concurrency", J.Num (float_of_int concurrency));
+        ("solve_cache", J.Bool false);
+        (* executor scaling is bounded by the host: on a single-core
+           runner the two-worker numbers measure contention, not
+           parallelism *)
+        ( "host_domains",
+          J.Num (float_of_int (Domain.recommended_domain_count ())) );
+        ("executors_1", section_of r1);
+        ("executors_2", section_of r2);
+      ]
+  in
+  let path = "BENCH_parallelize.json" in
+  let merged =
+    let fresh () = J.Obj (Observe.run_metadata ()) in
+    let doc =
+      match In_channel.with_open_bin path In_channel.input_all with
+      | txt -> ( try J.parse txt with _ -> fresh ())
+      | exception Sys_error _ -> fresh ()
+    in
+    match doc with
+    | J.Obj fields ->
+        J.Obj
+          (List.filter (fun (k, _) -> k <> "serve_saturation") fields
+          @ [ ("serve_saturation", section) ])
+    | _ -> J.Obj [ ("serve_saturation", section) ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string ~pretty:true merged);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  merged into %s\n" path;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -430,10 +611,11 @@ let () =
       | "runtime" -> run_host_execution ()
       | "perf" -> run_perf ~smoke:false ()
       | "perf-smoke" -> run_perf ~smoke:true ()
+      | "serve-sat" -> run_serve_sat ()
       | other ->
           Printf.eprintf
             "unknown experiment %S (expected fig7a fig7b fig8a fig8b table1 \
-             ablation energy micro runtime perf perf-smoke)\n"
+             ablation energy micro runtime perf perf-smoke serve-sat)\n"
             other;
           exit 1);
       line ())

@@ -808,8 +808,37 @@ let serve_cmd =
             "On SIGTERM (or a $(b,drain) request), finish in-flight jobs \
              for up to $(docv) seconds before force-stopping with exit 4.")
   in
-  let run socket tcp_port queue_max default_deadline_s drain_grace_s time_limit
-      max_steps jobs trace metrics profile cache_dir cache_max_mb accel =
+  let executors_arg =
+    Arg.(
+      value
+      & opt int Serve.Daemon.default_config.Serve.Daemon.executors
+      & info [ "executors" ] ~docv:"N"
+          ~doc:
+            "Supervised executor workers solving requests concurrently \
+             (each with its own taskpool of $(b,--jobs) domains).")
+  in
+  let restart_budget_arg =
+    Arg.(
+      value
+      & opt int Serve.Daemon.default_config.Serve.Daemon.restart_budget
+      & info [ "restart-budget" ] ~docv:"N"
+          ~doc:
+            "Total executor restarts (after crashes or wedges) before the \
+             daemon gives up and drains with exit 1.")
+  in
+  let wedge_grace_arg =
+    Arg.(
+      value
+      & opt float Serve.Daemon.default_config.Serve.Daemon.wedge_grace_s
+      & info [ "wedge-grace" ] ~docv:"SECONDS"
+          ~doc:
+            "Slack past a request's deadline before its executor worker is \
+             declared wedged, the request answered $(b,timeout), and the \
+             worker abandoned and replaced.")
+  in
+  let run socket tcp_port queue_max default_deadline_s drain_grace_s executors
+      restart_budget wedge_grace_s time_limit max_steps jobs trace metrics
+      profile cache_dir cache_max_mb accel =
     let cfg =
       cfg_of ~jobs ~trace ~metrics ~profile ~cache_dir ~cache_max_mb ~accel
         time_limit max_steps
@@ -822,6 +851,9 @@ let serve_cmd =
           queue_max;
           default_deadline_s;
           drain_grace_s;
+          executors;
+          restart_budget;
+          wedge_grace_s;
           cfg;
         }
     with
@@ -832,13 +864,15 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the resident parallelization server: a Unix-domain (and \
-          optionally TCP) daemon multiplexing concurrent clients onto one \
-          shared taskpool, in-memory solve memo and persistent cache, with \
-          bounded fair admission, per-request deadlines and graceful drain \
-          on SIGTERM")
+          optionally TCP) daemon multiplexing concurrent clients onto a \
+          supervised pool of executor workers (crash-only restart with a \
+          bounded budget) over a shared in-memory solve memo and persistent \
+          cache, with bounded fair admission, per-request deadlines, \
+          liveness/readiness health checks and graceful drain on SIGTERM")
     Term.(
       const run $ socket_arg $ tcp_port_arg $ queue_max_arg
-      $ default_deadline_arg $ drain_grace_arg $ time_limit_arg
+      $ default_deadline_arg $ drain_grace_arg $ executors_arg
+      $ restart_budget_arg $ wedge_grace_arg $ time_limit_arg
       $ max_steps_arg $ jobs_arg $ trace_arg $ metrics_arg $ profile_flag
       $ cache_dir_arg $ cache_max_mb_arg $ accel_term)
 
@@ -901,11 +935,42 @@ let loadgen_cmd =
       & info [ "report" ] ~docv:"FILE"
           ~doc:
             "Write the latency-percentile report JSON \
-             (p50/p90/p99, throughput, rejection rate, per-target solution \
-             digests) to $(docv); $(b,-) writes to stdout.")
+             (p50/p90/p99, throughput, rejection rate, retry counts, \
+             per-target solution digests) to $(docv); $(b,-) writes to \
+             stdout.")
+  in
+  let retry_max_arg =
+    Arg.(
+      value
+      & opt int Serve.Loadgen.default_config.Serve.Loadgen.retry_max
+      & info [ "retry-max" ] ~docv:"N"
+          ~doc:
+            "Retries per request on a typed $(b,overloaded) rejection or a \
+             transport failure (reconnecting), with capped exponential \
+             backoff and full jitter; $(b,0) disables retries.")
+  in
+  let fault_spec_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "fault-spec" ] ~docv:"SPEC"
+          ~doc:
+            "Fault-plan spec (point\\@hit=action, see $(b,chaos)) armed on \
+             the executor worker for selected requests; repeatable — specs \
+             are cycled across the faulted requests.")
+  in
+  let fault_every_arg =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "fault-every" ] ~docv:"N"
+          ~doc:
+            "With $(b,--fault-spec), arm a fault plan on every $(docv)-th \
+             request (the rest stay clean for the digest-consistency \
+             check).")
   in
   let run targets socket platform approach op qps concurrency requests
-      deadline_s report =
+      deadline_s retry_max fault_specs fault_every report =
     match
       Serve.Loadgen.run
         {
@@ -918,6 +983,12 @@ let loadgen_cmd =
           concurrency;
           requests;
           deadline_s;
+          retry_max;
+          retry_base_s =
+            Serve.Loadgen.default_config.Serve.Loadgen.retry_base_s;
+          retry_cap_s = Serve.Loadgen.default_config.Serve.Loadgen.retry_cap_s;
+          fault_specs;
+          fault_every = (if fault_specs = [] then 0 else fault_every);
           report_path = Some report;
         }
     with
@@ -928,11 +999,14 @@ let loadgen_cmd =
     (Cmd.info "loadgen"
        ~doc:
          "Replay benchmarks against a running $(b,serve) daemon at a \
-          configured QPS and concurrency, and write a latency-percentile \
-          report with a per-target solution-digest consistency check")
+          configured QPS and concurrency — optionally arming per-request \
+          fault plans (chaos mode) and retrying rejections with jittered \
+          backoff — and write a latency-percentile report with a per-target \
+          solution-digest consistency check")
     Term.(
       const run $ targets $ socket_arg $ platform_arg $ approach_arg $ op_arg
-      $ qps_arg $ concurrency_arg $ requests_arg $ deadline_arg $ report_arg)
+      $ qps_arg $ concurrency_arg $ requests_arg $ deadline_arg
+      $ retry_max_arg $ fault_spec_arg $ fault_every_arg $ report_arg)
 
 (* ---------------- list ---------------- *)
 

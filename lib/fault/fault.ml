@@ -18,6 +18,16 @@ type state = {
 
 let current : state option Atomic.t = Atomic.make None
 
+(* Domain-local plans: armed on one domain only, so concurrent executor
+   workers of the serve daemon can each run a different per-request plan
+   without racing on the global slot.  [local_count] keeps the disarmed
+   fast path cheap: when it is 0 (the common case) probes never touch
+   domain-local storage. *)
+let local_count : int Atomic.t = Atomic.make 0
+
+let local_key : state option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
 let arm plan =
   Atomic.set current
     (Some { plan; mutex = Mutex.create (); hits = Hashtbl.create 8 })
@@ -28,8 +38,28 @@ let with_plan plan f =
   arm plan;
   Fun.protect ~finally:disarm f
 
+let with_plan_local plan f =
+  let slot = Domain.DLS.get local_key in
+  let saved = !slot in
+  slot := Some { plan; mutex = Mutex.create (); hits = Hashtbl.create 8 };
+  Atomic.incr local_count;
+  Fun.protect
+    ~finally:(fun () ->
+      slot := saved;
+      Atomic.decr local_count)
+    f
+
+(* The state a probe on this domain observes: the domain-local plan wins
+   over the process-global one. *)
+let observed () : state option =
+  match
+    if Atomic.get local_count > 0 then !(Domain.DLS.get local_key) else None
+  with
+  | Some _ as local -> local
+  | None -> Atomic.get current
+
 let armed () =
-  match Atomic.get current with None -> None | Some s -> Some s.plan
+  match observed () with None -> None | Some s -> Some s.plan
 
 (* Count a hit for [pt] and return the rules of [pt] that fire at this
    hit count ([Exhaust] rules fire at and after their hit count). *)
@@ -49,7 +79,7 @@ let hit st pt =
   n
 
 let point pt =
-  match Atomic.get current with
+  match observed () with
   | None -> ()
   | Some st ->
       if List.exists (fun ru -> ru.point = pt) st.plan.rules then begin
@@ -65,7 +95,7 @@ let point pt =
       end
 
 let exhausted pt =
-  match Atomic.get current with
+  match observed () with
   | None -> false
   | Some st ->
       if
@@ -80,7 +110,10 @@ let exhausted pt =
       end
       else false
 
-let known_points =
+(* The flow-level probes {!generate} draws from.  Frozen: adding a point
+   here would change every seeded plan and with it the committed chaos
+   suite's 440 cases. *)
+let generated_points =
   [
     "frontend.parse";
     "platform.io";
@@ -89,6 +122,13 @@ let known_points =
     "pool.spawn";
     "channel.recv";
   ]
+
+(* All documented probe points accepted by {!of_spec}.  [serve.exec]
+   sits in the serve daemon's executor-worker loop, outside the
+   per-request exception guard: a [Raise] there kills the worker domain
+   (the supervisor's crash-restart test hook) and a [Delay_s] wedges it
+   past its heartbeat. *)
+let known_points = generated_points @ [ "serve.exec" ]
 
 (* -- plan specs ---------------------------------------------------- *)
 
@@ -114,11 +154,11 @@ let lcg seed =
 
 let generate ~seed =
   let next = lcg (seed * 2654435761) in
-  let npts = List.length known_points in
+  let npts = List.length generated_points in
   let nrules = 1 + next 3 in
   let rules =
     List.init nrules (fun _ ->
-        let point = List.nth known_points (next npts) in
+        let point = List.nth generated_points (next npts) in
         let at_hit = 1 + next 40 in
         let action =
           (* weight towards Raise; Delay kept short so chaos runs stay

@@ -37,7 +37,20 @@ val with_plan : plan -> (unit -> 'a) -> 'a
 (** [with_plan p f] arms [p], runs [f ()], and disarms afterwards even if
     [f] raises. *)
 
+val with_plan_local : plan -> (unit -> 'a) -> 'a
+(** Like {!with_plan}, but the plan is visible only to probes running on
+    the {e calling domain} — concurrent domains can each arm a different
+    plan without racing on the global slot (the serve daemon arms
+    per-request plans on its executor workers this way).  A domain-local
+    plan shadows the global one on its domain.  Nesting restores the
+    previous local plan on exit.  Note: probes executed by {e other}
+    domains (e.g. taskpool workers spawned for [jobs > 1]) do not see
+    the caller's local plan — arm local plans on the domain that runs
+    the probes (the serve chaos path runs with [jobs = 1]). *)
+
 val armed : unit -> plan option
+(** The plan probes on the calling domain currently observe: its
+    domain-local plan if one is armed, else the global one. *)
 
 val point : string -> unit
 (** Probe.  No-op unless a plan with a rule for this point is armed. *)
@@ -47,7 +60,16 @@ val exhausted : string -> bool
     reached its hit count.  Counts a hit on every call while armed. *)
 
 val known_points : string list
-(** Documented probe points, for spec validation and plan generation. *)
+(** Documented probe points, for spec validation.  Includes
+    [serve.exec], the serve daemon's executor-worker loop hook: a
+    [Raise] there escapes the per-request guard and kills the worker
+    domain (exercising supervisor crash-restart); a [Delay_s] wedges
+    the worker past its heartbeat. *)
+
+val generated_points : string list
+(** The subset of {!known_points} that {!generate} draws rules from —
+    frozen at the original six flow probes so seeded plans (and the
+    committed chaos suite) are stable across releases. *)
 
 val of_spec : string -> (plan, string) result
 (** Parse a plan from a compact spec:

@@ -6,23 +6,31 @@
       reactor over the Unix-domain (and optional TCP) listeners, all
       client connections, and a self-pipe.  It owns every socket —
       accepting, incremental frame decoding, response writes — and
-      answers [status]/[drain] inline so they never queue behind solves;
-    - the {b executor} (one spawned domain): pulls parallelize/execute
-      jobs from the {!Admission} queue and runs them on shared solver
-      state — one {!Taskpool.Pool}, one persistent {!Cache.Store}, and
-      one hot in-memory {!Ilp.Memo} per platform view — so a repeat
-      request is answered from memory with zero fresh ILP solves;
+      answers [status]/[health]/[drain] inline so they never queue
+      behind solves.  It doubles as the supervisor's monitor, running
+      {!Supervisor.check} every select tick;
+    - the {b executor pool} ([executors] supervised domains): each
+      worker pulls parallelize/execute jobs from the {!Admission} queue
+      and runs them on its {e own} {!Taskpool.Pool} (one pool admits one
+      external caller at a time) over shared, thread-safe solver state —
+      one persistent {!Cache.Store} and one hot single-flight
+      {!Ilp.Memo} per platform view — so a repeat request is answered
+      from memory with zero fresh ILP solves.  A worker that crashes or
+      wedges is abandoned and restarted by the {!Supervisor} (bounded
+      budget, exponential backoff); its in-flight request is answered
+      with a typed [internal]/[timeout] — one bad request never kills
+      the daemon or other in-flight requests;
     - the {b watchdog contract}: each job carries an absolute deadline.
       A job whose deadline passes while queued is answered [timeout]
       without running; an [execute] job passes its remaining budget to
       the runtime watchdog, whose typed verdicts map onto response
       codes exactly as they map onto CLI exit codes.
 
-    Jobs from concurrent clients are multiplexed, not raced: the
-    executor serializes solver work (the taskpool parallelizes {e
-    inside} each job), which both preserves the solver's determinism
-    story — responses are bit-identical to single-shot CLI runs — and
-    keeps the admission queue the single point of back-pressure.
+    Determinism: workers never share a taskpool and the memo is
+    single-flight, so each job's solve is the same computation a
+    single-shot CLI run performs — responses stay bit-identical to CLI
+    output even with concurrent executors.  The admission queue remains
+    the single point of back-pressure.
 
     Shutdown (SIGTERM, SIGINT, or a [drain] request) is a graceful
     drain: listeners close, queued and in-flight jobs finish, new
@@ -40,6 +48,11 @@ type config = {
   queue_max : int;
   default_deadline_s : float;  (** applied when a request carries none; 0 = none *)
   drain_grace_s : float;  (** force-stop this long after drain starts *)
+  executors : int;  (** supervised executor workers (≥ 1) *)
+  restart_budget : int;  (** total executor restarts before the daemon drains *)
+  wedge_grace_s : float;
+      (** slack past a request deadline before its worker is declared
+          wedged and abandoned *)
   cfg : Parcore.Config.t;  (** solver/runtime knobs shared by every job *)
 }
 
@@ -50,6 +63,9 @@ let default_config =
     queue_max = 64;
     default_deadline_s = 0.;
     drain_grace_s = 30.;
+    executors = 2;
+    restart_budget = 8;
+    wedge_grace_s = 1.;
     cfg = Parcore.Config.default;
   }
 
@@ -60,6 +76,8 @@ type job = {
   req : P.request;
   submitted_s : float;
   deadline_abs : float;  (** absolute {!Trace.now_s} time; [infinity] = none *)
+  fault_plan : Fault.plan option;
+      (** armed domain-locally on the worker for this job only (chaos) *)
 }
 
 (** Cumulative server counters; every field is guarded by [smu] (the
@@ -74,9 +92,12 @@ type stats = {
   mutable timed_out : int;  (** deadline expired while queued *)
 }
 
-(** Solver state shared across every request of the process lifetime. *)
+(** Solver state shared across every request of the process lifetime.
+    Everything here is safe to share across concurrent executor workers:
+    the store takes its own lock and the memo is single-flight.  The
+    taskpool is deliberately {e not} here — pools admit one external
+    caller at a time, so each worker owns a private one. *)
 type engine = {
-  pool : Taskpool.Pool.t option;
   store : Cache.Store.t option;
   memos : (string, Ilp.Memo.t) Hashtbl.t;
       (** hot in-memory memo per platform view (the memo's disk backing
@@ -164,9 +185,11 @@ let compile_result ~name src : (Minic.Ast.program, Mpsoc_error.t) result =
         (Mpsoc_error.make ~phase:Frontend ~kind:Invalid_input ~location:name
            (Minic.Frontend.error_to_string e))
 
-(** One parallelize/execute job on the shared engine.  Every failure
-    comes back as a typed protocol response, never an exception. *)
-let run_job cfg engine stats (job : job) : P.response =
+(** One parallelize/execute job on the shared engine, parallelizing
+    inside the job on [pool] (the calling worker's private pool).  Every
+    failure comes back as a typed protocol response, never an
+    exception. *)
+let run_job cfg engine stats ?pool (job : job) : P.response =
   let req = job.req in
   let id = req.id in
   let now = Trace.now_s () in
@@ -189,11 +212,17 @@ let run_job cfg engine stats (job : job) : P.response =
         | Parcore.Parallelize.Homogeneous ->
             Platform.Desc.homogeneous_view platform
       in
-      let memo = memo_for engine view in
+      (* a caller-supplied memo is used unconditionally by the flow, so
+         honour [solve_cache = false] here: without it every request
+         re-solves from scratch (the saturation bench relies on this) *)
+      let memo =
+        if cfg.Parcore.Config.solve_cache then Some (memo_for engine view)
+        else None
+      in
       let* prog = compile_result ~name src in
       let* out =
-        Parcore.Parallelize.run_program_result ~cfg ?pool:engine.pool
-          ?store:engine.store ~memo ~approach ~platform prog
+        Parcore.Parallelize.run_program_result ~cfg ?pool ?store:engine.store
+          ?memo ~approach ~platform prog
       in
       Ok (name, prog, out)
     in
@@ -247,7 +276,8 @@ let run_job cfg engine stats (job : job) : P.response =
                         ( "exec_domains",
                           num r.Runtime.Exec.metrics.Runtime.Metrics.domains );
                       ]))
-        | P.Status | P.Drain -> assert false (* answered by the event loop *))
+        | P.Status | P.Health | P.Drain ->
+            assert false (* answered by the event loop *))
 
 (* ---- the server ----------------------------------------------------- *)
 
@@ -260,21 +290,27 @@ type conn = {
   mutable closing : bool;  (** close once [outq] drains *)
 }
 
+(** Per-incarnation executor context, built on the worker domain. *)
+type exec_ctx = { worker_pool : Taskpool.Pool.t option }
+
 type t = {
   config : config;
   queue : job Admission.t;
   stats : stats;
   engine : engine;
   conns : (int, conn) Hashtbl.t;
-  outbox : (int * P.response) Queue.t;  (** executor -> event loop *)
+  outbox : (int * P.response) Queue.t;  (** executors -> event loop *)
   omu : Mutex.t;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
   mutable listeners : Unix.file_descr list;
   mutable draining : bool;
   mutable drain_started_s : float;
-  exec_done : bool Atomic.t;
+  mutable sup : (exec_ctx, job, P.response) Supervisor.t option;
+      (** [Some] for the whole event-loop lifetime (set right after
+          construction; the hooks close over [t]) *)
   want_drain : bool Atomic.t;  (** set from the signal handler *)
+  mutable exit_code : int;
 }
 
 let wake t =
@@ -292,21 +328,32 @@ let server_json t : J.t =
   and lat_hist = Latency.histogram_json t.stats.lat in
   Mutex.unlock t.stats.smu;
   J.Obj
-    [
-      ("uptime_s", J.Num (Trace.now_s () -. t.stats.started_s));
-      ("state", J.Str (if t.draining then "draining" else "accepting"));
-      ("queue_depth", num (Admission.depth t.queue));
-      ("queue_max", num t.config.queue_max);
-      ("connections", num (Hashtbl.length t.conns));
-      ("accepted", num q.Admission.accepted);
-      ("rejected_overloaded", num q.Admission.rej_overloaded);
-      ("rejected_draining", num q.Admission.rej_draining);
-      ("completed", num completed);
-      ("failed", num failed);
-      ("timed_out", num timed_out);
-      ("latency", Latency.summary_json lat_summary);
-      ("latency_histogram_ms", lat_hist);
-    ]
+    ([
+       ("uptime_s", J.Num (Trace.now_s () -. t.stats.started_s));
+       ("state", J.Str (if t.draining then "draining" else "accepting"));
+       ("queue_depth", num (Admission.depth t.queue));
+       ("queue_max", num t.config.queue_max);
+       ("connections", num (Hashtbl.length t.conns));
+       ("accepted", num q.Admission.accepted);
+       ("rejected_overloaded", num q.Admission.rej_overloaded);
+       ("rejected_draining", num q.Admission.rej_draining);
+       ("completed", num completed);
+       ("failed", num failed);
+       ("timed_out", num timed_out);
+       ("latency", Latency.summary_json lat_summary);
+       ("latency_histogram_ms", lat_hist);
+     ]
+    @
+    match t.sup with
+    | None -> []
+    | Some sup ->
+        [
+          ("executors", Supervisor.status_json sup);
+          ("active_workers", num (Supervisor.active sup));
+          ("executor_restarts", num (Supervisor.restarts sup));
+          ("executor_crashes", num (Supervisor.crashes sup));
+          ("executor_wedges", num (Supervisor.wedges sup));
+        ])
 
 let send_response (c : conn) (r : P.response) =
   Queue.push (P.frame (J.to_string (P.response_json r))) c.outq
@@ -361,12 +408,50 @@ let handle_request t (c : conn) payload =
       | P.Status ->
           send_response c
             (P.response ~id:req.P.id P.Ok_ ~body:[ ("server", server_json t) ])
+      | P.Health ->
+          (* liveness is implied by the answer; readiness means new work
+             would actually run: admission open and ≥ 1 healthy worker *)
+          let active =
+            match t.sup with Some s -> Supervisor.active s | None -> 0
+          in
+          send_response c
+            (P.response ~id:req.P.id P.Ok_
+               ~body:
+                 ([
+                    ("live", J.Bool true);
+                    ("ready", J.Bool ((not t.draining) && active > 0));
+                    ( "state",
+                      J.Str (if t.draining then "draining" else "accepting")
+                    );
+                    ("queue_depth", num (Admission.depth t.queue));
+                    ("active_workers", num active);
+                  ]
+                 @
+                 match t.sup with
+                 | None -> []
+                 | Some s ->
+                     [
+                       ("executors", Supervisor.status_json s);
+                       ("restarts", num (Supervisor.restarts s));
+                       ("crashes", num (Supervisor.crashes s));
+                       ("wedges", num (Supervisor.wedges s));
+                       ("exhausted", J.Bool (Supervisor.exhausted s));
+                     ]))
       | P.Drain ->
           begin_drain t ~reason:"drain request";
           send_response c
             (P.response ~id:req.P.id P.Ok_
                ~body:[ ("state", J.Str "draining") ])
       | P.Parallelize | P.Execute -> (
+          match
+            if req.P.fault_plan = "" then Ok None
+            else Result.map Option.some (Fault.of_spec req.P.fault_plan)
+          with
+          | Error m ->
+              send_response c
+                (P.response ~id:req.P.id P.Invalid
+                   ~message:("bad fault_plan: " ^ m))
+          | Ok fault_plan -> (
           let now = Trace.now_s () in
           let deadline_s =
             if req.P.deadline_s > 0. then req.P.deadline_s
@@ -379,6 +464,7 @@ let handle_request t (c : conn) payload =
               submitted_s = now;
               deadline_abs =
                 (if deadline_s > 0. then now +. deadline_s else infinity);
+              fault_plan;
             }
           in
           match Admission.submit t.queue ~client:c.cid job with
@@ -401,7 +487,7 @@ let handle_request t (c : conn) payload =
               Trace.instant ~cat:"server" "reject.draining";
               send_response c
                 (P.response ~id:req.P.id P.Draining
-                   ~message:"server is draining; no new jobs accepted")))
+                   ~message:"server is draining; no new jobs accepted"))))
 
 let handle_readable t (c : conn) =
   let buf = Bytes.create 65536 in
@@ -424,7 +510,7 @@ let handle_readable t (c : conn) =
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   | exception Unix.Unix_error _ -> close_conn t c
 
-(* ---- the executor domain ------------------------------------------- *)
+(* ---- the supervised executor pool ----------------------------------- *)
 
 let record_result t (job : job) (resp : P.response) =
   let dt = Trace.now_s () -. job.submitted_s in
@@ -437,43 +523,110 @@ let record_result t (job : job) (resp : P.response) =
   Latency.record t.stats.lat dt;
   Mutex.unlock t.stats.smu
 
-let executor t () =
-  let rec loop () =
-    match Admission.take t.queue with
-    | None -> ()  (* drained and empty *)
-    | Some job ->
-        let resp =
-          Trace.span_k ~cat:"server"
-            (fun () ->
-              Printf.sprintf "req.%s.%s"
-                (P.op_name job.req.P.op)
-                job.req.P.target)
-            (fun () ->
-              match run_job t.config.cfg t.engine t.stats job with
-              | r -> r
-              | exception e ->
-                  (* a bug in the flow must not kill the server *)
-                  P.response ~id:job.req.P.id P.Internal
-                    ~message:("uncaught exception: " ^ Printexc.to_string e))
-        in
+let describe_job (job : job) =
+  Printf.sprintf "req.%s.%s" (P.op_name job.req.P.op) job.req.P.target
+
+(** Run one job on an executor worker.  The [serve.exec] probe sits
+    {e inside} the job's domain-local fault plan but {e outside} the
+    per-job exception guard: an injected [Raise] there escapes and kills
+    the worker (exercising supervisor crash-restart) while any flow bug
+    is still converted to a typed [internal] response. *)
+let exec_job t (ctx : exec_ctx) (job : job) : P.response =
+  let guarded () =
+    Trace.span_k ~cat:"server"
+      (fun () -> describe_job job)
+      (fun () ->
+        match run_job t.config.cfg t.engine t.stats ?pool:ctx.worker_pool job with
+        | r -> r
+        | exception e ->
+            (* a bug in the flow must not kill the worker *)
+            P.response ~id:job.req.P.id P.Internal
+              ~message:("uncaught exception: " ^ Printexc.to_string e))
+  in
+  match job.fault_plan with
+  | None ->
+      Fault.point "serve.exec";
+      guarded ()
+  | Some plan ->
+      Fault.with_plan_local plan (fun () ->
+          Fault.point "serve.exec";
+          guarded ())
+
+(** Per-worker taskpool size: the configured [jobs] knob applies to each
+    worker's private pool (workers never share one). *)
+let worker_jobs cfg =
+  if cfg.Parcore.Config.jobs = 0 then Domain.recommended_domain_count ()
+  else max 1 cfg.Parcore.Config.jobs
+
+let supervisor_hooks t : (exec_ctx, job, P.response) Supervisor.hooks =
+  {
+    Supervisor.take = (fun () -> Admission.take t.queue);
+    worker_init =
+      (fun _idx ->
+        let jobs_n = worker_jobs t.config.cfg in
+        {
+          worker_pool =
+            (if jobs_n > 1 then Some (Taskpool.Pool.create ~domains:jobs_n ())
+             else None);
+        });
+    worker_exit = (fun ctx -> Option.iter Taskpool.Pool.shutdown ctx.worker_pool);
+    run = (fun ctx job -> exec_job t ctx job);
+    deadline = (fun job -> job.deadline_abs);
+    answer =
+      (fun job resp ->
         record_result t job resp;
         Mutex.lock t.omu;
         Queue.push (job.conn_id, resp) t.outbox;
         Mutex.unlock t.omu;
-        wake t;
-        loop ()
-  in
-  loop ();
-  Atomic.set t.exec_done true;
-  wake t
+        wake t);
+    crashed =
+      (fun job e ->
+        P.response ~id:job.req.P.id P.Internal
+          ~message:
+            ("executor worker crashed on this request: "
+            ^ Printexc.to_string e));
+    wedged =
+      (fun job ->
+        P.response ~id:job.req.P.id P.Timeout
+          ~message:
+            "executor worker wedged past the request deadline and was \
+             abandoned");
+    on_exhausted =
+      (fun () ->
+        t.exit_code <- 1;
+        begin_drain t ~reason:"executor restart budget exhausted");
+    describe = describe_job;
+    wake = (fun () -> wake t);
+  }
 
 (* ---- listeners ------------------------------------------------------ *)
 
+(** [true] iff something is still accepting connections on [path].  A
+    stale socket file from a crashed daemon refuses the connect
+    ([ECONNREFUSED]); a live daemon accepts it.  Anything else (e.g. a
+    permission error) counts as live — when in doubt, do not clobber. *)
+let socket_live path =
+  let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close probe with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+          false
+      | exception Unix.Unix_error _ -> true)
+
 let listen_unix path =
-  (* replace a stale socket file from a previous crash; refuse to
-     clobber anything that is not a socket *)
+  (* replace a stale socket file from a previous crash, but never
+     clobber a live daemon's socket or anything that is not a socket *)
   (match Unix.stat path with
-  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+      if socket_live path then
+        Mpsoc_error.raise_error ~phase:Cli ~kind:Invalid_input ~location:path
+          ~advice:
+            "stop the running daemon first, or serve on a different --socket"
+          "another daemon is already listening on this socket"
+      else Unix.unlink path
   | _ ->
       Mpsoc_error.raise_error ~phase:Cli ~kind:Invalid_input ~location:path
         "socket path exists and is not a socket"
@@ -500,13 +653,6 @@ let run (config : config) : int =
     || cfg.Parcore.Config.profile
   in
   if armed then Trace.start ();
-  let jobs_n =
-    if cfg.Parcore.Config.jobs = 0 then Domain.recommended_domain_count ()
-    else max 1 cfg.Parcore.Config.jobs
-  in
-  let pool =
-    if jobs_n > 1 then Some (Taskpool.Pool.create ~domains:jobs_n ()) else None
-  in
   let store =
     match cfg.Parcore.Config.cache_dir with
     | None -> None
@@ -531,8 +677,7 @@ let run (config : config) : int =
           failed = 0;
           timed_out = 0;
         };
-      engine =
-        { pool; store; memos = Hashtbl.create 4; emu = Mutex.create () };
+      engine = { store; memos = Hashtbl.create 4; emu = Mutex.create () };
       conns = Hashtbl.create 16;
       outbox = Queue.create ();
       omu = Mutex.create ();
@@ -541,15 +686,34 @@ let run (config : config) : int =
       listeners = [];
       draining = false;
       drain_started_s = 0.;
-      exec_done = Atomic.make false;
+      sup = None;
       want_drain = Atomic.make false;
+      exit_code = 0;
     }
+  in
+  (* fatal-path cleanup: whatever way the process exits — force-stop,
+     uncaught exception, Stdlib.exit from a signal-less crash — the
+     socket file must not outlive us as a live-looking stub and the
+     cache index must hit disk.  Normal shutdown runs this inline and
+     the [at_exit] copy becomes a no-op. *)
+  let cleanup_done = ref false in
+  let cleanup () =
+    if not !cleanup_done then begin
+      cleanup_done := true;
+      (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+      Option.iter
+        (fun s -> try Cache.Store.close s with _ -> ())
+        t.engine.store
+    end
   in
   t.listeners <-
     (listen_unix config.socket_path
     :: (match config.tcp_port with
        | Some port -> [ listen_tcp port ]
        | None -> []));
+  (* registered only after [listen_unix] succeeded: if we refused to
+     clobber a live daemon's socket above, exiting must not unlink it *)
+  at_exit cleanup;
   (* SIGTERM/SIGINT request a drain; the handler only flips an atomic
      and pokes the pipe, everything else happens on the event loop *)
   let on_signal _ =
@@ -559,24 +723,59 @@ let run (config : config) : int =
   let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
   let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
   let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
-  Fmt.epr "serve: listening on %s%s (jobs %d, queue %d%s)@."
+  Fmt.epr "serve: listening on %s%s (%d executor(s) x jobs %d, queue %d%s)@."
     config.socket_path
     (match config.tcp_port with
     | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
     | None -> "")
-    jobs_n config.queue_max
+    (max 1 config.executors)
+    (worker_jobs cfg) config.queue_max
     (match cfg.Parcore.Config.cache_dir with
     | Some d -> ", cache " ^ d
     | None -> "");
-  let exec_domain = Domain.spawn (executor t) in
+  let sup =
+    Supervisor.start
+      {
+        Supervisor.workers = config.executors;
+        restart_budget = config.restart_budget;
+        backoff_base_s = Supervisor.default_config.Supervisor.backoff_base_s;
+        backoff_cap_s = Supervisor.default_config.Supervisor.backoff_cap_s;
+        wedge_grace_s = config.wedge_grace_s;
+      }
+      (supervisor_hooks t)
+  in
+  t.sup <- Some sup;
   let next_cid = ref 0 in
-  let exit_code = ref 0 in
   (* ---- event loop ---- *)
   let finished () =
     t.draining
-    && Atomic.get t.exec_done
+    && Supervisor.drained sup
     && Mutex.protect t.omu (fun () -> Queue.is_empty t.outbox)
     && Hashtbl.fold (fun _ c acc -> acc && Queue.is_empty c.outq) t.conns true
+  in
+  (* with every worker gone for good (budget exhausted) nobody will ever
+     take the remaining queued jobs: answer them [internal] so the drain
+     can complete instead of timing out the grace period.  [take] does
+     not block here — the drain valve is closed, so an empty queue
+     returns [None] immediately. *)
+  let flush_orphans () =
+    if t.draining && Supervisor.exhausted sup && Supervisor.active sup = 0 then
+      let rec drop () =
+        match Admission.take t.queue with
+        | None -> ()
+        | Some job ->
+            let resp =
+              P.response ~id:job.req.P.id P.Internal
+                ~message:
+                  "no executor workers left (restart budget exhausted)"
+            in
+            record_result t job resp;
+            Mutex.lock t.omu;
+            Queue.push (job.conn_id, resp) t.outbox;
+            Mutex.unlock t.omu;
+            drop ()
+      in
+      drop ()
   in
   let deliver_outbox () =
     let pending =
@@ -595,6 +794,9 @@ let run (config : config) : int =
   (try
      while not (finished ()) do
        if Atomic.get t.want_drain then begin_drain t ~reason:"signal";
+       (* monitor pass: wedge/crash detection and backoff-gated restarts *)
+       Supervisor.check sup ~now:(Trace.now_s ());
+       flush_orphans ();
        (* force-stop a drain that overstays the grace period *)
        if
          t.draining
@@ -602,7 +804,7 @@ let run (config : config) : int =
        then begin
          Fmt.epr "serve: drain exceeded %.1f s grace; force-stopping@."
            config.drain_grace_s;
-         exit_code := 4;
+         t.exit_code <- 4;
          raise Exit
        end;
        let reads =
@@ -670,24 +872,23 @@ let run (config : config) : int =
     t.conns;
   List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
     t.listeners;
-  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
-  (* the executor exits once the queue drains; on a force-stop it may
-     still be mid-solve, in which case joining would hang past the
-     grace deadline — only join on clean drains *)
-  if Atomic.get t.exec_done then Domain.join exec_domain;
-  Option.iter Taskpool.Pool.shutdown t.engine.pool;
-  Option.iter Cache.Store.close t.engine.store;
+  (* join workers that exited; a force-stopped drain may leave some
+     mid-solve (or wedged asleep) — those are leaked, joining them would
+     hang past the grace deadline *)
+  Supervisor.stop sup;
+  cleanup ();
   Sys.set_signal Sys.sigterm prev_term;
   Sys.set_signal Sys.sigint prev_int;
   Sys.set_signal Sys.sigpipe prev_pipe;
   let q = Admission.counters t.queue in
   Fmt.epr
     "serve: stopped after %.1f s — %d accepted, %d completed, %d rejected \
-     (%d overloaded, %d draining)@."
+     (%d overloaded, %d draining), %d executor restart(s)@."
     (Trace.now_s () -. t.stats.started_s)
     q.Admission.accepted t.stats.completed
     (q.Admission.rej_overloaded + q.Admission.rej_draining)
-    q.Admission.rej_overloaded q.Admission.rej_draining;
+    q.Admission.rej_overloaded q.Admission.rej_draining
+    (Supervisor.restarts sup);
   if armed then begin
     let wall_s = Trace.now_s () -. t.stats.started_s in
     match Trace.stop () with
@@ -710,4 +911,4 @@ let run (config : config) : int =
               Observe.profile_table ppf ~wall_s ~events:c.Trace.events
                 t.stats.solver)
   end;
-  !exit_code
+  t.exit_code

@@ -1,10 +1,16 @@
 (** The resident parallelization server: a [select]-driven event loop
     over a Unix-domain (and optional TCP) listener speaking the
-    {!Protocol} frames, one executor domain multiplexing every client's
-    jobs onto shared solver state (taskpool, persistent store, hot
-    per-platform {!Ilp.Memo}), a bounded client-fair {!Admission}
-    queue, per-request watchdog deadlines, and graceful drain on
-    SIGTERM/SIGINT or a [drain] request. *)
+    {!Protocol} frames, a {!Supervisor}-managed pool of executor worker
+    domains (each with its own private taskpool) multiplexing every
+    client's jobs over shared thread-safe solver state (persistent
+    store, hot per-platform single-flight {!Ilp.Memo}), a bounded
+    client-fair {!Admission} queue, per-request watchdog deadlines, and
+    graceful drain on SIGTERM/SIGINT or a [drain] request.
+
+    A worker that crashes or wedges is abandoned and restarted within a
+    bounded budget; its in-flight request is answered with a typed
+    [internal]/[timeout] response, so one poisoned request never takes
+    the daemon or other in-flight requests with it. *)
 
 type config = {
   socket_path : string;
@@ -13,6 +19,13 @@ type config = {
   default_deadline_s : float;
       (** applied when a request carries none; [0.] = none *)
   drain_grace_s : float;  (** force-stop this long after drain starts *)
+  executors : int;  (** supervised executor workers (≥ 1); default 2 *)
+  restart_budget : int;
+      (** total executor restarts before the daemon gives up and drains
+          with exit code 1 *)
+  wedge_grace_s : float;
+      (** slack past a request deadline before its worker is declared
+          wedged and abandoned *)
   cfg : Parcore.Config.t;  (** solver/runtime knobs shared by every job *)
 }
 
@@ -21,5 +34,8 @@ val default_config : config
 val run : config -> int
 (** Serve until drained.  Returns the process exit code: [0] after a
     clean drain (all admitted jobs answered, cache index flushed,
-    trace/metrics written), [4] when the drain exceeded
-    [drain_grace_s] and the server force-stopped. *)
+    trace/metrics written), [1] when the executor restart budget was
+    exhausted (the daemon drained first), [4] when the drain exceeded
+    [drain_grace_s] and the server force-stopped.  Refuses to start
+    (typed invalid-input error) when another daemon is live on
+    [socket_path]. *)

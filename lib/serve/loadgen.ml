@@ -2,7 +2,7 @@
 
     Replays a target list against a running server at a configured
     offered rate and concurrency, then writes a latency-percentile
-    report (schema [mpsoc-par/loadgen/v1]) suitable for the benchmark
+    report (schema [mpsoc-par/loadgen/v2]) suitable for the benchmark
     directory, next to [BENCH_parallelize.json].
 
     Pacing is open-loop on a single global schedule: request [i] is
@@ -13,9 +13,25 @@
     connection and blocks for each response (per-connection closed
     loop, cross-connection open loop).
 
-    The report doubles as a correctness check: every response's
-    solution digest is compared per target, and a target answering two
-    different digests — which determinism forbids — fails the run. *)
+    Retries: a typed [overloaded] rejection or a transport failure
+    (connection reset, refused, framing error) is retried up to
+    [retry_max] times with capped exponential backoff and {e full
+    jitter} — sleep ~ uniform(0, min(cap, base·2^attempt)) — drawn from
+    a per-worker deterministic LCG, so runs are reproducible and
+    retrying workers do not stampede in lockstep.  [draining] is not
+    retried: the server said it will never accept, so the client should
+    go elsewhere.
+
+    Chaos mix: with [fault_specs] set, every [fault_every]-th request
+    carries a fault plan (cycling through the specs) that the daemon
+    arms on the executor worker running that job.  Faulted requests are
+    expected to come back with typed error statuses and are excluded
+    from the digest-consistency check.
+
+    The report doubles as a correctness check: every non-faulted
+    response's solution digest is compared per target, and a target
+    answering two different digests — which determinism forbids — fails
+    the run. *)
 
 module P = Protocol
 module J = Trace_json
@@ -30,6 +46,13 @@ type config = {
   concurrency : int;  (** worker connections *)
   requests : int;  (** total requests across all workers *)
   deadline_s : float;  (** per-request deadline sent to the server; [0.] = server default *)
+  retry_max : int;  (** retries per request on [overloaded]/transport *)
+  retry_base_s : float;  (** backoff window for the first retry *)
+  retry_cap_s : float;  (** backoff window ceiling *)
+  fault_specs : string list;
+      (** fault-plan specs cycled over faulted requests; [[]] = none *)
+  fault_every : int;
+      (** arm a fault plan on every n-th request; [0] = never *)
   report_path : string option;  (** [None] = no report file; ["-"] = stdout *)
 }
 
@@ -44,15 +67,24 @@ let default_config =
     concurrency = 2;
     requests = 10;
     deadline_s = 0.;
+    retry_max = 3;
+    retry_base_s = 0.05;
+    retry_cap_s = 1.;
+    fault_specs = [];
+    fault_every = 0;
     report_path = None;
   }
 
 (** Per-worker tallies, merged after the joins. *)
 type wres = {
-  samples : float list;  (** per-response end-to-end seconds *)
-  statuses : (string * int) list;  (** response-status name -> count *)
-  digests : (string * string) list;  (** (target, digest) pairs observed *)
-  transport_errors : int;
+  samples : float list;  (** per-response end-to-end seconds (last attempt) *)
+  statuses : (string * int) list;  (** final response-status name -> count *)
+  digests : (string * string) list;
+      (** (target, digest) pairs observed on {e non-faulted} requests *)
+  transport_errors : int;  (** requests that failed transport after retries *)
+  retries : int;  (** extra attempts across all requests *)
+  retry_wait_s : float;  (** total backoff sleep *)
+  faulted : int;  (** requests sent with a fault plan *)
 }
 
 let bump statuses name =
@@ -69,8 +101,80 @@ let connect path =
        ("cannot connect: " ^ Unix.error_message code));
   fd
 
-let worker (cfg : config) ~t0 ~(next : int Atomic.t) () : wres =
-  let fd = connect cfg.socket_path in
+(* Deterministic per-worker jitter source (same LCG family as
+   {!Fault.generate}); no Stdlib.Random so runs are reproducible. *)
+let mk_jitter seed =
+  let s = ref ((seed * 2654435761) land 0x3FFFFFFF) in
+  fun () ->
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int !s /. 1073741824. (* uniform [0, 1) *)
+
+(** The fault spec carried by request [i]; [""] = clean. *)
+let fault_for (cfg : config) i =
+  if cfg.fault_specs = [] || cfg.fault_every <= 0 then ""
+  else if i mod cfg.fault_every <> 0 then ""
+  else
+    List.nth cfg.fault_specs
+      (i / cfg.fault_every mod List.length cfg.fault_specs)
+
+let worker (cfg : config) ~widx ~t0 ~(next : int Atomic.t) () : wres =
+  (* the first connect fails fast (bad socket path is a user error);
+     later reconnects are part of the retry loop *)
+  let fdr = ref (Some (connect cfg.socket_path)) in
+  let kill_fd () =
+    Option.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      !fdr;
+    fdr := None
+  in
+  let get_fd () =
+    match !fdr with
+    | Some fd -> Some fd
+    | None -> (
+        match connect cfg.socket_path with
+        | fd ->
+            fdr := Some fd;
+            Some fd
+        | exception Mpsoc_error.Error _ -> None)
+  in
+  let jitter = mk_jitter (widx + 1) in
+  (* full jitter: uniform over the capped exponential window *)
+  let backoff k =
+    Float.min cfg.retry_cap_s (cfg.retry_base_s *. (2. ** float_of_int k))
+    *. jitter ()
+  in
+  (* one request, with retries; [`Done (resp, last_attempt_s, retries,
+     wait_s)] or [`Failed (retries, wait_s)] when transport never
+     recovered *)
+  let send req =
+    let rec attempt k retries wait_s =
+      let again () =
+        let w = backoff k in
+        Unix.sleepf w;
+        attempt (k + 1) (retries + 1) (wait_s +. w)
+      in
+      match get_fd () with
+      | None -> if k < cfg.retry_max then again () else `Failed (retries, wait_s)
+      | Some fd -> (
+          let sent = Trace.now_s () in
+          match
+            P.write_request fd req;
+            P.read_response fd
+          with
+          | `Response r when r.P.status = P.Overloaded && k < cfg.retry_max ->
+              again ()
+          | `Response r -> `Done (r, Trace.now_s () -. sent, retries, wait_s)
+          | `Eof | `Error _ ->
+              kill_fd ();
+              if k < cfg.retry_max then again ()
+              else `Failed (retries, wait_s)
+          | exception Unix.Unix_error _ ->
+              kill_fd ();
+              if k < cfg.retry_max then again ()
+              else `Failed (retries, wait_s))
+    in
+    attempt 0 0 0.
+  in
   let targets = Array.of_list cfg.targets in
   let rec loop acc =
     let i = Atomic.fetch_and_add next 1 in
@@ -83,26 +187,33 @@ let worker (cfg : config) ~t0 ~(next : int Atomic.t) () : wres =
         if wait > 0. then Unix.sleepf wait
       end;
       let target = targets.(i mod Array.length targets) in
+      let fault_plan = fault_for cfg i in
       let req =
         P.request
           ~id:(Printf.sprintf "load-%d" i)
           ~target ~platform:cfg.platform ~approach:cfg.approach
-          ~deadline_s:cfg.deadline_s cfg.op
+          ~deadline_s:cfg.deadline_s ~fault_plan cfg.op
       in
-      let sent = Trace.now_s () in
-      match
-        P.write_request fd req;
-        P.read_response fd
-      with
-      | exception Unix.Unix_error _ ->
-          { acc with transport_errors = acc.transport_errors + 1 }
-      | `Eof | `Error _ ->
-          { acc with transport_errors = acc.transport_errors + 1 }
-      | `Response r ->
-          let dt = Trace.now_s () -. sent in
+      let acc =
+        { acc with faulted = (acc.faulted + if fault_plan = "" then 0 else 1) }
+      in
+      match send req with
+      | `Failed (retries, wait_s) ->
+          loop
+            {
+              acc with
+              transport_errors = acc.transport_errors + 1;
+              retries = acc.retries + retries;
+              retry_wait_s = acc.retry_wait_s +. wait_s;
+            }
+      | `Done (r, dt, retries, wait_s) ->
           let digests =
+            (* faulted requests may legitimately return degraded or
+               error bodies; only clean responses feed the
+               determinism check *)
             match List.assoc_opt "digest" r.P.body with
-            | Some (J.Str d) -> (target, d) :: acc.digests
+            | Some (J.Str d) when fault_plan = "" ->
+                (target, d) :: acc.digests
             | _ -> acc.digests
           in
           loop
@@ -111,17 +222,29 @@ let worker (cfg : config) ~t0 ~(next : int Atomic.t) () : wres =
               samples = dt :: acc.samples;
               statuses = bump acc.statuses (P.status_name r.P.status);
               digests;
+              retries = acc.retries + retries;
+              retry_wait_s = acc.retry_wait_s +. wait_s;
             }
     end
   in
+  let empty =
+    {
+      samples = [];
+      statuses = [];
+      digests = [];
+      transport_errors = 0;
+      retries = 0;
+      retry_wait_s = 0.;
+      faulted = 0;
+    }
+  in
   let r =
-    try
-      loop { samples = []; statuses = []; digests = []; transport_errors = 0 }
+    try loop empty
     with Mpsoc_error.Error _ as e ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
+      kill_fd ();
       raise e
   in
-  (try Unix.close fd with Unix.Unix_error _ -> ());
+  kill_fd ();
   r
 
 (** Per-target digest sets; a target with more than one distinct digest
@@ -140,37 +263,61 @@ let digest_check (pairs : (string * string) list) :
   in
   (per_target, List.for_all (fun (_, ds) -> List.length ds <= 1) per_target)
 
-let run (cfg : config) : int =
+type result = {
+  completed : int;
+  wall_s : float;
+  throughput_rps : float;
+  latency : Latency.summary;
+  statuses : (string * int) list;
+  rejected : int;
+  transport_errors : int;
+  retries : int;
+  retry_wait_s : float;
+  faulted : int;
+  digests : (string * string list) list;
+  digests_consistent : bool;
+  report : J.t;
+}
+
+let run_result (cfg : config) : result =
   if cfg.targets = [] then
     Mpsoc_error.raise_error ~phase:Cli ~kind:Invalid_input
       "loadgen needs at least one TARGET";
   if cfg.requests <= 0 then
     Mpsoc_error.raise_error ~phase:Cli ~kind:Invalid_input
       "loadgen needs --requests > 0";
-  (* fail fast on a bad target before opening the flood *)
+  (* fail fast on a bad target or fault spec before opening the flood *)
   List.iter
     (fun t ->
       match Benchsuite.Suite.resolve t with
       | Ok _ -> ()
       | Error e -> raise (Mpsoc_error.Error e))
     cfg.targets;
+  List.iter
+    (fun spec ->
+      match Fault.of_spec spec with
+      | Ok _ -> ()
+      | Error m ->
+          Mpsoc_error.raise_error ~phase:Cli ~kind:Invalid_input ~location:spec
+            ("bad fault spec: " ^ m))
+    cfg.fault_specs;
   let t0 = Trace.now_s () in
   let next = Atomic.make 0 in
   let workers =
     List.init
       (max 1 cfg.concurrency)
-      (fun _ -> Domain.spawn (worker cfg ~t0 ~next))
+      (fun widx -> Domain.spawn (worker cfg ~widx ~t0 ~next))
   in
   let results = List.map Domain.join workers in
   let wall_s = Trace.now_s () -. t0 in
   (* merge the per-worker tallies *)
   let lat = Latency.create () in
   List.iter
-    (fun r -> List.iter (Latency.record lat) r.samples)
+    (fun (r : wres) -> List.iter (Latency.record lat) r.samples)
     results;
   let statuses =
     List.fold_left
-      (fun acc r ->
+      (fun acc (r : wres) ->
         List.fold_left
           (fun acc (name, n) ->
             let m =
@@ -181,8 +328,12 @@ let run (cfg : config) : int =
       [] results
     |> List.sort compare
   in
-  let transport_errors =
-    List.fold_left (fun a r -> a + r.transport_errors) 0 results
+  let sum f = List.fold_left (fun a (r : wres) -> a + f r) 0 results in
+  let transport_errors = sum (fun (r : wres) -> r.transport_errors) in
+  let retries = sum (fun (r : wres) -> r.retries) in
+  let faulted = sum (fun (r : wres) -> r.faulted) in
+  let retry_wait_s =
+    List.fold_left (fun a (r : wres) -> a +. r.retry_wait_s) 0. results
   in
   let count name =
     match List.assoc_opt name statuses with Some n -> n | None -> 0
@@ -190,39 +341,43 @@ let run (cfg : config) : int =
   let completed = Latency.count lat in
   let rejected = count "overloaded" + count "draining" in
   let per_target, digests_ok =
-    digest_check (List.concat_map (fun r -> r.digests) results)
+    digest_check (List.concat_map (fun (r : wres) -> r.digests) results)
   in
   let summary = Latency.summarize lat in
   let ok = transport_errors = 0 && digests_ok in
+  let fnum n = J.Num (float_of_int n) in
   let report =
     J.Obj
       [
-        ("schema", J.Str "mpsoc-par/loadgen/v1");
+        ("schema", J.Str "mpsoc-par/loadgen/v2");
         ("socket", J.Str cfg.socket_path);
         ("op", J.Str (P.op_name cfg.op));
         ("platform", J.Str cfg.platform);
         ("approach", J.Str cfg.approach);
         ("targets", J.List (List.map (fun t -> J.Str t) cfg.targets));
         ("offered_qps", J.Num cfg.qps);
-        ("concurrency", J.Num (float_of_int cfg.concurrency));
-        ("requests", J.Num (float_of_int cfg.requests));
+        ("concurrency", fnum cfg.concurrency);
+        ("requests", fnum cfg.requests);
         ("wall_s", J.Num wall_s);
-        ("completed", J.Num (float_of_int completed));
+        ("completed", fnum completed);
         ( "throughput_rps",
           J.Num (if wall_s > 0. then float_of_int completed /. wall_s else 0.)
         );
         ( "statuses",
-          J.Obj
-            (List.map
-               (fun (name, n) -> (name, J.Num (float_of_int n)))
-               statuses) );
-        ("rejected", J.Num (float_of_int rejected));
+          J.Obj (List.map (fun (name, n) -> (name, fnum n)) statuses) );
+        ("rejected", fnum rejected);
         ( "rejection_rate",
           J.Num
             (if cfg.requests > 0 then
                float_of_int rejected /. float_of_int cfg.requests
              else 0.) );
-        ("transport_errors", J.Num (float_of_int transport_errors));
+        ("transport_errors", fnum transport_errors);
+        ("retry_max", fnum cfg.retry_max);
+        ("retries", fnum retries);
+        ("retry_wait_s", J.Num retry_wait_s);
+        ("faulted_requests", fnum faulted);
+        ( "fault_specs",
+          J.List (List.map (fun s -> J.Str s) cfg.fault_specs) );
         ("latency", Latency.summary_json summary);
         ("latency_histogram_ms", Latency.histogram_json lat);
         ( "digests",
@@ -234,13 +389,32 @@ let run (cfg : config) : int =
         ("ok", J.Bool ok);
       ]
   in
-  Option.iter (fun path -> Observe.write_json ~path report) cfg.report_path;
+  {
+    completed;
+    wall_s;
+    throughput_rps =
+      (if wall_s > 0. then float_of_int completed /. wall_s else 0.);
+    latency = summary;
+    statuses;
+    rejected;
+    transport_errors;
+    retries;
+    retry_wait_s;
+    faulted;
+    digests = per_target;
+    digests_consistent = digests_ok;
+    report;
+  }
+
+let run (cfg : config) : int =
+  let r = run_result cfg in
+  Option.iter (fun path -> Observe.write_json ~path r.report) cfg.report_path;
   Fmt.epr
     "loadgen: %d/%d completed in %.2f s (%.2f rps) — p50 %.1f ms, p90 %.1f \
-     ms, p99 %.1f ms; %d rejected, %d transport error(s)%s@."
-    completed cfg.requests wall_s
-    (if wall_s > 0. then float_of_int completed /. wall_s else 0.)
-    summary.Latency.p50_ms summary.Latency.p90_ms summary.Latency.p99_ms
-    rejected transport_errors
-    (if digests_ok then "" else "; DIGEST MISMATCH");
-  if ok then 0 else 1
+     ms, p99 %.1f ms; %d rejected, %d retried, %d faulted, %d transport \
+     error(s)%s@."
+    r.completed cfg.requests r.wall_s r.throughput_rps
+    r.latency.Latency.p50_ms r.latency.Latency.p90_ms r.latency.Latency.p99_ms
+    r.rejected r.retries r.faulted r.transport_errors
+    (if r.digests_consistent then "" else "; DIGEST MISMATCH");
+  if r.transport_errors = 0 && r.digests_consistent then 0 else 1

@@ -1,7 +1,9 @@
 (** Load generator for the serve daemon: open-loop paced request replay
-    over [concurrency] connections, a latency-percentile report
-    (schema [mpsoc-par/loadgen/v1]), and a per-target solution-digest
-    consistency check. *)
+    over [concurrency] connections, capped-exponential full-jitter
+    retries on [overloaded]/transport failures, an optional per-request
+    fault-plan mix for chaos runs, a latency-percentile report (schema
+    [mpsoc-par/loadgen/v2]), and a per-target solution-digest
+    consistency check over non-faulted responses. *)
 
 type config = {
   socket_path : string;
@@ -14,15 +16,51 @@ type config = {
   requests : int;  (** total requests across all workers *)
   deadline_s : float;
       (** per-request deadline sent to the server; [0.] = server default *)
+  retry_max : int;
+      (** retries per request on [overloaded] or transport failure
+          (reconnecting); [draining] is never retried *)
+  retry_base_s : float;  (** backoff window for the first retry *)
+  retry_cap_s : float;  (** backoff window ceiling *)
+  fault_specs : string list;
+      (** fault-plan specs (see {!Fault.of_spec}) cycled over faulted
+          requests; [[]] = no fault injection *)
+  fault_every : int;
+      (** arm a fault plan on every n-th request; [0] = never *)
   report_path : string option;  (** [None] = no file; ["-"] = stdout *)
 }
 
 val default_config : config
+(** qps 2, concurrency 2, 10 requests, 3 retries (50 ms base, 1 s cap),
+    no faults. *)
+
+(** Merged run outcome (all workers joined). *)
+type result = {
+  completed : int;
+  wall_s : float;
+  throughput_rps : float;
+  latency : Latency.summary;
+  statuses : (string * int) list;  (** final status name -> count *)
+  rejected : int;  (** final [overloaded] + [draining] counts *)
+  transport_errors : int;  (** requests that never got a response *)
+  retries : int;  (** extra attempts across all requests *)
+  retry_wait_s : float;  (** total backoff sleep across workers *)
+  faulted : int;  (** requests sent carrying a fault plan *)
+  digests : (string * string list) list;
+      (** per-target distinct digests (non-faulted responses only) *)
+  digests_consistent : bool;
+  report : Trace_json.t;  (** the full [mpsoc-par/loadgen/v2] document *)
+}
+
+val run_result : config -> result
+(** Drive the load and return the merged tallies without writing the
+    report file or printing.  Raises {!Mpsoc_error.Error}
+    ([Invalid_input]) on an unknown target, bad fault spec, empty
+    target list, or unreachable socket. *)
 
 val run : config -> int
-(** Returns the process exit code: [0] when every request got a
-    response over an intact connection and per-target digests were
-    consistent; [1] on transport errors or a digest mismatch.  Typed
-    server rejections ([overloaded]/[draining]) are reported, not
-    failures.  Raises {!Mpsoc_error.Error} ([Invalid_input]) on an
-    unknown target, empty target list, or unreachable socket. *)
+(** {!run_result}, plus the report file and a summary line on stderr.
+    Returns the process exit code: [0] when every request got a
+    response (after retries) and per-target digests were consistent;
+    [1] on residual transport errors or a digest mismatch.  Typed
+    server rejections ([overloaded]/[draining]) and faulted requests'
+    error statuses are reported, not failures. *)

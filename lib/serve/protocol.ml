@@ -1,4 +1,4 @@
-(** Wire protocol of the serve daemon (schema [mpsoc-par/serve/v1]).
+(** Wire protocol of the serve daemon (schema [mpsoc-par/serve/v2]).
 
     Transport: length-prefixed frames — a 4-byte big-endian payload
     length followed by that many bytes of JSON.  Length prefixes make
@@ -14,7 +14,10 @@
 
 module J = Trace_json
 
-let schema = "mpsoc-par/serve/v1"
+(* v2 over v1: a [health] op (liveness/readiness with per-worker
+   executor status and restart counters) and a per-request [fault_plan]
+   field armed on the executor worker that runs the job (chaos tests). *)
+let schema = "mpsoc-par/serve/v2"
 
 (** Hard cap on a frame's JSON payload.  Large enough for any source
     file the flow accepts, small enough that a garbage length prefix
@@ -24,18 +27,20 @@ let max_frame = 4 * 1024 * 1024
 
 (* ---- requests ------------------------------------------------------ *)
 
-type op = Parallelize | Execute | Status | Drain
+type op = Parallelize | Execute | Status | Health | Drain
 
 let op_name = function
   | Parallelize -> "parallelize"
   | Execute -> "execute"
   | Status -> "status"
+  | Health -> "health"
   | Drain -> "drain"
 
 let op_of_name = function
   | "parallelize" -> Some Parallelize
   | "execute" -> Some Execute
   | "status" -> Some Status
+  | "health" -> Some Health
   | "drain" -> Some Drain
   | _ -> None
 
@@ -47,23 +52,29 @@ type request = {
   approach : string;  (** ["hetero"] (default) or ["homo"] *)
   deadline_s : float;
       (** per-request watchdog deadline; [0.] accepts the server default *)
+  fault_plan : string;
+      (** fault-plan spec armed (domain-locally) on the executor worker
+          that runs this job; [""] = none.  Chaos testing only: the plan
+          affects this request alone — an injected crash kills the
+          worker, never the daemon *)
 }
 
 let request ?(id = "") ?(target = "") ?(platform = "platform-a-accel")
-    ?(approach = "hetero") ?(deadline_s = 0.) op =
-  { id; op; target; platform; approach; deadline_s }
+    ?(approach = "hetero") ?(deadline_s = 0.) ?(fault_plan = "") op =
+  { id; op; target; platform; approach; deadline_s; fault_plan }
 
 let request_json (r : request) : J.t =
   J.Obj
-    [
-      ("schema", J.Str schema);
-      ("id", J.Str r.id);
-      ("op", J.Str (op_name r.op));
-      ("target", J.Str r.target);
-      ("platform", J.Str r.platform);
-      ("approach", J.Str r.approach);
-      ("deadline_s", J.Num r.deadline_s);
-    ]
+    ([
+       ("schema", J.Str schema);
+       ("id", J.Str r.id);
+       ("op", J.Str (op_name r.op));
+       ("target", J.Str r.target);
+       ("platform", J.Str r.platform);
+       ("approach", J.Str r.approach);
+       ("deadline_s", J.Num r.deadline_s);
+     ]
+    @ if r.fault_plan = "" then [] else [ ("fault_plan", J.Str r.fault_plan) ])
 
 let str_field ?(default = "") j name =
   match J.member name j with
@@ -86,7 +97,8 @@ let request_of_json (j : J.t) : (request, string) result =
           | None ->
               Error
                 (Printf.sprintf
-                   "unknown op %S (ops: parallelize, execute, status, drain)"
+                   "unknown op %S (ops: parallelize, execute, status, health, \
+                    drain)"
                    (str_field j "op"))
           | Some op ->
               Ok
@@ -98,6 +110,7 @@ let request_of_json (j : J.t) : (request, string) result =
                     str_field ~default:"platform-a-accel" j "platform";
                   approach = str_field ~default:"hetero" j "approach";
                   deadline_s = num_field j "deadline_s";
+                  fault_plan = str_field j "fault_plan";
                 }))
   | _ -> Error "request is not a JSON object"
 

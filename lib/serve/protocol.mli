@@ -1,4 +1,4 @@
-(** Wire protocol of the serve daemon (schema [mpsoc-par/serve/v1]):
+(** Wire protocol of the serve daemon (schema [mpsoc-par/serve/v2]):
     length-prefixed JSON frames — a 4-byte big-endian payload length
     followed by that many bytes of JSON.  Response codes mirror the CLI
     exit-code contract (0 ok / 2 degraded / 3 invalid-overloaded-draining
@@ -7,7 +7,8 @@
 module J = Trace_json
 
 val schema : string
-(** ["mpsoc-par/serve/v1"]. *)
+(** ["mpsoc-par/serve/v2"].  v2 adds the [health] op and the optional
+    per-request [fault_plan] field. *)
 
 val max_frame : int
 (** Hard cap on a frame's JSON payload in bytes; a length prefix
@@ -15,7 +16,7 @@ val max_frame : int
 
 (** {2 Requests} *)
 
-type op = Parallelize | Execute | Status | Drain
+type op = Parallelize | Execute | Status | Health | Drain
 
 val op_name : op -> string
 val op_of_name : string -> op option
@@ -28,6 +29,9 @@ type request = {
   approach : string;  (** ["hetero"] (default) or ["homo"] *)
   deadline_s : float;
       (** per-request watchdog deadline; [0.] accepts the server default *)
+  fault_plan : string;
+      (** fault-plan spec armed domain-locally on the executor worker
+          that runs this job; [""] = none (chaos testing only) *)
 }
 
 val request :
@@ -36,6 +40,7 @@ val request :
   ?platform:string ->
   ?approach:string ->
   ?deadline_s:float ->
+  ?fault_plan:string ->
   op ->
   request
 

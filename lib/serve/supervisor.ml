@@ -1,0 +1,368 @@
+(** Crash-only supervision of a pool of executor worker domains.
+
+    The supervisor owns [workers] slots.  Each slot runs one {e
+    incarnation}: a spawned domain looping [take → run → answer] over
+    the job source.  Incarnations are disposable — OCaml domains cannot
+    be killed, so a worker that crashes (an exception escaping
+    {!hooks.run}) or wedges (no answer past its job's deadline plus a
+    grace period) is {e abandoned} and a fresh incarnation is spawned on
+    the slot.  Abandoned-but-still-running domains are leaked: they
+    notice the [abandoned] flag after their current job, release their
+    context, and exit; ones stuck forever die with the process.
+
+    Restarts are budgeted: each costs one unit of a global budget, and
+    each slot backs off exponentially ([base · 2^(n-1)], capped) between
+    its own restarts so a hot crash loop cannot spin the supervisor.
+    When the budget runs out, {!hooks.on_exhausted} fires exactly once
+    and no further incarnations are spawned — the process is expected to
+    drain and exit.
+
+    Per-job answer exactness: every job carries a CAS token; whoever
+    flips it — the worker completing the run, the worker's crash
+    handler, or the monitor declaring a wedge — is the one that calls
+    {!hooks.answer}, so a request is answered exactly once even when a
+    wedged worker eventually wakes up and finishes.
+
+    Threading: {!check}, {!status_json}, {!stop} and the counters must
+    be called from one domain (the daemon's event loop).  Workers
+    communicate with the monitor only through atomics. *)
+
+module J = Trace_json
+
+type config = {
+  workers : int;  (** slots (≥ 1) *)
+  restart_budget : int;  (** total restarts before giving up *)
+  backoff_base_s : float;  (** first-restart delay per slot *)
+  backoff_cap_s : float;  (** per-slot delay ceiling *)
+  wedge_grace_s : float;
+      (** slack past a job's deadline before the monitor declares the
+          worker wedged *)
+}
+
+let default_config =
+  {
+    workers = 2;
+    restart_budget = 8;
+    backoff_base_s = 0.05;
+    backoff_cap_s = 2.;
+    wedge_grace_s = 1.;
+  }
+
+type ('ctx, 'job, 'resp) hooks = {
+  take : unit -> 'job option;
+      (** blocking job source; [None] = drained, exit normally *)
+  worker_init : int -> 'ctx;
+      (** build the per-incarnation context {e on the worker domain}
+          (e.g. its private taskpool); a raise here counts as a crash *)
+  worker_exit : 'ctx -> unit;
+      (** release the context on normal or abandoned exit; {e not}
+          called on crash (the context's state is unknown — leak it) *)
+  run : 'ctx -> 'job -> 'resp;
+      (** execute one job; expected to return typed failures and let
+          only worker-killing faults escape *)
+  deadline : 'job -> float;  (** absolute deadline; [infinity] = none *)
+  answer : 'job -> 'resp -> unit;  (** deliver; called exactly once per job *)
+  crashed : 'job -> exn -> 'resp;  (** response for a job killed by a crash *)
+  wedged : 'job -> 'resp;  (** response for a job whose worker wedged *)
+  on_exhausted : unit -> unit;  (** restart budget spent; fired once *)
+  describe : 'job -> string;  (** label for health/trace output *)
+  wake : unit -> unit;  (** poke the monitor's event loop *)
+}
+
+type 'job inflight = {
+  job : 'job;
+  deadline : float;
+  answered : bool Atomic.t;  (** the answer-exactly-once CAS token *)
+}
+
+type 'job incarnation = {
+  alive : bool Atomic.t;  (** loop still running (set last on any exit) *)
+  normal : bool Atomic.t;  (** exited because the job source drained *)
+  abandoned : bool Atomic.t;  (** monitor gave up; exit after current job *)
+  inflight : 'job inflight option Atomic.t;
+  crash : exn option Atomic.t;  (** the exception that killed the loop *)
+}
+
+type ('ctx, 'job) slot = {
+  idx : int;
+  mutable inc : 'job incarnation;
+  mutable domain : unit Domain.t option;
+  mutable restarts : int;  (** restarts of this slot (backoff exponent) *)
+  mutable pending_restart : bool;
+  mutable next_restart_s : float;  (** backoff gate for the pending restart *)
+  mutable dead : bool;  (** budget spent; slot will never run again *)
+  mutable zombies : ('job incarnation * unit Domain.t) list;
+      (** abandoned incarnations; joined at {!stop} if they exited *)
+}
+
+type ('ctx, 'job, 'resp) t = {
+  config : config;
+  hooks : ('ctx, 'job, 'resp) hooks;
+  slots : ('ctx, 'job) slot array;
+  mutable restarts_total : int;
+  mutable wedges_total : int;
+  mutable crashes_total : int;
+  mutable exhausted : bool;
+}
+
+let num i = J.Num (float_of_int i)
+
+(* ---- the worker side ------------------------------------------------ *)
+
+let fresh_incarnation () =
+  {
+    alive = Atomic.make true;
+    normal = Atomic.make false;
+    abandoned = Atomic.make false;
+    inflight = Atomic.make None;
+    crash = Atomic.make None;
+  }
+
+(** The body of one incarnation.  Runs on its own domain; never lets an
+    exception escape (the domain handle must stay joinable). *)
+let incarnation_body (sup : ('ctx, 'job, 'resp) t) (slot : ('ctx, 'job) slot)
+    (inc : 'job incarnation) () =
+  let hooks = sup.hooks in
+  let finish ~normal =
+    Atomic.set inc.normal normal;
+    Atomic.set inc.alive false;
+    hooks.wake ()
+  in
+  let crash e =
+    Atomic.set inc.crash (Some e);
+    Fmt.epr "serve: executor %d crashed: %s@." slot.idx (Printexc.to_string e);
+    finish ~normal:false
+  in
+  match hooks.worker_init slot.idx with
+  | exception e -> crash e
+  | ctx -> (
+      let rec loop () =
+        if Atomic.get inc.abandoned then ()
+        else
+          match hooks.take () with
+          | None -> Atomic.set inc.normal true
+          | Some job ->
+              let infl =
+                { job; deadline = hooks.deadline job; answered = Atomic.make false }
+              in
+              Atomic.set inc.inflight (Some infl);
+              (match hooks.run ctx job with
+              | resp ->
+                  Atomic.set inc.inflight None;
+                  (* the monitor may have declared us wedged and answered
+                     already; exactly one side wins the token *)
+                  if Atomic.compare_and_set infl.answered false true then
+                    hooks.answer job resp
+              | exception e ->
+                  Atomic.set inc.inflight None;
+                  if Atomic.compare_and_set infl.answered false true then
+                    hooks.answer job (hooks.crashed job e);
+                  raise e);
+              loop ()
+      in
+      match loop () with
+      | () ->
+          (* normal drain or abandoned-and-woke-up: context is sound *)
+          (try hooks.worker_exit ctx
+           with e ->
+             Fmt.epr "serve: executor %d exit cleanup failed: %s@." slot.idx
+               (Printexc.to_string e));
+          finish ~normal:(Atomic.get inc.normal)
+      | exception e -> crash e (* context leaked deliberately *))
+
+let spawn_incarnation sup slot ~event =
+  let inc = fresh_incarnation () in
+  slot.inc <- inc;
+  slot.domain <- Some (Domain.spawn (incarnation_body sup slot inc));
+  if Trace.enabled () then
+    Trace.instant ~cat:"server" event ~args:[ ("worker", Trace.Int slot.idx) ]
+
+(* ---- the monitor side (event-loop domain only) ---------------------- *)
+
+let start (config : config) hooks =
+  let config = { config with workers = max 1 config.workers } in
+  let sup =
+    {
+      config;
+      hooks;
+      slots =
+        Array.init config.workers (fun idx ->
+            {
+              idx;
+              inc = fresh_incarnation ();
+              domain = None;
+              restarts = 0;
+              pending_restart = false;
+              next_restart_s = 0.;
+              dead = false;
+              zombies = [];
+            });
+      restarts_total = 0;
+      wedges_total = 0;
+      crashes_total = 0;
+      exhausted = false;
+    }
+  in
+  Array.iter (fun slot -> spawn_incarnation sup slot ~event:"executor.spawn")
+    sup.slots;
+  sup
+
+(** Charge one restart to the budget and open the slot's backoff window;
+    fires [on_exhausted] (once) instead when the budget is spent. *)
+let schedule_restart sup slot ~now =
+  if not sup.exhausted then begin
+    if sup.restarts_total >= sup.config.restart_budget then begin
+      sup.exhausted <- true;
+      Fmt.epr
+        "serve: executor restart budget (%d) exhausted; no further restarts@."
+        sup.config.restart_budget;
+      if Trace.enabled () then
+        Trace.instant ~cat:"server" "executor.exhausted"
+          ~args:[ ("budget", Trace.Int sup.config.restart_budget) ];
+      sup.hooks.on_exhausted ()
+    end
+    else begin
+      sup.restarts_total <- sup.restarts_total + 1;
+      slot.restarts <- slot.restarts + 1;
+      let n = slot.restarts in
+      let delay =
+        Float.min sup.config.backoff_cap_s
+          (sup.config.backoff_base_s *. (2. ** float_of_int (n - 1)))
+      in
+      slot.pending_restart <- true;
+      slot.next_restart_s <- now +. delay
+    end
+  end;
+  if sup.exhausted then slot.dead <- true
+
+let check sup ~now =
+  Array.iter
+    (fun slot ->
+      if not slot.dead then begin
+        let inc = slot.inc in
+        (* wedge: mid-job, past deadline + grace, still unanswered *)
+        (if Atomic.get inc.alive && not (Atomic.get inc.abandoned) then
+           match Atomic.get inc.inflight with
+           | Some infl
+             when infl.deadline < infinity
+                  && now > infl.deadline +. sup.config.wedge_grace_s
+                  && not (Atomic.get infl.answered) ->
+               if Atomic.compare_and_set infl.answered false true then begin
+                 Atomic.set inc.abandoned true;
+                 sup.wedges_total <- sup.wedges_total + 1;
+                 Fmt.epr
+                   "serve: executor %d wedged on %s (%.1f s past deadline); \
+                    abandoning@."
+                   slot.idx
+                   (sup.hooks.describe infl.job)
+                   (now -. infl.deadline);
+                 if Trace.enabled () then
+                   Trace.instant ~cat:"server" "executor.wedge"
+                     ~args:[ ("worker", Trace.Int slot.idx) ];
+                 sup.hooks.answer infl.job (sup.hooks.wedged infl.job);
+                 schedule_restart sup slot ~now
+               end
+           | _ -> ());
+        (* crash: the loop died without draining and nobody scheduled a
+           replacement yet (abandoned incarnations were charged at wedge
+           time) *)
+        let inc = slot.inc in
+        if
+          (not (Atomic.get inc.alive))
+          && (not (Atomic.get inc.normal))
+          && (not (Atomic.get inc.abandoned))
+          && not slot.pending_restart
+        then begin
+          sup.crashes_total <- sup.crashes_total + 1;
+          if Trace.enabled () then
+            Trace.instant ~cat:"server" "executor.crash"
+              ~args:[ ("worker", Trace.Int slot.idx) ];
+          schedule_restart sup slot ~now
+        end;
+        (* restart once the backoff window closes *)
+        if slot.pending_restart && not slot.dead && now >= slot.next_restart_s
+        then begin
+          slot.pending_restart <- false;
+          (match slot.domain with
+          | Some d -> slot.zombies <- (slot.inc, d) :: slot.zombies
+          | None -> ());
+          spawn_incarnation sup slot ~event:"executor.restart"
+        end
+      end)
+    sup.slots
+
+let active sup =
+  Array.fold_left
+    (fun acc slot ->
+      let inc = slot.inc in
+      if
+        (not slot.dead)
+        && Atomic.get inc.alive
+        && not (Atomic.get inc.abandoned)
+      then acc + 1
+      else acc)
+    0 sup.slots
+
+(** Every slot is finished: exited normally, or never going to restart.
+    A slot mid-backoff is {e not} drained — its replacement must still
+    run (it exits immediately once the job source reports empty). *)
+let drained sup =
+  Array.for_all
+    (fun slot ->
+      slot.dead
+      || (not slot.pending_restart)
+         && (not (Atomic.get slot.inc.alive))
+         && Atomic.get slot.inc.normal)
+    sup.slots
+
+let restarts sup = sup.restarts_total
+let wedges sup = sup.wedges_total
+let crashes sup = sup.crashes_total
+let exhausted sup = sup.exhausted
+
+let slot_state slot =
+  let inc = slot.inc in
+  if slot.dead then "dead"
+  else if slot.pending_restart then "restarting"
+  else if Atomic.get inc.alive then
+    if Atomic.get inc.abandoned then "wedged"
+    else
+      match Atomic.get inc.inflight with Some _ -> "busy" | None -> "idle"
+  else if Atomic.get inc.normal then "exited"
+  else "crashed"
+
+let status_json sup : J.t =
+  J.List
+    (Array.to_list sup.slots
+    |> List.map (fun slot ->
+           J.Obj
+             [
+               ("worker", num slot.idx);
+               ("state", J.Str (slot_state slot));
+               ("restarts", num slot.restarts);
+               ( "inflight",
+                 match Atomic.get slot.inc.inflight with
+                 | Some infl -> J.Str (sup.hooks.describe infl.job)
+                 | None -> J.Null );
+             ]))
+
+(** Join every incarnation whose loop has exited (their domain functions
+    return promptly).  Still-running domains — wedged workers asleep in
+    an injected delay — are leaked; they die with the process. *)
+let stop sup =
+  Array.iter
+    (fun slot ->
+      let joinable =
+        (match slot.domain with
+        | Some d when not (Atomic.get slot.inc.alive) -> [ d ]
+        | _ -> [])
+        @ List.filter_map
+            (fun (inc, d) ->
+              if Atomic.get inc.alive then None else Some d)
+            slot.zombies
+      in
+      List.iter Domain.join joinable;
+      if Trace.enabled () then
+        Trace.instant ~cat:"server" "executor.exit"
+          ~args:[ ("worker", Trace.Int slot.idx) ])
+    sup.slots

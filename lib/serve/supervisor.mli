@@ -1,0 +1,76 @@
+(** Crash-only supervision of a pool of executor worker domains.
+
+    Spawns [workers] incarnations looping [take → run → answer] over a
+    job source.  OCaml domains cannot be killed, so a crashed worker (an
+    exception escaping [run]) or a wedged one (no answer past its job's
+    deadline plus a grace period) is {e abandoned} — its in-flight job
+    is answered with a typed failure via a per-job answer-exactly-once
+    CAS token — and a fresh incarnation is spawned on the slot, gated by
+    per-slot exponential backoff and a global restart budget.  Spending
+    the budget fires [on_exhausted] once and stops all restarts.
+
+    {!check}, {!status_json}, {!stop}, and the counters must be called
+    from a single domain (the daemon's event loop). *)
+
+type config = {
+  workers : int;  (** slots (≥ 1) *)
+  restart_budget : int;  (** total restarts before giving up *)
+  backoff_base_s : float;  (** first-restart delay per slot *)
+  backoff_cap_s : float;  (** per-slot delay ceiling *)
+  wedge_grace_s : float;
+      (** slack past a job's deadline before the monitor declares the
+          worker wedged *)
+}
+
+val default_config : config
+(** 2 workers, budget 8, backoff 0.05 s doubling to 2 s, grace 1 s. *)
+
+type ('ctx, 'job, 'resp) hooks = {
+  take : unit -> 'job option;
+      (** blocking job source; [None] = drained, exit normally *)
+  worker_init : int -> 'ctx;
+      (** build the per-incarnation context {e on the worker domain}
+          (e.g. its private taskpool); a raise here counts as a crash *)
+  worker_exit : 'ctx -> unit;
+      (** release the context on normal or abandoned exit; {e not}
+          called on crash (the context's state is unknown — leak it) *)
+  run : 'ctx -> 'job -> 'resp;
+      (** execute one job; expected to return typed failures and let
+          only worker-killing faults escape *)
+  deadline : 'job -> float;  (** absolute deadline; [infinity] = none *)
+  answer : 'job -> 'resp -> unit;  (** deliver; called exactly once per job *)
+  crashed : 'job -> exn -> 'resp;  (** response for a job killed by a crash *)
+  wedged : 'job -> 'resp;  (** response for a job whose worker wedged *)
+  on_exhausted : unit -> unit;  (** restart budget spent; fired once *)
+  describe : 'job -> string;  (** label for health/trace output *)
+  wake : unit -> unit;  (** poke the monitor's event loop *)
+}
+
+type ('ctx, 'job, 'resp) t
+
+val start : config -> ('ctx, 'job, 'resp) hooks -> ('ctx, 'job, 'resp) t
+(** Spawn the initial incarnation of every slot. *)
+
+val check : ('ctx, 'job, 'resp) t -> now:float -> unit
+(** One monitor pass: detect wedges (answering their jobs), detect
+    crashes, and spawn pending restarts whose backoff window closed.
+    Call periodically from the event loop (the daemon's select tick). *)
+
+val active : ('ctx, 'job, 'resp) t -> int
+(** Slots whose current incarnation is running and not abandoned. *)
+
+val drained : ('ctx, 'job, 'resp) t -> bool
+(** Every slot exited normally or will never restart. *)
+
+val restarts : ('ctx, 'job, 'resp) t -> int
+val wedges : ('ctx, 'job, 'resp) t -> int
+val crashes : ('ctx, 'job, 'resp) t -> int
+val exhausted : ('ctx, 'job, 'resp) t -> bool
+
+val status_json : ('ctx, 'job, 'resp) t -> Trace_json.t
+(** Per-worker [{worker, state, restarts, inflight}] list; states are
+    [idle], [busy], [wedged], [restarting], [crashed], [exited], [dead]. *)
+
+val stop : ('ctx, 'job, 'resp) t -> unit
+(** Join every incarnation whose loop has exited; leak the rest (wedged
+    workers still asleep die with the process). *)

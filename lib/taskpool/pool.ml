@@ -16,6 +16,9 @@ type t = {
   mutable live : bool;
   n_steals : int Atomic.t;
   mutable crashed : exn option;  (** scheduler-level bug escape hatch *)
+  entered : bool Atomic.t;
+      (** an external caller is inside {!run}; a second concurrent one
+          would also claim worker 0's deque and corrupt it *)
 }
 
 type 'a state = Pending of (unit -> unit) list | Done of ('a, exn) result
@@ -140,6 +143,7 @@ let create ?domains () =
       live = true;
       n_steals = Atomic.make 0;
       crashed = None;
+      entered = Atomic.make false;
     }
   in
   p.handles <-
@@ -201,6 +205,12 @@ let await p fut =
       (match poll fut with Some r -> r | None -> assert false)
 
 let run p f =
+  if not (Atomic.compare_and_set p.entered false true) then
+    invalid_arg
+      "Taskpool.Pool.run: the pool already has an external caller inside \
+       run (one pool serves one caller at a time; give each concurrent \
+       caller its own pool)";
+  Fun.protect ~finally:(fun () -> Atomic.set p.entered false) @@ fun () ->
   Domain.DLS.set worker_key (Some 0);
   let root = spawn ~label:"root" p f in
   let rec help () =

@@ -48,7 +48,13 @@ val resume : t -> (unit, unit) Effect.Deep.continuation -> unit
 
 (** [run pool f] executes [f] as the root task with the caller acting as
     worker 0, helping with queued tasks until the root completes.
-    Re-raises whatever [f] raises. *)
+    Re-raises whatever [f] raises.
+
+    One external caller at a time: a second domain entering [run] while
+    another is inside it would also claim worker 0's deque, so the
+    overlap is detected and rejected with [Invalid_argument] instead of
+    corrupting state.  Callers that need concurrent independent runs
+    (e.g. the serve daemon's executor workers) own one pool each. *)
 val run : t -> (unit -> 'a) -> 'a
 
 (** Stop the workers and join their domains.  The pool must be idle

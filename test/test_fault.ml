@@ -83,6 +83,73 @@ let test_spec_rejects_garbage () =
       | Error _ -> ())
     bad
 
+let test_local_plan_domain_scoped () =
+  disarm ();
+  let plan =
+    { label = "l"; rules = [ { point = "serve.exec"; at_hit = 1; action = Raise } ] }
+  in
+  with_plan_local plan (fun () ->
+      (* another domain must not see this domain's local plan *)
+      let other =
+        Domain.spawn (fun () ->
+            match point "serve.exec" with
+            | () -> true
+            | exception Injected _ -> false)
+      in
+      Alcotest.(check bool) "other domain unaffected" true (Domain.join other);
+      (* ...while this domain's probe fires *)
+      match point "serve.exec" with
+      | () -> Alcotest.fail "local plan did not fire on its own domain"
+      | exception Injected { point = p; _ } ->
+          Alcotest.(check string) "point" "serve.exec" p);
+  (* scope ended: the probe is a no-op again *)
+  point "serve.exec"
+
+let test_local_plan_shadows_global () =
+  let global =
+    { label = "g"; rules = [ { point = "pool.spawn"; at_hit = 1; action = Raise } ] }
+  in
+  let local =
+    { label = "l"; rules = [ { point = "channel.recv"; at_hit = 1; action = Raise } ] }
+  in
+  with_plan global (fun () ->
+      with_plan_local local (fun () ->
+          (* the local plan shadows the global one entirely: the global
+             rule's point does not fire inside the local scope *)
+          point "pool.spawn";
+          match point "channel.recv" with
+          | () -> Alcotest.fail "local rule did not fire"
+          | exception Injected _ -> ());
+      (* local scope ended: the global plan is visible again *)
+      match point "pool.spawn" with
+      | () -> Alcotest.fail "global rule did not fire after local scope"
+      | exception Injected _ -> ())
+
+let test_local_plan_nesting_restores () =
+  let mk pt = { label = pt; rules = [ { point = pt; at_hit = 1; action = Raise } ] } in
+  with_plan_local (mk "pool.spawn") (fun () ->
+      with_plan_local (mk "channel.recv") (fun () ->
+          point "pool.spawn";
+          match point "channel.recv" with
+          | () -> Alcotest.fail "inner local rule did not fire"
+          | exception Injected _ -> ());
+      (* inner scope popped: the outer local plan is restored, with its
+         hit counts intact *)
+      point "channel.recv";
+      match point "pool.spawn" with
+      | () -> Alcotest.fail "outer local rule did not fire after inner scope"
+      | exception Injected _ -> ())
+
+let test_serve_probe_known_not_generated () =
+  (* [serve.exec] is addressable from specs but excluded from seeded
+     chaos generation, so the frozen seed corpus stays stable *)
+  Alcotest.(check bool) "known" true (List.mem "serve.exec" known_points);
+  Alcotest.(check bool) "not generated" false
+    (List.mem "serve.exec" generated_points);
+  match of_spec "serve.exec@2=raise" with
+  | Ok p -> Alcotest.(check int) "one rule" 1 (List.length p.rules)
+  | Error m -> Alcotest.fail ("serve.exec spec rejected: " ^ m)
+
 let test_generate_deterministic () =
   let p1 = generate ~seed:7 and p2 = generate ~seed:7 in
   Alcotest.(check bool) "same seed, same plan" true (p1.rules = p2.rules);
@@ -109,4 +176,12 @@ let suite =
     Alcotest.test_case "spec rejects garbage" `Quick test_spec_rejects_garbage;
     Alcotest.test_case "generated plans are seed-deterministic" `Quick
       test_generate_deterministic;
+    Alcotest.test_case "local plans are domain-scoped" `Quick
+      test_local_plan_domain_scoped;
+    Alcotest.test_case "local plans shadow the global plan" `Quick
+      test_local_plan_shadows_global;
+    Alcotest.test_case "nested local plans restore the outer one" `Quick
+      test_local_plan_nesting_restores;
+    Alcotest.test_case "serve.exec is known but never generated" `Quick
+      test_serve_probe_known_not_generated;
   ]

@@ -105,12 +105,15 @@ let test_request_roundtrip_qcheck () =
   let open QCheck in
   let gen =
     Gen.(
-      let* op = oneofl P.[ Parallelize; Execute; Status; Drain ] in
+      let* op = oneofl P.[ Parallelize; Execute; Status; Health; Drain ] in
       let* id = string_size ~gen:printable (int_bound 12) in
       let* target = string_size ~gen:printable (int_bound 20) in
+      let* fault_plan = oneofl [ ""; "serve.exec@1=raise"; "seed:3" ] in
       (* quarter-second grid: survives the emitter's %.6g numbers *)
       let* q = int_bound 400 in
-      return (P.request ~id ~target ~deadline_s:(float_of_int q /. 4.) op))
+      return
+        (P.request ~id ~target ~fault_plan
+           ~deadline_s:(float_of_int q /. 4.) op))
   in
   let prop (r : P.request) =
     match P.parse_request (J.to_string (P.request_json r)) with
@@ -409,6 +412,276 @@ let test_daemon_end_to_end () =
   Alcotest.(check int) "clean drain exit" 0 code;
   Alcotest.(check bool) "socket removed" false (Sys.file_exists sock)
 
+let spawn_daemon ?(cfg = Parcore.Config.fast) ?(executors = 2)
+    ?(restart_budget = 8) ?(wedge_grace_s = 0.2) sock =
+  Domain.spawn (fun () ->
+      Serve.Daemon.run
+        {
+          Serve.Daemon.default_config with
+          Serve.Daemon.socket_path = sock;
+          executors;
+          restart_budget;
+          wedge_grace_s;
+          cfg;
+        })
+
+let body_bool name (r : P.response) =
+  match List.assoc_opt name r.P.body with
+  | Some (J.Bool b) -> b
+  | _ -> Alcotest.failf "response body misses boolean field %S" name
+
+(* Poll [health] until [pred] holds: restarts happen on the monitor's
+   schedule (backoff window + event-loop tick), not synchronously with
+   the crash answer. *)
+let wait_health sock pred =
+  let rec go n =
+    let h = rpc sock (P.request ~id:"h" P.Health) in
+    if pred h then h
+    else if n = 0 then Alcotest.fail "health predicate never satisfied"
+    else (
+      Unix.sleepf 0.1;
+      go (n - 1))
+  in
+  go 100
+
+let write_src dir =
+  let src_file = Filename.concat dir "prog.c" in
+  let oc = open_out src_file in
+  output_string oc e2e_src;
+  close_out oc;
+  src_file
+
+let direct_digest cfg =
+  let direct =
+    Parcore.Parallelize.run ~cfg ~approach:Parcore.Parallelize.Heterogeneous
+      ~platform:Platform.Presets.platform_a_accel e2e_src
+  in
+  Parcore.Algorithm.digest direct.Parcore.Parallelize.algo
+
+let test_daemon_health () =
+  with_tmpdir @@ fun dir ->
+  let sock = Filename.concat dir "s.sock" in
+  let server = spawn_daemon sock in
+  connect_retry sock;
+  let h = rpc sock (P.request ~id:"h" P.Health) in
+  Alcotest.(check string) "health ok" "ok" (P.status_name h.P.status);
+  Alcotest.(check bool) "live" true (body_bool "live" h);
+  Alcotest.(check bool) "ready" true (body_bool "ready" h);
+  Alcotest.(check string) "accepting" "accepting" (body_str "state" h);
+  Alcotest.(check (float 0.)) "2 active workers" 2. (body_num "active_workers" h);
+  Alcotest.(check (float 0.)) "no restarts yet" 0. (body_num "restarts" h);
+  Alcotest.(check bool) "budget intact" false (body_bool "exhausted" h);
+  (match List.assoc_opt "executors" h.P.body with
+  | Some (J.List ws) -> Alcotest.(check int) "per-worker entries" 2 (List.length ws)
+  | _ -> Alcotest.fail "health misses executors list");
+  ignore (rpc sock (P.request ~id:"d" P.Drain));
+  Alcotest.(check int) "clean exit" 0 (Domain.join server)
+
+let test_executor_crash_restart () =
+  with_tmpdir @@ fun dir ->
+  let src_file = write_src dir in
+  let sock = Filename.concat dir "s.sock" in
+  let server = spawn_daemon sock in
+  connect_retry sock;
+  (* the injected raise at the [serve.exec] probe kills the executor
+     worker mid-request; the supervisor must answer the poisoned request
+     with a typed [internal], not let the daemon die *)
+  let bad =
+    rpc sock
+      (P.request ~id:"boom" ~target:src_file ~platform:"platform-a-accel"
+         ~fault_plan:"serve.exec@1=raise" P.Parallelize)
+  in
+  Alcotest.(check string) "typed crash answer" "internal"
+    (P.status_name bad.P.status);
+  (* the daemon survived: a clean request still gets the exact direct-run
+     answer *)
+  let good =
+    rpc sock
+      (P.request ~id:"ok" ~target:src_file ~platform:"platform-a-accel"
+         P.Parallelize)
+  in
+  Alcotest.(check bool)
+    ("clean request succeeds, got " ^ P.status_name good.P.status)
+    true
+    (match good.P.status with P.Ok_ | P.Degraded -> true | _ -> false);
+  Alcotest.(check string) "digest identical to direct run"
+    (direct_digest Parcore.Config.fast)
+    (body_str "digest" good);
+  (* the crash was observed and the worker replaced *)
+  let h = wait_health sock (fun h -> body_num "restarts" h >= 1.) in
+  Alcotest.(check bool) "crash counted" true (body_num "crashes" h >= 1.);
+  Alcotest.(check bool) "ready again" true (body_bool "ready" h);
+  ignore (rpc sock (P.request ~id:"d" P.Drain));
+  Alcotest.(check int) "clean exit after crash+restart" 0 (Domain.join server)
+
+let test_executor_wedge_isolated () =
+  with_tmpdir @@ fun dir ->
+  let src_file = write_src dir in
+  let sock = Filename.concat dir "s.sock" in
+  let server = spawn_daemon ~wedge_grace_s:0.2 sock in
+  connect_retry sock;
+  (* the wedged request sleeps 3 s inside the probe with a 0.3 s
+     deadline; the monitor must abandon the worker and answer [timeout]
+     long before the sleep ends *)
+  let t0 = Unix.gettimeofday () in
+  let wedged =
+    Domain.spawn (fun () ->
+        rpc sock
+          (P.request ~id:"stuck" ~target:src_file ~platform:"platform-a-accel"
+             ~deadline_s:0.3 ~fault_plan:"serve.exec@1=delay:3" P.Parallelize))
+  in
+  (* a concurrent clean request on the other worker is unaffected *)
+  Unix.sleepf 0.05;
+  let good =
+    rpc sock
+      (P.request ~id:"ok" ~target:src_file ~platform:"platform-a-accel"
+         P.Parallelize)
+  in
+  Alcotest.(check bool)
+    ("concurrent clean request succeeds, got " ^ P.status_name good.P.status)
+    true
+    (match good.P.status with P.Ok_ | P.Degraded -> true | _ -> false);
+  let r = Domain.join wedged in
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check string) "wedged request times out" "timeout"
+    (P.status_name r.P.status);
+  (* answered by the monitor's abandonment, not by the sleep finishing *)
+  Alcotest.(check bool)
+    (Printf.sprintf "abandoned before the wedge cleared (%.2fs)" dt)
+    true (dt < 2.9);
+  let h = wait_health sock (fun h -> body_num "wedges" h >= 1.) in
+  Alcotest.(check bool) "restart counted" true (body_num "restarts" h >= 1.);
+  ignore (rpc sock (P.request ~id:"d" P.Drain));
+  Alcotest.(check int) "clean exit after wedge" 0 (Domain.join server)
+
+let test_chaos_under_serve () =
+  with_tmpdir @@ fun dir ->
+  let src_file = write_src dir in
+  let sock = Filename.concat dir "s.sock" in
+  let server = spawn_daemon ~restart_budget:64 sock in
+  connect_retry sock;
+  (* mixed load: every 3rd request arms a fault plan (cycling over worker
+     crashes, solver-level and runtime-level probes); the daemon must
+     answer every request, keep clean answers bit-identical to a direct
+     run, and drain cleanly afterwards *)
+  let lg =
+    {
+      Serve.Loadgen.default_config with
+      Serve.Loadgen.socket_path = sock;
+      targets = [ src_file ];
+      platform = "platform-a-accel";
+      qps = 0.;
+      concurrency = 3;
+      requests = 36;
+      fault_specs =
+        [
+          "serve.exec@1=raise";
+          "simplex.pivot@1=raise";
+          "pool.spawn@1=raise";
+          "channel.recv@2=delay:0.01";
+        ];
+      fault_every = 3;
+      report_path = None;
+    }
+  in
+  let r = Serve.Loadgen.run_result lg in
+  Alcotest.(check int) "every request answered" 36 r.Serve.Loadgen.completed;
+  Alcotest.(check int) "no transport errors" 0 r.Serve.Loadgen.transport_errors;
+  Alcotest.(check int) "12 requests faulted" 12 r.Serve.Loadgen.faulted;
+  Alcotest.(check bool) "clean digests consistent" true
+    r.Serve.Loadgen.digests_consistent;
+  (match r.Serve.Loadgen.digests with
+  | [ (_, [ d ]) ] ->
+      Alcotest.(check string) "clean digest identical to direct run"
+        (direct_digest Parcore.Config.fast) d
+  | _ -> Alcotest.fail "expected one target with one distinct digest");
+  (* worker crashes were injected, so the supervisor must have restarted *)
+  let h = wait_health sock (fun h -> body_num "restarts" h >= 1.) in
+  Alcotest.(check bool) "still ready" true (body_bool "ready" h);
+  Alcotest.(check bool) "budget not exhausted" false (body_bool "exhausted" h);
+  ignore (rpc sock (P.request ~id:"d" P.Drain));
+  Alcotest.(check int) "clean exit after chaos" 0 (Domain.join server)
+
+let test_stale_and_live_socket () =
+  with_tmpdir @@ fun dir ->
+  let sock = Filename.concat dir "s.sock" in
+  (* a stale socket file left behind by a crashed daemon: bound but with
+     no listener, so a probe connect fails with ECONNREFUSED *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX sock);
+  Unix.close fd;
+  Alcotest.(check bool) "stale file exists" true (Sys.file_exists sock);
+  let server = spawn_daemon sock in
+  connect_retry sock;
+  (* the stale file was replaced and the daemon serves on it; a second
+     daemon on the same path must refuse rather than clobber it *)
+  (match
+     Serve.Daemon.run
+       {
+         Serve.Daemon.default_config with
+         Serve.Daemon.socket_path = sock;
+         cfg = Parcore.Config.fast;
+       }
+   with
+  | code -> Alcotest.failf "second daemon ran (exit %d) on a live socket" code
+  | exception Mpsoc_error.Error e ->
+      Alcotest.(check bool) "typed invalid-input refusal" true
+        (e.Mpsoc_error.kind = Mpsoc_error.Invalid_input);
+      Alcotest.(check int) "maps to exit 3" 3 (Mpsoc_error.exit_code e));
+  (* refusing must not have unlinked the live daemon's socket *)
+  let h = rpc sock (P.request ~id:"h" P.Health) in
+  Alcotest.(check bool) "first daemon still live" true (body_bool "live" h);
+  ignore (rpc sock (P.request ~id:"d" P.Drain));
+  Alcotest.(check int) "clean exit" 0 (Domain.join server);
+  Alcotest.(check bool) "socket removed on drain" false (Sys.file_exists sock)
+
+(* Satellite: the drain valve races with concurrent producers.  Property:
+   every accepted job is taken exactly once, and nothing is admitted
+   after [drain] returns — over many randomized interleavings. *)
+let test_admission_drain_race () =
+  for round = 1 to 25 do
+    let q = Serve.Admission.create ~max:1024 in
+    let nprod = 1 + (round mod 4) in
+    let per = 50 in
+    let accepted = Atomic.make 0 in
+    let producers =
+      List.init nprod (fun p ->
+          Domain.spawn (fun () ->
+              for j = 0 to per - 1 do
+                (match
+                   Serve.Admission.submit q ~client:p
+                     (Printf.sprintf "%d-%d" p j)
+                 with
+                | Serve.Admission.Accepted -> Atomic.incr accepted
+                | Serve.Admission.Draining -> ()
+                | Serve.Admission.Overloaded ->
+                    Alcotest.fail "overloaded under capacity");
+                if j land 7 = 0 then Domain.cpu_relax ()
+              done))
+    in
+    let consumer =
+      Domain.spawn (fun () ->
+          let rec go n =
+            match Serve.Admission.take q with
+            | Some _ -> go (n + 1)
+            | None -> n
+          in
+          go 0)
+    in
+    (* close the valve at a round-dependent point in the race *)
+    Unix.sleepf (0.0004 *. float_of_int (round mod 7));
+    Serve.Admission.drain q;
+    List.iter Domain.join producers;
+    (match Serve.Admission.submit q ~client:99 "late" with
+    | Serve.Admission.Draining -> ()
+    | Serve.Admission.Accepted -> Alcotest.fail "admitted after drain"
+    | Serve.Admission.Overloaded -> Alcotest.fail "wrong rejection after drain");
+    let taken = Domain.join consumer in
+    let acc = Atomic.get accepted in
+    if taken <> acc then
+      Alcotest.failf "round %d lost jobs: accepted %d, took %d" round acc taken
+  done
+
 let test_daemon_rejects_unknown_target () =
   with_tmpdir @@ fun dir ->
   let sock = Filename.concat dir "s.sock" in
@@ -466,8 +739,20 @@ let suite =
     Alcotest.test_case "latency: nearest-rank percentiles" `Quick
       test_latency_percentiles;
     Alcotest.test_case "latency: empty summary" `Quick test_latency_empty;
+    Alcotest.test_case "admission: drain never loses an admitted job" `Quick
+      test_admission_drain_race;
     Alcotest.test_case "daemon: concurrent clients, bit-identical to direct run"
       `Slow test_daemon_end_to_end;
     Alcotest.test_case "daemon: typed rejection lists benchmarks" `Slow
       test_daemon_rejects_unknown_target;
+    Alcotest.test_case "daemon: health op reports supervised workers" `Slow
+      test_daemon_health;
+    Alcotest.test_case "daemon: executor crash is answered and restarted" `Slow
+      test_executor_crash_restart;
+    Alcotest.test_case "daemon: wedged worker abandoned, peers unaffected" `Slow
+      test_executor_wedge_isolated;
+    Alcotest.test_case "daemon: chaos mix survives with clean digests" `Slow
+      test_chaos_under_serve;
+    Alcotest.test_case "daemon: refuses a live socket, replaces a stale one"
+      `Slow test_stale_and_live_socket;
   ]
