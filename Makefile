@@ -67,8 +67,12 @@ serve-smoke: build
 	./_build/default/bin/mpsoc_par.exe loadgen mult_10 compress boundary_value \
 	  --socket serve-smoke.sock --qps 1 -c 2 -n 9 --report serve-load.json \
 	  || { kill $$pid; exit 1; }; \
+	./_build/default/bin/mpsoc_par.exe observe --socket serve-smoke.sock \
+	  --json --count 1 > serve-stats.json || { kill $$pid; exit 1; }; \
+	jq -e '.stats_schema == "mpsoc-par/stats/v1" and .counters.completed >= 9 and .latency.all.total.count >= 9 and ((.statuses.internal // 0) == 0)' \
+	  serve-stats.json >/dev/null || { kill $$pid; exit 1; }; \
 	kill -TERM $$pid; wait $$pid \
-	  && echo "serve-smoke: clean drain" \
+	  && echo "serve-smoke: clean drain, live stats probed" \
 	  || { echo "serve-smoke: drain failed"; exit 1; }
 
 # Server-level chaos: the daemon under a mixed clean/faulted load.
@@ -82,6 +86,7 @@ serve-chaos: build
 	@rm -f serve-chaos.sock; n=$${SERVE_CHAOS_N:-45}; \
 	./_build/default/bin/mpsoc_par.exe serve --socket serve-chaos.sock \
 	  --jobs 1 --executors 2 --restart-budget 64 --ilp-time-limit 0.5 \
+	  --flight serve-chaos.flight.jsonl \
 	  --metrics serve-chaos-metrics.json & pid=$$!; \
 	for i in $$(seq 1 100); do test -S serve-chaos.sock && break; sleep 0.1; done; \
 	./_build/default/bin/mpsoc_par.exe loadgen mult_10 \
@@ -95,7 +100,10 @@ serve-chaos: build
 	jq -e '.transport_errors == 0 and .digests_consistent == true' \
 	  serve-chaos-load.json >/dev/null; \
 	jq -e '.server.executor_restarts >= 1' serve-chaos-metrics.json >/dev/null; \
-	echo "serve-chaos: $$n requests ($$(jq .faulted_requests serve-chaos-load.json) faulted), >=1 restart, clean drain"
+	jq -s -e '[.[].kind] | contains(["executor.crash"]) and contains(["executor.restart"])' \
+	  serve-chaos.flight.jsonl >/dev/null \
+	  || { echo "serve-chaos: flight recorder dump missing crash/restart"; exit 1; }; \
+	echo "serve-chaos: $$n requests ($$(jq .faulted_requests serve-chaos-load.json) faulted), >=1 restart, flight dump ok, clean drain"
 
 # Differential validation of every suite benchmark on two presets via
 # the CLI (the acceptance check of the execution runtime).

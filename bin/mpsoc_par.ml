@@ -273,12 +273,12 @@ let with_observability (cfg : Parcore.Config.t) ~generated_by f =
               Observe.write_json ~path
                 (Observe.metrics_doc ~generated_by
                    ~phases:(Observe.phases_of_events c.Trace.events)
-                   ?runtime ?cache ~wall_s stats))
+                   ?runtime ?cache ~trace:c ~wall_s stats))
             cfg.Parcore.Config.metrics_file;
           if cfg.Parcore.Config.profile then
             Fmt.epr "%t@." (fun ppf ->
                 Observe.profile_table ppf ?runtime ~wall_s
-                  ~events:c.Trace.events stats)
+                  ~dropped:c.Trace.dropped ~events:c.Trace.events stats)
     end
   in
   f report
@@ -836,9 +836,29 @@ let serve_cmd =
              declared wedged, the request answered $(b,timeout), and the \
              worker abandoned and replaced.")
   in
+  let flight_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"FILE"
+          ~doc:
+            "Flight-recorder dump file, written as JSONL on an executor \
+             crash/wedge/restart, restart-budget exhaustion, or a \
+             $(b,dump) request (default: $(i,SOCKET).flight.jsonl).")
+  in
+  let memo_stall_arg =
+    Arg.(
+      value
+      & opt float Serve.Daemon.default_config.Serve.Daemon.memo_stall_s
+      & info [ "memo-stall" ] ~docv:"SECONDS"
+          ~doc:
+            "Age past which a held single-flight solve-memo reservation \
+             is reported as stalled (a wedged worker holding one blocks \
+             peers solving the same subproblem).")
+  in
   let run socket tcp_port queue_max default_deadline_s drain_grace_s executors
-      restart_budget wedge_grace_s time_limit max_steps jobs trace metrics
-      profile cache_dir cache_max_mb accel =
+      restart_budget wedge_grace_s flight_path memo_stall_s time_limit
+      max_steps jobs trace metrics profile cache_dir cache_max_mb accel =
     let cfg =
       cfg_of ~jobs ~trace ~metrics ~profile ~cache_dir ~cache_max_mb ~accel
         time_limit max_steps
@@ -854,6 +874,8 @@ let serve_cmd =
           executors;
           restart_budget;
           wedge_grace_s;
+          flight_path;
+          memo_stall_s;
           cfg;
         }
     with
@@ -872,9 +894,9 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ tcp_port_arg $ queue_max_arg
       $ default_deadline_arg $ drain_grace_arg $ executors_arg
-      $ restart_budget_arg $ wedge_grace_arg $ time_limit_arg
-      $ max_steps_arg $ jobs_arg $ trace_arg $ metrics_arg $ profile_flag
-      $ cache_dir_arg $ cache_max_mb_arg $ accel_term)
+      $ restart_budget_arg $ wedge_grace_arg $ flight_arg $ memo_stall_arg
+      $ time_limit_arg $ max_steps_arg $ jobs_arg $ trace_arg $ metrics_arg
+      $ profile_flag $ cache_dir_arg $ cache_max_mb_arg $ accel_term)
 
 let loadgen_cmd =
   let targets =
@@ -1008,6 +1030,45 @@ let loadgen_cmd =
       $ qps_arg $ concurrency_arg $ requests_arg $ deadline_arg
       $ retry_max_arg $ fault_spec_arg $ fault_every_arg $ report_arg)
 
+let observe_cmd =
+  let interval_arg =
+    Arg.(
+      value
+      & opt float Serve.Monitor.default_config.Serve.Monitor.interval_s
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Sleep between polls.")
+  in
+  let count_arg =
+    Arg.(
+      value
+      & opt int Serve.Monitor.default_config.Serve.Monitor.count
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Polls before exiting; $(b,0) polls forever.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the raw stats body (one JSON object per poll, schema \
+             $(b,mpsoc-par/stats/v1)) instead of the table.")
+  in
+  let run socket interval_s count json =
+    match
+      Serve.Monitor.run { Serve.Monitor.socket_path = socket; interval_s; count; json }
+    with
+    | code -> exit code
+    | exception Mpsoc_error.Error e -> exit_with e
+  in
+  Cmd.v
+    (Cmd.info "observe"
+       ~doc:
+         "Poll a running $(b,serve) daemon's $(b,stats) op and print live \
+          telemetry: sliding latency windows (1m/5m/total, per op and \
+          outcome), queue depth, memo/cache hit rates, per-worker \
+          utilization and restart counters, flight-recorder occupancy")
+    Term.(const run $ socket_arg $ interval_arg $ count_arg $ json_flag)
+
 (* ---------------- list ---------------- *)
 
 let list_cmd =
@@ -1040,6 +1101,7 @@ let main =
       batch_cmd;
       serve_cmd;
       loadgen_cmd;
+      observe_cmd;
       bench_cmd;
       experiments_cmd;
       list_cmd;

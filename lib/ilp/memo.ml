@@ -17,7 +17,17 @@
     means each distinct subproblem is solved exactly once at any worker
     count — which also keeps hit/miss statistics deterministic. *)
 
-type entry = Inflight | Done of Branch_bound.solution
+(* Who holds the single-flight reservation, and since when: a worker
+   wedged mid-solve keeps its reservation forever (the ROADMAP's zombie
+   hazard), and this is what lets {!stalled} name the abandoned owner
+   instead of leaving peers silently blocked. *)
+type reservation = {
+  owner : string;
+  since : float;
+  mutable reported : bool;  (** already surfaced by {!stalled} *)
+}
+
+type entry = Inflight of reservation | Done of Branch_bound.solution
 
 type backing = {
   lookup : string -> Branch_bound.solution option;
@@ -32,6 +42,7 @@ type t = {
   hits : int Atomic.t;
   disk_hits : int Atomic.t;
   misses : int Atomic.t;
+  stalls : int Atomic.t;  (** reservations reported stalled by {!stalled} *)
 }
 
 let create ?backing () =
@@ -43,6 +54,7 @@ let create ?backing () =
     hits = Atomic.make 0;
     disk_hits = Atomic.make 0;
     misses = Atomic.make 0;
+    stalls = Atomic.make 0;
   }
 
 (* ---- canonical fingerprint ---- *)
@@ -124,16 +136,26 @@ let publish c key sol =
   Condition.broadcast c.cond;
   Mutex.unlock c.mu
 
+(* Reservation owner label: the request tag when one is set (the serve
+   daemon tags worker domains with the request id), else the domain. *)
+let owner_label () =
+  let dom = Printf.sprintf "domain-%d" (Domain.self () :> int) in
+  match Trace.current_tag () with
+  | Some tag -> Printf.sprintf "%s (req %s)" dom tag
+  | None -> dom
+
 let find_or_reserve c key =
   Mutex.lock c.mu;
   let rec loop () =
     match Hashtbl.find_opt c.tbl key with
     | Some (Done sol) -> `Hit sol
-    | Some Inflight ->
+    | Some (Inflight _) ->
         Condition.wait c.cond c.mu;
         loop ()
     | None ->
-        Hashtbl.replace c.tbl key Inflight;
+        Hashtbl.replace c.tbl key
+          (Inflight
+             { owner = owner_label (); since = Trace.now_s (); reported = false });
         `Reserved
   in
   let r = loop () in
@@ -180,9 +202,46 @@ let cancel c key =
   Condition.broadcast c.cond;
   Mutex.unlock c.mu
 
+(* ---- stalled-reservation surfacing (the zombie hazard) ------------- *)
+
+type stall = { key : string; s_owner : string; age_s : float }
+
+let stalled ?(threshold_s = 5.) c ~now : stall list =
+  Mutex.lock c.mu;
+  let found =
+    Hashtbl.fold
+      (fun key e acc ->
+        match e with
+        | Done _ -> acc
+        | Inflight r ->
+            let age = now -. r.since in
+            if age >= threshold_s && not r.reported then begin
+              r.reported <- true;
+              { key = Digest.to_hex key; s_owner = r.owner; age_s = age }
+              :: acc
+            end
+            else acc)
+      c.tbl []
+  in
+  Mutex.unlock c.mu;
+  List.iter
+    (fun st ->
+      Atomic.incr c.stalls;
+      if Trace.enabled () then
+        Trace.instant ~cat:"ilp" "memo.stall"
+          ~args:
+            [
+              ("key", Trace.Str st.key);
+              ("owner", Trace.Str st.s_owner);
+              ("age_s", Trace.Float st.age_s);
+            ])
+    found;
+  List.sort (fun a b -> compare a.key b.key) found
+
 let hits c = Atomic.get c.hits
 let disk_hits c = Atomic.get c.disk_hits
 let misses c = Atomic.get c.misses
+let stall_count c = Atomic.get c.stalls
 
 let hit_rate c =
   let h = float_of_int (hits c) and m = float_of_int (misses c) in
@@ -192,7 +251,7 @@ let length c =
   Mutex.lock c.mu;
   let n =
     Hashtbl.fold
-      (fun _ e n -> match e with Done _ -> n + 1 | Inflight -> n)
+      (fun _ e n -> match e with Done _ -> n + 1 | Inflight _ -> n)
       c.tbl 0
   in
   Mutex.unlock c.mu;

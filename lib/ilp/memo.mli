@@ -62,6 +62,24 @@ val disk_hits : t -> int
 (** Lookups that had to solve. *)
 val misses : t -> int
 
+(** A single-flight reservation that has been held longer than a
+    threshold — the visible face of the zombie hazard (a worker wedged
+    mid-solve holds its reservation forever while peers block).  [key]
+    is the hex fingerprint; [s_owner] names the reserving domain and,
+    when the serve daemon tagged it, the request it was working on. *)
+type stall = { key : string; s_owner : string; age_s : float }
+
+(** [stalled c ~now] reports reservations held at least [threshold_s]
+    (default 5 s) that have not been reported before — each stall is
+    surfaced exactly once, counted in {!stall_count}, and (when tracing
+    is armed) emitted as a ["memo.stall"] trace instant naming the
+    owner.  Non-blocking for waiters; intended to be polled from a
+    monitor loop. *)
+val stalled : ?threshold_s:float -> t -> now:float -> stall list
+
+(** Stalls ever reported by {!stalled}. *)
+val stall_count : t -> int
+
 (** [hits / (hits + misses)], 0 when empty. *)
 val hit_rate : t -> float
 

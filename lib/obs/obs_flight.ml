@@ -1,0 +1,93 @@
+(** Flight recorder: a bounded ring of recent structured lifecycle
+    events (admit / start / complete / reject / crash / wedge / restart
+    / ...), kept even when tracing is disarmed, so a post-mortem never
+    depends on having armed [--trace] in advance.
+
+    Cost argument: unlike the trace probes — which guard nanosecond-hot
+    paths (simplex pivots, deque operations) and therefore must be free
+    when disarmed — flight events mark request- and process-lifecycle
+    edges that occur at most a few times per request.  One mutex-guarded
+    ring write (a small record allocation and an array store) per such
+    edge is noise next to the socket I/O surrounding it, so the recorder
+    is always on; the allocation-free-disarmed invariant applies to the
+    trace probes, not to this ring.
+
+    The ring overwrites oldest ([seq] counts everything ever recorded,
+    so drops are visible as a gap).  {!dump} rewrites the whole ring as
+    one JSONL file — dumps are rare (crash, wedge, restart-budget
+    exhaustion, explicit [dump] op), so rewriting beats appending: the
+    file is always a self-consistent snapshot, never a half-written
+    tail. *)
+
+module J = Trace_json
+
+type event = {
+  t_s : float;  (** absolute wall time ({!Trace.now_s}) *)
+  seq : int;  (** monotonic, 0-based; gaps never occur, drops do *)
+  kind : string;
+  fields : (string * J.t) list;
+}
+
+type t = {
+  mu : Mutex.t;
+  ring : event option array;
+  mutable seq : int;  (** next sequence number = events ever recorded *)
+}
+
+let default_capacity = 512
+
+let create ?(capacity = default_capacity) () =
+  { mu = Mutex.create (); ring = Array.make (max 16 capacity) None; seq = 0 }
+
+let capacity t = Array.length t.ring
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let record t ?(fields = []) kind =
+  let now = Trace.now_s () in
+  locked t @@ fun () ->
+  t.ring.(t.seq mod Array.length t.ring) <-
+    Some { t_s = now; seq = t.seq; kind; fields };
+  t.seq <- t.seq + 1
+
+let recorded t = locked t @@ fun () -> t.seq
+let size t = locked t @@ fun () -> min t.seq (Array.length t.ring)
+
+(** Retained events, oldest first. *)
+let events t : event list =
+  locked t @@ fun () ->
+  let cap = Array.length t.ring in
+  let first = max 0 (t.seq - cap) in
+  let acc = ref [] in
+  for i = t.seq - 1 downto first do
+    match t.ring.(i mod cap) with Some e -> acc := e :: !acc | None -> ()
+  done;
+  !acc
+
+let event_json (e : event) : J.t =
+  J.Obj
+    ([
+       ("t_s", J.Num e.t_s);
+       ("seq", J.Num (float_of_int e.seq));
+       ("kind", J.Str e.kind);
+     ]
+    @ e.fields)
+
+(** Overwrite [path] with the retained events as JSONL (one compact
+    object per line, ascending [seq]).  Errors are reported, not raised:
+    dump sites are failure paths already. *)
+let dump t ~path : (int, string) result =
+  let evs = events t in
+  match
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        List.iter
+          (fun e -> output_string oc (J.to_string (event_json e) ^ "\n"))
+          evs)
+  with
+  | () -> Ok (List.length evs)
+  | exception Sys_error m -> Error m

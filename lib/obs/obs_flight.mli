@@ -1,0 +1,38 @@
+(** Bounded ring of recent structured lifecycle events, recorded even
+    with tracing disarmed and dumped as JSONL on crash / wedge /
+    restart-budget exhaustion or an explicit [dump] op.  Mutex-guarded;
+    see the .ml header for the always-on cost argument. *)
+
+type event = {
+  t_s : float;  (** absolute wall time ({!Trace.now_s}) *)
+  seq : int;  (** monotonic, 0-based; a gap at the front = overwritten *)
+  kind : string;
+  fields : (string * Trace_json.t) list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 512 events (clamped to at least 16). *)
+
+val record : t -> ?fields:(string * Trace_json.t) list -> string -> unit
+(** [record t kind] appends an event stamped with {!Trace.now_s},
+    overwriting the oldest when full. *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val event_json : event -> Trace_json.t
+
+val recorded : t -> int
+(** Events ever recorded (= next [seq]); [recorded - size] were
+    overwritten. *)
+
+val size : t -> int
+(** Events currently retained. *)
+
+val capacity : t -> int
+
+val dump : t -> path:string -> (int, string) result
+(** Overwrite [path] with the retained ring as JSONL; returns the number
+    of lines written, or the [Sys_error] message. *)

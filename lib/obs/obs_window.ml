@@ -1,0 +1,250 @@
+(** Sliding-window latency/throughput aggregator for the live [stats]
+    op: a ring of fixed-width time buckets, each holding a count, a sum,
+    a max and a 1-2-5 histogram, plus a cumulative total since creation.
+
+    A sample recorded at wall time [now] lands in bucket
+    [floor (now / bucket_s)]; the ring keeps the most recent [buckets]
+    epochs, so a window summary over the last [k] seconds is the sum of
+    [ceil (k / bucket_s)] live buckets — O(buckets) and allocation-light,
+    never a scan of raw samples.  Stale slots are lazily reset when their
+    epoch comes around again, so an idle window costs nothing.
+
+    Recording and summarizing are mutex-guarded (samples arrive from
+    executor worker domains, summaries from the event loop).  Merging
+    works on immutable {!snap} values: union-sum cells by epoch, keep
+    only epochs within the ring span of the newest epoch present —
+    deterministic and associative (exactly for counts, maxes and
+    histograms; up to float rounding for the mean), which the qcheck
+    suite checks.
+
+    Histogram percentiles are bucket upper bounds (the overflow bucket
+    reports the observed max), so a reported pXX is an upper bound on
+    the exact nearest-rank percentile the {!Serve.Latency} recorder
+    would compute from the same samples — also property-checked. *)
+
+module J = Trace_json
+
+(* Same 1-2-5 bounds as lib/serve/latency's histogram (duplicated here:
+   obs sits below serve in the library graph). *)
+let bucket_bounds_ms =
+  [ 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 2000.; 5000. ]
+
+let bounds = Array.of_list bucket_bounds_ms
+let n_hist = Array.length bounds + 1 (* + overflow slot *)
+
+type cell = {
+  mutable count : int;
+  mutable sum_s : float;
+  mutable max_s : float;
+  hist : int array;  (** [n_hist] slots, last = overflow *)
+}
+
+let new_cell () = { count = 0; sum_s = 0.; max_s = 0.; hist = Array.make n_hist 0 }
+
+let reset_cell c =
+  c.count <- 0;
+  c.sum_s <- 0.;
+  c.max_s <- 0.;
+  Array.fill c.hist 0 n_hist 0
+
+let hist_slot dt_s =
+  let ms = dt_s *. 1e3 in
+  let rec go i = if i >= Array.length bounds then i else if ms <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let add_cell c dt_s =
+  c.count <- c.count + 1;
+  c.sum_s <- c.sum_s +. dt_s;
+  if dt_s > c.max_s then c.max_s <- dt_s;
+  let i = hist_slot dt_s in
+  c.hist.(i) <- c.hist.(i) + 1
+
+let blend ~into (c : cell) =
+  into.count <- into.count + c.count;
+  into.sum_s <- into.sum_s +. c.sum_s;
+  if c.max_s > into.max_s then into.max_s <- c.max_s;
+  Array.iteri (fun i n -> into.hist.(i) <- into.hist.(i) + n) c.hist
+
+type t = {
+  mu : Mutex.t;
+  bucket_s : float;
+  ring : cell array;
+  epochs : int array;  (** epoch held in each slot; [-1] = empty *)
+  total : cell;
+}
+
+let default_bucket_s = 5.
+let default_buckets = 60 (* 5 s x 60 = a 5-minute ring *)
+
+let create ?(bucket_s = default_bucket_s) ?(buckets = default_buckets) () =
+  let n = max 1 buckets in
+  {
+    mu = Mutex.create ();
+    bucket_s = (if bucket_s > 0. then bucket_s else default_bucket_s);
+    ring = Array.init n (fun _ -> new_cell ());
+    epochs = Array.make n (-1);
+    total = new_cell ();
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let epoch_of t now = int_of_float (Float.floor (now /. t.bucket_s))
+
+let record t ~now dt_s =
+  locked t @@ fun () ->
+  let e = epoch_of t now in
+  let i = e mod Array.length t.ring in
+  if t.epochs.(i) <> e then begin
+    reset_cell t.ring.(i);
+    t.epochs.(i) <- e
+  end;
+  add_cell t.ring.(i) dt_s;
+  add_cell t.total dt_s
+
+(* ---- summaries ----------------------------------------------------- *)
+
+type summary = {
+  count : int;
+  mean_ms : float;
+  max_ms : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+}
+
+let empty_summary =
+  { count = 0; mean_ms = 0.; max_ms = 0.; p50_ms = 0.; p90_ms = 0.; p99_ms = 0. }
+
+(* Nearest-rank over histogram buckets: the answer is the matched
+   bucket's upper bound (the overflow bucket reports the observed max,
+   the only finite bound it has). *)
+let hist_percentile (c : cell) p =
+  if c.count = 0 then 0.
+  else begin
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int c.count)) in
+    let rank = max 1 rank in
+    let acc = ref 0 and ans = ref (c.max_s *. 1e3) in
+    (try
+       Array.iteri
+         (fun i n ->
+           acc := !acc + n;
+           if !acc >= rank then begin
+             ans := (if i < Array.length bounds then bounds.(i) else c.max_s *. 1e3);
+             raise Exit
+           end)
+         c.hist
+     with Exit -> ());
+    !ans
+  end
+
+let cell_summary (c : cell) =
+  if c.count = 0 then empty_summary
+  else
+    {
+      count = c.count;
+      mean_ms = 1e3 *. c.sum_s /. float_of_int c.count;
+      max_ms = 1e3 *. c.max_s;
+      p50_ms = hist_percentile c 50.;
+      p90_ms = hist_percentile c 90.;
+      p99_ms = hist_percentile c 99.;
+    }
+
+(* Sum of the live cells with epochs in (e_now - k, e_now]. *)
+let window_cell t ~now ~last_s =
+  let e = epoch_of t now in
+  let n = Array.length t.ring in
+  let k = min n (max 1 (int_of_float (ceil (last_s /. t.bucket_s)))) in
+  let acc = new_cell () in
+  Array.iteri
+    (fun i ep -> if ep > e - k && ep <= e then blend ~into:acc t.ring.(i))
+    t.epochs;
+  acc
+
+let summary t ~now ~last_s =
+  locked t @@ fun () -> cell_summary (window_cell t ~now ~last_s)
+
+let total t = locked t @@ fun () -> cell_summary t.total
+
+let summary_json (s : summary) : J.t =
+  J.Obj
+    [
+      ("count", J.Num (float_of_int s.count));
+      ("mean_ms", J.Num s.mean_ms);
+      ("max_ms", J.Num s.max_ms);
+      ("p50_ms", J.Num s.p50_ms);
+      ("p90_ms", J.Num s.p90_ms);
+      ("p99_ms", J.Num s.p99_ms);
+    ]
+
+(** The standard 1m / 5m / total triple the [stats] op reports. *)
+let windows_json t ~now : J.t =
+  J.Obj
+    [
+      ("1m", summary_json (summary t ~now ~last_s:60.));
+      ("5m", summary_json (summary t ~now ~last_s:300.));
+      ("total", summary_json (total t));
+    ]
+
+(* ---- snapshots & merge --------------------------------------------- *)
+
+type snap = {
+  s_bucket_s : float;
+  s_span : int;  (** ring length: epochs retained around the newest *)
+  cells : (int * cell) list;  (** (epoch, data), ascending epoch *)
+  s_total : cell;
+}
+
+let copy_cell (c : cell) = { c with hist = Array.copy c.hist }
+
+let snapshot t : snap =
+  locked t @@ fun () ->
+  let cells = ref [] in
+  Array.iteri
+    (fun i ep -> if ep >= 0 then cells := (ep, copy_cell t.ring.(i)) :: !cells)
+    t.epochs;
+  {
+    s_bucket_s = t.bucket_s;
+    s_span = Array.length t.ring;
+    cells = List.sort (fun (a, _) (b, _) -> compare a b) !cells;
+    s_total = copy_cell t.total;
+  }
+
+(** Union-sum cells by epoch, then retain only epochs within the ring
+    span of the newest epoch present.  Associative and commutative (the
+    qcheck suite verifies associativity), so partial aggregates from
+    several sources merge in any order. *)
+let merge (a : snap) (b : snap) : snap =
+  if a.s_bucket_s <> b.s_bucket_s || a.s_span <> b.s_span then
+    invalid_arg "Obs_window.merge: mismatched bucket width or span";
+  let tbl : (int, cell) Hashtbl.t = Hashtbl.create 64 in
+  let feed (e, c) =
+    match Hashtbl.find_opt tbl e with
+    | Some into -> blend ~into c
+    | None -> Hashtbl.add tbl e (copy_cell c)
+  in
+  List.iter feed a.cells;
+  List.iter feed b.cells;
+  let cells =
+    Hashtbl.fold (fun e c acc -> (e, c) :: acc) tbl []
+    |> List.sort (fun (x, _) (y, _) -> compare x y)
+  in
+  let newest = List.fold_left (fun m (e, _) -> max m e) min_int cells in
+  let cells = List.filter (fun (e, _) -> e > newest - a.s_span) cells in
+  let total = new_cell () in
+  blend ~into:total a.s_total;
+  blend ~into:total b.s_total;
+  { s_bucket_s = a.s_bucket_s; s_span = a.s_span; cells; s_total = total }
+
+let snap_total (s : snap) = cell_summary s.s_total
+
+let snap_summary (s : snap) ~last_s =
+  match s.cells with
+  | [] -> empty_summary
+  | cells ->
+      let newest = List.fold_left (fun m (e, _) -> max m e) min_int cells in
+      let k = min s.s_span (max 1 (int_of_float (ceil (last_s /. s.s_bucket_s)))) in
+      let acc = new_cell () in
+      List.iter (fun (e, c) -> if e > newest - k then blend ~into:acc c) cells;
+      cell_summary acc

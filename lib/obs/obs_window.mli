@@ -1,0 +1,57 @@
+(** Sliding-window latency/throughput aggregator: rotating fixed-width
+    time buckets (count / sum / max / 1-2-5 histogram per bucket) plus a
+    cumulative total.  Mutex-guarded — safe to record from executor
+    domains while the event loop summarizes.  See the .ml header for the
+    window and merge semantics. *)
+
+type t
+
+val bucket_bounds_ms : float list
+(** Histogram bucket upper bounds, identical to
+    [Serve.Latency.bucket_bounds_ms] (duplicated: obs sits below serve). *)
+
+val create : ?bucket_s:float -> ?buckets:int -> unit -> t
+(** Default: 60 buckets of 5 s — a 5-minute ring, so both the 1m and 5m
+    windows of {!windows_json} are fully covered. *)
+
+val record : t -> now:float -> float -> unit
+(** [record t ~now dt_s] files a sample of [dt_s] seconds under wall
+    time [now] (from {!Trace.now_s}). *)
+
+type summary = {
+  count : int;
+  mean_ms : float;
+  max_ms : float;
+  p50_ms : float;  (** histogram upper bound, not exact — see .ml *)
+  p90_ms : float;
+  p99_ms : float;
+}
+
+val summary : t -> now:float -> last_s:float -> summary
+(** Aggregate over the buckets covering the last [last_s] seconds
+    (clamped to the ring span). *)
+
+val total : t -> summary
+(** Cumulative since {!create}. *)
+
+val summary_json : summary -> Trace_json.t
+
+val windows_json : t -> now:float -> Trace_json.t
+(** [{ "1m": summary, "5m": summary, "total": summary }] — the triple
+    the [stats] op reports per op and per outcome. *)
+
+(** {2 Immutable snapshots and deterministic merge} *)
+
+type snap
+
+val snapshot : t -> snap
+
+val merge : snap -> snap -> snap
+(** Union-sum cells by epoch, retaining only epochs within the ring span
+    of the newest epoch present.  Associative; raises [Invalid_argument]
+    on mismatched bucket width or span. *)
+
+val snap_summary : snap -> last_s:float -> summary
+(** Window summary of a snapshot, anchored at its newest epoch. *)
+
+val snap_total : snap -> summary

@@ -110,6 +110,18 @@ let cache_json (c : Cache.Store.counters) : J.t =
 let phases_json (phases : (string * float) list) : J.t =
   J.Obj (List.map (fun (n, s) -> (n, J.Num s)) phases)
 
+(* Recorder self-description: how complete is the trace itself?  A
+   nonzero [dropped_spans] means ring overwrite ate events and phase /
+   span-derived numbers undercount. *)
+let trace_json (c : Trace.collected) : J.t =
+  J.Obj
+    [
+      ("events", num (List.length c.Trace.events));
+      ("domains", num (List.length c.Trace.domains));
+      ("dropped_spans", num c.Trace.dropped);
+      ("span_s", J.Num c.Trace.span_s);
+    ]
+
 (** Per-phase wall seconds from a trace collection (category ["phase"]). *)
 let phases_of_events events = Trace.span_totals ~cat:"phase" events
 
@@ -117,8 +129,8 @@ let phases_of_events events = Trace.span_totals ~cat:"phase" events
     one section every flow has; the rest attaches when available.
     [sections] appends caller-built sections (e.g. the serve daemon's
     ["server"] block) without [Observe] having to know their shape. *)
-let metrics_doc ~generated_by ?phases ?runtime ?cache ?(sections = []) ?wall_s
-    (stats : Ilp.Stats.t) : J.t =
+let metrics_doc ~generated_by ?phases ?runtime ?cache ?trace ?(sections = [])
+    ?wall_s (stats : Ilp.Stats.t) : J.t =
   let opt name v f = match v with None -> [] | Some x -> [ (name, f x) ] in
   J.Obj
     ([ ("schema", J.Str schema); ("generated_by", J.Str generated_by) ]
@@ -128,6 +140,7 @@ let metrics_doc ~generated_by ?phases ?runtime ?cache ?(sections = []) ?wall_s
     @ opt "cache" cache cache_json
     @ opt "phases" phases phases_json
     @ opt "runtime" runtime runtime_json
+    @ opt "trace" trace trace_json
     @ sections)
 
 (* ---- output -------------------------------------------------------- *)
@@ -168,12 +181,19 @@ let arg_str args key =
 (** The [--profile] summary: per-phase wall times (with an [other] row so
     the column sums to the total), solver totals in the paper's Table I
     shape, and the slowest individual ILP solves from the trace. *)
-let profile_table ppf ?runtime ~wall_s ~(events : Trace.event list)
-    (st : Ilp.Stats.t) =
+let profile_table ppf ?runtime ?(dropped = 0) ~wall_s
+    ~(events : Trace.event list) (st : Ilp.Stats.t) =
   let phases = phases_of_events events in
   let covered = List.fold_left (fun a (_, s) -> a +. s) 0. phases in
   let pct s = if wall_s > 0. then 100. *. s /. wall_s else 0. in
-  Format.fprintf ppf "@[<v>== profile: phases (wall %.3f s) ==@," wall_s;
+  Format.fprintf ppf "@[<v>";
+  if dropped > 0 then
+    Format.fprintf ppf
+      "WARNING: trace ring overflowed, %d event(s) dropped — phase and \
+       solve numbers below undercount (rerun with a larger --trace ring \
+       capacity)@,"
+      dropped;
+  Format.fprintf ppf "== profile: phases (wall %.3f s) ==@," wall_s;
   List.iter
     (fun (name, s) ->
       Format.fprintf ppf "  %-14s %9.3f s  %5.1f%%@," name s (pct s))

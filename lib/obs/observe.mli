@@ -20,17 +20,24 @@ val cache_json : Cache.Store.counters -> Trace_json.t
 val phases_of_events : Trace.event list -> (string * float) list
 (** Per-phase wall seconds (category ["phase"] spans). *)
 
+val trace_json : Trace.collected -> Trace_json.t
+(** Recorder self-description (the document's ["trace"] section):
+    event/domain counts, [dropped_spans] lost to ring overwrite, and the
+    armed wall span. *)
+
 val metrics_doc :
   generated_by:string ->
   ?phases:(string * float) list ->
   ?runtime:Runtime.Metrics.snapshot ->
   ?cache:Cache.Store.counters ->
+  ?trace:Trace.collected ->
   ?sections:(string * Trace_json.t) list ->
   ?wall_s:float ->
   Ilp.Stats.t ->
   Trace_json.t
 (** [sections] appends caller-built top-level sections (e.g. the serve
-    daemon's ["server"] block) after the standard ones. *)
+    daemon's ["server"] block) after the standard ones.  [trace] attaches
+    the recorder self-description ({!trace_json}). *)
 
 val write_json : path:string -> Trace_json.t -> unit
 (** Pretty-printed with a trailing newline; [path = "-"] is stdout. *)
@@ -42,7 +49,10 @@ val top_solves : ?n:int -> Trace.event list -> Trace.event list
 val profile_table :
   Format.formatter ->
   ?runtime:Runtime.Metrics.snapshot ->
+  ?dropped:int ->
   wall_s:float ->
   events:Trace.event list ->
   Ilp.Stats.t ->
   unit
+(** [dropped] (from {!Trace.collected.dropped}) prepends a ring-overflow
+    warning when positive: the table's numbers undercount. *)

@@ -58,10 +58,11 @@ let recv ?watch ?(label = "recv") pool c =
         | Some w ->
             Some (w, Watchdog.register w ~label ~expire:(fun () -> expire pool c))
       in
+      let tag = Trace.current_tag () in
       Effect.perform
         (Pool.Suspend
            (fun k ->
-             let wake () = Pool.resume pool k in
+             let wake () = Pool.resume ?tag pool k in
              Mutex.lock c.m;
              match c.st with
              | Full _ ->

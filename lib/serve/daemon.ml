@@ -53,6 +53,12 @@ type config = {
   wedge_grace_s : float;
       (** slack past a request deadline before its worker is declared
           wedged and abandoned *)
+  flight_path : string option;
+      (** flight-recorder dump file; [None] = [socket_path ^
+          ".flight.jsonl"] *)
+  memo_stall_s : float;
+      (** reservation age before the monitor reports a single-flight
+          memo stall (the zombie hazard) *)
   cfg : Parcore.Config.t;  (** solver/runtime knobs shared by every job *)
 }
 
@@ -66,6 +72,8 @@ let default_config =
     executors = 2;
     restart_budget = 8;
     wedge_grace_s = 1.;
+    flight_path = None;
+    memo_stall_s = 5.;
     cfg = Parcore.Config.default;
   }
 
@@ -73,6 +81,10 @@ let default_config =
 
 type job = {
   conn_id : int;
+  rid : string;
+      (** server-assigned request id (admission order + the client's
+          correlation id when it sent one); the job's {!Trace.with_tag}
+          tag on the executor, and the [request_id] body field *)
   req : P.request;
   submitted_s : float;
   deadline_abs : float;  (** absolute {!Trace.now_s} time; [infinity] = none *)
@@ -87,9 +99,18 @@ type stats = {
   started_s : float;
   lat : Latency.t;  (** end-to-end seconds per executor-completed request *)
   solver : Ilp.Stats.t;
+  windows : (string, Obs_window.t) Hashtbl.t;
+      (** sliding latency windows keyed ["all"], per op name, and per
+          outcome class (["ok"] / ["error"]) — the [stats] op's payload *)
+  statuses : (string, int) Hashtbl.t;  (** completions per status name *)
+  w_jobs : int array;  (** per-executor-slot completed jobs *)
+  w_busy_s : float array;  (** per-executor-slot seconds inside jobs *)
   mutable completed : int;
   mutable failed : int;  (** completed with a non-0/2 code *)
-  mutable timed_out : int;  (** deadline expired while queued *)
+  mutable timed_out : int;  (** all [Timeout] responses (queue + solve) *)
+  mutable timed_out_queue : int;  (** deadline expired while still queued *)
+  mutable timed_out_solve : int;
+      (** watchdog/wedge timeouts while the solve was running *)
 }
 
 (** Solver state shared across every request of the process lifetime.
@@ -194,11 +215,14 @@ let run_job cfg engine stats ?pool (job : job) : P.response =
   let id = req.id in
   let now = Trace.now_s () in
   if now > job.deadline_abs then
+    (* [timeout_cause] lets the metrics split queue expiry from watchdog
+       timeouts during a solve — two different capacity problems *)
     P.response ~id P.Timeout
       ~message:
         (Printf.sprintf
            "deadline expired after %.3f s in the admission queue"
            (now -. job.submitted_s))
+      ~body:[ ("timeout_cause", J.Str "queue") ]
   else
     let solved =
       let* platform = resolve_platform_result req.P.platform in
@@ -276,7 +300,7 @@ let run_job cfg engine stats ?pool (job : job) : P.response =
                         ( "exec_domains",
                           num r.Runtime.Exec.metrics.Runtime.Metrics.domains );
                       ]))
-        | P.Status | P.Health | P.Drain ->
+        | P.Status | P.Health | P.Drain | P.Stats | P.Dump ->
             assert false (* answered by the event loop *))
 
 (* ---- the server ----------------------------------------------------- *)
@@ -291,7 +315,10 @@ type conn = {
 }
 
 (** Per-incarnation executor context, built on the worker domain. *)
-type exec_ctx = { worker_pool : Taskpool.Pool.t option }
+type exec_ctx = {
+  worker_pool : Taskpool.Pool.t option;
+  worker_idx : int;  (** supervisor slot, for per-worker utilization *)
+}
 
 type t = {
   config : config;
@@ -299,8 +326,10 @@ type t = {
   stats : stats;
   engine : engine;
   conns : (int, conn) Hashtbl.t;
+  flight : Obs_flight.t;  (** always-on lifecycle ring (even disarmed) *)
   outbox : (int * P.response) Queue.t;  (** executors -> event loop *)
   omu : Mutex.t;
+  mutable rid_seq : int;  (** admission counter for request ids (event loop) *)
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
   mutable listeners : Unix.file_descr list;
@@ -318,15 +347,52 @@ let wake t =
   try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
   with Unix.Unix_error _ -> ()
 
+let flight_file t =
+  match t.config.flight_path with
+  | Some p -> p
+  | None -> t.config.socket_path ^ ".flight.jsonl"
+
+(** Dump the flight ring (rare: crash/wedge/restart/exhaustion or an
+    explicit [dump] op).  Each dump rewrites the whole file, so after a
+    crash-then-restart sequence the file holds both events. *)
+let dump_flight t ~reason =
+  let path = flight_file t in
+  match Obs_flight.dump t.flight ~path with
+  | Ok n ->
+      Fmt.epr "serve: flight recorder dumped %d event(s) to %s (%s)@." n path
+        reason;
+      Ok n
+  | Error m ->
+      Fmt.epr "serve: flight recorder dump to %s failed: %s@." path m;
+      Error m
+
+(** Aggregate hit/miss/stall totals over the per-platform-view memos. *)
+let memo_totals t =
+  Mutex.lock t.engine.emu;
+  let totals =
+    Hashtbl.fold
+      (fun _ m (h, d, mi, st) ->
+        ( h + Ilp.Memo.hits m,
+          d + Ilp.Memo.disk_hits m,
+          mi + Ilp.Memo.misses m,
+          st + Ilp.Memo.stall_count m ))
+      t.engine.memos (0, 0, 0, 0)
+  in
+  Mutex.unlock t.engine.emu;
+  totals
+
 let server_json t : J.t =
   let q = Admission.counters t.queue in
   Mutex.lock t.stats.smu;
   let completed = t.stats.completed
   and failed = t.stats.failed
   and timed_out = t.stats.timed_out
+  and timed_out_queue = t.stats.timed_out_queue
+  and timed_out_solve = t.stats.timed_out_solve
   and lat_summary = Latency.summarize t.stats.lat
   and lat_hist = Latency.histogram_json t.stats.lat in
   Mutex.unlock t.stats.smu;
+  let _, _, _, memo_stalls = memo_totals t in
   J.Obj
     ([
        ("uptime_s", J.Num (Trace.now_s () -. t.stats.started_s));
@@ -340,6 +406,9 @@ let server_json t : J.t =
        ("completed", num completed);
        ("failed", num failed);
        ("timed_out", num timed_out);
+       ("timed_out_queue", num timed_out_queue);
+       ("timed_out_solve", num timed_out_solve);
+       ("memo_stalls", num memo_stalls);
        ("latency", Latency.summary_json lat_summary);
        ("latency_histogram_ms", lat_hist);
      ]
@@ -354,6 +423,138 @@ let server_json t : J.t =
           ("executor_crashes", num (Supervisor.crashes sup));
           ("executor_wedges", num (Supervisor.wedges sup));
         ])
+
+(* ---- the stats op (schema mpsoc-par/stats/v1) ----------------------- *)
+
+let stats_schema = "mpsoc-par/stats/v1"
+
+(** Per-worker supervisor rows joined with the utilization tallies. *)
+let workers_json t sup uptime_s : J.t =
+  Mutex.lock t.stats.smu;
+  let jobs = Array.copy t.stats.w_jobs
+  and busy = Array.copy t.stats.w_busy_s in
+  Mutex.unlock t.stats.smu;
+  match Supervisor.status_json sup with
+  | J.List rows ->
+      J.List
+        (List.map
+           (function
+             | J.Obj fields as row -> (
+                 match List.assoc_opt "worker" fields with
+                 | Some (J.Num n)
+                   when int_of_float n >= 0
+                        && int_of_float n < Array.length jobs ->
+                     let i = int_of_float n in
+                     let u =
+                       if uptime_s > 0. then busy.(i) /. uptime_s else 0.
+                     in
+                     J.Obj
+                       (fields
+                       @ [
+                           ("jobs", num jobs.(i));
+                           ("busy_s", J.Num busy.(i));
+                           ("utilization", J.Num u);
+                         ])
+                 | _ -> row)
+             | row -> row)
+           rows)
+  | other -> other
+
+(** The live-telemetry snapshot, answered inline by the event loop so it
+    is available even while every executor is mid-solve. *)
+let stats_body t : (string * J.t) list =
+  let now = Trace.now_s () in
+  let uptime_s = now -. t.stats.started_s in
+  let q = Admission.counters t.queue in
+  Mutex.lock t.stats.smu;
+  let completed = t.stats.completed
+  and failed = t.stats.failed
+  and timed_out = t.stats.timed_out
+  and timed_out_queue = t.stats.timed_out_queue
+  and timed_out_solve = t.stats.timed_out_solve
+  and statuses =
+    Hashtbl.fold (fun k v acc -> (k, num v) :: acc) t.stats.statuses []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  and window_keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) t.stats.windows []
+    |> List.sort compare
+  in
+  Mutex.unlock t.stats.smu;
+  let window key =
+    Mutex.lock t.stats.smu;
+    let w = Hashtbl.find_opt t.stats.windows key in
+    Mutex.unlock t.stats.smu;
+    match w with
+    | Some w -> Obs_window.windows_json w ~now
+    | None -> J.Null
+  in
+  let mh, md, mm, mst = memo_totals t in
+  let hit_rate =
+    let tot = float_of_int (mh + md + mm) in
+    if tot = 0. then 0. else float_of_int (mh + md) /. tot
+  in
+  [
+    ("stats_schema", J.Str stats_schema);
+    ("uptime_s", J.Num uptime_s);
+    ("state", J.Str (if t.draining then "draining" else "accepting"));
+    ( "queue",
+      J.Obj
+        [
+          ("depth", num (Admission.depth t.queue));
+          ("max", num t.config.queue_max);
+        ] );
+    ( "counters",
+      J.Obj
+        [
+          ("accepted", num q.Admission.accepted);
+          ("rejected_overloaded", num q.Admission.rej_overloaded);
+          ("rejected_draining", num q.Admission.rej_draining);
+          ("completed", num completed);
+          ("failed", num failed);
+          ("timed_out", num timed_out);
+          ("timed_out_queue", num timed_out_queue);
+          ("timed_out_solve", num timed_out_solve);
+        ] );
+    ("statuses", J.Obj statuses);
+    ( "latency",
+      J.Obj
+        (("all", window "all")
+        :: List.filter_map
+             (fun k -> if k = "all" then None else Some (k, window k))
+             window_keys) );
+    ( "memo",
+      J.Obj
+        [
+          ("hits", num mh);
+          ("disk_hits", num md);
+          ("misses", num mm);
+          ("hit_rate", J.Num hit_rate);
+          ("stalls", num mst);
+        ] );
+  ]
+  @ (match t.engine.store with
+    | Some s -> [ ("cache", Observe.cache_json (Cache.Store.counters s)) ]
+    | None -> [])
+  @ (match t.sup with
+    | None -> []
+    | Some sup ->
+        [
+          ("workers", workers_json t sup uptime_s);
+          ("executor_restarts", num (Supervisor.restarts sup));
+          ("executor_crashes", num (Supervisor.crashes sup));
+          ("executor_wedges", num (Supervisor.wedges sup));
+        ])
+  @ [
+      ( "flight",
+        J.Obj
+          [
+            ("size", num (Obs_flight.size t.flight));
+            ("recorded", num (Obs_flight.recorded t.flight));
+            ("capacity", num (Obs_flight.capacity t.flight));
+            ("path", J.Str (flight_file t));
+          ] );
+      ("trace", J.Obj [ ("armed", J.Bool (Trace.enabled ())) ]);
+    ]
 
 let send_response (c : conn) (r : P.response) =
   Queue.push (P.frame (J.to_string (P.response_json r))) c.outq
@@ -384,6 +585,7 @@ let begin_drain t ~reason =
     t.drain_started_s <- Trace.now_s ();
     Admission.drain t.queue;
     Trace.instant ~cat:"server" "drain" ~args:[ ("reason", Trace.Str reason) ];
+    Obs_flight.record t.flight "drain" ~fields:[ ("reason", J.Str reason) ];
     Fmt.epr "serve: draining (%s): %d queued job(s), %d connection(s)@."
       reason
       (Admission.depth t.queue)
@@ -442,6 +644,19 @@ let handle_request t (c : conn) payload =
           send_response c
             (P.response ~id:req.P.id P.Ok_
                ~body:[ ("state", J.Str "draining") ])
+      | P.Stats ->
+          send_response c (P.response ~id:req.P.id P.Ok_ ~body:(stats_body t))
+      | P.Dump -> (
+          match dump_flight t ~reason:"dump request" with
+          | Ok n ->
+              send_response c
+                (P.response ~id:req.P.id P.Ok_
+                   ~body:
+                     [
+                       ("path", J.Str (flight_file t)); ("events", num n);
+                     ])
+          | Error m ->
+              send_response c (P.response ~id:req.P.id P.Internal ~message:m))
       | P.Parallelize | P.Execute -> (
           match
             if req.P.fault_plan = "" then Ok None
@@ -457,9 +672,18 @@ let handle_request t (c : conn) payload =
             if req.P.deadline_s > 0. then req.P.deadline_s
             else t.config.default_deadline_s
           in
+          (* server-assigned request id: admission order, qualified by
+             the client's correlation id when it sent one.  Assigned on
+             the event loop, so it is a total order over admissions. *)
+          t.rid_seq <- t.rid_seq + 1;
+          let rid =
+            if req.P.id = "" then Printf.sprintf "r%d" t.rid_seq
+            else Printf.sprintf "%s#r%d" req.P.id t.rid_seq
+          in
           let job =
             {
               conn_id = c.cid;
+              rid;
               req;
               submitted_s = now;
               deadline_abs =
@@ -472,11 +696,23 @@ let handle_request t (c : conn) payload =
               Trace.instant ~cat:"server" "accept"
                 ~args:
                   [
+                    ("req", Trace.Str rid);
                     ("target", Trace.Str req.P.target);
                     ("queue_depth", Trace.Int (Admission.depth t.queue));
+                  ];
+              Obs_flight.record t.flight "admit"
+                ~fields:
+                  [
+                    ("rid", J.Str rid);
+                    ("op", J.Str (P.op_name req.P.op));
+                    ("target", J.Str req.P.target);
+                    ("conn", num c.cid);
+                    ("queue_depth", num (Admission.depth t.queue));
                   ]
           | Admission.Overloaded ->
               Trace.instant ~cat:"server" "reject.overloaded";
+              Obs_flight.record t.flight "reject.overloaded"
+                ~fields:[ ("rid", J.Str rid); ("conn", num c.cid) ];
               send_response c
                 (P.response ~id:req.P.id P.Overloaded
                    ~message:
@@ -485,6 +721,8 @@ let handle_request t (c : conn) payload =
                         t.config.queue_max))
           | Admission.Draining ->
               Trace.instant ~cat:"server" "reject.draining";
+              Obs_flight.record t.flight "reject.draining"
+                ~fields:[ ("rid", J.Str rid); ("conn", num c.cid) ];
               send_response c
                 (P.response ~id:req.P.id P.Draining
                    ~message:"server is draining; no new jobs accepted"))))
@@ -512,16 +750,50 @@ let handle_readable t (c : conn) =
 
 (* ---- the supervised executor pool ----------------------------------- *)
 
+(** Which phase a [Timeout] response timed out in: ["queue"] (deadline
+    expired before any worker picked the job up) or ["solve"] (watchdog
+    or wedge while running) — two different capacity problems. *)
+let timeout_cause (resp : P.response) =
+  match List.assoc_opt "timeout_cause" resp.P.body with
+  | Some (J.Str s) -> s
+  | _ -> "solve"
+
+(* call with [smu] held *)
+let win t key =
+  match Hashtbl.find_opt t.stats.windows key with
+  | Some w -> w
+  | None ->
+      let w = Obs_window.create () in
+      Hashtbl.replace t.stats.windows key w;
+      w
+
 let record_result t (job : job) (resp : P.response) =
-  let dt = Trace.now_s () -. job.submitted_s in
+  let now = Trace.now_s () in
+  let dt = now -. job.submitted_s in
+  let code = P.status_code resp.P.status in
+  let sname = P.status_name resp.P.status in
   Mutex.lock t.stats.smu;
   t.stats.completed <- t.stats.completed + 1;
-  (match P.status_code resp.P.status with
-  | 0 | 2 -> ()
-  | _ -> t.stats.failed <- t.stats.failed + 1);
-  if resp.P.status = P.Timeout then t.stats.timed_out <- t.stats.timed_out + 1;
+  (match code with 0 | 2 -> () | _ -> t.stats.failed <- t.stats.failed + 1);
+  if resp.P.status = P.Timeout then begin
+    t.stats.timed_out <- t.stats.timed_out + 1;
+    match timeout_cause resp with
+    | "queue" -> t.stats.timed_out_queue <- t.stats.timed_out_queue + 1
+    | _ -> t.stats.timed_out_solve <- t.stats.timed_out_solve + 1
+  end;
   Latency.record t.stats.lat dt;
-  Mutex.unlock t.stats.smu
+  let outcome = if code = 0 || code = 2 then "ok" else "error" in
+  List.iter
+    (fun key -> Obs_window.record (win t key) ~now dt)
+    [ "all"; P.op_name job.req.P.op; outcome ];
+  Hashtbl.replace t.stats.statuses sname
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.stats.statuses sname));
+  Mutex.unlock t.stats.smu;
+  Obs_flight.record t.flight "complete"
+    ~fields:
+      [
+        ("rid", J.Str job.rid); ("status", J.Str sname); ("dt_s", J.Num dt);
+      ]
 
 let describe_job (job : job) =
   Printf.sprintf "req.%s.%s" (P.op_name job.req.P.op) job.req.P.target
@@ -532,6 +804,9 @@ let describe_job (job : job) =
     the worker (exercising supervisor crash-restart) while any flow bug
     is still converted to a typed [internal] response. *)
 let exec_job t (ctx : exec_ctx) (job : job) : P.response =
+  let t_start = Trace.now_s () in
+  Obs_flight.record t.flight "start"
+    ~fields:[ ("rid", J.Str job.rid); ("worker", num ctx.worker_idx) ];
   let guarded () =
     Trace.span_k ~cat:"server"
       (fun () -> describe_job job)
@@ -543,14 +818,52 @@ let exec_job t (ctx : exec_ctx) (job : job) : P.response =
             P.response ~id:job.req.P.id P.Internal
               ~message:("uncaught exception: " ^ Printexc.to_string e))
   in
-  match job.fault_plan with
-  | None ->
-      Fault.point "serve.exec";
-      guarded ()
-  | Some plan ->
-      Fault.with_plan_local plan (fun () ->
-          Fault.point "serve.exec";
-          guarded ())
+  (* the request id tags every span/instant the solve emits on this
+     domain (and, via the taskpool, on pool workers it fans out to); an
+     injected crash escapes through [with_tag], which restores the tag *)
+  let resp =
+    Trace.with_tag job.rid (fun () ->
+        match job.fault_plan with
+        | None ->
+            Fault.point "serve.exec";
+            guarded ()
+        | Some plan ->
+            Fault.with_plan_local plan (fun () ->
+                Fault.point "serve.exec";
+                guarded ()))
+  in
+  let t_done = Trace.now_s () in
+  Mutex.lock t.stats.smu;
+  if ctx.worker_idx >= 0 && ctx.worker_idx < Array.length t.stats.w_jobs
+  then begin
+    t.stats.w_jobs.(ctx.worker_idx) <- t.stats.w_jobs.(ctx.worker_idx) + 1;
+    t.stats.w_busy_s.(ctx.worker_idx) <-
+      t.stats.w_busy_s.(ctx.worker_idx) +. (t_done -. t_start)
+  end;
+  Mutex.unlock t.stats.smu;
+  (* measured on the response body before the timing fields are appended
+     — a lower bound, but the event loop's actual write is the same
+     serialization plus framing *)
+  let serialize_s =
+    let s0 = Trace.now_s () in
+    ignore (J.to_string (P.response_json resp));
+    Trace.now_s () -. s0
+  in
+  {
+    resp with
+    P.body =
+      resp.P.body
+      @ [
+          ("request_id", J.Str job.rid);
+          ( "server_timing",
+            J.Obj
+              [
+                ("queue_wait_s", J.Num (t_start -. job.submitted_s));
+                ("solve_s", J.Num (t_done -. t_start));
+                ("serialize_s", J.Num serialize_s);
+              ] );
+        ];
+  }
 
 (** Per-worker taskpool size: the configured [jobs] knob applies to each
     worker's private pool (workers never share one). *)
@@ -562,12 +875,13 @@ let supervisor_hooks t : (exec_ctx, job, P.response) Supervisor.hooks =
   {
     Supervisor.take = (fun () -> Admission.take t.queue);
     worker_init =
-      (fun _idx ->
+      (fun idx ->
         let jobs_n = worker_jobs t.config.cfg in
         {
           worker_pool =
             (if jobs_n > 1 then Some (Taskpool.Pool.create ~domains:jobs_n ())
              else None);
+          worker_idx = idx;
         });
     worker_exit = (fun ctx -> Option.iter Taskpool.Pool.shutdown ctx.worker_pool);
     run = (fun ctx job -> exec_job t ctx job);
@@ -584,19 +898,36 @@ let supervisor_hooks t : (exec_ctx, job, P.response) Supervisor.hooks =
         P.response ~id:job.req.P.id P.Internal
           ~message:
             ("executor worker crashed on this request: "
-            ^ Printexc.to_string e));
+            ^ Printexc.to_string e)
+          ~body:[ ("request_id", J.Str job.rid) ]);
     wedged =
       (fun job ->
         P.response ~id:job.req.P.id P.Timeout
           ~message:
             "executor worker wedged past the request deadline and was \
-             abandoned");
+             abandoned"
+          ~body:
+            [
+              ("timeout_cause", J.Str "solve");
+              ("request_id", J.Str job.rid);
+            ]);
     on_exhausted =
       (fun () ->
         t.exit_code <- 1;
         begin_drain t ~reason:"executor restart budget exhausted");
     describe = describe_job;
     wake = (fun () -> wake t);
+    note =
+      (fun ~event ~worker ->
+        Obs_flight.record t.flight event ~fields:[ ("worker", num worker) ];
+        (* a crash/wedge/restart is exactly when the ring's history is
+           worth keeping; each dump rewrites the file, so the final one
+           (after the restart) holds the whole sequence *)
+        match event with
+        | "executor.crash" | "executor.wedge" | "executor.restart"
+        | "executor.exhausted" ->
+            ignore (dump_flight t ~reason:event)
+        | _ -> ());
   }
 
 (* ---- listeners ------------------------------------------------------ *)
@@ -673,14 +1004,22 @@ let run (config : config) : int =
           started_s = Trace.now_s ();
           lat = Latency.create ();
           solver = Ilp.Stats.create ();
+          windows = Hashtbl.create 8;
+          statuses = Hashtbl.create 8;
+          w_jobs = Array.make (max 1 config.executors) 0;
+          w_busy_s = Array.make (max 1 config.executors) 0.;
           completed = 0;
           failed = 0;
           timed_out = 0;
+          timed_out_queue = 0;
+          timed_out_solve = 0;
         };
       engine = { store; memos = Hashtbl.create 4; emu = Mutex.create () };
       conns = Hashtbl.create 16;
+      flight = Obs_flight.create ();
       outbox = Queue.create ();
       omu = Mutex.create ();
+      rid_seq = 0;
       wake_r;
       wake_w;
       listeners = [];
@@ -796,6 +1135,30 @@ let run (config : config) : int =
        if Atomic.get t.want_drain then begin_drain t ~reason:"signal";
        (* monitor pass: wedge/crash detection and backoff-gated restarts *)
        Supervisor.check sup ~now:(Trace.now_s ());
+       (* zombie-reservation watch: a wedged worker holds its
+          single-flight memo reservation forever while peers block on
+          it — surface each stalled reservation once, naming the owner *)
+       let memos =
+         Mutex.protect t.engine.emu (fun () ->
+             Hashtbl.fold (fun _ m acc -> m :: acc) t.engine.memos [])
+       in
+       List.iter
+         (fun m ->
+           List.iter
+             (fun (s : Ilp.Memo.stall) ->
+               Fmt.epr
+                 "serve: memo reservation stalled %.1f s: key %s held by %s@."
+                 s.Ilp.Memo.age_s s.Ilp.Memo.key s.Ilp.Memo.s_owner;
+               Obs_flight.record t.flight "memo.stall"
+                 ~fields:
+                   [
+                     ("key", J.Str s.Ilp.Memo.key);
+                     ("owner", J.Str s.Ilp.Memo.s_owner);
+                     ("age_s", J.Num s.Ilp.Memo.age_s);
+                   ])
+             (Ilp.Memo.stalled ~threshold_s:config.memo_stall_s m
+                ~now:(Trace.now_s ())))
+         memos;
        flush_orphans ();
        (* force-stop a drain that overstays the grace period *)
        if
@@ -903,12 +1266,13 @@ let run (config : config) : int =
               (Observe.metrics_doc ~generated_by:"mpsoc-par serve"
                  ~phases:(Observe.phases_of_events c.Trace.events)
                  ?cache:(Option.map Cache.Store.counters t.engine.store)
+                 ~trace:c
                  ~sections:[ ("server", server_json t) ]
                  ~wall_s t.stats.solver))
           cfg.Parcore.Config.metrics_file;
         if cfg.Parcore.Config.profile then
           Fmt.epr "%t@." (fun ppf ->
-              Observe.profile_table ppf ~wall_s ~events:c.Trace.events
-                t.stats.solver)
+              Observe.profile_table ppf ~wall_s ~dropped:c.Trace.dropped
+                ~events:c.Trace.events t.stats.solver)
   end;
   t.exit_code

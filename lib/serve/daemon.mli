@@ -26,6 +26,14 @@ type config = {
   wedge_grace_s : float;
       (** slack past a request deadline before its worker is declared
           wedged and abandoned *)
+  flight_path : string option;
+      (** flight-recorder dump file (written on worker crash/wedge/
+          restart, budget exhaustion, or a [dump] request); [None] =
+          [socket_path ^ ".flight.jsonl"] *)
+  memo_stall_s : float;
+      (** reservation age before the monitor reports a stalled
+          single-flight memo reservation (the zombie hazard); default
+          5 s *)
   cfg : Parcore.Config.t;  (** solver/runtime knobs shared by every job *)
 }
 

@@ -2,8 +2,12 @@
 
     Replays a target list against a running server at a configured
     offered rate and concurrency, then writes a latency-percentile
-    report (schema [mpsoc-par/loadgen/v2]) suitable for the benchmark
-    directory, next to [BENCH_parallelize.json].
+    report (schema [mpsoc-par/loadgen/v3]) suitable for the benchmark
+    directory, next to [BENCH_parallelize.json].  v3 folds the server's
+    per-response [server_timing] breakdown (queue-wait / solve /
+    serialize seconds) into the report, so client-observed latency can
+    be split into server queueing, server compute, and everything else
+    (transport + client scheduling).
 
     Pacing is open-loop on a single global schedule: request [i] is
     due at [t0 + i/qps] regardless of which worker sends it, so the
@@ -85,6 +89,10 @@ type wres = {
   retries : int;  (** extra attempts across all requests *)
   retry_wait_s : float;  (** total backoff sleep *)
   faulted : int;  (** requests sent with a fault plan *)
+  timed : int;  (** responses that carried a [server_timing] breakdown *)
+  srv_queue_s : float;  (** summed server-side queue-wait seconds *)
+  srv_solve_s : float;  (** summed server-side solve seconds *)
+  srv_serialize_s : float;  (** summed server-side serialize seconds *)
 }
 
 let bump statuses name =
@@ -216,6 +224,25 @@ let worker (cfg : config) ~widx ~t0 ~(next : int Atomic.t) () : wres =
                 (target, d) :: acc.digests
             | _ -> acc.digests
           in
+          (* fold the server's own timing breakdown when it sent one
+             (worker-run responses do; inline/crash answers do not) *)
+          let acc =
+            match List.assoc_opt "server_timing" r.P.body with
+            | Some (J.Obj tf) ->
+                let f name =
+                  match List.assoc_opt name tf with
+                  | Some (J.Num v) -> v
+                  | _ -> 0.
+                in
+                {
+                  acc with
+                  timed = acc.timed + 1;
+                  srv_queue_s = acc.srv_queue_s +. f "queue_wait_s";
+                  srv_solve_s = acc.srv_solve_s +. f "solve_s";
+                  srv_serialize_s = acc.srv_serialize_s +. f "serialize_s";
+                }
+            | _ -> acc
+          in
           loop
             {
               acc with
@@ -236,6 +263,10 @@ let worker (cfg : config) ~widx ~t0 ~(next : int Atomic.t) () : wres =
       retries = 0;
       retry_wait_s = 0.;
       faulted = 0;
+      timed = 0;
+      srv_queue_s = 0.;
+      srv_solve_s = 0.;
+      srv_serialize_s = 0.;
     }
   in
   let r =
@@ -329,12 +360,15 @@ let run_result (cfg : config) : result =
     |> List.sort compare
   in
   let sum f = List.fold_left (fun a (r : wres) -> a + f r) 0 results in
+  let sumf f = List.fold_left (fun a (r : wres) -> a +. f r) 0. results in
   let transport_errors = sum (fun (r : wres) -> r.transport_errors) in
   let retries = sum (fun (r : wres) -> r.retries) in
   let faulted = sum (fun (r : wres) -> r.faulted) in
-  let retry_wait_s =
-    List.fold_left (fun a (r : wres) -> a +. r.retry_wait_s) 0. results
-  in
+  let retry_wait_s = sumf (fun (r : wres) -> r.retry_wait_s) in
+  let timed = sum (fun (r : wres) -> r.timed) in
+  let srv_queue_s = sumf (fun (r : wres) -> r.srv_queue_s) in
+  let srv_solve_s = sumf (fun (r : wres) -> r.srv_solve_s) in
+  let srv_serialize_s = sumf (fun (r : wres) -> r.srv_serialize_s) in
   let count name =
     match List.assoc_opt name statuses with Some n -> n | None -> 0
   in
@@ -349,7 +383,7 @@ let run_result (cfg : config) : result =
   let report =
     J.Obj
       [
-        ("schema", J.Str "mpsoc-par/loadgen/v2");
+        ("schema", J.Str "mpsoc-par/loadgen/v3");
         ("socket", J.Str cfg.socket_path);
         ("op", J.Str (P.op_name cfg.op));
         ("platform", J.Str cfg.platform);
@@ -380,6 +414,21 @@ let run_result (cfg : config) : result =
           J.List (List.map (fun s -> J.Str s) cfg.fault_specs) );
         ("latency", Latency.summary_json summary);
         ("latency_histogram_ms", Latency.histogram_json lat);
+        (* server-side breakdown of the client-observed latency; the
+           residual (client latency − queue − solve − serialize) is
+           transport plus client-side scheduling *)
+        ( "server_timing",
+          let mean s = if timed > 0 then s /. float_of_int timed else 0. in
+          J.Obj
+            [
+              ("responses_with_timing", fnum timed);
+              ("queue_wait_s_total", J.Num srv_queue_s);
+              ("solve_s_total", J.Num srv_solve_s);
+              ("serialize_s_total", J.Num srv_serialize_s);
+              ("queue_wait_s_mean", J.Num (mean srv_queue_s));
+              ("solve_s_mean", J.Num (mean srv_solve_s));
+              ("serialize_s_mean", J.Num (mean srv_serialize_s));
+            ] );
         ( "digests",
           J.Obj
             (List.map

@@ -2,8 +2,10 @@
     over [concurrency] connections, capped-exponential full-jitter
     retries on [overloaded]/transport failures, an optional per-request
     fault-plan mix for chaos runs, a latency-percentile report (schema
-    [mpsoc-par/loadgen/v2]), and a per-target solution-digest
-    consistency check over non-faulted responses. *)
+    [mpsoc-par/loadgen/v3], folding the server's per-response
+    [server_timing] queue-wait/solve/serialize breakdown), and a
+    per-target solution-digest consistency check over non-faulted
+    responses. *)
 
 type config = {
   socket_path : string;
@@ -48,7 +50,7 @@ type result = {
   digests : (string * string list) list;
       (** per-target distinct digests (non-faulted responses only) *)
   digests_consistent : bool;
-  report : Trace_json.t;  (** the full [mpsoc-par/loadgen/v2] document *)
+  report : Trace_json.t;  (** the full [mpsoc-par/loadgen/v3] document *)
 }
 
 val run_result : config -> result

@@ -1,0 +1,163 @@
+(** Live-telemetry client for the serve daemon ([mpsoc-par observe]).
+
+    Polls the [stats] op (schema [mpsoc-par/stats/v1]) over the daemon's
+    socket and renders a top-style text snapshot — counters, sliding
+    latency windows (1m/5m/total), memo and cache hit rates, per-worker
+    utilization, flight-recorder occupancy — or, with [json] set, the
+    raw stats body, one JSON object per poll (so a shell pipeline can
+    [jq] it).  The [stats] op is answered inline by the event loop, so
+    the snapshot arrives even while every executor is mid-solve. *)
+
+module P = Protocol
+module J = Trace_json
+
+type config = {
+  socket_path : string;
+  interval_s : float;  (** sleep between polls *)
+  count : int;  (** polls before exiting; [0] = forever *)
+  json : bool;  (** raw stats body instead of the table *)
+}
+
+let default_config =
+  { socket_path = "mpsoc-par.sock"; interval_s = 2.; count = 1; json = false }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (code, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     Mpsoc_error.raise_error ~phase:Cli ~kind:Invalid_input ~location:path
+       ~advice:"is `mpsoc-par serve` running on this socket?"
+       ("cannot connect: " ^ Unix.error_message code));
+  fd
+
+(* tolerant accessors: a field the server does not send renders as 0 /
+   "" instead of failing the whole snapshot *)
+let fnum j name = match J.member name j with Some (J.Num v) -> v | _ -> 0.
+let fint j name = int_of_float (fnum j name)
+
+let fstr j name =
+  match J.member name j with Some (J.Str s) -> s | _ -> ""
+
+let pp_summary ppf (label, s) =
+  Format.fprintf ppf "  %-18s %7d %8.1f %8.1f %8.1f %8.1f %8.1f@," label
+    (fint s "count") (fnum s "mean_ms") (fnum s "p50_ms") (fnum s "p90_ms")
+    (fnum s "p99_ms") (fnum s "max_ms")
+
+let render ppf (body : J.t) =
+  let counters =
+    Option.value (J.member "counters" body) ~default:(J.Obj [])
+  in
+  let queue = Option.value (J.member "queue" body) ~default:(J.Obj []) in
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "state %s, up %.1f s@," (fstr body "state")
+    (fnum body "uptime_s");
+  Format.fprintf ppf
+    "queue %d/%d   accepted %d   completed %d (%d failed, %d timed out: %d \
+     queue / %d solve)   rejected %d overloaded + %d draining@,"
+    (fint queue "depth") (fint queue "max") (fint counters "accepted")
+    (fint counters "completed") (fint counters "failed")
+    (fint counters "timed_out") (fint counters "timed_out_queue")
+    (fint counters "timed_out_solve")
+    (fint counters "rejected_overloaded")
+    (fint counters "rejected_draining");
+  (match J.member "statuses" body with
+  | Some (J.Obj fields) when fields <> [] ->
+      Format.fprintf ppf "statuses: %s@,"
+        (String.concat ", "
+           (List.map
+              (fun (name, v) ->
+                Printf.sprintf "%s %d" name
+                  (match v with J.Num n -> int_of_float n | _ -> 0))
+              fields))
+  | _ -> ());
+  (match J.member "latency" body with
+  | Some (J.Obj keys) ->
+      Format.fprintf ppf "latency (ms)         %7s %8s %8s %8s %8s %8s@,"
+        "count" "mean" "p50" "p90" "p99" "max";
+      List.iter
+        (fun (key, windows) ->
+          match windows with
+          | J.Obj ws ->
+              List.iter
+                (fun (wname, s) -> pp_summary ppf (key ^ " " ^ wname, s))
+                ws
+          | _ -> ())
+        keys
+  | _ -> ());
+  (match J.member "memo" body with
+  | Some m ->
+      Format.fprintf ppf
+        "memo: %d hits + %d disk / %d misses (%.1f%% hit rate), %d stall(s)@,"
+        (fint m "hits") (fint m "disk_hits") (fint m "misses")
+        (100. *. fnum m "hit_rate")
+        (fint m "stalls")
+  | None -> ());
+  (match J.member "workers" body with
+  | Some (J.List rows) ->
+      Format.fprintf ppf "workers:              %7s %8s %8s %8s %8s@," "state"
+        "jobs" "busy_s" "util" "restarts";
+      List.iter
+        (fun row ->
+          Format.fprintf ppf "  worker %-12d %7s %8d %8.2f %7.1f%% %8d@,"
+            (fint row "worker") (fstr row "state") (fint row "jobs")
+            (fnum row "busy_s")
+            (100. *. fnum row "utilization")
+            (fint row "restarts"))
+        rows;
+      Format.fprintf ppf
+        "executor restarts %d, crashes %d, wedges %d@,"
+        (fint body "executor_restarts")
+        (fint body "executor_crashes")
+        (fint body "executor_wedges")
+  | _ -> ());
+  (match J.member "flight" body with
+  | Some f ->
+      Format.fprintf ppf "flight: %d/%d event(s) (%d recorded) -> %s@,"
+        (fint f "size") (fint f "capacity") (fint f "recorded") (fstr f "path")
+  | None -> ());
+  (match J.member "trace" body with
+  | Some tr ->
+      Format.fprintf ppf "trace armed: %b@,"
+        (match J.member "armed" tr with Some (J.Bool b) -> b | _ -> false)
+  | None -> ());
+  Format.fprintf ppf "@]"
+
+(** One stats round trip on a fresh connection (the daemon is select
+    driven; short-lived connections are cheap and keep this client
+    stateless across daemon restarts). *)
+let fetch (cfg : config) : (J.t, string) result =
+  let fd = connect cfg.socket_path in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match
+        P.write_request fd (P.request ~id:"observe" P.Stats);
+        P.read_response fd
+      with
+      | `Response r when r.P.status = P.Ok_ -> Ok (J.Obj r.P.body)
+      | `Response r ->
+          Error
+            (Printf.sprintf "stats request answered %s: %s"
+               (P.status_name r.P.status) r.P.message)
+      | `Eof -> Error "connection closed before the stats response"
+      | `Error m -> Error m
+      | exception Unix.Unix_error (code, _, _) ->
+          Error (Unix.error_message code))
+
+let run (cfg : config) : int =
+  let rec go i =
+    match fetch cfg with
+    | Error m ->
+        Fmt.epr "observe: %s@." m;
+        1
+    | Ok body ->
+        if cfg.json then Fmt.pr "%s@." (J.to_string body)
+        else Fmt.pr "%t@." (fun ppf -> render ppf body);
+        if cfg.count > 0 && i + 1 >= cfg.count then 0
+        else begin
+          Unix.sleepf cfg.interval_s;
+          go (i + 1)
+        end
+  in
+  go 0

@@ -1,0 +1,19 @@
+(** Live-telemetry client for the serve daemon: polls the [stats] op
+    (schema [mpsoc-par/stats/v1]) and renders a top-style text snapshot
+    or raw JSON, one document per poll. *)
+
+type config = {
+  socket_path : string;
+  interval_s : float;  (** sleep between polls *)
+  count : int;  (** polls before exiting; [0] = forever *)
+  json : bool;  (** raw stats body (one JSON object per poll) *)
+}
+
+val default_config : config
+(** One poll, 2 s interval, table output. *)
+
+val run : config -> int
+(** Poll and print.  Returns [0] after [count] successful polls, [1] as
+    soon as a poll fails (daemon gone, non-[ok] answer).  Raises
+    {!Mpsoc_error.Error} ([Invalid_input]) when the socket does not
+    accept connections at all. *)

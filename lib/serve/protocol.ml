@@ -1,4 +1,4 @@
-(** Wire protocol of the serve daemon (schema [mpsoc-par/serve/v2]).
+(** Wire protocol of the serve daemon (schema [mpsoc-par/serve/v3]).
 
     Transport: length-prefixed frames — a 4-byte big-endian payload
     length followed by that many bytes of JSON.  Length prefixes make
@@ -16,8 +16,12 @@ module J = Trace_json
 
 (* v2 over v1: a [health] op (liveness/readiness with per-worker
    executor status and restart counters) and a per-request [fault_plan]
-   field armed on the executor worker that runs the job (chaos tests). *)
-let schema = "mpsoc-par/serve/v2"
+   field armed on the executor worker that runs the job (chaos tests).
+   v3 over v2: a [stats] op (live sliding-window telemetry, schema
+   mpsoc-par/stats/v1, answered inline by the event loop) and a [dump]
+   op (flight-recorder JSONL dump on demand); worker-run responses also
+   gain [request_id] and [server_timing] body fields. *)
+let schema = "mpsoc-par/serve/v3"
 
 (** Hard cap on a frame's JSON payload.  Large enough for any source
     file the flow accepts, small enough that a garbage length prefix
@@ -27,7 +31,7 @@ let max_frame = 4 * 1024 * 1024
 
 (* ---- requests ------------------------------------------------------ *)
 
-type op = Parallelize | Execute | Status | Health | Drain
+type op = Parallelize | Execute | Status | Health | Drain | Stats | Dump
 
 let op_name = function
   | Parallelize -> "parallelize"
@@ -35,6 +39,8 @@ let op_name = function
   | Status -> "status"
   | Health -> "health"
   | Drain -> "drain"
+  | Stats -> "stats"
+  | Dump -> "dump"
 
 let op_of_name = function
   | "parallelize" -> Some Parallelize
@@ -42,6 +48,8 @@ let op_of_name = function
   | "status" -> Some Status
   | "health" -> Some Health
   | "drain" -> Some Drain
+  | "stats" -> Some Stats
+  | "dump" -> Some Dump
   | _ -> None
 
 type request = {
@@ -98,7 +106,7 @@ let request_of_json (j : J.t) : (request, string) result =
               Error
                 (Printf.sprintf
                    "unknown op %S (ops: parallelize, execute, status, health, \
-                    drain)"
+                    drain, stats, dump)"
                    (str_field j "op"))
           | Some op ->
               Ok

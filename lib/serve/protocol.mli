@@ -1,4 +1,4 @@
-(** Wire protocol of the serve daemon (schema [mpsoc-par/serve/v2]):
+(** Wire protocol of the serve daemon (schema [mpsoc-par/serve/v3]):
     length-prefixed JSON frames — a 4-byte big-endian payload length
     followed by that many bytes of JSON.  Response codes mirror the CLI
     exit-code contract (0 ok / 2 degraded / 3 invalid-overloaded-draining
@@ -7,8 +7,11 @@
 module J = Trace_json
 
 val schema : string
-(** ["mpsoc-par/serve/v2"].  v2 adds the [health] op and the optional
-    per-request [fault_plan] field. *)
+(** ["mpsoc-par/serve/v3"].  v2 added the [health] op and the optional
+    per-request [fault_plan] field; v3 adds the [stats] op (live
+    sliding-window telemetry, schema mpsoc-par/stats/v1) and the [dump]
+    op (flight-recorder JSONL dump), both answered inline by the event
+    loop even while every executor is busy. *)
 
 val max_frame : int
 (** Hard cap on a frame's JSON payload in bytes; a length prefix
@@ -16,7 +19,14 @@ val max_frame : int
 
 (** {2 Requests} *)
 
-type op = Parallelize | Execute | Status | Health | Drain
+type op =
+  | Parallelize
+  | Execute
+  | Status
+  | Health
+  | Drain
+  | Stats  (** live telemetry snapshot, answered inline (never queued) *)
+  | Dump  (** dump the flight-recorder ring as JSONL, answered inline *)
 
 val op_name : op -> string
 val op_of_name : string -> op option

@@ -67,6 +67,12 @@ type ('ctx, 'job, 'resp) hooks = {
   on_exhausted : unit -> unit;  (** restart budget spent; fired once *)
   describe : 'job -> string;  (** label for health/trace output *)
   wake : unit -> unit;  (** poke the monitor's event loop *)
+  note : event:string -> worker:int -> unit;
+      (** lifecycle edge observer (["executor.spawn"] / [".restart"] /
+          [".crash"] / [".wedge"] / [".exhausted"] / [".exit"]), called
+          on the monitor domain regardless of tracing — the daemon's
+          flight recorder hangs off this.  [worker = -1] for
+          process-wide events (budget exhaustion). *)
 }
 
 type 'job inflight = {
@@ -175,7 +181,8 @@ let spawn_incarnation sup slot ~event =
   slot.inc <- inc;
   slot.domain <- Some (Domain.spawn (incarnation_body sup slot inc));
   if Trace.enabled () then
-    Trace.instant ~cat:"server" event ~args:[ ("worker", Trace.Int slot.idx) ]
+    Trace.instant ~cat:"server" event ~args:[ ("worker", Trace.Int slot.idx) ];
+  sup.hooks.note ~event ~worker:slot.idx
 
 (* ---- the monitor side (event-loop domain only) ---------------------- *)
 
@@ -219,6 +226,7 @@ let schedule_restart sup slot ~now =
       if Trace.enabled () then
         Trace.instant ~cat:"server" "executor.exhausted"
           ~args:[ ("budget", Trace.Int sup.config.restart_budget) ];
+      sup.hooks.note ~event:"executor.exhausted" ~worker:(-1);
       sup.hooks.on_exhausted ()
     end
     else begin
@@ -259,6 +267,7 @@ let check sup ~now =
                  if Trace.enabled () then
                    Trace.instant ~cat:"server" "executor.wedge"
                      ~args:[ ("worker", Trace.Int slot.idx) ];
+                 sup.hooks.note ~event:"executor.wedge" ~worker:slot.idx;
                  sup.hooks.answer infl.job (sup.hooks.wedged infl.job);
                  schedule_restart sup slot ~now
                end
@@ -277,6 +286,7 @@ let check sup ~now =
           if Trace.enabled () then
             Trace.instant ~cat:"server" "executor.crash"
               ~args:[ ("worker", Trace.Int slot.idx) ];
+          sup.hooks.note ~event:"executor.crash" ~worker:slot.idx;
           schedule_restart sup slot ~now
         end;
         (* restart once the backoff window closes *)
@@ -364,5 +374,6 @@ let stop sup =
       List.iter Domain.join joinable;
       if Trace.enabled () then
         Trace.instant ~cat:"server" "executor.exit"
-          ~args:[ ("worker", Trace.Int slot.idx) ])
+          ~args:[ ("worker", Trace.Int slot.idx) ];
+      sup.hooks.note ~event:"executor.exit" ~worker:slot.idx)
     sup.slots

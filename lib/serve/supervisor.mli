@@ -44,6 +44,12 @@ type ('ctx, 'job, 'resp) hooks = {
   on_exhausted : unit -> unit;  (** restart budget spent; fired once *)
   describe : 'job -> string;  (** label for health/trace output *)
   wake : unit -> unit;  (** poke the monitor's event loop *)
+  note : event:string -> worker:int -> unit;
+      (** lifecycle edge observer (["executor.spawn"] / [".restart"] /
+          [".crash"] / [".wedge"] / [".exhausted"] / [".exit"]), called
+          on the monitor domain regardless of tracing — the daemon's
+          flight recorder hangs off this.  [worker = -1] for
+          process-wide events (budget exhaustion). *)
 }
 
 type ('ctx, 'job, 'resp) t

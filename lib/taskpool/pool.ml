@@ -48,9 +48,17 @@ let enqueue p task =
   Deque.push p.workers.(wid).deque task;
   signal_work p
 
-let resume p k =
+(* [tag] restores the suspended task's request tag on whichever worker
+   domain picks the continuation up (captured at the suspension point). *)
+let resume ?tag p k =
   if Trace.enabled () then Trace.instant ~cat:"pool" "resume";
-  enqueue p { run = (fun () -> Effect.Deep.continue k ()); label = "resume" }
+  let continue () = Effect.Deep.continue k () in
+  let run =
+    match tag with
+    | None -> continue
+    | Some t -> fun () -> Trace.with_tag t continue
+  in
+  enqueue p { run; label = "resume" }
 
 (* Pop from our own deque, else steal round-robin from the others. *)
 let try_take p wid =
@@ -170,14 +178,19 @@ let spawn ?(label = "task") p f =
   if Trace.enabled () then
     Trace.instant ~cat:"pool" "spawn" ~args:[ ("task", Trace.Str label) ];
   let fut = { st = Pending []; fm = Mutex.create () } in
-  enqueue p
-    {
-      run =
-        (fun () ->
-          let r = try Ok (f ()) with e -> Error e in
-          fill fut r p);
-      label;
-    };
+  (* carry the spawner's request tag onto the executing worker's domain,
+     so request-scoped spans survive the handoff *)
+  let tag = Trace.current_tag () in
+  let body () =
+    let r = try Ok (f ()) with e -> Error e in
+    fill fut r p
+  in
+  let run =
+    match tag with
+    | None -> body
+    | Some t -> fun () -> Trace.with_tag t body
+  in
+  enqueue p { run; label };
   fut
 
 let poll fut =
@@ -190,10 +203,11 @@ let await p fut =
   match poll fut with
   | Some r -> r
   | None ->
+      let tag = Trace.current_tag () in
       Effect.perform
         (Suspend
            (fun k ->
-             let wake () = resume p k in
+             let wake () = resume ?tag p k in
              Mutex.lock fut.fm;
              match fut.st with
              | Done _ ->

@@ -43,8 +43,10 @@ val spawn : ?label:string -> t -> (unit -> 'a) -> 'a future
 val await : t -> 'a future -> ('a, exn) result
 
 (** Resume a continuation parked via {!Suspend}: re-enqueue it on the
-    current worker's deque. *)
-val resume : t -> (unit, unit) Effect.Deep.continuation -> unit
+    current worker's deque.  [tag] (captured at the suspension point)
+    restores the task's {!Trace.with_tag} request tag on whichever
+    worker resumes it. *)
+val resume : ?tag:string -> t -> (unit, unit) Effect.Deep.continuation -> unit
 
 (** [run pool f] executes [f] as the root task with the caller acting as
     worker 0, helping with queued tasks until the root completes.

@@ -92,6 +92,23 @@ let buffer_for (s : sink) : buffer =
       cell := Some (s.gen, b);
       b
 
+(* ---- request tag context ------------------------------------------ *)
+
+(* A per-domain mutable cell: [with_tag] costs one DLS lookup and two ref
+   writes whether or not tracing is armed, and probes consult it only on
+   the armed path — the disarmed fast path stays a single [Atomic.get]
+   with no allocation. *)
+let tag_cell : string option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current_tag () = !(Domain.DLS.get tag_cell)
+
+let with_tag tag f =
+  let cell = Domain.DLS.get tag_cell in
+  let saved = !cell in
+  cell := Some tag;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
 let push (s : sink) (ev : event) =
   let b = buffer_for s in
   let cap = Array.length b.evs in
@@ -101,6 +118,13 @@ let push (s : sink) (ev : event) =
   b.head <- b.head + 1
 
 let emit s ph ?(dur_us = 0.) ~cat ~args ~ts_us name =
+  (* armed path only: stamp the domain's current request tag so every
+     existing probe picks it up without touching its call site *)
+  let args =
+    match !(Domain.DLS.get tag_cell) with
+    | None -> args
+    | Some t -> ("req", Str t) :: args
+  in
   push s { name; cat; ph; ts_us; dur_us; dom = (Domain.self () :> int); args }
 
 let rel (s : sink) t = (t -. s.epoch_s) *. 1e6

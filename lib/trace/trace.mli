@@ -49,6 +49,20 @@ val with_tracing : ?capacity:int -> (unit -> 'a) -> 'a * collected
 (** [with_tracing f] = {!start}; [f ()]; {!stop}.  If [f] raises, the
     recorder is still disarmed (the collection is discarded). *)
 
+val with_tag : string -> (unit -> 'a) -> 'a
+(** [with_tag tag f] sets the calling domain's request tag for the
+    duration of [f]: every event emitted from this domain while the tag
+    is set carries a [("req", Str tag)] argument, so request-scoped
+    causal chains survive the merge without touching probe call sites.
+    Tags nest (the previous tag is restored on exit) and are per-domain —
+    propagate explicitly when handing work to another domain (the
+    taskpool does this for spawned tasks).  Costs one DLS read and two
+    ref writes even when disarmed; the disarmed probe fast path is
+    untouched. *)
+
+val current_tag : unit -> string option
+(** The calling domain's current request tag, if any. *)
+
 val span : ?args:(string * arg) list -> cat:string -> string -> (unit -> 'b) -> 'b
 (** [span ~cat name f] brackets [f] with B/E events.  [f] must complete
     on the domain that called [span] — never wrap code that can suspend

@@ -18,6 +18,7 @@ let () =
       ("degrade", Test_degrade.suite);
       ("watchdog", Test_watchdog.suite);
       ("trace", Test_trace.suite);
+      ("obs", Test_obs.suite);
       ("server", Test_server.suite);
       ("fuzz-inputs", Test_fuzz_inputs.suite);
       ("pipeline-properties", Test_pipeline_prop.suite);

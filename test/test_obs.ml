@@ -1,0 +1,225 @@
+(** Observability-layer tests: qcheck properties of the sliding-window
+    aggregator (bucket rotation, merge associativity, histogram
+    percentiles vs the exact {!Serve.Latency} recorder) and the flight
+    recorder's bounded ring + JSONL dump. *)
+
+module J = Trace_json
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* anchor all window tests at a fixed wall time: epoch arithmetic only
+   cares about differences, and a fixed base keeps runs reproducible *)
+let base = 1_000_000.
+
+(* ---- bucket rotation ------------------------------------------------ *)
+
+(* One sample per second for [n] seconds on a 1 s x [span] ring: a
+   window over the last [k] seconds must count exactly the samples whose
+   second is among the last [min k span] (and not beyond [n]). *)
+let prop_rotation =
+  QCheck.Test.make ~name:"window counts exactly the covered buckets"
+    ~count:200
+    QCheck.(pair (int_range 1 30) (int_range 1 12))
+    (fun (n, k) ->
+      let span = 4 in
+      let w = Obs_window.create ~bucket_s:1. ~buckets:span () in
+      for i = 0 to n - 1 do
+        Obs_window.record w ~now:(base +. float_of_int i) 0.001
+      done;
+      let now = base +. float_of_int (n - 1) in
+      let s = Obs_window.summary w ~now ~last_s:(float_of_int k) in
+      let expected = min n (min k span) in
+      let total = (Obs_window.total w).Obs_window.count in
+      s.Obs_window.count = expected && total = n)
+
+(* Old epochs are lazily overwritten: after writing one sample far in
+   the future, a full-span window anchored there sees only that sample
+   while the cumulative total keeps everything. *)
+let prop_overwrite =
+  QCheck.Test.make ~name:"stale buckets do not leak into the window"
+    ~count:100
+    QCheck.(int_range 1 50)
+    (fun n ->
+      let w = Obs_window.create ~bucket_s:1. ~buckets:4 () in
+      for i = 0 to n - 1 do
+        Obs_window.record w ~now:(base +. float_of_int i) 0.001
+      done;
+      let far = base +. float_of_int (n + 1000) in
+      Obs_window.record w ~now:far 0.001;
+      let s = Obs_window.summary w ~now:far ~last_s:4. in
+      s.Obs_window.count = 1
+      && (Obs_window.total w).Obs_window.count = n + 1)
+
+(* ---- merge associativity -------------------------------------------- *)
+
+let samples_gen =
+  (* (second offset, latency seconds) pairs *)
+  QCheck.(
+    small_list (pair (int_range 0 20) (map (fun ms -> float_of_int ms /. 1e3) (int_range 1 8000))))
+
+let fill samples =
+  let w = Obs_window.create ~bucket_s:1. ~buckets:8 () in
+  List.iter
+    (fun (off, dt) -> Obs_window.record w ~now:(base +. float_of_int off) dt)
+    samples;
+  Obs_window.snapshot w
+
+let summaries s =
+  [
+    Obs_window.snap_total s;
+    Obs_window.snap_summary s ~last_s:1.;
+    Obs_window.snap_summary s ~last_s:4.;
+    Obs_window.snap_summary s ~last_s:100.;
+  ]
+
+(* Counts, maxes and histogram percentiles merge exactly; the mean sums
+   floats in grouping order, so it is only associative up to rounding. *)
+let summary_eq (a : Obs_window.summary) (b : Obs_window.summary) =
+  a.Obs_window.count = b.Obs_window.count
+  && a.Obs_window.max_ms = b.Obs_window.max_ms
+  && a.Obs_window.p50_ms = b.Obs_window.p50_ms
+  && a.Obs_window.p90_ms = b.Obs_window.p90_ms
+  && a.Obs_window.p99_ms = b.Obs_window.p99_ms
+  && Float.abs (a.Obs_window.mean_ms -. b.Obs_window.mean_ms)
+     <= 1e-9 *. (1. +. Float.abs a.Obs_window.mean_ms)
+
+let prop_merge_assoc =
+  QCheck.Test.make ~name:"snapshot merge is associative" ~count:200
+    QCheck.(triple samples_gen samples_gen samples_gen)
+    (fun (xs, ys, zs) ->
+      let a = fill xs and b = fill ys and c = fill zs in
+      let l = Obs_window.merge (Obs_window.merge a b) c in
+      let r = Obs_window.merge a (Obs_window.merge b c) in
+      List.for_all2 summary_eq (summaries l) (summaries r))
+
+let prop_merge_comm =
+  QCheck.Test.make ~name:"snapshot merge is commutative" ~count:200
+    QCheck.(pair samples_gen samples_gen)
+    (fun (xs, ys) ->
+      let a = fill xs and b = fill ys in
+      List.for_all2 summary_eq
+        (summaries (Obs_window.merge a b))
+        (summaries (Obs_window.merge b a)))
+
+(* ---- percentiles vs the exact recorder ------------------------------ *)
+
+(* The window's histogram percentile must be the upper bound of the
+   1-2-5 bucket containing the exact nearest-rank percentile that
+   {!Serve.Latency} computes from the same samples (overflow bucket:
+   the observed max). *)
+let bucket_upper exact_ms ~max_ms =
+  match
+    List.find_opt (fun b -> exact_ms <= b) Obs_window.bucket_bounds_ms
+  with
+  | Some b -> b
+  | None -> max_ms
+
+let prop_percentiles_agree =
+  QCheck.Test.make
+    ~name:"histogram percentiles bracket the exact recorder" ~count:300
+    QCheck.(
+      list_of_size Gen.(int_range 1 60)
+        (map (fun ms -> float_of_int ms /. 1e3) (int_range 1 8000)))
+    (fun dts ->
+      let lat = Serve.Latency.create () in
+      let w = Obs_window.create () in
+      List.iter
+        (fun dt ->
+          Serve.Latency.record lat dt;
+          Obs_window.record w ~now:base dt)
+        dts;
+      let exact = Serve.Latency.summarize lat in
+      let win = Obs_window.total w in
+      let agree (e_ms, w_ms) =
+        w_ms = bucket_upper e_ms ~max_ms:win.Obs_window.max_ms
+      in
+      win.Obs_window.count = exact.Serve.Latency.count
+      && List.for_all agree
+           [
+             (exact.Serve.Latency.p50_ms, win.Obs_window.p50_ms);
+             (exact.Serve.Latency.p90_ms, win.Obs_window.p90_ms);
+             (exact.Serve.Latency.p99_ms, win.Obs_window.p99_ms);
+           ])
+
+(* ---- window JSON ---------------------------------------------------- *)
+
+let test_windows_json_shape () =
+  let w = Obs_window.create () in
+  Obs_window.record w ~now:base 0.01;
+  match Obs_window.windows_json w ~now:base with
+  | J.Obj fields ->
+      Alcotest.(check (list string))
+        "window keys" [ "1m"; "5m"; "total" ] (List.map fst fields);
+      List.iter
+        (fun (_, s) ->
+          match J.member "count" s with
+          | Some (J.Num n) -> Alcotest.(check int) "count" 1 (int_of_float n)
+          | _ -> Alcotest.fail "summary without count")
+        fields
+  | _ -> Alcotest.fail "windows_json is not an object"
+
+(* ---- flight recorder ------------------------------------------------ *)
+
+let test_flight_ring_bounded () =
+  let f = Obs_flight.create ~capacity:16 () in
+  for i = 0 to 39 do
+    Obs_flight.record f ~fields:[ ("i", J.Num (float_of_int i)) ] "tick"
+  done;
+  Alcotest.(check int) "size capped" 16 (Obs_flight.size f);
+  Alcotest.(check int) "recorded counts all" 40 (Obs_flight.recorded f);
+  match Obs_flight.events f with
+  | [] -> Alcotest.fail "ring is empty"
+  | oldest :: _ as evs ->
+      Alcotest.(check int) "oldest retained seq" 24 oldest.Obs_flight.seq;
+      let seqs = List.map (fun (e : Obs_flight.event) -> e.Obs_flight.seq) evs in
+      Alcotest.(check (list int)) "contiguous ascending seq"
+        (List.init 16 (fun i -> 24 + i))
+        seqs
+
+let test_flight_dump_jsonl () =
+  let f = Obs_flight.create ~capacity:16 () in
+  Obs_flight.record f "executor.crash"
+    ~fields:[ ("worker", J.Num 0.) ];
+  Obs_flight.record f "executor.restart"
+    ~fields:[ ("worker", J.Num 0.) ];
+  let path = Filename.temp_file "flight" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (match Obs_flight.dump f ~path with
+      | Ok n -> Alcotest.(check int) "lines written" 2 n
+      | Error m -> Alcotest.fail ("dump failed: " ^ m));
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let kinds =
+        List.rev_map
+          (fun line ->
+            match J.member "kind" (J.parse line) with
+            | Some (J.Str k) -> k
+            | _ -> Alcotest.fail "event line without kind")
+          !lines
+      in
+      Alcotest.(check (list string))
+        "kinds in order"
+        [ "executor.crash"; "executor.restart" ]
+        kinds)
+
+let suite =
+  [
+    qtest prop_rotation;
+    qtest prop_overwrite;
+    qtest prop_merge_assoc;
+    qtest prop_merge_comm;
+    qtest prop_percentiles_agree;
+    Alcotest.test_case "windows_json has 1m/5m/total" `Quick
+      test_windows_json_shape;
+    Alcotest.test_case "flight ring overwrites oldest" `Quick
+      test_flight_ring_bounded;
+    Alcotest.test_case "flight dump is parseable JSONL" `Quick
+      test_flight_dump_jsonl;
+  ]

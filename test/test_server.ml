@@ -105,7 +105,9 @@ let test_request_roundtrip_qcheck () =
   let open QCheck in
   let gen =
     Gen.(
-      let* op = oneofl P.[ Parallelize; Execute; Status; Health; Drain ] in
+      let* op =
+        oneofl P.[ Parallelize; Execute; Status; Health; Drain; Stats; Dump ]
+      in
       let* id = string_size ~gen:printable (int_bound 12) in
       let* target = string_size ~gen:printable (int_bound 20) in
       let* fault_plan = oneofl [ ""; "serve.exec@1=raise"; "seed:3" ] in
@@ -682,6 +684,232 @@ let test_admission_drain_race () =
       Alcotest.failf "round %d lost jobs: accepted %d, took %d" round acc taken
   done
 
+(* ------------------------------------------------------------------ *)
+(* Observability: request tags, server timing, stats/dump, flight      *)
+(* ------------------------------------------------------------------ *)
+
+let body_obj name (r : P.response) =
+  match List.assoc_opt name r.P.body with
+  | Some (J.Obj fields) -> fields
+  | _ -> Alcotest.failf "response body misses object field %S" name
+
+(* Traced daemon, two concurrent clients: every span a request's solve
+   emits carries that request's server-assigned id as a ("req", tag)
+   argument, across >= 2 domains (two executor workers, each with its
+   own taskpool); responses stay bit-identical to a direct library run;
+   and the inline stats/dump ops answer while a solve is in flight. *)
+let test_request_tracing_end_to_end () =
+  with_tmpdir @@ fun dir ->
+  let src_file = write_src dir in
+  let sock = Filename.concat dir "s.sock" in
+  let cfg = { Parcore.Config.fast with Parcore.Config.jobs = 2 } in
+  (* the recorder is global and the daemon runs in-process: arm it here
+     (the daemon's own config keeps tracing off, so it will not stop it) *)
+  Trace.start ();
+  let collected =
+    Fun.protect
+      ~finally:(fun () -> if Trace.enabled () then ignore (Trace.stop ()))
+      (fun () ->
+        let server = spawn_daemon ~cfg sock in
+        connect_retry sock;
+        (* client a's solve is held at the serve.exec probe for 0.5 s,
+           pinning one executor worker; client b then runs on the other *)
+        let slow =
+          Domain.spawn (fun () ->
+              rpc sock
+                (P.request ~id:"a" ~target:src_file
+                   ~platform:"platform-a-accel"
+                   ~fault_plan:"serve.exec@1=delay:0.5" P.Parallelize))
+        in
+        Unix.sleepf 0.15;
+        (* the event loop answers stats and dump inline even though a
+           worker is mid-"solve" *)
+        let st = rpc sock (P.request ~id:"s" P.Stats) in
+        Alcotest.(check string) "stats answers in flight" "ok"
+          (P.status_name st.P.status);
+        Alcotest.(check string) "stats schema" "mpsoc-par/stats/v1"
+          (body_str "stats_schema" st);
+        let du = rpc sock (P.request ~id:"du" P.Dump) in
+        Alcotest.(check string) "dump answers in flight" "ok"
+          (P.status_name du.P.status);
+        Alcotest.(check bool) "dump wrote admit events" true
+          (body_num "events" du >= 1.);
+        Alcotest.(check bool) "dump file exists" true
+          (Sys.file_exists (body_str "path" du));
+        let rb =
+          rpc sock
+            (P.request ~id:"b" ~target:src_file ~platform:"platform-a-accel"
+               P.Parallelize)
+        in
+        let ra = Domain.join slow in
+        List.iter
+          (fun (r : P.response) ->
+            match P.status_code r.P.status with
+            | 0 | 2 -> ()
+            | _ ->
+                Alcotest.failf "request failed: %s %s"
+                  (P.status_name r.P.status) r.P.message)
+          [ ra; rb ];
+        Alcotest.(check string) "clean digest identical to direct run"
+          (direct_digest cfg) (body_str "digest" rb);
+        (* server-assigned ids embed the client correlation ids *)
+        let rid_a = body_str "request_id" ra
+        and rid_b = body_str "request_id" rb in
+        Alcotest.(check bool) "distinct request ids" true (rid_a <> rid_b);
+        let timing = body_obj "server_timing" ra in
+        List.iter
+          (fun f ->
+            match List.assoc_opt f timing with
+            | Some (J.Num v) ->
+                Alcotest.(check bool) (f ^ " >= 0") true (v >= 0.)
+            | _ -> Alcotest.failf "server_timing misses %S" f)
+          [ "queue_wait_s"; "solve_s"; "serialize_s" ];
+        (* the injected 0.5 s delay is server solve time, not queueing *)
+        (match List.assoc_opt "solve_s" timing with
+        | Some (J.Num v) ->
+            Alcotest.(check bool) "delay counted as solve time" true (v >= 0.5)
+        | _ -> Alcotest.fail "server_timing misses solve_s");
+        (* post-completion stats: the sliding windows saw both solves *)
+        let st2 = rpc sock (P.request ~id:"s2" P.Stats) in
+        let counters = body_obj "counters" st2 in
+        (match List.assoc_opt "completed" counters with
+        | Some (J.Num n) ->
+            Alcotest.(check bool) "stats counted completions" true (n >= 2.)
+        | _ -> Alcotest.fail "stats misses counters.completed");
+        (match
+           List.assoc_opt "all" (body_obj "latency" st2)
+           |> Fun.flip Option.bind (J.member "total")
+           |> Fun.flip Option.bind (J.member "count")
+         with
+        | Some (J.Num n) ->
+            Alcotest.(check bool) "total window count" true (n >= 2.)
+        | _ -> Alcotest.fail "stats misses latency.all.total.count");
+        ignore (rpc sock (P.request ~id:"d" P.Drain));
+        Alcotest.(check int) "clean exit" 0 (Domain.join server);
+        let c = match Trace.stop () with Some c -> c | None -> Alcotest.fail "recorder was armed" in
+        (rid_a, rid_b, c))
+  in
+  let rid_a, rid_b, c = collected in
+  let tagged_spans rid =
+    List.filter
+      (fun (e : Trace.event) ->
+        (e.Trace.ph = Trace.B || e.Trace.ph = Trace.E || e.Trace.ph = Trace.X)
+        && List.assoc_opt "req" e.Trace.args = Some (Trace.Str rid))
+      c.Trace.events
+  in
+  let sa = tagged_spans rid_a and sb = tagged_spans rid_b in
+  Alcotest.(check bool) "request a's solve emitted tagged spans" true (sa <> []);
+  Alcotest.(check bool) "request b's solve emitted tagged spans" true (sb <> []);
+  let doms evs =
+    List.sort_uniq compare (List.map (fun (e : Trace.event) -> e.Trace.dom) evs)
+  in
+  Alcotest.(check bool) "tagged spans cross >= 2 domains" true
+    (List.length (doms (sa @ sb)) >= 2);
+  (* no span carries the wrong request's tag: the two executor domains
+     never mix tags (pool workers are per-executor) *)
+  List.iter
+    (fun (e : Trace.event) ->
+      if List.exists (fun (e' : Trace.event) -> e'.Trace.dom = e.Trace.dom) sb
+      then
+        Alcotest.failf "domain %d carries both request tags" e.Trace.dom)
+    sa
+
+(* Flight recorder with tracing disarmed: an injected executor crash
+   dumps the ring as JSONL, and the post-restart dump holds both the
+   crash and the restart events. *)
+let test_flight_recorder_on_crash () =
+  with_tmpdir @@ fun dir ->
+  let src_file = write_src dir in
+  let sock = Filename.concat dir "s.sock" in
+  Alcotest.(check bool) "tracing disarmed" false (Trace.enabled ());
+  let server = spawn_daemon sock in
+  connect_retry sock;
+  let bad =
+    rpc sock
+      (P.request ~id:"boom" ~target:src_file ~platform:"platform-a-accel"
+         ~fault_plan:"serve.exec@1=raise" P.Parallelize)
+  in
+  Alcotest.(check string) "typed crash answer" "internal"
+    (P.status_name bad.P.status);
+  (* the restart (monitor schedule) re-dumps the ring *)
+  ignore (wait_health sock (fun h -> body_num "restarts" h >= 1.));
+  let flight = sock ^ ".flight.jsonl" in
+  Alcotest.(check bool) "flight file written" true (Sys.file_exists flight);
+  let read_kinds () =
+    let ic = open_in flight in
+    let kinds = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         match J.member "kind" (J.parse line) with
+         | Some (J.Str k) -> kinds := k :: !kinds
+         | _ -> Alcotest.fail "flight line without kind"
+       done
+     with End_of_file -> close_in ic);
+    List.rev !kinds
+  in
+  let rec wait_restart_dump n =
+    if List.mem "executor.restart" (read_kinds ()) then ()
+    else if n = 0 then Alcotest.fail "restart never reached the flight dump"
+    else (
+      Unix.sleepf 0.1;
+      wait_restart_dump (n - 1))
+  in
+  wait_restart_dump 100;
+  let kinds = read_kinds () in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " recorded") true (List.mem k kinds))
+    [ "admit"; "start"; "executor.crash"; "executor.restart"; "complete" ];
+  ignore (rpc sock (P.request ~id:"d" P.Drain));
+  Alcotest.(check int) "clean exit" 0 (Domain.join server)
+
+(* Satellite: queue-expired and watchdog timeouts are split into two
+   counters, visible in both the status server section and stats. *)
+let test_timeout_cause_split () =
+  with_tmpdir @@ fun dir ->
+  let src_file = write_src dir in
+  let sock = Filename.concat dir "s.sock" in
+  (* one executor; a delayed job pins it while a second job's deadline
+     expires in the queue *)
+  let server = spawn_daemon ~executors:1 ~wedge_grace_s:5. sock in
+  connect_retry sock;
+  let slow =
+    Domain.spawn (fun () ->
+        rpc sock
+          (P.request ~id:"slow" ~target:src_file ~platform:"platform-a-accel"
+             ~fault_plan:"serve.exec@1=delay:0.6" P.Parallelize))
+  in
+  Unix.sleepf 0.15;
+  let expired =
+    rpc sock
+      (P.request ~id:"late" ~target:src_file ~platform:"platform-a-accel"
+         ~deadline_s:0.1 P.Parallelize)
+  in
+  Alcotest.(check string) "queued request timed out" "timeout"
+    (P.status_name expired.P.status);
+  (match List.assoc_opt "timeout_cause" expired.P.body with
+  | Some (J.Str c) -> Alcotest.(check string) "cause queue" "queue" c
+  | _ -> Alcotest.fail "timeout response misses timeout_cause");
+  ignore (Domain.join slow);
+  let st = rpc sock (P.request ~id:"s" P.Stats) in
+  let counters = body_obj "counters" st in
+  let cnt name =
+    match List.assoc_opt name counters with
+    | Some (J.Num n) -> int_of_float n
+    | _ -> Alcotest.failf "stats misses counters.%s" name
+  in
+  Alcotest.(check int) "one queue timeout" 1 (cnt "timed_out_queue");
+  Alcotest.(check int) "no solve timeouts" 0 (cnt "timed_out_solve");
+  Alcotest.(check int) "total matches" 1 (cnt "timed_out");
+  (* the same split in the status op's server section *)
+  let status = rpc sock (P.request ~id:"st" P.Status) in
+  (match List.assoc_opt "timed_out_queue" (body_obj "server" status) with
+  | Some (J.Num n) -> Alcotest.(check int) "server section split" 1 (int_of_float n)
+  | _ -> Alcotest.fail "server section misses timed_out_queue");
+  ignore (rpc sock (P.request ~id:"d" P.Drain));
+  Alcotest.(check int) "clean exit" 0 (Domain.join server)
+
 let test_daemon_rejects_unknown_target () =
   with_tmpdir @@ fun dir ->
   let sock = Filename.concat dir "s.sock" in
@@ -755,4 +983,11 @@ let suite =
       test_chaos_under_serve;
     Alcotest.test_case "daemon: refuses a live socket, replaces a stale one"
       `Slow test_stale_and_live_socket;
+    Alcotest.test_case
+      "daemon: spans tagged per request, stats/dump answer in flight" `Slow
+      test_request_tracing_end_to_end;
+    Alcotest.test_case "daemon: crash dumps the flight recorder (disarmed)"
+      `Slow test_flight_recorder_on_crash;
+    Alcotest.test_case "daemon: queue vs solve timeout causes split" `Slow
+      test_timeout_cause_split;
   ]

@@ -137,6 +137,93 @@ let test_ring_overflow_reported () =
       | e :: _ -> Alcotest.(check string) "oldest kept" "84" e.Trace.name
       | [] -> Alcotest.fail "empty collection")
 
+let test_metrics_reports_dropped () =
+  Trace.start ~capacity:16 ();
+  for i = 0 to 99 do
+    Trace.instant ~cat:"t" (string_of_int i)
+  done;
+  match Trace.stop () with
+  | None -> Alcotest.fail "recorder was armed"
+  | Some c -> (
+      let doc =
+        Observe.metrics_doc ~generated_by:"test" ~trace:c ~wall_s:0.1
+          (Ilp.Stats.create ())
+      in
+      match
+        Option.bind (Trace_json.member "trace" doc)
+          (Trace_json.member "dropped_spans")
+      with
+      | Some (Trace_json.Num n) ->
+          Alcotest.(check int) "dropped_spans in metrics" 84 (int_of_float n)
+      | _ -> Alcotest.fail "metrics doc has no trace.dropped_spans")
+
+(* ---- request tags --------------------------------------------------- *)
+
+let req_arg (e : Trace.event) =
+  match List.assoc_opt "req" e.Trace.args with
+  | Some (Trace.Str t) -> Some t
+  | _ -> None
+
+let test_tag_attached_and_restored () =
+  Alcotest.(check (option string)) "no tag by default" None (Trace.current_tag ());
+  let _, c =
+    Trace.with_tracing (fun () ->
+        Trace.instant ~cat:"t" "before";
+        Trace.with_tag "r1" (fun () ->
+            Trace.instant ~cat:"t" "tagged";
+            Trace.with_tag "r2" (fun () -> Trace.instant ~cat:"t" "nested");
+            Trace.instant ~cat:"t" "tagged-again");
+        Trace.instant ~cat:"t" "after")
+  in
+  Alcotest.(check (option string)) "tag restored" None (Trace.current_tag ());
+  let tag_of name =
+    match
+      List.find_opt (fun (e : Trace.event) -> e.Trace.name = name) c.Trace.events
+    with
+    | Some e -> req_arg e
+    | None -> Alcotest.fail ("missing event " ^ name)
+  in
+  Alcotest.(check (option string)) "untagged before" None (tag_of "before");
+  Alcotest.(check (option string)) "tagged" (Some "r1") (tag_of "tagged");
+  Alcotest.(check (option string)) "nested tag wins" (Some "r2") (tag_of "nested");
+  Alcotest.(check (option string))
+    "outer tag restored" (Some "r1") (tag_of "tagged-again");
+  Alcotest.(check (option string)) "untagged after" None (tag_of "after")
+
+let test_tag_crosses_taskpool () =
+  (* the pool captures the spawner's tag and restores it on whichever
+     worker domain runs (or resumes) the task *)
+  let pool = Taskpool.Pool.create ~domains:2 () in
+  let _, c =
+    Trace.with_tracing (fun () ->
+        Taskpool.Pool.run pool (fun () ->
+            Trace.with_tag "job-7" (fun () ->
+                let ts =
+                  List.init 8 (fun i ->
+                      Taskpool.Pool.spawn pool (fun () ->
+                          Trace.instant ~cat:"t" (Printf.sprintf "task-%d" i);
+                          i))
+                in
+                List.iter
+                  (fun t -> ignore (Taskpool.Pool.await pool t))
+                  ts)))
+  in
+  Taskpool.Pool.shutdown pool;
+  let tasks =
+    List.filter
+      (fun (e : Trace.event) ->
+        String.length e.Trace.name >= 5
+        && String.sub e.Trace.name 0 5 = "task-")
+      c.Trace.events
+  in
+  Alcotest.(check int) "all tasks traced" 8 (List.length tasks);
+  List.iter
+    (fun (e : Trace.event) ->
+      Alcotest.(check (option string))
+        (e.Trace.name ^ " carries the spawner's tag")
+        (Some "job-7") (req_arg e))
+    tasks
+
 (* ---- disabled fast path -------------------------------------------- *)
 
 let test_disabled_no_allocation () =
@@ -174,6 +261,12 @@ let suite =
       test_chrome_json_valid;
     Alcotest.test_case "ring overwrite keeps newest, reports dropped" `Quick
       test_ring_overflow_reported;
+    Alcotest.test_case "metrics doc reports dropped_spans" `Quick
+      test_metrics_reports_dropped;
+    Alcotest.test_case "request tag attached, nested, restored" `Quick
+      test_tag_attached_and_restored;
+    Alcotest.test_case "request tag crosses taskpool workers" `Quick
+      test_tag_crosses_taskpool;
     Alcotest.test_case "disabled recorder allocates nothing" `Quick
       test_disabled_no_allocation;
     Alcotest.test_case "disabled span is transparent" `Quick
