@@ -251,6 +251,17 @@ type perf_row = {
   pr_pivots : int;
   pr_cuts : int;
   pr_identical : bool;
+  (* v4 solver-portfolio frontier: cold-cache jobs=1 wall time and
+     simulated makespan per engine.  The exact makespan is the quality
+     reference the CI gate holds the portfolio to. *)
+  pr_exact_makespan_us : float;
+  pr_port_ms : float;
+  pr_port_makespan_us : float;
+  pr_port_wins_heur : int;
+  pr_port_wins_exact : int;
+  pr_port_gap_max : float;
+  pr_heur_ms : float;
+  pr_heur_makespan_us : float;
 }
 
 let run_perf ~smoke () =
@@ -287,14 +298,23 @@ let run_perf ~smoke () =
               ~approach:Parcore.Parallelize.Heterogeneous ~platform:pf prog
           in
           record_stats out.Parcore.Parallelize.algo;
-          out.Parcore.Parallelize.algo
+          out
         in
-        let base = once perf_baseline_cfg in
-        let opt1 = once (perf_opt_cfg ~jobs:1 ~work_limit) in
-        let optn = once (perf_opt_cfg ~jobs:ncores ~work_limit) in
+        let algo (o : Parcore.Parallelize.outcome) = o.Parcore.Parallelize.algo in
+        let mk o = (Parcore.Parallelize.metrics o).Sim.Engine.makespan_us in
+        let base = algo (once perf_baseline_cfg) in
+        let opt1_out = once (perf_opt_cfg ~jobs:1 ~work_limit) in
+        let opt1 = algo opt1_out in
+        let optn = algo (once (perf_opt_cfg ~jobs:ncores ~work_limit)) in
+        let solver_cfg s =
+          { (perf_opt_cfg ~jobs:1 ~work_limit) with Parcore.Config.solver = s }
+        in
+        let port_out = once (solver_cfg Parcore.Config.Portfolio) in
+        let heur_out = once (solver_cfg Parcore.Config.Heuristic) in
         let ms (a : Parcore.Algorithm.result) =
           a.Parcore.Algorithm.wall_time_s *. 1000.
         in
+        let pstats = (algo port_out).Parcore.Algorithm.stats in
         let row =
           {
             pr_name = b.Benchsuite.Suite.name;
@@ -308,6 +328,14 @@ let run_perf ~smoke () =
             pr_pivots = opt1.Parcore.Algorithm.stats.Ilp.Stats.pivots;
             pr_cuts = opt1.Parcore.Algorithm.stats.Ilp.Stats.cuts;
             pr_identical = perf_canon opt1 = perf_canon optn;
+            pr_exact_makespan_us = mk opt1_out;
+            pr_port_ms = ms (algo port_out);
+            pr_port_makespan_us = mk port_out;
+            pr_port_wins_heur = pstats.Ilp.Stats.wins_heuristic;
+            pr_port_wins_exact = pstats.Ilp.Stats.wins_exact;
+            pr_port_gap_max = pstats.Ilp.Stats.quality_gap_max;
+            pr_heur_ms = ms (algo heur_out);
+            pr_heur_makespan_us = mk heur_out;
           }
         in
         Printf.printf
@@ -320,6 +348,21 @@ let run_perf ~smoke () =
         row)
       benches
   in
+  print_newline ();
+  Printf.printf
+    "  solver frontier (cold cache, jobs=1): wall ms / simulated makespan us\n";
+  Printf.printf "  %-16s %11s %11s %11s %11s %11s %9s %7s\n" "benchmark"
+    "ilp(ms)" "port(ms)" "heur(ms)" "port-mk" "heur-mk" "wins h/e" "gap";
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %-16s %11.1f %11.1f %11.1f %10.4fx %10.4fx %5d/%-3d %6.2f%%\n"
+        r.pr_name r.pr_jobs1_ms r.pr_port_ms r.pr_heur_ms
+        (r.pr_port_makespan_us /. r.pr_exact_makespan_us)
+        (r.pr_heur_makespan_us /. r.pr_exact_makespan_us)
+        r.pr_port_wins_heur r.pr_port_wins_exact
+        (100. *. r.pr_port_gap_max))
+    rows;
   let sum f = List.fold_left (fun acc r -> acc +. f r) 0. rows in
   let sumi f = List.fold_left (fun acc r -> acc + f r) 0 rows in
   let total_base = sum (fun r -> r.pr_baseline_ms) in
@@ -335,6 +378,14 @@ let run_perf ~smoke () =
   in
   let all_identical = List.for_all (fun r -> r.pr_identical) rows in
   let speedup = total_base /. total_optn in
+  let total_ilp1 = sum (fun r -> r.pr_jobs1_ms) in
+  let total_port = sum (fun r -> r.pr_port_ms) in
+  let total_heur = sum (fun r -> r.pr_heur_ms) in
+  let total_wins_h = sumi (fun r -> r.pr_port_wins_heur) in
+  let total_wins_e = sumi (fun r -> r.pr_port_wins_exact) in
+  let worst_gap =
+    List.fold_left (fun acc r -> Float.max acc r.pr_port_gap_max) 0. rows
+  in
   Printf.printf
     "  total: baseline %.0f ms, optimized jobs=%d %.0f ms — speedup %.2fx, \
      cache hit rate %.1f%%, %d B&B nodes, %d pivots, %d cuts, bit-identical \
@@ -342,13 +393,23 @@ let run_perf ~smoke () =
     total_base ncores total_optn speedup (100. *. hit_rate) total_nodes
     total_pivots total_cuts
     (if all_identical then "yes" else "NO");
+  Printf.printf
+    "  frontier: ilp %.0f ms, portfolio %.0f ms (%.2fx faster, wins %d \
+     heur / %d exact, worst gap %.2f%%), heuristic %.0f ms (%.2fx faster)\n"
+    total_ilp1 total_port
+    (total_ilp1 /. total_port)
+    total_wins_h total_wins_e (100. *. worst_gap) total_heur
+    (total_ilp1 /. total_heur);
   (* hand-rolled JSON: flat schema, no escaping needed for these names *)
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"mpsoc-par/parallelize-perf/v3\",\n";
+  Buffer.add_string buf "  \"schema\": \"mpsoc-par/parallelize-perf/v4\",\n";
   (* provenance header (v2): git rev, compiler, host, UTC timestamp;
      v3 adds the per-benchmark solver-effort counters bb_nodes / pivots /
-     cuts_added taken from the deterministic jobs=1 run *)
+     cuts_added taken from the deterministic jobs=1 run; v4 adds the
+     per-benchmark "solvers" section (cold-cache jobs=1 wall time and
+     simulated makespan per engine, plus the portfolio's per-node race
+     tallies) and the "frontier" total — what the CI quality gate reads *)
   List.iter
     (fun (k, v) -> Printf.bprintf buf "  %S: %s,\n" k (Trace_json.to_string v))
     (Observe.run_metadata ());
@@ -366,21 +427,37 @@ let run_perf ~smoke () =
         "    { \"name\": %S, \"baseline_ms\": %.1f, \"jobs1_ms\": %.1f, \
          \"jobsN_ms\": %.1f, \"ilps_baseline\": %d, \"ilps_optimized\": %d, \
          \"cache_hits\": %d, \"bb_nodes\": %d, \"pivots\": %d, \
-         \"cuts_added\": %d, \"speedup\": %.3f, \"identical\": %b }%s\n"
+         \"cuts_added\": %d, \"speedup\": %.3f, \"identical\": %b,\n\
+        \      \"solvers\": {\n\
+        \        \"ilp\": { \"wall_ms\": %.1f, \"makespan_us\": %.1f },\n\
+        \        \"portfolio\": { \"wall_ms\": %.1f, \"makespan_us\": %.1f, \
+         \"engine_wins\": { \"heuristic\": %d, \"exact\": %d }, \
+         \"quality_gap_max\": %.6f },\n\
+        \        \"heuristic\": { \"wall_ms\": %.1f, \"makespan_us\": %.1f } \
+         } }%s\n"
         r.pr_name r.pr_baseline_ms r.pr_jobs1_ms r.pr_jobsn_ms
         r.pr_ilps_baseline r.pr_ilps_opt r.pr_cache_hits r.pr_nodes r.pr_pivots
         r.pr_cuts
         (r.pr_baseline_ms /. r.pr_jobsn_ms)
-        r.pr_identical
+        r.pr_identical r.pr_jobs1_ms r.pr_exact_makespan_us r.pr_port_ms
+        r.pr_port_makespan_us r.pr_port_wins_heur r.pr_port_wins_exact
+        r.pr_port_gap_max r.pr_heur_ms r.pr_heur_makespan_us
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Buffer.add_string buf "  ],\n";
   Printf.bprintf buf
     "  \"total\": { \"baseline_ms\": %.1f, \"optimized_ms\": %.1f, \
      \"speedup\": %.3f, \"cache_hit_rate\": %.3f, \"bb_nodes\": %d, \
-     \"pivots\": %d, \"cuts_added\": %d, \"identical\": %b }\n"
+     \"pivots\": %d, \"cuts_added\": %d, \"identical\": %b },\n"
     total_base total_optn speedup hit_rate total_nodes total_pivots total_cuts
     all_identical;
+  Printf.bprintf buf
+    "  \"frontier\": { \"ilp_ms\": %.1f, \"portfolio_ms\": %.1f, \
+     \"heuristic_ms\": %.1f, \"portfolio_speedup\": %.3f, \"engine_wins\": \
+     { \"heuristic\": %d, \"exact\": %d }, \"quality_gap_max\": %.6f }\n"
+    total_ilp1 total_port total_heur
+    (total_ilp1 /. total_port)
+    total_wins_h total_wins_e worst_gap;
   Buffer.add_string buf "}\n";
   let oc = open_out "BENCH_parallelize.json" in
   output_string oc (Buffer.contents buf);

@@ -193,11 +193,45 @@ let accel_term =
         { presolve; symmetry; cuts; seed_incumbent })
     $ presolve $ symmetry $ cuts $ seed)
 
+let solver_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("ilp", Parcore.Config.Ilp);
+             ("portfolio", Parcore.Config.Portfolio);
+             ("heuristic", Parcore.Config.Heuristic);
+           ])
+        Parcore.Config.default.Parcore.Config.solver
+    & info [ "solver" ] ~docv:"ENGINE"
+        ~doc:
+          "Per-node solve engine: $(b,ilp) (exact branch & bound, the \
+           default), $(b,heuristic) (list scheduler + seeded GA refiner, \
+           no branch & bound anywhere), or $(b,portfolio) (heuristic \
+           first, its makespan seeds an exact solve under a reduced \
+           deterministic work budget; the better answer wins).  All three \
+           are deterministic at any $(b,--jobs).")
+
+let portfolio_work_limit_arg =
+  Arg.(
+    value
+    & opt float Parcore.Config.default.Parcore.Config.portfolio_work_limit
+    & info [ "portfolio-work-limit" ] ~docv:"UNITS"
+        ~doc:
+          "Deterministic simplex-work budget for the exact side of each \
+           $(b,--solver=portfolio) race (work units, not wall clock; \
+           $(b,0) = the full $(b,ilp)-mode budget).")
+
 let cfg_of ?(jobs = Parcore.Config.default.Parcore.Config.jobs)
     ?(timeout_s = Parcore.Config.default.Parcore.Config.timeout_s)
     ?(trace = None) ?(metrics = None) ?(profile = false) ?(cache_dir = None)
     ?(cache_max_mb = Parcore.Config.default.Parcore.Config.cache_max_mb)
-    ?(accel = accel_default) time_limit max_steps =
+    ?(accel = accel_default)
+    ?(solver = Parcore.Config.default.Parcore.Config.solver)
+    ?(portfolio_work_limit =
+      Parcore.Config.default.Parcore.Config.portfolio_work_limit) time_limit
+    max_steps =
   {
     Parcore.Config.default with
     Parcore.Config.ilp_time_limit_s = time_limit;
@@ -213,6 +247,8 @@ let cfg_of ?(jobs = Parcore.Config.default.Parcore.Config.jobs)
     ilp_symmetry = accel.symmetry;
     ilp_cuts = accel.cuts;
     ilp_seed_incumbent = accel.seed_incumbent;
+    solver;
+    portfolio_work_limit;
   }
 
 (* ---------------- observability ---------------- *)
@@ -360,12 +396,13 @@ let parallelize_cmd =
                 & bound nodes) to stderr.")
   in
   let run target platform approach time_limit max_steps jobs dot gantt verbose
-      fault_spec trace metrics profile cache_dir cache_max_mb accel =
+      fault_spec trace metrics profile cache_dir cache_max_mb accel solver
+      portfolio_work_limit =
     let platform = resolve_platform platform in
     let _name, src = resolve_target target in
     let cfg =
       cfg_of ~jobs ~trace ~metrics ~profile ~cache_dir ~cache_max_mb ~accel
-        time_limit max_steps
+        ~solver ~portfolio_work_limit time_limit max_steps
     in
     with_observability cfg ~generated_by:"mpsoc-par parallelize"
     @@ fun report ->
@@ -434,7 +471,8 @@ let parallelize_cmd =
       const run $ target $ platform_arg $ approach_arg $ time_limit_arg
       $ max_steps_arg $ jobs_arg $ dot_arg $ gantt_arg $ verbose
       $ fault_plan_arg $ trace_arg $ metrics_arg $ profile_flag
-      $ cache_dir_arg $ cache_max_mb_arg $ accel_term)
+      $ cache_dir_arg $ cache_max_mb_arg $ accel_term $ solver_arg
+      $ portfolio_work_limit_arg)
 
 (* ---------------- analyze ---------------- *)
 
@@ -476,7 +514,8 @@ let bench_cmd =
   let bench_name =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
   in
-  let run name platform time_limit max_steps jobs accel =
+  let run name platform time_limit max_steps jobs accel solver
+      portfolio_work_limit =
     let platform = resolve_platform platform in
     match Benchsuite.Suite.find name with
     | None ->
@@ -485,7 +524,9 @@ let bench_cmd =
     | Some b ->
         let ctx =
           Report.Experiments.create
-            ~cfg:(cfg_of ~jobs ~accel time_limit max_steps)
+            ~cfg:
+              (cfg_of ~jobs ~accel ~solver ~portfolio_work_limit time_limit
+                 max_steps)
             ()
         in
         let homo =
@@ -503,7 +544,7 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Run one suite benchmark through both approaches")
     Term.(
       const run $ bench_name $ platform_arg $ time_limit_arg $ max_steps_arg
-      $ jobs_arg $ accel_term)
+      $ jobs_arg $ accel_term $ solver_arg $ portfolio_work_limit_arg)
 
 (* ---------------- batch ---------------- *)
 
@@ -515,13 +556,14 @@ let batch_cmd =
           ~doc:"Mini-C source files and/or suite benchmark names.")
   in
   let run targets platform approach time_limit max_steps jobs fault_spec trace
-      metrics profile cache_dir cache_max_mb accel =
+      metrics profile cache_dir cache_max_mb accel solver portfolio_work_limit
+      =
     let platform = resolve_platform platform in
     (* resolve everything up front so a typo fails before any solving *)
     let sources = List.map resolve_target targets in
     let cfg =
       cfg_of ~jobs ~trace ~metrics ~profile ~cache_dir ~cache_max_mb ~accel
-        time_limit max_steps
+        ~solver ~portfolio_work_limit time_limit max_steps
     in
     with_observability cfg ~generated_by:"mpsoc-par batch" @@ fun report ->
     with_fault_plan fault_spec @@ fun () ->
@@ -605,7 +647,8 @@ let batch_cmd =
     Term.(
       const run $ targets $ platform_arg $ approach_arg $ time_limit_arg
       $ max_steps_arg $ jobs_arg $ fault_plan_arg $ trace_arg $ metrics_arg
-      $ profile_flag $ cache_dir_arg $ cache_max_mb_arg $ accel_term)
+      $ profile_flag $ cache_dir_arg $ cache_max_mb_arg $ accel_term
+      $ solver_arg $ portfolio_work_limit_arg)
 
 (* ---------------- execute ---------------- *)
 
@@ -858,10 +901,11 @@ let serve_cmd =
   in
   let run socket tcp_port queue_max default_deadline_s drain_grace_s executors
       restart_budget wedge_grace_s flight_path memo_stall_s time_limit
-      max_steps jobs trace metrics profile cache_dir cache_max_mb accel =
+      max_steps jobs trace metrics profile cache_dir cache_max_mb accel solver
+      portfolio_work_limit =
     let cfg =
       cfg_of ~jobs ~trace ~metrics ~profile ~cache_dir ~cache_max_mb ~accel
-        time_limit max_steps
+        ~solver ~portfolio_work_limit time_limit max_steps
     in
     match
       Serve.Daemon.run
@@ -896,7 +940,8 @@ let serve_cmd =
       $ default_deadline_arg $ drain_grace_arg $ executors_arg
       $ restart_budget_arg $ wedge_grace_arg $ flight_arg $ memo_stall_arg
       $ time_limit_arg $ max_steps_arg $ jobs_arg $ trace_arg $ metrics_arg
-      $ profile_flag $ cache_dir_arg $ cache_max_mb_arg $ accel_term)
+      $ profile_flag $ cache_dir_arg $ cache_max_mb_arg $ accel_term
+      $ solver_arg $ portfolio_work_limit_arg)
 
 let loadgen_cmd =
   let targets =

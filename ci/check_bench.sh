@@ -20,11 +20,23 @@
 # solving more OR fewer ILPs than the baseline means the search behaves
 # differently and the baseline should be regenerated deliberately
 # (make perf-smoke; commit the fresh JSON).
+#
+# Schema v4 documents additionally carry a per-benchmark "solvers"
+# section; on those the gate is two-sided:
+#   - speed (above): the exact engine must not regress against the
+#     committed baseline;
+#   - quality: the portfolio engine's simulated makespan must stay within
+#     QUALITY_TOLERANCE_PCT (default 5%) of the COMMITTED exact makespan,
+#     so a faster-but-sloppier heuristic cannot ride in under the wall
+#     tolerance.  Compared against the baseline's exact makespan, not the
+#     fresh run's, so quality drift and speed drift cannot mask each
+#     other.
 set -euo pipefail
 
 baseline=${1:?usage: check_bench.sh BASELINE.json FRESH.json}
 fresh=${2:?usage: check_bench.sh BASELINE.json FRESH.json}
 tol_pct=${BENCH_TOLERANCE_PCT:-25}
+quality_pct=${QUALITY_TOLERANCE_PCT:-5}
 
 for f in "$baseline" "$fresh"; do
   [ -r "$f" ] || { echo "check_bench: cannot read $f" >&2; exit 1; }
@@ -80,6 +92,44 @@ done < <(jq -r '.benchmarks[]
 
 jq -e '.total.identical == true' "$fresh" >/dev/null \
   || { echo "  total: FAIL (fresh run not bit-identical across jobs)"; fail=1; }
+
+# ---- quality gate (schema v4: per-solver sections) -------------------
+# Portfolio makespans in FRESH vs the exact makespans committed in
+# BASELINE.  Skipped per-benchmark when either document predates v4.
+if jq -e '.benchmarks[0].solvers' "$baseline" >/dev/null 2>&1 \
+   && jq -e '.benchmarks[0].solvers' "$fresh" >/dev/null 2>&1; then
+  echo
+  echo "quality gate: portfolio makespan vs committed exact (tolerance +${quality_pct}%)"
+  printf '  %-16s %14s %14s %8s  %9s  %s\n' \
+    benchmark exact_mk port_mk ratio wins_h/e verdict
+  while IFS=$'\t' read -r name base_exact_mk; do
+    row=$(jq -r --arg n "$name" \
+      '.benchmarks[] | select(.name == $n) | .solvers
+       | [.portfolio.makespan_us, .portfolio.engine_wins.heuristic,
+          .portfolio.engine_wins.exact] | @tsv' "$fresh")
+    if [ -z "$row" ]; then
+      printf '  %-16s %14s %14s %8s  %9s  %s\n' \
+        "$name" "$base_exact_mk" - - - "FAIL (missing from fresh run)"
+      fail=1
+      continue
+    fi
+    IFS=$'\t' read -r port_mk wins_h wins_e <<<"$row"
+    verdict=$(awk -v e="$base_exact_mk" -v p="$port_mk" -v tol="$quality_pct" \
+      'BEGIN {
+        if (e <= 0)                   { print "FAIL (bad exact makespan)"; exit }
+        ratio = p / e
+        if (ratio > 1 + tol/100.0)    { printf "FAIL (makespan ratio %.4f > 1+%s%%)\n", ratio, tol; exit }
+        print "ok"
+      }')
+    ratio=$(awk -v e="$base_exact_mk" -v p="$port_mk" 'BEGIN { printf "%.4f", p/e }')
+    printf '  %-16s %14s %14s %8s  %6s/%-3s  %s\n' \
+      "$name" "$base_exact_mk" "$port_mk" "$ratio" "$wins_h" "$wins_e" "$verdict"
+    [ "$verdict" = ok ] || fail=1
+  done < <(jq -r '.benchmarks[]
+    | [.name, .solvers.ilp.makespan_us] | @tsv' "$baseline")
+else
+  echo "quality gate: skipped (baseline or fresh run predates schema v4)"
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "perf gate: FAILED — if the change is intentional, regenerate the" \

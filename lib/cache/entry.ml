@@ -10,10 +10,12 @@
     truncated, over-long or out-of-range input yields [None], never an
     exception — the store maps that to a cache miss. *)
 
-(* v2 added [pivots] and [cuts]; v1 entries decode to [None] and
-   count as misses, so a store written by an older build is silently
-   re-populated rather than misread *)
-let version = 2
+(* v3 added the producing engine's tag ("ilp" / "heuristic"), so a
+   heuristic answer can never be replayed as an exact one even if the
+   key salting were ever wrong; v2 added [pivots] and [cuts].  Older
+   entries decode to [None] and count as misses, so a store written by
+   an earlier build is silently re-populated rather than misread. *)
+let version = 3
 
 let status_tag = function
   | Ilp.Branch_bound.Optimal -> 0
@@ -22,9 +24,11 @@ let status_tag = function
   | Ilp.Branch_bound.Unbounded -> 3
   | Ilp.Branch_bound.Limit -> 4
 
-let encode (s : Ilp.Branch_bound.solution) : string =
+let encode ?(engine = "ilp") (s : Ilp.Branch_bound.solution) : string =
   let b = Buffer.create 256 in
   Buffer.add_uint8 b version;
+  Buffer.add_uint8 b (min 255 (String.length engine));
+  Buffer.add_string b (String.sub engine 0 (min 255 (String.length engine)));
   Buffer.add_uint8 b (status_tag s.Ilp.Branch_bound.status);
   Buffer.add_int64_le b (Int64.bits_of_float s.Ilp.Branch_bound.obj);
   Buffer.add_int64_le b (Int64.of_int s.Ilp.Branch_bound.nodes);
@@ -45,7 +49,7 @@ let encode (s : Ilp.Branch_bound.solution) : string =
 
 exception Malformed
 
-let decode (s : string) : Ilp.Branch_bound.solution option =
+let decode ?(engine = "ilp") (s : string) : Ilp.Branch_bound.solution option =
   let pos = ref 0 in
   let len = String.length s in
   let u8 () =
@@ -81,6 +85,13 @@ let decode (s : string) : Ilp.Branch_bound.solution option =
   in
   match
     (if u8 () <> version then raise Malformed;
+     (* engine mismatch is treated exactly like corruption: the entry is
+        not an answer to this question *)
+     let elen = u8 () in
+     if !pos + elen > len then raise Malformed;
+     let entry_engine = String.sub s !pos elen in
+     pos := !pos + elen;
+     if not (String.equal entry_engine engine) then raise Malformed;
      let status =
        match u8 () with
        | 0 -> Ilp.Branch_bound.Optimal

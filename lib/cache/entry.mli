@@ -11,11 +11,15 @@ val version : int
 (** Payload format version (independent of the store schema; bumped only
     if the byte layout changes). *)
 
-val encode : Ilp.Branch_bound.solution -> string
+val encode : ?engine:string -> Ilp.Branch_bound.solution -> string
+(** [engine] (default ["ilp"]) tags the producing solve engine; it is
+    stored in the payload and checked on decode, so a heuristic answer
+    can never replay as an exact one. *)
 
-val decode : string -> Ilp.Branch_bound.solution option
+val decode : ?engine:string -> string -> Ilp.Branch_bound.solution option
 (** Total: truncated, corrupted or trailing-garbage input returns [None],
-    never raises. *)
+    never raises.  An entry written by a different [engine] (default
+    ["ilp"]) also returns [None] — cross-engine replays are refused. *)
 
 val equal : Ilp.Branch_bound.solution -> Ilp.Branch_bound.solution -> bool
 (** Bit-exact structural equality (floats by bit pattern). *)

@@ -203,7 +203,7 @@ let drop_corrupt t key =
   Hashtbl.remove t.index key;
   t.n_corrupt <- t.n_corrupt + 1
 
-let lookup t key : Ilp.Branch_bound.solution option =
+let lookup ?(engine = "ilp") t key : Ilp.Branch_bound.solution option =
   locked t @@ fun () ->
   let r =
     match Hashtbl.find_opt t.index key with
@@ -219,7 +219,7 @@ let lookup t key : Ilp.Branch_bound.solution option =
               None
             end
             else
-              match Entry.decode payload with
+              match Entry.decode ~engine payload with
               | None ->
                   drop_corrupt t key;
                   None
@@ -300,11 +300,11 @@ let compact t =
   probe t "evict";
   write_index t
 
-let store t key (sol : Ilp.Branch_bound.solution) =
+let store ?(engine = "ilp") t key (sol : Ilp.Branch_bound.solution) =
   locked t @@ fun () ->
   if not (Hashtbl.mem t.index key) then begin
     (try
-       let payload = Entry.encode sol in
+       let payload = Entry.encode ~engine sol in
        let oc = data_channel t in
        let offset = t.data_len in
        output_string oc payload;
@@ -366,8 +366,12 @@ let entry_key ~salt fingerprint =
 
 let salt ~context = Digest.string (schema ^ "\x00" ^ context)
 
+(* The engine rides per call, not per backing: one memo (and one store)
+   serves both the exact and the heuristic engine, whose keys are already
+   separated by the fingerprint's engine salt — the entry's own engine
+   tag is the belt to that suspender. *)
 let backing t ~salt : Ilp.Memo.backing =
   {
-    Ilp.Memo.lookup = (fun fp -> lookup t (entry_key ~salt fp));
-    store = (fun fp sol -> store t (entry_key ~salt fp) sol);
+    Ilp.Memo.lookup = (fun fp ~engine -> lookup ~engine t (entry_key ~salt fp));
+    store = (fun fp ~engine sol -> store ~engine t (entry_key ~salt fp) sol);
   }

@@ -34,11 +34,13 @@ val open_ : ?max_mb:int -> dir:string -> unit -> t
     ([Cli]/[Invalid_input]) only when [dir] cannot be created — file
     corruption never raises. *)
 
-val lookup : t -> string -> Ilp.Branch_bound.solution option
+val lookup : ?engine:string -> t -> string -> Ilp.Branch_bound.solution option
 (** Checksum-validated, decode-validated read; [None] on any anomaly
-    (the offending entry is dropped and counted in [corrupt]). *)
+    (the offending entry is dropped and counted in [corrupt]).  An entry
+    written by a different [engine] (default ["ilp"]) is refused like a
+    decode failure — a heuristic answer never replays as an exact one. *)
 
-val store : t -> string -> Ilp.Branch_bound.solution -> unit
+val store : ?engine:string -> t -> string -> Ilp.Branch_bound.solution -> unit
 (** Append the payload and persist the index.  Idempotent per key; all
     IO failures are swallowed (the cache is an accelerator).  Triggers
     LRU compaction when the data file exceeds the cap. *)

@@ -30,6 +30,9 @@ type result = {
   wall_time_s : float;
   disk_cache : Cache.Store.counters option;
       (** persistent-cache traffic of this run ([None] without a store) *)
+  solver : Config.solver;
+      (** engine the run used ([Config.solver]); {!degradation} judges
+          the root's tag against this mode's acceptable tier *)
 }
 
 (** Sequential candidate of [node] on class [cls]: children (if any) use
@@ -161,7 +164,7 @@ let parallelize ?(cfg = Config.default) ?stats ?pool ?store ?memo
     let cands =
       match kind with
       | Ilppar ->
-          Formulation.sweep ~stats:st ?cache ~total_units
+          Portfolio.sweep ~stats:st ?cache ~total_units
             {
               Formulation.node;
               child_sets;
@@ -228,12 +231,19 @@ let parallelize ?(cfg = Config.default) ?stats ?pool ?store ?memo
           (* independent (class, kind) sweeps, listed in the sequential
              driver's order: classes ascending; ILPPAR, then DOALL
              splitting, then pipelining *)
+          (* The auxiliary sweeps (DOALL splitting, pipelining) run small
+             dedicated ILPs; under [--solver=heuristic] — whose contract
+             is "no branch & bound anywhere" — they are skipped and the
+             heuristic fork/join candidates stand alone. *)
+          let aux_ilps = cfg.Config.solver <> Config.Heuristic in
           let kinds =
             [ Ilppar ]
-            @ (if Htg.Node.is_doall node && cfg.Config.enable_loop_split then
-                 [ Split ]
+            @ (if
+                 Htg.Node.is_doall node && cfg.Config.enable_loop_split
+                 && aux_ilps
+               then [ Split ]
                else [])
-            @ if cfg.Config.enable_pipeline then [ Pipe ] else []
+            @ if cfg.Config.enable_pipeline && aux_ilps then [ Pipe ] else []
           in
           let descs =
             List.concat_map
@@ -323,7 +333,15 @@ let parallelize ?(cfg = Config.default) ?stats ?pool ?store ?memo
           (fun acc s -> if s.Solution.time_us < acc.Solution.time_us then s else acc)
           x rest
   in
-  { root_set; root; sets; stats; wall_time_s = Ilp.Clock.now_s () -. t0; disk_cache }
+  {
+    root_set;
+    root;
+    sets;
+    stats;
+    wall_time_s = Ilp.Clock.now_s () -. t0;
+    disk_cache;
+    solver = cfg.Config.solver;
+  }
 
 (** Canonical digest of everything Algorithm 1 decided: the implemented
     root solution, the root candidate set, and every node's candidate
@@ -341,13 +359,26 @@ let digest (r : result) : string =
 
 (** The degraded-but-valid verdict shared by the CLI (exit 2) and the
     serve protocol (status [degraded]): [Some name] when the chosen
-    solution carries a degradation tag, or when the solver's
-    degradation ladder engaged anywhere during the sweep (the candidate
-    sets may then be missing solutions the full search would have
-    found). *)
+    solution carries a degradation tag worse than the solver mode's
+    contract allows, or when the solver's degradation ladder engaged
+    anywhere during the sweep (the candidate sets may then be missing
+    solutions the full search would have found).
+
+    The acceptable tier is mode-dependent: [Ilp] promises proved optima
+    ([Exact]); [Heuristic] promises heuristic answers by design, so the
+    [Heuristic] tag is not a degradation there; [Portfolio] promises at
+    worst an incumbent-quality answer, so [Heuristic] and [Incumbent]
+    tags are its normal operating regime. *)
 let degradation (r : result) : string option =
+  let acceptable =
+    Solution.degradation_rank
+      (match r.solver with
+      | Config.Ilp -> Solution.Exact
+      | Config.Heuristic -> Solution.Heuristic
+      | Config.Portfolio -> Solution.Incumbent)
+  in
   let worst = Solution.worst_degradation r.root in
-  if Solution.degradation_rank worst > 0 then
+  if Solution.degradation_rank worst > acceptable then
     Some (Solution.degradation_name worst)
   else if Ilp.Stats.ladder_engaged r.stats then
     Some "exact (ladder engaged during the sweep)"

@@ -16,6 +16,9 @@ type result = {
   wall_time_s : float;
   disk_cache : Cache.Store.counters option;
       (** persistent-cache traffic of this run ([None] without a store) *)
+  solver : Config.solver;
+      (** engine the run used ([Config.solver]); {!degradation} judges
+          the root's tag against this mode's acceptable tier *)
 }
 
 (** Sequential candidate of a node on a class (children, if any, use their

@@ -1,5 +1,20 @@
 (** Tuning knobs of the parallelization algorithm. *)
 
+(** Which solve engine maps each HTG node (the PR 10 portfolio axis).
+
+    [Ilp] is the paper's exact Eq. 1–18 branch & bound — the historical
+    behaviour, bit-identical to earlier releases.  [Heuristic] replaces
+    the solver entirely with the AMTHA-style list scheduler plus the
+    seeded GA refiner: milliseconds per node, near-optimal schedules,
+    results tagged with the [Heuristic] tier (not degraded, exit 0).
+    [Portfolio] runs the heuristic first and hands its makespan to
+    branch & bound as the starting incumbent under a reduced
+    deterministic work budget ([portfolio_work_limit]): the exact search
+    either proves optimality quickly or returns the (possibly improved)
+    incumbent — never worse than the heuristic, usually much faster than
+    the full exact solve. *)
+type solver = Ilp | Portfolio | Heuristic
+
 type t = {
   max_candidates_per_class : int;
       (** cap on parallel solution candidates kept per (node, class) after
@@ -96,6 +111,16 @@ type t = {
       (** prime each solve's incumbent with the greedy list schedule
           ([--seed-incumbent]), so fathoming starts from a real bound
           instead of the first rounding success *)
+  solver : solver;
+      (** solve engine per HTG node ([--solver]): [Ilp] (exact,
+          default), [Portfolio] (heuristic incumbent + reduced-budget
+          exact), or [Heuristic] (no exact solver at all) *)
+  portfolio_work_limit : float;
+      (** deterministic branch & bound budget per solve under
+          [Portfolio], in simplex work units; deliberately a fraction of
+          [ilp_work_limit] — the heuristic incumbent keeps quality while
+          the smaller budget buys the portfolio's wall-time win.  [0.]
+          disables the cap (portfolio degenerates to seeded exact) *)
 }
 
 let default =
@@ -124,6 +149,8 @@ let default =
     ilp_symmetry = true;
     ilp_cuts = true;
     ilp_seed_incumbent = true;
+    solver = Ilp;
+    portfolio_work_limit = 4e6;
   }
 
 (** Faster, slightly less exhaustive settings for unit tests. *)

@@ -1,5 +1,11 @@
 (** Tuning knobs of the parallelization algorithm. *)
 
+(** Which solve engine maps each HTG node: the exact ILP (default,
+    bit-identical to earlier releases), the heuristic-seeded portfolio
+    (heuristic incumbent + reduced-budget exact), or the pure heuristic
+    (list scheduler + seeded GA, no exact solver). *)
+type solver = Ilp | Portfolio | Heuristic
+
 type t = {
   max_candidates_per_class : int;
       (** cap on parallel candidates kept per (node, class) after Pareto
@@ -69,6 +75,11 @@ type t = {
   ilp_seed_incumbent : bool;
       (** prime each solve's incumbent with the greedy list schedule
           ([--seed-incumbent]) *)
+  solver : solver;
+      (** solve engine per HTG node ([--solver]); default [Ilp] *)
+  portfolio_work_limit : float;
+      (** deterministic branch & bound budget per solve under
+          [Portfolio], in simplex work units; [0.] disables the cap *)
 }
 
 val default : t

@@ -666,24 +666,17 @@ let hierarchical_warm_start (inp : input) (inst : instance) : float array =
 (* Greedy incumbent seed                                               *)
 (* ------------------------------------------------------------------ *)
 
-(** Evaluate the model point implied by the greedy list schedule
-    ([Config.ilp_seed_incumbent]): a {e multi-task} incumbent at node 0,
-    complementing the sequential {!hierarchical_warm_start}.  Discrete
-    variables come straight from the greedy assignment; each continuous
-    variable takes the minimal value its rows allow, in task order.  The
-    construction is best-effort: a schedule the model rejects (e.g. a
-    conflict pair split across chunks) yields an infeasible point and is
-    filtered by the solver's seed feasibility check. *)
-let greedy_seed (inp : input) (inst : instance) : float array option =
-  let edges3 =
-    List.map (fun e -> (e.e_src, e.e_dst, e.e_cost_us)) inst.all_edges
-  in
-  match
-    Degrade.greedy ~node:inp.node ~child_sets:inp.child_sets ~pf:inp.pf
-      ~seq_class:inp.seq_class ~budget:inp.budget ~edges:edges3 ()
-  with
-  | None -> None
-  | Some { Solution.kind = Solution.Par pk; _ } ->
+(** Evaluate the full model point implied by a parallel schedule [pk]:
+    discrete variables come straight from the schedule's assignment; each
+    continuous variable takes the minimal value its rows allow, in task
+    order.  The construction is best-effort: a schedule the model rejects
+    (e.g. a conflict pair split across chunks, or a candidate not in this
+    instance's sets) yields [None] or an infeasible point — callers must
+    check [Model.feasible] before trusting the point.  This is the shared
+    schedule-to-model bridge of the greedy incumbent seed and of every
+    heuristic-engine schedule (PR 10 portfolio). *)
+let par_point (inp : input) (inst : instance) (pk : Solution.par) :
+    float array option =
       let k = Array.length inp.node.Htg.Node.children in
       let nclasses = Platform.Desc.num_classes inp.pf in
       let v = inst.vars in
@@ -830,7 +823,21 @@ let greedy_seed (inp : input) (inst : instance) : float array option =
           Some w
         end
       end
-  | Some _ -> None
+
+(** Model point of the greedy list schedule ([Config.ilp_seed_incumbent]):
+    a {e multi-task} incumbent complementing the sequential
+    {!hierarchical_warm_start}, fed to branch & bound as an extra start
+    (its own feasibility check filters rejected points). *)
+let greedy_seed (inp : input) (inst : instance) : float array option =
+  let edges3 =
+    List.map (fun e -> (e.e_src, e.e_dst, e.e_cost_us)) inst.all_edges
+  in
+  match
+    Degrade.greedy ~node:inp.node ~child_sets:inp.child_sets ~pf:inp.pf
+      ~seq_class:inp.seq_class ~budget:inp.budget ~edges:edges3 ()
+  with
+  | Some { Solution.kind = Solution.Par pk; _ } -> par_point inp inst pk
+  | Some _ | None -> None
 
 (* ------------------------------------------------------------------ *)
 (* Extraction                                                          *)
@@ -948,7 +955,7 @@ let lp_round (inp : input) (inst : instance) :
           (fun r -> ({ r with Solution.degrade = Solution.Lp_round }, out))
           (extract inp inst out)
       end
-  | (Simplex.Infeasible | Simplex.Unbounded), _ -> None
+  | (Simplex.Infeasible | Simplex.Unbounded | Simplex.Stalled), _ -> None
   | exception Fault.Injected _ ->
       (* the relaxation's pivots hit the same probes branch & bound did;
          give up on this rung and let the caller fall to greedy *)
@@ -1004,19 +1011,50 @@ let degrade_ladder ?stats (inp : input) (inst : instance) :
           record `Seq_fallback;
           None)
 
+(** Run branch & bound on an already-built instance and classify the
+    outcome.  Solver limits and injected solver faults never lose the
+    subproblem: results are tagged with their {!Solution.degradation}
+    level and {!degrade_ladder} supplies a constructive fallback.  Shared
+    by the classic exact path ({!solve_ext}) and the portfolio driver,
+    which passes a reduced work limit and the heuristic incumbent as an
+    extra start. *)
+let solve_built ?stats ?cache (inp : input) (inst : instance) ~options
+    ~warm_start ~extra_starts : (Solution.t * Solver.outcome) option =
+  match
+    Solver.solve ~options ~warm_start ~extra_starts ?cache ?stats inst.model
+  with
+  | out -> (
+      match out.Solver.status with
+      | Branch_bound.Optimal ->
+          Option.map (fun r -> (r, out)) (extract inp inst out)
+      | Branch_bound.Feasible -> (
+          match extract inp inst out with
+          | Some r ->
+              (match stats with
+              | Some s -> Stats.record_degraded s `Incumbent
+              | None -> ());
+              if Trace.enabled () then
+                Trace.instant ~cat:"ilp" "degrade"
+                  ~args:
+                    [
+                      ("node", Trace.Int inp.node.Htg.Node.id);
+                      ("rung", Trace.Str "incumbent");
+                    ];
+              Some ({ r with Solution.degrade = Solution.Incumbent }, out)
+          | None -> None)
+      | Branch_bound.Infeasible | Branch_bound.Unbounded -> None
+      | Branch_bound.Limit -> degrade_ladder ?stats inp inst)
+  | exception Fault.Injected _ -> degrade_ladder ?stats inp inst
+
 (** Build and solve one ILPPAR instance.  Returns [None] when the node has
     fewer than two children or the budget admits no parallelism.  [prev]
     is the outcome of the preceding (larger-budget) solve of the same
-    sweep, chained into a lower bound and warm starts (see {!Sweep}).
-
-    Solver limits and injected solver faults never lose the subproblem:
-    results are tagged with their {!Solution.degradation} level and the
-    ladder in {!degrade_ladder} supplies a constructive fallback. *)
+    sweep, chained into a lower bound and warm starts (see {!Sweep}). *)
 let solve_ext ?stats ?cache ?prev (inp : input) :
     (Solution.t * Solver.outcome) option =
   match build inp with
   | None -> None
-  | Some inst -> (
+  | Some inst ->
       let options = Sweep.chain_options inp.cfg prev in
       let warm = hierarchical_warm_start inp inst in
       let extra_starts =
@@ -1031,32 +1069,8 @@ let solve_ext ?stats ?cache ?prev (inp : input) :
           @ (match greedy_seed inp inst with Some y -> [ y ] | None -> [])
         else extra_starts
       in
-      match
-        Solver.solve ~options ~warm_start:warm ~extra_starts ?cache ?stats
-          inst.model
-      with
-      | out -> (
-          match out.Solver.status with
-          | Branch_bound.Optimal ->
-              Option.map (fun r -> (r, out)) (extract inp inst out)
-          | Branch_bound.Feasible -> (
-              match extract inp inst out with
-              | Some r ->
-                  (match stats with
-                  | Some s -> Stats.record_degraded s `Incumbent
-                  | None -> ());
-                  if Trace.enabled () then
-                    Trace.instant ~cat:"ilp" "degrade"
-                      ~args:
-                        [
-                          ("node", Trace.Int inp.node.Htg.Node.id);
-                          ("rung", Trace.Str "incumbent");
-                        ];
-                  Some ({ r with Solution.degrade = Solution.Incumbent }, out)
-              | None -> None)
-          | Branch_bound.Infeasible | Branch_bound.Unbounded -> None
-          | Branch_bound.Limit -> degrade_ladder ?stats inp inst)
-      | exception Fault.Injected _ -> degrade_ladder ?stats inp inst)
+      solve_built ?stats ?cache inp inst ~options ~warm_start:warm
+        ~extra_starts
 
 let solve ?stats ?cache (inp : input) : Solution.t option =
   Option.map fst (solve_ext ?stats ?cache inp)

@@ -16,6 +16,80 @@ type input = {
   cfg : Config.t;
 }
 
+(** Variable ids of one instance, for extraction and warm starts. *)
+type vars = {
+  x : Ilp.Model.var array array;  (** x.(n).(t) *)
+  p : Ilp.Model.var array array array;  (** p.(n).(c).(s) *)
+  pred : Ilp.Model.var array array;  (** pred.(t).(u), only t<u valid *)
+  map_tc : Ilp.Model.var array array;  (** map.(t).(c) *)
+  used : Ilp.Model.var array;
+  cost : Ilp.Model.var array;
+  contrib : Ilp.Model.var array array;  (** contrib.(n).(t) *)
+  accum : Ilp.Model.var array;
+  commcost : Ilp.Model.var array;
+  procsused : Ilp.Model.var array array;  (** procsused.(t).(c) *)
+  cut : (int * Ilp.Model.var array) list;
+      (** edge idx in flow list -> per task *)
+  exectime : Ilp.Model.var;
+}
+
+type edge_info = {
+  e_src : int;  (** child index; -1 for Comm-In *)
+  e_dst : int;  (** child index; -2 for Comm-Out *)
+  e_cost_us : float;  (** full transfer cost if the edge is cut *)
+  e_is_flow : bool;
+}
+
+type instance = {
+  model : Ilp.Model.t;
+  vars : vars;
+  ntasks : int;
+  cands : Solution.t array array array;  (** cands.(n).(c) = candidates *)
+  flow_edges : edge_info array;
+  all_edges : edge_info list;
+  header_us : float;
+  tco_total : float;
+}
+
+(** Build one ILPPAR instance; [None] when the node has fewer than two
+    children or the budget admits no parallelism. *)
+val build : input -> instance option
+
+(** All children in the main task on [seqPC], greedily upgraded to their
+    fastest fitting candidates — a complete, always-feasible model point
+    that seeds branch & bound and anchors the heuristic engine. *)
+val hierarchical_warm_start : input -> instance -> float array
+
+(** Full model point implied by a parallel schedule (assignment, task
+    classes, child choices).  Best-effort: callers must check
+    [Ilp.Model.feasible] before trusting the point.  Shared bridge of the
+    greedy incumbent seed and the heuristic engine's schedules. *)
+val par_point : input -> instance -> Solution.par -> float array option
+
+(** Decode a solver outcome's point into a candidate solution (tagged
+    [Exact]; callers retag degraded results). *)
+val extract : input -> instance -> Ilp.Solver.outcome -> Solution.t option
+
+(** Run branch & bound on a built instance and classify the outcome;
+    limits and injected faults fall down the degradation ladder. *)
+val solve_built :
+  ?stats:Ilp.Stats.t ->
+  ?cache:Ilp.Memo.t ->
+  input ->
+  instance ->
+  options:Ilp.Branch_bound.options ->
+  warm_start:float array ->
+  extra_starts:float array list ->
+  (Solution.t * Ilp.Solver.outcome) option
+
+(** Rungs below best-incumbent, tried in order: LP rounding, greedy list
+    scheduling, then [None] (seq-fallback, recorded in [stats]). *)
+val degrade_ladder :
+  ?stats:Ilp.Stats.t ->
+  input ->
+  instance ->
+  (Solution.t * Ilp.Solver.outcome) option
+
 (** Build and solve one ILPPAR instance.  [None] when the node has fewer
     than two children or the budget admits no parallelism; otherwise the
     extracted candidate (tagged [seq_class]), even if only the warm-start

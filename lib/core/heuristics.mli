@@ -1,0 +1,27 @@
+(** Heuristic scheduling engine of the solver portfolio: AMTHA-style
+    balanced list schedules refined by a small seeded genetic algorithm,
+    evaluated against the {e exact} ILPPAR model ({!Formulation.par_point}
+    + [Ilp.Model.feasible]) so only optimality is forgone.  Fully
+    deterministic at any worker count. *)
+
+(** Best heuristic point of one built instance: the full model point and
+    its exact-model objective.  Memoized in [cache] under the
+    ["heuristic"] engine fingerprint (never replayable as an exact
+    answer); recorded in [stats] as a heuristic solve or cache hit. *)
+val best_point :
+  ?stats:Ilp.Stats.t ->
+  ?cache:Ilp.Memo.t ->
+  Formulation.input ->
+  Formulation.instance ->
+  (float array * float) option
+
+(** Solve one subproblem purely heuristically ([--solver=heuristic]):
+    the best schedule extracted as a candidate tagged
+    {!Solution.Heuristic}, with a fabricated [Feasible] outcome so sweep
+    budget chaining works unchanged. *)
+val solve :
+  ?stats:Ilp.Stats.t ->
+  ?cache:Ilp.Memo.t ->
+  Formulation.input ->
+  Formulation.instance ->
+  (Solution.t * Ilp.Solver.outcome) option

@@ -1,0 +1,123 @@
+(** Per-node solver portfolio ([Config.solver]).
+
+    Dispatches each ILPPAR subproblem to one of three engines:
+
+    - [Ilp]: the classic exact path, delegated verbatim to
+      {!Formulation.solve_ext} — results (and every byte feeding the
+      solution digest) are identical to a build without this module;
+    - [Heuristic]: the list-scheduler/GA engine ({!Heuristics}) alone —
+      no branch & bound anywhere, candidates tagged
+      {!Solution.Heuristic};
+    - [Portfolio]: the heuristic runs first and its makespan seeds branch
+      & bound as an incumbent (an extra start appended after the sweep's
+      chained trail), while the exact search runs under the reduced
+      deterministic budget [Config.portfolio_work_limit].  The better
+      answer wins; which engine won, and the quality gap the heuristic
+      left when it lost, are recorded in {!Ilp.Stats} and as a
+      ["portfolio.race"] trace instant.
+
+    Everything downstream (budget sweep, candidate pruning, degradation
+    accounting) is engine-agnostic; determinism at any [--jobs] follows
+    from the engines' own determinism. *)
+
+open Ilp
+
+(* Race bookkeeping: the exact engine "won" only if it strictly improved
+   on the heuristic incumbent (ties go to the heuristic — its answer
+   survived the exact search). *)
+let record_race ?stats (inp : Formulation.input) ~heur_obj ~exact_obj =
+  let eps = 1e-9 in
+  let exact_won = exact_obj < heur_obj -. eps in
+  let gap =
+    if exact_won && exact_obj > eps then (heur_obj -. exact_obj) /. exact_obj
+    else 0.
+  in
+  (match stats with
+  | Some s ->
+      Stats.record_race s
+        ~winner:(if exact_won then `Exact else `Heuristic)
+        ~quality_gap:gap
+  | None -> ());
+  if Trace.enabled () then
+    Trace.instant ~cat:"ilp" "portfolio.race"
+      ~args:
+        [
+          ("node", Trace.Int inp.Formulation.node.Htg.Node.id);
+          ("winner", Trace.Str (if exact_won then "exact" else "heuristic"));
+          ("heur_obj", Trace.Float heur_obj);
+          ("exact_obj", Trace.Float exact_obj);
+          ("quality_gap", Trace.Float gap);
+        ]
+
+let heuristic_result (inp : Formulation.input) (inst : Formulation.instance)
+    (w : float array) (obj : float) : (Solution.t * Solver.outcome) option =
+  let out =
+    {
+      Solver.status = Branch_bound.Feasible;
+      x = Some w;
+      obj;
+      nodes = 0;
+      time_s = 0.;
+      incumbents = [];
+    }
+  in
+  Option.map
+    (fun r -> ({ r with Solution.degrade = Solution.Heuristic }, out))
+    (Formulation.extract inp inst out)
+
+let solve_ext ?stats ?cache ?prev (inp : Formulation.input) :
+    (Solution.t * Solver.outcome) option =
+  match inp.Formulation.cfg.Config.solver with
+  | Config.Ilp -> Formulation.solve_ext ?stats ?cache ?prev inp
+  | Config.Heuristic -> (
+      match Formulation.build inp with
+      | None -> None
+      | Some inst -> Heuristics.solve ?stats ?cache inp inst)
+  | Config.Portfolio -> (
+      match Formulation.build inp with
+      | None -> None
+      | Some inst -> (
+          let cfg = inp.Formulation.cfg in
+          let heur = Heuristics.best_point ?stats ?cache inp inst in
+          (* the race's determinism lever is the reduced work budget, itself
+             deterministic (simplex work units, not wall clock); it is
+             applied inside {!Sweep.chain_options} so the Split/Pipe
+             auxiliary sweeps run under the same bound *)
+          let options = Sweep.chain_options cfg prev in
+          let warm = Formulation.hierarchical_warm_start inp inst in
+          let extra_starts =
+            Sweep.chain_starts cfg prev
+              ~num_vars:(Model.num_vars inst.Formulation.model)
+          in
+          (* the heuristic incumbent enters the race last, after the
+             chained trail, as the seeded lower-priority start *)
+          let extra_starts =
+            extra_starts
+            @ match heur with Some (w, _) -> [ w ] | None -> []
+          in
+          let exact =
+            Formulation.solve_built ?stats ?cache inp inst ~options
+              ~warm_start:warm ~extra_starts
+          in
+          match (exact, heur) with
+          | Some ((r, out) as res), Some (w, hobj) ->
+              record_race ?stats inp ~heur_obj:hobj ~exact_obj:out.Solver.obj;
+              (* keep the strictly better answer: a ladder fallback can be
+                 worse than the heuristic point it never saw *)
+              if r.Solution.time_us > hobj +. 1e-9 then
+                heuristic_result inp inst w hobj
+              else Some res
+          | Some res, None -> Some res
+          | None, Some (w, hobj) -> heuristic_result inp inst w hobj
+          | None, None -> None))
+
+let solve ?stats ?cache (inp : Formulation.input) : Solution.t option =
+  Option.map fst (solve_ext ?stats ?cache inp)
+
+(** The full decreasing-budget sweep for one (node, class) under the
+    configured engine; candidates in discovery order.  With
+    [Config.solver = Ilp] this is {!Formulation.sweep} exactly. *)
+let sweep ?stats ?cache ~total_units (inp : Formulation.input) :
+    Solution.t list =
+  Sweep.run ~total_units ~solve:(fun ~budget ~prev ->
+      solve_ext ?stats ?cache ?prev { inp with Formulation.budget })

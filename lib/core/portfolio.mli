@@ -1,0 +1,30 @@
+(** Per-node solver portfolio ([Config.solver]): dispatches each ILPPAR
+    subproblem to the exact engine ([Ilp] — bit-identical to
+    {!Formulation.solve_ext}), the heuristic engine alone ([Heuristic]),
+    or a race where the heuristic's makespan seeds branch & bound as an
+    incumbent under a reduced deterministic work budget ([Portfolio]).
+    Race outcomes (winning engine, quality gap) are recorded in
+    {!Ilp.Stats} and as ["portfolio.race"] trace instants. *)
+
+val solve :
+  ?stats:Ilp.Stats.t ->
+  ?cache:Ilp.Memo.t ->
+  Formulation.input ->
+  Solution.t option
+
+val solve_ext :
+  ?stats:Ilp.Stats.t ->
+  ?cache:Ilp.Memo.t ->
+  ?prev:Ilp.Solver.outcome ->
+  Formulation.input ->
+  (Solution.t * Ilp.Solver.outcome) option
+
+(** The full decreasing-budget sweep for one (node, class) under the
+    configured engine; with [Config.solver = Ilp] this is exactly
+    {!Formulation.sweep}. *)
+val sweep :
+  ?stats:Ilp.Stats.t ->
+  ?cache:Ilp.Memo.t ->
+  total_units:int ->
+  Formulation.input ->
+  Solution.t list

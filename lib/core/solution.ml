@@ -18,6 +18,13 @@ type degradation =
   | Lp_round  (** rounded LP relaxation, feasibility re-checked *)
   | Greedy  (** greedy list-scheduling over processor classes *)
   | Seq_fallback  (** the always-feasible sequential solution *)
+  | Heuristic
+      (** portfolio list-scheduler / GA schedule, feasibility-checked
+          against the exact model ([--solver=heuristic]'s native tier).
+          Declared last so the constructor tags of the historical levels
+          — and with them the Marshal-based solution digests of pure-ILP
+          runs — are unchanged; {!degradation_rank} still orders it right
+          after [Exact]. *)
 
 type t = {
   node_id : int;  (** AHTG node this candidate belongs to *)
@@ -84,13 +91,15 @@ let is_sequential s = match s.kind with Seq _ -> true | _ -> false
 
 let degradation_rank = function
   | Exact -> 0
-  | Incumbent -> 1
-  | Lp_round -> 2
-  | Greedy -> 3
-  | Seq_fallback -> 4
+  | Heuristic -> 1
+  | Incumbent -> 2
+  | Lp_round -> 3
+  | Greedy -> 4
+  | Seq_fallback -> 5
 
 let degradation_name = function
   | Exact -> "exact"
+  | Heuristic -> "heuristic"
   | Incumbent -> "incumbent"
   | Lp_round -> "lp-round"
   | Greedy -> "greedy"

@@ -15,6 +15,11 @@ type degradation =
   | Lp_round  (** rounded LP relaxation, feasibility re-checked *)
   | Greedy  (** greedy list-scheduling over processor classes *)
   | Seq_fallback  (** the always-feasible sequential solution *)
+  | Heuristic
+      (** portfolio list-scheduler / GA schedule, feasibility-checked
+          against the exact model; declared last so historical
+          constructor tags (and pure-ILP solution digests) are stable,
+          but ranked right after [Exact] *)
 
 type t = {
   node_id : int;  (** AHTG node this candidate belongs to *)
@@ -64,7 +69,8 @@ val num_tasks : t -> int
 val is_sequential : t -> bool
 
 val degradation_rank : degradation -> int
-(** 0 for [Exact] … 4 for [Seq_fallback]; monotone in severity. *)
+(** 0 for [Exact], 1 for [Heuristic], … 5 for [Seq_fallback]; monotone
+    in severity. *)
 
 val degradation_name : degradation -> string
 

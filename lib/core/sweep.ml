@@ -32,8 +32,20 @@ let chain_options (cfg : Config.t) (prev : Solver.outcome option) :
       Branch_bound.time_limit_s = cfg.Config.ilp_time_limit_s;
       node_limit = cfg.Config.ilp_node_limit;
       work_limit =
-        (if cfg.Config.ilp_work_limit > 0. then cfg.Config.ilp_work_limit
+        (* in portfolio mode the reduced deterministic budget bounds every
+           branch & bound in the run — the ILPPAR race (which has the
+           heuristic incumbent as a floor) and the Split/Pipe auxiliary
+           sweeps (which keep their own greedy seeds); the quality gate in
+           CI holds the resulting makespans to the exact ones *)
+        (if
+           cfg.Config.solver = Config.Portfolio
+           && cfg.Config.portfolio_work_limit > 0.
+         then cfg.Config.portfolio_work_limit
+         else if cfg.Config.ilp_work_limit > 0. then cfg.Config.ilp_work_limit
          else infinity);
+      hard_work_limit =
+        cfg.Config.solver = Config.Portfolio
+        && cfg.Config.portfolio_work_limit > 0.;
       gap_rel = cfg.Config.ilp_gap_rel;
       (* acceleration toggles ride in the options so they salt the
          {!Ilp.Memo} fingerprint: flipping one can never replay a cached

@@ -46,6 +46,14 @@ type options = {
       (** separate cover cuts at every [cut_every]-th node during the
           dive (0 = off); cover cuts are globally valid, so in-dive cuts
           are sound to share across the whole tree *)
+  hard_work_limit : bool;
+      (** enforce [work_limit] {e inside} LP solves too: a relaxation
+          whose pivots would overshoot the remaining budget is aborted
+          mid-solve ({!Simplex.Budget_exhausted}) and the search stops
+          with the current incumbent.  Off (the historical behavior, where
+          a single large LP can overshoot the budget) except under the
+          portfolio engine, whose reduced budget is smaller than one hard
+          root LP. *)
 }
 
 let default_options =
@@ -63,6 +71,7 @@ let default_options =
     presolve = false;
     cut_rounds = 0;
     cut_every = 0;
+    hard_work_limit = false;
   }
 
 (* how many improving incumbents to keep for the caller *)
@@ -164,7 +173,7 @@ let rounded_candidate model opts (x : float array) =
     {!rounded_candidate} but finds feasible completions the plain rounding
     misses (e.g. when big-M continuous variables must move). *)
 let fix_and_solve model (node_lb : float array) (node_ub : float array)
-    (x : float array) ~work ~pivots =
+    (x : float array) ~work ~pivots ~work_budget =
   let n = Model.num_vars model in
   let lb = Array.copy node_lb and ub = Array.copy node_ub in
   let ok = ref true in
@@ -180,7 +189,7 @@ let fix_and_solve model (node_lb : float array) (node_ub : float array)
   done;
   if not !ok then None
   else begin
-    let res, w, p = Simplex.solve_stats ~lb ~ub model in
+    let res, w, p = Simplex.solve_stats ~lb ~ub ~work_budget model in
     work := !work +. w;
     pivots := !pivots + p;
     match res with
@@ -191,7 +200,7 @@ let fix_and_solve model (node_lb : float array) (node_ub : float array)
             y.(v) <- Float.round y.(v)
         done;
         if Model.feasible model (fun v -> y.(v)) then Some y else None
-    | Simplex.Infeasible | Simplex.Unbounded -> None
+    | Simplex.Infeasible | Simplex.Unbounded | Simplex.Stalled -> None
   end
 
 let solve ?(options = default_options) ?warm_start ?(extra_starts = [])
@@ -244,6 +253,15 @@ let solve ?(options = default_options) ?warm_start ?(extra_starts = [])
   in
   let root_lb = Array.init n (fun v -> (Model.var_info model v).Model.lb) in
   let root_ub = Array.init n (fun v -> (Model.var_info model v).Model.ub) in
+  (* remaining hard budget for the next LP call; [infinity] disables the
+     mid-solve abort and reproduces the historical pivot sequences *)
+  let lp_budget () =
+    if options.hard_work_limit then Float.max 0. (options.work_limit -. !work)
+    else infinity
+  in
+  (* a mid-LP abort charges the whole remaining budget, so the loop-head
+     limit checks fire deterministically on the next iteration *)
+  let charge_budget () = work := Float.max !work options.work_limit in
   (* root cutting-plane rounds: solve the root LP, separate violated
      cover cuts, append, repeat.  Work and pivots count against the same
      deterministic budgets as node LPs. *)
@@ -253,18 +271,26 @@ let solve ?(options = default_options) ?warm_start ?(extra_starts = [])
     while !continue_cuts && !round < options.cut_rounds
           && !work < options.work_limit do
       incr round;
-      let lp, w, p = Simplex.solve_stats ~lb:root_lb ~ub:root_ub model in
-      work := !work +. w;
-      pivots := !pivots + p;
-      match lp with
-      | Simplex.Optimal { x; _ } ->
-          let cuts = Cuts.separate model x ~seen:seen_cuts ~max_cuts:16 in
-          if cuts = [] then continue_cuts := false
-          else begin
-            Cuts.add model cuts;
-            cuts_added := !cuts_added + List.length cuts
-          end
-      | Simplex.Infeasible | Simplex.Unbounded -> continue_cuts := false
+      match
+        Simplex.solve_stats ~lb:root_lb ~ub:root_ub
+          ~work_budget:(lp_budget ()) model
+      with
+      | exception Simplex.Budget_exhausted ->
+          charge_budget ();
+          continue_cuts := false
+      | lp, w, p -> (
+          work := !work +. w;
+          pivots := !pivots + p;
+          match lp with
+          | Simplex.Optimal { x; _ } ->
+              let cuts = Cuts.separate model x ~seen:seen_cuts ~max_cuts:16 in
+              if cuts = [] then continue_cuts := false
+              else begin
+                Cuts.add model cuts;
+                cuts_added := !cuts_added + List.length cuts
+              end
+          | Simplex.Infeasible | Simplex.Unbounded | Simplex.Stalled ->
+              continue_cuts := false)
     done
   end;
   let heap = Heap.create () in
@@ -307,12 +333,29 @@ let solve ?(options = default_options) ?warm_start ?(extra_starts = [])
             (* best-first: all remaining nodes are worse *)
           else begin
             incr nodes;
-            let lp, w, p = Simplex.solve_stats ~lb:nd.nlb ~ub:nd.nub model in
+            match
+              Simplex.solve_stats ~lb:nd.nlb ~ub:nd.nub
+                ~work_budget:(lp_budget ()) model
+            with
+            | exception Simplex.Budget_exhausted ->
+                (* the node is unresolved; stopping the whole search (not
+                   just skipping it) keeps the incumbent sound *)
+                charge_budget ()
+            | lp, w, p -> (
             work := !work +. w;
             pivots := !pivots + p;
             match lp with
             | Simplex.Infeasible -> ()
             | Simplex.Unbounded -> saw_unbounded := true
+            | Simplex.Stalled ->
+                (* the LP could neither find a feasible vertex nor prove
+                   infeasibility within its deterministic pivot caps:
+                   this subtree is undecided, so continuing (or pruning)
+                   could silently lose the true optimum.  Stop the whole
+                   search and report the incumbent [Feasible] — same
+                   contract as an exhausted work budget. *)
+                hit_limit := true;
+                continue := false
             | Simplex.Optimal { x; obj } -> (
                 let bound_key = key_of_obj obj in
                 if bound_key >= fathom_key () then ()
@@ -322,9 +365,14 @@ let solve ?(options = default_options) ?warm_start ?(extra_starts = [])
                   | None ->
                       (* periodically try the LP-based completion *)
                       if !nodes land 7 = 1 then
-                        match fix_and_solve model nd.nlb nd.nub x ~work ~pivots with
+                        match
+                          fix_and_solve model nd.nlb nd.nub x ~work ~pivots
+                            ~work_budget:(lp_budget ())
+                        with
                         | Some y -> consider_incumbent y
-                        | None -> ());
+                        | None -> ()
+                        | exception Simplex.Budget_exhausted ->
+                            charge_budget ());
                   match fractional_var model options x with
                   | None ->
                       (* integral LP solution *)
@@ -360,7 +408,7 @@ let solve ?(options = default_options) ?warm_start ?(extra_starts = [])
                         { nlb = nd.nlb; nub = down_ub; parent_bound = bound_key };
                       Heap.push heap bound_key
                         { nlb = up_lb; nub = nd.nub; parent_bound = bound_key }
-                end)
+                end))
           end
   done;
   let finish status x obj incumbents =

@@ -61,6 +61,12 @@ type options = {
       (** separate cover cuts every [cut_every]-th node during the dive;
           0 (the default) disables in-dive separation.  Cover cuts are
           globally valid, so sharing them across the tree is sound. *)
+  hard_work_limit : bool;
+      (** enforce [work_limit] inside LP solves too: a relaxation that
+          would overshoot the remaining budget aborts mid-solve and the
+          search stops with its current incumbent.  Off (the default,
+          historical behavior); switched on by the portfolio engine,
+          whose reduced budget is smaller than a single hard root LP. *)
 }
 
 val default_options : options

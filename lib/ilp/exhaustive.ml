@@ -62,7 +62,7 @@ let solve ?(limit = 2_000_00) (model : Model.t) : solution =
             match !best with
             | None -> best := Some (x, obj)
             | Some (_, o) -> if better obj o then best := Some (x, obj))
-        | Simplex.Infeasible -> ()
+        | Simplex.Infeasible | Simplex.Stalled -> ()
         | Simplex.Unbounded ->
             (* an unbounded fiber makes the whole MILP unbounded; represent
                with an infinite objective *)

@@ -30,8 +30,8 @@ type reservation = {
 type entry = Inflight of reservation | Done of Branch_bound.solution
 
 type backing = {
-  lookup : string -> Branch_bound.solution option;
-  store : string -> Branch_bound.solution -> unit;
+  lookup : string -> engine:string -> Branch_bound.solution option;
+  store : string -> engine:string -> Branch_bound.solution -> unit;
 }
 
 type t = {
@@ -43,6 +43,8 @@ type t = {
   disk_hits : int Atomic.t;
   misses : int Atomic.t;
   stalls : int Atomic.t;  (** reservations reported stalled by {!stalled} *)
+  cancelled : int Atomic.t;
+      (** reservations force-released by {!cancel_owned} *)
 }
 
 let create ?backing () =
@@ -55,6 +57,7 @@ let create ?backing () =
     disk_hits = Atomic.make 0;
     misses = Atomic.make 0;
     stalls = Atomic.make 0;
+    cancelled = Atomic.make 0;
   }
 
 (* ---- canonical fingerprint ---- *)
@@ -76,9 +79,19 @@ let add_terms b (e : Lin_expr.t) =
     e.Lin_expr.terms;
   add_float b e.Lin_expr.const
 
-let fingerprint ?(options = Branch_bound.default_options) ?warm_start
+let fingerprint ?engine ?(options = Branch_bound.default_options) ?warm_start
     ?(extra_starts = []) (model : Model.t) : string =
   let b = Buffer.create 4096 in
+  (* Engine salt (the PR 10 portfolio): a non-exact engine's answer must
+     never replay as an exact one, so any non-default engine prefixes the
+     canonical buffer.  [None] adds nothing — exact fingerprints are
+     byte-identical to every earlier release. *)
+  (match engine with
+  | None -> ()
+  | Some e ->
+      Buffer.add_string b "engine:";
+      Buffer.add_string b e;
+      Buffer.add_char b '\x00');
   (* variables: kind, bounds, priority — no names *)
   let n = Model.num_vars model in
   add_int b n;
@@ -144,7 +157,7 @@ let owner_label () =
   | Some tag -> Printf.sprintf "%s (req %s)" dom tag
   | None -> dom
 
-let find_or_reserve c key =
+let find_or_reserve ?(engine = "ilp") c key =
   Mutex.lock c.mu;
   let rec loop () =
     match Hashtbl.find_opt c.tbl key with
@@ -167,7 +180,7 @@ let find_or_reserve c key =
   let r =
     match (r, c.backing) with
     | `Reserved, Some bk -> (
-        match (try bk.lookup key with _ -> None) with
+        match (try bk.lookup key ~engine with _ -> None) with
         | Some sol ->
             publish c key sol;
             `Disk_hit sol
@@ -189,11 +202,11 @@ let find_or_reserve c key =
   | `Disk_hit sol -> `Hit sol
   | (`Hit _ | `Reserved) as r -> r
 
-let fill c key sol =
+let fill ?(engine = "ilp") c key sol =
   publish c key sol;
   (* Write-through after publishing, so waiters wake before disk IO. *)
   match c.backing with
-  | Some bk -> ( try bk.store key sol with _ -> ())
+  | Some bk -> ( try bk.store key ~engine sol with _ -> ())
   | None -> ()
 
 let cancel c key =
@@ -201,6 +214,40 @@ let cancel c key =
   Hashtbl.remove c.tbl key;
   Condition.broadcast c.cond;
   Mutex.unlock c.mu
+
+(* Force-release every reservation held on behalf of request [req] (the
+   serve daemon's id for a supervisor-abandoned worker).  Owner labels
+   are "domain-N (req RID)" — see {!owner_label} — so matching on the
+   "(req RID)" suffix finds exactly that request's reservations.  Waiters
+   are woken and re-run their [find_or_reserve] loop: one of them wins
+   the now-free slot and re-solves.  If the zombie later wakes and fills
+   anyway, it publishes the same deterministic solution — harmless. *)
+let cancel_owned c ~req : int =
+  let suffix = Printf.sprintf "(req %s)" req in
+  let is_suffix ~suffix s =
+    let n = String.length s and m = String.length suffix in
+    m <= n && String.sub s (n - m) m = suffix
+  in
+  Mutex.lock c.mu;
+  let doomed =
+    Hashtbl.fold
+      (fun key e acc ->
+        match e with
+        | Inflight r when is_suffix ~suffix r.owner -> key :: acc
+        | Inflight _ | Done _ -> acc)
+      c.tbl []
+  in
+  List.iter (Hashtbl.remove c.tbl) doomed;
+  if doomed <> [] then Condition.broadcast c.cond;
+  Mutex.unlock c.mu;
+  let n = List.length doomed in
+  if n > 0 then begin
+    ignore (Atomic.fetch_and_add c.cancelled n);
+    if Trace.enabled () then
+      Trace.instant ~cat:"ilp" "memo.cancel"
+        ~args:[ ("req", Trace.Str req); ("reservations", Trace.Int n) ]
+  end;
+  n
 
 (* ---- stalled-reservation surfacing (the zombie hazard) ------------- *)
 
@@ -242,6 +289,7 @@ let hits c = Atomic.get c.hits
 let disk_hits c = Atomic.get c.disk_hits
 let misses c = Atomic.get c.misses
 let stall_count c = Atomic.get c.stalls
+let cancelled_count c = Atomic.get c.cancelled
 
 let hit_rate c =
   let h = float_of_int (hits c) and m = float_of_int (misses c) in

@@ -22,16 +22,26 @@ type t
     persistent on-disk store).  [lookup] runs while the requester holds
     the single-flight reservation, so each key touches the tier at most
     once per run; [store] is called write-through after {!fill}
-    publishes.  Both may raise — failures degrade to misses. *)
+    publishes.  Both may raise — failures degrade to misses.
+
+    The [engine] label says which solve engine produced (or is asked
+    for) an entry — ["ilp"] for exact branch & bound, ["heuristic"] for
+    the portfolio's list-scheduler/GA answers.  The persistent tier
+    stores it with each entry and refuses cross-engine replays, a second
+    line of defense behind the {!fingerprint} engine salt. *)
 type backing = {
-  lookup : string -> Branch_bound.solution option;
-  store : string -> Branch_bound.solution -> unit;
+  lookup : string -> engine:string -> Branch_bound.solution option;
+  store : string -> engine:string -> Branch_bound.solution -> unit;
 }
 
 val create : ?backing:backing -> unit -> t
 
-(** Canonical structural fingerprint of a solve request. *)
+(** Canonical structural fingerprint of a solve request.  [engine]
+    (when given) salts the key so a non-exact engine's answer can never
+    replay as an exact one; omitting it keeps the fingerprint
+    byte-identical to historical exact-solver keys. *)
 val fingerprint :
+  ?engine:string ->
   ?options:Branch_bound.options ->
   ?warm_start:float array ->
   ?extra_starts:float array list ->
@@ -41,15 +51,28 @@ val fingerprint :
 (** Look up a fingerprint.  [`Hit sol] returns the cached (or
     concurrently computed) solution; [`Reserved] means the caller now
     owns the solve and {e must} call {!fill} (or {!cancel} on failure),
-    otherwise waiters block forever. *)
+    otherwise waiters block forever.  [engine] (default ["ilp"]) is
+    forwarded to the backing tier. *)
 val find_or_reserve :
-  t -> string -> [ `Hit of Branch_bound.solution | `Reserved ]
+  ?engine:string -> t -> string -> [ `Hit of Branch_bound.solution | `Reserved ]
 
-(** Publish the solution for a reserved fingerprint and wake waiters. *)
-val fill : t -> string -> Branch_bound.solution -> unit
+(** Publish the solution for a reserved fingerprint and wake waiters.
+    [engine] (default ["ilp"]) tags the write-through to the backing. *)
+val fill : ?engine:string -> t -> string -> Branch_bound.solution -> unit
 
 (** Drop a reserved fingerprint (the solve failed); waiters retry. *)
 val cancel : t -> string -> unit
+
+(** [cancel_owned c ~req] force-releases every single-flight reservation
+    whose owner label carries request [req] — the serve daemon calls it
+    when the supervisor abandons a wedged worker, so peers blocked on the
+    zombie's reservations wake and re-solve instead of waiting forever.
+    Returns the number of reservations released (also accumulated in
+    {!cancelled_count} and emitted as a ["memo.cancel"] trace instant). *)
+val cancel_owned : t -> req:string -> int
+
+(** Reservations ever force-released by {!cancel_owned}. *)
+val cancelled_count : t -> int
 
 (** Lookups answered from the in-memory table (including waits on
     in-flight solves). *)

@@ -14,6 +14,7 @@ type result =
   | Optimal of { x : float array; obj : float }
   | Infeasible
   | Unbounded
+  | Stalled
 
 (* Diagnostics: total pivots / solves across all solves.  Atomics, because
    solves run concurrently on OCaml 5 domains (the parallel driver in
@@ -66,14 +67,26 @@ let pivot t r j active =
     end
   done
 
+exception Budget_exhausted
+
 (** One simplex phase: minimize [cost . x] from the current basis.
-    Returns [`Optimal] or [`Unbounded].  [locked.(j)] excludes a column
-    from entering (used to freeze artificials in phase 2); [active]
-    bounds the columns that are priced and maintained (see {!pivot}).
-    Pivot count is accumulated into the solve-local [iters] and the
-    deterministic work measure (tableau cells touched) into [work]. *)
-let run_phase t (cost : float array) (locked : bool array) ~active ~iters ~work =
-  let max_iters = 300 + (4 * (t.m + t.ncols)) in
+    Returns [`Optimal], [`Unbounded] or [`Cap_hit] (iteration cap ran
+    out before an optimality proof — the vertex reached is usable but
+    its objective may overestimate the phase minimum).  [locked.(j)]
+    excludes a column from entering (used to freeze artificials in phase
+    2); [active] bounds the columns that are priced and maintained (see
+    {!pivot}).  [force_bland] prices with Bland's rule from the first
+    pivot (and doubles the cap): used to finish a capped phase 1, where
+    stopping short would misreport a degenerate stall as infeasibility.
+    Bland's anti-cycling argument makes termination finite in exact
+    arithmetic; floating-point ties can still defeat it, so the cap
+    stays as a backstop and the caller maps a second [`Cap_hit] to
+    {!Stalled} (feasibility unknown) instead of guessing.  Pivot count
+    is accumulated into the solve-local [iters] and the deterministic
+    work measure (tableau cells touched) into [work]. *)
+let run_phase ?(force_bland = false) t (cost : float array)
+    (locked : bool array) ~active ~iters ~work ~budget =
+  let max_iters = (if force_bland then 2 else 1) * (300 + (4 * (t.m + t.ncols))) in
   let iter = ref 0 in
   let stall = ref 0 in
   let result = ref None in
@@ -85,14 +98,17 @@ let run_phase t (cost : float array) (locked : bool array) ~active ~iters ~work 
     incr iter;
     incr iters;
     work := !work +. iter_cells;
+    (* the hard budget aborts between pivots, in either phase — the
+       deterministic counterpart of a wall-clock kill *)
+    if !work > budget then raise Budget_exhausted;
     if !iter > max_iters then
       (* Iteration cap: with the Bland fallback this only triggers on
-         heavily degenerate instances.  We return the current vertex as
-         "optimal-so-far"; its objective can overestimate the true LP
-         minimum, so a branch & bound caller may fathom slightly
-         aggressively (bounded loss of solution quality, never
-         infeasibility — incumbents are feasibility-checked). *)
-      result := Some `Optimal
+         heavily degenerate instances.  The current vertex is
+         "optimal-so-far": its objective can overestimate the true phase
+         minimum, so the caller must not treat it as a proof — in phase
+         1 that would turn a stall into a false infeasibility verdict
+         (see the [`Cap_hit] handling in {!solve_stats}). *)
+      result := Some `Cap_hit
     else begin
       (* reduced costs d = c - c_B^T T, computed row-major for cache
          friendliness: y = sum_i cb_i * row_i *)
@@ -107,7 +123,7 @@ let run_phase t (cost : float array) (locked : bool array) ~active ~iters ~work 
           done
         end
       done;
-      let bland = !stall > t.m + 20 in
+      let bland = force_bland || !stall > t.m + 20 in
       let best_j = ref (-1) in
       let best_score = ref eps in
       let best_dir = ref 1. in
@@ -318,7 +334,8 @@ let extract t (lb : float array) =
     model's variable bounds (same length as [Model.num_vars]).  Also
     returns the deterministic work measure: tableau cells touched across
     all pivots (machine- and schedule-independent, unlike wall time). *)
-let solve_stats ?lb ?ub (model : Model.t) : result * float * int =
+let solve_stats ?lb ?ub ?(work_budget = infinity) (model : Model.t) :
+    result * float * int =
   Atomic.incr solve_count;
   let iters = ref 0 in
   let work = ref 0. in
@@ -345,28 +362,50 @@ let solve_stats ?lb ?ub (model : Model.t) : result * float * int =
     work := !work +. float_of_int (t.m * t.ncols);
     (* Phase 1: minimize sum of artificials *)
     let locked = Array.make t.ncols false in
+    let phase1_capped = ref false in
+    (* any artificial still positive means the vertex is not feasible *)
+    let artif_sum () =
+      let s = ref 0. in
+      for i = 0 to t.m - 1 do
+        if t.basis.(i) >= t.n_artificial_start then s := !s +. t.rhs.(i)
+      done;
+      for j = t.n_artificial_start to t.ncols - 1 do
+        if (not t.is_basic.(j)) && t.at_ub.(j) then s := !s +. t.upper.(j)
+      done;
+      !s
+    in
     if t.n_artificial_start < t.ncols then begin
       let cost1 = Array.make t.ncols 0. in
       for j = t.n_artificial_start to t.ncols - 1 do
         cost1.(j) <- 1.
       done;
-      match run_phase t cost1 locked ~active:t.ncols ~iters ~work with
+      match
+        run_phase t cost1 locked ~active:t.ncols ~iters ~work
+          ~budget:work_budget
+      with
       | `Unbounded | `Optimal ->
           (* phase 1 is bounded below by 0; `Unbounded can only arise from
              numerical noise and is caught by the artificial-sum check *)
           ()
+      | `Cap_hit ->
+          (* The cap stopped phase 1 short of an optimality proof.  If
+             artificials remain positive this vertex must NOT be read as
+             an infeasibility proof — branch & bound trusts Infeasible
+             and prunes the subtree, so a degenerate stall here would
+             silently cut off feasible (even optimal) integer points.
+             Try to finish the phase with Bland's rule; if that runs out
+             of its (larger) cap too, feasibility is genuinely unknown
+             and the verdict below becomes {!Stalled}. *)
+          if artif_sum () > 1e-6 then
+            match
+              run_phase ~force_bland:true t cost1 locked ~active:t.ncols
+                ~iters ~work ~budget:work_budget
+            with
+            | `Unbounded | `Optimal -> ()
+            | `Cap_hit -> phase1_capped := true
     end;
-    (* infeasible if any artificial still positive *)
-    let artif_sum = ref 0. in
-    for i = 0 to t.m - 1 do
-      if t.basis.(i) >= t.n_artificial_start then
-        artif_sum := !artif_sum +. t.rhs.(i)
-    done;
-    for j = t.n_artificial_start to t.ncols - 1 do
-      if (not t.is_basic.(j)) && t.at_ub.(j) then
-        artif_sum := !artif_sum +. t.upper.(j)
-    done;
-    if !artif_sum > 1e-6 then Infeasible
+    if !phase1_capped && artif_sum () > 1e-6 then Stalled
+    else if artif_sum () > 1e-6 then Infeasible
     else begin
       (* pivot remaining zero-level artificials out of the basis *)
       for i = 0 to t.m - 1 do
@@ -410,9 +449,17 @@ let solve_stats ?lb ?ub (model : Model.t) : result * float * int =
         (fun (v, c) ->
           cost2.(v) <- (match sense with Model.Minimize -> c | Model.Maximize -> -.c))
         obj.Lin_expr.terms;
-      match run_phase t cost2 locked ~active:t.n_artificial_start ~iters ~work with
+      match
+        run_phase t cost2 locked ~active:t.n_artificial_start ~iters ~work
+          ~budget:work_budget
+      with
       | `Unbounded -> Unbounded
-      | `Optimal ->
+      | `Optimal | `Cap_hit ->
+          (* a capped phase 2 returns the vertex reached,
+             "optimal-so-far": feasible (phase 1 proved it), but the
+             objective can overestimate the LP minimum, so a branch &
+             bound caller may fathom slightly aggressively (bounded loss
+             of solution quality, never a wrong feasibility verdict) *)
           let x = extract t lb in
           let obj_val = Model.objective_value model (fun v -> x.(v)) in
           Optimal { x; obj = obj_val }

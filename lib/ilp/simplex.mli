@@ -10,6 +10,14 @@ type result =
   | Optimal of { x : float array; obj : float }
   | Infeasible
   | Unbounded
+  | Stalled
+      (** phase 1 ran out of its deterministic iteration caps (including
+          the Bland's-rule finish) while artificials were still positive:
+          neither a feasible vertex nor an infeasibility proof exists.
+          Callers must treat feasibility as {e unknown} — branch & bound
+          stops its search and reports the incumbent [Feasible] rather
+          than pruning the subtree (a stall mistaken for infeasibility
+          silently cuts off optimal integer points). *)
 
 (** Diagnostics: pivots and solves across the process lifetime.  Atomic
     because solves run concurrently on OCaml 5 domains; each solve counts
@@ -32,8 +40,20 @@ val solve : ?lb:float array -> ?ub:float array -> Model.t -> result
 val solve_counted :
   ?lb:float array -> ?ub:float array -> Model.t -> result * float
 
+exception Budget_exhausted
+(** Raised by {!solve_stats} when [work_budget] runs out mid-solve.  The
+    abort point depends only on the deterministic work measure, so a
+    budgeted solve terminates identically on any machine. *)
+
 (** Like {!solve_counted}, but additionally returns the pivot count of
     this solve alone (exact and deterministic, unlike a delta of
-    {!total_iterations} under concurrent solves). *)
+    {!total_iterations} under concurrent solves).  [work_budget] (default
+    [infinity]) caps the work of this call: once exceeded at a pivot
+    boundary the solve raises {!Budget_exhausted} instead of running the
+    LP to completion — the hard-budget lever of the portfolio engine. *)
 val solve_stats :
-  ?lb:float array -> ?ub:float array -> Model.t -> result * float * int
+  ?lb:float array ->
+  ?ub:float array ->
+  ?work_budget:float ->
+  Model.t ->
+  result * float * int

@@ -110,6 +110,7 @@ let solve ?options ?warm_start ?(extra_starts = []) ?cache ?stats
     Trace.complete ~cat:"ilp" ~t0_s:t0 (Model.name model)
       ~args:
         [
+          ("engine", Trace.Str "ilp");
           ("vars", Trace.Int (Model.num_vars model));
           ("constrs", Trace.Int (Model.num_constraints model));
           ("nodes", Trace.Int sol.Branch_bound.nodes);

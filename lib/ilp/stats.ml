@@ -32,6 +32,20 @@ type t = {
   mutable deg_seq : int;
       (** solves where even the greedy fallback failed and the node kept
           only its sequential candidate *)
+  mutable heuristic_solves : int;
+      (** subproblems answered by the portfolio's list-scheduler/GA
+          engine (no branch & bound); disjoint from [ilps] *)
+  mutable heur_time_s : float;
+      (** wall time spent inside the heuristic engine *)
+  mutable wins_heuristic : int;
+      (** portfolio races where the heuristic incumbent survived (the
+          reduced-budget exact search could not improve on it) *)
+  mutable wins_exact : int;
+      (** portfolio races where branch & bound improved on the
+          heuristic incumbent *)
+  mutable quality_gap_max : float;
+      (** worst observed relative gap (heur - exact) / exact across the
+          portfolio races that the exact engine won; merged with [max] *)
 }
 
 let create () =
@@ -50,6 +64,11 @@ let create () =
     deg_lp_round = 0;
     deg_greedy = 0;
     deg_seq = 0;
+    heuristic_solves = 0;
+    heur_time_s = 0.;
+    wins_heuristic = 0;
+    wins_exact = 0;
+    quality_gap_max = 0.;
   }
 
 let reset t =
@@ -66,7 +85,12 @@ let reset t =
   t.deg_incumbent <- 0;
   t.deg_lp_round <- 0;
   t.deg_greedy <- 0;
-  t.deg_seq <- 0
+  t.deg_seq <- 0;
+  t.heuristic_solves <- 0;
+  t.heur_time_s <- 0.;
+  t.wins_heuristic <- 0;
+  t.wins_exact <- 0;
+  t.quality_gap_max <- 0.
 
 let record ?(pivots = 0) ?(presolve_fixed = 0) ?(presolve_rows = 0)
     ?(cuts = 0) t (model : Model.t) ~nodes ~time_s =
@@ -81,6 +105,21 @@ let record ?(pivots = 0) ?(presolve_fixed = 0) ?(presolve_rows = 0)
   t.cuts <- t.cuts + cuts
 
 let record_cache_hit t = t.cache_hits <- t.cache_hits + 1
+
+(** One subproblem answered by the heuristic engine (list scheduler /
+    GA), outside branch & bound. *)
+let record_heuristic t ~time_s =
+  t.heuristic_solves <- t.heuristic_solves + 1;
+  t.heur_time_s <- t.heur_time_s +. time_s
+
+(** Outcome of one portfolio race: which engine's answer was kept, and
+    (when the exact engine improved on the heuristic) the relative
+    quality gap the heuristic left on the table. *)
+let record_race t ~winner ~quality_gap =
+  (match winner with
+  | `Heuristic -> t.wins_heuristic <- t.wins_heuristic + 1
+  | `Exact -> t.wins_exact <- t.wins_exact + 1);
+  if quality_gap > t.quality_gap_max then t.quality_gap_max <- quality_gap
 
 (** One solve landed on a degradation-ladder rung (see
     [Solution.degradation] in [lib/core]). *)
@@ -110,7 +149,13 @@ let merge ~into:a b =
   a.deg_incumbent <- a.deg_incumbent + b.deg_incumbent;
   a.deg_lp_round <- a.deg_lp_round + b.deg_lp_round;
   a.deg_greedy <- a.deg_greedy + b.deg_greedy;
-  a.deg_seq <- a.deg_seq + b.deg_seq
+  a.deg_seq <- a.deg_seq + b.deg_seq;
+  a.heuristic_solves <- a.heuristic_solves + b.heuristic_solves;
+  a.heur_time_s <- a.heur_time_s +. b.heur_time_s;
+  a.wins_heuristic <- a.wins_heuristic + b.wins_heuristic;
+  a.wins_exact <- a.wins_exact + b.wins_exact;
+  if b.quality_gap_max > a.quality_gap_max then
+    a.quality_gap_max <- b.quality_gap_max
 
 let copy t = { t with ilps = t.ilps }
 
@@ -127,4 +172,9 @@ let pp ppf t =
   if t.deg_incumbent > 0 then Fmt.pf ppf ", incumbent-only %d" t.deg_incumbent;
   if t.deg_lp_round > 0 then Fmt.pf ppf ", lp-round %d" t.deg_lp_round;
   if t.deg_greedy > 0 then Fmt.pf ppf ", greedy %d" t.deg_greedy;
-  if t.deg_seq > 0 then Fmt.pf ppf ", seq-fallback %d" t.deg_seq
+  if t.deg_seq > 0 then Fmt.pf ppf ", seq-fallback %d" t.deg_seq;
+  if t.heuristic_solves > 0 then
+    Fmt.pf ppf ", heuristic %d (%.2fs)" t.heuristic_solves t.heur_time_s;
+  if t.wins_heuristic > 0 || t.wins_exact > 0 then
+    Fmt.pf ppf ", race wins heur/exact %d/%d (worst gap %.2f%%)"
+      t.wins_heuristic t.wins_exact (100. *. t.quality_gap_max)

@@ -30,6 +30,18 @@ type t = {
   mutable deg_seq : int;
       (** solves where even the greedy fallback failed and the node kept
           only its sequential candidate *)
+  mutable heuristic_solves : int;
+      (** subproblems answered by the portfolio's list-scheduler/GA
+          engine (no branch & bound); disjoint from [ilps] *)
+  mutable heur_time_s : float;
+      (** wall time spent inside the heuristic engine *)
+  mutable wins_heuristic : int;
+      (** portfolio races where the heuristic incumbent survived *)
+  mutable wins_exact : int;
+      (** portfolio races where branch & bound improved on the incumbent *)
+  mutable quality_gap_max : float;
+      (** worst observed relative gap (heur - exact) / exact across
+          exact-won portfolio races; merged with [max] *)
 }
 
 val create : unit -> t
@@ -49,6 +61,15 @@ val record :
 
 (** Record one solve answered from the {!Memo} cache. *)
 val record_cache_hit : t -> unit
+
+(** Record one subproblem answered by the heuristic engine. *)
+val record_heuristic : t -> time_s:float -> unit
+
+(** Record one portfolio race outcome: the winning engine and, when the
+    exact engine won, the relative gap the heuristic left on the table
+    (pass [0.] otherwise). *)
+val record_race :
+  t -> winner:[ `Heuristic | `Exact ] -> quality_gap:float -> unit
 
 (** Record one solve landing on a degradation-ladder rung. *)
 val record_degraded :

@@ -58,6 +58,15 @@ let solver_json (st : Ilp.Stats.t) : J.t =
       ("presolve_rows", num st.Ilp.Stats.presolve_rows);
       ("cuts", num st.Ilp.Stats.cuts);
       ("cache_hits", num st.Ilp.Stats.cache_hits);
+      ("heuristic_solves", num st.Ilp.Stats.heuristic_solves);
+      ("heur_time_s", J.Num st.Ilp.Stats.heur_time_s);
+      ( "engine_wins",
+        J.Obj
+          [
+            ("heuristic", num st.Ilp.Stats.wins_heuristic);
+            ("exact", num st.Ilp.Stats.wins_exact);
+          ] );
+      ("quality_gap_max", J.Num st.Ilp.Stats.quality_gap_max);
       ( "degraded",
         J.Obj
           [
@@ -214,6 +223,13 @@ let profile_table ppf ?runtime ?(dropped = 0) ~wall_s
      greedy / %d seq@,"
     st.Ilp.Stats.cache_hits st.Ilp.Stats.deg_incumbent
     st.Ilp.Stats.deg_lp_round st.Ilp.Stats.deg_greedy st.Ilp.Stats.deg_seq;
+  if st.Ilp.Stats.heuristic_solves > 0 then
+    Format.fprintf ppf
+      "  heuristic solves %d (%.3f s)  race wins: %d heuristic / %d exact  \
+       max gap %.2f%%@,"
+      st.Ilp.Stats.heuristic_solves st.Ilp.Stats.heur_time_s
+      st.Ilp.Stats.wins_heuristic st.Ilp.Stats.wins_exact
+      (100. *. st.Ilp.Stats.quality_gap_max);
   (match runtime with
   | None -> ()
   | Some (s : Runtime.Metrics.snapshot) ->

@@ -366,17 +366,19 @@ let dump_flight t ~reason =
       Fmt.epr "serve: flight recorder dump to %s failed: %s@." path m;
       Error m
 
-(** Aggregate hit/miss/stall totals over the per-platform-view memos. *)
+(** Aggregate hit/miss/stall/cancel totals over the per-platform-view
+    memos. *)
 let memo_totals t =
   Mutex.lock t.engine.emu;
   let totals =
     Hashtbl.fold
-      (fun _ m (h, d, mi, st) ->
+      (fun _ m (h, d, mi, st, ca) ->
         ( h + Ilp.Memo.hits m,
           d + Ilp.Memo.disk_hits m,
           mi + Ilp.Memo.misses m,
-          st + Ilp.Memo.stall_count m ))
-      t.engine.memos (0, 0, 0, 0)
+          st + Ilp.Memo.stall_count m,
+          ca + Ilp.Memo.cancelled_count m ))
+      t.engine.memos (0, 0, 0, 0, 0)
   in
   Mutex.unlock t.engine.emu;
   totals
@@ -392,7 +394,7 @@ let server_json t : J.t =
   and lat_summary = Latency.summarize t.stats.lat
   and lat_hist = Latency.histogram_json t.stats.lat in
   Mutex.unlock t.stats.smu;
-  let _, _, _, memo_stalls = memo_totals t in
+  let _, _, _, memo_stalls, memo_cancelled = memo_totals t in
   J.Obj
     ([
        ("uptime_s", J.Num (Trace.now_s () -. t.stats.started_s));
@@ -409,6 +411,7 @@ let server_json t : J.t =
        ("timed_out_queue", num timed_out_queue);
        ("timed_out_solve", num timed_out_solve);
        ("memo_stalls", num memo_stalls);
+       ("memo_cancelled", num memo_cancelled);
        ("latency", Latency.summary_json lat_summary);
        ("latency_histogram_ms", lat_hist);
      ]
@@ -488,7 +491,7 @@ let stats_body t : (string * J.t) list =
     | Some w -> Obs_window.windows_json w ~now
     | None -> J.Null
   in
-  let mh, md, mm, mst = memo_totals t in
+  let mh, md, mm, mst, mca = memo_totals t in
   let hit_rate =
     let tot = float_of_int (mh + md + mm) in
     if tot = 0. then 0. else float_of_int (mh + md) /. tot
@@ -530,6 +533,7 @@ let stats_body t : (string * J.t) list =
           ("misses", num mm);
           ("hit_rate", J.Num hit_rate);
           ("stalls", num mst);
+          ("cancelled", num mca);
         ] );
   ]
   @ (match t.engine.store with
@@ -902,6 +906,31 @@ let supervisor_hooks t : (exec_ctx, job, P.response) Supervisor.hooks =
           ~body:[ ("request_id", J.Str job.rid) ]);
     wedged =
       (fun job ->
+        (* The abandoned worker may die holding single-flight memo
+           reservations (its domain is tagged with this request's id);
+           peers blocked on those keys would wait forever.  Cancelling
+           the request's reservations wakes them to re-solve.  If the
+           zombie later wakes and fills anyway, it publishes the same
+           deterministic solution — harmless. *)
+        Mutex.lock t.engine.emu;
+        let cancelled =
+          Hashtbl.fold
+            (fun _ m acc -> acc + Ilp.Memo.cancel_owned m ~req:job.rid)
+            t.engine.memos 0
+        in
+        Mutex.unlock t.engine.emu;
+        if cancelled > 0 then begin
+          Obs_flight.record t.flight "memo.cancel"
+            ~fields:
+              [
+                ("request_id", J.Str job.rid);
+                ("reservations", num cancelled);
+              ];
+          Fmt.epr
+            "serve: released %d memo reservation(s) held by abandoned \
+             request %s@."
+            cancelled job.rid
+        end;
         P.response ~id:job.req.P.id P.Timeout
           ~message:
             "executor worker wedged past the request deadline and was \
@@ -910,6 +939,7 @@ let supervisor_hooks t : (exec_ctx, job, P.response) Supervisor.hooks =
             [
               ("timeout_cause", J.Str "solve");
               ("request_id", J.Str job.rid);
+              ("memo_cancelled", num cancelled);
             ]);
     on_exhausted =
       (fun () ->

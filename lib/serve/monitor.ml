@@ -88,10 +88,11 @@ let render ppf (body : J.t) =
   (match J.member "memo" body with
   | Some m ->
       Format.fprintf ppf
-        "memo: %d hits + %d disk / %d misses (%.1f%% hit rate), %d stall(s)@,"
+        "memo: %d hits + %d disk / %d misses (%.1f%% hit rate), %d \
+         stall(s), %d cancelled@,"
         (fint m "hits") (fint m "disk_hits") (fint m "misses")
         (100. *. fnum m "hit_rate")
-        (fint m "stalls")
+        (fint m "stalls") (fint m "cancelled")
   | None -> ());
   (match J.member "workers" body with
   | Some (J.List rows) ->

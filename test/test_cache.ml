@@ -87,6 +87,28 @@ let test_entry_decode_total () =
     "absurd lengths rejected" true
     (Cache.Entry.decode (Bytes.to_string huge) = None)
 
+let test_entry_engine_tag () =
+  let s = sol ~x:[| 1.; 2. |] () in
+  (* default engine round-trips *)
+  Alcotest.(check bool)
+    "ilp entry decodes as ilp" true
+    (Cache.Entry.decode (Cache.Entry.encode s) <> None);
+  (* a heuristic answer never replays as an exact one, and vice versa *)
+  Alcotest.(check bool)
+    "heuristic entry refused by exact decode" true
+    (Cache.Entry.decode (Cache.Entry.encode ~engine:"heuristic" s) = None);
+  Alcotest.(check bool)
+    "exact entry refused by heuristic decode" true
+    (Cache.Entry.decode ~engine:"heuristic" (Cache.Entry.encode s) = None);
+  (* same engine on both sides round-trips bit-exactly *)
+  match
+    Cache.Entry.decode ~engine:"heuristic"
+      (Cache.Entry.encode ~engine:"heuristic" s)
+  with
+  | None -> Alcotest.fail "heuristic round-trip failed"
+  | Some s' ->
+      Alcotest.(check bool) "bit-exact" true (Cache.Entry.equal s s')
+
 (* ------------------------------------------------------------------ *)
 (* Store                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -244,8 +266,8 @@ let test_memo_backing () =
   in
   let backing =
     {
-      Ilp.Memo.lookup = Hashtbl.find_opt disk;
-      store = Hashtbl.replace disk;
+      Ilp.Memo.lookup = (fun key ~engine:_ -> Hashtbl.find_opt disk key);
+      store = (fun key ~engine:_ s -> Hashtbl.replace disk key s);
     }
   in
   let m = Ilp.Memo.create ~backing () in
@@ -273,7 +295,10 @@ let test_memo_backing () =
   let m3 =
     Ilp.Memo.create
       ~backing:
-        { Ilp.Memo.lookup = (fun _ -> failwith "io"); store = (fun _ _ -> ()) }
+        {
+          Ilp.Memo.lookup = (fun _ ~engine:_ -> failwith "io");
+          store = (fun _ ~engine:_ _ -> ());
+        }
       ()
   in
   (match Ilp.Memo.find_or_reserve m3 "fp1" with
@@ -352,6 +377,8 @@ let suite =
     Alcotest.test_case "entry: qcheck round-trip" `Quick
       test_entry_roundtrip_qcheck;
     Alcotest.test_case "entry: decode is total" `Quick test_entry_decode_total;
+    Alcotest.test_case "entry: engine tag refuses cross-replay" `Quick
+      test_entry_engine_tag;
     Alcotest.test_case "store: round-trip across open" `Quick
       test_store_roundtrip_across_open;
     Alcotest.test_case "store: corruption degrades to miss" `Quick

@@ -75,6 +75,24 @@ let toggle_cfgs =
       } );
   ]
 
+(* The solver portfolio (PR 10) must be reproducible too: the heuristic
+   engine is seeded-deterministic and the race decision depends only on
+   deterministic work counters, so portfolio and pure-heuristic runs must
+   stay bit-identical across worker counts exactly like the ILP engine
+   (which the default config above already covers).  [canon] includes the
+   ilps and cache_hits counters, so a schedule-dependent race would show
+   up even when both engines happen to pick the same schedule. *)
+let solver_cfgs =
+  [
+    ( "portfolio",
+      {
+        cfg with
+        Parcore.Config.solver = Parcore.Config.Portfolio;
+        portfolio_work_limit = 4e6;
+      } );
+    ("heuristic", { cfg with Parcore.Config.solver = Parcore.Config.Heuristic });
+  ]
+
 let toggle_benchmarks =
   List.filter
     (fun (b : Benchsuite.Suite.t) ->
@@ -106,3 +124,14 @@ let suite =
               (check_benchmark ~cfg b Platform.Presets.platform_a_accel))
           toggle_benchmarks)
       toggle_cfgs
+  @ List.concat_map
+      (fun (name, cfg) ->
+        List.map
+          (fun (b : Benchsuite.Suite.t) ->
+            Alcotest.test_case
+              (Printf.sprintf "%s / %s / solver=%s" b.Benchsuite.Suite.name
+                 Platform.Presets.platform_a_accel.Platform.Desc.name name)
+              `Slow
+              (check_benchmark ~cfg b Platform.Presets.platform_a_accel))
+          toggle_benchmarks)
+      solver_cfgs

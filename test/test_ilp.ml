@@ -57,6 +57,7 @@ let test_simplex_infeasible () =
   | Simplex.Infeasible -> ()
   | Simplex.Optimal { obj; _ } -> Alcotest.failf "expected infeasible, got %g" obj
   | Simplex.Unbounded -> Alcotest.fail "expected infeasible, got unbounded"
+  | Simplex.Stalled -> Alcotest.fail "expected infeasible, got stalled"
 
 let test_simplex_unbounded () =
   let m = Model.create () in
@@ -69,6 +70,7 @@ let test_simplex_unbounded () =
   | Simplex.Unbounded -> ()
   | Simplex.Optimal { obj; _ } -> Alcotest.failf "expected unbounded, got %g" obj
   | Simplex.Infeasible -> Alcotest.fail "expected unbounded, got infeasible"
+  | Simplex.Stalled -> Alcotest.fail "expected unbounded, got stalled"
 
 (* upper bounds handled without extra rows: max x + y, x <= 3 (bound),
    y <= 2 (bound), x + y <= 4 -> obj 4 *)

@@ -22,5 +22,6 @@ let () =
       ("server", Test_server.suite);
       ("fuzz-inputs", Test_fuzz_inputs.suite);
       ("pipeline-properties", Test_pipeline_prop.suite);
+      ("portfolio", Test_portfolio.suite);
       ("determinism", Test_determinism.suite);
     ]
